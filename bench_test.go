@@ -1,0 +1,282 @@
+// Benchmark harness: one bench per table and figure of the LBRM paper
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured numbers), plus ablation and micro benchmarks.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Each paper bench executes the corresponding experiment from
+// internal/experiments and republishes its headline value as a benchmark
+// metric, so `go test -bench` output doubles as the reproduction record.
+package lbrm_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/experiments"
+	"lbrm/internal/heartbeat"
+	"lbrm/internal/wire"
+)
+
+// runExp executes a registered experiment b.N times, reporting metric as
+// the headline value.
+func runExp(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		last = r.Run()
+	}
+	for _, m := range metrics {
+		b.ReportMetric(last.Get(m), m)
+	}
+}
+
+// --- one bench per paper table/figure (E1..E12) ---
+
+// BenchmarkFig4 regenerates Figure 4 (fixed vs variable heartbeat rates).
+func BenchmarkFig4(b *testing.B) { runExp(b, "fig4", "variable@120s", "fixed@120s") }
+
+// BenchmarkFig5 regenerates Figure 5; ratio@120s is the paper's marked
+// 53.4× point.
+func BenchmarkFig5(b *testing.B) { runExp(b, "fig5", "ratio@120s") }
+
+// BenchmarkTable1 regenerates Table 1 (overhead ratio vs backoff).
+func BenchmarkTable1(b *testing.B) { runExp(b, "table1", "det@2.0", "det@4.0") }
+
+// BenchmarkTable2 regenerates Table 2 (N_sl estimate accuracy vs probes).
+func BenchmarkTable2(b *testing.B) { runExp(b, "table2", "analytic@1", "simulated@5") }
+
+// BenchmarkTable3 regenerates Table 3 (logging server response time) over
+// loopback UDP; paper total was 1582 µs on 1995 hardware.
+func BenchmarkTable3(b *testing.B) { runExp(b, "table3", "processingUS", "totalUS") }
+
+// BenchmarkLoggerThroughput regenerates §3's saturation measurement
+// (paper: 1587 requests/s).
+func BenchmarkLoggerThroughput(b *testing.B) { runExp(b, "throughput", "inprocessPerSec") }
+
+// BenchmarkFig7NackReduction regenerates the Figure 7/§2.2.2 comparison:
+// NACKs reaching the primary under centralized vs distributed logging
+// (paper: 20 per site → 1 per site).
+func BenchmarkFig7NackReduction(b *testing.B) {
+	runExp(b, "nack", "centralizedNacks", "distributedNacks", "reduction")
+}
+
+// BenchmarkRecoveryLatency regenerates §2.2.2's latency claim (local
+// logger ~4 ms RTT vs primary ~80 ms).
+func BenchmarkRecoveryLatency(b *testing.B) { runExp(b, "recovery", "localMS", "remoteMS", "speedup") }
+
+// BenchmarkStatAck regenerates §2.3's repair-strategy behaviour at the
+// 500-site scale.
+func BenchmarkStatAck(b *testing.B) {
+	runExp(b, "statack", "wideRemulticasts", "isolatedRemulticasts", "ackers")
+}
+
+// BenchmarkVsSRM regenerates the §6 comparison against wb-style recovery.
+func BenchmarkVsSRM(b *testing.B) {
+	runExp(b, "srm", "lbrmMeanMS", "srmMeanMS", "latencyRatio")
+}
+
+// BenchmarkLossDetection regenerates §2.1.1's burst-detection analysis.
+func BenchmarkLossDetection(b *testing.B) { runExp(b, "burst", "worstRatio") }
+
+// BenchmarkDISScenario regenerates §2.1.2's STOW-97 arithmetic (paper:
+// ~400k heartbeat pkt/s fixed, ~1/50 of that variable).
+func BenchmarkDISScenario(b *testing.B) {
+	runExp(b, "dis", "fixedHeartbeats", "variableHeartbeats", "reduction")
+}
+
+// --- ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationBackoff sweeps the heartbeat backoff multiple at the
+// DIS operating point, extending Table 1 (paper footnote 2: "h could
+// increase by any backoff multiple").
+func BenchmarkAblationBackoff(b *testing.B) {
+	for _, backoff := range []float64{1.5, 2, 3, 4, 8} {
+		b.Run(fmt.Sprintf("backoff=%g", backoff), func(b *testing.B) {
+			p := heartbeat.Params{HMin: 250 * time.Millisecond, HMax: 32 * time.Second, Backoff: backoff}
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				ratio = heartbeat.OverheadRatio(p, 120*time.Second)
+			}
+			b.ReportMetric(ratio, "fixed/variable")
+			b.ReportMetric(heartbeat.DetectionBound(p, time.Second).Seconds(), "detectBound@1s")
+		})
+	}
+}
+
+// BenchmarkAblationAggregation measures the secondary logger's NACK
+// aggregation window on/off.
+func BenchmarkAblationAggregation(b *testing.B) {
+	runExp(b, "aggregation", "noneToPrimary", "defaultToPrimary")
+}
+
+// BenchmarkAblationInlineHeartbeat measures the §7 data-carrying-heartbeat
+// extension.
+func BenchmarkAblationInlineHeartbeat(b *testing.B) {
+	runExp(b, "inline", "plainNacks", "inlineNacks")
+}
+
+// BenchmarkAblationGroupEstimate measures §2.3.3's continuous population
+// estimation.
+func BenchmarkAblationGroupEstimate(b *testing.B) { runExp(b, "estimate", "finalEstimate") }
+
+// BenchmarkPosAckBaseline measures the positive-ack baseline's implosion.
+func BenchmarkPosAckBaseline(b *testing.B) { runExp(b, "posack", "posack@1000") }
+
+// BenchmarkAblationHierarchy measures the §7 multi-level logger hierarchy:
+// NACKs at the primary under a widespread loss, 2-level vs 3-level.
+func BenchmarkAblationHierarchy(b *testing.B) {
+	runExp(b, "hierarchy", "twoLevelNacks", "threeLevelNacks")
+}
+
+// BenchmarkAblationRetransChannel measures the §7 retransmission-channel
+// extension against NACK recovery.
+func BenchmarkAblationRetransChannel(b *testing.B) {
+	runExp(b, "channel", "nacksOff", "nacksOn", "replays")
+}
+
+// BenchmarkAblationFlowControl measures the §5 flow-control extension:
+// pacing advice under a congested source tail circuit.
+func BenchmarkAblationFlowControl(b *testing.B) {
+	runExp(b, "flow", "congestedLoss", "congestedDelayMS")
+}
+
+// BenchmarkFreshness measures the paper's headline metric: update latency
+// distribution under loss, with and without recovery.
+func BenchmarkFreshness(b *testing.B) {
+	runExp(b, "freshness", "lbrmP99ms", "lbrmDeliveredPct", "noneDeliveredPct")
+}
+
+// --- micro/throughput benchmarks ---
+
+// BenchmarkSimulatorMulticast measures the simulator's fan-out rate: one
+// multicast to 1000 receivers over 50 sites per iteration.
+func BenchmarkSimulatorMulticast(b *testing.B) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 1, Sites: 50, ReceiversPerSite: 20,
+		Sender: lbrm.SenderConfig{Heartbeat: lbrm.HeartbeatParams{
+			HMin: time.Hour, HMax: time.Hour, Backoff: 1}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		tb.Run(time.Second)
+	}
+	b.ReportMetric(float64(tb.TotalReceivers()), "receivers")
+}
+
+// BenchmarkEndToEndLossyStack pushes packets through the full protocol
+// stack (4 sites × 5 receivers, 5% tail loss) and reports virtual packets
+// fully delivered per wall second.
+func BenchmarkEndToEndLossyStack(b *testing.B) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 2, Sites: 4, ReceiversPerSite: 5,
+		Sender:   lbrm.SenderConfig{Heartbeat: lbrm.HeartbeatParams{HMin: 50 * time.Millisecond, HMax: 400 * time.Millisecond, Backoff: 2}},
+		Receiver: lbrm.ReceiverConfig{NackDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range tb.Sites {
+		s.Site.TailDown().SetLoss(lbrm.Bernoulli{P: 0.05})
+	}
+	tb.Run(500 * time.Millisecond)
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		tb.Run(100 * time.Millisecond)
+	}
+	tb.Run(5 * time.Second)
+	b.StopTimer()
+	full := 0
+	for seq := uint64(1); seq <= uint64(b.N); seq++ {
+		if tb.EveryoneHas(seq) {
+			full++
+		}
+	}
+	b.ReportMetric(100*float64(full)/float64(b.N), "%fully-delivered")
+}
+
+// BenchmarkHeartbeatSchedule measures the scheduler's per-event cost.
+func BenchmarkHeartbeatSchedule(b *testing.B) {
+	s, err := heartbeat.NewSchedule(heartbeat.DefaultParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 0 {
+			s.OnData()
+		} else {
+			s.OnHeartbeat()
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures encode+decode of a data packet.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	p := wire.Packet{Type: wire.TypeData, Source: 1, Group: 1, Seq: 42,
+		Payload: make([]byte, 128)}
+	buf := make([]byte, 0, 256)
+	var q wire.Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = p.AppendMarshal(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := q.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSenderHotPath measures one Send through the sender state
+// machine into a discarding environment (wire encode + retention +
+// heartbeat rearm), the per-update cost a DIS host pays per entity.
+func BenchmarkSenderHotPath(b *testing.B) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 3, Sites: 1, ReceiversPerSite: 1,
+		Sender: lbrm.SenderConfig{
+			Heartbeat:   lbrm.HeartbeatParams{HMin: time.Hour, HMax: time.Hour, Backoff: 1},
+			RetainLimit: 1 << 30,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 0 {
+			b.StopTimer()
+			// Drain deliveries outside the timed region (bounded: the
+			// heartbeat chain reschedules forever, so never RunUntilIdle
+			// with a live sender).
+			tb.Run(time.Millisecond)
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command lbrm-bench runs the paper-reproduction experiment harness: one
+// experiment per table/figure of the LBRM paper plus the quantitative
+// in-text claims and ablations (see DESIGN.md for the index).
+//
+// Usage:
+//
+//	lbrm-bench -list
+//	lbrm-bench -exp fig4,table1
+//	lbrm-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lbrm/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	exp := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+	format := flag.String("format", "table", "output format: table | csv")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-12s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			r, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+	for i, r := range runners {
+		if i > 0 {
+			fmt.Println()
+		}
+		res := r.Run()
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n%s", res.ID, res.Title, res.CSV())
+		default:
+			fmt.Print(res.String())
+		}
+	}
+}

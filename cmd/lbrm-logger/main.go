@@ -1,0 +1,116 @@
+// Command lbrm-logger runs an LBRM logging server over real UDP, in one of
+// three roles:
+//
+//   - secondary: a site's secondary logging server (§2.2.1) — logs the
+//     multicast stream, serves site-local retransmissions, answers
+//     discovery queries and Acker Selection packets.
+//   - primary: the primary logging server (§2.2) — logs everything,
+//     acknowledges the source, serves retransmissions, replicates to
+//     -replica peers.
+//   - replica: a passive replica (§2.2.3), promoted by the source on
+//     primary failure.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/udp"
+	"lbrm/internal/wire"
+)
+
+func main() {
+	mode := flag.String("mode", "secondary", "secondary | primary | replica")
+	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast group ip:port")
+	listen := flag.String("listen", "0.0.0.0:0", "unicast bind host:port (give loggers a stable port)")
+	primary := flag.String("primary", "", "primary logger host:port (secondary mode)")
+	replicas := flag.String("replicas", "", "comma-separated replica host:ports (primary mode)")
+	maxPackets := flag.Int("max-packets", 0, "retention: max packets per stream in memory (0 = unlimited)")
+	maxAge := flag.Duration("max-age", 0, "retention: max packet age (0 = unlimited)")
+	spill := flag.Bool("spill", false, "spill memory-evicted packets to disk (keeps them servable)")
+	spillDir := flag.String("spill-dir", "", "directory for spill files (default: os temp dir)")
+	iface := flag.String("iface", "", "network interface for multicast")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats logging interval")
+	flag.Parse()
+
+	ret := lbrm.Retention{
+		MaxPackets: *maxPackets, MaxAge: *maxAge,
+		SpillToDisk: *spill, SpillDir: *spillDir,
+	}
+	groups := map[wire.GroupID]string{1: *mcast}
+	var handler transport.Handler
+	var report func()
+
+	switch *mode {
+	case "secondary":
+		cfg := lbrm.SecondaryConfig{Group: 1, Retention: ret}
+		if *primary != "" {
+			pa, err := udp.ParseAddr(*primary)
+			if err != nil {
+				log.Fatalf("bad -primary: %v", err)
+			}
+			cfg.Primary = pa
+		}
+		sec := lbrm.NewSecondaryLogger(cfg)
+		handler = sec
+		report = func() {
+			st := sec.Stats()
+			log.Printf("logged=%d nacksIn=%d served=%d remcast=%d nacksUp=%d acks=%d",
+				st.PacketsLogged, st.NacksFromClients, st.RetransUnicast,
+				st.Remulticasts, st.NacksToPrimary, st.AcksSent)
+		}
+	case "primary", "replica":
+		cfg := lbrm.PrimaryConfig{Group: 1, Retention: ret, Replica: *mode == "replica"}
+		if *replicas != "" {
+			for _, r := range strings.Split(*replicas, ",") {
+				ra, err := udp.ParseAddr(strings.TrimSpace(r))
+				if err != nil {
+					log.Fatalf("bad -replicas entry %q: %v", r, err)
+				}
+				cfg.Replicas = append(cfg.Replicas, ra)
+			}
+		}
+		pri := lbrm.NewPrimaryLogger(cfg)
+		handler = pri
+		report = func() {
+			st := pri.Stats()
+			log.Printf("logged=%d srcAcks=%d nacksIn=%d served=%d syncsOut=%d syncsIn=%d replica=%v",
+				st.PacketsLogged, st.SourceAcks, st.NacksFromClients,
+				st.RetransServed, st.LogSyncsSent, st.LogSyncsApplied, pri.IsReplica())
+		}
+	default:
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+
+	node, err := udp.Start(udp.Config{
+		Listen:    *listen,
+		Groups:    groups,
+		Interface: *iface,
+	}, handler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	log.Printf("lbrm-logger: %s on %s, unicast %s", *mode, *mcast, node.Addr())
+
+	tick := time.NewTicker(*statsEvery)
+	defer tick.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case <-tick.C:
+			node.Do(report)
+		case <-sig:
+			node.Do(report)
+			return
+		}
+	}
+}

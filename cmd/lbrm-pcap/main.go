@@ -1,0 +1,75 @@
+// Command lbrm-pcap decodes a capture produced by lbrm-sim -pcap (or any
+// pcap of LBRM traffic written by this library) and prints the protocol
+// timeline: one line per packet with relative timestamps, addresses and
+// the decoded LBRM header.
+//
+//	lbrm-sim -sites 5 -receivers 3 -loss 0.2 -pcap /tmp/run.pcap
+//	lbrm-pcap /tmp/run.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"lbrm/internal/pcapio"
+	"lbrm/internal/wire"
+)
+
+func main() {
+	typeFilter := flag.String("type", "", "only show this packet type (e.g. NACK, RETRANS)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lbrm-pcap [-type T] <capture.pcap>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := pcapio.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var t0 time.Time
+	counts := map[string]int{}
+	shown, total := 0, 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatalf("record %d: %v", total, err)
+		}
+		total++
+		if t0.IsZero() {
+			t0 = rec.Time
+		}
+		var p wire.Packet
+		desc := fmt.Sprintf("non-LBRM payload (%d bytes)", len(rec.Payload))
+		name := "OTHER"
+		if err := p.Unmarshal(rec.Payload); err == nil {
+			desc = p.String()
+			name = p.Type.String()
+		}
+		counts[name]++
+		if *typeFilter != "" && name != *typeFilter {
+			continue
+		}
+		shown++
+		fmt.Printf("%12s  %d.%d.%d.%d → %d.%d.%d.%d  %s\n",
+			rec.Time.Sub(t0).Round(time.Microsecond),
+			rec.Src[0], rec.Src[1], rec.Src[2], rec.Src[3],
+			rec.Dst[0], rec.Dst[1], rec.Dst[2], rec.Dst[3],
+			desc)
+	}
+	fmt.Printf("\n%d packets (%d shown)\n", total, shown)
+	for name, n := range counts {
+		fmt.Printf("  %-12s %d\n", name, n)
+	}
+}

@@ -1,0 +1,100 @@
+// Command lbrm-recv is an LBRM receiver over real UDP. It prints every
+// delivered update and announces staleness episodes and abandoned ranges.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/transport/udp"
+	"lbrm/internal/wire"
+)
+
+func main() {
+	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast group ip:port")
+	secondary := flag.String("secondary", "", "site secondary logger host:port (empty: discover or use primary)")
+	primary := flag.String("primary", "", "primary logger host:port")
+	discover := flag.Bool("discover", false, "discover a nearby logger by scoped multicast")
+	hmin := flag.Duration("hmin", 250*time.Millisecond, "sender's minimum heartbeat interval")
+	hmax := flag.Duration("hmax", 32*time.Second, "sender's maximum heartbeat interval")
+	backoff := flag.Float64("backoff", 2, "sender's heartbeat backoff multiple")
+	ordered := flag.Bool("ordered", false, "deliver in sequence order")
+	iface := flag.String("iface", "", "network interface for multicast")
+	trace := flag.Bool("trace", false, "log every packet in and out (decoded)")
+	flag.Parse()
+
+	cfg := lbrm.ReceiverConfig{
+		Group:     1,
+		Heartbeat: lbrm.HeartbeatParams{HMin: *hmin, HMax: *hmax, Backoff: *backoff},
+		Discover:  *discover,
+		Ordered:   *ordered,
+		OnData: func(e lbrm.Event) {
+			tag := ""
+			if e.Retransmitted {
+				tag = " (recovered)"
+			}
+			log.Printf("src %d seq %d: %q%s", e.Stream.Source, e.Seq, e.Payload, tag)
+		},
+		OnStale: func(k lbrm.StreamKey, silent time.Duration) {
+			log.Printf("src %d: STALE (silent for %v)", k.Source, silent)
+		},
+		OnFresh: func(k lbrm.StreamKey) {
+			log.Printf("src %d: fresh again", k.Source)
+		},
+		OnLost: func(k lbrm.StreamKey, rg lbrm.SeqRange) {
+			log.Printf("src %d: gave up on seqs [%d,%d]", k.Source, rg.From, rg.To)
+		},
+	}
+	var err error
+	if *secondary != "" {
+		if cfg.Secondary, err = udp.ParseAddr(*secondary); err != nil {
+			log.Fatalf("bad -secondary: %v", err)
+		}
+	}
+	if *primary != "" {
+		if cfg.Primary, err = udp.ParseAddr(*primary); err != nil {
+			log.Fatalf("bad -primary: %v", err)
+		}
+	}
+	rcv := lbrm.NewReceiver(cfg)
+	var handler lbrm.Handler = rcv
+	if *trace {
+		handler = lbrm.Trace(rcv, func(ev lbrm.TraceEvent) {
+			var p wire.Packet
+			desc := fmt.Sprintf("%d bytes (non-LBRM)", len(ev.Data))
+			if p.Unmarshal(ev.Data) == nil {
+				desc = p.String()
+			}
+			peer := ""
+			if ev.Peer != nil {
+				peer = " " + ev.Peer.String()
+			}
+			log.Printf("[%s]%s %s", ev.Dir, peer, desc)
+		})
+	}
+	node, err := udp.Start(udp.Config{
+		Groups:    map[wire.GroupID]string{1: *mcast},
+		Interface: *iface,
+	}, handler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	log.Printf("lbrm-recv: listening on %s (unicast %s)", *mcast, node.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	node.Do(func() {
+		st := rcv.Stats()
+		log.Printf("delivered=%d recovered=%d nacks=%d escalations=%d abandoned=%d stale=%d",
+			st.DataDelivered, st.Recovered, st.NacksSent, st.Escalations,
+			st.RangesAbandoned, st.StaleEpisodes)
+	})
+}

@@ -1,0 +1,126 @@
+// Filecache: LBRM as an alternative to leases for fault-tolerant
+// distributed file caching (§4.2).
+//
+// Instead of per-file leases with timers to maintain, each client
+// subscribes to one LBRM channel per file server and reliably receives
+// invalidation notifications on it. The channel's heartbeats double as the
+// lease: "if the client detects a failure of its connection to the server
+// (by the absence of heartbeats or other traffic), it invalidates its
+// cache; this action occurs in time comparable to a lease timeout."
+//
+// The example caches files at two client sites, invalidates one file,
+// then crashes the file server and shows every client dropping its whole
+// cache within the staleness bound — and revalidating when the server
+// returns.
+//
+// Run with: go run ./examples/filecache
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lbrm"
+)
+
+// cacheClient models one NFS-style client cache.
+type cacheClient struct {
+	name  string
+	files map[string]string // path → cached content ("" = invalid)
+}
+
+func (c *cacheClient) list() string {
+	var valid, invalid []string
+	for f, content := range c.files {
+		if content == "" {
+			invalid = append(invalid, f)
+		} else {
+			valid = append(valid, f)
+		}
+	}
+	return fmt.Sprintf("valid=%v invalid=%v", valid, invalid)
+}
+
+func main() {
+	// A short heartbeat ceiling bounds the "lease timeout": with HMax=2s
+	// and StaleFactor 2, a dead server is detected within ~4-5s.
+	hb := lbrm.HeartbeatParams{HMin: 250 * time.Millisecond, HMax: 2 * time.Second, Backoff: 2}
+
+	clients := map[int][]*cacheClient{}
+	mkClients := func(site int) {
+		for j := 0; j < 2; j++ {
+			clients[site] = append(clients[site], &cacheClient{
+				name: fmt.Sprintf("site%d/client%d", site+1, j+1),
+				files: map[string]string{
+					"/etc/motd":      "welcome",
+					"/home/a/th.tex": "draft-3",
+				},
+			})
+		}
+	}
+	mkClients(0)
+	mkClients(1)
+
+	// Wire each receiver to its client: delivery invalidates single files,
+	// staleness (the lease expiring) invalidates everything.
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 3, Sites: 2, ReceiversPerSite: 2,
+		Sender: lbrm.SenderConfig{Heartbeat: hb},
+		Receiver: lbrm.ReceiverConfig{
+			StaleFactor: 2, StaleSlack: 200 * time.Millisecond,
+		},
+		ConfigureReceiver: func(site, idx int, cfg *lbrm.ReceiverConfig) {
+			c := clients[site][idx]
+			cfg.OnData = func(e lbrm.Event) {
+				path, ok := strings.CutPrefix(string(e.Payload), "INVALIDATE ")
+				if !ok {
+					return
+				}
+				if _, cached := c.files[path]; cached {
+					c.files[path] = ""
+					fmt.Printf("  %s: %s invalidated by server notification\n", c.name, path)
+				}
+			}
+			cfg.OnStale = func(k lbrm.StreamKey, silent time.Duration) {
+				for f := range c.files {
+					c.files[f] = ""
+				}
+				fmt.Printf("  %s: server silent for %v → whole cache invalidated (lease expiry)\n",
+					c.name, silent.Round(100*time.Millisecond))
+			}
+			cfg.OnFresh = func(lbrm.StreamKey) {
+				fmt.Printf("  %s: server back; revalidating on demand\n", c.name)
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("t=0: caches warm; server heartbeating")
+	tb.Send([]byte("hello")) // establish the stream
+	tb.Run(3 * time.Second)
+
+	fmt.Println("\nt=3s: /etc/motd changes on the server")
+	tb.Send([]byte("INVALIDATE /etc/motd"))
+	tb.Run(2 * time.Second)
+
+	fmt.Println("\nt=5s: ** file server crashes ** (all its links go dark)")
+	gate := &lbrm.Gate{Down: true}
+	tb.SenderNode.UpLink().SetLoss(gate)
+	tb.SenderNode.DownLink().SetLoss(gate)
+	tb.Run(8 * time.Second)
+
+	fmt.Println("\nt=13s: server restored")
+	gate.Down = false
+	tb.Send([]byte("hello-again"))
+	tb.Run(2 * time.Second)
+
+	fmt.Println("\nfinal cache state:")
+	for si := range clients {
+		for _, c := range clients[si] {
+			fmt.Printf("  %-16s %s\n", c.name, c.list())
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Stockticker: wide-area information dissemination (§4.1).
+//
+// One exchange publishes quote updates to brokers' terminals at many
+// sites. This is the regime statistical acknowledgement (§2.3) was built
+// for: with hundreds of subscribing sites, the source cannot wait for
+// per-receiver ACKs, yet it wants to notice immediately when a quote
+// missed a large part of the audience.
+//
+// The example runs 100 sites. A random ~k of the site loggers volunteer as
+// Designated Ackers each epoch. When a quote is dropped on the exchange's
+// own tail circuit (everyone misses it), the missing ACKs trigger one
+// immediate re-multicast ~t_wait later — no NACK implosion, no waiting for
+// receivers to time out. A quote lost by a single site stays a site-local
+// unicast affair.
+//
+// Run with: go run ./examples/stockticker
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"lbrm"
+)
+
+func main() {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed:             11,
+		Sites:            100,
+		ReceiversPerSite: 2,
+		Sender: lbrm.SenderConfig{
+			Heartbeat: lbrm.HeartbeatParams{
+				HMin: 500 * time.Millisecond, HMax: 8 * time.Second, Backoff: 2,
+			},
+			StatAck: lbrm.StatAckConfig{
+				Enabled:       true,
+				K:             10,
+				EpochInterval: time.Minute,
+				RTT:           lbrm.RTTConfig{Initial: 150 * time.Millisecond},
+				GroupSize:     lbrm.GroupSizeConfig{Initial: 100},
+			},
+		},
+		// Receivers fall back to NACK recovery only if the statistical
+		// path hasn't repaired the loss within a second.
+		Receiver: lbrm.ReceiverConfig{NackDelay: time.Second},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Let the first epoch establish: ACKSEL out, ~k loggers volunteer.
+	tb.Run(2 * time.Second)
+	fmt.Printf("epoch %d established: %d of 100 site loggers are Designated Ackers (k=10)\n",
+		tb.Sender.Epoch(), tb.Sender.AckerCount())
+	fmt.Printf("sender's population estimate: %.0f loggers, p_ack=%.3f\n\n",
+		tb.Sender.GroupSizeEstimate(), 10/tb.Sender.GroupSizeEstimate())
+
+	quotes := []string{"ACME 101.25", "ACME 101.40", "ACME 99.80", "ACME 100.10"}
+	fmt.Printf("publishing %q\n", quotes[0])
+	tb.Send([]byte(quotes[0]))
+	tb.Run(time.Second)
+
+	fmt.Printf("publishing %q — dropped on the exchange's tail circuit (all 100 sites miss it)\n", quotes[1])
+	tb.SourceSite.TailUp().SetLoss(&lbrm.FirstN{N: 1})
+	t0 := tb.Net.Clock().Now()
+	tb.Send([]byte(quotes[1]))
+	tb.Run(800 * time.Millisecond)
+	st := tb.Sender.Stats()
+	fmt.Printf("  → source saw %d/%d expected ACKs, re-multicast once (t_wait=%v); delivered to %d/%d terminals, receiver NACKs sent: %d\n",
+		0, tb.Sender.AckerCount(), tb.Sender.TWait().Round(time.Millisecond),
+		tb.DeliveredCount(2), tb.TotalReceivers(), countReceiverNacks(tb))
+	_ = st
+	_ = t0
+
+	fmt.Printf("publishing %q — lost only at site 42\n", quotes[2])
+	tb.Sites[41].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte(quotes[2]))
+	tb.Run(5 * time.Second)
+	fmt.Printf("  → no group-wide re-multicast (total so far: %d); site 42's logger repaired it locally; delivered to %d/%d\n",
+		tb.Sender.Stats().StatRemulticasts, tb.DeliveredCount(3), tb.TotalReceivers())
+
+	fmt.Printf("publishing %q — clean\n", quotes[3])
+	tb.Send([]byte(quotes[3]))
+	tb.Run(2 * time.Second)
+	fmt.Printf("  → delivered to %d/%d\n\n", tb.DeliveredCount(4), tb.TotalReceivers())
+
+	fmt.Printf("summary: %d quotes, %d statistical re-multicasts, %d ACKs total at the source (vs %d under per-receiver positive ACKs)\n",
+		len(quotes), tb.Sender.Stats().StatRemulticasts,
+		tb.Sender.Stats().AcksReceived, len(quotes)*tb.TotalReceivers())
+}
+
+func countReceiverNacks(tb *lbrm.Testbed) uint64 {
+	var n uint64
+	for _, s := range tb.Sites {
+		for _, r := range s.Receivers {
+			n += r.Stats().NacksSent
+		}
+	}
+	return n
+}

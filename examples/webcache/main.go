@@ -1,0 +1,130 @@
+// Webcache: the paper's Appendix A — HTML document invalidation over LBRM
+// (§4.3), the protocol the authors prototyped in Mosaic.
+//
+// Each HTML file is associated with a multicast address; browsers that
+// cache a page subscribe. When the HTTP server sees a local document
+// change, it reliably multicasts an invalidation ("TRANS:<seq>.0:UPDATE:
+// <url>" in the appendix's text format); the browser highlights its RELOAD
+// button. LBRM heartbeats assure each browser its picture is fresh, and
+// the logging service replays missed invalidations ("RETRANS:...") — here
+// exercised by knocking one browser off the network during an update.
+//
+// Unlike the other examples this one assembles the topology by hand from
+// the public simulation API (sites, hosts, loggers, receivers), which is
+// also how you would embed LBRM components in your own simulation.
+//
+// Run with: go run ./examples/webcache
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lbrm"
+)
+
+// browser models one Mosaic-style client cache.
+type browser struct {
+	name  string
+	cache map[string]bool // url → RELOAD highlighted
+}
+
+func (b *browser) onData(e lbrm.Event) {
+	url, ok := strings.CutPrefix(string(e.Payload), "UPDATE: ")
+	if !ok {
+		return
+	}
+	if _, cached := b.cache[url]; !cached {
+		return // page not cached here; ignore the invalidation
+	}
+	b.cache[url] = true
+	kind := "TRANS"
+	if e.Retransmitted {
+		kind = "RETRANS"
+	}
+	fmt.Printf("  %-16s %s:%d.0:UPDATE: %s → RELOAD highlighted\n", b.name, kind, e.Seq, url)
+}
+
+func main() {
+	const (
+		group   = lbrm.GroupID(1)
+		members = "http://www-DSG.Stanford.EDU/groupMembers.html"
+		papers  = "http://www-DSG.Stanford.EDU/papers.html"
+	)
+	hb := lbrm.HeartbeatParams{HMin: 250 * time.Millisecond, HMax: 16 * time.Second, Backoff: 2}
+
+	// --- assemble the topology by hand ---
+	net := lbrm.NewNetwork(5)
+	serverSite := net.NewSite(lbrm.SiteParams{Name: "server-site"})
+	site1 := net.NewSite(lbrm.SiteParams{Name: "site1"})
+	site2 := net.NewSite(lbrm.SiteParams{Name: "site2"})
+
+	// Primary logger lives next to the HTTP server.
+	primary := lbrm.NewPrimaryLogger(lbrm.PrimaryConfig{Group: group})
+	primaryNode := serverSite.NewHost("primary", primary)
+
+	// The HTTP server's invalidation publisher.
+	server, err := lbrm.NewSender(lbrm.SenderConfig{
+		Source: 1, Group: group, Heartbeat: hb, Primary: primaryNode.Addr(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	serverSite.NewHost("httpd", server)
+
+	// Each client site runs a secondary logger; browsers find it by
+	// scoped-multicast discovery (§2.2.1), like the paper's receivers.
+	for _, site := range []*lbrm.Site{site1, site2} {
+		site.NewHost("logger", lbrm.NewSecondaryLogger(lbrm.SecondaryConfig{
+			Group: group, Primary: primaryNode.Addr(),
+		}))
+	}
+
+	newBrowser := func(site *lbrm.Site, name string, urls ...string) *browser {
+		b := &browser{name: name, cache: map[string]bool{}}
+		for _, u := range urls {
+			b.cache[u] = false
+		}
+		rcv := lbrm.NewReceiver(lbrm.ReceiverConfig{
+			Group: group, Heartbeat: hb,
+			Primary:  primaryNode.Addr(),
+			Discover: true, // find the site logger by expanding-ring search
+			OnData:   b.onData,
+		})
+		site.NewHost(name, rcv)
+		return b
+	}
+	b1 := newBrowser(site1, "mosaic@alice", members, papers)
+	b2 := newBrowser(site1, "mosaic@bob", members)
+	b3 := newBrowser(site2, "mosaic@carol", members, papers)
+	site2Hosts := net.Nodes()
+	carolNode := site2Hosts[len(site2Hosts)-1]
+
+	net.Start()
+	net.RunFor(time.Second) // discovery completes
+
+	fmt.Println("== groupMembers.html modified on the server ==")
+	server.Send([]byte("UPDATE: " + members))
+	net.RunFor(2 * time.Second)
+
+	fmt.Println("\n== carol's host drops off the network for 2 s; papers.html changes meanwhile ==")
+	now := net.Clock().Now()
+	outage := &lbrm.Outages{Windows: []lbrm.Window{{Start: now, End: now.Add(2 * time.Second)}}}
+	carolNode.DownLink().SetLoss(outage)
+	server.Send([]byte("UPDATE: " + papers))
+	net.RunFor(6 * time.Second)
+
+	fmt.Println("\n== final browser cache state ==")
+	for _, b := range []*browser{b1, b2, b3} {
+		for url, dirty := range b.cache {
+			state := "fresh"
+			if dirty {
+				state = "RELOAD highlighted"
+			}
+			fmt.Printf("  %-16s %-55s %s\n", b.name, url, state)
+		}
+	}
+	fmt.Println("\n(bob never cached papers.html, so its invalidation didn't touch him;")
+	fmt.Println(" carol missed the multicast during her outage and recovered it from her site's logger)")
+}

@@ -1,0 +1,42 @@
+package lbrm_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example end to end (they all run inside
+// the deterministic simulator, so they are fast and repeatable) and checks
+// for the narrative landmarks that prove the protocol did its job.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs subprocesses")
+	}
+	cases := []struct {
+		dir   string
+		wants []string
+	}{
+		{"quickstart", []string{"← recovered", "every receiver has the update: true"}},
+		{"terrain", []string{"destruction delivered to 6/6", "recovered"}},
+		{"stockticker", []string{"re-multicast once", "delivered to 200/200"}},
+		{"webcache", []string{"RETRANS:2.0:UPDATE", "RELOAD highlighted"}},
+		{"filecache", []string{"whole cache invalidated (lease expiry)", "server back"}},
+		{"factory", []string{"(recovered from log)", "transactions logged"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

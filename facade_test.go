@@ -1,0 +1,83 @@
+package lbrm_test
+
+import (
+	"testing"
+	"time"
+
+	"lbrm"
+)
+
+// TestFacadeConstructors exercises the public constructors and the
+// re-exported defaults.
+func TestFacadeConstructors(t *testing.T) {
+	if lbrm.DefaultHeartbeat.HMin != 250*time.Millisecond ||
+		lbrm.DefaultHeartbeat.HMax != 32*time.Second ||
+		lbrm.DefaultHeartbeat.Backoff != 2 {
+		t.Fatalf("DefaultHeartbeat = %+v, want the paper's DIS parameters", lbrm.DefaultHeartbeat)
+	}
+	f := lbrm.FixedHeartbeat(time.Second)
+	if f.HMin != time.Second || f.HMax != time.Second || f.Backoff != 1 {
+		t.Fatalf("FixedHeartbeat = %+v", f)
+	}
+	if _, err := lbrm.NewSender(lbrm.SenderConfig{
+		Source: 1, Group: 1,
+		Heartbeat: lbrm.HeartbeatParams{HMin: -time.Second, HMax: time.Second, Backoff: 2},
+	}); err == nil {
+		t.Fatal("invalid heartbeat accepted")
+	}
+	if r := lbrm.NewReceiver(lbrm.ReceiverConfig{Group: 1}); r == nil {
+		t.Fatal("NewReceiver nil")
+	}
+	if p := lbrm.NewPrimaryLogger(lbrm.PrimaryConfig{Group: 1}); p == nil {
+		t.Fatal("NewPrimaryLogger nil")
+	}
+	if s := lbrm.NewSecondaryLogger(lbrm.SecondaryConfig{Group: 1}); s == nil {
+		t.Fatal("NewSecondaryLogger nil")
+	}
+}
+
+// TestTestbedDefaults checks the builder's zero-value behaviour.
+func TestTestbedDefaults(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{Seed: 1,
+		Sender: lbrm.SenderConfig{Heartbeat: fastHB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Group != 1 || tb.Source != 1 {
+		t.Fatalf("defaults group=%d source=%d", tb.Group, tb.Source)
+	}
+	if len(tb.Sites) != 2 || tb.TotalReceivers() != 6 {
+		t.Fatalf("default topology: %d sites, %d receivers", len(tb.Sites), tb.TotalReceivers())
+	}
+	if tb.Primary == nil || tb.Sender == nil || tb.SourceSite == nil {
+		t.Fatal("testbed pieces missing")
+	}
+	// PathDelay sanity through the façade.
+	d := tb.Net.PathDelay(tb.SenderNode.ID(), tb.Sites[0].ReceiverNodes[0].ID())
+	if d != 40*time.Millisecond {
+		t.Fatalf("sender→receiver one-way = %v, want 40ms", d)
+	}
+}
+
+// TestTestbedStop stops every component and verifies the network drains
+// (the documented RunUntilIdle precondition).
+func TestTestbedStop(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{Seed: 2, Sites: 2, ReceiversPerSite: 2,
+		Sender: lbrm.SenderConfig{Heartbeat: fastHB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Send([]byte("x"))
+	tb.Run(500 * time.Millisecond)
+	tb.StopAll()
+	done := make(chan struct{})
+	go func() {
+		tb.RunUntilIdle() // must terminate once everything is stopped
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunUntilIdle did not terminate after stopping all components")
+	}
+}

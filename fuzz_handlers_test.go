@@ -1,0 +1,150 @@
+package lbrm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/transporttest"
+	"lbrm/internal/wire"
+)
+
+// randomValidPacket builds a syntactically valid LBRM packet of any type
+// with adversarial field values (random seqs, epochs, probabilities,
+// ranges) — the decodable-but-hostile input space.
+func randomValidPacket(rng *rand.Rand) wire.Packet {
+	types := []wire.Type{
+		wire.TypeData, wire.TypeHeartbeat, wire.TypeNack, wire.TypeRetrans,
+		wire.TypeAck, wire.TypeAckerSelect, wire.TypeAckerResponse,
+		wire.TypeSizeProbe, wire.TypeSizeProbeResponse,
+		wire.TypeDiscoveryQuery, wire.TypeDiscoveryReply, wire.TypeLogSync,
+		wire.TypeLogSyncAck, wire.TypeSourceAck, wire.TypePrimaryQuery,
+		wire.TypePrimaryRedirect, wire.TypeLogStateQuery,
+		wire.TypeLogStateReply, wire.TypePromote,
+	}
+	p := wire.Packet{
+		Type:   types[rng.Intn(len(types))],
+		Source: wire.SourceID(rng.Intn(3) + 1), // mostly "our" stream
+		Group:  1,
+		Seq:    rng.Uint64() >> uint(rng.Intn(60)), // skew small
+		Epoch:  uint32(rng.Intn(5)),
+	}
+	if rng.Intn(4) == 0 {
+		p.Flags |= wire.FlagRetransmission
+	}
+	switch p.Type {
+	case wire.TypeData, wire.TypeRetrans, wire.TypeLogSync:
+		p.Payload = make([]byte, rng.Intn(64))
+	case wire.TypeHeartbeat:
+		p.HeartbeatIdx = uint32(rng.Intn(10))
+		if rng.Intn(3) == 0 {
+			p.Flags |= wire.FlagInlineData
+			p.Payload = make([]byte, rng.Intn(32))
+		}
+	case wire.TypeNack:
+		n := rng.Intn(4) + 1
+		for i := 0; i < n; i++ {
+			from := rng.Uint64() >> uint(rng.Intn(60))
+			p.Ranges = append(p.Ranges, wire.SeqRange{
+				From: from, To: from + uint64(rng.Intn(1<<uint(rng.Intn(20)))),
+			})
+		}
+	case wire.TypeAckerSelect:
+		p.PAck = rng.Float64()
+		p.K = uint16(rng.Intn(50))
+	case wire.TypeSizeProbe:
+		p.ProbeID = rng.Uint32()
+		p.PAck = rng.Float64()
+	case wire.TypeSizeProbeResponse:
+		p.ProbeID = rng.Uint32()
+	case wire.TypeSourceAck:
+		p.ReplicaSeq = rng.Uint64() >> uint(rng.Intn(60))
+	case wire.TypeDiscoveryReply, wire.TypePrimaryRedirect:
+		if rng.Intn(2) == 0 {
+			p.Addr = "fake:somewhere"
+		} else {
+			p.Addr = "garbage that does not parse"
+		}
+	}
+	return p
+}
+
+// TestHandlersSurviveAdversarialPackets hammers every protocol component
+// with thousands of hostile-but-decodable packets from random peers,
+// interleaved with time advancement. The invariant is simply survival: no
+// panics, no runaway state (timers drain once the noise stops and the
+// component is stopped).
+func TestHandlersSurviveAdversarialPackets(t *testing.T) {
+	build := func(name string) []transport.Handler {
+		sender, err := lbrm.NewSender(lbrm.SenderConfig{
+			Source: 1, Group: 1,
+			Heartbeat: lbrm.HeartbeatParams{HMin: 20 * time.Millisecond, HMax: 160 * time.Millisecond, Backoff: 2},
+			Primary:   transporttest.Addr("primary"),
+			Replicas:  []lbrm.Addr{transporttest.Addr("rep")},
+			StatAck: lbrm.StatAckConfig{Enabled: true, K: 3,
+				GroupSize:            lbrm.GroupSizeConfig{Initial: 5},
+				RTT:                  lbrm.RTTConfig{Initial: 50 * time.Millisecond},
+				FlowControl:          true,
+				NackRemcastThreshold: 2,
+			},
+			RetransChannel:     2,
+			FailoverTimeout:    300 * time.Millisecond,
+			InlineHeartbeatMax: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		receiver := lbrm.NewReceiver(lbrm.ReceiverConfig{
+			Group:     1,
+			Secondary: transporttest.Addr("sec"),
+			Primary:   transporttest.Addr("primary"),
+			Ordered:   true, OrderedBufferMax: 32,
+			RetransChannel: 2,
+			NackDelay:      5 * time.Millisecond,
+			RequestTimeout: 30 * time.Millisecond,
+		})
+		secondary := lbrm.NewSecondaryLogger(lbrm.SecondaryConfig{
+			Group: 1, Primary: transporttest.Addr("primary"),
+			Retention: lbrm.Retention{MaxPackets: 16},
+			NackDelay: 5 * time.Millisecond,
+		})
+		primary := lbrm.NewPrimaryLogger(lbrm.PrimaryConfig{
+			Group:     1,
+			Replicas:  []lbrm.Addr{transporttest.Addr("rep")},
+			Retention: lbrm.Retention{MaxPackets: 16, MaxAge: time.Second},
+			SyncRetry: 50 * time.Millisecond,
+		})
+		replica := lbrm.NewPrimaryLogger(lbrm.PrimaryConfig{Group: 1, Replica: true})
+		return []transport.Handler{sender, receiver, secondary, primary, replica}
+	}
+
+	peers := []transporttest.Addr{"primary", "sec", "rep", "rcv1", "rcv2", "stranger"}
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			handlers := build(t.Name())
+			for hi, h := range handlers {
+				env := transporttest.NewEnv(fmt.Sprintf("h%d", hi))
+				h.Start(env)
+				for i := 0; i < 1500; i++ {
+					p := randomValidPacket(rng)
+					buf, err := p.Marshal()
+					if err != nil {
+						t.Fatalf("generator built invalid packet: %v", err)
+					}
+					h.Recv(peers[rng.Intn(len(peers))], buf)
+					if i%50 == 0 {
+						env.Advance(time.Duration(rng.Intn(100)) * time.Millisecond)
+						env.Sents = nil
+						env.Mcasts = nil
+					}
+				}
+				env.Advance(5 * time.Second)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module lbrm
+
+go 1.22

@@ -1,0 +1,842 @@
+package lbrm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/heartbeat"
+	"lbrm/internal/wire"
+)
+
+// fastHB is a quick heartbeat schedule for tests (50ms..400ms, backoff 2).
+var fastHB = lbrm.HeartbeatParams{
+	HMin: 50 * time.Millisecond, HMax: 400 * time.Millisecond, Backoff: 2,
+}
+
+// tapCounter counts packets by wire type crossing links whose name
+// contains a substring.
+type tapCounter struct {
+	match string
+	count map[wire.Type]int
+}
+
+func newTapCounter(net *lbrm.Network, match string) *tapCounter {
+	tc := &tapCounter{match: match, count: make(map[wire.Type]int)}
+	net.SetTap(func(ev lbrm.TapEvent) {
+		if !strings.Contains(ev.Link.Name(), tc.match) {
+			return
+		}
+		var p wire.Packet
+		if p.Unmarshal(ev.Data) == nil {
+			tc.count[p.Type]++
+		}
+	})
+	return tc
+}
+
+func TestLosslessDelivery(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 1, Sites: 3, ReceiversPerSite: 4,
+		Sender: lbrm.SenderConfig{Heartbeat: fastHB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if _, err := tb.Send([]byte(fmt.Sprintf("update-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		tb.Run(200 * time.Millisecond)
+	}
+	tb.Run(2 * time.Second)
+	for seq := uint64(1); seq <= 10; seq++ {
+		if !tb.EveryoneHas(seq) {
+			t.Fatalf("seq %d delivered to %d/%d receivers",
+				seq, tb.DeliveredCount(seq), tb.TotalReceivers())
+		}
+	}
+	// No recovery traffic at all.
+	for _, site := range tb.Sites {
+		if st := site.Secondary.Stats(); st.NacksFromClients != 0 || st.NacksToPrimary != 0 {
+			t.Fatalf("recovery traffic on lossless run: %+v", st)
+		}
+	}
+	// Sender's retention drained via primary acks.
+	if tb.Sender.Retained() != 0 {
+		t.Fatalf("retained = %d after acks, want 0", tb.Sender.Retained())
+	}
+}
+
+// TestSiteTailLossRecoversViaSecondary is the paper's core distributed
+// logging scenario (§2.2.2 / Figure 7b): a packet lost on one site's tail
+// circuit is missed by all its receivers, yet exactly one NACK crosses the
+// tail circuit and all receivers recover from the site's secondary logger.
+func TestSiteTailLossRecoversViaSecondary(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 2, Sites: 2, ReceiversPerSite: 20,
+		Sender:    lbrm.SenderConfig{Heartbeat: fastHB},
+		Secondary: lbrm.SecondaryConfig{NackDelay: 10 * time.Millisecond},
+		Receiver:  lbrm.ReceiverConfig{NackDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := newTapCounter(tb.Net, "site1/tail-up")
+
+	tb.Send([]byte("one"))
+	tb.Run(200 * time.Millisecond)
+	// Drop the next packet on site1's tail-down: logger and all 20
+	// receivers miss it together.
+	tb.Sites[0].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("two"))
+	tb.Run(200 * time.Millisecond)
+	tb.Send([]byte("three"))
+	tb.Run(3 * time.Second)
+
+	for seq := uint64(1); seq <= 3; seq++ {
+		if !tb.EveryoneHas(seq) {
+			t.Fatalf("seq %d delivered to %d/%d",
+				seq, tb.DeliveredCount(seq), tb.TotalReceivers())
+		}
+	}
+	// The aggregation property: one NACK from the whole site crossed the
+	// tail circuit (not 20).
+	if got := tc.count[wire.TypeNack]; got != 1 {
+		t.Fatalf("NACKs across tail circuit = %d, want 1", got)
+	}
+	sec := tb.Sites[0].Secondary.Stats()
+	if sec.NacksToPrimary != 1 {
+		t.Fatalf("secondary → primary NACKs = %d, want 1", sec.NacksToPrimary)
+	}
+	if sec.NacksFromClients == 0 {
+		t.Fatal("receivers never asked the secondary")
+	}
+	// Local repair went out as a site-scoped re-multicast (20 > threshold),
+	// not 20 unicasts.
+	if sec.Remulticasts < 1 {
+		t.Fatalf("secondary stats = %+v, want a site-scoped re-multicast", sec)
+	}
+}
+
+// TestLocalLossRecoversLocally: a single receiver behind a lossy last hop
+// (the "crying baby", §6) recovers from the site logger with no WAN
+// traffic at all.
+func TestLocalLossRecoversLocally(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 3, Sites: 2, ReceiversPerSite: 5,
+		Sender:   lbrm.SenderConfig{Heartbeat: fastHB},
+		Receiver: lbrm.ReceiverConfig{NackDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Send([]byte("warm"))
+	tb.Run(200 * time.Millisecond)
+
+	tc := newTapCounter(tb.Net, "tail-") // any tail circuit
+	// The unlucky receiver misses the next packet on its own downlink.
+	victim := tb.Sites[0].ReceiverNodes[0]
+	victim.DownLink().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("lost-for-one"))
+	tb.Run(2 * time.Second)
+
+	if !tb.EveryoneHas(2) {
+		t.Fatalf("seq 2 delivered to %d/%d", tb.DeliveredCount(2), tb.TotalReceivers())
+	}
+	if got := tc.count[wire.TypeNack]; got != 0 {
+		t.Fatalf("local loss leaked %d NACKs onto the WAN", got)
+	}
+	if got := tc.count[wire.TypeRetrans]; got != 0 {
+		t.Fatalf("local loss pulled %d retransmissions over the WAN", got)
+	}
+	st := tb.Sites[0].Secondary.Stats()
+	if st.RetransUnicast != 1 {
+		t.Fatalf("secondary stats = %+v, want exactly one unicast repair", st)
+	}
+}
+
+// TestRecoveryLatencyLocalVsRemote quantifies §2.2.2's RTT argument:
+// recovery from the site logger takes on the order of the LAN RTT (~4ms),
+// recovery from the primary across the WAN ~80ms.
+func TestRecoveryLatencyLocalVsRemote(t *testing.T) {
+	measure := func(noSecondaries bool) time.Duration {
+		var recoveredAt time.Time
+		tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+			Seed: 4, Sites: 1, ReceiversPerSite: 1, NoSecondaries: noSecondaries,
+			Sender:   lbrm.SenderConfig{Heartbeat: fastHB},
+			Receiver: lbrm.ReceiverConfig{NackDelay: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcv := tb.Sites[0].Receivers[0]
+		_ = rcv
+		tb.Send([]byte("one"))
+		tb.Run(200 * time.Millisecond)
+		victim := tb.Sites[0].ReceiverNodes[0]
+		victim.DownLink().SetLoss(&lbrm.FirstN{N: 1})
+		tb.Send([]byte("two")) // lost at the victim only
+		var lossDetected time.Time
+		tb.Net.SetTap(func(ev lbrm.TapEvent) {
+			var p wire.Packet
+			if p.Unmarshal(ev.Data) != nil {
+				return
+			}
+			// Measure at the victim's own links: NACK leaving it, repair
+			// reaching it — i.e. the full recovery round trip.
+			if p.Type == wire.TypeNack && lossDetected.IsZero() &&
+				strings.Contains(ev.Link.Name(), "rcv0/up") {
+				lossDetected = ev.Time
+			}
+			if p.Type == wire.TypeRetrans && recoveredAt.IsZero() && !ev.Dropped &&
+				strings.Contains(ev.Link.Name(), "rcv0/down") {
+				recoveredAt = ev.Time
+			}
+		})
+		tb.Send([]byte("three")) // reveals the gap immediately
+		tb.Run(3 * time.Second)
+		if !tb.EveryoneHas(2) {
+			t.Fatal("victim never recovered")
+		}
+		if lossDetected.IsZero() || recoveredAt.IsZero() {
+			t.Fatal("tap missed the recovery exchange")
+		}
+		return recoveredAt.Sub(lossDetected)
+	}
+	local := measure(false)
+	remote := measure(true)
+	if local >= 10*time.Millisecond {
+		t.Fatalf("local recovery took %v, want LAN-scale (<10ms)", local)
+	}
+	if remote < 70*time.Millisecond {
+		t.Fatalf("remote recovery took %v, want WAN-scale (≥70ms)", remote)
+	}
+	if remote < 5*local {
+		t.Fatalf("local %v vs remote %v: expected ~order-of-magnitude gap", local, remote)
+	}
+}
+
+// TestSecondaryFetchesFromPrimary: when the site's logger itself missed
+// the packet (tail loss), it recovers from the primary and then serves its
+// receivers.
+func TestSecondaryFetchesFromPrimary(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 5, Sites: 1, ReceiversPerSite: 3,
+		Sender: lbrm.SenderConfig{Heartbeat: fastHB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Send([]byte("one"))
+	tb.Run(200 * time.Millisecond)
+	tb.Sites[0].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("two"))
+	tb.Run(3 * time.Second)
+	if !tb.EveryoneHas(2) {
+		t.Fatalf("seq 2 delivered to %d/%d", tb.DeliveredCount(2), tb.TotalReceivers())
+	}
+	if st := tb.Sites[0].Secondary.Stats(); st.NacksToPrimary == 0 {
+		t.Fatalf("secondary stats = %+v, expected a fetch from primary", st)
+	}
+	if ps := tb.Primary.Stats(); ps.RetransServed == 0 {
+		t.Fatalf("primary stats = %+v, expected it to serve the secondary", ps)
+	}
+}
+
+// TestHeartbeatRevealsFinalLoss: the last packet before an idle period is
+// lost; only heartbeats can reveal it (§2.1). Detection must happen within
+// HMin of the transmission for this isolated loss.
+func TestHeartbeatRevealsFinalLoss(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 6, Sites: 1, ReceiversPerSite: 1,
+		Sender:   lbrm.SenderConfig{Heartbeat: fastHB},
+		Receiver: lbrm.ReceiverConfig{NackDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Send([]byte("one"))
+	tb.Run(200 * time.Millisecond)
+	tb.Sites[0].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("final")) // lost; no more data follows
+	tb.Run(2 * time.Second)
+	if !tb.EveryoneHas(2) {
+		t.Fatalf("final packet never recovered: %d/%d", tb.DeliveredCount(2), tb.TotalReceivers())
+	}
+}
+
+// TestStatisticalAckRepairsWidespreadLoss: a packet dropped on the source
+// site's tail-up is missed by every site at once. With statistical
+// acknowledgement the source detects the missing ACKs within ~t_wait and
+// re-multicasts once — receivers never need to NACK.
+func TestStatisticalAckRepairsWidespreadLoss(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 7, Sites: 5, ReceiversPerSite: 4,
+		Sender: lbrm.SenderConfig{
+			Heartbeat: lbrm.HeartbeatParams{HMin: 2 * time.Second, HMax: 16 * time.Second, Backoff: 2},
+			StatAck: lbrm.StatAckConfig{
+				Enabled: true, K: 5, EpochInterval: time.Minute,
+				RTT:       lbrm.RTTConfig{Initial: 120 * time.Millisecond},
+				GroupSize: lbrm.GroupSizeConfig{Initial: 5},
+			},
+		},
+		// Long receiver NACK delay: in this test receivers must not be the
+		// ones doing the repairing.
+		Receiver:  lbrm.ReceiverConfig{NackDelay: 10 * time.Second},
+		Secondary: lbrm.SecondaryConfig{NackDelay: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the epoch establish (ACKSEL → responses → switch).
+	tb.Run(2 * time.Second)
+	if tb.Sender.Epoch() != 1 || tb.Sender.AckerCount() == 0 {
+		t.Fatalf("epoch=%d ackers=%d, want established epoch",
+			tb.Sender.Epoch(), tb.Sender.AckerCount())
+	}
+	tb.Send([]byte("warm"))
+	tb.Run(time.Second)
+	// Everyone misses the next packet (drop on source tail-up).
+	tb.SourceSite.TailUp().SetLoss(&lbrm.FirstN{N: 1})
+	sentAt := tb.Net.Clock().Now()
+	tb.Send([]byte("wide-loss"))
+	tb.Run(1500 * time.Millisecond)
+	if !tb.EveryoneHas(2) {
+		t.Fatalf("seq 2 delivered to %d/%d", tb.DeliveredCount(2), tb.TotalReceivers())
+	}
+	if tb.Sender.Stats().StatRemulticasts != 1 {
+		t.Fatalf("sender stats = %+v, want exactly 1 statistical re-multicast", tb.Sender.Stats())
+	}
+	// Repair happened within a small multiple of t_wait, long before any
+	// receiver NACK machinery (10s) could run.
+	elapsed := tb.Net.Clock().Now().Sub(sentAt)
+	if elapsed > 2*time.Second {
+		t.Fatalf("repair window %v too long", elapsed)
+	}
+	var rcvNacks uint64
+	for _, site := range tb.Sites {
+		for _, r := range site.Receivers {
+			rcvNacks += r.Stats().NacksSent
+		}
+	}
+	if rcvNacks != 0 {
+		t.Fatalf("receivers sent %d NACKs; statistical ack should have repaired first", rcvNacks)
+	}
+}
+
+// TestPrimaryFailover: the primary dies; the sender promotes the most
+// up-to-date replica, receivers are redirected, and recovery keeps working.
+func TestPrimaryFailover(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 8, Sites: 2, ReceiversPerSite: 3, Replicas: 2,
+		Sender: lbrm.SenderConfig{
+			Heartbeat:       fastHB,
+			FailoverTimeout: 500 * time.Millisecond,
+			FailoverWait:    100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Send([]byte("one"))
+	tb.Send([]byte("two"))
+	tb.Run(500 * time.Millisecond)
+	if tb.Sender.Retained() != 0 {
+		t.Fatalf("retention not drained before failure: %d", tb.Sender.Retained())
+	}
+	// Kill the primary: all its traffic disappears.
+	gate := &lbrm.Gate{Down: true}
+	tb.PrimaryNode.DownLink().SetLoss(gate)
+	tb.PrimaryNode.UpLink().SetLoss(gate)
+	tb.Send([]byte("three")) // will never be acked by the dead primary
+	tb.Run(3 * time.Second)
+	if tb.Sender.Stats().Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", tb.Sender.Stats().Failovers)
+	}
+	promoted := 0
+	for _, rep := range tb.Replicas {
+		if !rep.IsReplica() {
+			promoted++
+		}
+	}
+	if promoted != 1 {
+		t.Fatalf("promoted replicas = %d, want 1", promoted)
+	}
+	// Retention drains against the new primary.
+	tb.Send([]byte("four"))
+	tb.Run(2 * time.Second)
+	if tb.Sender.Retained() != 0 {
+		t.Fatalf("retention stuck after failover: %d", tb.Sender.Retained())
+	}
+	// Recovery still works: lose a packet at a site and watch it heal via
+	// the promoted primary.
+	tb.Sites[0].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("five"))
+	tb.Run(3 * time.Second)
+	if !tb.EveryoneHas(5) {
+		t.Fatalf("seq 5 delivered to %d/%d after failover", tb.DeliveredCount(5), tb.TotalReceivers())
+	}
+}
+
+// TestReceiverDiscoveryFindsSiteLogger: receivers configured with
+// discovery locate their own site's logger via the site-scoped ring.
+func TestReceiverDiscoveryFindsSiteLogger(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 9, Sites: 2, ReceiversPerSite: 3,
+		Sender:   lbrm.SenderConfig{Heartbeat: fastHB},
+		Receiver: lbrm.ReceiverConfig{Discover: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(time.Second)
+	for i, site := range tb.Sites {
+		want := site.SecondaryNode.Addr()
+		for j, r := range site.Receivers {
+			got := r.SecondaryAddr()
+			if got != want {
+				t.Fatalf("site %d receiver %d discovered %v, want own site logger %v",
+					i, j, got, want)
+			}
+		}
+	}
+	// And recovery through the discovered logger works.
+	tb.Sites[1].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("one"))
+	tb.Run(3 * time.Second)
+	if !tb.EveryoneHas(1) {
+		t.Fatalf("delivery %d/%d", tb.DeliveredCount(1), tb.TotalReceivers())
+	}
+}
+
+// TestBurstOutageDetectionBound reproduces §2.1.1's burst congestion
+// analysis end to end: during a t_burst outage covering a data packet,
+// the loss is detected within the analytic bound after the outage ends.
+func TestBurstOutageDetectionBound(t *testing.T) {
+	for _, burst := range []time.Duration{100 * time.Millisecond, 300 * time.Millisecond, 900 * time.Millisecond} {
+		tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+			Seed: 10, Sites: 1, ReceiversPerSite: 1,
+			Sender:   lbrm.SenderConfig{Heartbeat: fastHB},
+			Receiver: lbrm.ReceiverConfig{NackDelay: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Send([]byte("warm"))
+		tb.Run(time.Second)
+		// Outage on the site tail-down starting exactly at the data packet.
+		start := tb.Net.Clock().Now()
+		tb.Sites[0].Site.TailDown().SetLoss(&lbrm.Outages{
+			Windows: []lbrm.Window{{Start: start, End: start.Add(burst)}},
+		})
+		tb.Send([]byte("lost-in-burst"))
+		tb.Run(burst + 2*time.Second)
+		rcv := tb.Sites[0].Receivers[0]
+		if !tb.EveryoneHas(2) {
+			t.Fatalf("burst %v: never recovered", burst)
+		}
+		if rcv.Stats().GapsDetected == 0 {
+			t.Fatalf("burst %v: loss never detected via heartbeat", burst)
+		}
+	}
+}
+
+// TestManyPacketsRandomLoss soak-tests the whole stack: sustained traffic
+// through independently lossy tail circuits must converge to full
+// delivery.
+func TestManyPacketsRandomLoss(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 11, Sites: 4, ReceiversPerSite: 5,
+		Sender:    lbrm.SenderConfig{Heartbeat: fastHB},
+		Receiver:  lbrm.ReceiverConfig{NackDelay: 10 * time.Millisecond},
+		Secondary: lbrm.SecondaryConfig{NackDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: let heartbeats establish first contact everywhere before
+	// loss begins (a receiver whose very first packet is lost cannot be
+	// distinguished from a late joiner).
+	tb.Run(200 * time.Millisecond)
+	for _, s := range tb.Sites {
+		s.Site.TailDown().SetLoss(lbrm.Bernoulli{P: 0.1})
+	}
+	const n = 100
+	for i := 1; i <= n; i++ {
+		if _, err := tb.Send([]byte(fmt.Sprintf("u%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		tb.Run(100 * time.Millisecond)
+	}
+	tb.Run(10 * time.Second)
+	missing := 0
+	for seq := uint64(1); seq <= n; seq++ {
+		if !tb.EveryoneHas(seq) {
+			missing++
+			t.Logf("seq %d: %d/%d", seq, tb.DeliveredCount(seq), tb.TotalReceivers())
+		}
+	}
+	if missing != 0 {
+		t.Fatalf("%d/%d packets not fully delivered", missing, n)
+	}
+}
+
+// TestFig4SimulatedCrossCheck validates the Figure 4 analytics against the
+// live protocol: a sender publishing every dt emits exactly the
+// heartbeat count the closed form predicts, observed on the wire.
+func TestFig4SimulatedCrossCheck(t *testing.T) {
+	hb := lbrm.HeartbeatParams{HMin: 250 * time.Millisecond, HMax: 32 * time.Second, Backoff: 2}
+	for _, dtSec := range []float64{1, 5, 30} {
+		dt := time.Duration(dtSec * float64(time.Second))
+		tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+			Seed: 21, Sites: 1, ReceiversPerSite: 1,
+			Sender: lbrm.SenderConfig{Heartbeat: hb},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hbCount := 0
+		tb.Net.SetTap(func(ev lbrm.TapEvent) {
+			if ev.Link.Name() != "source-site/tail-up" || ev.Dropped {
+				return
+			}
+			var p wire.Packet
+			if p.Unmarshal(ev.Data) == nil && p.Type == wire.TypeHeartbeat {
+				hbCount++
+			}
+		})
+		const periods = 10
+		// First data packet resets the pre-data heartbeat schedule; count
+		// heartbeats over the following full periods.
+		tb.Send([]byte("start"))
+		hbCount = 0
+		for i := 0; i < periods; i++ {
+			tb.Run(dt)
+			tb.Send([]byte("tick"))
+		}
+		want := periods * heartbeat.CountVariable(heartbeat.Params(hb), dt)
+		if hbCount != want {
+			t.Errorf("dt=%v: observed %d heartbeats on the wire, analytics predict %d",
+				dt, hbCount, want)
+		}
+	}
+}
+
+// TestSecondaryFailureEscalation: the site logger dies; receivers exhaust
+// their retries against it and escalate to the primary, exactly as §2.2.1
+// prescribes ("if the secondary logging service fails, a receiver requests
+// retransmissions directly from the primary").
+func TestSecondaryFailureEscalation(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 31, Sites: 1, ReceiversPerSite: 3,
+		Sender: lbrm.SenderConfig{Heartbeat: fastHB},
+		Receiver: lbrm.ReceiverConfig{
+			NackDelay: 10 * time.Millisecond, RequestTimeout: 100 * time.Millisecond,
+			SecondaryRetries: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Send([]byte("warm"))
+	tb.Run(300 * time.Millisecond)
+	// Kill the site logger entirely.
+	gate := &lbrm.Gate{Down: true}
+	tb.Sites[0].SecondaryNode.UpLink().SetLoss(gate)
+	tb.Sites[0].SecondaryNode.DownLink().SetLoss(gate)
+	// One receiver misses a packet.
+	tb.Sites[0].ReceiverNodes[0].DownLink().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("lost"))
+	tb.Run(5 * time.Second)
+	if !tb.EveryoneHas(2) {
+		t.Fatalf("recovery failed with dead secondary: %d/%d", tb.DeliveredCount(2), tb.TotalReceivers())
+	}
+	rs := tb.Sites[0].Receivers[0].Stats()
+	if rs.Escalations == 0 || rs.NacksToPrimary == 0 {
+		t.Fatalf("receiver did not escalate to the primary: %+v", rs)
+	}
+}
+
+// TestTotalLogFailureAbandons: primary dead, no replicas — the receiver
+// eventually abandons recovery (receiver-reliable semantics: the
+// application learns what was lost and moves on).
+func TestTotalLogFailureAbandons(t *testing.T) {
+	var lost []lbrm.SeqRange
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 32, Sites: 1, ReceiversPerSite: 1,
+		Sender: lbrm.SenderConfig{Heartbeat: fastHB},
+		Receiver: lbrm.ReceiverConfig{
+			NackDelay: 10 * time.Millisecond, RequestTimeout: 100 * time.Millisecond,
+			SecondaryRetries: 1, PrimaryRetries: 1,
+			OnLost: func(k lbrm.StreamKey, rg lbrm.SeqRange) { lost = append(lost, rg) },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Send([]byte("warm"))
+	tb.Run(300 * time.Millisecond)
+	gate := &lbrm.Gate{Down: true}
+	tb.PrimaryNode.UpLink().SetLoss(gate)
+	tb.PrimaryNode.DownLink().SetLoss(gate)
+	tb.Sites[0].SecondaryNode.UpLink().SetLoss(gate)
+	tb.Sites[0].SecondaryNode.DownLink().SetLoss(gate)
+	tb.Sites[0].ReceiverNodes[0].DownLink().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("unrecoverable"))
+	tb.Run(10 * time.Second)
+	if len(lost) != 1 || !lost[0].Contains(2) {
+		t.Fatalf("OnLost = %v, want seq 2 abandoned", lost)
+	}
+	// The stream keeps flowing afterwards.
+	tb.Send([]byte("after"))
+	tb.Run(time.Second)
+	if tb.DeliveredCount(3) != 1 {
+		t.Fatal("stream stalled after abandonment")
+	}
+}
+
+// TestStatAckSurvivesLostSelectionPacket: the Acker Selection Packet
+// itself is lost; the sender's retry establishes the epoch anyway.
+func TestStatAckSurvivesLostSelectionPacket(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 33, Sites: 5, ReceiversPerSite: 1,
+		Sender: lbrm.SenderConfig{
+			Heartbeat: fastHB,
+			StatAck: lbrm.StatAckConfig{
+				Enabled: true, K: 5, EpochInterval: time.Minute,
+				RTT:       lbrm.RTTConfig{Initial: 100 * time.Millisecond},
+				GroupSize: lbrm.GroupSizeConfig{Initial: 5},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The very first multicast (the epoch-1 ACKSEL) dies on the source
+	// tail circuit.
+	tb.SourceSite.TailUp().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Run(3 * time.Second)
+	if tb.Sender.Epoch() != 1 || tb.Sender.AckerCount() == 0 {
+		t.Fatalf("epoch=%d ackers=%d after lost ACKSEL; retry failed",
+			tb.Sender.Epoch(), tb.Sender.AckerCount())
+	}
+}
+
+// TestSpillingPrimaryServesOldPackets: a primary with a tiny memory budget
+// spilling to disk still serves ancient packets to a very late requester.
+func TestSpillingPrimaryServesOldPackets(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 34, Sites: 1, ReceiversPerSite: 1,
+		Sender: lbrm.SenderConfig{Heartbeat: fastHB},
+		Primary: lbrm.PrimaryConfig{
+			Retention: lbrm.Retention{MaxPackets: 3, SpillToDisk: true},
+		},
+		Receiver: lbrm.ReceiverConfig{NackDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 30 packets; the receiver misses #2 but its NACKs can't reach
+	// anyone (its uplink is dead) until much later.
+	upGate := &lbrm.Gate{Down: true}
+	tb.Sites[0].ReceiverNodes[0].UpLink().SetLoss(upGate)
+	tb.Sites[0].ReceiverNodes[0].DownLink().SetLoss(&lbrm.DropSeqs{Indices: map[int]bool{2: true}})
+	// Also keep the site secondary tiny so the old packet is only at the
+	// (spilling) primary.
+	for i := 0; i < 30; i++ {
+		tb.Send([]byte(fmt.Sprintf("u%d", i)))
+		tb.Run(50 * time.Millisecond)
+	}
+	key := lbrm.LogStreamKey{Source: tb.Source, Group: tb.Group}
+	if st := tb.Primary.Store(key); st.Len() > 3 {
+		t.Fatalf("primary memory budget exceeded: %d in memory", st.Len())
+	}
+	if st := tb.Primary.Store(key); !st.Has(2) {
+		t.Fatal("spilled packet no longer servable at primary")
+	}
+	upGate.Down = false // the receiver can finally ask
+	tb.Run(5 * time.Second)
+	if !tb.EveryoneHas(2) {
+		t.Fatalf("ancient packet never recovered: %d/%d", tb.DeliveredCount(2), tb.TotalReceivers())
+	}
+}
+
+// TestOrderedDeliveryUnderJitterAndLoss soaks the ordered-delivery mode:
+// with tail jitter reordering packets and random loss forcing recoveries,
+// every receiver must still observe strictly increasing sequence numbers.
+func TestOrderedDeliveryUnderJitterAndLoss(t *testing.T) {
+	violations := 0
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 41, Sites: 3, ReceiversPerSite: 3,
+		Sender: lbrm.SenderConfig{Heartbeat: fastHB},
+		Receiver: lbrm.ReceiverConfig{
+			Ordered:   true,
+			NackDelay: 20 * time.Millisecond,
+		},
+		// Each receiver gets its own strict-ordering checker: with no
+		// abandonments, ordered delivery must be exactly prev+1.
+		ConfigureReceiver: func(site, idx int, cfg *lbrm.ReceiverConfig) {
+			var last uint64
+			cfg.OnData = func(e lbrm.Event) {
+				if e.Seq != last+1 {
+					violations++
+				}
+				last = e.Seq
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tb.Sites {
+		s.Site.TailDown().SetLoss(lbrm.Bernoulli{P: 0.08})
+	}
+	tb.Run(300 * time.Millisecond) // warm-up contact
+	const n = 60
+	for i := 1; i <= n; i++ {
+		if _, err := tb.Send([]byte(fmt.Sprintf("u%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		tb.Run(50 * time.Millisecond)
+	}
+	tb.Run(10 * time.Second)
+	for seq := uint64(1); seq <= n; seq++ {
+		if !tb.EveryoneHas(seq) {
+			t.Fatalf("seq %d delivered to %d/%d", seq, tb.DeliveredCount(seq), tb.TotalReceivers())
+		}
+	}
+	key := lbrm.StreamKey{Source: tb.Source, Group: tb.Group}
+	for _, s := range tb.Sites {
+		for _, r := range s.Receivers {
+			if r.Contiguous(key) != n {
+				t.Fatalf("receiver contiguity %d, want %d", r.Contiguous(key), n)
+			}
+		}
+	}
+	if violations != 0 {
+		t.Fatalf("%d out-of-order deliveries in ordered mode", violations)
+	}
+}
+
+// TestReplicaDurabilityNoDataLoss validates §2.2.3's retention argument
+// end to end: with ReleaseOnReplicaAck the sender keeps packets until a
+// replica has them, so even when the primary dies after acknowledging but
+// before replicating, the promoted replica is backfilled from the
+// sender's buffer and no packet is ever unrecoverable.
+func TestReplicaDurabilityNoDataLoss(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 51, Sites: 1, ReceiversPerSite: 2, Replicas: 1,
+		Sender: lbrm.SenderConfig{
+			Heartbeat:       fastHB,
+			Durability:      lbrm.ReleaseOnReplicaAck,
+			FailoverTimeout: 400 * time.Millisecond,
+			FailoverWait:    100 * time.Millisecond,
+		},
+		// Replication is slow: the primary acks the source well before the
+		// replica has the data — the §2.2.3 danger window.
+		Primary: lbrm.PrimaryConfig{SyncRetry: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The eager LogSync for the first packet is lost, so the replica has
+	// nothing until the (slow) retry — the danger window stays open.
+	tb.ReplicaNodes[0].DownLink().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("one"))
+	tb.Run(100 * time.Millisecond)
+	// Primary has acked seq 1 (primary seq), but the replica's LogSync is
+	// still in flight at best. With replica durability the sender must
+	// still be holding it.
+	if tb.Sender.Retained() == 0 {
+		t.Fatal("sender released before replica durability was reached")
+	}
+	// The primary dies inside the window.
+	gate := &lbrm.Gate{Down: true}
+	tb.PrimaryNode.UpLink().SetLoss(gate)
+	tb.PrimaryNode.DownLink().SetLoss(gate)
+	tb.Run(3 * time.Second) // failover: replica promoted, backfilled
+	if tb.Sender.Stats().Failovers != 1 {
+		t.Fatalf("failovers = %d", tb.Sender.Stats().Failovers)
+	}
+	promoted := tb.Replicas[0]
+	if promoted.IsReplica() {
+		t.Fatal("replica not promoted")
+	}
+	key := lbrm.LogStreamKey{Source: tb.Source, Group: tb.Group}
+	if got := promoted.Contiguous(key); got != 1 {
+		t.Fatalf("promoted log contiguous = %d, want 1 (backfilled from sender retention)", got)
+	}
+	// The replica's own LogSync was dropped, so the packet can only have
+	// come from the sender's retention buffer during failover.
+	// The log service remains fully functional: a receiver that lost the
+	// packet recovers it from the promoted primary.
+	tb.Sites[0].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("two"))
+	tb.Run(3 * time.Second)
+	if !tb.EveryoneHas(2) {
+		t.Fatalf("recovery after failover failed: %d/%d", tb.DeliveredCount(2), tb.TotalReceivers())
+	}
+	// And the new acks drain the sender's buffer.
+	if tb.Sender.Retained() != 0 {
+		t.Fatalf("retention = %d after promoted primary acked", tb.Sender.Retained())
+	}
+}
+
+// TestPrimaryAckDurabilityWindow documents the contrast: with the default
+// ReleaseOnPrimaryAck the same crash makes the packet unrecoverable from
+// the logging service — exactly why §2.2.3 adds the replica sequence
+// number for applications that need it.
+func TestPrimaryAckDurabilityWindow(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 52, Sites: 1, ReceiversPerSite: 1, Replicas: 1,
+		Sender: lbrm.SenderConfig{
+			Heartbeat:       fastHB,
+			Durability:      lbrm.ReleaseOnPrimaryAck, // the weaker default
+			FailoverTimeout: 400 * time.Millisecond,
+			FailoverWait:    100 * time.Millisecond,
+		},
+		Primary: lbrm.PrimaryConfig{SyncRetry: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The eager LogSync is lost; the slow retry never happens before the
+	// crash.
+	tb.ReplicaNodes[0].DownLink().SetLoss(&lbrm.FirstN{N: 1})
+	// The receiver also misses the packet (it only ever existed at the
+	// primary).
+	tb.Sites[0].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("doomed"))
+	tb.Run(100 * time.Millisecond)
+	if tb.Sender.Retained() != 0 {
+		t.Fatal("primary-ack durability should have released already")
+	}
+	gate := &lbrm.Gate{Down: true}
+	tb.PrimaryNode.UpLink().SetLoss(gate)
+	tb.PrimaryNode.DownLink().SetLoss(gate)
+	// Failover triggers on unacknowledged backlog; send one more packet
+	// into the void.
+	tb.Send([]byte("trigger"))
+	tb.Run(5 * time.Second)
+	promoted := tb.Replicas[0]
+	if promoted.IsReplica() {
+		t.Fatal("replica not promoted")
+	}
+	key := lbrm.LogStreamKey{Source: tb.Source, Group: tb.Group}
+	// Seq 1 ("doomed") was released before replication and died with the
+	// primary: the promoted log can never become contiguous through it.
+	// Seq 2 ("trigger") was still retained and is backfilled.
+	st := promoted.Store(key)
+	if st == nil {
+		t.Fatal("no stream at promoted primary")
+	}
+	if st.Has(1) {
+		t.Fatal("seq 1 survived; expected it lost (released before replication)")
+	}
+	if !st.Has(2) {
+		t.Fatal("retained seq 2 not backfilled to the promoted primary")
+	}
+}

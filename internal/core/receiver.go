@@ -1,0 +1,818 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"lbrm/internal/heartbeat"
+	"lbrm/internal/seqtrack"
+	"lbrm/internal/transport"
+	"lbrm/internal/vtime"
+	"lbrm/internal/wire"
+)
+
+// Event is one delivered application packet.
+type Event struct {
+	Stream  StreamKey
+	Seq     uint64
+	Payload []byte
+	// Retransmitted marks packets recovered rather than received on the
+	// first transmission.
+	Retransmitted bool
+}
+
+// StreamKey identifies one source's stream within a group.
+type StreamKey struct {
+	Source wire.SourceID
+	Group  wire.GroupID
+}
+
+// ReceiverConfig configures an LBRM receiver.
+type ReceiverConfig struct {
+	// Group is the multicast group to subscribe to.
+	Group wire.GroupID
+	// Heartbeat mirrors the senders' heartbeat parameters so the receiver
+	// can compute when the next packet is due (freshness tracking).
+	Heartbeat heartbeat.Params
+	// Secondary is the local logging server to request retransmissions
+	// from. Nil with Discover set finds one by scoped multicast (§2.2.1);
+	// nil without Discover goes straight to Primary.
+	Secondary transport.Addr
+	// Primary is the primary logging server (escalation target).
+	Primary transport.Addr
+	// Discover enables expanding-ring logger discovery.
+	Discover bool
+	// DiscoveryTimeout bounds each discovery ring before widening.
+	DiscoveryTimeout time.Duration
+	// NackDelay is the reorder allowance before a retransmission request
+	// ("a short retransmission request timer", Appendix A).
+	NackDelay time.Duration
+	// RequestTimeout is the per-request retry interval.
+	RequestTimeout time.Duration
+	// SecondaryRetries is how many requests go to the secondary before
+	// escalating to the primary ("if the secondary logging service fails,
+	// a receiver requests retransmissions directly from the primary").
+	SecondaryRetries int
+	// PrimaryRetries is how many requests go to the primary before asking
+	// the source who the primary is (failover, §2.2.3).
+	PrimaryRetries int
+	// StaleFactor and StaleSlack control freshness: a stream is stale when
+	// nothing arrives for StaleFactor × the expected inter-packet interval
+	// plus StaleSlack.
+	StaleFactor float64
+	StaleSlack  time.Duration
+	// Ordered buffers out-of-order packets and delivers in sequence
+	// (message ordering is an application-level concern in LBRM; this is a
+	// convenience for applications that want it).
+	Ordered bool
+	// RetransChannel (§7 extension): on loss, subscribe to the sender's
+	// retransmission channel and wait RetransWait for a replay before
+	// falling back to NACK recovery. 0 disables.
+	RetransChannel wire.GroupID
+	// RetransWait bounds the subscription before NACK fallback (default
+	// 3×Heartbeat.HMin, covering the first two replays).
+	RetransWait time.Duration
+	// OrderedBufferMax caps the out-of-order buffer in Ordered mode
+	// (default 1024 packets per stream). On overflow the oldest gap is
+	// force-abandoned so delivery can proceed — bounded memory beats
+	// unbounded waiting for a packet that may never come.
+	OrderedBufferMax int
+	// RecoveryWindow caps how many sequence numbers behind the stream head
+	// the receiver will chase (default 4096). Falling further behind — or
+	// receiving a forged sequence number — skips the stream ahead,
+	// reporting the skipped span through OnLost. Freshness over
+	// completeness, and a bound on per-packet work and state.
+	RecoveryWindow uint64
+
+	// OnData is called for every delivered packet (required to observe
+	// data). The payload is only valid during the call.
+	OnData func(Event)
+	// OnStale is called once when a stream goes stale; the duration is the
+	// observed silence.
+	OnStale func(StreamKey, time.Duration)
+	// OnFresh is called when a stale stream resumes.
+	OnFresh func(StreamKey)
+	// OnLost is called when recovery of a range is abandoned.
+	OnLost func(StreamKey, wire.SeqRange)
+}
+
+func (c ReceiverConfig) withDefaults() ReceiverConfig {
+	if c.Heartbeat == (heartbeat.Params{}) {
+		c.Heartbeat = heartbeat.DefaultParams
+	}
+	if c.DiscoveryTimeout == 0 {
+		c.DiscoveryTimeout = 200 * time.Millisecond
+	}
+	if c.NackDelay == 0 {
+		c.NackDelay = 10 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 250 * time.Millisecond
+	}
+	if c.SecondaryRetries == 0 {
+		c.SecondaryRetries = 3
+	}
+	if c.PrimaryRetries == 0 {
+		c.PrimaryRetries = 3
+	}
+	if c.StaleFactor == 0 {
+		c.StaleFactor = 2
+	}
+	if c.StaleSlack == 0 {
+		c.StaleSlack = 100 * time.Millisecond
+	}
+	if c.RetransChannel != 0 && c.RetransWait == 0 {
+		c.RetransWait = 3 * c.Heartbeat.HMin
+	}
+	if c.Ordered && c.OrderedBufferMax == 0 {
+		c.OrderedBufferMax = 1024
+	}
+	if c.RecoveryWindow == 0 {
+		c.RecoveryWindow = 4096
+	}
+	return c
+}
+
+// ReceiverStats counts a receiver's protocol activity.
+type ReceiverStats struct {
+	DataDelivered      uint64
+	Duplicates         uint64
+	HeartbeatsSeen     uint64
+	GapsDetected       uint64
+	NacksSent          uint64
+	NacksToSecondary   uint64
+	NacksToPrimary     uint64
+	Recovered          uint64
+	RecoveredInline    uint64
+	Escalations        uint64
+	PrimaryQueries     uint64
+	RangesAbandoned    uint64
+	StaleEpisodes      uint64
+	DiscoveryQueries   uint64
+	DiscoveredLogger   uint64
+	Malformed          uint64
+	OrderedBuffered    uint64
+	OrderedOutOfWindow uint64
+	ChannelJoins       uint64 // retransmission-channel subscriptions (§7)
+	ChannelRecoveries  uint64 // losses healed by channel replays
+	SkippedAhead       uint64 // recovery-window skips (fell too far behind)
+}
+
+// recovery escalation phases.
+const (
+	phaseSecondary = iota
+	phasePrimary
+	phaseQueried
+)
+
+// Receiver is an LBRM receiver endpoint.
+type Receiver struct {
+	cfg       ReceiverConfig
+	env       transport.Env
+	secondary transport.Addr
+	streams   map[StreamKey]*rcvStream
+	stats     ReceiverStats
+
+	discovering  bool
+	discoveryTTL int
+
+	// §7 retransmission-channel subscription state (receiver-wide).
+	channelJoined bool
+	channelTimer  vtime.Timer
+
+	stopped bool
+}
+
+type rcvStream struct {
+	key    StreamKey
+	source transport.Addr
+	// sequence tracking (no payload retention).
+	track  seqtrack.Tracker
+	hbHigh uint64
+	// ordered-mode buffer.
+	buffer map[uint64][]byte
+	// recovery.
+	primary     transport.Addr
+	nackTimer   vtime.Timer
+	retryTimer  vtime.Timer
+	phase       int
+	retries     int
+	gaveUpBelow uint64
+	// freshness.
+	lastArrival time.Time
+	staleTimer  vtime.Timer
+	stale       bool
+	// latency accounting for experiments: seq → time the loss was first
+	// detectable (gap observed).
+	gapSince map[uint64]time.Time
+	// recoveryTimes records detection→delivery per recovered seq.
+	recoveryTimes map[uint64]time.Duration
+}
+
+// NewReceiver returns a receiver for cfg.
+func NewReceiver(cfg ReceiverConfig) *Receiver {
+	return &Receiver{
+		cfg:       cfg.withDefaults(),
+		secondary: cfg.Secondary,
+		streams:   make(map[StreamKey]*rcvStream),
+	}
+}
+
+// Stats returns a snapshot of the receiver's counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// Stop halts the receiver: recovery, freshness and discovery timers cease
+// and incoming packets are ignored. Safe to call once.
+func (r *Receiver) Stop() {
+	r.stopped = true
+	for _, st := range r.streams {
+		if st.staleTimer != nil {
+			st.staleTimer.Stop()
+		}
+		if st.nackTimer != nil {
+			st.nackTimer.Stop()
+		}
+		if st.retryTimer != nil {
+			st.retryTimer.Stop()
+		}
+	}
+}
+
+// after schedules fn guarded by the stopped flag.
+func (r *Receiver) after(d time.Duration, fn func()) vtime.Timer {
+	return r.env.AfterFunc(d, func() {
+		if !r.stopped {
+			fn()
+		}
+	})
+}
+
+// SecondaryAddr returns the logging server currently used for recovery
+// (nil when none is known yet).
+func (r *Receiver) SecondaryAddr() transport.Addr { return r.secondary }
+
+// Contiguous returns the stream's in-order watermark (for tests).
+func (r *Receiver) Contiguous(key StreamKey) uint64 {
+	if st := r.streams[key]; st != nil {
+		return st.track.Contiguous()
+	}
+	return 0
+}
+
+// Stale reports whether the stream is currently considered stale.
+func (r *Receiver) Stale(key StreamKey) bool {
+	if st := r.streams[key]; st != nil {
+		return st.stale
+	}
+	return false
+}
+
+// Start implements transport.Handler.
+func (r *Receiver) Start(env transport.Env) {
+	r.env = env
+	if err := env.Join(r.cfg.Group); err != nil {
+		panic("core: receiver failed to join group: " + err.Error())
+	}
+	if r.secondary == nil && r.cfg.Discover {
+		r.discoverLogger(transport.TTLSite)
+	}
+}
+
+// Recv implements transport.Handler.
+func (r *Receiver) Recv(from transport.Addr, data []byte) {
+	if r.stopped {
+		return
+	}
+	var p wire.Packet
+	if err := p.Unmarshal(data); err != nil {
+		r.stats.Malformed++
+		return
+	}
+	if p.Group != r.cfg.Group {
+		return
+	}
+	switch p.Type {
+	case wire.TypeData, wire.TypeRetrans:
+		r.onData(from, &p)
+	case wire.TypeHeartbeat:
+		r.onHeartbeat(from, &p)
+	case wire.TypeDiscoveryReply:
+		r.onDiscoveryReply(&p)
+	case wire.TypePrimaryRedirect:
+		r.onRedirect(&p)
+	}
+}
+
+func (r *Receiver) stream(key StreamKey) *rcvStream {
+	st := r.streams[key]
+	if st == nil {
+		st = &rcvStream{
+			key:           key,
+			primary:       r.cfg.Primary,
+			gapSince:      make(map[uint64]time.Time),
+			recoveryTimes: make(map[uint64]time.Duration),
+		}
+		if r.cfg.Ordered {
+			st.buffer = make(map[uint64][]byte)
+		}
+		r.streams[key] = st
+	}
+	return st
+}
+
+// --- sequence bookkeeping (shared tracker plus recovery filtering) ---
+
+// missing returns the outstanding ranges: tracker gaps up to the highest
+// seen (data or heartbeat-implied), minus anything already abandoned.
+func (st *rcvStream) missing(cap int) []wire.SeqRange {
+	hi := st.track.Highest()
+	if st.hbHigh > hi {
+		hi = st.hbHigh
+	}
+	var out []wire.SeqRange
+	for _, rg := range st.track.Missing(hi, cap) {
+		if rg.To <= st.gaveUpBelow {
+			continue
+		}
+		if rg.From <= st.gaveUpBelow {
+			rg.From = st.gaveUpBelow + 1
+		}
+		out = append(out, rg)
+		if len(out) == cap {
+			break
+		}
+	}
+	return out
+}
+
+// --- data path ---
+
+func (r *Receiver) onData(from transport.Addr, p *wire.Packet) {
+	st := r.stream(StreamKey{Source: p.Source, Group: p.Group})
+	if p.Type == wire.TypeData && p.Flags&wire.FlagFromLogger == 0 {
+		st.source = from
+	}
+	r.touch(st, p)
+	// Late join: deliver from here on; history is not fetched.
+	if !st.track.Contacted() && p.Seq > 0 {
+		st.track.SetBase(p.Seq - 1)
+	}
+	r.ingest(st, p.Seq, p.Payload, p.Flags&wire.FlagRetransmission != 0)
+}
+
+// ingest marks a sequence number as received and delivers its payload.
+func (r *Receiver) ingest(st *rcvStream, seq uint64, payload []byte, retrans bool) {
+	if !st.track.Mark(seq) {
+		r.stats.Duplicates++
+		return
+	}
+	if retrans {
+		r.stats.Recovered++
+		if r.channelJoined {
+			r.stats.ChannelRecoveries++
+		}
+		if at, ok := st.gapSince[seq]; ok {
+			st.recoveryTimes[seq] = r.env.Now().Sub(at)
+			delete(st.gapSince, seq)
+		}
+	}
+	if r.cfg.Ordered {
+		r.deliverOrdered(st, seq, payload, retrans)
+	} else {
+		r.deliver(st, seq, payload, retrans)
+	}
+	r.checkGaps(st)
+}
+
+func (r *Receiver) deliver(st *rcvStream, seq uint64, payload []byte, retrans bool) {
+	r.stats.DataDelivered++
+	if r.cfg.OnData != nil {
+		r.cfg.OnData(Event{Stream: st.key, Seq: seq, Payload: payload, Retransmitted: retrans})
+	}
+}
+
+// deliverOrdered buffers out-of-order arrivals and flushes in sequence.
+func (r *Receiver) deliverOrdered(st *rcvStream, seq uint64, payload []byte, retrans bool) {
+	st.buffer[seq] = append([]byte(nil), payload...)
+	r.stats.OrderedBuffered++
+	// Everything up to the contiguity watermark is in order; flush what
+	// the buffer covers. Note Mark already advanced it through seq when
+	// possible.
+	flushUpTo := st.track.Contiguous()
+	var ready []uint64
+	for q := range st.buffer {
+		if q <= flushUpTo {
+			ready = append(ready, q)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	for _, q := range ready {
+		r.deliver(st, q, st.buffer[q], retrans && q == seq)
+		delete(st.buffer, q)
+	}
+	// Bounded memory: on overflow, force-abandon the oldest outstanding
+	// gap so the stream can flush past it.
+	if len(st.buffer) > r.cfg.OrderedBufferMax {
+		if miss := st.missing(1); len(miss) > 0 {
+			r.abandon(st, miss[:1])
+		}
+	}
+}
+
+func (r *Receiver) onHeartbeat(from transport.Addr, p *wire.Packet) {
+	st := r.stream(StreamKey{Source: p.Source, Group: p.Group})
+	st.source = from
+	r.stats.HeartbeatsSeen++
+	r.touch(st, p)
+	// First contact via heartbeat: adopt the current position (no-op once
+	// contacted).
+	st.track.SetBase(p.Seq)
+	if p.Seq > st.hbHigh {
+		st.hbHigh = p.Seq
+	}
+	if p.Flags&wire.FlagInlineData != 0 && p.Seq > 0 && !st.track.Seen(p.Seq) {
+		r.stats.RecoveredInline++
+		r.ingest(st, p.Seq, p.Payload, true)
+		return
+	}
+	r.checkGaps(st)
+}
+
+// --- loss recovery ---
+
+// clampWindow enforces RecoveryWindow: when the stream head is more than
+// a window ahead of the contiguity watermark, skip forward and report the
+// abandoned span.
+func (r *Receiver) clampWindow(st *rcvStream) {
+	hi := st.track.Highest()
+	if st.hbHigh > hi {
+		hi = st.hbHigh
+	}
+	contig := st.track.Contiguous()
+	if hi <= contig+r.cfg.RecoveryWindow {
+		return
+	}
+	skipTo := hi - r.cfg.RecoveryWindow
+	st.track.Advance(skipTo)
+	if skipTo > st.gaveUpBelow {
+		st.gaveUpBelow = skipTo
+	}
+	for seq := range st.gapSince {
+		if seq <= skipTo {
+			delete(st.gapSince, seq)
+		}
+	}
+	if r.cfg.Ordered {
+		for q := range st.buffer {
+			if q <= skipTo {
+				delete(st.buffer, q)
+			}
+		}
+	}
+	r.stats.SkippedAhead++
+	if r.cfg.OnLost != nil {
+		r.cfg.OnLost(st.key, wire.SeqRange{From: contig + 1, To: skipTo})
+	}
+}
+
+func (r *Receiver) checkGaps(st *rcvStream) {
+	r.clampWindow(st)
+	miss := st.missing(wire.MaxNackRanges)
+	if len(miss) == 0 {
+		r.maybeLeaveChannel()
+		return
+	}
+	now := r.env.Now()
+	for _, rg := range miss {
+		for seq := rg.From; seq <= rg.To; seq++ {
+			if _, ok := st.gapSince[seq]; !ok {
+				st.gapSince[seq] = now
+				r.stats.GapsDetected++
+			}
+		}
+	}
+	if st.nackTimer != nil || st.retryTimer != nil {
+		return
+	}
+	// §7 extension: try the retransmission channel first; NACK recovery
+	// starts only if the replays don't heal us within RetransWait.
+	delay := r.cfg.NackDelay
+	if r.cfg.RetransChannel != 0 {
+		r.joinChannel()
+		delay += r.cfg.RetransWait
+	}
+	st.nackTimer = r.after(delay, func() {
+		st.nackTimer = nil
+		st.phase = phaseSecondary
+		st.retries = 0
+		r.requestRetransmission(st)
+	})
+}
+
+// joinChannel subscribes to the sender's retransmission channel.
+func (r *Receiver) joinChannel() {
+	if r.channelJoined {
+		return
+	}
+	if err := r.env.Join(r.cfg.RetransChannel); err != nil {
+		return
+	}
+	r.channelJoined = true
+	r.stats.ChannelJoins++
+}
+
+// maybeLeaveChannel unsubscribes once no stream is missing anything.
+func (r *Receiver) maybeLeaveChannel() {
+	if !r.channelJoined {
+		return
+	}
+	for _, st := range r.streams {
+		if len(st.missing(1)) > 0 {
+			return
+		}
+	}
+	_ = r.env.Leave(r.cfg.RetransChannel)
+	r.channelJoined = false
+}
+
+// RecoveryTimes returns, per recovered sequence number, the delay from
+// loss detection to delivery (for experiments).
+func (r *Receiver) RecoveryTimes(key StreamKey) map[uint64]time.Duration {
+	st := r.streams[key]
+	if st == nil {
+		return nil
+	}
+	out := make(map[uint64]time.Duration, len(st.recoveryTimes))
+	for k, v := range st.recoveryTimes {
+		out[k] = v
+	}
+	return out
+}
+
+// GapAges returns, for experiments, how long each currently-missing
+// sequence number has been outstanding.
+func (r *Receiver) GapAges(key StreamKey) map[uint64]time.Duration {
+	st := r.streams[key]
+	if st == nil {
+		return nil
+	}
+	out := make(map[uint64]time.Duration, len(st.gapSince))
+	now := r.env.Now()
+	for seq, t := range st.gapSince {
+		out[seq] = now.Sub(t)
+	}
+	return out
+}
+
+// requestRetransmission sends one NACK for everything missing, to the
+// current recovery target, escalating through the logging hierarchy.
+func (r *Receiver) requestRetransmission(st *rcvStream) {
+	miss := st.missing(wire.MaxNackRanges)
+	if len(miss) == 0 {
+		st.retries = 0
+		st.phase = phaseSecondary
+		return
+	}
+	target := r.target(st)
+	if target == nil {
+		r.escalate(st, miss)
+		return
+	}
+	nack := wire.Packet{
+		Type: wire.TypeNack, Source: st.key.Source, Group: st.key.Group,
+		Ranges: miss,
+	}
+	buf, err := nack.Marshal()
+	if err != nil {
+		return
+	}
+	_ = r.env.Send(target, buf)
+	r.stats.NacksSent++
+	if st.phase == phaseSecondary {
+		r.stats.NacksToSecondary++
+	} else {
+		r.stats.NacksToPrimary++
+	}
+	st.retries++
+	st.retryTimer = r.after(r.cfg.RequestTimeout, func() {
+		st.retryTimer = nil
+		if r.phaseExhausted(st) {
+			r.escalate(st, nil)
+			return
+		}
+		r.requestRetransmission(st)
+	})
+}
+
+// target returns the recovery peer for the stream's current phase.
+func (r *Receiver) target(st *rcvStream) transport.Addr {
+	switch st.phase {
+	case phaseSecondary:
+		if r.secondary != nil {
+			return r.secondary
+		}
+		return nil
+	default:
+		return st.primary
+	}
+}
+
+func (r *Receiver) phaseExhausted(st *rcvStream) bool {
+	switch st.phase {
+	case phaseSecondary:
+		return st.retries >= r.cfg.SecondaryRetries
+	case phasePrimary:
+		return st.retries >= r.cfg.PrimaryRetries
+	default:
+		return st.retries >= r.cfg.PrimaryRetries
+	}
+}
+
+// escalate moves the recovery episode up the hierarchy: secondary →
+// primary → ask the source for the current primary → abandon.
+func (r *Receiver) escalate(st *rcvStream, miss []wire.SeqRange) {
+	switch st.phase {
+	case phaseSecondary:
+		st.phase = phasePrimary
+		st.retries = 0
+		r.stats.Escalations++
+		r.requestRetransmission(st)
+	case phasePrimary:
+		st.phase = phaseQueried
+		st.retries = 0
+		if st.source != nil {
+			q := wire.Packet{
+				Type: wire.TypePrimaryQuery, Source: st.key.Source, Group: st.key.Group,
+			}
+			if buf, err := q.Marshal(); err == nil {
+				_ = r.env.Send(st.source, buf)
+				r.stats.PrimaryQueries++
+			}
+			// Give the redirect a round trip before retrying the primary.
+			st.retryTimer = r.after(r.cfg.RequestTimeout, func() {
+				st.retryTimer = nil
+				r.requestRetransmission(st)
+			})
+			return
+		}
+		r.requestRetransmission(st)
+	default:
+		if miss == nil {
+			miss = st.missing(wire.MaxNackRanges)
+		}
+		r.abandon(st, miss)
+	}
+}
+
+// abandon gives up on the listed ranges: freshness over completeness. The
+// abandoned sequence numbers are marked resolved so the in-order watermark
+// advances past the hole.
+func (r *Receiver) abandon(st *rcvStream, miss []wire.SeqRange) {
+	for _, rg := range miss {
+		if rg.To > st.gaveUpBelow {
+			st.gaveUpBelow = rg.To
+		}
+		for seq := rg.From; seq <= rg.To; seq++ {
+			delete(st.gapSince, seq)
+			st.track.Mark(seq)
+		}
+		r.stats.RangesAbandoned++
+		if r.cfg.OnLost != nil {
+			r.cfg.OnLost(st.key, rg)
+		}
+	}
+	st.phase = phaseSecondary
+	st.retries = 0
+	if r.cfg.Ordered {
+		// Flush buffered packets stranded behind the abandoned range, in
+		// order.
+		var ready []uint64
+		for q := range st.buffer {
+			if q <= st.track.Contiguous() {
+				ready = append(ready, q)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		for _, q := range ready {
+			r.deliver(st, q, st.buffer[q], false)
+			delete(st.buffer, q)
+		}
+	}
+	// More gaps may remain beyond the abandoned ones.
+	r.checkGaps(st)
+}
+
+// --- freshness ---
+
+// touch resets the stream's staleness deadline from the packet just
+// received: the next packet is due within the heartbeat schedule's next
+// interval.
+func (r *Receiver) touch(st *rcvStream, p *wire.Packet) {
+	now := r.env.Now()
+	st.lastArrival = now
+	if st.stale {
+		st.stale = false
+		if r.cfg.OnFresh != nil {
+			r.cfg.OnFresh(st.key)
+		}
+	}
+	if st.staleTimer != nil {
+		st.staleTimer.Stop()
+	}
+	interval := r.expectedNext(p)
+	wait := time.Duration(float64(interval)*r.cfg.StaleFactor) + r.cfg.StaleSlack
+	st.staleTimer = r.after(wait, func() {
+		st.staleTimer = nil
+		st.stale = true
+		r.stats.StaleEpisodes++
+		if r.cfg.OnStale != nil {
+			r.cfg.OnStale(st.key, r.env.Now().Sub(st.lastArrival))
+		}
+	})
+}
+
+// expectedNext returns the maximum time until the sender's next
+// transmission, per the variable heartbeat schedule: after a data packet
+// the next heartbeat comes within HMin; after the i-th heartbeat, within
+// HMin·backoff^i (capped at HMax).
+func (r *Receiver) expectedNext(p *wire.Packet) time.Duration {
+	hb := r.cfg.Heartbeat
+	if p.Type != wire.TypeHeartbeat {
+		return hb.HMin
+	}
+	iv := hb.HMin
+	for i := uint32(0); i < p.HeartbeatIdx; i++ {
+		iv = time.Duration(float64(iv) * hb.Backoff)
+		if iv >= hb.HMax || iv <= 0 {
+			return hb.HMax
+		}
+	}
+	if iv > hb.HMax {
+		iv = hb.HMax
+	}
+	return iv
+}
+
+// --- logger discovery (§2.2.1) ---
+
+func (r *Receiver) discoverLogger(ttl int) {
+	if r.secondary != nil {
+		return
+	}
+	r.discovering = true
+	r.discoveryTTL = ttl
+	q := wire.Packet{Type: wire.TypeDiscoveryQuery, Group: r.cfg.Group}
+	buf, err := q.Marshal()
+	if err != nil {
+		return
+	}
+	_ = r.env.Multicast(r.cfg.Group, ttl, buf)
+	r.stats.DiscoveryQueries++
+	r.after(r.cfg.DiscoveryTimeout, func() {
+		if r.secondary != nil || !r.discovering {
+			return
+		}
+		switch ttl {
+		case transport.TTLSite:
+			r.discoverLogger(transport.TTLRegion)
+		case transport.TTLRegion:
+			r.discoverLogger(transport.TTLGlobal)
+		default:
+			// Nobody answered: recovery will use the primary directly.
+			r.discovering = false
+		}
+	})
+}
+
+func (r *Receiver) onDiscoveryReply(p *wire.Packet) {
+	if r.secondary != nil {
+		return // first (nearest) reply wins
+	}
+	addr, err := r.env.ParseAddr(p.Addr)
+	if err != nil {
+		r.stats.Malformed++
+		return
+	}
+	r.secondary = addr
+	r.discovering = false
+	r.stats.DiscoveredLogger++
+}
+
+func (r *Receiver) onRedirect(p *wire.Packet) {
+	addr, err := r.env.ParseAddr(p.Addr)
+	if err != nil {
+		r.stats.Malformed++
+		return
+	}
+	st := r.stream(StreamKey{Source: p.Source, Group: p.Group})
+	// A redirect naming the primary we already tried carries no new
+	// information: let the escalation run its course (otherwise a source
+	// that keeps naming a dead primary pins us in a retry loop forever).
+	same := st.primary == addr
+	st.primary = addr
+	if st.phase == phaseQueried && !same {
+		// A genuinely new primary may serve what we were about to abandon.
+		st.phase = phasePrimary
+		st.retries = 0
+	}
+}

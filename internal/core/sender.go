@@ -1,0 +1,887 @@
+// Package core implements the LBRM protocol endpoints: the multicast
+// Sender (§2: sequence numbers, MaxIT/variable heartbeats, retention until
+// the primary logger acknowledges, statistical acknowledgement §2.3,
+// primary failover §2.2.3) and the Receiver (loss detection by sequence
+// gap or idle timeout, hierarchical recovery through the logging service,
+// freshness tracking).
+//
+// Both are transport.Handlers: reactive state machines that run unchanged
+// over the deterministic simulator and real UDP multicast.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lbrm/internal/estimator"
+	"lbrm/internal/heartbeat"
+	"lbrm/internal/transport"
+	"lbrm/internal/vtime"
+	"lbrm/internal/wire"
+)
+
+// Durability selects when the sender may release a retained packet (§2.2.3).
+type Durability int
+
+const (
+	// ReleaseOnPrimaryAck frees a packet once the primary logger has it
+	// (the paper's base behaviour: "the sender's application may continue
+	// processing").
+	ReleaseOnPrimaryAck Durability = iota
+	// ReleaseOnReplicaAck additionally waits for the replicated-logger
+	// sequence number, guaranteeing the log survives a primary failure.
+	ReleaseOnReplicaAck
+)
+
+// StatAckConfig tunes statistical acknowledgement (§2.3). The zero value
+// disables it.
+type StatAckConfig struct {
+	// Enabled turns the mechanism on.
+	Enabled bool
+	// K is the desired positive acknowledgements per packet (5–20).
+	K int
+	// EpochInterval rotates Designated Ackers this often.
+	EpochInterval time.Duration
+	// EpochPackets rotates after this many data packets, whichever of the
+	// two triggers first (0 disables the packet trigger).
+	EpochPackets int
+	// RTT configures the t_wait estimator.
+	RTT estimator.RTTConfig
+	// GroupSize configures the N_sl estimator.
+	GroupSize estimator.GroupSizeConfig
+	// Probe configures the bootstrap population probing; probing is
+	// skipped when GroupSize.Initial is set.
+	Probe estimator.ProbePlan
+	// ProbeInterval spaces bootstrap probe rounds.
+	ProbeInterval time.Duration
+	// RemcastSiteThreshold: a missing ACK triggers an immediate multicast
+	// retransmission when the missing ackers represent strictly more than
+	// this many sites (N_sl/k sites per acker). With 25 sites per acker
+	// one missing ACK warrants a multicast; with 1 site per acker it does
+	// not (§2.3.2's 500-site vs 20-site examples).
+	RemcastSiteThreshold float64
+	// NackRemcastThreshold: distinct NACK requesters for one packet that
+	// make the source re-multicast instead of relying on unicast repair.
+	NackRemcastThreshold int
+	// HotlistHalfLife and HotlistThreshold configure faulty-acker
+	// detection; zero values take defaults.
+	HotlistHalfLife  time.Duration
+	HotlistThreshold float64
+	// FlowControl enables the paper's §5 future-work idea: "use
+	// statistical acknowledgement information to slow down the sender
+	// during periods of high loss." The sender keeps an EWMA of the
+	// missing-ACK fraction and advises a pacing delay through
+	// Sender.SendDelay; the application applies it.
+	FlowControl bool
+	// FlowLowWater / FlowHighWater bracket the loss estimate: no delay
+	// below the low water mark, maximum delay at or above the high water
+	// mark (defaults 0.05 and 0.5).
+	FlowLowWater, FlowHighWater float64
+	// FlowMaxDelay is the pacing delay at the high water mark (default
+	// 4×t_wait at the time of the query).
+	FlowMaxDelay time.Duration
+}
+
+// SenderConfig configures an LBRM source.
+type SenderConfig struct {
+	// Source identifies this stream.
+	Source wire.SourceID
+	// Group is the multicast group data is published to.
+	Group wire.GroupID
+	// Heartbeat parametrizes the variable heartbeat (§2.1);
+	// heartbeat.Fixed(h) yields the fixed-rate baseline.
+	Heartbeat heartbeat.Params
+	// Primary is the primary logging server. Nil runs the basic
+	// receiver-reliable protocol with no logging service (the sender then
+	// serves NACKs from its retention buffer only).
+	Primary transport.Addr
+	// Replicas lists the primary's replicas, for failover.
+	Replicas []transport.Addr
+	// Durability selects the retention release rule.
+	Durability Durability
+	// RetainLimit caps retained unreleased packets; Send fails beyond it.
+	RetainLimit int
+	// StatAck tunes statistical acknowledgement.
+	StatAck StatAckConfig
+	// InlineHeartbeatMax: payloads up to this size ride inside heartbeat
+	// packets (0 disables; paper §7 extension).
+	InlineHeartbeatMax int
+	// RetransChannel enables the paper's §7 retransmission-channel
+	// extension: every data packet is replayed on this separate multicast
+	// group with exponentially backed-off spacing, so receivers can
+	// recover losses by subscribing instead of sending NACKs. 0 disables.
+	RetransChannel wire.GroupID
+	// RetransRepeats is how many times each packet is replayed (default 3).
+	RetransRepeats int
+	// RetransStart is the delay to the first replay; the i-th replay
+	// happens RetransStart·2^i after the original transmission (default
+	// Heartbeat.HMin).
+	RetransStart time.Duration
+	// FailoverTimeout: with unacknowledged retained packets and no
+	// SourceAck for this long, the sender starts primary failover
+	// (0 disables failover).
+	FailoverTimeout time.Duration
+	// FailoverWait is how long to collect LogStateReplies before
+	// promoting the best replica.
+	FailoverWait time.Duration
+}
+
+func (c SenderConfig) withDefaults() SenderConfig {
+	if c.Heartbeat == (heartbeat.Params{}) {
+		c.Heartbeat = heartbeat.DefaultParams
+	}
+	if c.RetainLimit == 0 {
+		c.RetainLimit = 4096
+	}
+	if c.StatAck.Enabled {
+		if c.StatAck.K == 0 {
+			c.StatAck.K = 20
+		}
+		if c.StatAck.EpochInterval == 0 {
+			c.StatAck.EpochInterval = 30 * time.Second
+		}
+		if c.StatAck.ProbeInterval == 0 {
+			c.StatAck.ProbeInterval = 500 * time.Millisecond
+		}
+		if c.StatAck.RemcastSiteThreshold == 0 {
+			c.StatAck.RemcastSiteThreshold = 1
+		}
+		if c.StatAck.NackRemcastThreshold == 0 {
+			c.StatAck.NackRemcastThreshold = 3
+		}
+		if c.StatAck.HotlistHalfLife == 0 {
+			c.StatAck.HotlistHalfLife = 4 * c.StatAck.EpochInterval
+		}
+		if c.StatAck.HotlistThreshold == 0 {
+			c.StatAck.HotlistThreshold = 3
+		}
+		if c.StatAck.GroupSize.K == 0 {
+			c.StatAck.GroupSize.K = c.StatAck.K
+		}
+		if c.StatAck.FlowControl {
+			if c.StatAck.FlowLowWater == 0 {
+				c.StatAck.FlowLowWater = 0.05
+			}
+			if c.StatAck.FlowHighWater == 0 {
+				c.StatAck.FlowHighWater = 0.5
+			}
+		}
+	}
+	if c.RetransChannel != 0 {
+		if c.RetransRepeats == 0 {
+			c.RetransRepeats = 3
+		}
+		if c.RetransStart == 0 {
+			c.RetransStart = c.Heartbeat.HMin
+		}
+	}
+	if c.FailoverWait == 0 {
+		c.FailoverWait = time.Second
+	}
+	return c
+}
+
+// SenderStats counts a sender's protocol activity.
+type SenderStats struct {
+	DataSent          uint64
+	HeartbeatsSent    uint64
+	InlineHeartbeats  uint64
+	AcksReceived      uint64
+	AcksIgnoredFaulty uint64
+	StatRemulticasts  uint64 // re-multicasts triggered by missing ACKs
+	NackRemulticasts  uint64 // re-multicasts triggered by NACK volume
+	RetransUnicast    uint64
+	NacksReceived     uint64
+	SourceAcks        uint64
+	EpochsStarted     uint64
+	AckerResponses    uint64
+	ProbesSent        uint64
+	ProbeResponses    uint64
+	Failovers         uint64
+	RedirectsServed   uint64
+	ChannelReplays    uint64 // retransmission-channel replays (§7)
+	SendErrors        uint64
+	Malformed         uint64
+}
+
+// ErrRetainLimit is returned by Send when the retention buffer is full
+// (the logging service is not keeping up or is unreachable).
+var ErrRetainLimit = errors.New("core: retention buffer full")
+
+// ErrNotStarted is returned by Send before Start.
+var ErrNotStarted = errors.New("core: sender not started")
+
+// Sender is an LBRM multicast source.
+type Sender struct {
+	cfg SenderConfig
+	env transport.Env
+
+	seq      uint64
+	lastData *wire.Packet // most recent data packet (for inline heartbeats)
+	schedule *heartbeat.Schedule
+	hbTimer  vtime.Timer
+
+	// Retention until the logging service acknowledges.
+	retained     map[uint64]*retainedPkt
+	primaryAcked uint64 // cumulative primary logger seq
+	replicaAcked uint64 // cumulative replicated logger seq
+	lastAckAt    time.Time
+
+	primary  transport.Addr
+	failover *failoverState
+
+	// Statistical acknowledgement.
+	epoch        uint32
+	ackers       map[transport.Addr]bool // current epoch's Designated Ackers
+	nextAckers   map[transport.Addr]bool // collecting for the next epoch
+	epochPackets int
+	selecting    bool
+	rtt          *estimator.RTT
+	groupSize    *estimator.GroupSize
+	prober       *estimator.Prober
+	probeID      uint32
+	probeCount   int
+	hotlist      *estimator.Hotlist[transport.Addr]
+	pending      map[uint64]*pendingAck
+	// lossEWMA tracks the missing-ACK fraction for flow control (§5).
+	lossEWMA float64
+
+	// NACK-demand re-multicast bookkeeping.
+	nackDemand map[uint64]*nackWindow
+
+	stopped bool
+	// scratch is the reusable wire-encoding buffer: both transport
+	// bindings copy the datagram before returning, so reuse is safe.
+	scratch []byte
+	stats   SenderStats
+}
+
+type retainedPkt struct {
+	seq     uint64
+	payload []byte
+}
+
+type pendingAck struct {
+	seq    uint64
+	sentAt time.Time
+	epoch  uint32
+	// payload is held until the t_wait deadline so a re-multicast is
+	// possible even after the primary's ack released the retention copy.
+	payload  []byte
+	expected int
+	acks     map[transport.Addr]bool
+	timer    vtime.Timer
+}
+
+type nackWindow struct {
+	requesters  map[transport.Addr]bool
+	remulticast bool
+}
+
+// NewSender returns a sender for cfg.
+func NewSender(cfg SenderConfig) (*Sender, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Heartbeat.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sender{
+		cfg:        cfg,
+		retained:   make(map[uint64]*retainedPkt),
+		pending:    make(map[uint64]*pendingAck),
+		nackDemand: make(map[uint64]*nackWindow),
+		primary:    cfg.Primary,
+		ackers:     make(map[transport.Addr]bool),
+	}
+	var err error
+	if s.schedule, err = heartbeat.NewSchedule(cfg.Heartbeat); err != nil {
+		return nil, err
+	}
+	if cfg.StatAck.Enabled {
+		if s.rtt, err = estimator.NewRTT(cfg.StatAck.RTT); err != nil {
+			return nil, err
+		}
+		if s.groupSize, err = estimator.NewGroupSize(cfg.StatAck.GroupSize); err != nil {
+			return nil, err
+		}
+		s.hotlist = estimator.NewHotlist[transport.Addr](
+			cfg.StatAck.HotlistHalfLife, cfg.StatAck.HotlistThreshold)
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the sender's counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// Stop halts the sender: heartbeats, epoch rotation, replays and failover
+// cease; Send returns ErrNotStarted afterwards. Safe to call once.
+func (s *Sender) Stop() {
+	s.stopped = true
+	if s.hbTimer != nil {
+		s.hbTimer.Stop()
+	}
+}
+
+// after schedules fn guarded by the stopped flag, so a stopped sender's
+// timer chains die out.
+func (s *Sender) after(d time.Duration, fn func()) vtime.Timer {
+	return s.env.AfterFunc(d, func() {
+		if !s.stopped {
+			fn()
+		}
+	})
+}
+
+// LastSeq returns the last data sequence number sent.
+func (s *Sender) LastSeq() uint64 { return s.seq }
+
+// Retained returns the number of unreleased packets.
+func (s *Sender) Retained() int { return len(s.retained) }
+
+// Epoch returns the current statistical-ack epoch (0 before the first).
+func (s *Sender) Epoch() uint32 { return s.epoch }
+
+// AckerCount returns the number of Designated Ackers in the current epoch.
+func (s *Sender) AckerCount() int { return len(s.ackers) }
+
+// GroupSizeEstimate returns the current N_sl estimate (0 when unknown or
+// statistical acking is off).
+func (s *Sender) GroupSizeEstimate() float64 {
+	if s.groupSize == nil {
+		return 0
+	}
+	return s.groupSize.Estimate()
+}
+
+// TWait returns the current t_wait (0 when statistical acking is off).
+func (s *Sender) TWait() time.Duration {
+	if s.rtt == nil {
+		return 0
+	}
+	return s.rtt.TWait()
+}
+
+// LossEstimate returns the EWMA of the missing-ACK fraction observed
+// through statistical acknowledgement (0 when disabled or lossless).
+func (s *Sender) LossEstimate() float64 { return s.lossEWMA }
+
+// SendDelay advises how long the application should pace before its next
+// Send, per the §5 flow-control extension: zero below the low water mark,
+// scaling linearly to FlowMaxDelay at the high water mark. It is advisory;
+// Send itself never blocks.
+func (s *Sender) SendDelay() time.Duration {
+	if !s.cfg.StatAck.FlowControl {
+		return 0
+	}
+	lo, hi := s.cfg.StatAck.FlowLowWater, s.cfg.StatAck.FlowHighWater
+	if s.lossEWMA <= lo {
+		return 0
+	}
+	frac := (s.lossEWMA - lo) / (hi - lo)
+	if frac > 1 {
+		frac = 1
+	}
+	maxDelay := s.cfg.StatAck.FlowMaxDelay
+	if maxDelay == 0 {
+		maxDelay = 4 * s.rtt.TWait()
+	}
+	return time.Duration(frac * float64(maxDelay))
+}
+
+// observeLoss folds one packet's missing-ACK fraction into the flow
+// control estimate.
+func (s *Sender) observeLoss(sample float64) {
+	const alpha = 1.0 / 8
+	s.lossEWMA = alpha*sample + (1-alpha)*s.lossEWMA
+}
+
+// Start implements transport.Handler.
+func (s *Sender) Start(env transport.Env) {
+	s.env = env
+	s.lastAckAt = env.Now()
+	// MaxIT guarantee: heartbeats flow even before the first data packet.
+	s.armHeartbeat(s.schedule.OnData())
+	if s.cfg.StatAck.Enabled {
+		if s.cfg.StatAck.GroupSize.Initial > 0 {
+			s.startEpoch()
+		} else {
+			s.prober = estimator.NewProber(s.cfg.StatAck.Probe)
+			s.probeRound()
+		}
+	}
+	if s.cfg.FailoverTimeout > 0 && s.primary != nil {
+		s.after(s.cfg.FailoverTimeout, s.failoverCheck)
+	}
+}
+
+// Send multicasts one application payload, assigning it the next sequence
+// number. It returns the sequence number.
+func (s *Sender) Send(payload []byte) (uint64, error) {
+	if s.env == nil || s.stopped {
+		return 0, ErrNotStarted
+	}
+	if len(payload) > wire.MaxPayloadLen {
+		return 0, fmt.Errorf("core: payload %d exceeds max %d", len(payload), wire.MaxPayloadLen)
+	}
+	if len(s.retained) >= s.cfg.RetainLimit {
+		s.stats.SendErrors++
+		return 0, ErrRetainLimit
+	}
+	s.seq++
+	seq := s.seq
+	p := wire.Packet{
+		Type: wire.TypeData, Source: s.cfg.Source, Group: s.cfg.Group,
+		Seq: seq, Epoch: s.epoch, Payload: payload,
+	}
+	s.multicast(&p)
+	s.stats.DataSent++
+	s.lastData = &p
+	s.retained[seq] = &retainedPkt{seq: seq, payload: append([]byte(nil), payload...)}
+	s.epochPackets++
+	if s.cfg.RetransChannel != 0 {
+		s.scheduleChannelReplays(&p)
+	}
+	s.armHeartbeat(s.schedule.OnData())
+	if s.cfg.StatAck.Enabled && s.epoch > 0 {
+		s.trackAcks(&p)
+		if s.cfg.StatAck.EpochPackets > 0 && s.epochPackets >= s.cfg.StatAck.EpochPackets && !s.selecting {
+			s.beginSelection()
+		}
+	}
+	return seq, nil
+}
+
+// Recv implements transport.Handler.
+func (s *Sender) Recv(from transport.Addr, data []byte) {
+	var p wire.Packet
+	if err := p.Unmarshal(data); err != nil {
+		s.stats.Malformed++
+		return
+	}
+	if p.Source != s.cfg.Source || p.Group != s.cfg.Group {
+		return
+	}
+	switch p.Type {
+	case wire.TypeSourceAck:
+		s.onSourceAck(&p)
+	case wire.TypeAck:
+		s.onAck(from, &p)
+	case wire.TypeAckerResponse:
+		s.onAckerResponse(from, &p)
+	case wire.TypeSizeProbeResponse:
+		s.onProbeResponse(&p)
+	case wire.TypeNack:
+		s.onNack(from, &p)
+	case wire.TypePrimaryQuery:
+		s.onPrimaryQuery(from)
+	case wire.TypeLogStateReply:
+		s.onLogStateReply(from, &p)
+	}
+}
+
+// --- heartbeats ---
+
+func (s *Sender) armHeartbeat(d time.Duration) {
+	if s.hbTimer != nil {
+		s.hbTimer.Stop()
+	}
+	s.hbTimer = s.after(d, s.fireHeartbeat)
+}
+
+func (s *Sender) fireHeartbeat() {
+	p := wire.Packet{
+		Type: wire.TypeHeartbeat, Source: s.cfg.Source, Group: s.cfg.Group,
+		Seq: s.seq, Epoch: s.epoch,
+	}
+	next := s.schedule.OnHeartbeat()
+	p.HeartbeatIdx = s.schedule.Index()
+	if s.cfg.InlineHeartbeatMax > 0 && s.lastData != nil &&
+		len(s.lastData.Payload) <= s.cfg.InlineHeartbeatMax {
+		p.Flags |= wire.FlagInlineData
+		p.Payload = s.lastData.Payload
+		s.stats.InlineHeartbeats++
+	}
+	s.multicast(&p)
+	s.stats.HeartbeatsSent++
+	s.hbTimer = s.after(next, s.fireHeartbeat)
+}
+
+// --- retention & primary ack ---
+
+func (s *Sender) onSourceAck(p *wire.Packet) {
+	s.stats.SourceAcks++
+	s.lastAckAt = s.env.Now()
+	if p.Seq > s.primaryAcked {
+		s.primaryAcked = p.Seq
+	}
+	if p.ReplicaSeq > s.replicaAcked {
+		s.replicaAcked = p.ReplicaSeq
+	}
+	release := s.primaryAcked
+	if s.cfg.Durability == ReleaseOnReplicaAck && s.replicaAcked < release {
+		release = s.replicaAcked
+	}
+	for seq := range s.retained {
+		if seq <= release {
+			delete(s.retained, seq)
+		}
+	}
+}
+
+// onNack serves retransmission requests from the retention buffer (the
+// primary recovering its own losses, or receivers in the no-logger basic
+// mode). Heavy distinct demand for one packet triggers a re-multicast.
+func (s *Sender) onNack(from transport.Addr, p *wire.Packet) {
+	s.stats.NacksReceived++
+	const budget = 1024
+	n := 0
+	for _, r := range p.Ranges {
+		for seq := r.From; seq <= r.To && n < budget; seq++ {
+			n++
+			s.serveNack(from, seq)
+		}
+	}
+}
+
+func (s *Sender) serveNack(from transport.Addr, seq uint64) {
+	rp := s.retained[seq]
+	if rp == nil {
+		return // released: the logging service has it
+	}
+	out := wire.Packet{
+		Type: wire.TypeRetrans, Flags: wire.FlagRetransmission,
+		Source: s.cfg.Source, Group: s.cfg.Group, Seq: seq, Payload: rp.payload,
+	}
+	if s.cfg.StatAck.Enabled {
+		w := s.nackDemand[seq]
+		if w == nil {
+			w = &nackWindow{requesters: make(map[transport.Addr]bool)}
+			s.nackDemand[seq] = w
+			s.after(time.Second, func() { delete(s.nackDemand, seq) })
+		}
+		w.requesters[from] = true
+		if w.remulticast {
+			return
+		}
+		if len(w.requesters) >= s.cfg.StatAck.NackRemcastThreshold {
+			w.remulticast = true
+			s.multicast(&out)
+			s.stats.NackRemulticasts++
+			return
+		}
+	}
+	s.send(from, &out)
+	s.stats.RetransUnicast++
+}
+
+// scheduleChannelReplays arms the §7 retransmission-channel replays for a
+// just-sent data packet: the i-th replay goes out RetransStart·2^i after
+// the original transmission, on the dedicated channel. The wire header
+// keeps the data group so receivers file it under the right stream.
+func (s *Sender) scheduleChannelReplays(p *wire.Packet) {
+	replay := wire.Packet{
+		Type: wire.TypeRetrans, Flags: wire.FlagRetransmission,
+		Source: p.Source, Group: p.Group, Seq: p.Seq, Epoch: p.Epoch,
+		Payload: append([]byte(nil), p.Payload...),
+	}
+	buf, err := replay.Marshal()
+	if err != nil {
+		s.stats.SendErrors++
+		return
+	}
+	delay := s.cfg.RetransStart
+	for i := 0; i < s.cfg.RetransRepeats; i++ {
+		s.after(delay, func() {
+			if err := s.env.Multicast(s.cfg.RetransChannel, transport.TTLGlobal, buf); err != nil {
+				s.stats.SendErrors++
+				return
+			}
+			s.stats.ChannelReplays++
+		})
+		delay *= 2
+	}
+}
+
+// --- statistical acknowledgement ---
+
+// probeRound runs one Bolot bootstrap round (§2.3.3).
+func (s *Sender) probeRound() {
+	pAck, ok := s.prober.NextProbe()
+	if !ok {
+		est := s.prober.Estimate()
+		s.groupSize.Seed(est)
+		s.startEpoch()
+		return
+	}
+	s.probeID++
+	s.probeCount = 0
+	probe := wire.Packet{
+		Type: wire.TypeSizeProbe, Source: s.cfg.Source, Group: s.cfg.Group,
+		ProbeID: s.probeID, PAck: pAck,
+	}
+	s.multicast(&probe)
+	s.stats.ProbesSent++
+	s.after(s.cfg.StatAck.ProbeInterval, func() {
+		s.prober.ObserveRound(s.probeCount)
+		s.probeRound()
+	})
+}
+
+func (s *Sender) onProbeResponse(p *wire.Packet) {
+	if p.ProbeID == s.probeID {
+		s.probeCount++
+		s.stats.ProbeResponses++
+	}
+}
+
+// startEpoch announces epoch+1 via an Acker Selection Packet and collects
+// responses for a selection window before switching (§2.3.1, Figure 8).
+func (s *Sender) startEpoch() {
+	s.beginSelection()
+}
+
+func (s *Sender) beginSelection() {
+	if s.selecting {
+		return
+	}
+	s.selecting = true
+	next := s.epoch + 1
+	pAck := s.groupSize.PAck()
+	sel := wire.Packet{
+		Type: wire.TypeAckerSelect, Source: s.cfg.Source, Group: s.cfg.Group,
+		Epoch: next, PAck: pAck, K: uint16(s.cfg.StatAck.K),
+	}
+	s.nextAckers = make(map[transport.Addr]bool)
+	s.multicast(&sel)
+	wait := 2 * s.rtt.TWait()
+	s.after(wait, func() { s.finishSelection(next, pAck) })
+}
+
+func (s *Sender) finishSelection(next uint32, pAck float64) {
+	if len(s.nextAckers) == 0 {
+		// Nobody volunteered (loggers not up yet, or the selection packet
+		// was lost): retry soon without burning the epoch number.
+		s.nextAckers = nil
+		s.selecting = false
+		retry := 2 * s.rtt.TWait()
+		if retry < 500*time.Millisecond {
+			retry = 500 * time.Millisecond
+		}
+		s.after(retry, func() {
+			if !s.selecting {
+				s.beginSelection()
+			}
+		})
+		return
+	}
+	// Responses to the selection double as a population probe.
+	s.groupSize.Observe(len(s.nextAckers), pAck)
+	s.epoch = next
+	s.epochPackets = 0
+	s.ackers = s.nextAckers
+	s.nextAckers = nil
+	s.selecting = false
+	s.stats.EpochsStarted++
+	s.after(s.cfg.StatAck.EpochInterval, func() {
+		if !s.selecting {
+			s.beginSelection()
+		}
+	})
+}
+
+func (s *Sender) onAckerResponse(from transport.Addr, p *wire.Packet) {
+	if s.nextAckers == nil || p.Epoch != s.epoch+1 {
+		return
+	}
+	now := s.env.Now()
+	s.hotlist.Record(from, now)
+	if s.hotlist.Faulty(from, now) {
+		s.stats.AcksIgnoredFaulty++
+		return
+	}
+	s.nextAckers[from] = true
+	s.stats.AckerResponses++
+}
+
+// trackAcks sets up the per-packet t_wait deadline for a just-sent data
+// packet.
+func (s *Sender) trackAcks(p *wire.Packet) {
+	if len(s.ackers) == 0 {
+		return
+	}
+	pa := &pendingAck{
+		seq: p.Seq, sentAt: s.env.Now(), epoch: p.Epoch,
+		payload:  append([]byte(nil), p.Payload...),
+		expected: len(s.ackers),
+		acks:     make(map[transport.Addr]bool),
+	}
+	s.pending[p.Seq] = pa
+	pa.timer = s.after(s.rtt.TWait(), func() { s.ackDeadline(pa) })
+}
+
+func (s *Sender) onAck(from transport.Addr, p *wire.Packet) {
+	pa := s.pending[p.Seq]
+	if pa == nil {
+		return
+	}
+	if !s.ackers[from] {
+		s.stats.AcksIgnoredFaulty++
+		return // not a Designated Acker for this epoch (or faulty)
+	}
+	if pa.acks[from] {
+		return
+	}
+	pa.acks[from] = true
+	s.stats.AcksReceived++
+	if len(pa.acks) >= pa.expected {
+		// All expected ACKs in: sample the RTT and retire the packet.
+		s.rtt.Observe(s.env.Now().Sub(pa.sentAt))
+		s.observeLoss(0)
+		pa.timer.Stop()
+		delete(s.pending, pa.seq)
+	}
+}
+
+// ackDeadline fires t_wait after a data packet: missing ACKs mean the
+// packet plausibly missed whole sites, so re-multicast it immediately when
+// the missing ackers represent enough sites (§2.3.2).
+func (s *Sender) ackDeadline(pa *pendingAck) {
+	delete(s.pending, pa.seq)
+	missing := pa.expected - len(pa.acks)
+	if missing <= 0 {
+		return
+	}
+	// Cap the RTT sample: the last ACK "arrived" at 2×t_wait.
+	s.rtt.Observe(s.rtt.Cap())
+	s.observeLoss(float64(missing) / float64(pa.expected))
+	sitesPerAcker := 1.0
+	if est := s.groupSize.Estimate(); est > 0 && pa.expected > 0 {
+		sitesPerAcker = est / float64(pa.expected)
+	}
+	if float64(missing)*sitesPerAcker > s.cfg.StatAck.RemcastSiteThreshold {
+		out := wire.Packet{
+			Type: wire.TypeRetrans, Flags: wire.FlagRetransmission,
+			Source: s.cfg.Source, Group: s.cfg.Group, Seq: pa.seq,
+			Epoch: pa.epoch, Payload: pa.payload,
+		}
+		s.multicast(&out)
+		s.stats.StatRemulticasts++
+	}
+}
+
+// --- failover (§2.2.3) ---
+
+func (s *Sender) failoverCheck() {
+	if s.failover != nil {
+		return
+	}
+	idle := s.env.Now().Sub(s.lastAckAt)
+	if len(s.retained) > 0 && idle >= s.cfg.FailoverTimeout && len(s.cfg.Replicas) > 0 {
+		s.beginFailover()
+	} else {
+		s.after(s.cfg.FailoverTimeout, s.failoverCheck)
+	}
+}
+
+type failoverState struct {
+	best     transport.Addr
+	bestSeq  uint64
+	haveAny  bool
+	finished bool
+}
+
+func (s *Sender) beginFailover() {
+	fo := &failoverState{}
+	s.failover = fo
+	q := wire.Packet{
+		Type: wire.TypeLogStateQuery, Source: s.cfg.Source, Group: s.cfg.Group,
+	}
+	for _, r := range s.cfg.Replicas {
+		s.send(r, &q)
+	}
+	s.after(s.cfg.FailoverWait, func() { s.completeFailover(fo) })
+}
+
+func (s *Sender) onLogStateReply(from transport.Addr, p *wire.Packet) {
+	fo := s.failover
+	if fo == nil || fo.finished {
+		return
+	}
+	if !fo.haveAny || p.Seq > fo.bestSeq {
+		fo.haveAny = true
+		fo.best = from
+		fo.bestSeq = p.Seq
+	}
+}
+
+func (s *Sender) completeFailover(fo *failoverState) {
+	fo.finished = true
+	s.failover = nil
+	if !fo.haveAny {
+		// No replica answered; retry later.
+		s.after(s.cfg.FailoverTimeout, s.failoverCheck)
+		return
+	}
+	s.stats.Failovers++
+	s.primary = fo.best
+	prom := wire.Packet{
+		Type: wire.TypePromote, Source: s.cfg.Source, Group: s.cfg.Group,
+	}
+	s.send(fo.best, &prom)
+	// Bring the new primary up to date from the retention buffer.
+	for seq, rp := range s.retained {
+		if seq <= fo.bestSeq {
+			continue
+		}
+		r := wire.Packet{
+			Type: wire.TypeRetrans, Flags: wire.FlagRetransmission,
+			Source: s.cfg.Source, Group: s.cfg.Group, Seq: seq, Payload: rp.payload,
+		}
+		s.send(fo.best, &r)
+	}
+	// Tell the group where the log lives now.
+	redir := wire.Packet{
+		Type: wire.TypePrimaryRedirect, Source: s.cfg.Source, Group: s.cfg.Group,
+		Addr: fo.best.String(),
+	}
+	s.multicast(&redir)
+	s.after(s.cfg.FailoverTimeout, s.failoverCheck)
+}
+
+func (s *Sender) onPrimaryQuery(from transport.Addr) {
+	if s.primary == nil {
+		return
+	}
+	redir := wire.Packet{
+		Type: wire.TypePrimaryRedirect, Source: s.cfg.Source, Group: s.cfg.Group,
+		Addr: s.primary.String(),
+	}
+	s.send(from, &redir)
+	s.stats.RedirectsServed++
+}
+
+// --- plumbing ---
+
+func (s *Sender) multicast(p *wire.Packet) {
+	buf, err := p.AppendMarshal(s.scratch[:0])
+	if err != nil {
+		s.stats.SendErrors++
+		return
+	}
+	s.scratch = buf
+	if err := s.env.Multicast(s.cfg.Group, transport.TTLGlobal, buf); err != nil {
+		s.stats.SendErrors++
+	}
+}
+
+func (s *Sender) send(to transport.Addr, p *wire.Packet) {
+	buf, err := p.AppendMarshal(s.scratch[:0])
+	if err != nil {
+		s.stats.SendErrors++
+		return
+	}
+	s.scratch = buf
+	if err := s.env.Send(to, buf); err != nil {
+		s.stats.SendErrors++
+	}
+}

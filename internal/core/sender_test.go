@@ -1,0 +1,682 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lbrm/internal/estimator"
+	"lbrm/internal/heartbeat"
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/transporttest"
+	"lbrm/internal/wire"
+)
+
+const (
+	tGroup  = wire.GroupID(3)
+	tSource = wire.SourceID(11)
+)
+
+var (
+	tPrimary  = transporttest.Addr("primary")
+	tReplica1 = transporttest.Addr("replica1")
+	tReplica2 = transporttest.Addr("replica2")
+	tLoggerA  = transporttest.Addr("loggerA")
+	tLoggerB  = transporttest.Addr("loggerB")
+	tLoggerC  = transporttest.Addr("loggerC")
+)
+
+func mustPkt(t *testing.T, p wire.Packet) []byte {
+	t.Helper()
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func newSender(t *testing.T, cfg SenderConfig) (*Sender, *transporttest.Env) {
+	t.Helper()
+	if cfg.Source == 0 {
+		cfg.Source = tSource
+	}
+	if cfg.Group == 0 {
+		cfg.Group = tGroup
+	}
+	if cfg.Primary == nil {
+		cfg.Primary = tPrimary
+	}
+	s, err := NewSender(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := transporttest.NewEnv("sender")
+	s.Start(env)
+	return s, env
+}
+
+// hbParams is a fast schedule for tests: 10ms..80ms, backoff 2.
+var hbParams = heartbeat.Params{HMin: 10 * time.Millisecond, HMax: 80 * time.Millisecond, Backoff: 2}
+
+func TestSenderSendAssignsSequenceNumbers(t *testing.T) {
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams})
+	for i := 1; i <= 3; i++ {
+		seq, err := s.Send([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	pkts := env.McastPackets()
+	if len(pkts) != 3 {
+		t.Fatalf("multicast %d packets, want 3", len(pkts))
+	}
+	for i, p := range pkts {
+		if p.Type != wire.TypeData || p.Seq != uint64(i+1) || p.Source != tSource {
+			t.Fatalf("packet %d = %+v", i, p)
+		}
+	}
+	if env.Mcasts[0].TTL != transport.TTLGlobal {
+		t.Fatalf("data TTL = %d, want global", env.Mcasts[0].TTL)
+	}
+}
+
+func TestSenderHeartbeatScheduleAndReset(t *testing.T) {
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams})
+	s.Send([]byte("d1"))
+	env.Mcasts = nil
+	// Idle 75ms: heartbeats at +10, +30 (10+20), +70 (30+40) → 3.
+	env.Advance(75 * time.Millisecond)
+	hbs := env.McastPackets()
+	if len(hbs) != 3 {
+		t.Fatalf("heartbeats = %d, want 3", len(hbs))
+	}
+	for i, p := range hbs {
+		if p.Type != wire.TypeHeartbeat || p.Seq != 1 || p.HeartbeatIdx != uint32(i+1) {
+			t.Fatalf("heartbeat %d = %+v", i, p)
+		}
+	}
+	// Data resets the schedule.
+	env.Mcasts = nil
+	s.Send([]byte("d2"))
+	env.Advance(12 * time.Millisecond)
+	pkts := env.McastPackets()
+	if len(pkts) != 2 || pkts[1].Type != wire.TypeHeartbeat || pkts[1].HeartbeatIdx != 1 {
+		t.Fatalf("after reset got %v", pkts)
+	}
+	if s.Stats().HeartbeatsSent != 4 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestSenderHeartbeatsBeforeFirstData(t *testing.T) {
+	_, env := newSender(t, SenderConfig{Heartbeat: hbParams})
+	env.Advance(12 * time.Millisecond)
+	pkts := env.McastPackets()
+	if len(pkts) != 1 || pkts[0].Type != wire.TypeHeartbeat || pkts[0].Seq != 0 {
+		t.Fatalf("pre-data heartbeat = %v", pkts)
+	}
+}
+
+func TestSenderInlineHeartbeat(t *testing.T) {
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, InlineHeartbeatMax: 64})
+	s.Send([]byte("small"))
+	env.Mcasts = nil
+	env.Advance(12 * time.Millisecond)
+	pkts := env.McastPackets()
+	if len(pkts) != 1 || pkts[0].Flags&wire.FlagInlineData == 0 || string(pkts[0].Payload) != "small" {
+		t.Fatalf("inline heartbeat = %v", pkts)
+	}
+	if s.Stats().InlineHeartbeats != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestSenderRetentionReleasedByPrimaryAck(t *testing.T) {
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams})
+	for i := 0; i < 5; i++ {
+		s.Send([]byte("x"))
+	}
+	if s.Retained() != 5 {
+		t.Fatalf("Retained = %d, want 5", s.Retained())
+	}
+	ack := wire.Packet{Type: wire.TypeSourceAck, Source: tSource, Group: tGroup,
+		Seq: 3, ReplicaSeq: 3}
+	s.Recv(tPrimary, mustPkt(t, ack))
+	if s.Retained() != 2 {
+		t.Fatalf("Retained = %d after ack 3, want 2", s.Retained())
+	}
+	_ = env
+}
+
+func TestSenderReplicaDurabilityHoldsUntilReplicaAck(t *testing.T) {
+	s, _ := newSender(t, SenderConfig{Heartbeat: hbParams, Durability: ReleaseOnReplicaAck})
+	s.Send([]byte("x"))
+	s.Send([]byte("y"))
+	ack := wire.Packet{Type: wire.TypeSourceAck, Source: tSource, Group: tGroup,
+		Seq: 2, ReplicaSeq: 1}
+	s.Recv(tPrimary, mustPkt(t, ack))
+	if s.Retained() != 1 {
+		t.Fatalf("Retained = %d, want 1 (replica behind)", s.Retained())
+	}
+}
+
+func TestSenderRetainLimit(t *testing.T) {
+	s, _ := newSender(t, SenderConfig{Heartbeat: hbParams, RetainLimit: 2})
+	s.Send([]byte("a"))
+	s.Send([]byte("b"))
+	if _, err := s.Send([]byte("c")); !errors.Is(err, ErrRetainLimit) {
+		t.Fatalf("err = %v, want ErrRetainLimit", err)
+	}
+}
+
+func TestSenderServesNackFromRetention(t *testing.T) {
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams})
+	s.Send([]byte("keep"))
+	env.Sents = nil
+	nack := wire.Packet{Type: wire.TypeNack, Source: tSource, Group: tGroup,
+		Ranges: []wire.SeqRange{{From: 1, To: 1}}}
+	s.Recv(tPrimary, mustPkt(t, nack))
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeRetrans || string(sents[0].Payload) != "keep" {
+		t.Fatalf("retrans = %v", sents)
+	}
+	// After release, the NACK cannot be served (the log has it).
+	ack := wire.Packet{Type: wire.TypeSourceAck, Source: tSource, Group: tGroup, Seq: 1, ReplicaSeq: 1}
+	s.Recv(tPrimary, mustPkt(t, ack))
+	env.Sents = nil
+	s.Recv(tPrimary, mustPkt(t, nack))
+	if len(env.Sents) != 0 {
+		t.Fatal("served NACK for released packet")
+	}
+}
+
+// statCfg returns a statistical-ack config with known-size bootstrap (no
+// probing) for deterministic tests.
+func statCfg(k int, initial float64) StatAckConfig {
+	return StatAckConfig{
+		Enabled:       true,
+		K:             k,
+		EpochInterval: 10 * time.Second,
+		RTT:           estimator.RTTConfig{Initial: 100 * time.Millisecond},
+		GroupSize:     estimator.GroupSizeConfig{K: k, Initial: initial},
+	}
+}
+
+func TestSenderEpochSelection(t *testing.T) {
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: statCfg(20, 3)})
+	// Start sent an ACKSEL for epoch 1 (pAck = 1 since N ≤ K).
+	pkts := env.McastPackets()
+	if len(pkts) != 1 || pkts[0].Type != wire.TypeAckerSelect || pkts[0].Epoch != 1 {
+		t.Fatalf("want ACKSEL epoch 1, got %v", pkts)
+	}
+	if pkts[0].PAck != 1 {
+		t.Fatalf("pAck = %v, want 1 for tiny group", pkts[0].PAck)
+	}
+	// Three loggers respond.
+	for _, l := range []transporttest.Addr{tLoggerA, tLoggerB, tLoggerC} {
+		resp := wire.Packet{Type: wire.TypeAckerResponse, Source: tSource, Group: tGroup, Epoch: 1}
+		s.Recv(l, mustPkt(t, resp))
+	}
+	if s.Epoch() != 0 {
+		t.Fatal("epoch switched before the selection window closed")
+	}
+	env.Advance(250 * time.Millisecond) // 2×t_wait = 200ms
+	if s.Epoch() != 1 || s.AckerCount() != 3 {
+		t.Fatalf("epoch = %d ackers = %d, want 1/3", s.Epoch(), s.AckerCount())
+	}
+}
+
+// establishEpoch drives the sender to epoch 1 with the given ackers.
+func establishEpoch(t *testing.T, s *Sender, env *transporttest.Env, ackers ...transport.Addr) {
+	t.Helper()
+	for _, l := range ackers {
+		resp := wire.Packet{Type: wire.TypeAckerResponse, Source: tSource, Group: tGroup, Epoch: s.Epoch() + 1}
+		s.Recv(l, mustPkt(t, resp))
+	}
+	env.Advance(250 * time.Millisecond)
+	if s.AckerCount() != len(ackers) {
+		t.Fatalf("ackers = %d, want %d", s.AckerCount(), len(ackers))
+	}
+	env.Mcasts = nil
+	env.Sents = nil
+}
+
+func TestSenderAllAcksRetirePacket(t *testing.T) {
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: statCfg(20, 3)})
+	establishEpoch(t, s, env, tLoggerA, tLoggerB)
+	seq, _ := s.Send([]byte("x"))
+	for _, l := range []transporttest.Addr{tLoggerA, tLoggerB} {
+		ack := wire.Packet{Type: wire.TypeAck, Source: tSource, Group: tGroup, Seq: seq, Epoch: 1}
+		s.Recv(l, mustPkt(t, ack))
+	}
+	env.Mcasts = nil
+	env.Advance(time.Second)
+	for _, p := range env.McastPackets() {
+		if p.Type == wire.TypeRetrans {
+			t.Fatalf("re-multicast despite full acks: %+v", p)
+		}
+	}
+	if s.Stats().AcksReceived != 2 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestSenderMissingAcksTriggerRemulticast(t *testing.T) {
+	// 500 "sites", 2 ackers → 250 sites per acker: one missing ack must
+	// re-multicast (§2.3.2's first example).
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: statCfg(2, 500)})
+	establishEpoch(t, s, env, tLoggerA, tLoggerB)
+	seq, _ := s.Send([]byte("wide"))
+	ack := wire.Packet{Type: wire.TypeAck, Source: tSource, Group: tGroup, Seq: seq, Epoch: 1}
+	s.Recv(tLoggerA, mustPkt(t, ack)) // only one of two
+	env.Mcasts = nil
+	env.Advance(150 * time.Millisecond) // past t_wait = 100ms
+	var remcast int
+	for _, p := range env.McastPackets() {
+		if p.Type == wire.TypeRetrans && p.Seq == seq {
+			remcast++
+		}
+	}
+	if remcast != 1 {
+		t.Fatalf("re-multicasts = %d, want 1", remcast)
+	}
+	if s.Stats().StatRemulticasts != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestSenderFewSitesPerAckerStaysUnicast(t *testing.T) {
+	// 2 "sites", 2 ackers → 1 site per acker: a single missing ack does
+	// not warrant a multicast (§2.3.2's 20-site example).
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: statCfg(2, 2)})
+	establishEpoch(t, s, env, tLoggerA, tLoggerB)
+	seq, _ := s.Send([]byte("narrow"))
+	ack := wire.Packet{Type: wire.TypeAck, Source: tSource, Group: tGroup, Seq: seq, Epoch: 1}
+	s.Recv(tLoggerA, mustPkt(t, ack))
+	env.Mcasts = nil
+	env.Advance(150 * time.Millisecond)
+	for _, p := range env.McastPackets() {
+		if p.Type == wire.TypeRetrans {
+			t.Fatalf("re-multicast for single-site loss: %+v", p)
+		}
+	}
+}
+
+func TestSenderIgnoresAcksFromNonAckers(t *testing.T) {
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: statCfg(2, 500)})
+	establishEpoch(t, s, env, tLoggerA, tLoggerB)
+	seq, _ := s.Send([]byte("x"))
+	stranger := transporttest.Addr("stranger")
+	ack := wire.Packet{Type: wire.TypeAck, Source: tSource, Group: tGroup, Seq: seq, Epoch: 1}
+	s.Recv(stranger, mustPkt(t, ack))
+	s.Recv(tLoggerA, mustPkt(t, ack))
+	s.Recv(tLoggerB, mustPkt(t, ack))
+	if got := s.Stats(); got.AcksReceived != 2 || got.AcksIgnoredFaulty != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestSenderNackDemandRemulticast(t *testing.T) {
+	cfg := statCfg(20, 3)
+	cfg.NackRemcastThreshold = 3
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: cfg})
+	establishEpoch(t, s, env, tLoggerA)
+	seq, _ := s.Send([]byte("demanded"))
+	nack := wire.Packet{Type: wire.TypeNack, Source: tSource, Group: tGroup,
+		Ranges: []wire.SeqRange{{From: seq, To: seq}}}
+	env.Mcasts = nil
+	env.Sents = nil
+	for _, a := range []transporttest.Addr{tLoggerA, tLoggerB, tLoggerC} {
+		s.Recv(a, mustPkt(t, nack))
+	}
+	if got := s.Stats(); got.RetransUnicast != 2 || got.NackRemulticasts != 1 {
+		t.Fatalf("stats = %+v, want 2 unicast then 1 multicast", got)
+	}
+}
+
+func TestSenderBootstrapProbing(t *testing.T) {
+	cfg := StatAckConfig{
+		Enabled:       true,
+		K:             5,
+		EpochInterval: 10 * time.Second,
+		RTT:           estimator.RTTConfig{Initial: 100 * time.Millisecond},
+		Probe:         estimator.ProbePlan{StartPAck: 0.25, Growth: 2, MinResponses: 2, Repeats: 2},
+		ProbeInterval: 100 * time.Millisecond,
+	}
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: cfg})
+	probes := 0
+	deadline := 0
+	for s.Epoch() == 0 && deadline < 100 {
+		deadline++
+		for _, p := range env.McastPackets() {
+			if p.Type == wire.TypeSizeProbe {
+				probes++
+				// 10 loggers answer a probe with probability pAck;
+				// deterministically respond with round(10×pAck) loggers.
+				n := int(10*p.PAck + 0.5)
+				for i := 0; i < n; i++ {
+					resp := wire.Packet{Type: wire.TypeSizeProbeResponse,
+						Source: tSource, Group: tGroup, ProbeID: p.ProbeID}
+					s.Recv(transporttest.Addr(string(rune('a'+i))), mustPkt(t, resp))
+				}
+			}
+			if p.Type == wire.TypeAckerSelect {
+				// Selection has begun; volunteer one acker so the epoch
+				// can establish.
+				resp := wire.Packet{Type: wire.TypeAckerResponse,
+					Source: tSource, Group: tGroup, Epoch: p.Epoch}
+				s.Recv(tLoggerA, mustPkt(t, resp))
+			}
+		}
+		env.Mcasts = nil
+		env.Advance(100 * time.Millisecond)
+	}
+	if probes < 2 {
+		t.Fatalf("probes = %d, want ≥ 2 (escalation + repeats)", probes)
+	}
+	if est := s.GroupSizeEstimate(); est < 5 || est > 16 {
+		t.Fatalf("group size estimate = %v, want ≈10", est)
+	}
+	if s.Epoch() == 0 {
+		t.Fatal("never reached epoch 1")
+	}
+}
+
+func TestSenderEpochRotation(t *testing.T) {
+	cfg := statCfg(20, 3)
+	cfg.EpochInterval = time.Second
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: cfg})
+	establishEpoch(t, s, env, tLoggerA)
+	// After EpochInterval a new ACKSEL goes out.
+	env.Advance(1100 * time.Millisecond)
+	var sel *wire.Packet
+	for i, p := range env.McastPackets() {
+		if p.Type == wire.TypeAckerSelect && p.Epoch == 2 {
+			sel = &env.McastPackets()[i]
+		}
+	}
+	if sel == nil {
+		t.Fatal("no epoch-2 ACKSEL after rotation interval")
+	}
+	resp := wire.Packet{Type: wire.TypeAckerResponse, Source: tSource, Group: tGroup, Epoch: 2}
+	s.Recv(tLoggerB, mustPkt(t, resp))
+	env.Advance(250 * time.Millisecond)
+	if s.Epoch() != 2 || s.AckerCount() != 1 {
+		t.Fatalf("epoch = %d ackers = %d, want 2/1", s.Epoch(), s.AckerCount())
+	}
+}
+
+func TestSenderEpochPacketTrigger(t *testing.T) {
+	cfg := statCfg(20, 3)
+	cfg.EpochPackets = 2
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: cfg})
+	establishEpoch(t, s, env, tLoggerA)
+	s.Send([]byte("1"))
+	s.Send([]byte("2"))
+	found := false
+	for _, p := range env.McastPackets() {
+		if p.Type == wire.TypeAckerSelect && p.Epoch == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no ACKSEL after EpochPackets data packets")
+	}
+}
+
+func TestSenderHotlistExcludesChronicAcker(t *testing.T) {
+	cfg := statCfg(20, 3)
+	cfg.EpochInterval = time.Second
+	cfg.HotlistHalfLife = time.Hour
+	cfg.HotlistThreshold = 2.5
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: cfg})
+	// The same logger answers every selection round. After its decayed
+	// activity crosses the threshold its responses are ignored, so the
+	// epoch stalls (no other volunteers exist).
+	for i := 0; i < 40 && s.Stats().AcksIgnoredFaulty < 2; i++ {
+		for _, p := range env.McastPackets() {
+			if p.Type == wire.TypeAckerSelect {
+				resp := wire.Packet{Type: wire.TypeAckerResponse, Source: tSource,
+					Group: tGroup, Epoch: p.Epoch}
+				s.Recv(tLoggerA, mustPkt(t, resp))
+			}
+		}
+		env.Mcasts = nil
+		env.Advance(300 * time.Millisecond)
+	}
+	got := s.Stats()
+	if got.AcksIgnoredFaulty < 2 {
+		t.Fatalf("faulty responses ignored = %d, want ≥ 2", got.AcksIgnoredFaulty)
+	}
+	if s.Epoch() > 3 {
+		t.Fatalf("epoch = %d: chronic acker kept being designated", s.Epoch())
+	}
+}
+
+func TestSenderFailover(t *testing.T) {
+	s, env := newSender(t, SenderConfig{
+		Heartbeat:       hbParams,
+		Replicas:        []transport.Addr{tReplica1, tReplica2},
+		FailoverTimeout: time.Second,
+		FailoverWait:    200 * time.Millisecond,
+	})
+	s.Send([]byte("a"))
+	s.Send([]byte("b"))
+	s.Send([]byte("c"))
+	env.Sents = nil
+	env.Mcasts = nil
+	// No SourceAck ever arrives: failover kicks in after the timeout.
+	env.Advance(1100 * time.Millisecond)
+	queries := 0
+	for _, p := range env.SentPackets() {
+		if p.Type == wire.TypeLogStateQuery {
+			queries++
+		}
+	}
+	if queries != 2 {
+		t.Fatalf("state queries = %d, want 2", queries)
+	}
+	// replica2 is more up to date.
+	r1 := wire.Packet{Type: wire.TypeLogStateReply, Source: tSource, Group: tGroup, Seq: 1}
+	r2 := wire.Packet{Type: wire.TypeLogStateReply, Source: tSource, Group: tGroup, Seq: 2}
+	s.Recv(tReplica1, mustPkt(t, r1))
+	s.Recv(tReplica2, mustPkt(t, r2))
+	env.Sents = nil
+	env.Advance(250 * time.Millisecond)
+	var promoted transport.Addr
+	var backfill []uint64
+	for i, p := range env.SentPackets() {
+		switch p.Type {
+		case wire.TypePromote:
+			promoted = env.Sents[i].To
+		case wire.TypeRetrans:
+			backfill = append(backfill, p.Seq)
+			if env.Sents[i].To != tReplica2 {
+				t.Fatalf("backfill to %v", env.Sents[i].To)
+			}
+		}
+	}
+	if promoted != tReplica2 {
+		t.Fatalf("promoted %v, want replica2", promoted)
+	}
+	if len(backfill) != 1 || backfill[0] != 3 {
+		t.Fatalf("backfill = %v, want [3] (replica2 already has 1-2)", backfill)
+	}
+	// The group heard a redirect.
+	redirected := false
+	for _, p := range env.McastPackets() {
+		if p.Type == wire.TypePrimaryRedirect && p.Addr == tReplica2.String() {
+			redirected = true
+		}
+	}
+	if !redirected {
+		t.Fatal("no redirect multicast after failover")
+	}
+	if s.Stats().Failovers != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+	// PrimaryQuery now answers with the new primary.
+	env.Sents = nil
+	q := wire.Packet{Type: wire.TypePrimaryQuery, Source: tSource, Group: tGroup}
+	s.Recv(tLoggerA, mustPkt(t, q))
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypePrimaryRedirect || sents[0].Addr != tReplica2.String() {
+		t.Fatalf("redirect reply = %v", sents)
+	}
+}
+
+func TestSenderNoFailoverWhileHealthy(t *testing.T) {
+	s, env := newSender(t, SenderConfig{
+		Heartbeat:       hbParams,
+		Replicas:        []transport.Addr{tReplica1},
+		FailoverTimeout: 500 * time.Millisecond,
+	})
+	for i := 0; i < 4; i++ {
+		seq, _ := s.Send([]byte("x"))
+		ack := wire.Packet{Type: wire.TypeSourceAck, Source: tSource, Group: tGroup,
+			Seq: seq, ReplicaSeq: seq}
+		env.Advance(300 * time.Millisecond)
+		s.Recv(tPrimary, mustPkt(t, ack))
+	}
+	for _, p := range env.SentPackets() {
+		if p.Type == wire.TypeLogStateQuery || p.Type == wire.TypePromote {
+			t.Fatalf("failover action while healthy: %+v", p)
+		}
+	}
+}
+
+func TestSenderRejectsOversizePayloadAndUnstarted(t *testing.T) {
+	s, err := NewSender(SenderConfig{Source: tSource, Group: tGroup, Heartbeat: hbParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Send([]byte("x")); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("err = %v, want ErrNotStarted", err)
+	}
+	env := transporttest.NewEnv("sender")
+	s.Start(env)
+	if _, err := s.Send(make([]byte, wire.MaxPayloadLen+1)); err == nil {
+		t.Fatal("oversize payload accepted")
+	}
+}
+
+func TestSenderIgnoresForeignStreams(t *testing.T) {
+	s, _ := newSender(t, SenderConfig{Heartbeat: hbParams})
+	s.Send([]byte("x"))
+	foreign := wire.Packet{Type: wire.TypeSourceAck, Source: 999, Group: tGroup, Seq: 1, ReplicaSeq: 1}
+	s.Recv(tPrimary, mustPkt(t, foreign))
+	if s.Retained() != 1 {
+		t.Fatal("foreign-source ack released retention")
+	}
+	s.Recv(tPrimary, []byte("garbage"))
+	if s.Stats().Malformed != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestSenderRetransChannelReplays(t *testing.T) {
+	const channel = wire.GroupID(99)
+	s, env := newSender(t, SenderConfig{
+		Heartbeat:      hbParams,
+		RetransChannel: channel,
+		RetransRepeats: 3,
+	})
+	s.Send([]byte("replayed"))
+	env.Mcasts = nil
+	// Replays at HMin, 2·HMin, 4·HMin = 10, 20, 40ms.
+	env.Advance(75 * time.Millisecond)
+	var replays []transporttest.Multicast
+	for _, m := range env.TakeMcasts() {
+		if m.Group == channel {
+			replays = append(replays, m)
+		}
+	}
+	if len(replays) != 3 {
+		t.Fatalf("channel replays = %d, want 3", len(replays))
+	}
+	for _, m := range replays {
+		var p wire.Packet
+		if err := p.Unmarshal(m.Data); err != nil {
+			t.Fatal(err)
+		}
+		if p.Type != wire.TypeRetrans || p.Group != tGroup || p.Seq != 1 ||
+			string(p.Payload) != "replayed" {
+			t.Fatalf("replay = %+v", p)
+		}
+	}
+	if s.Stats().ChannelReplays != 3 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+	// No further replays after the configured repeats.
+	env.Advance(time.Second)
+	for _, m := range env.TakeMcasts() {
+		if m.Group == channel {
+			t.Fatalf("extra replay after %d repeats", 3)
+		}
+	}
+}
+
+func TestSenderFlowControlAdvisesPacing(t *testing.T) {
+	cfg := statCfg(2, 500)
+	cfg.FlowControl = true
+	cfg.FlowMaxDelay = time.Second
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: cfg})
+	establishEpoch(t, s, env, tLoggerA, tLoggerB)
+	if s.SendDelay() != 0 || s.LossEstimate() != 0 {
+		t.Fatal("pacing advised before any loss")
+	}
+	// Sustained loss: no ACKs at all for several packets.
+	for i := 0; i < 8; i++ {
+		s.Send([]byte("x"))
+		env.Advance(150 * time.Millisecond) // past t_wait, 0 acks
+	}
+	if le := s.LossEstimate(); le < 0.3 {
+		t.Fatalf("loss estimate %v after total loss, want high", le)
+	}
+	d1 := s.SendDelay()
+	if d1 <= 0 {
+		t.Fatalf("SendDelay = %v under heavy loss, want > 0", d1)
+	}
+	// Recovery: fully-acked packets drive the estimate back down.
+	for i := 0; i < 30; i++ {
+		seq, _ := s.Send([]byte("y"))
+		for _, l := range []transporttest.Addr{tLoggerA, tLoggerB} {
+			ack := wire.Packet{Type: wire.TypeAck, Source: tSource, Group: tGroup,
+				Seq: seq, Epoch: 1}
+			s.Recv(l, mustPkt(t, ack))
+		}
+		env.Advance(150 * time.Millisecond)
+	}
+	if d := s.SendDelay(); d != 0 {
+		t.Fatalf("SendDelay = %v after clean period, want 0", d)
+	}
+}
+
+func TestSenderFlowControlDisabledByDefault(t *testing.T) {
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams, StatAck: statCfg(2, 500)})
+	establishEpoch(t, s, env, tLoggerA)
+	for i := 0; i < 5; i++ {
+		s.Send([]byte("x"))
+		env.Advance(150 * time.Millisecond)
+	}
+	if s.SendDelay() != 0 {
+		t.Fatal("SendDelay non-zero with flow control disabled")
+	}
+}
+
+func TestSenderStopSilences(t *testing.T) {
+	s, env := newSender(t, SenderConfig{Heartbeat: hbParams})
+	s.Send([]byte("x"))
+	env.Mcasts = nil
+	s.Stop()
+	env.Advance(5 * time.Second)
+	if len(env.Mcasts) != 0 {
+		t.Fatalf("stopped sender transmitted %d packets", len(env.Mcasts))
+	}
+	if _, err := s.Send([]byte("y")); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Send after Stop = %v, want ErrNotStarted", err)
+	}
+}

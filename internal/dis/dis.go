@@ -1,0 +1,221 @@
+// Package dis models the Distributed Interactive Simulation workload that
+// motivates LBRM (§1, §2.1.2): large populations of terrain entities
+// (rocks, trees, bridges — near-static but freshness-critical) and dynamic
+// entities (tanks, planes — ~1 PDU/s with dead reckoning), loosely based on
+// the STOW-97 planning numbers the paper cites.
+//
+// The package provides both closed-form scenario arithmetic (packets per
+// second under fixed vs variable heartbeats, E12) and an event generator
+// for driving scaled-down populations through the simulator.
+package dis
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lbrm/internal/heartbeat"
+	"lbrm/internal/vtime"
+	"lbrm/internal/wire"
+)
+
+// EntityClass distinguishes workload populations.
+type EntityClass int
+
+const (
+	// ClassTerrain is an aggregate terrain entity: state changes rarely
+	// (minutes), but freshness must be ≤ MaxIT (250 ms).
+	ClassTerrain EntityClass = iota
+	// ClassDynamic is a vehicle/aircraft entity: dead-reckoned appearance
+	// PDUs at ~1/s.
+	ClassDynamic
+)
+
+// String names the class.
+func (c EntityClass) String() string {
+	switch c {
+	case ClassTerrain:
+		return "terrain"
+	case ClassDynamic:
+		return "dynamic"
+	}
+	return fmt.Sprintf("EntityClass(%d)", int(c))
+}
+
+// Population describes one entity class in a scenario.
+type Population struct {
+	Class EntityClass
+	// Count is the number of entities.
+	Count int
+	// MeanInterval is the mean time between state updates per entity.
+	MeanInterval time.Duration
+	// Exponential draws update intervals from an exponential distribution
+	// with the given mean (deterministic spacing otherwise).
+	Exponential bool
+	// PayloadBytes is the application payload per update PDU.
+	PayloadBytes int
+}
+
+// Scenario is a DIS exercise workload.
+type Scenario struct {
+	Name        string
+	Populations []Population
+	// Heartbeat is the terrain entities' heartbeat parameterization.
+	Heartbeat heartbeat.Params
+}
+
+// STOW97 is the paper's scenario (§2.1.2): 100,000 dynamic entities at one
+// update/second and 100,000 aggregate terrain entities changing every two
+// minutes, with the 1/4-second terrain freshness requirement.
+func STOW97() Scenario {
+	return Scenario{
+		Name: "STOW-97",
+		Populations: []Population{
+			{Class: ClassDynamic, Count: 100_000, MeanInterval: time.Second, PayloadBytes: 144},
+			{Class: ClassTerrain, Count: 100_000, MeanInterval: 2 * time.Minute, PayloadBytes: 128},
+		},
+		Heartbeat: heartbeat.DefaultParams,
+	}
+}
+
+// DataRate returns the scenario's aggregate data packets per second
+// (state updates only, no heartbeats).
+func (s Scenario) DataRate() float64 {
+	rate := 0.0
+	for _, p := range s.Populations {
+		rate += float64(p.Count) / p.MeanInterval.Seconds()
+	}
+	return rate
+}
+
+// HeartbeatRateFixed returns the aggregate heartbeat packets per second if
+// every terrain entity ran the fixed scheme at HMin (the paper's 400,000
+// packets/second figure).
+func (s Scenario) HeartbeatRateFixed() float64 {
+	rate := 0.0
+	for _, p := range s.Populations {
+		if p.Class != ClassTerrain {
+			continue
+		}
+		rate += float64(p.Count) * heartbeat.RateFixed(s.Heartbeat, p.MeanInterval)
+	}
+	return rate
+}
+
+// HeartbeatRateVariable returns the aggregate heartbeat packets per second
+// under the variable scheme.
+func (s Scenario) HeartbeatRateVariable() float64 {
+	rate := 0.0
+	for _, p := range s.Populations {
+		if p.Class != ClassTerrain {
+			continue
+		}
+		rate += float64(p.Count) * heartbeat.RateVariable(s.Heartbeat, p.MeanInterval)
+	}
+	return rate
+}
+
+// TotalRateFixed returns data + fixed heartbeats packets/second.
+func (s Scenario) TotalRateFixed() float64 {
+	return s.DataRate() + s.HeartbeatRateFixed()
+}
+
+// TotalRateVariable returns data + variable heartbeats packets/second.
+func (s Scenario) TotalRateVariable() float64 {
+	return s.DataRate() + s.HeartbeatRateVariable()
+}
+
+// Entity is one generated entity instance.
+type Entity struct {
+	ID    wire.SourceID
+	Class EntityClass
+	pop   Population
+}
+
+// Generator drives a (usually scaled-down) scenario population against a
+// clock, invoking Emit for every entity state update.
+type Generator struct {
+	// Emit receives each update (required).
+	Emit func(e *Entity, payload []byte)
+	// Clock schedules updates.
+	Clock vtime.Clock
+	// Rng drives exponential intervals and payload fill.
+	Rng *rand.Rand
+
+	entities []*Entity
+	payload  []byte
+	updates  uint64
+	stopped  bool
+}
+
+// NewGenerator builds entities for the scenario scaled by 1/scaleDiv
+// (scaleDiv 1 = full population — fine for arithmetic, enormous for
+// simulation).
+func NewGenerator(s Scenario, scaleDiv int, clock vtime.Clock, rng *rand.Rand, emit func(*Entity, []byte)) *Generator {
+	if scaleDiv < 1 {
+		scaleDiv = 1
+	}
+	g := &Generator{Emit: emit, Clock: clock, Rng: rng}
+	var id wire.SourceID = 1
+	for _, p := range s.Populations {
+		n := p.Count / scaleDiv
+		if n == 0 && p.Count > 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			g.entities = append(g.entities, &Entity{ID: id, Class: p.Class, pop: p})
+			id++
+		}
+	}
+	return g
+}
+
+// Entities returns the generated population.
+func (g *Generator) Entities() []*Entity { return g.entities }
+
+// Updates returns the number of updates emitted so far.
+func (g *Generator) Updates() uint64 { return g.updates }
+
+// Start schedules every entity's first update, de-phased uniformly over
+// its interval so the population doesn't beat in lockstep.
+func (g *Generator) Start() {
+	for _, e := range g.entities {
+		first := time.Duration(g.Rng.Float64() * float64(e.pop.MeanInterval))
+		g.scheduleNext(e, first)
+	}
+}
+
+// Stop halts further updates (already-scheduled timers fire but emit
+// nothing).
+func (g *Generator) Stop() { g.stopped = true }
+
+func (g *Generator) scheduleNext(e *Entity, d time.Duration) {
+	g.Clock.AfterFunc(d, func() {
+		if g.stopped {
+			return
+		}
+		g.updates++
+		g.Emit(e, g.payloadFor(e))
+		g.scheduleNext(e, g.interval(e))
+	})
+}
+
+func (g *Generator) interval(e *Entity) time.Duration {
+	if e.pop.Exponential {
+		return time.Duration(g.Rng.ExpFloat64() * float64(e.pop.MeanInterval))
+	}
+	return e.pop.MeanInterval
+}
+
+func (g *Generator) payloadFor(e *Entity) []byte {
+	n := e.pop.PayloadBytes
+	if n <= 0 {
+		n = 64
+	}
+	if cap(g.payload) < n {
+		g.payload = make([]byte, n)
+	}
+	p := g.payload[:n]
+	g.Rng.Read(p)
+	return p
+}

@@ -1,0 +1,147 @@
+package dis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lbrm/internal/vtime"
+	"lbrm/internal/wire"
+)
+
+func TestSTOW97PaperNumbers(t *testing.T) {
+	s := STOW97()
+	// §1: dynamic entities generate one packet per second on average →
+	// 100,000 pps; terrain updates are negligible by comparison.
+	if got := s.DataRate(); got < 100_000 || got > 101_000 {
+		t.Fatalf("DataRate = %.0f, want ≈100,833", got)
+	}
+	// §2.1.2: fixed heartbeats at 4/s for 100,000 terrain entities →
+	// ~400,000 pps.
+	fixed := s.HeartbeatRateFixed()
+	if math.Abs(fixed-399_167) > 2000 {
+		t.Fatalf("HeartbeatRateFixed = %.0f, want ≈400,000", fixed)
+	}
+	// Terrain heartbeats ≈ 4/5 of the total fixed-scheme load (§2.1.2).
+	frac := fixed / s.TotalRateFixed()
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("terrain heartbeat fraction = %.2f, want ≈0.8", frac)
+	}
+	// The variable scheme cuts heartbeat bandwidth ~50x.
+	ratio := fixed / s.HeartbeatRateVariable()
+	if ratio < 45 || ratio > 60 {
+		t.Fatalf("fixed/variable heartbeat ratio = %.1f, want ≈53", ratio)
+	}
+}
+
+func TestGeneratorScalesPopulation(t *testing.T) {
+	clk := vtime.NewSim(time.Unix(0, 0).UTC())
+	rng := rand.New(rand.NewSource(1))
+	g := NewGenerator(STOW97(), 10_000, clk, rng, func(*Entity, []byte) {})
+	// 100k/10k = 10 of each class.
+	if len(g.Entities()) != 20 {
+		t.Fatalf("entities = %d, want 20", len(g.Entities()))
+	}
+	classes := map[EntityClass]int{}
+	for _, e := range g.Entities() {
+		classes[e.Class]++
+	}
+	if classes[ClassTerrain] != 10 || classes[ClassDynamic] != 10 {
+		t.Fatalf("class split = %v", classes)
+	}
+}
+
+func TestGeneratorTinyScaleKeepsOnePerClass(t *testing.T) {
+	clk := vtime.NewSim(time.Unix(0, 0).UTC())
+	g := NewGenerator(STOW97(), 1_000_000, clk, rand.New(rand.NewSource(1)), func(*Entity, []byte) {})
+	if len(g.Entities()) != 2 {
+		t.Fatalf("entities = %d, want 2 (one per class)", len(g.Entities()))
+	}
+}
+
+func TestGeneratorUpdateRate(t *testing.T) {
+	clk := vtime.NewSim(time.Unix(0, 0).UTC())
+	rng := rand.New(rand.NewSource(2))
+	var byClass [2]int
+	g := NewGenerator(STOW97(), 10_000, clk, rng, func(e *Entity, p []byte) {
+		byClass[e.Class]++
+		if len(p) == 0 {
+			t.Error("empty payload")
+		}
+	})
+	g.Start()
+	clk.RunFor(60 * time.Second)
+	g.Stop()
+	// 10 dynamic at 1/s over 60s ≈ 600; 10 terrain at 1/120s ≈ 5.
+	if byClass[ClassDynamic] < 550 || byClass[ClassDynamic] > 650 {
+		t.Fatalf("dynamic updates = %d, want ≈600", byClass[ClassDynamic])
+	}
+	if byClass[ClassTerrain] < 2 || byClass[ClassTerrain] > 12 {
+		t.Fatalf("terrain updates = %d, want ≈5", byClass[ClassTerrain])
+	}
+	if g.Updates() != uint64(byClass[0]+byClass[1]) {
+		t.Fatalf("Updates() = %d, want %d", g.Updates(), byClass[0]+byClass[1])
+	}
+}
+
+func TestGeneratorExponentialIntervals(t *testing.T) {
+	clk := vtime.NewSim(time.Unix(0, 0).UTC())
+	rng := rand.New(rand.NewSource(3))
+	s := Scenario{
+		Name: "exp",
+		Populations: []Population{{
+			Class: ClassDynamic, Count: 1, MeanInterval: time.Second,
+			Exponential: true, PayloadBytes: 8,
+		}},
+	}
+	var times []time.Time
+	g := NewGenerator(s, 1, clk, rng, func(*Entity, []byte) {
+		times = append(times, clk.Now())
+	})
+	g.Start()
+	clk.RunFor(2000 * time.Second)
+	g.Stop()
+	if len(times) < 1500 || len(times) > 2500 {
+		t.Fatalf("updates = %d, want ≈2000", len(times))
+	}
+	// Coefficient of variation of an exponential is 1; deterministic would
+	// be ~0.
+	var gaps []float64
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, times[i].Sub(times[i-1]).Seconds())
+	}
+	mean, varsum := 0.0, 0.0
+	for _, x := range gaps {
+		mean += x
+	}
+	mean /= float64(len(gaps))
+	for _, x := range gaps {
+		varsum += (x - mean) * (x - mean)
+	}
+	cv := math.Sqrt(varsum/float64(len(gaps))) / mean
+	if cv < 0.7 || cv > 1.3 {
+		t.Fatalf("interval CV = %.2f, want ≈1 (exponential)", cv)
+	}
+}
+
+func TestEntityIDsUnique(t *testing.T) {
+	clk := vtime.NewSim(time.Unix(0, 0).UTC())
+	g := NewGenerator(STOW97(), 1000, clk, rand.New(rand.NewSource(1)), func(*Entity, []byte) {})
+	seen := map[wire.SourceID]bool{}
+	for _, e := range g.Entities() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate entity ID %d", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassTerrain.String() != "terrain" || ClassDynamic.String() != "dynamic" {
+		t.Fatal("class names wrong")
+	}
+	if EntityClass(9).String() == "" {
+		t.Fatal("unknown class empty")
+	}
+}

@@ -1,0 +1,372 @@
+// Package estimator implements the adaptive components of LBRM's
+// statistical acknowledgement machinery (§2.3):
+//
+//   - GroupSize: the secondary-logger population estimate N_sl, bootstrapped
+//     with Bolot/Turletti/Wakeman-style probabilistic probing (§2.3.3,
+//     Table 2) and refined continuously with an EWMA over per-packet ACK
+//     counts.
+//   - RTT: the exponentially-converging t_wait estimator
+//     (t'_wait = α·rtt_new + (1−α)·t_wait), after Jacobson's TCP estimator.
+//   - Hotlist: a decayed activity count per logger used to ignore faulty
+//     ackers that respond to every Acker Selection Packet.
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// GroupSizeConfig tunes the N_sl estimator.
+type GroupSizeConfig struct {
+	// K is the desired number of positive acknowledgements per data packet
+	// (paper: between 5 and 20 is appropriate).
+	K int
+	// Alpha is the EWMA gain applied to each new observation (paper
+	// suggests 1/8).
+	Alpha float64
+	// Initial seeds the estimate before any observation; ≤ 0 means
+	// "unknown" (PAck is 1 until an estimate exists, so small groups are
+	// fully counted).
+	Initial float64
+}
+
+// DefaultGroupSizeConfig matches the paper's suggestions.
+var DefaultGroupSizeConfig = GroupSizeConfig{K: 20, Alpha: 1.0 / 8}
+
+// Validate reports whether the configuration is usable.
+func (c GroupSizeConfig) Validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("estimator: K %d must be positive", c.K)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("estimator: alpha %v outside (0,1]", c.Alpha)
+	}
+	return nil
+}
+
+// GroupSize maintains the running N_sl estimate.
+type GroupSize struct {
+	cfg GroupSizeConfig
+	nsl float64
+	// observations counts Observe calls, for diagnostics.
+	observations int
+}
+
+// NewGroupSize returns an estimator; cfg zero-fields take defaults.
+func NewGroupSize(cfg GroupSizeConfig) (*GroupSize, error) {
+	if cfg.K == 0 {
+		cfg.K = DefaultGroupSizeConfig.K
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = DefaultGroupSizeConfig.Alpha
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &GroupSize{cfg: cfg, nsl: cfg.Initial}, nil
+}
+
+// Estimate returns the current N_sl estimate (0 when unknown).
+func (g *GroupSize) Estimate() float64 { return g.nsl }
+
+// Known reports whether any estimate exists yet.
+func (g *GroupSize) Known() bool { return g.nsl > 0 }
+
+// Observations returns the number of Observe calls so far.
+func (g *GroupSize) Observations() int { return g.observations }
+
+// PAck returns the acknowledgement probability to advertise in the next
+// Acker Selection Packet: k/N_sl, clamped to (0,1]. Before any estimate it
+// returns 1 (every logger acks — correct and implosion-free for the small
+// groups a stream starts with).
+func (g *GroupSize) PAck() float64 {
+	if g.nsl <= float64(g.cfg.K) {
+		return 1
+	}
+	return float64(g.cfg.K) / g.nsl
+}
+
+// K returns the configured target acknowledgement count.
+func (g *GroupSize) K() int { return g.cfg.K }
+
+// Seed force-sets the estimate (used after the probing phase).
+func (g *GroupSize) Seed(n float64) {
+	if n < 0 {
+		n = 0
+	}
+	g.nsl = n
+}
+
+// Observe folds in one response count k' observed at probability pAck:
+// N'_sl = (1−α)·N_sl + α·k'/p_ack. The first observation replaces the
+// estimate outright.
+func (g *GroupSize) Observe(kPrime int, pAck float64) {
+	if pAck <= 0 || pAck > 1 || kPrime < 0 {
+		return
+	}
+	g.observations++
+	sample := float64(kPrime) / pAck
+	if g.nsl <= 0 {
+		g.nsl = sample
+		return
+	}
+	g.nsl = (1-g.cfg.Alpha)*g.nsl + g.cfg.Alpha*sample
+}
+
+// ProbeStdDev returns the analytic standard deviation of the N_sl estimate
+// from `probes` independent probes at probability pAck against a true
+// population n (Table 2): σ₁/√probes with σ₁ = sqrt(n(1−p)/p).
+func ProbeStdDev(n float64, pAck float64, probes int) float64 {
+	if probes <= 0 || pAck <= 0 || pAck > 1 || n <= 0 {
+		return math.NaN()
+	}
+	sigma1 := math.Sqrt(n * (1 - pAck) / pAck)
+	return sigma1 / math.Sqrt(float64(probes))
+}
+
+// ProbePlan is the Bolot-style bootstrap: a schedule of probe rounds with
+// geometrically increasing pAck, stopping once a round collects at least
+// MinResponses, then repeating the final probability Repeats times to
+// tighten the estimate (the paper's "modest extension").
+type ProbePlan struct {
+	// StartPAck is the first round's probability (default 1/1024).
+	StartPAck float64
+	// Growth multiplies pAck between rounds (default 4).
+	Growth float64
+	// MinResponses ends the escalation once a round yields this many
+	// responses (default 10).
+	MinResponses int
+	// Repeats re-runs the final probability to average the estimate
+	// (default 3; Table 2 quantifies the gain).
+	Repeats int
+}
+
+// DefaultProbePlan matches the defaults above.
+var DefaultProbePlan = ProbePlan{StartPAck: 1.0 / 1024, Growth: 4, MinResponses: 10, Repeats: 3}
+
+// normalize fills zero fields with defaults.
+func (p ProbePlan) normalize() ProbePlan {
+	if p.StartPAck <= 0 {
+		p.StartPAck = DefaultProbePlan.StartPAck
+	}
+	if p.Growth <= 1 {
+		p.Growth = DefaultProbePlan.Growth
+	}
+	if p.MinResponses <= 0 {
+		p.MinResponses = DefaultProbePlan.MinResponses
+	}
+	if p.Repeats <= 0 {
+		p.Repeats = DefaultProbePlan.Repeats
+	}
+	return p
+}
+
+// Prober executes a ProbePlan. The owner drives it: NextProbe yields the
+// probability to advertise, ObserveRound feeds back the response count,
+// and Done/Estimate report completion. The actual transmission and
+// response counting belong to the sender (internal/core).
+type Prober struct {
+	plan    ProbePlan
+	pAck    float64
+	rounds  int
+	repeats int
+	sum     float64
+	samples int
+	done    bool
+}
+
+// NewProber starts a probing session.
+func NewProber(plan ProbePlan) *Prober {
+	plan = plan.normalize()
+	return &Prober{plan: plan, pAck: plan.StartPAck}
+}
+
+// NextProbe returns the probability for the next probe round, or false if
+// probing is complete.
+func (p *Prober) NextProbe() (float64, bool) {
+	if p.done {
+		return 0, false
+	}
+	return p.pAck, true
+}
+
+// ObserveRound records the number of responses to the round announced by
+// the last NextProbe.
+func (p *Prober) ObserveRound(responses int) {
+	if p.done {
+		return
+	}
+	p.rounds++
+	if p.samples > 0 || responses >= p.plan.MinResponses || p.pAck >= 1 {
+		// Estimation phase: accumulate samples at the final probability.
+		p.sum += float64(responses) / p.pAck
+		p.samples++
+		if p.samples >= p.plan.Repeats {
+			p.done = true
+		}
+		return
+	}
+	// Escalation phase: too few responses, raise pAck.
+	p.pAck *= p.plan.Growth
+	if p.pAck > 1 {
+		p.pAck = 1
+	}
+}
+
+// Done reports whether the plan has finished.
+func (p *Prober) Done() bool { return p.done }
+
+// Rounds returns the number of probe rounds executed.
+func (p *Prober) Rounds() int { return p.rounds }
+
+// Estimate returns the averaged population estimate (valid when Done).
+func (p *Prober) Estimate() float64 {
+	if p.samples == 0 {
+		return 0
+	}
+	return p.sum / float64(p.samples)
+}
+
+// RTTConfig tunes the t_wait estimator.
+type RTTConfig struct {
+	// Alpha is the EWMA gain (paper formula; 1/8 by convention).
+	Alpha float64
+	// Initial is the starting t_wait before any measurement.
+	Initial time.Duration
+	// Min and Max clamp the estimate.
+	Min, Max time.Duration
+}
+
+// DefaultRTTConfig is a reasonable WAN default.
+var DefaultRTTConfig = RTTConfig{
+	Alpha:   1.0 / 8,
+	Initial: 500 * time.Millisecond,
+	Min:     10 * time.Millisecond,
+	Max:     30 * time.Second,
+}
+
+// RTT is the exponentially-converging t_wait estimator of §2.3.2. rtt_new
+// is the time at which the last ACK for a data packet arrives, capped by
+// the sender at 2×t_wait.
+type RTT struct {
+	cfg   RTTConfig
+	twait time.Duration
+}
+
+// NewRTT returns an estimator; zero cfg fields take defaults.
+func NewRTT(cfg RTTConfig) (*RTT, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = DefaultRTTConfig.Alpha
+	}
+	if cfg.Initial == 0 {
+		cfg.Initial = DefaultRTTConfig.Initial
+	}
+	if cfg.Min == 0 {
+		cfg.Min = DefaultRTTConfig.Min
+	}
+	if cfg.Max == 0 {
+		cfg.Max = DefaultRTTConfig.Max
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("estimator: RTT alpha %v outside (0,1]", cfg.Alpha)
+	}
+	if cfg.Min <= 0 || cfg.Max < cfg.Min || cfg.Initial < cfg.Min || cfg.Initial > cfg.Max {
+		return nil, fmt.Errorf("estimator: RTT bounds Min=%v Initial=%v Max=%v inconsistent",
+			cfg.Min, cfg.Initial, cfg.Max)
+	}
+	return &RTT{cfg: cfg, twait: cfg.Initial}, nil
+}
+
+// TWait returns the current t_wait.
+func (r *RTT) TWait() time.Duration { return r.twait }
+
+// Cap returns the sampling cap 2×t_wait: ACKs later than this count as
+// lost rather than slow.
+func (r *RTT) Cap() time.Duration { return 2 * r.twait }
+
+// Observe folds in a new last-ACK arrival time. Samples beyond Cap are
+// clamped to it (the source "asserts that an ACK was lost").
+func (r *RTT) Observe(sample time.Duration) {
+	if sample < 0 {
+		return
+	}
+	if c := r.Cap(); sample > c {
+		sample = c
+	}
+	t := time.Duration(r.cfg.Alpha*float64(sample) + (1-r.cfg.Alpha)*float64(r.twait))
+	if t < r.cfg.Min {
+		t = r.cfg.Min
+	}
+	if t > r.cfg.Max {
+		t = r.cfg.Max
+	}
+	r.twait = t
+}
+
+// Hotlist tracks recently-active Designated Ackers with exponentially
+// decayed counts; a logger whose decayed activity exceeds Threshold is
+// considered faulty ("responds to every Acker Selection Packet") and its
+// ACKs are ignored (§2.3.3).
+type Hotlist[ID comparable] struct {
+	// HalfLife is the decay half-life.
+	HalfLife time.Duration
+	// Threshold is the decayed activity above which an ID is faulty.
+	Threshold float64
+
+	entries map[ID]*hotEntry
+}
+
+type hotEntry struct {
+	score float64
+	last  time.Time
+}
+
+// NewHotlist returns a hotlist with the given half-life and threshold.
+func NewHotlist[ID comparable](halfLife time.Duration, threshold float64) *Hotlist[ID] {
+	return &Hotlist[ID]{
+		HalfLife:  halfLife,
+		Threshold: threshold,
+		entries:   make(map[ID]*hotEntry),
+	}
+}
+
+// Record notes one acker activation (a response to an Acker Selection
+// Packet) at time now.
+func (h *Hotlist[ID]) Record(id ID, now time.Time) {
+	e := h.entries[id]
+	if e == nil {
+		e = &hotEntry{last: now}
+		h.entries[id] = e
+	}
+	e.score = h.decayed(e, now) + 1
+	e.last = now
+}
+
+// Score returns the decayed activity for id at time now.
+func (h *Hotlist[ID]) Score(id ID, now time.Time) float64 {
+	e := h.entries[id]
+	if e == nil {
+		return 0
+	}
+	return h.decayed(e, now)
+}
+
+// Faulty reports whether id's decayed activity exceeds the threshold.
+func (h *Hotlist[ID]) Faulty(id ID, now time.Time) bool {
+	return h.Score(id, now) > h.Threshold
+}
+
+// Len returns the number of tracked IDs.
+func (h *Hotlist[ID]) Len() int { return len(h.entries) }
+
+func (h *Hotlist[ID]) decayed(e *hotEntry, now time.Time) float64 {
+	if h.HalfLife <= 0 {
+		return e.score
+	}
+	dt := now.Sub(e.last)
+	if dt <= 0 {
+		return e.score
+	}
+	return e.score * math.Exp2(-float64(dt)/float64(h.HalfLife))
+}

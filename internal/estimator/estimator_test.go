@@ -1,0 +1,352 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGroupSizeConfigValidate(t *testing.T) {
+	if err := DefaultGroupSizeConfig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []GroupSizeConfig{
+		{K: 0, Alpha: 0.1},
+		{K: -1, Alpha: 0.1},
+		{K: 5, Alpha: 0},
+		{K: 5, Alpha: 1.5},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", c)
+		}
+	}
+}
+
+func TestGroupSizePAckBeforeEstimate(t *testing.T) {
+	g, err := NewGroupSize(GroupSizeConfig{K: 20, Alpha: 0.125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Known() {
+		t.Fatal("Known() true before any observation")
+	}
+	if p := g.PAck(); p != 1 {
+		t.Fatalf("PAck() = %v before estimate, want 1", p)
+	}
+}
+
+func TestGroupSizeFirstObservationReplaces(t *testing.T) {
+	g, _ := NewGroupSize(GroupSizeConfig{K: 20, Alpha: 0.125})
+	g.Observe(10, 0.02) // 10/0.02 = 500
+	if got := g.Estimate(); got != 500 {
+		t.Fatalf("Estimate() = %v, want 500", got)
+	}
+	if p := g.PAck(); math.Abs(p-0.04) > 1e-9 {
+		t.Fatalf("PAck() = %v, want 0.04", p)
+	}
+}
+
+func TestGroupSizeEWMAFormula(t *testing.T) {
+	g, _ := NewGroupSize(GroupSizeConfig{K: 20, Alpha: 0.125, Initial: 400})
+	g.Observe(24, 0.05) // sample = 480; N' = 0.875*400 + 0.125*480 = 410
+	if got := g.Estimate(); math.Abs(got-410) > 1e-9 {
+		t.Fatalf("Estimate() = %v, want 410", got)
+	}
+}
+
+func TestGroupSizeIgnoresInvalidObservations(t *testing.T) {
+	g, _ := NewGroupSize(GroupSizeConfig{K: 20, Alpha: 0.125, Initial: 100})
+	g.Observe(-1, 0.5)
+	g.Observe(5, 0)
+	g.Observe(5, 1.5)
+	if g.Estimate() != 100 || g.Observations() != 0 {
+		t.Fatalf("invalid observations mutated state: %v/%d", g.Estimate(), g.Observations())
+	}
+}
+
+func TestGroupSizeConvergesToTruth(t *testing.T) {
+	// Simulate loggers joining/acking: true population 500; binomial
+	// responses at the advertised PAck each round.
+	rng := rand.New(rand.NewSource(5))
+	g, _ := NewGroupSize(GroupSizeConfig{K: 20, Alpha: 0.125, Initial: 50})
+	const truth = 500
+	for round := 0; round < 400; round++ {
+		p := g.PAck()
+		k := 0
+		for i := 0; i < truth; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		g.Observe(k, p)
+	}
+	if est := g.Estimate(); est < 400 || est > 600 {
+		t.Fatalf("estimate %v after convergence, want ≈500", est)
+	}
+}
+
+func TestGroupSizeTracksMembershipChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, _ := NewGroupSize(GroupSizeConfig{K: 20, Alpha: 0.125, Initial: 500})
+	// Population drops to 100; estimator must follow.
+	const truth = 100
+	for round := 0; round < 200; round++ {
+		p := g.PAck()
+		k := 0
+		for i := 0; i < truth; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		g.Observe(k, p)
+	}
+	if est := g.Estimate(); est < 70 || est > 140 {
+		t.Fatalf("estimate %v after shrink, want ≈100", est)
+	}
+}
+
+func TestProbeStdDevTable2(t *testing.T) {
+	// Table 2: σ_n = σ₁/√n.
+	const n, p = 1000.0, 0.05
+	s1 := ProbeStdDev(n, p, 1)
+	want := []struct {
+		probes int
+		factor float64
+	}{
+		{1, 1.0}, {2, 0.707}, {3, 0.577}, {4, 0.5}, {5, 0.447},
+	}
+	for _, w := range want {
+		got := ProbeStdDev(n, p, w.probes)
+		if math.Abs(got/s1-w.factor) > 0.001 {
+			t.Errorf("probes=%d: σ/σ₁ = %.3f, want %.3f", w.probes, got/s1, w.factor)
+		}
+	}
+	if !math.IsNaN(ProbeStdDev(n, p, 0)) || !math.IsNaN(ProbeStdDev(n, 0, 1)) {
+		t.Error("invalid args should yield NaN")
+	}
+}
+
+func TestProbeStdDevMatchesMonteCarlo(t *testing.T) {
+	// The analytic σ₁ = sqrt(N(1-p)/p) must match simulated probing.
+	rng := rand.New(rand.NewSource(7))
+	const truth = 1000
+	const p = 0.02
+	const trials = 3000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		k := 0
+		for j := 0; j < truth; j++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		est := float64(k) / p
+		sum += est
+		sumSq += est * est
+	}
+	mean := sum / trials
+	std := math.Sqrt(sumSq/trials - mean*mean)
+	want := ProbeStdDev(truth, p, 1)
+	if math.Abs(std-want)/want > 0.1 {
+		t.Fatalf("Monte-Carlo σ = %.1f, analytic %.1f", std, want)
+	}
+	if math.Abs(mean-truth)/truth > 0.02 {
+		t.Fatalf("Monte-Carlo mean %.1f, want ≈%d", mean, truth)
+	}
+}
+
+func TestProberEscalatesThenRepeats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const truth = 800
+	pr := NewProber(ProbePlan{StartPAck: 1.0 / 1024, Growth: 4, MinResponses: 10, Repeats: 4})
+	for {
+		p, ok := pr.NextProbe()
+		if !ok {
+			break
+		}
+		k := 0
+		for i := 0; i < truth; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		pr.ObserveRound(k)
+	}
+	if !pr.Done() {
+		t.Fatal("prober not done")
+	}
+	if est := pr.Estimate(); est < 600 || est > 1000 {
+		t.Fatalf("probe estimate %v, want ≈800", est)
+	}
+	// pAck escalation must have happened: 1/1024 would yield <1 response.
+	if pr.Rounds() < 4 {
+		t.Fatalf("rounds = %d, want escalation + repeats", pr.Rounds())
+	}
+}
+
+func TestProberTinyGroupReachesPAckOne(t *testing.T) {
+	// With 3 loggers, escalation must saturate at pAck = 1 and still finish.
+	pr := NewProber(ProbePlan{StartPAck: 0.25, Growth: 2, MinResponses: 10, Repeats: 2})
+	steps := 0
+	for {
+		p, ok := pr.NextProbe()
+		if !ok {
+			break
+		}
+		k := int(3 * p) // deterministic approximation
+		pr.ObserveRound(k)
+		if steps++; steps > 50 {
+			t.Fatal("prober did not terminate")
+		}
+	}
+	if est := pr.Estimate(); est < 0 || est > 6 {
+		t.Fatalf("tiny group estimate %v, want ≈3", est)
+	}
+}
+
+func TestRTTDefaultsAndClamps(t *testing.T) {
+	r, err := NewRTT(RTTConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TWait() != DefaultRTTConfig.Initial {
+		t.Fatalf("initial TWait = %v", r.TWait())
+	}
+	if r.Cap() != 2*r.TWait() {
+		t.Fatalf("Cap = %v, want 2×TWait", r.Cap())
+	}
+	// Converge down toward a 40ms RTT.
+	for i := 0; i < 100; i++ {
+		r.Observe(40 * time.Millisecond)
+	}
+	if got := r.TWait(); got < 35*time.Millisecond || got > 60*time.Millisecond {
+		t.Fatalf("TWait after convergence = %v, want ≈40ms", got)
+	}
+}
+
+func TestRTTObserveFormula(t *testing.T) {
+	r, _ := NewRTT(RTTConfig{Alpha: 0.125, Initial: 800 * time.Millisecond})
+	r.Observe(400 * time.Millisecond)
+	// 0.125*400 + 0.875*800 = 750ms.
+	if got := r.TWait(); got != 750*time.Millisecond {
+		t.Fatalf("TWait = %v, want 750ms", got)
+	}
+}
+
+func TestRTTSampleCappedAtTwice(t *testing.T) {
+	r, _ := NewRTT(RTTConfig{Alpha: 0.5, Initial: 100 * time.Millisecond})
+	r.Observe(10 * time.Second) // clamped to 200ms
+	// 0.5*200 + 0.5*100 = 150ms.
+	if got := r.TWait(); got != 150*time.Millisecond {
+		t.Fatalf("TWait = %v, want 150ms (sample capped at 2×t_wait)", got)
+	}
+}
+
+func TestRTTNegativeSampleIgnored(t *testing.T) {
+	r, _ := NewRTT(RTTConfig{})
+	before := r.TWait()
+	r.Observe(-time.Second)
+	if r.TWait() != before {
+		t.Fatal("negative sample mutated estimate")
+	}
+}
+
+func TestRTTConfigValidation(t *testing.T) {
+	bad := []RTTConfig{
+		{Alpha: 2, Initial: time.Second, Min: time.Millisecond, Max: time.Minute},
+		{Alpha: 0.1, Initial: time.Hour, Min: time.Millisecond, Max: time.Minute},
+		{Alpha: 0.1, Initial: time.Second, Min: time.Minute, Max: time.Millisecond},
+	}
+	for i, c := range bad {
+		if _, err := NewRTT(c); err == nil {
+			t.Errorf("case %d: NewRTT(%+v) accepted", i, c)
+		}
+	}
+}
+
+func TestHotlistFlagsChronicResponder(t *testing.T) {
+	now := time.Unix(0, 0)
+	h := NewHotlist[int](time.Minute, 3)
+	// A faulty logger responds to every epoch; an honest one rarely.
+	for i := 0; i < 10; i++ {
+		h.Record(1, now.Add(time.Duration(i)*10*time.Second))
+	}
+	h.Record(2, now.Add(50*time.Second))
+	at := now.Add(100 * time.Second)
+	if !h.Faulty(1, at) {
+		t.Errorf("chronic responder not flagged: score %.2f", h.Score(1, at))
+	}
+	if h.Faulty(2, at) {
+		t.Errorf("honest responder flagged: score %.2f", h.Score(2, at))
+	}
+}
+
+func TestHotlistDecay(t *testing.T) {
+	now := time.Unix(0, 0)
+	h := NewHotlist[string](time.Minute, 3)
+	h.Record("a", now)
+	if s := h.Score("a", now.Add(time.Minute)); math.Abs(s-0.5) > 1e-9 {
+		t.Fatalf("score after one half-life = %v, want 0.5", s)
+	}
+	if s := h.Score("a", now.Add(3*time.Minute)); math.Abs(s-0.125) > 1e-9 {
+		t.Fatalf("score after three half-lives = %v, want 0.125", s)
+	}
+	if h.Score("missing", now) != 0 {
+		t.Fatal("unknown id should score 0")
+	}
+}
+
+// Property: the EWMA estimate always stays within the convex hull of the
+// initial estimate and all observed samples.
+func TestGroupSizeConvexHullProperty(t *testing.T) {
+	f := func(obs []uint16, initRaw uint16) bool {
+		init := float64(initRaw%1000) + 1
+		g, err := NewGroupSize(GroupSizeConfig{K: 10, Alpha: 0.25, Initial: init})
+		if err != nil {
+			return false
+		}
+		lo, hi := init, init
+		for _, o := range obs {
+			p := g.PAck()
+			k := int(o % 500)
+			g.Observe(k, p)
+			sample := float64(k) / p
+			if sample < lo {
+				lo = sample
+			}
+			if sample > hi {
+				hi = sample
+			}
+			if e := g.Estimate(); e < lo-1e-6 || e > hi+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RTT estimate stays within [Min, Max] for arbitrary samples.
+func TestRTTBoundsProperty(t *testing.T) {
+	f := func(samplesMS []int32) bool {
+		r, err := NewRTT(RTTConfig{})
+		if err != nil {
+			return false
+		}
+		for _, s := range samplesMS {
+			r.Observe(time.Duration(s) * time.Millisecond)
+			if r.TWait() < DefaultRTTConfig.Min || r.TWait() > DefaultRTTConfig.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/netsim"
+	"lbrm/internal/posack"
+	"lbrm/internal/srm"
+	"lbrm/internal/stats"
+	"lbrm/internal/transport"
+	"lbrm/internal/wire"
+)
+
+func init() {
+	register("srm", "§6: LBRM vs wb-style (SRM) recovery — latency and crying-baby traffic", VsSRM)
+	register("posack", "§1/§5: positive-acknowledgement baseline — ACK implosion at the source", PosAckImplosion)
+}
+
+// VsSRM reproduces the §6 comparison on one topology: 10 sites × 5
+// receivers, LAN RTT ~4 ms, WAN RTT ~80 ms. One receiver behind a bad last
+// hop loses every k-th packet (the crying baby). LBRM recovers each loss
+// from the site's secondary logger in about a LAN RTT with zero group-wide
+// packets; wb-style recovery multicasts a request and a repair to all 50
+// receivers and takes a few source-RTTs.
+func VsSRM() *Result {
+	const sites = 10
+	const perSite = 5
+	const packets = 30
+	const lossEvery = 5 // victim loses every 5th packet
+
+	r := NewResult("srm", "LBRM vs wb-style recovery: lossy receiver behind one bad link (§6)",
+		"protocol", "mean recovery", "p95 recovery", "group-wide extra pkts/loss", "losses recovered")
+
+	// dropDataEvery drops every lossEvery-th DATA packet after the warm-up
+	// (heartbeats and repairs flow freely).
+	dropDataEvery := func() lbrm.LossModel {
+		idx := map[int]bool{}
+		for i := lossEvery; i <= packets; i += lossEvery {
+			idx[i+1] = true // +1 skips the warm packet
+		}
+		return &lbrm.DropMatching{
+			Match: func(data []byte) bool {
+				var p wire.Packet
+				return p.Unmarshal(data) == nil && p.Type == wire.TypeData
+			},
+			Indices: idx,
+		}
+	}
+
+	// --- LBRM run ---
+	lbrmRec := &stats.Sample{}
+	var groupWide float64
+	{
+		tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+			Seed: 61, Sites: sites, ReceiversPerSite: perSite,
+			Sender:   lbrm.SenderConfig{Heartbeat: expHB},
+			Receiver: lbrm.ReceiverConfig{NackDelay: 2 * time.Millisecond},
+		})
+		if err != nil {
+			panic(err)
+		}
+		victim := tb.Sites[0].ReceiverNodes[0]
+		tb.Send([]byte("warm"))
+		tb.Run(300 * time.Millisecond)
+		victim.DownLink().SetLoss(dropDataEvery())
+
+		// Crying-baby cost: recovery packets crossing site10 (an
+		// uninvolved site) tail-down.
+		extra := 0
+		tb.Net.SetTap(func(ev lbrm.TapEvent) {
+			var p wire.Packet
+			if p.Unmarshal(ev.Data) != nil {
+				return
+			}
+			if ev.Link.Name() == "site10/tail-down" &&
+				(p.Type == wire.TypeNack || p.Type == wire.TypeRetrans) {
+				extra++
+			}
+		})
+		for i := 0; i < packets; i++ {
+			tb.Send([]byte(fmt.Sprintf("u%d", i)))
+			tb.Run(100 * time.Millisecond)
+		}
+		tb.Run(3 * time.Second)
+		key := lbrm.StreamKey{Source: tb.Source, Group: tb.Group}
+		for _, d := range tb.Sites[0].Receivers[0].RecoveryTimes(key) {
+			lbrmRec.AddDuration(d)
+		}
+		groupWide = float64(extra) / float64(max(1, lbrmRec.N()))
+		r.AddRow("LBRM (site secondary)", ms(lbrmRec.MeanDuration()),
+			ms(lbrmRec.PercentileDuration(95)),
+			fmt.Sprintf("%.1f", groupWide),
+			fmt.Sprintf("%d/%d", lbrmRec.N(), packets/lossEvery))
+		r.Set("lbrmMeanMS", lbrmRec.Mean()*1000)
+		r.Set("lbrmGroupWide", groupWide)
+		r.Set("lbrmRecovered", float64(lbrmRec.N()))
+	}
+
+	// --- SRM run (same topology, same loss pattern) ---
+	srmRec := &stats.Sample{}
+	{
+		net := netsim.New(62)
+		srcSite := net.NewSite(netsim.SiteParams{Name: "src"})
+		source := srm.New(srm.Config{Group: 9, Source: 1, IsSource: true,
+			SessionInterval: 200 * time.Millisecond})
+		srcNode := srcSite.NewHost("source", source)
+		var members []*srm.Member
+		var nodes []*netsim.Node
+		var tenthSite *netsim.Site
+		for i := 0; i < sites; i++ {
+			site := net.NewSite(netsim.SiteParams{Name: fmt.Sprintf("site%d", i+1)})
+			if i == sites-1 {
+				tenthSite = site
+			}
+			for j := 0; j < perSite; j++ {
+				m := srm.New(srm.Config{Group: 9, Source: 1})
+				node := site.NewHost(fmt.Sprintf("site%d/rcv%d", i+1, j), m)
+				members = append(members, m)
+				nodes = append(nodes, node)
+			}
+		}
+		_ = tenthSite
+		net.Start()
+		// Inject true distances (SRM learns them from session timestamps).
+		for i, m := range members {
+			m.SetDistance(net.PathDelay(srcNode.ID(), nodes[i].ID()))
+		}
+		victim := nodes[0]
+		idx := map[int]bool{}
+		for i := lossEvery; i <= packets; i += lossEvery {
+			idx[i+1] = true
+		}
+		source.Send([]byte("warm"))
+		net.RunFor(300 * time.Millisecond)
+		victim.DownLink().SetLoss(&netsim.DropMatching{
+			Match: func(data []byte) bool {
+				var p wire.Packet
+				return p.Unmarshal(data) == nil && p.Type == wire.TypeData
+			},
+			Indices: idx,
+		})
+		extra := 0
+		net.SetTap(func(ev netsim.TapEvent) {
+			var p wire.Packet
+			if p.Unmarshal(ev.Data) != nil {
+				return
+			}
+			if ev.Link.Name() == "site10/tail-down" &&
+				(p.Type == wire.TypeNack || p.Type == wire.TypeRetrans) {
+				extra++
+			}
+		})
+		for i := 0; i < packets; i++ {
+			source.Send([]byte(fmt.Sprintf("u%d", i)))
+			net.RunFor(100 * time.Millisecond)
+		}
+		net.RunFor(5 * time.Second)
+		for _, d := range members[0].RecoveryTimes {
+			srmRec.AddDuration(d)
+		}
+		gw := float64(extra) / float64(max(1, srmRec.N()))
+		r.AddRow("wb-style (SRM)", ms(srmRec.MeanDuration()),
+			ms(srmRec.PercentileDuration(95)),
+			fmt.Sprintf("%.1f", gw),
+			fmt.Sprintf("%d/%d", srmRec.N(), packets/lossEvery))
+		r.Set("srmMeanMS", srmRec.Mean()*1000)
+		r.Set("srmGroupWide", gw)
+		r.Set("srmRecovered", float64(srmRec.N()))
+	}
+	r.Set("latencyRatio", r.Get("srmMeanMS")/r.Get("lbrmMeanMS"))
+	r.Note("paper §6: wb recovers in ≈3×RTT-to-source and multicasts ≥1 request + ≥1 repair group-wide per loss (crying baby); LBRM recovers in ≈1 RTT to the nearest logger with zero group-wide traffic for local losses")
+	return r
+}
+
+// PosAckImplosion contrasts LBRM's constant per-packet source load
+// (k statistical ACKs) against a conventional positive-ack protocol where
+// every receiver ACKs every packet (§1's implosion argument).
+func PosAckImplosion() *Result {
+	r := NewResult("posack", "Per-packet control traffic at the source: positive-ack vs LBRM statistical ack",
+		"receivers", "pos-ack ACKs/pkt", "LBRM ACKs/pkt (k=20)")
+	for _, n := range []int{100, 500, 1000} {
+		sites := n / 10
+		net := netsim.New(int64(63 + n))
+		srcSite := net.NewSite(netsim.SiteParams{Name: "src"})
+		var rcvAddrs []transport.Addr
+		var rcvNodes []*netsim.Node
+		for i := 0; i < sites; i++ {
+			site := net.NewSite(netsim.SiteParams{Name: fmt.Sprintf("s%d", i)})
+			for j := 0; j < 10; j++ {
+				node := site.NewHost("", nil)
+				rcvNodes = append(rcvNodes, node)
+				rcvAddrs = append(rcvAddrs, node.Addr())
+			}
+		}
+		src := posack.NewSource(posack.SourceConfig{Group: 8, Source: 1, Receivers: rcvAddrs})
+		srcNode := srcSite.NewHost("source", src)
+		for _, node := range rcvNodes {
+			rc := posack.NewReceiver(posack.ReceiverConfig{Group: 8, Source: 1, SourceAddr: srcNode.Addr()})
+			node.SetHandler(rc)
+		}
+		net.Start()
+		const pkts = 3
+		for i := 0; i < pkts; i++ {
+			src.Send([]byte("x"))
+			net.RunFor(500 * time.Millisecond)
+		}
+		net.RunUntilIdle()
+		acksPerPkt := float64(src.Stats().AcksReceived) / pkts
+		r.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.0f", acksPerPkt), "20")
+		r.Set(fmt.Sprintf("posack@%d", n), acksPerPkt)
+	}
+	r.Set("lbrmAcksPerPacket", 20)
+	r.Note("LBRM's k is constant (5–20) regardless of group size; positive-ack load grows linearly and the source must know every receiver")
+	return r
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/heartbeat"
+	"lbrm/internal/netsim"
+	"lbrm/internal/wire"
+)
+
+func init() {
+	register("dissim", "E12 cross-check: a live terrain-entity population on the wire vs the closed forms", DISSim)
+}
+
+// DISSim validates the Figure 4/§2.1.2 arithmetic against the actual
+// protocol at population scale: a scaled-down DIS terrain population (25
+// entities, each an independent LBRM sender updating every 120 s) runs in
+// the simulator for 16 virtual minutes under both heartbeat schemes, and
+// the packets crossing the source site's tail circuit are counted.
+func DISSim() *Result {
+	const entities = 25
+	const dt = 120 * time.Second
+	const duration = 16 * time.Minute
+
+	r := NewResult("dissim", "25 terrain entities on the wire, 16 virtual minutes, dt=120s",
+		"scheme", "data pkts", "heartbeats", "hb/s per entity", "analytic hb/s")
+
+	run := func(hb lbrm.HeartbeatParams) (data, hbs uint64) {
+		net := netsim.New(7)
+		srcSite := net.NewSite(netsim.SiteParams{Name: "source-site"})
+		rcvSite := net.NewSite(netsim.SiteParams{Name: "rcv-site"})
+		// One listener keeps the multicast tree alive across the WAN.
+		rcvSite.NewHost("listener", lbrm.NewReceiver(lbrm.ReceiverConfig{
+			Group: 1, Heartbeat: hb, NackDelay: time.Hour,
+		}))
+		var senders []*lbrm.Sender
+		for i := 0; i < entities; i++ {
+			s, err := lbrm.NewSender(lbrm.SenderConfig{
+				Source: lbrm.SourceID(i + 1), Group: 1, Heartbeat: hb,
+			})
+			if err != nil {
+				panic(err)
+			}
+			senders = append(senders, s)
+			srcSite.NewHost(fmt.Sprintf("entity%d", i), s)
+		}
+		net.SetTap(func(ev netsim.TapEvent) {
+			if !strings.Contains(ev.Link.Name(), "source-site/tail-up") {
+				return
+			}
+			var p wire.Packet
+			if p.Unmarshal(ev.Data) != nil {
+				return
+			}
+			switch p.Type {
+			case wire.TypeData:
+				data++
+			case wire.TypeHeartbeat:
+				hbs++
+			}
+		})
+		net.Start()
+		// De-phase the entities across the update interval, then update
+		// every dt.
+		for i, s := range senders {
+			s := s
+			var tick func()
+			tick = func() {
+				s.Send([]byte("terrain state"))
+				net.Clock().AfterFunc(dt, tick)
+			}
+			net.Clock().AfterFunc(time.Duration(i)*dt/entities, tick)
+		}
+		net.RunFor(duration)
+		return data, hbs
+	}
+
+	variable := lbrm.HeartbeatParams{HMin: 250 * time.Millisecond, HMax: 32 * time.Second, Backoff: 2}
+	fixed := lbrm.HeartbeatParams{HMin: 250 * time.Millisecond, HMax: 250 * time.Millisecond, Backoff: 1}
+
+	vData, vHB := run(variable)
+	fData, fHB := run(fixed)
+	secs := duration.Seconds()
+	perEntity := func(h uint64) float64 { return float64(h) / secs / entities }
+	r.AddRow("variable (0.25s→32s ×2)", fmt.Sprintf("%d", vData), fmt.Sprintf("%d", vHB),
+		fmt.Sprintf("%.4f", perEntity(vHB)),
+		fmt.Sprintf("%.4f", heartbeat.RateVariable(heartbeat.Params(variable), dt)))
+	r.AddRow("fixed (0.25s)", fmt.Sprintf("%d", fData), fmt.Sprintf("%d", fHB),
+		fmt.Sprintf("%.4f", perEntity(fHB)),
+		fmt.Sprintf("%.4f", heartbeat.RateFixed(heartbeat.Params(fixed), dt)))
+	r.Set("variableHB", float64(vHB))
+	r.Set("fixedHB", float64(fHB))
+	r.Set("ratio", float64(fHB)/float64(vHB))
+	r.Set("variablePerEntity", perEntity(vHB))
+	r.Set("analyticVariable", heartbeat.RateVariable(heartbeat.Params(variable), dt))
+	r.Set("fixedPerEntity", perEntity(fHB))
+	r.Set("analyticFixed", heartbeat.RateFixed(heartbeat.Params(fixed), dt))
+	r.Note("measured on the wire (source tail circuit) with %d live senders; the ratio reproduces Figure 5's ≈53×", entities)
+	return r
+}

@@ -1,0 +1,150 @@
+// Package experiments reproduces every data-bearing table and figure of
+// the LBRM paper, plus its quantitative in-text claims. Each experiment is
+// a Runner producing a Result: a formatted table of the same rows/series
+// the paper reports, a set of named values for programmatic assertions
+// (tests and benchmarks), and notes recording paper-vs-measured context.
+//
+// The experiment index lives in DESIGN.md; paper-vs-measured numbers are
+// recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	// ID is the experiment key ("fig4", "table1", ...).
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Headers and Rows form the report table.
+	Headers []string
+	Rows    [][]string
+	// Notes carry methodology and paper-comparison remarks.
+	Notes []string
+	// Values holds named scalars for assertions.
+	Values map[string]float64
+}
+
+// NewResult returns an empty result.
+func NewResult(id, title string, headers ...string) *Result {
+	return &Result{ID: id, Title: title, Headers: headers, Values: make(map[string]float64)}
+}
+
+// AddRow appends one table row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Note appends a formatted note.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Set records a named scalar.
+func (r *Result) Set(key string, v float64) { r.Values[key] = v }
+
+// Get returns a named scalar (NaN-free zero default).
+func (r *Result) Get(key string) float64 { return r.Values[key] }
+
+// CSV renders the result as RFC-4180-ish comma-separated rows (header
+// first), for plotting pipelines.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		return c
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(r.Headers)
+	for _, cells := range r.Rows {
+		row(cells)
+	}
+	return b.String()
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Headers)
+	sep := make([]string, len(r.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner names one experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func() *Result
+}
+
+var registry []Runner
+
+func register(id, title string, run func() *Result) {
+	registry = append(registry, Runner{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment, ordered by ID registration.
+func All() []Runner { return append([]Runner(nil), registry...) }
+
+// ByID finds an experiment.
+func ByID(id string) (Runner, bool) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs lists registered experiment IDs.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, r := range registry {
+		ids[i] = r.ID
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lbrm/internal/dis"
+	"lbrm/internal/heartbeat"
+)
+
+func init() {
+	register("fig4", "Figure 4: fixed vs variable heartbeat overhead rate vs data interval", Fig4)
+	register("fig5", "Figure 5: overhead(fixed)/overhead(variable) vs data interval", Fig5)
+	register("table1", "Table 1: overhead ratio at dt=120s vs backoff", Table1)
+	register("burst", "§2.1.1: loss-detection delay vs burst length (analytic + simulated)", BurstDetection)
+	register("dis", "§2.1.2/§1: DIS STOW-97 scenario packet rates", DISScenario)
+}
+
+// fig45Grid is the dt sweep used by Figures 4 and 5 (log-spaced, seconds).
+var fig45Grid = []float64{
+	0.1, 0.25, 0.5, 1, 2, 4, 8, 15, 30, 60, 120, 240, 480, 1000,
+}
+
+// Fig4 reproduces Figure 4: heartbeat packets/second for the fixed and
+// variable schemes as a function of the interval between data packets
+// (h_min = 0.25 s, h_max = 32 s, backoff = 2).
+func Fig4() *Result {
+	p := heartbeat.DefaultParams
+	r := NewResult("fig4", "Fixed and Variable Heartbeat Overhead Rates (hmin=0.25 hmax=32 backoff=2)",
+		"dt (s)", "fixed (pkt/s)", "variable (pkt/s)")
+	for _, dt := range fig45Grid {
+		d := time.Duration(dt * float64(time.Second))
+		f := heartbeat.RateFixed(p, d)
+		v := heartbeat.RateVariable(p, d)
+		r.AddRow(fmt.Sprintf("%g", dt), fmt.Sprintf("%.4f", f), fmt.Sprintf("%.4f", v))
+	}
+	r.Set("fixed@1000s", heartbeat.RateFixed(p, 1000*time.Second))
+	r.Set("variable@1000s", heartbeat.RateVariable(p, 1000*time.Second))
+	r.Set("fixed@120s", heartbeat.RateFixed(p, 120*time.Second))
+	r.Set("variable@120s", heartbeat.RateVariable(p, 120*time.Second))
+	r.Note("paper's asymptotes: fixed → 1/hmin = 4 pkt/s, variable → 1/hmax = 0.031 pkt/s")
+	r.Note("dt ≤ hmin emits no heartbeats under either scheme (data preempts)")
+	return r
+}
+
+// Fig5 reproduces Figure 5: the ratio of the two curves, with the paper's
+// marked DIS point at dt = 120 s (≈53.4×).
+func Fig5() *Result {
+	p := heartbeat.DefaultParams
+	r := NewResult("fig5", "Overhead(Fixed)/Overhead(Variable) (hmin=0.25 hmax=32 backoff=2)",
+		"dt (s)", "ratio")
+	for _, dt := range fig45Grid {
+		d := time.Duration(dt * float64(time.Second))
+		ratio := heartbeat.OverheadRatio(p, d)
+		cell := "n/a (no heartbeats)"
+		if ratio == ratio { // not NaN
+			cell = fmt.Sprintf("%.1f", ratio)
+		}
+		r.AddRow(fmt.Sprintf("%g", dt), cell)
+	}
+	at120 := heartbeat.OverheadRatio(p, 120*time.Second)
+	r.Set("ratio@120s", at120)
+	r.Note("paper's marked point: dt=120s → 53.4× (Fig 5 text) / 53.3 (Table 1); measured %.1f×", at120)
+	return r
+}
+
+// table1Backoffs are the paper's Table 1 rows with its reported ratios.
+var table1Backoffs = []struct {
+	backoff float64
+	paper   float64
+}{
+	{1.5, 34.4}, {2.0, 53.3}, {2.5, 65.8}, {3.0, 74.8}, {3.5, 81.7}, {4.0, 87.3},
+}
+
+// Table1 reproduces Table 1: the fixed/variable overhead ratio at
+// dt = 120 s as the backoff parameter varies. Two models are reported: the
+// exact deterministic count (periodic data every 120 s) and the expected
+// count under exponential inter-data times with mean 120 s; the paper's
+// numbers fall between them (its exact model is unstated).
+func Table1() *Result {
+	r := NewResult("table1", "Overhead(Fixed)/Overhead(Variable) at dt=120s vs backoff",
+		"backoff", "deterministic", "exponential-mean", "paper")
+	dt := 120 * time.Second
+	for _, row := range table1Backoffs {
+		p := heartbeat.Params{HMin: 250 * time.Millisecond, HMax: 32 * time.Second, Backoff: row.backoff}
+		det := heartbeat.OverheadRatio(p, dt)
+		exp := heartbeat.ExpectedCountFixed(p, dt) / heartbeat.ExpectedCountVariable(p, dt)
+		r.AddRow(fmt.Sprintf("%.1f", row.backoff),
+			fmt.Sprintf("%.1f", det), fmt.Sprintf("%.1f", exp),
+			fmt.Sprintf("%.1f", row.paper))
+		r.Set(fmt.Sprintf("det@%.1f", row.backoff), det)
+		r.Set(fmt.Sprintf("exp@%.1f", row.backoff), exp)
+		r.Set(fmt.Sprintf("paper@%.1f", row.backoff), row.paper)
+	}
+	r.Note("ratio grows monotonically with backoff with diminishing returns, matching the paper's shape")
+	return r
+}
+
+// BurstDetection reproduces §2.1.1's analysis: for the burst congestion
+// model (data packet sent at burst start, nothing received during the
+// burst), the loss-detection delay is h_min for isolated losses and
+// bounded by backoff×t_burst (+h_min, capped by t_burst+h_max) for longer
+// bursts. Reported analytically from the heartbeat timeline; the
+// end-to-end simulated counterpart is exercised in the integration tests
+// and the E11 bench.
+func BurstDetection() *Result {
+	p := heartbeat.DefaultParams
+	r := NewResult("burst", "Loss-detection delay vs burst length (hmin=0.25 hmax=32 backoff=2)",
+		"t_burst (s)", "detect (s)", "bound (s)", "detect/t_burst")
+	bursts := []float64{0.05, 0.1, 0.2, 0.25, 0.5, 1, 2, 5, 10, 30, 60, 120}
+	worst := 0.0
+	for _, tb := range bursts {
+		d := time.Duration(tb * float64(time.Second))
+		det := heartbeat.DetectionDelay(p, d)
+		bound := heartbeat.DetectionBound(p, d)
+		ratio := det.Seconds() / tb
+		if det > bound {
+			ratio = -1 // flag violation (asserted in tests)
+		}
+		if tb > p.HMin.Seconds() && ratio > worst {
+			worst = ratio
+		}
+		r.AddRow(fmt.Sprintf("%g", tb), fmt.Sprintf("%.3f", det.Seconds()),
+			fmt.Sprintf("%.3f", bound.Seconds()), fmt.Sprintf("%.2f", ratio))
+		r.Set(fmt.Sprintf("detect@%gs", tb), det.Seconds())
+		r.Set(fmt.Sprintf("bound@%gs", tb), bound.Seconds())
+	}
+	r.Set("worstRatio", worst)
+	r.Note("paper: isolated losses detected at h_min; bursts within ≈2×t_burst (backoff 2), capped near h_max")
+	return r
+}
+
+// DISScenario reproduces the §2.1.2/§1 DIS arithmetic: 100k dynamic
+// entities at 1 pkt/s, 100k terrain entities changing every 2 minutes with
+// a 1/4-second freshness requirement. A Monte-Carlo generator cross-checks
+// the closed forms on a 1/10000-scale population.
+func DISScenario() *Result {
+	s := dis.STOW97()
+	r := NewResult("dis", "STOW-97 packet rates: fixed vs variable heartbeats",
+		"component", "pkt/s")
+	data := s.DataRate()
+	fixed := s.HeartbeatRateFixed()
+	variable := s.HeartbeatRateVariable()
+	r.AddRow("dynamic+terrain data", fmt.Sprintf("%.0f", data))
+	r.AddRow("terrain heartbeats (fixed, 4/s each)", fmt.Sprintf("%.0f", fixed))
+	r.AddRow("terrain heartbeats (variable)", fmt.Sprintf("%.0f", variable))
+	r.AddRow("total (fixed scheme)", fmt.Sprintf("%.0f", s.TotalRateFixed()))
+	r.AddRow("total (variable scheme)", fmt.Sprintf("%.0f", s.TotalRateVariable()))
+	r.Set("dataRate", data)
+	r.Set("fixedHeartbeats", fixed)
+	r.Set("variableHeartbeats", variable)
+	r.Set("heartbeatFractionFixed", fixed/s.TotalRateFixed())
+	r.Set("reduction", fixed/variable)
+	r.Note("paper: ~500,000 pkt/s total with heartbeats ≈4/5 of it; variable heartbeat cuts heartbeat load ~50×")
+
+	// Monte-Carlo cross-check: simulate a 1/10000 population for 30 min of
+	// virtual time and compare observed update rate to the closed form.
+	gen, updates := runScaledDIS(10_000, 30*time.Minute)
+	perSec := float64(updates) / (30 * 60)
+	expect := data / 10_000
+	r.Set("simUpdateRate", perSec)
+	r.Set("simExpectedRate", expect)
+	r.Note("scaled simulation (1/10000, 30 virtual min): %.2f updates/s vs closed-form %.2f",
+		perSec, expect)
+	_ = gen
+	return r
+}
+
+func runScaledDIS(scaleDiv int, dur time.Duration) (*dis.Generator, uint64) {
+	clk := newSimClock()
+	rng := rand.New(rand.NewSource(42))
+	g := dis.NewGenerator(dis.STOW97(), scaleDiv, clk, rng, func(*dis.Entity, []byte) {})
+	g.Start()
+	clk.RunFor(dur)
+	g.Stop()
+	return g, g.Updates()
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/logger"
+	"lbrm/internal/netsim"
+	"lbrm/internal/transport"
+	"lbrm/internal/wire"
+)
+
+func init() {
+	register("hierarchy", "§7 extension: multi-level logger hierarchy — NACKs at the primary vs hierarchy depth", Hierarchy)
+}
+
+// Hierarchy exercises the paper's §7 future-work idea ("a multi-level
+// hierarchy of logging servers may be used to further reduce NACK
+// bandwidth in large groups") using the recursion the design already
+// permits: a site secondary's "primary" may itself be another secondary.
+//
+// Topology: R regions × S sites × N receivers. With two levels, a
+// widespread loss sends one NACK per site (R×S) to the primary; with
+// three levels, site loggers ask their region logger, and only one NACK
+// per region (R) reaches the primary.
+func Hierarchy() *Result {
+	const regions = 4
+	const sitesPerRegion = 5
+	const perSite = 5
+	r := NewResult("hierarchy", "NACKs reaching the primary vs logger hierarchy depth (widespread loss)",
+		"hierarchy", "NACKs at primary", "recovered")
+
+	run := func(threeLevel bool) (nacksAtPrimary int, recovered, total int) {
+		net := netsim.New(91)
+		hb := lbrm.HeartbeatParams{HMin: 50 * time.Millisecond, HMax: 400 * time.Millisecond, Backoff: 2}
+
+		srcSite := net.NewSite(netsim.SiteParams{Name: "source-site"})
+		primary := logger.NewPrimary(logger.PrimaryConfig{Group: 1})
+		primaryNode := srcSite.NewHost("primary", primary)
+		sender, err := lbrm.NewSender(lbrm.SenderConfig{
+			Source: 1, Group: 1, Heartbeat: hb, Primary: primaryNode.Addr(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		srcSite.NewHost("sender", sender)
+
+		delivered := map[uint64]int{}
+		totalReceivers := 0
+		for reg := 0; reg < regions; reg++ {
+			region := net.NewRegion(fmt.Sprintf("region%d", reg+1), 5*time.Millisecond)
+			// The region logger lives in a hub site inside the region.
+			hub := net.NewSite(netsim.SiteParams{
+				Name: fmt.Sprintf("region%d/hub", reg+1), Parent: region,
+			})
+			var upstream transport.Addr = primaryNode.Addr()
+			if threeLevel {
+				regionLogger := logger.NewSecondary(logger.SecondaryConfig{
+					Group: 1, Primary: primaryNode.Addr(),
+					NackDelay: 10 * time.Millisecond,
+					// Region-tier repairs must reach the whole region.
+					RemcastTTL: transport.TTLRegion,
+				})
+				regionNode := hub.NewHost(fmt.Sprintf("region%d/logger", reg+1), regionLogger)
+				upstream = regionNode.Addr()
+			}
+			for s := 0; s < sitesPerRegion; s++ {
+				site := net.NewSite(netsim.SiteParams{
+					Name:   fmt.Sprintf("region%d/site%d", reg+1, s+1),
+					Parent: region,
+				})
+				siteLogger := logger.NewSecondary(logger.SecondaryConfig{
+					Group: 1, Primary: upstream,
+					NackDelay: 10 * time.Millisecond,
+				})
+				siteLoggerNode := site.NewHost("", siteLogger)
+				for n := 0; n < perSite; n++ {
+					totalReceivers++
+					rcv := lbrm.NewReceiver(lbrm.ReceiverConfig{
+						Group: 1, Heartbeat: hb,
+						Secondary: siteLoggerNode.Addr(),
+						Primary:   primaryNode.Addr(),
+						NackDelay: 10 * time.Millisecond,
+						OnData:    func(e lbrm.Event) { delivered[e.Seq]++ },
+					})
+					site.NewHost("", rcv)
+				}
+			}
+		}
+		net.Start()
+
+		// Count NACKs arriving at the primary host.
+		nacks := 0
+		net.SetTap(func(ev netsim.TapEvent) {
+			if !strings.Contains(ev.Link.Name(), "primary/down") || ev.Dropped {
+				return
+			}
+			var p wire.Packet
+			if p.Unmarshal(ev.Data) == nil && p.Type == wire.TypeNack {
+				nacks++
+			}
+		})
+
+		sender.Send([]byte("warm"))
+		net.RunFor(500 * time.Millisecond)
+		srcSite.TailUp().SetLoss(&netsim.FirstN{N: 1})
+		sender.Send([]byte("lost-everywhere"))
+		net.RunFor(5 * time.Second)
+		return nacks, delivered[2], totalReceivers
+	}
+
+	n2, rec2, tot := run(false)
+	n3, rec3, _ := run(true)
+	r.AddRow("2-level (site loggers → primary)", fmt.Sprintf("%d", n2), fmt.Sprintf("%d/%d", rec2, tot))
+	r.AddRow("3-level (site → region → primary)", fmt.Sprintf("%d", n3), fmt.Sprintf("%d/%d", rec3, tot))
+	r.Set("twoLevelNacks", float64(n2))
+	r.Set("threeLevelNacks", float64(n3))
+	r.Set("twoLevelRecovered", float64(rec2))
+	r.Set("threeLevelRecovered", float64(rec3))
+	r.Set("receivers", float64(tot))
+	r.Note("%d regions × %d sites × %d receivers; the recursive logging architecture reduces primary NACK load from one per site to one per region", regions, sitesPerRegion, perSite)
+	return r
+}

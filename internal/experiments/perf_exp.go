@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"time"
+
+	"lbrm/internal/logger"
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/udp"
+	"lbrm/internal/vtime"
+	"lbrm/internal/wire"
+)
+
+func init() {
+	register("table3", "Table 3: secondary logging server response time (128-byte packet)", Table3)
+	register("throughput", "§3: maximum logging-server request service rate", LoggerThroughput)
+}
+
+// discardEnv is a minimal env for pure in-process timing: sends are
+// dropped, time is virtual and never advances (so no timer can fire
+// mid-measurement).
+type discardEnv struct {
+	clk *vtime.Sim
+	rng *rand.Rand
+}
+
+func newDiscardEnv() *discardEnv {
+	return &discardEnv{clk: newSimClock(), rng: rand.New(rand.NewSource(1))}
+}
+
+func (e *discardEnv) Now() time.Time                                   { return e.clk.Now() }
+func (e *discardEnv) AfterFunc(d time.Duration, fn func()) vtime.Timer { return e.clk.AfterFunc(d, fn) }
+func (e *discardEnv) Send(transport.Addr, []byte) error                { return nil }
+func (e *discardEnv) Multicast(wire.GroupID, int, []byte) error        { return nil }
+func (e *discardEnv) Join(wire.GroupID) error                          { return nil }
+func (e *discardEnv) Leave(wire.GroupID) error                         { return nil }
+func (e *discardEnv) LocalAddr() transport.Addr                        { return discardAddr{} }
+func (e *discardEnv) ParseAddr(s string) (transport.Addr, error)       { return discardAddr{}, nil }
+func (e *discardEnv) Rand() *rand.Rand                                 { return e.rng }
+
+type discardAddr struct{}
+
+func (discardAddr) Network() string { return "discard" }
+func (discardAddr) String() string  { return "discard" }
+
+const perfGroup = wire.GroupID(50)
+
+// loadedSecondary returns a secondary logger holding `packets` 128-byte
+// payloads, running on the given env.
+func loadedSecondary(env transport.Env, packets int) *logger.Secondary {
+	sec := logger.NewSecondary(logger.SecondaryConfig{
+		Group: perfGroup,
+		// High threshold: serve unicast (the measured path).
+		RemcastThreshold: 1 << 30,
+	})
+	sec.Start(env)
+	payload := make([]byte, 128)
+	for seq := 1; seq <= packets; seq++ {
+		p := wire.Packet{Type: wire.TypeData, Source: 1, Group: perfGroup,
+			Seq: uint64(seq), Payload: payload}
+		buf, err := p.Marshal()
+		if err != nil {
+			panic(err)
+		}
+		sec.Recv(discardAddr{}, buf)
+	}
+	return sec
+}
+
+// processingTime measures the in-process cost of serving one
+// retransmission request (decode NACK, log lookup, encode RETRANS) —
+// Table 3's "server request processing" row.
+func processingTime(iters int) time.Duration {
+	env := newDiscardEnv()
+	sec := loadedSecondary(env, 1024)
+	nack := wire.Packet{Type: wire.TypeNack, Source: 1, Group: perfGroup,
+		Ranges: []wire.SeqRange{{From: 1, To: 1}}}
+	req, err := nack.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	// Vary the requested seq so the remcast window map doesn't grow
+	// unboundedly for one key.
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		seq := uint64(i%1024) + 1
+		for b := 0; b < 8; b++ {
+			req[wire.HeaderLen+2+b] = byte(seq >> (56 - 8*b))
+			req[wire.HeaderLen+2+8+b] = byte(seq >> (56 - 8*b))
+		}
+		sec.Recv(discardAddr{}, req)
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// Table3 reproduces the paper's Table 3 on today's substrate: the response
+// time to request and retrieve a 128-byte packet from a logging server
+// over the local network (loopback UDP here; 10 Mbit Ethernet + AIX in the
+// paper). The same breakdown is reported: server processing vs
+// network/OS overhead vs total.
+func Table3() *Result {
+	r := NewResult("table3", "Secondary logging server response time, 128-byte packet",
+		"operation", "measured (µs)", "paper 1995 (µs)")
+	proc := processingTime(20000)
+
+	total, err := loopbackRoundTrip(1500)
+	if err != nil {
+		r.Note("loopback UDP unavailable (%v); only in-process processing measured", err)
+		total = proc // degenerate: no network path
+	}
+	netOS := total - proc
+	if netOS < 0 {
+		netOS = 0
+	}
+	us := func(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d)/float64(time.Microsecond)) }
+	r.AddRow("server request processing", us(proc), "102")
+	r.AddRow("network + OS (transmission, interrupts, context switch)", us(netOS), "390 + 1090")
+	r.AddRow("total (request → response)", us(total), "1582")
+	r.Set("processingUS", float64(proc)/float64(time.Microsecond))
+	r.Set("totalUS", float64(total)/float64(time.Microsecond))
+	r.Note("paper hardware: IBM RS/6000-370 (70 SPECint), AIX 3.2.5, 10 Mbit Ethernet; absolute numbers differ, the breakdown's shape (network/OS dominates processing) is the claim")
+	return r
+}
+
+// loopbackRoundTrip measures the median NACK→RETRANS round trip against a
+// UDP-bound secondary logger on 127.0.0.1.
+func loopbackRoundTrip(iters int) (time.Duration, error) {
+	sec := logger.NewSecondary(logger.SecondaryConfig{
+		Group:            perfGroup,
+		RemcastThreshold: 1 << 30,
+	})
+	node, err := udp.Start(udp.Config{
+		Listen: "127.0.0.1:0",
+		Groups: map[wire.GroupID]string{perfGroup: "239.81.77.2:17791"},
+	}, sec)
+	if err != nil {
+		return 0, err
+	}
+	defer node.Close()
+
+	// Load the log via a unicast data injection (the logger treats DATA
+	// arriving unicast like multicast data).
+	client, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return 0, err
+	}
+	defer client.Close()
+	serverAddr, err := net.ResolveUDPAddr("udp4", node.Addr().String())
+	if err != nil {
+		return 0, err
+	}
+	payload := make([]byte, 128)
+	data := wire.Packet{Type: wire.TypeData, Source: 1, Group: perfGroup, Seq: 1, Payload: payload}
+	dbuf, _ := data.Marshal()
+	if _, err := client.WriteToUDP(dbuf, serverAddr); err != nil {
+		return 0, err
+	}
+	nack := wire.Packet{Type: wire.TypeNack, Source: 1, Group: perfGroup,
+		Ranges: []wire.SeqRange{{From: 1, To: 1}}}
+	nbuf, _ := nack.Marshal()
+	resp := make([]byte, 2048)
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+
+	samples := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if _, err := client.WriteToUDP(nbuf, serverAddr); err != nil {
+			return 0, err
+		}
+		client.SetReadDeadline(time.Now().Add(time.Second))
+		if _, _, err := client.ReadFromUDP(resp); err != nil {
+			return 0, fmt.Errorf("no retransmission received: %w", err)
+		}
+		samples = append(samples, time.Since(t0))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2], nil
+}
+
+// LoggerThroughput reproduces §3's saturation measurement: the maximum
+// rate at which a logging server can receive, process and answer
+// retransmission requests (the paper measured ≈1587 req/s on 1995
+// hardware; one request per 630 µs).
+func LoggerThroughput() *Result {
+	r := NewResult("throughput", "Maximum logging-server request service rate",
+		"path", "requests/s", "per-request (µs)")
+
+	// In-process ceiling (no sockets).
+	proc := processingTime(20000)
+	inproc := float64(time.Second) / float64(proc)
+	r.AddRow("in-process (decode+lookup+encode)", fmt.Sprintf("%.0f", inproc),
+		fmt.Sprintf("%.1f", float64(proc)/float64(time.Microsecond)))
+	r.Set("inprocessPerSec", inproc)
+
+	// Loopback UDP: blast a batch of requests and count responses.
+	rate, perReq, err := loopbackThroughput(8000)
+	if err != nil {
+		r.Note("loopback UDP unavailable: %v", err)
+	} else {
+		r.AddRow("loopback UDP (request+response)", fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.1f", float64(perReq)/float64(time.Microsecond)))
+		r.Set("udpPerSec", rate)
+	}
+	r.Note("paper: 1587 requests/s (630 µs each) on the RS/6000; the shape claim is that a logger serving hundreds of clients is not unduly loaded")
+	return r
+}
+
+func loopbackThroughput(requests int) (float64, time.Duration, error) {
+	sec := logger.NewSecondary(logger.SecondaryConfig{
+		Group:            perfGroup,
+		RemcastThreshold: 1 << 30,
+	})
+	node, err := udp.Start(udp.Config{
+		Listen: "127.0.0.1:0",
+		Groups: map[wire.GroupID]string{perfGroup: "239.81.77.3:17792"},
+	}, sec)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer node.Close()
+	client, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer client.Close()
+	client.SetReadBuffer(4 << 20)
+	serverAddr, _ := net.ResolveUDPAddr("udp4", node.Addr().String())
+	payload := make([]byte, 128)
+	data := wire.Packet{Type: wire.TypeData, Source: 1, Group: perfGroup, Seq: 1, Payload: payload}
+	dbuf, _ := data.Marshal()
+	client.WriteToUDP(dbuf, serverAddr)
+	time.Sleep(20 * time.Millisecond)
+
+	nack := wire.Packet{Type: wire.TypeNack, Source: 1, Group: perfGroup,
+		Ranges: []wire.SeqRange{{From: 1, To: 1}}}
+	nbuf, _ := nack.Marshal()
+
+	// Window the requests to keep socket buffers from overflowing: send in
+	// bursts, read replies between bursts.
+	resp := make([]byte, 2048)
+	received := 0
+	start := time.Now()
+	const burst = 64
+	for sent := 0; sent < requests; {
+		for b := 0; b < burst && sent < requests; b++ {
+			if _, err := client.WriteToUDP(nbuf, serverAddr); err != nil {
+				return 0, 0, err
+			}
+			sent++
+		}
+		for received < sent {
+			client.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			if _, _, err := client.ReadFromUDP(resp); err != nil {
+				break // lost some in a burst; move on
+			}
+			received++
+		}
+	}
+	elapsed := time.Since(start)
+	if received == 0 {
+		return 0, 0, fmt.Errorf("no responses")
+	}
+	rate := float64(received) / elapsed.Seconds()
+	return rate, elapsed / time.Duration(received), nil
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lbrm/internal/vtime"
+)
+
+// simEpoch is the fixed virtual start time used across experiments.
+var simEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// newSimClock returns a fresh deterministic clock.
+func newSimClock() *vtime.Sim { return vtime.NewSim(simEpoch) }
+
+// ms renders a duration in milliseconds with two decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f ms", float64(d)/float64(time.Millisecond))
+}

@@ -1,0 +1,258 @@
+// Package heartbeat implements LBRM's variable heartbeat scheme (§2.1) and
+// the fixed-rate baseline it is compared against, plus the analytic
+// overhead and loss-detection models behind the paper's Figure 4, Figure 5
+// and Table 1.
+//
+// In the variable scheme the sender keeps an inter-heartbeat time h. Every
+// data transmission resets h to HMin; after each heartbeat is sent, h is
+// multiplied by Backoff, saturating at HMax. Heartbeats therefore cluster
+// right after data — where fast loss detection matters — and thin out as
+// the channel stays idle.
+package heartbeat
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// DefaultParams are the paper's DIS parameters: 1/4-second minimum
+// heartbeat (the terrain freshness requirement), 32-second maximum, and a
+// backoff multiple of 2.
+var DefaultParams = Params{
+	HMin:    250 * time.Millisecond,
+	HMax:    32 * time.Second,
+	Backoff: 2,
+}
+
+// Params configures a heartbeat schedule.
+type Params struct {
+	// HMin is the interval from a data packet to the first heartbeat, and
+	// the fixed baseline's constant interval. It equals the application's
+	// MaxIT freshness requirement.
+	HMin time.Duration
+	// HMax caps the inter-heartbeat interval.
+	HMax time.Duration
+	// Backoff multiplies the interval after each heartbeat (paper footnote
+	// 2 allows any multiple; the paper's implementation uses 2).
+	Backoff float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.HMin <= 0 {
+		return fmt.Errorf("heartbeat: HMin %v must be positive", p.HMin)
+	}
+	if p.HMax < p.HMin {
+		return fmt.Errorf("heartbeat: HMax %v < HMin %v", p.HMax, p.HMin)
+	}
+	if p.Backoff < 1 {
+		return fmt.Errorf("heartbeat: backoff %v must be ≥ 1", p.Backoff)
+	}
+	if p.Backoff == 1 && p.HMax != p.HMin {
+		// Backoff 1 degenerates to the fixed scheme; allow it only when
+		// explicitly fixed (HMax == HMin) to avoid silent misconfiguration.
+		return fmt.Errorf("heartbeat: backoff 1 requires HMax == HMin")
+	}
+	return nil
+}
+
+// Fixed returns the fixed-heartbeat baseline with interval h (the basic
+// receiver-reliable scheme of §2).
+func Fixed(h time.Duration) Params {
+	return Params{HMin: h, HMax: h, Backoff: 1}
+}
+
+// Schedule tracks the current inter-heartbeat interval for one sender.
+// It is pure bookkeeping: the caller (the LBRM sender) owns the timers.
+type Schedule struct {
+	p Params
+	h time.Duration
+	// idx counts heartbeats since the last data packet.
+	idx uint32
+}
+
+// NewSchedule returns a schedule in the post-data state: the first interval
+// returned by OnData applies after the stream's first transmission.
+func NewSchedule(p Params) (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Schedule{p: p, h: p.HMin}, nil
+}
+
+// Params returns the schedule's parameters.
+func (s *Schedule) Params() Params { return s.p }
+
+// OnData records a data transmission and returns the interval until the
+// next heartbeat (HMin).
+func (s *Schedule) OnData() time.Duration {
+	s.h = s.p.HMin
+	s.idx = 0
+	return s.h
+}
+
+// OnHeartbeat records that a heartbeat was sent and returns the interval
+// until the next one (previous interval × backoff, capped at HMax).
+func (s *Schedule) OnHeartbeat() time.Duration {
+	s.idx++
+	next := time.Duration(float64(s.h) * s.p.Backoff)
+	if next > s.p.HMax || next < s.h /* overflow */ {
+		next = s.p.HMax
+	}
+	s.h = next
+	return s.h
+}
+
+// Index returns the number of heartbeats sent since the last data packet.
+func (s *Schedule) Index() uint32 { return s.idx }
+
+// Times returns the heartbeat offsets after a data packet that fall
+// strictly inside an idle period of length dt (the next data packet at dt
+// preempts any heartbeat due exactly then), up to max entries (max ≤ 0
+// means no cap).
+func Times(p Params, dt time.Duration, max int) []time.Duration {
+	var out []time.Duration
+	h := p.HMin
+	t := p.HMin
+	for t < dt {
+		out = append(out, t)
+		if max > 0 && len(out) >= max {
+			break
+		}
+		h = time.Duration(float64(h) * p.Backoff)
+		if h > p.HMax || h <= 0 {
+			h = p.HMax
+		}
+		t += h
+	}
+	return out
+}
+
+// CountVariable returns the number of heartbeats the variable scheme emits
+// during an idle period of length dt between two data packets.
+func CountVariable(p Params, dt time.Duration) int {
+	n := 0
+	h := p.HMin
+	t := p.HMin
+	for t < dt {
+		n++
+		h = time.Duration(float64(h) * p.Backoff)
+		if h > p.HMax || h <= 0 {
+			h = p.HMax
+		}
+		t += h
+	}
+	return n
+}
+
+// CountFixed returns the number of heartbeats the fixed scheme (interval
+// HMin) emits during an idle period of length dt.
+func CountFixed(p Params, dt time.Duration) int {
+	if dt <= p.HMin {
+		return 0
+	}
+	n := int(dt / p.HMin)
+	if dt%p.HMin == 0 {
+		n-- // the heartbeat due exactly at dt is preempted by the data packet
+	}
+	return n
+}
+
+// RateVariable returns the variable scheme's heartbeat packets/second for
+// periodic data at interval dt (Figure 4's falling curve).
+func RateVariable(p Params, dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return float64(CountVariable(p, dt)) / dt.Seconds()
+}
+
+// RateFixed returns the fixed scheme's heartbeat packets/second for
+// periodic data at interval dt (Figure 4's plateau at 1/HMin).
+func RateFixed(p Params, dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return float64(CountFixed(p, dt)) / dt.Seconds()
+}
+
+// OverheadRatio returns RateFixed/RateVariable — Figure 5's curve and
+// Table 1's metric. It returns NaN when the variable scheme emits no
+// heartbeats (dt ≤ HMin).
+func OverheadRatio(p Params, dt time.Duration) float64 {
+	v := CountVariable(p, dt)
+	f := CountFixed(p, dt)
+	if v == 0 {
+		return math.NaN()
+	}
+	return float64(f) / float64(v)
+}
+
+// ExpectedCountVariable returns the expected heartbeats per data interval
+// when data inter-arrival times are exponential with the given mean — the
+// smooth-model alternative to the deterministic count (used to
+// cross-check Table 1; see EXPERIMENTS.md).
+func ExpectedCountVariable(p Params, mean time.Duration) float64 {
+	sum := 0.0
+	h := p.HMin
+	t := p.HMin
+	m := mean.Seconds()
+	for i := 0; i < 100000; i++ {
+		term := math.Exp(-t.Seconds() / m)
+		sum += term
+		if term < 1e-12 {
+			break
+		}
+		h = time.Duration(float64(h) * p.Backoff)
+		if h > p.HMax || h <= 0 {
+			h = p.HMax
+		}
+		t += h
+	}
+	return sum
+}
+
+// ExpectedCountFixed is ExpectedCountVariable for the fixed scheme; it has
+// the closed form 1/(e^(HMin/mean) − 1).
+func ExpectedCountFixed(p Params, mean time.Duration) float64 {
+	return 1 / (math.Expm1(p.HMin.Seconds() / mean.Seconds()))
+}
+
+// DetectionDelay returns how long after a lost data packet's transmission
+// the receiver detects the loss, for the paper's burst congestion model
+// (§2.1.1): the data packet is sent at the start of a burst of length
+// tBurst during which the receiver gets nothing; the first heartbeat
+// escaping the burst reveals the gap. A zero result means no heartbeat
+// ever escapes (cannot happen for valid params since intervals cap at
+// HMax).
+func DetectionDelay(p Params, tBurst time.Duration) time.Duration {
+	h := p.HMin
+	t := p.HMin
+	for {
+		if t >= tBurst {
+			return t
+		}
+		h = time.Duration(float64(h) * p.Backoff)
+		if h > p.HMax || h <= 0 {
+			h = p.HMax
+		}
+		t += h
+	}
+}
+
+// DetectionBound returns the analytic bound on DetectionDelay: HMin for
+// isolated losses, otherwise backoff×tBurst+HMin (since heartbeat offsets
+// satisfy t_{k+1} = backoff·t_k + HMin), capped at tBurst+HMax once
+// intervals saturate. The paper states the backoff-2 case loosely as
+// "2×t_burst".
+func DetectionBound(p Params, tBurst time.Duration) time.Duration {
+	if tBurst <= p.HMin {
+		return p.HMin
+	}
+	b := time.Duration(p.Backoff*float64(tBurst)) + p.HMin
+	if cap := tBurst + p.HMax; b > cap {
+		return cap
+	}
+	return b
+}

@@ -1,0 +1,273 @@
+package heartbeat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"default", DefaultParams, true},
+		{"fixed", Fixed(time.Second), true},
+		{"zero hmin", Params{HMax: time.Second, Backoff: 2}, false},
+		{"hmax < hmin", Params{HMin: 2 * time.Second, HMax: time.Second, Backoff: 2}, false},
+		{"backoff < 1", Params{HMin: time.Second, HMax: time.Minute, Backoff: 0.5}, false},
+		{"backoff 1 variable", Params{HMin: time.Second, HMax: time.Minute, Backoff: 1}, false},
+		{"backoff 1.5", Params{HMin: time.Second, HMax: time.Minute, Backoff: 1.5}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestScheduleIntervalSequence(t *testing.T) {
+	s, err := NewSchedule(DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OnData(); got != 250*time.Millisecond {
+		t.Fatalf("OnData() = %v, want 250ms", got)
+	}
+	want := []time.Duration{
+		500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second,
+		8 * time.Second, 16 * time.Second, 32 * time.Second,
+		32 * time.Second, 32 * time.Second, // capped
+	}
+	for i, w := range want {
+		if got := s.OnHeartbeat(); got != w {
+			t.Fatalf("heartbeat %d interval = %v, want %v", i+1, got, w)
+		}
+	}
+	if s.Index() != uint32(len(want)) {
+		t.Fatalf("Index() = %d, want %d", s.Index(), len(want))
+	}
+	// Data resets.
+	if got := s.OnData(); got != 250*time.Millisecond {
+		t.Fatalf("OnData() after burst = %v, want 250ms", got)
+	}
+	if s.Index() != 0 {
+		t.Fatalf("Index() after data = %d, want 0", s.Index())
+	}
+}
+
+func TestTimesMatchesPaperTimeline(t *testing.T) {
+	// Figure 3 timeline for hmin=0.25, backoff=2: heartbeats at
+	// 0.25, 0.75, 1.75, 3.75, 7.75, ... after the data packet.
+	got := Times(DefaultParams, 10*time.Second, 0)
+	want := []time.Duration{
+		250 * time.Millisecond, 750 * time.Millisecond,
+		1750 * time.Millisecond, 3750 * time.Millisecond,
+		7750 * time.Millisecond,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Times = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Times[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountVariableDISScenario(t *testing.T) {
+	// dt = 120s (terrain changes every two minutes): heartbeats at
+	// 0.25,0.75,1.75,3.75,7.75,15.75,31.75,63.75,95.75 → 9.
+	if got := CountVariable(DefaultParams, 120*time.Second); got != 9 {
+		t.Fatalf("CountVariable(120s) = %d, want 9", got)
+	}
+	if got := CountFixed(DefaultParams, 120*time.Second); got != 479 {
+		t.Fatalf("CountFixed(120s) = %d, want 479", got)
+	}
+	// Paper: "the variable heartbeat reduces heartbeat bandwidth by a
+	// factor of 53.4" (Fig 5) / 53.3 (Table 1). Our exact discrete count
+	// gives 479/9 = 53.2; accept the paper's band.
+	ratio := OverheadRatio(DefaultParams, 120*time.Second)
+	if ratio < 52 || ratio > 54 {
+		t.Fatalf("OverheadRatio(120s) = %.1f, want ≈53", ratio)
+	}
+}
+
+func TestNoHeartbeatsWhenDataFasterThanHMin(t *testing.T) {
+	if got := CountVariable(DefaultParams, 250*time.Millisecond); got != 0 {
+		t.Fatalf("CountVariable(hmin) = %d, want 0 (data preempts)", got)
+	}
+	if got := CountFixed(DefaultParams, 250*time.Millisecond); got != 0 {
+		t.Fatalf("CountFixed(hmin) = %d, want 0", got)
+	}
+	if got := CountVariable(DefaultParams, 100*time.Millisecond); got != 0 {
+		t.Fatalf("CountVariable(0.1s) = %d, want 0", got)
+	}
+}
+
+func TestVariableNeverExceedsFixed(t *testing.T) {
+	for dt := 100 * time.Millisecond; dt < 1000*time.Second; dt = dt * 13 / 10 {
+		v := CountVariable(DefaultParams, dt)
+		f := CountFixed(DefaultParams, dt)
+		if v > f {
+			t.Fatalf("dt=%v: variable %d > fixed %d", dt, v, f)
+		}
+	}
+}
+
+func TestRateLimits(t *testing.T) {
+	// Figure 4's asymptotes: variable → 1/HMax, fixed → 1/HMin as dt → ∞.
+	p := DefaultParams
+	dt := 100000 * time.Second
+	if r := RateVariable(p, dt); math.Abs(r-1.0/32) > 0.002 {
+		t.Errorf("RateVariable(∞) = %v, want ≈1/32", r)
+	}
+	if r := RateFixed(p, dt); math.Abs(r-4) > 0.01 {
+		t.Errorf("RateFixed(∞) = %v, want ≈4", r)
+	}
+}
+
+func TestOverheadRatioTable1Shape(t *testing.T) {
+	// Table 1: the ratio grows monotonically with backoff at dt=120s.
+	backoffs := []float64{1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
+	prev := 0.0
+	for _, b := range backoffs {
+		p := Params{HMin: 250 * time.Millisecond, HMax: 32 * time.Second, Backoff: b}
+		r := OverheadRatio(p, 120*time.Second)
+		if r < prev {
+			t.Fatalf("ratio not monotone in backoff: backoff=%v ratio=%.1f < previous %.1f", b, r, prev)
+		}
+		prev = r
+	}
+	if prev < 60 {
+		t.Fatalf("ratio at backoff=4 is %.1f, want > 60", prev)
+	}
+}
+
+func TestExpectedCountsExponentialModel(t *testing.T) {
+	p := DefaultParams
+	// Closed form sanity: fixed expected count at mean 120s.
+	f := ExpectedCountFixed(p, 120*time.Second)
+	if math.Abs(f-479.5) > 1 {
+		t.Errorf("ExpectedCountFixed = %.1f, want ≈479.5", f)
+	}
+	v := ExpectedCountVariable(p, 120*time.Second)
+	if v < 8 || v > 11 {
+		t.Errorf("ExpectedCountVariable = %.2f, want ≈9.2", v)
+	}
+	// Expected ratio lands in the same ≈50x regime as the deterministic one.
+	if r := f / v; r < 45 || r > 60 {
+		t.Errorf("expected-model ratio = %.1f, want ≈52", r)
+	}
+}
+
+func TestDetectionDelayIsolatedLoss(t *testing.T) {
+	// An isolated loss (burst shorter than HMin) is detected at HMin.
+	for _, burst := range []time.Duration{0, time.Millisecond, 249 * time.Millisecond} {
+		if got := DetectionDelay(DefaultParams, burst); got != 250*time.Millisecond {
+			t.Fatalf("DetectionDelay(%v) = %v, want 250ms", burst, got)
+		}
+	}
+}
+
+func TestDetectionDelayBurstBound(t *testing.T) {
+	// §2.1.1: detection ≤ 2×t_burst (backoff 2), and ≤ t_burst + HMax.
+	for burst := 300 * time.Millisecond; burst < 300*time.Second; burst = burst * 17 / 10 {
+		d := DetectionDelay(DefaultParams, burst)
+		if d < burst {
+			t.Fatalf("burst=%v: detection %v before burst end", burst, d)
+		}
+		if bound := DetectionBound(DefaultParams, burst); d > bound {
+			t.Fatalf("burst=%v: detection %v exceeds bound %v", burst, d, bound)
+		}
+	}
+}
+
+// Property: for any valid params and burst, the detection delay respects
+// the paper's bound and is at least the burst length.
+func TestDetectionBoundProperty(t *testing.T) {
+	f := func(hminMS, burstMS uint16, backoffTenths uint8) bool {
+		hmin := time.Duration(int(hminMS)%1000+1) * time.Millisecond
+		backoff := 1.1 + float64(backoffTenths%30)/10
+		p := Params{HMin: hmin, HMax: hmin * 128, Backoff: backoff}
+		if p.Validate() != nil {
+			return true
+		}
+		burst := time.Duration(burstMS) * time.Millisecond
+		d := DetectionDelay(p, burst)
+		if burst <= p.HMin {
+			return d == p.HMin
+		}
+		// d ≥ burst and d ≤ the exact analytic bound.
+		return d >= burst && d <= DetectionBound(p, burst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the schedule's emitted intervals are nondecreasing between
+// data packets and never exceed HMax.
+func TestScheduleMonotoneProperty(t *testing.T) {
+	f := func(steps uint8) bool {
+		s, err := NewSchedule(DefaultParams)
+		if err != nil {
+			return false
+		}
+		prev := s.OnData()
+		for i := 0; i < int(steps); i++ {
+			next := s.OnHeartbeat()
+			if next < prev || next > DefaultParams.HMax {
+				return false
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Times(), CountVariable() and the live Schedule agree.
+func TestAnalyticsMatchScheduleProperty(t *testing.T) {
+	f := func(dtMS uint32) bool {
+		dt := time.Duration(dtMS%10000000) * time.Millisecond
+		times := Times(DefaultParams, dt, 0)
+		if len(times) != CountVariable(DefaultParams, dt) {
+			return false
+		}
+		// Replay through a live schedule.
+		s, _ := NewSchedule(DefaultParams)
+		t := s.OnData()
+		for i := 0; ; i++ {
+			if t >= dt {
+				return i == len(times)
+			}
+			if i >= len(times) || times[i] != t {
+				return false
+			}
+			t += s.OnHeartbeat()
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedScheduleConstantInterval(t *testing.T) {
+	s, err := NewSchedule(Fixed(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OnData() != time.Second {
+		t.Fatal("fixed OnData != h")
+	}
+	for i := 0; i < 10; i++ {
+		if s.OnHeartbeat() != time.Second {
+			t.Fatal("fixed OnHeartbeat != h")
+		}
+	}
+}

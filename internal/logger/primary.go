@@ -1,0 +1,542 @@
+package logger
+
+import (
+	"sort"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/vtime"
+	"lbrm/internal/wire"
+)
+
+// PrimaryConfig configures a primary logging server or a replica (§2.2.3).
+type PrimaryConfig struct {
+	// Group is the multicast group to log.
+	Group wire.GroupID
+	// Retention bounds the log (primaries typically retain more than
+	// secondaries).
+	Retention Retention
+	// Replicas lists replica logging servers to keep synchronized.
+	Replicas []transport.Addr
+	// ReplicaRank selects which replica's cumulative sequence number is
+	// reported to the source as the replicated-logger sequence: 1 means
+	// the most up-to-date replica (the paper's default), 2 the
+	// second-most (stronger guarantee), and so on.
+	ReplicaRank int
+	// SyncRetry is the interval for re-sending unacknowledged LogSyncs.
+	SyncRetry time.Duration
+	// SyncBatch caps LogSync retransmissions per replica per retry tick.
+	SyncBatch int
+	// NackDelay aggregates the primary's own gap discoveries before it
+	// NACKs the source.
+	NackDelay time.Duration
+	// RequestTimeout is the retry interval for unanswered NACKs to the
+	// source.
+	RequestTimeout time.Duration
+	// MaxRetries bounds those retries.
+	MaxRetries int
+	// Replica starts the server in the replica role: it does not join the
+	// multicast group and only applies LogSyncs until promoted.
+	Replica bool
+}
+
+func (c PrimaryConfig) withDefaults() PrimaryConfig {
+	if c.ReplicaRank == 0 {
+		c.ReplicaRank = 1
+	}
+	if c.SyncRetry == 0 {
+		c.SyncRetry = 200 * time.Millisecond
+	}
+	if c.SyncBatch == 0 {
+		c.SyncBatch = 64
+	}
+	if c.NackDelay == 0 {
+		c.NackDelay = 20 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 500 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	return c
+}
+
+// PrimaryStats counts a primary logger's protocol activity.
+type PrimaryStats struct {
+	PacketsLogged    uint64
+	Duplicates       uint64
+	SourceAcks       uint64
+	NacksToSource    uint64
+	NacksFromClients uint64
+	SeqsRequested    uint64
+	RetransServed    uint64
+	LogSyncsSent     uint64
+	LogSyncAcks      uint64
+	LogSyncsApplied  uint64
+	StateQueries     uint64
+	Promotions       uint64
+	Malformed        uint64
+}
+
+// Primary is the primary logging server: it logs every packet from the
+// source (recovering its own losses directly from the source, which buffers
+// until acknowledged), acknowledges the source with the dual sequence
+// numbers of §2.2.3, serves retransmission requests, and replicates the log.
+//
+// With cfg.Replica it starts as a passive replica that applies LogSyncs
+// and answers state queries until a TypePromote arrives.
+type Primary struct {
+	cfg      PrimaryConfig
+	env      transport.Env
+	streams  map[StreamKey]*priStream
+	replicas []*replicaState
+	stats    PrimaryStats
+	replica  bool
+	stopped  bool
+	// scratch is the reusable wire-encoding buffer (bindings copy).
+	scratch []byte
+}
+
+type priStream struct {
+	key    StreamKey
+	store  *Store
+	source transport.Addr
+	// pendingReq holds downstream requesters waiting for packets we lack.
+	pendingReq map[uint64]map[transport.Addr]bool
+	// fetch state toward the source.
+	nackTimer  vtime.Timer
+	retryTimer vtime.Timer
+	retries    int
+}
+
+type replicaState struct {
+	addr  transport.Addr
+	acked map[StreamKey]uint64 // cumulative LogSyncAck per stream
+}
+
+// NewPrimary returns a primary logger (or replica) for cfg.
+func NewPrimary(cfg PrimaryConfig) *Primary {
+	cfg = cfg.withDefaults()
+	p := &Primary{
+		cfg:     cfg,
+		streams: make(map[StreamKey]*priStream),
+		replica: cfg.Replica,
+	}
+	for _, a := range cfg.Replicas {
+		p.replicas = append(p.replicas, &replicaState{addr: a, acked: make(map[StreamKey]uint64)})
+	}
+	return p
+}
+
+// Stats returns a snapshot of the logger's counters.
+func (p *Primary) Stats() PrimaryStats { return p.stats }
+
+// Stop halts the logger's timers and packet processing and releases any
+// disk spill files. Safe to call once.
+func (p *Primary) Stop() {
+	p.stopped = true
+	for _, st := range p.streams {
+		st.store.Close()
+	}
+}
+
+// after schedules fn guarded by the stopped flag.
+func (p *Primary) after(d time.Duration, fn func()) vtime.Timer {
+	return p.env.AfterFunc(d, func() {
+		if !p.stopped {
+			fn()
+		}
+	})
+}
+
+// IsReplica reports whether the server is still in the replica role.
+func (p *Primary) IsReplica() bool { return p.replica }
+
+// Store returns the log store for a stream (nil if unknown).
+func (p *Primary) Store(key StreamKey) *Store {
+	if st := p.streams[key]; st != nil {
+		return st.store
+	}
+	return nil
+}
+
+// Contiguous returns the cumulative logged sequence for a stream.
+func (p *Primary) Contiguous(key StreamKey) uint64 {
+	if st := p.streams[key]; st != nil {
+		return st.store.Contiguous()
+	}
+	return 0
+}
+
+// Start implements transport.Handler.
+func (p *Primary) Start(env transport.Env) {
+	p.env = env
+	if !p.replica {
+		p.joinAndSync()
+	}
+	p.startEviction()
+}
+
+func (p *Primary) joinAndSync() {
+	if err := p.env.Join(p.cfg.Group); err != nil {
+		panic("logger: primary failed to join group: " + err.Error())
+	}
+	if len(p.replicas) > 0 {
+		p.after(p.cfg.SyncRetry, p.syncTick)
+	}
+}
+
+// startEviction arms the periodic retention tick (runs in both roles).
+func (p *Primary) startEviction() {
+	if d := evictInterval(p.cfg.Retention); d > 0 {
+		p.after(d, p.evictTick)
+	}
+}
+
+// evictTick enforces age-based retention even on idle streams.
+func (p *Primary) evictTick() {
+	now := p.env.Now()
+	for _, st := range p.streams {
+		st.store.EvictExpired(now)
+	}
+	p.after(evictInterval(p.cfg.Retention), p.evictTick)
+}
+
+// Recv implements transport.Handler.
+func (p *Primary) Recv(from transport.Addr, data []byte) {
+	if p.stopped {
+		return
+	}
+	var pkt wire.Packet
+	if err := pkt.Unmarshal(data); err != nil {
+		p.stats.Malformed++
+		return
+	}
+	if pkt.Group != p.cfg.Group {
+		return
+	}
+	switch pkt.Type {
+	case wire.TypeData, wire.TypeRetrans:
+		if !p.replica {
+			p.onData(from, &pkt)
+		}
+	case wire.TypeHeartbeat:
+		if !p.replica {
+			p.onHeartbeat(from, &pkt)
+		}
+	case wire.TypeNack:
+		p.onNack(from, &pkt)
+	case wire.TypeLogSync:
+		p.onLogSync(from, &pkt)
+	case wire.TypeLogSyncAck:
+		p.onLogSyncAck(from, &pkt)
+	case wire.TypeLogStateQuery:
+		p.onStateQuery(from, &pkt)
+	case wire.TypePromote:
+		p.onPromote(from, &pkt)
+	}
+}
+
+func (p *Primary) stream(key StreamKey) *priStream {
+	st := p.streams[key]
+	if st == nil {
+		st = &priStream{
+			key:        key,
+			store:      NewStore(p.cfg.Retention),
+			pendingReq: make(map[uint64]map[transport.Addr]bool),
+		}
+		p.streams[key] = st
+	}
+	return st
+}
+
+func (p *Primary) onData(from transport.Addr, pkt *wire.Packet) {
+	st := p.stream(KeyOf(pkt))
+	if pkt.Type == wire.TypeData && pkt.Flags&wire.FlagFromLogger == 0 {
+		st.source = from
+	}
+	if st.store.Put(pkt.Seq, pkt.Payload, p.env.Now()) {
+		p.stats.PacketsLogged++
+		p.replicate(st, pkt.Seq)
+	} else {
+		p.stats.Duplicates++
+	}
+	if waiters := st.pendingReq[pkt.Seq]; len(waiters) > 0 {
+		delete(st.pendingReq, pkt.Seq)
+		for w := range waiters {
+			p.retransmit(st, pkt.Seq, w)
+		}
+	}
+	p.ackSource(st)
+	p.checkGaps(st)
+}
+
+func (p *Primary) onHeartbeat(from transport.Addr, pkt *wire.Packet) {
+	st := p.stream(KeyOf(pkt))
+	st.source = from
+	if pkt.Flags&wire.FlagInlineData != 0 && pkt.Seq > 0 {
+		if st.store.Put(pkt.Seq, pkt.Payload, p.env.Now()) {
+			p.stats.PacketsLogged++
+			p.replicate(st, pkt.Seq)
+			p.ackSource(st)
+		}
+	}
+	// Heartbeats reveal losses: the heartbeat's seq is the last data seq.
+	if pkt.Seq > st.store.Contiguous() {
+		p.checkGapsUpTo(st, pkt.Seq)
+	}
+}
+
+// ackSource sends the dual-sequence-number acknowledgement to the source:
+// the primary's cumulative logged sequence, and the replicated-logger
+// sequence (the rank-selected replica's cumulative ack). With no replicas
+// configured they coincide, so a source configured to wait for replica
+// durability still makes progress.
+func (p *Primary) ackSource(st *priStream) {
+	if st.source == nil {
+		return
+	}
+	ack := wire.Packet{
+		Type: wire.TypeSourceAck, Source: st.key.Source, Group: st.key.Group,
+		Seq: st.store.Contiguous(), ReplicaSeq: p.replicaSeq(st.key),
+	}
+	p.send(st.source, &ack)
+	p.stats.SourceAcks++
+}
+
+// replicaSeq computes the replicated-logger sequence number for a stream.
+func (p *Primary) replicaSeq(key StreamKey) uint64 {
+	if len(p.replicas) == 0 {
+		if st := p.streams[key]; st != nil {
+			return st.store.Contiguous()
+		}
+		return 0
+	}
+	acked := make([]uint64, 0, len(p.replicas))
+	for _, r := range p.replicas {
+		acked = append(acked, r.acked[key])
+	}
+	sort.Slice(acked, func(i, j int) bool { return acked[i] > acked[j] })
+	rank := p.cfg.ReplicaRank
+	if rank > len(acked) {
+		rank = len(acked)
+	}
+	return acked[rank-1]
+}
+
+// replicate eagerly ships one just-logged packet to every replica.
+func (p *Primary) replicate(st *priStream, seq uint64) {
+	if len(p.replicas) == 0 {
+		return
+	}
+	payload, ok := st.store.Get(seq)
+	if !ok {
+		return
+	}
+	sync := wire.Packet{
+		Type: wire.TypeLogSync, Source: st.key.Source, Group: st.key.Group,
+		Seq: seq, Payload: payload,
+	}
+	for _, r := range p.replicas {
+		p.send(r.addr, &sync)
+		p.stats.LogSyncsSent++
+	}
+}
+
+// syncTick periodically re-sends LogSyncs the replicas have not
+// acknowledged.
+func (p *Primary) syncTick() {
+	for _, r := range p.replicas {
+		for key, st := range p.streams {
+			contig := st.store.Contiguous()
+			sent := 0
+			for seq := r.acked[key] + 1; seq <= contig && sent < p.cfg.SyncBatch; seq++ {
+				payload, ok := st.store.Get(seq)
+				if !ok {
+					continue // evicted; replica can never catch up on this one
+				}
+				sync := wire.Packet{
+					Type: wire.TypeLogSync, Source: key.Source, Group: key.Group,
+					Seq: seq, Payload: payload,
+				}
+				p.send(r.addr, &sync)
+				p.stats.LogSyncsSent++
+				sent++
+			}
+		}
+	}
+	p.after(p.cfg.SyncRetry, p.syncTick)
+}
+
+func (p *Primary) onNack(from transport.Addr, pkt *wire.Packet) {
+	st := p.stream(KeyOf(pkt))
+	p.stats.NacksFromClients++
+	budget := maxSeqsPerNack
+	needFetch := false
+	for _, r := range pkt.Ranges {
+		for seq := r.From; seq <= r.To && budget > 0; seq++ {
+			budget--
+			p.stats.SeqsRequested++
+			if st.store.Has(seq) {
+				p.retransmit(st, seq, from)
+				continue
+			}
+			if st.store.Seen(seq) {
+				continue // evicted; unrecoverable here
+			}
+			w := st.pendingReq[seq]
+			if w == nil {
+				w = make(map[transport.Addr]bool)
+				st.pendingReq[seq] = w
+			}
+			w[from] = true
+			needFetch = true
+		}
+	}
+	if needFetch {
+		p.checkGaps(st)
+	}
+}
+
+func (p *Primary) retransmit(st *priStream, seq uint64, to transport.Addr) {
+	payload, ok := st.store.Get(seq)
+	if !ok {
+		return
+	}
+	r := wire.Packet{
+		Type: wire.TypeRetrans, Flags: wire.FlagRetransmission | wire.FlagFromLogger,
+		Source: st.key.Source, Group: st.key.Group, Seq: seq, Payload: payload,
+	}
+	p.send(to, &r)
+	p.stats.RetransServed++
+}
+
+func (p *Primary) onLogSync(from transport.Addr, pkt *wire.Packet) {
+	st := p.stream(KeyOf(pkt))
+	if st.store.Put(pkt.Seq, pkt.Payload, p.env.Now()) {
+		p.stats.LogSyncsApplied++
+	}
+	ack := wire.Packet{
+		Type: wire.TypeLogSyncAck, Source: pkt.Source, Group: pkt.Group,
+		Seq: st.store.Contiguous(),
+	}
+	p.send(from, &ack)
+	// A promoted replica with replicas of its own forwards the sync on.
+	if !p.replica {
+		p.replicate(st, pkt.Seq)
+	}
+}
+
+func (p *Primary) onLogSyncAck(from transport.Addr, pkt *wire.Packet) {
+	p.stats.LogSyncAcks++
+	key := KeyOf(pkt)
+	for _, r := range p.replicas {
+		if r.addr == from {
+			if pkt.Seq > r.acked[key] {
+				r.acked[key] = pkt.Seq
+			}
+			return
+		}
+	}
+}
+
+func (p *Primary) onStateQuery(from transport.Addr, pkt *wire.Packet) {
+	p.stats.StateQueries++
+	key := KeyOf(pkt)
+	var contig uint64
+	if st := p.streams[key]; st != nil {
+		contig = st.store.Contiguous()
+	}
+	reply := wire.Packet{
+		Type: wire.TypeLogStateReply, Source: pkt.Source, Group: pkt.Group,
+		Seq: contig,
+	}
+	p.send(from, &reply)
+}
+
+// onPromote turns a replica into the acting primary: it joins the
+// multicast group, records the promoting source's address, and from then
+// on acknowledges and serves like a primary (§2.2.3).
+func (p *Primary) onPromote(from transport.Addr, pkt *wire.Packet) {
+	if !p.replica {
+		return
+	}
+	p.replica = false
+	p.stats.Promotions++
+	p.joinAndSync()
+	st := p.stream(KeyOf(pkt))
+	st.source = from
+	p.ackSource(st)
+}
+
+// checkGaps arms the aggregation timer for the primary's own recovery from
+// the source.
+func (p *Primary) checkGaps(st *priStream) {
+	p.checkGapsUpTo(st, 0)
+}
+
+func (p *Primary) checkGapsUpTo(st *priStream, hi uint64) {
+	if hi < st.store.Highest() {
+		hi = st.store.Highest()
+	}
+	if len(st.store.Missing(hi, 1)) == 0 && len(st.pendingReq) == 0 {
+		return
+	}
+	if st.nackTimer != nil || st.retryTimer != nil {
+		return
+	}
+	st.nackTimer = p.after(p.cfg.NackDelay, func() {
+		st.nackTimer = nil
+		st.retries = 0
+		p.fetchFromSource(st, hi)
+	})
+}
+
+// fetchFromSource NACKs the source for the primary's own missing packets;
+// the source serves them from its retention buffer (it may not discard
+// until the primary acknowledges, §2.2).
+func (p *Primary) fetchFromSource(st *priStream, hi uint64) {
+	if hi < st.store.Highest() {
+		hi = st.store.Highest()
+	}
+	ranges := st.store.Missing(hi, wire.MaxNackRanges)
+	// Include packets requested by clients that we never saw at all
+	// (beyond hi).
+	for seq := range st.pendingReq {
+		if !st.store.Seen(seq) && seq > hi {
+			ranges = append(ranges, wire.SeqRange{From: seq, To: seq})
+		}
+	}
+	if len(ranges) == 0 || st.source == nil {
+		st.retries = 0
+		return
+	}
+	if len(ranges) > wire.MaxNackRanges {
+		ranges = ranges[:wire.MaxNackRanges]
+	}
+	if st.retries >= p.cfg.MaxRetries {
+		st.retries = 0
+		return
+	}
+	st.retries++
+	nack := wire.Packet{
+		Type: wire.TypeNack, Source: st.key.Source, Group: st.key.Group,
+		Ranges: ranges,
+	}
+	p.send(st.source, &nack)
+	p.stats.NacksToSource++
+	st.retryTimer = p.after(p.cfg.RequestTimeout, func() {
+		st.retryTimer = nil
+		p.fetchFromSource(st, 0)
+	})
+}
+
+func (p *Primary) send(to transport.Addr, pkt *wire.Packet) {
+	buf, err := pkt.AppendMarshal(p.scratch[:0])
+	if err != nil {
+		return
+	}
+	p.scratch = buf
+	_ = p.env.Send(to, buf)
+}

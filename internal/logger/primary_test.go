@@ -1,0 +1,342 @@
+package logger
+
+import (
+	"testing"
+
+	"lbrm/internal/transport"
+	"time"
+
+	"lbrm/internal/transport/transporttest"
+	"lbrm/internal/wire"
+)
+
+var (
+	replica1 = transporttest.Addr("replica1")
+	replica2 = transporttest.Addr("replica2")
+)
+
+func newPrimary(t *testing.T, cfg PrimaryConfig) (*Primary, *transporttest.Env) {
+	t.Helper()
+	if cfg.Group == 0 {
+		cfg.Group = testGroup
+	}
+	env := transporttest.NewEnv("primary")
+	p := NewPrimary(cfg)
+	p.Start(env)
+	return p, env
+}
+
+func TestPrimaryJoinsGroupAndAcksSource(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{})
+	if !env.Joined[testGroup] {
+		t.Fatal("primary did not join group")
+	}
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "one")))
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeSourceAck {
+		t.Fatalf("sent %v, want SourceAck", sents)
+	}
+	ack := sents[0]
+	if ack.Seq != 1 || ack.ReplicaSeq != 1 {
+		t.Fatalf("ack seqs = %d/%d, want 1/1 (no replicas → both = contig)", ack.Seq, ack.ReplicaSeq)
+	}
+	if env.Sents[0].To != srcAddr {
+		t.Fatalf("ack to %v", env.Sents[0].To)
+	}
+	key := StreamKey{Source: testSource, Group: testGroup}
+	if p.Contiguous(key) != 1 {
+		t.Fatalf("Contiguous = %d", p.Contiguous(key))
+	}
+}
+
+func TestPrimaryAckIsCumulative(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{})
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(3, "c"))) // gap at 2
+	sents := env.SentPackets()
+	if len(sents) != 2 {
+		t.Fatalf("want 2 acks, got %v", sents)
+	}
+	if sents[1].Seq != 1 {
+		t.Fatalf("ack after gap = %d, want cumulative 1", sents[1].Seq)
+	}
+}
+
+func TestPrimaryRecoversOwnLossFromSource(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{NackDelay: 10 * time.Millisecond})
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(3, "c")))
+	env.Sents = nil
+	env.Advance(15 * time.Millisecond)
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeNack {
+		t.Fatalf("want NACK to source, got %v", sents)
+	}
+	if r := sents[0].Ranges[0]; r.From != 2 || r.To != 2 {
+		t.Fatalf("NACK ranges = %v", sents[0].Ranges)
+	}
+	if env.Sents[0].To != srcAddr {
+		t.Fatalf("NACK to %v, want source", env.Sents[0].To)
+	}
+	env.Sents = nil
+	// Source retransmits; primary acks cumulatively through 3.
+	retr := wire.Packet{Type: wire.TypeRetrans, Flags: wire.FlagRetransmission,
+		Source: testSource, Group: testGroup, Seq: 2, Payload: []byte("b")}
+	p.Recv(srcAddr, mustMarshal(t, retr))
+	sents = env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeSourceAck || sents[0].Seq != 3 {
+		t.Fatalf("post-repair ack = %v, want cumulative 3", sents)
+	}
+	env.Sents = nil
+	env.Advance(5 * time.Second)
+	if len(env.Sents) != 0 {
+		t.Fatalf("spurious retries after repair: %v", env.SentPackets())
+	}
+}
+
+func TestPrimaryHeartbeatRevealsLoss(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{NackDelay: 10 * time.Millisecond})
+	hb := wire.Packet{Type: wire.TypeHeartbeat, Source: testSource, Group: testGroup,
+		Seq: 2, HeartbeatIdx: 1}
+	p.Recv(srcAddr, mustMarshal(t, hb))
+	env.Advance(15 * time.Millisecond)
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeNack {
+		t.Fatalf("want NACK, got %v", sents)
+	}
+	// The primary, unlike a secondary, backfills full history: 1..2.
+	if r := sents[0].Ranges[0]; r.From != 1 || r.To != 2 {
+		t.Fatalf("ranges = %v, want [1,2]", sents[0].Ranges)
+	}
+}
+
+func TestPrimaryServesClientNack(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{})
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "one")))
+	env.Sents = nil
+	p.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 1, To: 1})))
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeRetrans || string(sents[0].Payload) != "one" {
+		t.Fatalf("retrans = %v", sents)
+	}
+	if sents[0].Flags&wire.FlagFromLogger == 0 {
+		t.Fatal("retrans missing FlagFromLogger")
+	}
+	if p.Stats().RetransServed != 1 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+}
+
+func TestPrimaryQueuesClientNackForUnseenPacket(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{NackDelay: 10 * time.Millisecond})
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	env.Sents = nil
+	// Client asks for 2, which the primary hasn't seen yet.
+	p.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 2, To: 2})))
+	env.Advance(15 * time.Millisecond)
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeNack || env.Sents[0].To != srcAddr {
+		t.Fatalf("want NACK to source, got %v", sents)
+	}
+	env.Sents = nil
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(2, "b")))
+	var served bool
+	for i, q := range env.SentPackets() {
+		if q.Type == wire.TypeRetrans && q.Seq == 2 && env.Sents[i].To == rcvA {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatalf("queued client not served after packet arrived: %v", env.SentPackets())
+	}
+}
+
+func TestPrimaryReplication(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{
+		Replicas: []transport.Addr{replica1, replica2},
+	})
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	var syncs int
+	for i, q := range env.SentPackets() {
+		if q.Type == wire.TypeLogSync {
+			syncs++
+			if to := env.Sents[i].To; to != replica1 && to != replica2 {
+				t.Fatalf("LogSync to %v", to)
+			}
+			if q.Seq != 1 || string(q.Payload) != "a" {
+				t.Fatalf("LogSync = %+v", q)
+			}
+		}
+		if q.Type == wire.TypeSourceAck && q.ReplicaSeq != 0 {
+			t.Fatalf("ReplicaSeq = %d before any replica ack, want 0", q.ReplicaSeq)
+		}
+	}
+	if syncs != 2 {
+		t.Fatalf("LogSyncs = %d, want 2", syncs)
+	}
+	env.Sents = nil
+	// replica1 acks seq 1; rank-1 replica seq becomes 1.
+	ackR := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup, Seq: 1}
+	p.Recv(replica1, mustMarshal(t, ackR))
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(2, "b")))
+	for _, q := range env.SentPackets() {
+		if q.Type == wire.TypeSourceAck {
+			if q.Seq != 2 || q.ReplicaSeq != 1 {
+				t.Fatalf("SourceAck = seq %d replicaSeq %d, want 2/1", q.Seq, q.ReplicaSeq)
+			}
+		}
+	}
+}
+
+func TestPrimaryReplicaRank2(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{
+		Replicas:    []transport.Addr{replica1, replica2},
+		ReplicaRank: 2,
+	})
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	ackR := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup, Seq: 1}
+	p.Recv(replica1, mustMarshal(t, ackR))
+	env.Sents = nil
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(2, "b")))
+	for _, q := range env.SentPackets() {
+		if q.Type == wire.TypeSourceAck && q.ReplicaSeq != 0 {
+			t.Fatalf("rank-2 ReplicaSeq = %d, want 0 (second replica has nothing)", q.ReplicaSeq)
+		}
+	}
+}
+
+func TestPrimarySyncRetryUntilReplicaAcks(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{
+		Replicas:  []transport.Addr{replica1},
+		SyncRetry: 100 * time.Millisecond,
+	})
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	env.Sents = nil
+	env.Advance(350 * time.Millisecond)
+	resends := 0
+	for _, q := range env.SentPackets() {
+		if q.Type == wire.TypeLogSync && q.Seq == 1 {
+			resends++
+		}
+	}
+	if resends < 2 {
+		t.Fatalf("LogSync resends = %d, want ≥ 2", resends)
+	}
+	// Ack stops the resends.
+	ackR := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup, Seq: 1}
+	p.Recv(replica1, mustMarshal(t, ackR))
+	env.Sents = nil
+	env.Advance(500 * time.Millisecond)
+	for _, q := range env.SentPackets() {
+		if q.Type == wire.TypeLogSync {
+			t.Fatalf("LogSync resent after ack: %+v", q)
+		}
+	}
+}
+
+func TestReplicaAppliesLogSyncAndPromotes(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{Replica: true})
+	if env.Joined[testGroup] {
+		t.Fatal("replica joined multicast group before promotion")
+	}
+	if !p.IsReplica() {
+		t.Fatal("IsReplica() = false")
+	}
+	// Multicast data must be ignored in replica role.
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(9, "ignored")))
+	key := StreamKey{Source: testSource, Group: testGroup}
+	if p.Contiguous(key) != 0 {
+		t.Fatal("replica logged multicast data")
+	}
+	// LogSync applies and is acked cumulatively.
+	sync := wire.Packet{Type: wire.TypeLogSync, Source: testSource, Group: testGroup,
+		Seq: 1, Payload: []byte("a")}
+	p.Recv(primaryAddr, mustMarshal(t, sync))
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeLogSyncAck || sents[0].Seq != 1 {
+		t.Fatalf("LogSyncAck = %v", sents)
+	}
+	env.Sents = nil
+	// State query.
+	q := wire.Packet{Type: wire.TypeLogStateQuery, Source: testSource, Group: testGroup}
+	p.Recv(srcAddr, mustMarshal(t, q))
+	sents = env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeLogStateReply || sents[0].Seq != 1 {
+		t.Fatalf("LogStateReply = %v", sents)
+	}
+	env.Sents = nil
+	// Promotion: joins the group and acks the promoting source.
+	prom := wire.Packet{Type: wire.TypePromote, Source: testSource, Group: testGroup}
+	p.Recv(srcAddr, mustMarshal(t, prom))
+	if p.IsReplica() {
+		t.Fatal("still replica after promote")
+	}
+	if !env.Joined[testGroup] {
+		t.Fatal("promoted replica did not join group")
+	}
+	sents = env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeSourceAck || sents[0].Seq != 1 {
+		t.Fatalf("post-promotion ack = %v", sents)
+	}
+	// Now it logs multicast data and serves NACKs like a primary.
+	env.Sents = nil
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(2, "b")))
+	if p.Contiguous(key) != 2 {
+		t.Fatalf("promoted primary Contiguous = %d, want 2", p.Contiguous(key))
+	}
+	p.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 1, To: 1})))
+	found := false
+	for _, s := range env.SentPackets() {
+		if s.Type == wire.TypeRetrans && s.Seq == 1 && string(s.Payload) == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("promoted primary did not serve pre-promotion packet")
+	}
+}
+
+func TestPrimaryIgnoresForeignGroupAndGarbage(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{})
+	foreign := dataPkt(1, "x")
+	foreign.Group = 99
+	p.Recv(srcAddr, mustMarshal(t, foreign))
+	p.Recv(srcAddr, []byte{1, 2, 3})
+	if p.Stats().PacketsLogged != 0 || p.Stats().Malformed != 1 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+	if len(env.Sents) != 0 {
+		t.Fatal("responded to ignored traffic")
+	}
+}
+
+func TestPrimaryAgeEvictionOnIdleStream(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{
+		Retention: Retention{MaxAge: 500 * time.Millisecond},
+	})
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "ephemeral")))
+	key := StreamKey{Source: testSource, Group: testGroup}
+	if !p.Store(key).Has(1) {
+		t.Fatal("not stored")
+	}
+	env.Advance(2 * time.Second)
+	if p.Store(key).Has(1) {
+		t.Fatal("expired packet survived on an idle stream")
+	}
+}
+
+func TestPrimaryStopSilences(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{NackDelay: 10 * time.Millisecond,
+		Replicas: []transport.Addr{replica1}, SyncRetry: 100 * time.Millisecond})
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	p.Stop()
+	env.Sents = nil
+	env.Advance(10 * time.Second)
+	if len(env.Sents) != 0 {
+		t.Fatalf("stopped primary sent %d packets (sync retries?)", len(env.Sents))
+	}
+	p.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 1, To: 1})))
+	if len(env.Sents) != 0 {
+		t.Fatal("stopped primary served a request")
+	}
+}

@@ -1,0 +1,632 @@
+package logger
+
+import (
+	"sort"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/vtime"
+	"lbrm/internal/wire"
+)
+
+// SecondaryConfig configures a site's secondary logging server.
+type SecondaryConfig struct {
+	// Group is the multicast group to log.
+	Group wire.GroupID
+	// Primary is the primary logging server's address. It may be updated
+	// at runtime by a TypePrimaryRedirect.
+	Primary transport.Addr
+	// Retention bounds the local log.
+	Retention Retention
+	// RespondToAckerSelection enables Designated Acker duty (§2.3). On by
+	// default (disable for the pre-statistical-ack baseline).
+	DisableAcking bool
+	// DisableDiscovery stops the logger answering discovery queries.
+	DisableDiscovery bool
+	// NackDelay aggregates gap discoveries before one NACK goes to the
+	// primary. It also gives a source re-multicast (statistical ack) a
+	// chance to repair the loss first: §2.3.2 recommends waiting until
+	// t_wait − h_min after the heartbeat that revealed the loss.
+	NackDelay time.Duration
+	// RequestTimeout is the retry interval for unanswered NACKs to the
+	// primary.
+	RequestTimeout time.Duration
+	// MaxRetries bounds NACK retries per fetch episode.
+	MaxRetries int
+	// RemcastThreshold is the number of distinct local requesters for the
+	// same packet within RemcastWindow that triggers a site-scoped
+	// re-multicast instead of unicasts (§2.2.1).
+	RemcastThreshold int
+	// RemcastWindow is the counting window for RemcastThreshold.
+	RemcastWindow time.Duration
+	// RecoveryWindow caps how far behind the stream head the logger will
+	// backfill (default 4096 sequence numbers); falling further behind
+	// skips ahead, like a fresh late join. Bounds state and the work a
+	// forged sequence number can cause.
+	RecoveryWindow uint64
+	// RemcastTTL is the multicast scope for re-multicast repairs
+	// (default transport.TTLSite). A logger serving a wider tier — e.g. a
+	// region logger in a multi-level hierarchy (§7) — must widen it so its
+	// repairs reach its clients.
+	RemcastTTL int
+	// DiscoveryJitter is the maximum random delay before answering a
+	// discovery query (avoids reply implosion when several loggers hear
+	// the same query).
+	DiscoveryJitter time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c SecondaryConfig) withDefaults() SecondaryConfig {
+	if c.NackDelay == 0 {
+		c.NackDelay = 20 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 500 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.RemcastThreshold == 0 {
+		c.RemcastThreshold = 3
+	}
+	if c.RemcastWindow == 0 {
+		c.RemcastWindow = 100 * time.Millisecond
+	}
+	if c.RemcastTTL == 0 {
+		c.RemcastTTL = transport.TTLSite
+	}
+	if c.RecoveryWindow == 0 {
+		c.RecoveryWindow = 4096
+	}
+	if c.DiscoveryJitter == 0 {
+		c.DiscoveryJitter = 10 * time.Millisecond
+	}
+	return c
+}
+
+// SecondaryStats counts a secondary logger's protocol activity.
+type SecondaryStats struct {
+	PacketsLogged     uint64 // data/retrans stored
+	Duplicates        uint64
+	NacksFromClients  uint64 // NACK packets received from local receivers
+	SeqsRequested     uint64 // sequence numbers requested by local receivers
+	RetransUnicast    uint64 // retransmissions served point-to-point
+	Remulticasts      uint64 // site-scoped multicast repairs
+	NacksToPrimary    uint64 // NACK packets sent up to the primary
+	FetchesSatisfied  uint64 // missing packets recovered from the primary
+	FetchesAbandoned  uint64
+	AckerSelections   uint64 // epochs this logger volunteered for
+	AcksSent          uint64
+	ProbeResponses    uint64
+	DiscoveryReplies  uint64
+	RedirectsFollowed uint64
+	SkippedAhead      uint64 // recovery-window skips (fell too far behind)
+	Malformed         uint64
+}
+
+// Secondary is a site secondary logging server (§2.2.1): it subscribes to
+// the data group, logs every packet, serves local retransmission requests,
+// and recovers its own losses from the primary so that only one NACK per
+// site crosses the tail circuit.
+type Secondary struct {
+	cfg     SecondaryConfig
+	env     transport.Env
+	streams map[StreamKey]*secStream
+	stopped bool
+	// scratch is the reusable wire-encoding buffer (bindings copy).
+	scratch []byte
+	stats   SecondaryStats
+}
+
+type secStream struct {
+	key     StreamKey
+	store   *Store
+	source  transport.Addr // learned from the stream's data packets
+	primary transport.Addr
+	// hbHigh is the highest sequence number referenced by a heartbeat.
+	hbHigh uint64
+	// pendingReq holds local receivers waiting for packets we don't have.
+	pendingReq map[uint64]map[transport.Addr]bool
+	// fetch state toward the primary.
+	nackTimer  vtime.Timer
+	retryTimer vtime.Timer
+	retries    int
+	// gaveUpBelow suppresses re-fetching sequence numbers we already
+	// abandoned.
+	gaveUpBelow uint64
+	// recent request counts per seq for the re-multicast decision.
+	reqWindow map[uint64]*reqCount
+	// acker state.
+	isAcker    bool
+	ackerEpoch uint32
+}
+
+type reqCount struct {
+	requesters  map[transport.Addr]bool
+	remulticast bool
+	expire      vtime.Timer
+}
+
+// NewSecondary returns a secondary logger for cfg.
+func NewSecondary(cfg SecondaryConfig) *Secondary {
+	return &Secondary{
+		cfg:     cfg.withDefaults(),
+		streams: make(map[StreamKey]*secStream),
+	}
+}
+
+// Stats returns a snapshot of the logger's counters.
+func (s *Secondary) Stats() SecondaryStats { return s.stats }
+
+// Stop halts the logger's timers and packet processing and releases any
+// disk spill files. Safe to call once.
+func (s *Secondary) Stop() {
+	s.stopped = true
+	for _, st := range s.streams {
+		st.store.Close()
+	}
+}
+
+// after schedules fn guarded by the stopped flag.
+func (s *Secondary) after(d time.Duration, fn func()) vtime.Timer {
+	return s.env.AfterFunc(d, func() {
+		if !s.stopped {
+			fn()
+		}
+	})
+}
+
+// Store returns the log store for a stream (nil if the stream is unknown),
+// for tests and tooling.
+func (s *Secondary) Store(key StreamKey) *Store {
+	if st := s.streams[key]; st != nil {
+		return st.store
+	}
+	return nil
+}
+
+// Start implements transport.Handler.
+func (s *Secondary) Start(env transport.Env) {
+	s.env = env
+	if err := env.Join(s.cfg.Group); err != nil {
+		panic("logger: secondary failed to join group: " + err.Error())
+	}
+	if d := evictInterval(s.cfg.Retention); d > 0 {
+		env.AfterFunc(d, s.evictTick)
+	}
+}
+
+// evictTick enforces age-based retention even on idle streams.
+func (s *Secondary) evictTick() {
+	now := s.env.Now()
+	for _, st := range s.streams {
+		st.store.EvictExpired(now)
+	}
+	s.after(evictInterval(s.cfg.Retention), s.evictTick)
+}
+
+// Recv implements transport.Handler.
+func (s *Secondary) Recv(from transport.Addr, data []byte) {
+	if s.stopped {
+		return
+	}
+	var p wire.Packet
+	if err := p.Unmarshal(data); err != nil {
+		s.stats.Malformed++
+		return
+	}
+	if p.Group != s.cfg.Group {
+		return
+	}
+	switch p.Type {
+	case wire.TypeData, wire.TypeRetrans, wire.TypeLogSync:
+		s.onData(from, &p)
+	case wire.TypeHeartbeat:
+		s.onHeartbeat(from, &p)
+	case wire.TypeNack:
+		s.onNack(from, &p)
+	case wire.TypeAckerSelect:
+		s.onAckerSelect(from, &p)
+	case wire.TypeSizeProbe:
+		s.onProbe(from, &p)
+	case wire.TypeDiscoveryQuery:
+		s.onDiscovery(from, &p)
+	case wire.TypePrimaryRedirect:
+		s.onRedirect(&p)
+	}
+}
+
+func (s *Secondary) stream(key StreamKey) *secStream {
+	st := s.streams[key]
+	if st == nil {
+		st = &secStream{
+			key:        key,
+			store:      NewStore(s.cfg.Retention),
+			primary:    s.cfg.Primary,
+			pendingReq: make(map[uint64]map[transport.Addr]bool),
+			reqWindow:  make(map[uint64]*reqCount),
+		}
+		s.streams[key] = st
+	}
+	return st
+}
+
+func (s *Secondary) onData(from transport.Addr, p *wire.Packet) {
+	st := s.stream(KeyOf(p))
+	if p.Type == wire.TypeData && p.Flags&wire.FlagFromLogger == 0 {
+		st.source = from
+	}
+	// A late-joining secondary logs from here on; it does not backfill the
+	// stream's entire history (receivers needing older packets are served
+	// on demand via the primary).
+	if p.Seq > 0 {
+		st.store.SetBase(p.Seq - 1)
+	}
+	stored := st.store.Put(p.Seq, p.Payload, s.env.Now())
+	if !stored {
+		s.stats.Duplicates++
+	} else {
+		s.stats.PacketsLogged++
+		// Designated Acker duty: acknowledge fresh data of our epoch.
+		if st.isAcker && p.Type == wire.TypeData && p.Epoch == st.ackerEpoch && st.source != nil {
+			ack := wire.Packet{
+				Type: wire.TypeAck, Source: p.Source, Group: p.Group,
+				Seq: p.Seq, Epoch: p.Epoch,
+			}
+			s.send(st.source, &ack)
+			s.stats.AcksSent++
+		}
+	}
+	// Satisfy any local receivers waiting on this packet.
+	if waiters := st.pendingReq[p.Seq]; len(waiters) > 0 {
+		delete(st.pendingReq, p.Seq)
+		s.serveWaiters(st, p.Seq, waiters)
+	}
+	s.checkGaps(st)
+}
+
+func (s *Secondary) onHeartbeat(from transport.Addr, p *wire.Packet) {
+	st := s.stream(KeyOf(p))
+	st.source = from
+	// First contact via heartbeat: adopt the current position, skipping
+	// history.
+	st.store.SetBase(p.Seq)
+	if p.Seq > st.hbHigh {
+		st.hbHigh = p.Seq
+	}
+	// A heartbeat carrying inline data doubles as a retransmission
+	// (paper §7 extension).
+	if p.Flags&wire.FlagInlineData != 0 && p.Seq > 0 {
+		if st.store.Put(p.Seq, p.Payload, s.env.Now()) {
+			s.stats.PacketsLogged++
+		}
+		if waiters := st.pendingReq[p.Seq]; len(waiters) > 0 {
+			delete(st.pendingReq, p.Seq)
+			s.serveWaiters(st, p.Seq, waiters)
+		}
+	}
+	s.checkGaps(st)
+}
+
+// maxSeqsPerNack bounds the per-NACK work a client can demand.
+const maxSeqsPerNack = 1024
+
+func (s *Secondary) onNack(from transport.Addr, p *wire.Packet) {
+	st := s.stream(KeyOf(p))
+	s.stats.NacksFromClients++
+	budget := maxSeqsPerNack
+	needFetch := false
+	for _, r := range p.Ranges {
+		for seq := r.From; seq <= r.To && budget > 0; seq++ {
+			budget--
+			s.stats.SeqsRequested++
+			if st.store.Has(seq) {
+				s.serveLocal(st, seq, from)
+				continue
+			}
+			if st.store.Evicted(seq) {
+				// Evicted by retention: we cannot serve it and fetching it
+				// again is pointless (the primary applies its own
+				// retention); the receiver's escalation path handles it.
+				continue
+			}
+			w := st.pendingReq[seq]
+			if w == nil {
+				w = make(map[transport.Addr]bool)
+				st.pendingReq[seq] = w
+			}
+			w[from] = true
+			needFetch = true
+			// An explicit client request re-opens sequence numbers we had
+			// given up on: the retry shows continued demand.
+			if seq <= st.gaveUpBelow {
+				st.gaveUpBelow = seq - 1
+			}
+		}
+	}
+	if needFetch {
+		s.checkGaps(st)
+	}
+}
+
+// serveLocal answers one locally-available retransmission request,
+// deciding between unicast and site-scoped re-multicast based on recent
+// demand (§2.2.1).
+func (s *Secondary) serveLocal(st *secStream, seq uint64, from transport.Addr) {
+	rc := st.reqWindow[seq]
+	if rc == nil {
+		rc = &reqCount{requesters: make(map[transport.Addr]bool)}
+		st.reqWindow[seq] = rc
+		rc.expire = s.after(s.cfg.RemcastWindow, func() {
+			delete(st.reqWindow, seq)
+		})
+	}
+	rc.requesters[from] = true
+	if rc.remulticast {
+		return // already re-multicast within this window; requester will hear it
+	}
+	if len(rc.requesters) >= s.cfg.RemcastThreshold {
+		rc.remulticast = true
+		s.retransmit(st, seq, nil)
+		return
+	}
+	s.retransmit(st, seq, from)
+}
+
+// serveWaiters delivers a just-recovered packet to the receivers that
+// asked for it.
+func (s *Secondary) serveWaiters(st *secStream, seq uint64, waiters map[transport.Addr]bool) {
+	if len(waiters) >= s.cfg.RemcastThreshold {
+		s.retransmit(st, seq, nil)
+		return
+	}
+	for w := range waiters {
+		s.retransmit(st, seq, w)
+	}
+}
+
+// retransmit sends the stored packet for seq to one receiver (unicast) or,
+// with to == nil, re-multicasts it with site scope.
+func (s *Secondary) retransmit(st *secStream, seq uint64, to transport.Addr) {
+	payload, ok := st.store.Get(seq)
+	if !ok {
+		return
+	}
+	p := wire.Packet{
+		Type: wire.TypeRetrans, Flags: wire.FlagRetransmission | wire.FlagFromLogger,
+		Source: st.key.Source, Group: st.key.Group, Seq: seq, Payload: payload,
+	}
+	if to == nil {
+		s.multicast(&p, s.cfg.RemcastTTL)
+		s.stats.Remulticasts++
+		return
+	}
+	s.send(to, &p)
+	s.stats.RetransUnicast++
+}
+
+// clampWindow enforces RecoveryWindow: a logger that is hopelessly behind
+// (or being fed forged sequence numbers) skips ahead instead of
+// backfilling without bound.
+func (s *Secondary) clampWindow(st *secStream) {
+	hi := st.store.Highest()
+	if st.hbHigh > hi {
+		hi = st.hbHigh
+	}
+	contig := st.store.Contiguous()
+	if hi <= contig+s.cfg.RecoveryWindow {
+		return
+	}
+	skipTo := hi - s.cfg.RecoveryWindow
+	st.store.Advance(skipTo)
+	if skipTo > st.gaveUpBelow {
+		st.gaveUpBelow = skipTo
+	}
+	for seq := range st.pendingReq {
+		if seq <= skipTo {
+			delete(st.pendingReq, seq)
+		}
+	}
+	s.stats.SkippedAhead++
+}
+
+// checkGaps schedules a fetch from the primary when the local log has
+// holes (either sequence gaps or heartbeat-revealed missing packets).
+func (s *Secondary) checkGaps(st *secStream) {
+	s.clampWindow(st)
+	if len(s.missing(st)) == 0 || st.nackTimer != nil || st.retryTimer != nil {
+		return
+	}
+	st.nackTimer = s.after(s.cfg.NackDelay, func() {
+		st.nackTimer = nil
+		st.retries = 0
+		s.fetchMissing(st)
+	})
+}
+
+// missing returns what the stream should fetch from the primary: log gaps
+// above the give-up watermark, plus packets local receivers explicitly
+// asked for (including pre-join history below the base watermark).
+func (s *Secondary) missing(st *secStream) []wire.SeqRange {
+	hi := st.store.Highest()
+	if st.hbHigh > hi {
+		hi = st.hbHigh
+	}
+	var out []wire.SeqRange
+	for _, r := range st.store.Missing(hi, wire.MaxNackRanges) {
+		if r.To <= st.gaveUpBelow {
+			continue
+		}
+		if r.From <= st.gaveUpBelow {
+			r.From = st.gaveUpBelow + 1
+		}
+		out = append(out, r)
+	}
+	covered := func(seq uint64) bool {
+		for _, r := range out {
+			if r.Contains(seq) {
+				return true
+			}
+		}
+		return false
+	}
+	extra := make([]uint64, 0, len(st.pendingReq))
+	for seq := range st.pendingReq {
+		if st.store.Has(seq) || st.store.Evicted(seq) || covered(seq) {
+			continue
+		}
+		extra = append(extra, seq)
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	for _, seq := range extra {
+		if n := len(out); n > 0 && out[n-1].To+1 == seq {
+			out[n-1].To = seq
+			continue
+		}
+		out = append(out, wire.SeqRange{From: seq, To: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	if len(out) > wire.MaxNackRanges {
+		out = out[:wire.MaxNackRanges]
+	}
+	return out
+}
+
+// fetchMissing sends one aggregated NACK to the primary and arms the retry
+// timer.
+func (s *Secondary) fetchMissing(st *secStream) {
+	ranges := s.missing(st)
+	if len(ranges) == 0 {
+		st.retries = 0
+		return
+	}
+	if st.primary == nil {
+		// No primary known: abandon these waiters; receivers escalate on
+		// their own timeout.
+		s.abandon(st, ranges)
+		return
+	}
+	if st.retries >= s.cfg.MaxRetries {
+		s.abandon(st, ranges)
+		return
+	}
+	st.retries++
+	nack := wire.Packet{
+		Type: wire.TypeNack, Source: st.key.Source, Group: st.key.Group,
+		Ranges: ranges,
+	}
+	s.send(st.primary, &nack)
+	s.stats.NacksToPrimary++
+	st.retryTimer = s.after(s.cfg.RequestTimeout, func() {
+		st.retryTimer = nil
+		s.fetchMissing(st)
+	})
+}
+
+// abandon gives up on the listed ranges and releases their waiters.
+func (s *Secondary) abandon(st *secStream, ranges []wire.SeqRange) {
+	var hi uint64
+	for _, r := range ranges {
+		if r.To > hi {
+			hi = r.To
+		}
+		for seq := r.From; seq <= r.To; seq++ {
+			if _, ok := st.pendingReq[seq]; ok {
+				delete(st.pendingReq, seq)
+			}
+		}
+	}
+	if hi > st.gaveUpBelow {
+		st.gaveUpBelow = hi
+	}
+	st.retries = 0
+	s.stats.FetchesAbandoned++
+}
+
+func (s *Secondary) onAckerSelect(from transport.Addr, p *wire.Packet) {
+	if s.cfg.DisableAcking {
+		return
+	}
+	st := s.stream(KeyOf(p))
+	st.source = from
+	if p.Epoch <= st.ackerEpoch && st.ackerEpoch != 0 {
+		return // stale or duplicate selection round
+	}
+	if s.env.Rand().Float64() < p.PAck {
+		st.isAcker = true
+		st.ackerEpoch = p.Epoch
+		resp := wire.Packet{
+			Type: wire.TypeAckerResponse, Source: p.Source, Group: p.Group,
+			Epoch: p.Epoch,
+		}
+		s.send(from, &resp)
+		s.stats.AckerSelections++
+	} else {
+		st.isAcker = false
+		st.ackerEpoch = p.Epoch
+	}
+}
+
+func (s *Secondary) onProbe(from transport.Addr, p *wire.Packet) {
+	if s.cfg.DisableAcking {
+		return
+	}
+	if s.env.Rand().Float64() < p.PAck {
+		resp := wire.Packet{
+			Type: wire.TypeSizeProbeResponse, Source: p.Source, Group: p.Group,
+			ProbeID: p.ProbeID,
+		}
+		s.send(from, &resp)
+		s.stats.ProbeResponses++
+	}
+}
+
+func (s *Secondary) onDiscovery(from transport.Addr, p *wire.Packet) {
+	if s.cfg.DisableDiscovery {
+		return
+	}
+	delay := time.Duration(0)
+	if s.cfg.DiscoveryJitter > 0 {
+		delay = time.Duration(s.env.Rand().Int63n(int64(s.cfg.DiscoveryJitter)))
+	}
+	reply := wire.Packet{
+		Type: wire.TypeDiscoveryReply, Source: p.Source, Group: p.Group,
+		Addr: s.env.LocalAddr().String(),
+	}
+	s.after(delay, func() {
+		s.send(from, &reply)
+		s.stats.DiscoveryReplies++
+	})
+}
+
+func (s *Secondary) onRedirect(p *wire.Packet) {
+	addr, err := s.env.ParseAddr(p.Addr)
+	if err != nil {
+		s.stats.Malformed++
+		return
+	}
+	st := s.stream(KeyOf(p))
+	st.primary = addr
+	s.stats.RedirectsFollowed++
+	// A new primary may be able to serve what we had given up on.
+	st.gaveUpBelow = 0
+	s.checkGaps(st)
+}
+
+func (s *Secondary) send(to transport.Addr, p *wire.Packet) {
+	buf, err := p.AppendMarshal(s.scratch[:0])
+	if err != nil {
+		return
+	}
+	s.scratch = buf
+	_ = s.env.Send(to, buf)
+}
+
+func (s *Secondary) multicast(p *wire.Packet, ttl int) {
+	buf, err := p.AppendMarshal(s.scratch[:0])
+	if err != nil {
+		return
+	}
+	s.scratch = buf
+	_ = s.env.Multicast(s.cfg.Group, ttl, buf)
+}

@@ -1,0 +1,452 @@
+package logger
+
+import (
+	"testing"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/transporttest"
+	"lbrm/internal/wire"
+)
+
+const (
+	testGroup  = wire.GroupID(7)
+	testSource = wire.SourceID(42)
+)
+
+var (
+	srcAddr     = transporttest.Addr("source")
+	primaryAddr = transporttest.Addr("primary")
+	rcvA        = transporttest.Addr("rcvA")
+	rcvB        = transporttest.Addr("rcvB")
+	rcvC        = transporttest.Addr("rcvC")
+)
+
+func mustMarshal(t *testing.T, p wire.Packet) []byte {
+	t.Helper()
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("marshal %v: %v", p.Type, err)
+	}
+	return b
+}
+
+func dataPkt(seq uint64, payload string) wire.Packet {
+	return wire.Packet{Type: wire.TypeData, Source: testSource, Group: testGroup,
+		Seq: seq, Payload: []byte(payload)}
+}
+
+func nackPkt(ranges ...wire.SeqRange) wire.Packet {
+	return wire.Packet{Type: wire.TypeNack, Source: testSource, Group: testGroup,
+		Ranges: ranges}
+}
+
+func newSecondary(t *testing.T, cfg SecondaryConfig) (*Secondary, *transporttest.Env) {
+	t.Helper()
+	if cfg.Group == 0 {
+		cfg.Group = testGroup
+	}
+	if cfg.Primary == nil {
+		cfg.Primary = primaryAddr
+	}
+	env := transporttest.NewEnv("secondary")
+	s := NewSecondary(cfg)
+	s.Start(env)
+	return s, env
+}
+
+func TestSecondaryJoinsGroup(t *testing.T) {
+	_, env := newSecondary(t, SecondaryConfig{})
+	if !env.Joined[testGroup] {
+		t.Fatal("secondary did not join its group")
+	}
+}
+
+func TestSecondaryLogsData(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{})
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(1, "one")))
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(1, "one")))
+	st := s.Store(StreamKey{Source: testSource, Group: testGroup})
+	if st == nil || !st.Has(1) {
+		t.Fatal("data not logged")
+	}
+	if got := s.Stats(); got.PacketsLogged != 1 || got.Duplicates != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+	env.Advance(time.Second)
+	if n := len(env.Sents) + len(env.Mcasts); n != 0 {
+		t.Fatalf("lossless stream generated %d transmissions", n)
+	}
+}
+
+func TestSecondaryServesNackUnicast(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{})
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(1, "payload-1")))
+	s.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 1, To: 1})))
+	sents := env.SentPackets()
+	if len(sents) != 1 {
+		t.Fatalf("sent %d packets, want 1 retrans", len(sents))
+	}
+	r := sents[0]
+	if r.Type != wire.TypeRetrans || r.Seq != 1 || string(r.Payload) != "payload-1" {
+		t.Fatalf("retrans = %+v", r)
+	}
+	if r.Flags&wire.FlagFromLogger == 0 || r.Flags&wire.FlagRetransmission == 0 {
+		t.Fatalf("retrans flags = %v", r.Flags)
+	}
+	if env.Sents[0].To != rcvA {
+		t.Fatalf("retrans to %v, want %v", env.Sents[0].To, rcvA)
+	}
+	if s.Stats().RetransUnicast != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestSecondaryRemulticastsUnderDemand(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{RemcastThreshold: 3})
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(1, "hot")))
+	for _, r := range []transport.Addr{rcvA, rcvB, rcvC} {
+		s.Recv(r, mustMarshal(t, nackPkt(wire.SeqRange{From: 1, To: 1})))
+	}
+	// First two get unicasts; the third requester crosses the threshold.
+	if got := s.Stats(); got.RetransUnicast != 2 || got.Remulticasts != 1 {
+		t.Fatalf("stats = %+v, want 2 unicast + 1 remulticast", got)
+	}
+	mc := env.McastPackets()
+	if len(mc) != 1 || mc[0].Type != wire.TypeRetrans {
+		t.Fatalf("multicasts = %v", mc)
+	}
+	if env.Mcasts[0].TTL != transport.TTLSite {
+		t.Fatalf("re-multicast TTL = %d, want site scope %d", env.Mcasts[0].TTL, transport.TTLSite)
+	}
+	// A fourth request inside the window is satisfied by the re-multicast:
+	// no further traffic.
+	s.Recv(transporttest.Addr("rcvD"), mustMarshal(t, nackPkt(wire.SeqRange{From: 1, To: 1})))
+	if got := s.Stats(); got.RetransUnicast != 2 || got.Remulticasts != 1 {
+		t.Fatalf("stats after 4th request = %+v", got)
+	}
+	// After the window expires the counting restarts.
+	env.Advance(200 * time.Millisecond)
+	s.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 1, To: 1})))
+	if got := s.Stats(); got.RetransUnicast != 3 {
+		t.Fatalf("stats after window = %+v, want unicast again", got)
+	}
+}
+
+func TestSecondaryFetchesMissingFromPrimaryOnClientNack(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{NackDelay: 20 * time.Millisecond})
+	// Two receivers ask for a packet the logger never saw → exactly one
+	// NACK crosses to the primary (the paper's 20 → 1 reduction).
+	s.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 3, To: 3})))
+	s.Recv(rcvB, mustMarshal(t, nackPkt(wire.SeqRange{From: 3, To: 3})))
+	if len(env.Sents) != 0 {
+		t.Fatal("NACK sent before aggregation delay")
+	}
+	env.Advance(25 * time.Millisecond)
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeNack {
+		t.Fatalf("sent %v, want one NACK", sents)
+	}
+	if env.Sents[0].To != primaryAddr {
+		t.Fatalf("NACK to %v, want primary", env.Sents[0].To)
+	}
+	env.Sents = nil
+	// Primary answers; both waiters are served.
+	retr := wire.Packet{Type: wire.TypeRetrans, Flags: wire.FlagRetransmission | wire.FlagFromLogger,
+		Source: testSource, Group: testGroup, Seq: 3, Payload: []byte("three")}
+	s.Recv(primaryAddr, mustMarshal(t, retr))
+	sents = env.SentPackets()
+	if len(sents) != 2 {
+		t.Fatalf("served %d waiters, want 2", len(sents))
+	}
+	for _, p := range sents {
+		if p.Seq != 3 || string(p.Payload) != "three" {
+			t.Fatalf("waiter got %+v", p)
+		}
+	}
+	if s.Stats().NacksToPrimary != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+	// Fetch resolved: no retries later.
+	env.Advance(5 * time.Second)
+	if len(env.Sents) != 2 {
+		t.Fatalf("unexpected retries after satisfaction: %d", len(env.Sents))
+	}
+}
+
+func TestSecondarySelfHealsSequenceGap(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{NackDelay: 20 * time.Millisecond})
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(4, "d"))) // gap 2..3
+	env.Advance(25 * time.Millisecond)
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeNack {
+		t.Fatalf("want one gap NACK, got %v", sents)
+	}
+	want := wire.SeqRange{From: 2, To: 3}
+	if len(sents[0].Ranges) != 1 || sents[0].Ranges[0] != want {
+		t.Fatalf("ranges = %v, want %v", sents[0].Ranges, want)
+	}
+}
+
+func TestSecondaryHeartbeatRevealsLoss(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{NackDelay: 20 * time.Millisecond})
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	hb := wire.Packet{Type: wire.TypeHeartbeat, Source: testSource, Group: testGroup,
+		Seq: 3, HeartbeatIdx: 1}
+	s.Recv(srcAddr, mustMarshal(t, hb))
+	env.Advance(25 * time.Millisecond)
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeNack {
+		t.Fatalf("want heartbeat-triggered NACK, got %v", sents)
+	}
+	if r := sents[0].Ranges[0]; r.From != 2 || r.To != 3 {
+		t.Fatalf("ranges = %v, want [2,3]", sents[0].Ranges)
+	}
+}
+
+func TestSecondaryInlineHeartbeatRepairs(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{NackDelay: 20 * time.Millisecond})
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	// Data 2 lost; heartbeat carries it inline (§7 extension).
+	hb := wire.Packet{Type: wire.TypeHeartbeat, Flags: wire.FlagInlineData,
+		Source: testSource, Group: testGroup, Seq: 2, HeartbeatIdx: 1,
+		Payload: []byte("b")}
+	s.Recv(srcAddr, mustMarshal(t, hb))
+	st := s.Store(StreamKey{Source: testSource, Group: testGroup})
+	if !st.Has(2) {
+		t.Fatal("inline heartbeat payload not logged")
+	}
+	env.Advance(time.Second)
+	if len(env.Sents) != 0 {
+		t.Fatalf("NACK sent although inline heartbeat repaired the loss: %v", env.SentPackets())
+	}
+}
+
+func TestSecondaryRetriesAndAbandons(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{
+		NackDelay: 10 * time.Millisecond, RequestTimeout: 100 * time.Millisecond, MaxRetries: 3,
+	})
+	s.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 5, To: 5})))
+	env.Advance(2 * time.Second)
+	if got := len(env.SentPackets()); got != 3 {
+		t.Fatalf("sent %d NACKs, want MaxRetries=3", got)
+	}
+	if s.Stats().FetchesAbandoned != 1 {
+		t.Fatalf("stats = %+v, want 1 abandonment", s.Stats())
+	}
+	env.Sents = nil
+	// A fresh client request re-opens the abandoned sequence.
+	s.Recv(rcvB, mustMarshal(t, nackPkt(wire.SeqRange{From: 5, To: 5})))
+	env.Advance(50 * time.Millisecond)
+	if got := len(env.SentPackets()); got != 1 {
+		t.Fatalf("re-request sent %d NACKs, want 1", got)
+	}
+}
+
+func TestSecondaryAckerSelection(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{})
+	sel := wire.Packet{Type: wire.TypeAckerSelect, Source: testSource, Group: testGroup,
+		Epoch: 1, PAck: 1.0, K: 5}
+	s.Recv(srcAddr, mustMarshal(t, sel))
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeAckerResponse || sents[0].Epoch != 1 {
+		t.Fatalf("acker response = %v", sents)
+	}
+	env.Sents = nil
+	// Data in epoch 1 is acknowledged to the source.
+	d := dataPkt(1, "x")
+	d.Epoch = 1
+	s.Recv(srcAddr, mustMarshal(t, d))
+	sents = env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeAck || sents[0].Seq != 1 {
+		t.Fatalf("ack = %v", sents)
+	}
+	env.Sents = nil
+	// Data in a different epoch: no ack.
+	d2 := dataPkt(2, "y")
+	d2.Epoch = 2
+	s.Recv(srcAddr, mustMarshal(t, d2))
+	if len(env.Sents) != 0 {
+		t.Fatal("acked data outside our epoch")
+	}
+	// A retransmission is never acked even in-epoch.
+	r := wire.Packet{Type: wire.TypeRetrans, Flags: wire.FlagRetransmission,
+		Source: testSource, Group: testGroup, Seq: 3, Epoch: 1, Payload: []byte("z")}
+	s.Recv(srcAddr, mustMarshal(t, r))
+	if len(env.Sents) != 0 {
+		t.Fatal("acked a retransmission")
+	}
+}
+
+func TestSecondaryAckerSelectionProbZero(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{})
+	sel := wire.Packet{Type: wire.TypeAckerSelect, Source: testSource, Group: testGroup,
+		Epoch: 1, PAck: 0, K: 5}
+	s.Recv(srcAddr, mustMarshal(t, sel))
+	if len(env.Sents) != 0 {
+		t.Fatal("responded to selection with pAck=0")
+	}
+	d := dataPkt(1, "x")
+	d.Epoch = 1
+	s.Recv(srcAddr, mustMarshal(t, d))
+	if len(env.Sents) != 0 {
+		t.Fatal("non-acker acked data")
+	}
+}
+
+func TestSecondaryNewEpochReplacesOld(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{})
+	sel1 := wire.Packet{Type: wire.TypeAckerSelect, Source: testSource, Group: testGroup,
+		Epoch: 1, PAck: 1, K: 5}
+	s.Recv(srcAddr, mustMarshal(t, sel1))
+	// New epoch, not selected this time.
+	sel2 := sel1
+	sel2.Epoch = 2
+	sel2.PAck = 0
+	s.Recv(srcAddr, mustMarshal(t, sel2))
+	env.Sents = nil
+	d := dataPkt(1, "x")
+	d.Epoch = 2
+	s.Recv(srcAddr, mustMarshal(t, d))
+	if len(env.Sents) != 0 {
+		t.Fatal("acked epoch-2 data after losing acker role")
+	}
+	// Stale re-announcement of epoch 1 is ignored.
+	s.Recv(srcAddr, mustMarshal(t, sel1))
+	if len(env.Sents) != 0 {
+		t.Fatal("responded to stale epoch announcement")
+	}
+}
+
+func TestSecondaryDisableAcking(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{DisableAcking: true})
+	sel := wire.Packet{Type: wire.TypeAckerSelect, Source: testSource, Group: testGroup,
+		Epoch: 1, PAck: 1, K: 5}
+	s.Recv(srcAddr, mustMarshal(t, sel))
+	probe := wire.Packet{Type: wire.TypeSizeProbe, Source: testSource, Group: testGroup,
+		ProbeID: 1, PAck: 1}
+	s.Recv(srcAddr, mustMarshal(t, probe))
+	if len(env.Sents) != 0 {
+		t.Fatal("acking disabled but responses sent")
+	}
+}
+
+func TestSecondaryProbeResponse(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{})
+	probe := wire.Packet{Type: wire.TypeSizeProbe, Source: testSource, Group: testGroup,
+		ProbeID: 9, PAck: 1}
+	s.Recv(srcAddr, mustMarshal(t, probe))
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeSizeProbeResponse || sents[0].ProbeID != 9 {
+		t.Fatalf("probe response = %v", sents)
+	}
+}
+
+func TestSecondaryDiscoveryReply(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{DiscoveryJitter: 5 * time.Millisecond})
+	q := wire.Packet{Type: wire.TypeDiscoveryQuery, Source: testSource, Group: testGroup}
+	s.Recv(rcvA, mustMarshal(t, q))
+	env.Advance(6 * time.Millisecond)
+	sents := env.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeDiscoveryReply {
+		t.Fatalf("discovery reply = %v", sents)
+	}
+	if sents[0].Addr != "fake:secondary" {
+		t.Fatalf("advertised addr = %q", sents[0].Addr)
+	}
+	if env.Sents[0].To != rcvA {
+		t.Fatalf("reply to %v, want querier", env.Sents[0].To)
+	}
+}
+
+func TestSecondaryFollowsRedirect(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{NackDelay: 10 * time.Millisecond})
+	newPrimary := transporttest.Addr("replica1")
+	redir := wire.Packet{Type: wire.TypePrimaryRedirect, Source: testSource, Group: testGroup,
+		Addr: newPrimary.String()}
+	s.Recv(srcAddr, mustMarshal(t, redir))
+	s.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 2, To: 2})))
+	env.Advance(20 * time.Millisecond)
+	if len(env.Sents) != 1 || env.Sents[0].To != newPrimary {
+		t.Fatalf("NACK went to %v, want redirected primary", env.Sents)
+	}
+	if s.Stats().RedirectsFollowed != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestSecondaryIgnoresOtherGroupsAndGarbage(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{})
+	other := dataPkt(1, "x")
+	other.Group = 99
+	s.Recv(srcAddr, mustMarshal(t, other))
+	s.Recv(srcAddr, []byte("garbage"))
+	if st := s.Store(StreamKey{Source: testSource, Group: 99}); st != nil {
+		t.Fatal("logged foreign group")
+	}
+	if s.Stats().Malformed != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+	env.Advance(time.Second)
+	if len(env.Sents) != 0 {
+		t.Fatal("reacted to ignored traffic")
+	}
+}
+
+func TestSecondaryAgeEvictionOnIdleStream(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{
+		Retention: Retention{MaxAge: 500 * time.Millisecond},
+	})
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(1, "ephemeral")))
+	st := s.Store(StreamKey{Source: testSource, Group: testGroup})
+	if !st.Has(1) {
+		t.Fatal("not stored")
+	}
+	// No further traffic: the periodic tick must still expire it.
+	env.Advance(2 * time.Second)
+	if st.Has(1) {
+		t.Fatal("expired packet survived on an idle stream")
+	}
+	if !st.Seen(1) {
+		t.Fatal("Seen lost on eviction")
+	}
+}
+
+func TestSecondaryStopSilences(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{NackDelay: 10 * time.Millisecond})
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(3, "c"))) // gap → fetch armed
+	s.Stop()
+	env.Advance(10 * time.Second)
+	if len(env.Sents) != 0 {
+		t.Fatalf("stopped secondary sent %d packets", len(env.Sents))
+	}
+	s.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 1, To: 1})))
+	if len(env.Sents) != 0 {
+		t.Fatal("stopped secondary served a request")
+	}
+}
+
+func TestSecondaryRecoveryWindowSkipsForgedHead(t *testing.T) {
+	s, env := newSecondary(t, SecondaryConfig{
+		NackDelay: 10 * time.Millisecond, RecoveryWindow: 100,
+	})
+	s.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	hb := wire.Packet{Type: wire.TypeHeartbeat, Source: testSource, Group: testGroup,
+		Seq: 1 << 50, HeartbeatIdx: 1}
+	s.Recv(srcAddr, mustMarshal(t, hb))
+	if s.Stats().SkippedAhead != 1 {
+		t.Fatalf("stats = %+v, want a window skip", s.Stats())
+	}
+	env.Advance(50 * time.Millisecond)
+	for _, p := range env.SentPackets() {
+		if p.Type == wire.TypeNack {
+			for _, rg := range p.Ranges {
+				if rg.Count() > 100 {
+					t.Fatalf("NACK to primary chases outside window: %v", rg)
+				}
+			}
+		}
+	}
+}

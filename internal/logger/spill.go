@@ -1,0 +1,111 @@
+package logger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// spillFile is the disk half of a spilling Store: an append-only record
+// file ([seq u64][len u32][payload]) plus an in-memory offset index. The
+// paper (§2) notes that applications "with stronger persistence needs may
+// log all packets, writing them to disk once in-memory buffers are full" —
+// this implements exactly that policy for the log store.
+//
+// The file only grows (no compaction); SpillMaxBytes bounds the *indexed*
+// bytes, dropping the oldest records from the index when exceeded. A
+// logger that needs indefinite history should rotate stores instead.
+type spillFile struct {
+	f     *os.File
+	index map[uint64]spillRef
+	order []uint64 // insertion order for bounded-index eviction
+	// indexed is the payload byte count still reachable via the index.
+	indexed int64
+	// writeOff is the current end of file.
+	writeOff int64
+	maxBytes int64
+}
+
+type spillRef struct {
+	off  int64
+	size uint32
+}
+
+// newSpillFile creates the backing file in dir (or the default temp dir
+// when dir is empty).
+func newSpillFile(dir string, maxBytes int64) (*spillFile, error) {
+	f, err := os.CreateTemp(dir, "lbrm-log-*.spill")
+	if err != nil {
+		return nil, fmt.Errorf("logger: create spill file: %w", err)
+	}
+	return &spillFile{
+		f:        f,
+		index:    make(map[uint64]spillRef),
+		maxBytes: maxBytes,
+	}, nil
+}
+
+// put appends one record and indexes it.
+func (s *spillFile) put(seq uint64, payload []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:], seq)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	if _, err := s.f.WriteAt(hdr[:], s.writeOff); err != nil {
+		return fmt.Errorf("logger: spill write: %w", err)
+	}
+	if _, err := s.f.WriteAt(payload, s.writeOff+12); err != nil {
+		return fmt.Errorf("logger: spill write: %w", err)
+	}
+	s.index[seq] = spillRef{off: s.writeOff, size: uint32(len(payload))}
+	s.order = append(s.order, seq)
+	s.writeOff += 12 + int64(len(payload))
+	s.indexed += int64(len(payload))
+	for s.maxBytes > 0 && s.indexed > s.maxBytes && len(s.order) > 0 {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		if ref, ok := s.index[oldest]; ok {
+			s.indexed -= int64(ref.size)
+			delete(s.index, oldest)
+		}
+	}
+	return nil
+}
+
+// get reads one record's payload back.
+func (s *spillFile) get(seq uint64) ([]byte, bool) {
+	ref, ok := s.index[seq]
+	if !ok {
+		return nil, false
+	}
+	// Verify the header (defense against file corruption).
+	var hdr [12]byte
+	if _, err := s.f.ReadAt(hdr[:], ref.off); err != nil {
+		return nil, false
+	}
+	if binary.BigEndian.Uint64(hdr[0:]) != seq ||
+		binary.BigEndian.Uint32(hdr[8:]) != ref.size {
+		return nil, false
+	}
+	buf := make([]byte, ref.size)
+	if _, err := io.ReadFull(io.NewSectionReader(s.f, ref.off+12, int64(ref.size)), buf); err != nil {
+		return nil, false
+	}
+	return buf, true
+}
+
+// has reports whether seq is indexed on disk.
+func (s *spillFile) has(seq uint64) bool {
+	_, ok := s.index[seq]
+	return ok
+}
+
+// close removes the backing file.
+func (s *spillFile) close() error {
+	name := s.f.Name()
+	err := s.f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}

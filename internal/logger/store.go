@@ -1,0 +1,272 @@
+// Package logger implements LBRM's logging service (§2.2): the log store,
+// the primary logging server (with replication and failover support,
+// §2.2.3), and the per-site secondary logging server (§2.2.1) that serves
+// local retransmissions, aggregates NACKs toward the primary, and acts as a
+// Designated Acker under statistical acknowledgement (§2.3).
+package logger
+
+import (
+	"fmt"
+	"time"
+
+	"lbrm/internal/seqtrack"
+	"lbrm/internal/wire"
+)
+
+// Retention bounds what a Store keeps. Zero fields mean unlimited; the
+// paper notes that retention is application-specific ("useful lifetime" vs
+// full persistence).
+type Retention struct {
+	// MaxPackets caps the number of stored packets per stream.
+	MaxPackets int
+	// MaxBytes caps the stored payload bytes per stream.
+	MaxBytes int64
+	// MaxAge expires packets older than this (enforced on Put and
+	// EvictExpired).
+	MaxAge time.Duration
+	// SpillToDisk writes packets evicted from memory to an append-only
+	// spill file instead of dropping them, so they stay servable (§2:
+	// "writing them to disk once in-memory buffers are full").
+	SpillToDisk bool
+	// SpillDir is the directory for the spill file (default: os temp dir).
+	SpillDir string
+	// SpillMaxBytes bounds the bytes reachable on disk (0 = unlimited);
+	// the oldest spilled packets are dropped beyond it.
+	SpillMaxBytes int64
+}
+
+type entry struct {
+	seq  uint64
+	data []byte
+	at   time.Time
+}
+
+// Store is the sequence-indexed packet log for one stream. Sequence
+// numbers start at 1. Eviction removes the oldest packets first;
+// contiguity tracking (what has been *seen*) is unaffected by eviction.
+type Store struct {
+	ret     Retention
+	entries map[uint64]*entry
+	order   []uint64 // insertion order, for eviction
+	bytes   int64
+
+	// track holds the stream's sequence bookkeeping (contiguity, base
+	// watermark, gaps).
+	track seqtrack.Tracker
+	// spill holds disk-resident evicted packets (nil until first spill).
+	spill *spillFile
+	// spillErrs counts spill failures (packet dropped instead).
+	spillErrs int
+}
+
+// NewStore returns an empty store with the given retention policy.
+func NewStore(ret Retention) *Store {
+	return &Store{
+		ret:     ret,
+		entries: make(map[uint64]*entry),
+	}
+}
+
+// Put logs a packet. It returns false for duplicates (seq already seen) and
+// for seq 0, true otherwise. The payload is copied. Sequence numbers at or
+// below the base watermark are accepted as backfill (stored for serving,
+// without contiguity bookkeeping).
+func (s *Store) Put(seq uint64, data []byte, now time.Time) bool {
+	if seq == 0 {
+		return false
+	}
+	if seq <= s.track.Base() && s.track.Contacted() {
+		if _, ok := s.entries[seq]; ok {
+			return false
+		}
+	} else if !s.track.Mark(seq) {
+		return false
+	}
+	e := &entry{seq: seq, data: append([]byte(nil), data...), at: now}
+	s.entries[seq] = e
+	s.order = append(s.order, seq)
+	s.bytes += int64(len(e.data))
+	s.evict(now)
+	return true
+}
+
+// Get returns the stored payload for seq, from memory or the disk spill.
+func (s *Store) Get(seq uint64) ([]byte, bool) {
+	if e, ok := s.entries[seq]; ok {
+		return e.data, true
+	}
+	if s.spill != nil {
+		return s.spill.get(seq)
+	}
+	return nil, false
+}
+
+// Has reports whether the payload for seq is servable (in memory or on
+// disk).
+func (s *Store) Has(seq uint64) bool {
+	if _, ok := s.entries[seq]; ok {
+		return true
+	}
+	return s.spill != nil && s.spill.has(seq)
+}
+
+// InMemory reports whether seq's payload is held in memory (false for
+// spilled or absent packets).
+func (s *Store) InMemory(seq uint64) bool {
+	_, ok := s.entries[seq]
+	return ok
+}
+
+// SpillErrors returns the number of packets lost to spill-file failures.
+func (s *Store) SpillErrors() int { return s.spillErrs }
+
+// Close releases the disk spill file, if any.
+func (s *Store) Close() error {
+	if s.spill == nil {
+		return nil
+	}
+	sp := s.spill
+	s.spill = nil
+	return sp.close()
+}
+
+// Seen reports whether seq has ever been logged or skipped by the base
+// watermark.
+func (s *Store) Seen(seq uint64) bool { return s.track.Seen(seq) }
+
+// Evicted reports whether seq was logged and later dropped by retention —
+// as opposed to never having been held at all (below the base watermark).
+// Spilled packets are not evicted: they remain servable.
+func (s *Store) Evicted(seq uint64) bool {
+	return seq > s.track.Base() && s.track.Seen(seq) && !s.Has(seq)
+}
+
+// SetBase declares that history up to and including seq is deliberately
+// skipped (a late joiner starting mid-stream). It applies only on the very
+// first contact with the stream.
+func (s *Store) SetBase(seq uint64) { s.track.SetBase(seq) }
+
+// Base returns the skip watermark.
+func (s *Store) Base() uint64 { return s.track.Base() }
+
+// Advance force-skips history up to seq (see seqtrack.Tracker.Advance):
+// the skipped packets count as seen but are not stored.
+func (s *Store) Advance(seq uint64) { s.track.Advance(seq) }
+
+// Len returns the number of stored packets.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Bytes returns the stored payload bytes.
+func (s *Store) Bytes() int64 { return s.bytes }
+
+// Contiguous returns the highest c such that every sequence number in
+// [1, c] has been seen (0 when seq 1 is still missing) — the cumulative
+// acknowledgement value for LogSyncAck and SourceAck.
+func (s *Store) Contiguous() uint64 { return s.track.Contiguous() }
+
+// Highest returns the largest sequence number seen.
+func (s *Store) Highest() uint64 { return s.track.Highest() }
+
+// Missing returns up to maxRanges ranges of sequence numbers in
+// (Base, hi] that have not been seen. hi of 0 means Highest().
+func (s *Store) Missing(hi uint64, maxRanges int) []wire.SeqRange {
+	return s.track.Missing(hi, maxRanges)
+}
+
+// EvictExpired drops packets older than MaxAge.
+func (s *Store) EvictExpired(now time.Time) { s.evictAge(now) }
+
+func (s *Store) evict(now time.Time) {
+	s.evictAge(now)
+	for (s.ret.MaxPackets > 0 && len(s.entries) > s.ret.MaxPackets) ||
+		(s.ret.MaxBytes > 0 && s.bytes > s.ret.MaxBytes) {
+		if !s.evictOldest() {
+			return
+		}
+	}
+}
+
+func (s *Store) evictAge(now time.Time) {
+	if s.ret.MaxAge <= 0 {
+		return
+	}
+	cutoff := now.Add(-s.ret.MaxAge)
+	for len(s.order) > 0 {
+		seq := s.order[0]
+		e, ok := s.entries[seq]
+		if ok && e.at.After(cutoff) {
+			return
+		}
+		if !ok { // already evicted by size pressure
+			s.order = s.order[1:]
+			continue
+		}
+		s.evictOldest()
+	}
+}
+
+func (s *Store) evictOldest() bool {
+	for len(s.order) > 0 {
+		seq := s.order[0]
+		s.order = s.order[1:]
+		if e, ok := s.entries[seq]; ok {
+			s.spillOut(e)
+			s.bytes -= int64(len(e.data))
+			delete(s.entries, seq)
+			return true
+		}
+	}
+	return false
+}
+
+// spillOut moves one evicted entry to the disk spill file when enabled.
+func (s *Store) spillOut(e *entry) {
+	if !s.ret.SpillToDisk {
+		return
+	}
+	if s.spill == nil {
+		sp, err := newSpillFile(s.ret.SpillDir, s.ret.SpillMaxBytes)
+		if err != nil {
+			s.spillErrs++
+			return
+		}
+		s.spill = sp
+	}
+	if err := s.spill.put(e.seq, e.data); err != nil {
+		s.spillErrs++
+	}
+}
+
+// evictInterval derives the periodic retention-tick spacing from a
+// policy: a quarter of MaxAge, clamped to [100ms, 1min]; 0 when age-based
+// retention is off.
+func evictInterval(ret Retention) time.Duration {
+	if ret.MaxAge <= 0 {
+		return 0
+	}
+	d := ret.MaxAge / 4
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// StreamKey identifies one data stream at a logger: the pair of source and
+// group.
+type StreamKey struct {
+	Source wire.SourceID
+	Group  wire.GroupID
+}
+
+// String renders the key for logs.
+func (k StreamKey) String() string {
+	return fmt.Sprintf("src=%d/grp=%d", k.Source, k.Group)
+}
+
+// KeyOf extracts the stream key from a packet.
+func KeyOf(p *wire.Packet) StreamKey {
+	return StreamKey{Source: p.Source, Group: p.Group}
+}

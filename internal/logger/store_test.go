@@ -1,0 +1,317 @@
+package logger
+
+import (
+	"os"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lbrm/internal/wire"
+)
+
+var tBase = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore(Retention{})
+	if !s.Put(1, []byte("a"), tBase) {
+		t.Fatal("Put(1) = false")
+	}
+	if s.Put(1, []byte("dup"), tBase) {
+		t.Fatal("duplicate Put accepted")
+	}
+	if s.Put(0, []byte("zero"), tBase) {
+		t.Fatal("Put(0) accepted; sequence numbers start at 1")
+	}
+	got, ok := s.Get(1)
+	if !ok || string(got) != "a" {
+		t.Fatalf("Get(1) = %q,%v", got, ok)
+	}
+	if _, ok := s.Get(2); ok {
+		t.Fatal("Get(2) found phantom")
+	}
+	if s.Len() != 1 || s.Bytes() != 1 {
+		t.Fatalf("Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+}
+
+func TestStorePutCopiesPayload(t *testing.T) {
+	s := NewStore(Retention{})
+	buf := []byte("orig")
+	s.Put(1, buf, tBase)
+	copy(buf, "XXXX")
+	got, _ := s.Get(1)
+	if string(got) != "orig" {
+		t.Fatal("store aliased caller buffer")
+	}
+}
+
+func TestStoreContiguityAndMissing(t *testing.T) {
+	s := NewStore(Retention{})
+	for _, seq := range []uint64{1, 2, 5, 7} {
+		s.Put(seq, []byte{byte(seq)}, tBase)
+	}
+	if s.Contiguous() != 2 {
+		t.Fatalf("Contiguous = %d, want 2", s.Contiguous())
+	}
+	if s.Highest() != 7 {
+		t.Fatalf("Highest = %d, want 7", s.Highest())
+	}
+	miss := s.Missing(0, 0)
+	want := []wire.SeqRange{{From: 3, To: 4}, {From: 6, To: 6}}
+	if len(miss) != len(want) || miss[0] != want[0] || miss[1] != want[1] {
+		t.Fatalf("Missing = %v, want %v", miss, want)
+	}
+	// Fill the first gap: contiguity advances through the already-seen 5.
+	s.Put(3, nil, tBase)
+	s.Put(4, nil, tBase)
+	if s.Contiguous() != 5 {
+		t.Fatalf("Contiguous = %d after fill, want 5", s.Contiguous())
+	}
+	// Missing beyond highest via explicit hi.
+	miss = s.Missing(9, 0)
+	want = []wire.SeqRange{{From: 6, To: 6}, {From: 8, To: 9}}
+	if len(miss) != 2 || miss[0] != want[0] || miss[1] != want[1] {
+		t.Fatalf("Missing(9) = %v, want %v", miss, want)
+	}
+}
+
+func TestStoreMissingRangeCap(t *testing.T) {
+	s := NewStore(Retention{})
+	// Odd seqs only → every even seq is its own range.
+	for seq := uint64(1); seq <= 41; seq += 2 {
+		s.Put(seq, nil, tBase)
+	}
+	if got := s.Missing(0, 5); len(got) != 5 {
+		t.Fatalf("Missing cap: got %d ranges, want 5", len(got))
+	}
+}
+
+func TestStoreEvictByCount(t *testing.T) {
+	s := NewStore(Retention{MaxPackets: 3})
+	for seq := uint64(1); seq <= 5; seq++ {
+		s.Put(seq, []byte{0}, tBase)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.Has(1) || s.Has(2) {
+		t.Fatal("oldest packets not evicted")
+	}
+	if !s.Has(3) || !s.Has(5) {
+		t.Fatal("recent packets evicted")
+	}
+	// Contiguity unaffected by eviction.
+	if s.Contiguous() != 5 {
+		t.Fatalf("Contiguous = %d, want 5", s.Contiguous())
+	}
+	if !s.Seen(1) {
+		t.Fatal("Seen(1) = false after eviction")
+	}
+}
+
+func TestStoreEvictByBytes(t *testing.T) {
+	s := NewStore(Retention{MaxBytes: 10})
+	s.Put(1, make([]byte, 6), tBase)
+	s.Put(2, make([]byte, 6), tBase)
+	if s.Has(1) {
+		t.Fatal("byte budget not enforced")
+	}
+	if s.Bytes() != 6 {
+		t.Fatalf("Bytes = %d, want 6", s.Bytes())
+	}
+}
+
+func TestStoreEvictByAge(t *testing.T) {
+	s := NewStore(Retention{MaxAge: time.Minute})
+	s.Put(1, []byte("old"), tBase)
+	s.Put(2, []byte("new"), tBase.Add(50*time.Second))
+	s.EvictExpired(tBase.Add(70 * time.Second))
+	if s.Has(1) {
+		t.Fatal("expired packet kept")
+	}
+	if !s.Has(2) {
+		t.Fatal("fresh packet evicted")
+	}
+	// Age is also enforced on Put.
+	s.Put(3, []byte("x"), tBase.Add(3*time.Minute))
+	if s.Has(2) {
+		t.Fatal("expired packet kept after Put")
+	}
+}
+
+func TestStreamKey(t *testing.T) {
+	p := wire.Packet{Source: 9, Group: 4}
+	k := KeyOf(&p)
+	if k.Source != 9 || k.Group != 4 {
+		t.Fatalf("KeyOf = %+v", k)
+	}
+	if k.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: after inserting any permutation of 1..n, contiguity is n and
+// nothing is missing.
+func TestStoreContiguityProperty(t *testing.T) {
+	f := func(perm []byte) bool {
+		n := len(perm)
+		if n == 0 || n > 64 {
+			return true
+		}
+		// Build a permutation of 1..n from the random bytes.
+		order := make([]uint64, n)
+		for i := range order {
+			order[i] = uint64(i + 1)
+		}
+		for i := n - 1; i > 0; i-- {
+			j := int(perm[i]) % (i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		s := NewStore(Retention{})
+		for _, seq := range order {
+			s.Put(seq, nil, tBase)
+		}
+		return s.Contiguous() == uint64(n) && len(s.Missing(0, 0)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Missing ranges exactly complement Seen within [1, Highest].
+func TestStoreMissingComplementProperty(t *testing.T) {
+	f := func(seqs []uint16) bool {
+		s := NewStore(Retention{})
+		for _, q := range seqs {
+			s.Put(uint64(q%200)+1, nil, tBase)
+		}
+		missing := map[uint64]bool{}
+		for _, r := range s.Missing(0, 0) {
+			for q := r.From; q <= r.To; q++ {
+				missing[q] = true
+			}
+		}
+		for q := uint64(1); q <= s.Highest(); q++ {
+			if s.Seen(q) == missing[q] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSpillToDisk(t *testing.T) {
+	s := NewStore(Retention{MaxPackets: 2, SpillToDisk: true, SpillDir: t.TempDir()})
+	defer s.Close()
+	for seq := uint64(1); seq <= 5; seq++ {
+		s.Put(seq, []byte{byte('a' + seq)}, tBase)
+	}
+	// 1-3 spilled to disk, 4-5 in memory; everything still servable.
+	for seq := uint64(1); seq <= 5; seq++ {
+		got, ok := s.Get(seq)
+		if !ok || got[0] != byte('a'+seq) {
+			t.Fatalf("Get(%d) = %v,%v", seq, got, ok)
+		}
+		if !s.Has(seq) {
+			t.Fatalf("Has(%d) = false", seq)
+		}
+		if s.Evicted(seq) {
+			t.Fatalf("Evicted(%d) = true; spilled packets are servable", seq)
+		}
+	}
+	if s.InMemory(1) {
+		t.Fatal("seq 1 should be on disk")
+	}
+	if !s.InMemory(5) {
+		t.Fatal("seq 5 should be in memory")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 in-memory", s.Len())
+	}
+	if s.SpillErrors() != 0 {
+		t.Fatalf("spill errors: %d", s.SpillErrors())
+	}
+}
+
+func TestStoreSpillBoundedIndex(t *testing.T) {
+	// Each payload is 10 bytes; the spill index keeps ≤ 25 bytes → at most
+	// 2 spilled packets reachable.
+	s := NewStore(Retention{MaxPackets: 1, SpillToDisk: true, SpillDir: t.TempDir(),
+		SpillMaxBytes: 25})
+	defer s.Close()
+	payload := make([]byte, 10)
+	for seq := uint64(1); seq <= 6; seq++ {
+		s.Put(seq, payload, tBase)
+	}
+	// In memory: 6. Spilled: 1..5 but only the newest ≤2 indexed.
+	reachable := 0
+	for seq := uint64(1); seq <= 5; seq++ {
+		if s.Has(seq) {
+			reachable++
+			if seq < 4 {
+				t.Fatalf("old spilled seq %d still reachable", seq)
+			}
+		}
+	}
+	if reachable != 2 {
+		t.Fatalf("reachable spilled = %d, want 2", reachable)
+	}
+	// Beyond-bound packets count as evicted now.
+	if !s.Evicted(1) {
+		t.Fatal("dropped spill entry should read as evicted")
+	}
+}
+
+func TestStoreSpillFileRemovedOnClose(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(Retention{MaxPackets: 1, SpillToDisk: true, SpillDir: dir})
+	s.Put(1, []byte("a"), tBase)
+	s.Put(2, []byte("b"), tBase) // forces a spill → creates the file
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("spill files = %d, want 1", len(entries))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatal("spill file not removed on Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double Close errored")
+	}
+}
+
+// Property: with spill enabled and any eviction pressure, every previously
+// Put packet remains servable (no silent loss) as long as the spill index
+// is unbounded.
+func TestStoreSpillNoLossProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		s := NewStore(Retention{MaxBytes: 64, SpillToDisk: true, SpillDir: t.TempDir()})
+		defer s.Close()
+		for i, raw := range sizes {
+			seq := uint64(i + 1)
+			payload := make([]byte, int(raw%50)+1)
+			payload[0] = byte(seq)
+			s.Put(seq, payload, tBase)
+		}
+		for i := range sizes {
+			seq := uint64(i + 1)
+			got, ok := s.Get(seq)
+			if !ok || got[0] != byte(seq) {
+				return false
+			}
+		}
+		return s.SpillErrors() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LossModel decides, per packet traversal of one link, whether the packet
+// is dropped. Implementations may keep state (burst models); they are
+// invoked from the single-threaded simulator loop, so no locking is needed.
+type LossModel interface {
+	Drop(now time.Time, rng *rand.Rand) bool
+}
+
+// PacketAwareLoss is an optional extension: models that need to inspect
+// the datagram (e.g. to target only data packets) implement it and the
+// link uses DropPacket instead of Drop. The buffer must not be retained or
+// modified.
+type PacketAwareLoss interface {
+	LossModel
+	DropPacket(now time.Time, rng *rand.Rand, data []byte) bool
+}
+
+// LossNone never drops.
+type LossNone struct{}
+
+// Drop implements LossModel.
+func (LossNone) Drop(time.Time, *rand.Rand) bool { return false }
+
+// Bernoulli drops each packet independently with probability P.
+type Bernoulli struct{ P float64 }
+
+// Drop implements LossModel.
+func (b Bernoulli) Drop(_ time.Time, rng *rand.Rand) bool {
+	return rng.Float64() < b.P
+}
+
+// GilbertElliott is a two-state burst loss model. In the Good state packets
+// drop with probability LossGood; in the Bad state with LossBad. After each
+// packet, the state flips Good→Bad with probability PGoodToBad and Bad→Good
+// with probability PBadToGood. It produces the bursty, correlated loss
+// typical of a congested tail circuit.
+type GilbertElliott struct {
+	PGoodToBad float64
+	PBadToGood float64
+	LossGood   float64
+	LossBad    float64
+
+	bad bool
+}
+
+// Drop implements LossModel.
+func (g *GilbertElliott) Drop(_ time.Time, rng *rand.Rand) bool {
+	var p float64
+	if g.bad {
+		p = g.LossBad
+	} else {
+		p = g.LossGood
+	}
+	drop := rng.Float64() < p
+	if g.bad {
+		if rng.Float64() < g.PBadToGood {
+			g.bad = false
+		}
+	} else {
+		if rng.Float64() < g.PGoodToBad {
+			g.bad = true
+		}
+	}
+	return drop
+}
+
+// Window is a half-open time interval [Start, End).
+type Window struct {
+	Start, End time.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End)
+}
+
+// Outages drops every packet whose traversal begins inside one of the
+// configured windows — the paper's "burst model of congestion" (§2.1.1)
+// where a host receives nothing for t_burst.
+type Outages struct {
+	Windows []Window
+}
+
+// Drop implements LossModel.
+func (o *Outages) Drop(now time.Time, _ *rand.Rand) bool {
+	for _, w := range o.Windows {
+		if w.Contains(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// Gate is a manually switched loss model: while Down, everything drops.
+// Experiments flip it from scheduled callbacks.
+type Gate struct{ Down bool }
+
+// Drop implements LossModel.
+func (g *Gate) Drop(time.Time, *rand.Rand) bool { return g.Down }
+
+// FirstN drops the first N packets that traverse the link, then passes
+// everything. Useful for deterministic single-loss tests.
+type FirstN struct {
+	N    int
+	seen int
+}
+
+// Drop implements LossModel.
+func (f *FirstN) Drop(time.Time, *rand.Rand) bool {
+	if f.seen < f.N {
+		f.seen++
+		return true
+	}
+	return false
+}
+
+// DropSeqs drops exactly the packets whose 1-based traversal index over the
+// link is listed. It gives tests full control of which packet is lost.
+type DropSeqs struct {
+	Indices map[int]bool
+	count   int
+}
+
+// Drop implements LossModel.
+func (d *DropSeqs) Drop(time.Time, *rand.Rand) bool {
+	d.count++
+	return d.Indices[d.count]
+}
+
+// DropMatching drops, among packets satisfying Match, exactly those whose
+// 1-based match index is listed in Indices. Packets that do not match are
+// never dropped. It implements PacketAwareLoss; used to lose "the 3rd data
+// packet" while heartbeats and repairs flow freely.
+type DropMatching struct {
+	Match   func(data []byte) bool
+	Indices map[int]bool
+	count   int
+}
+
+// Drop implements LossModel (no packet available: never drops).
+func (d *DropMatching) Drop(time.Time, *rand.Rand) bool { return false }
+
+// DropPacket implements PacketAwareLoss.
+func (d *DropMatching) DropPacket(_ time.Time, _ *rand.Rand, data []byte) bool {
+	if d.Match == nil || !d.Match(data) {
+		return false
+	}
+	d.count++
+	return d.Indices[d.count]
+}

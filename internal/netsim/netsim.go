@@ -1,0 +1,566 @@
+// Package netsim is a deterministic discrete-event network simulator for
+// LBRM experiments. It models the paper's WAN topology (Figure 1): hosts on
+// site LANs, sites joined to a backbone through tail circuits, and optional
+// intermediate router tiers. Links have propagation delay, an optional
+// serialization rate, a loss model, and a TTL threshold for multicast
+// scoping.
+//
+// Two properties the paper's claims rest on are modeled explicitly:
+//
+//   - Correlated loss: a multicast packet's drop decision is made once per
+//     link, so a congested tail circuit loses a packet for every receiver
+//     at that site at once (prerequisite for the NACK-implosion analysis,
+//     §2.2.2).
+//   - TTL scoping: a link is crossed only by packets whose TTL meets the
+//     link's threshold, so a secondary logger can re-multicast a repair
+//     that stays within its site (§2.2.1).
+//
+// The simulator computes a packet's full path (including future queueing)
+// at send time; under serialization-rate contention this is a cut-through
+// approximation that can slightly reorder heavily queued packets, which is
+// irrelevant at LBRM's packet rates.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/vtime"
+	"lbrm/internal/wire"
+)
+
+// NodeID identifies a host in the simulated network.
+type NodeID int
+
+// Addr is the simulator's transport address.
+type Addr struct{ ID NodeID }
+
+// Network implements transport.Addr.
+func (Addr) Network() string { return "sim" }
+
+// String implements transport.Addr; ParseAddr inverts it.
+func (a Addr) String() string { return "sim:" + strconv.Itoa(int(a.ID)) }
+
+// ParseAddr parses a string produced by Addr.String.
+func ParseAddr(s string) (Addr, error) {
+	rest, ok := strings.CutPrefix(s, "sim:")
+	if !ok {
+		return Addr{}, fmt.Errorf("netsim: address %q lacks sim: prefix", s)
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		return Addr{}, fmt.Errorf("netsim: bad address %q: %v", s, err)
+	}
+	return Addr{ID: NodeID(id)}, nil
+}
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	// Name labels the link in taps and counters (e.g. "site3/tail-down").
+	Name string
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter) per
+	// packet, modelling queueing variation along the path.
+	Jitter time.Duration
+	// Rate is the serialization rate in bits per second; 0 means infinite.
+	Rate int64
+	// Loss decides drops; nil means no loss.
+	Loss LossModel
+	// TTLRequired is the minimum multicast TTL needed to cross this link.
+	// Zero means any TTL ≥ 0 crosses. Unicast ignores it.
+	TTLRequired int
+}
+
+// LinkCounters accumulates per-link traffic statistics.
+type LinkCounters struct {
+	Packets uint64 // traversals attempted
+	Bytes   uint64 // bytes of packets that crossed (not dropped)
+	Drops   uint64
+}
+
+// Link is one direction of a point-to-point link.
+type Link struct {
+	cfg      LinkConfig
+	nextFree time.Time
+	counters LinkCounters
+}
+
+// Name returns the link's label.
+func (l *Link) Name() string { return l.cfg.Name }
+
+// Counters returns a snapshot of the link's counters.
+func (l *Link) Counters() LinkCounters { return l.counters }
+
+// ResetCounters zeroes the link's counters.
+func (l *Link) ResetCounters() { l.counters = LinkCounters{} }
+
+// SetLoss replaces the link's loss model (nil disables loss).
+func (l *Link) SetLoss(m LossModel) { l.cfg.Loss = m }
+
+// SetJitter replaces the link's per-packet random delay bound.
+func (l *Link) SetJitter(d time.Duration) { l.cfg.Jitter = d }
+
+// Delay returns the link's propagation delay.
+func (l *Link) Delay() time.Duration { return l.cfg.Delay }
+
+// traverse simulates one packet crossing the link starting at t. It
+// returns the arrival time at the far end and whether the packet survived.
+func (l *Link) traverse(n *Network, t time.Time, data []byte, from, to NodeID, mcast bool) (time.Time, bool) {
+	size := len(data)
+	l.counters.Packets++
+	dropped := false
+	if l.cfg.Loss != nil {
+		if pa, ok := l.cfg.Loss.(PacketAwareLoss); ok {
+			dropped = pa.DropPacket(t, n.rng, data)
+		} else {
+			dropped = l.cfg.Loss.Drop(t, n.rng)
+		}
+		if dropped {
+			l.counters.Drops++
+		}
+	}
+	if n.tap != nil {
+		n.tap(TapEvent{Link: l, Time: t, Size: size, Data: data,
+			From: from, To: to, Dropped: dropped, Multicast: mcast})
+	}
+	if dropped {
+		return t, false
+	}
+	l.counters.Bytes += uint64(size)
+	start := t
+	if l.cfg.Rate > 0 {
+		if l.nextFree.After(start) {
+			start = l.nextFree
+		}
+		tx := time.Duration(float64(size*8) / float64(l.cfg.Rate) * float64(time.Second))
+		l.nextFree = start.Add(tx)
+		start = l.nextFree
+	}
+	arrival := start.Add(l.cfg.Delay)
+	if l.cfg.Jitter > 0 {
+		arrival = arrival.Add(time.Duration(n.rng.Int63n(int64(l.cfg.Jitter))))
+	}
+	return arrival, true
+}
+
+// TapEvent describes one packet traversal of one link, surfaced to the
+// network tap for traffic accounting in experiments.
+type TapEvent struct {
+	Link *Link
+	Time time.Time
+	Size int
+	// Data is the raw datagram (not a copy: taps must not retain it).
+	Data []byte
+	// From is the sending node; To the unicast destination (-1 for
+	// multicast, where the destination is the group).
+	From, To  NodeID
+	Dropped   bool
+	Multicast bool
+}
+
+// TapFunc observes link traversals.
+type TapFunc func(TapEvent)
+
+// Router is an interior node of the topology tree.
+type Router struct {
+	net      *Network
+	name     string
+	parent   *Router
+	up, down *Link // to/from parent; nil on the root
+	children []*Router
+	leaves   []*Node
+}
+
+// Name returns the router's label.
+func (r *Router) Name() string { return r.name }
+
+// UpLink returns the link from this router toward its parent (nil on root).
+func (r *Router) UpLink() *Link { return r.up }
+
+// DownLink returns the link from the parent toward this router (nil on root).
+func (r *Router) DownLink() *Link { return r.down }
+
+// Node is a simulated host running one transport.Handler.
+type Node struct {
+	net      *Network
+	id       NodeID
+	name     string
+	parent   *Router
+	up, down *Link
+	handler  transport.Handler
+	env      *simEnv
+	received uint64
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() Addr { return Addr{ID: n.id} }
+
+// Name returns the node's label.
+func (n *Node) Name() string { return n.name }
+
+// UpLink returns the node's host→LAN link.
+func (n *Node) UpLink() *Link { return n.up }
+
+// DownLink returns the node's LAN→host link.
+func (n *Node) DownLink() *Link { return n.down }
+
+// Received returns the number of datagrams delivered to the handler.
+func (n *Node) Received() uint64 { return n.received }
+
+// Env returns the node's environment (available after Network.Start).
+func (n *Node) Env() transport.Env { return n.env }
+
+// SetHandler attaches a handler to a node created without one (useful when
+// handler construction needs other nodes' addresses first). If the network
+// has already started, the handler starts immediately.
+func (n *Node) SetHandler(h transport.Handler) {
+	n.handler = h
+	if n.net.started && h != nil {
+		h.Start(n.env)
+	}
+}
+
+// Network is the simulated internetwork plus its virtual clock.
+type Network struct {
+	clk     *vtime.Sim
+	rng     *rand.Rand
+	seed    int64
+	root    *Router
+	nodes   []*Node
+	routers []*Router
+	groups  map[wire.GroupID]map[*Node]bool
+	tap     TapFunc
+	started bool
+}
+
+// New creates a network with a root (backbone) router and a virtual clock
+// starting at a fixed epoch. The seed makes every run reproducible.
+func New(seed int64) *Network {
+	n := &Network{
+		clk:    vtime.NewSim(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)),
+		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
+		groups: make(map[wire.GroupID]map[*Node]bool),
+	}
+	n.root = &Router{net: n, name: "core"}
+	n.routers = append(n.routers, n.root)
+	return n
+}
+
+// Clock returns the network's virtual clock.
+func (n *Network) Clock() *vtime.Sim { return n.clk }
+
+// Root returns the backbone router.
+func (n *Network) Root() *Router { return n.root }
+
+// SetTap installs fn as the link-traversal observer (nil uninstalls).
+func (n *Network) SetTap(fn TapFunc) { n.tap = fn }
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// NewRouter attaches a router under parent with the given uplink/downlink
+// configurations.
+func (n *Network) NewRouter(parent *Router, name string, up, down LinkConfig) *Router {
+	if parent == nil {
+		parent = n.root
+	}
+	if up.Name == "" {
+		up.Name = name + "/up"
+	}
+	if down.Name == "" {
+		down.Name = name + "/down"
+	}
+	r := &Router{
+		net:    n,
+		name:   name,
+		parent: parent,
+		up:     &Link{cfg: up},
+		down:   &Link{cfg: down},
+	}
+	parent.children = append(parent.children, r)
+	n.routers = append(n.routers, r)
+	return r
+}
+
+// NewNode attaches a host under router r with the given host-link
+// configurations, running handler h. The handler's Start runs when
+// Network.Start is called (or immediately if the network already started).
+func (n *Network) NewNode(r *Router, name string, up, down LinkConfig, h transport.Handler) *Node {
+	if r == nil {
+		r = n.root
+	}
+	if up.Name == "" {
+		up.Name = name + "/up"
+	}
+	if down.Name == "" {
+		down.Name = name + "/down"
+	}
+	node := &Node{
+		net:     n,
+		id:      NodeID(len(n.nodes)),
+		name:    name,
+		parent:  r,
+		up:      &Link{cfg: up},
+		down:    &Link{cfg: down},
+		handler: h,
+	}
+	node.env = &simEnv{node: node, rng: rand.New(rand.NewSource(n.seed ^ (0x9E3779B9 * int64(node.id+1))))}
+	r.leaves = append(r.leaves, node)
+	n.nodes = append(n.nodes, node)
+	if n.started && h != nil {
+		h.Start(node.env)
+	}
+	return node
+}
+
+// Start calls Start on every node's handler in creation order.
+func (n *Network) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	for _, node := range n.nodes {
+		if node.handler != nil {
+			node.handler.Start(node.env)
+		}
+	}
+}
+
+// RunFor advances virtual time by d, delivering everything due.
+func (n *Network) RunFor(d time.Duration) { n.clk.RunFor(d) }
+
+// RunUntilIdle fires all pending events.
+func (n *Network) RunUntilIdle() { n.clk.Run() }
+
+// node returns the node with the given id, or nil.
+func (n *Network) node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		return nil
+	}
+	return n.nodes[id]
+}
+
+// join subscribes node to group g.
+func (n *Network) join(g wire.GroupID, node *Node) {
+	m := n.groups[g]
+	if m == nil {
+		m = make(map[*Node]bool)
+		n.groups[g] = m
+	}
+	m[node] = true
+}
+
+// leave unsubscribes node from group g.
+func (n *Network) leave(g wire.GroupID, node *Node) {
+	if m := n.groups[g]; m != nil {
+		delete(m, node)
+	}
+}
+
+// Members returns how many nodes are subscribed to g.
+func (n *Network) Members(g wire.GroupID) int { return len(n.groups[g]) }
+
+// unicast routes a datagram from src to dst along the tree path.
+func (n *Network) unicast(src *Node, dst NodeID, data []byte) error {
+	target := n.node(dst)
+	if target == nil {
+		return fmt.Errorf("netsim: unicast to unknown node %d", dst)
+	}
+	buf := append([]byte(nil), data...)
+	now := n.clk.Now()
+	if target == src {
+		n.deliver(target, src.id, buf, 0)
+		return nil
+	}
+	t := now
+	ok := true
+	for _, l := range n.path(src, target) {
+		t, ok = l.traverse(n, t, buf, src.id, dst, false)
+		if !ok {
+			return nil // lost in transit; sender cannot tell
+		}
+	}
+	n.deliver(target, src.id, buf, t.Sub(now))
+	return nil
+}
+
+// path returns the ordered links from src to dst (both nodes, distinct).
+func (n *Network) path(src, dst *Node) []*Link {
+	links := []*Link{src.up}
+	// Climb from both sides to find the lowest common ancestor.
+	depth := func(r *Router) int {
+		d := 0
+		for ; r != nil; r = r.parent {
+			d++
+		}
+		return d
+	}
+	a, b := src.parent, dst.parent
+	var downs []*Link
+	da, db := depth(a), depth(b)
+	for da > db {
+		links = append(links, a.up)
+		a = a.parent
+		da--
+	}
+	for db > da {
+		downs = append(downs, b.down)
+		b = b.parent
+		db--
+	}
+	for a != b {
+		links = append(links, a.up)
+		downs = append(downs, b.down)
+		a, b = a.parent, b.parent
+	}
+	for i := len(downs) - 1; i >= 0; i-- {
+		links = append(links, downs[i])
+	}
+	return append(links, dst.down)
+}
+
+// PathDelay returns the sum of propagation delays from a to b (ignoring
+// loss and queueing); useful for computing expected RTTs in tests.
+func (n *Network) PathDelay(a, b NodeID) time.Duration {
+	na, nb := n.node(a), n.node(b)
+	if na == nil || nb == nil || na == nb {
+		return 0
+	}
+	var d time.Duration
+	for _, l := range n.path(na, nb) {
+		d += l.cfg.Delay
+	}
+	return d
+}
+
+// multicast floods a datagram to all members of g (except the sender)
+// respecting TTL thresholds, making one loss decision per link. The
+// distribution tree is pruned to subtrees that actually contain members
+// (as IGMP/multicast routing would): a site with no subscribers never
+// sees the packet on its tail circuit.
+func (n *Network) multicast(src *Node, g wire.GroupID, ttl int, data []byte) error {
+	members := n.groups[g]
+	if len(members) == 0 {
+		return nil
+	}
+	buf := append([]byte(nil), data...)
+	now := n.clk.Now()
+	if ttl < src.up.cfg.TTLRequired {
+		return nil
+	}
+	t, ok := src.up.traverse(n, now, buf, src.id, -1, true)
+	if !ok {
+		return nil
+	}
+	n.flood(src.parent, src, nil, false, t, ttl, members, n.memberRouters(members), src.id, buf, now)
+	return nil
+}
+
+// memberRouters returns the set of routers lying on a path between some
+// group member and the root — the multicast distribution tree.
+func (n *Network) memberRouters(members map[*Node]bool) map[*Router]bool {
+	tree := make(map[*Router]bool)
+	for node := range members {
+		for r := node.parent; r != nil && !tree[r]; r = r.parent {
+			tree[r] = true
+		}
+	}
+	return tree
+}
+
+// flood recursively distributes a multicast packet through the router tree.
+// exclNode/exclChild identify where the packet came from; fromParent
+// prevents sending it back up; tree prunes member-less subtrees.
+func (n *Network) flood(r *Router, exclNode *Node, exclChild *Router, fromParent bool,
+	t time.Time, ttl int, members map[*Node]bool, tree map[*Router]bool,
+	from NodeID, buf []byte, sent time.Time) {
+
+	for _, leaf := range r.leaves {
+		if leaf == exclNode || !members[leaf] {
+			continue
+		}
+		if ttl < leaf.down.cfg.TTLRequired {
+			continue
+		}
+		if t2, ok := leaf.down.traverse(n, t, buf, from, -1, true); ok {
+			n.deliver(leaf, from, buf, t2.Sub(sent))
+		}
+	}
+	for _, c := range r.children {
+		if c == exclChild || !tree[c] {
+			continue
+		}
+		if ttl < c.down.cfg.TTLRequired {
+			continue
+		}
+		if t2, ok := c.down.traverse(n, t, buf, from, -1, true); ok {
+			n.flood(c, nil, nil, true, t2, ttl, members, tree, from, buf, sent)
+		}
+	}
+	if !fromParent && r.parent != nil {
+		if ttl >= r.up.cfg.TTLRequired {
+			if t2, ok := r.up.traverse(n, t, buf, from, -1, true); ok {
+				n.flood(r.parent, nil, r, false, t2, ttl, members, tree, from, buf, sent)
+			}
+		}
+	}
+}
+
+// deliver schedules handler.Recv on target after delay.
+func (n *Network) deliver(target *Node, from NodeID, buf []byte, delay time.Duration) {
+	n.clk.AfterFunc(delay, func() {
+		target.received++
+		if target.handler != nil {
+			target.handler.Recv(Addr{ID: from}, buf)
+		}
+	})
+}
+
+// simEnv implements transport.Env for one node.
+type simEnv struct {
+	node *Node
+	rng  *rand.Rand
+}
+
+func (e *simEnv) Now() time.Time { return e.node.net.clk.Now() }
+
+func (e *simEnv) AfterFunc(d time.Duration, fn func()) vtime.Timer {
+	return e.node.net.clk.AfterFunc(d, fn)
+}
+
+func (e *simEnv) Send(to transport.Addr, data []byte) error {
+	a, ok := to.(Addr)
+	if !ok {
+		return fmt.Errorf("netsim: foreign address %v (%s)", to, to.Network())
+	}
+	return e.node.net.unicast(e.node, a.ID, data)
+}
+
+func (e *simEnv) Multicast(g wire.GroupID, ttl int, data []byte) error {
+	return e.node.net.multicast(e.node, g, ttl, data)
+}
+
+func (e *simEnv) Join(g wire.GroupID) error {
+	e.node.net.join(g, e.node)
+	return nil
+}
+
+func (e *simEnv) Leave(g wire.GroupID) error {
+	e.node.net.leave(g, e.node)
+	return nil
+}
+
+func (e *simEnv) LocalAddr() transport.Addr { return e.node.Addr() }
+
+func (e *simEnv) ParseAddr(s string) (transport.Addr, error) { return ParseAddr(s) }
+
+func (e *simEnv) Rand() *rand.Rand { return e.rng }

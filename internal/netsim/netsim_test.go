@@ -1,0 +1,666 @@
+package netsim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lbrm/internal/pcapio"
+	"lbrm/internal/transport"
+	"lbrm/internal/wire"
+)
+
+// recorder is a test handler that logs deliveries.
+type recorder struct {
+	env  transport.Env
+	got  []recorded
+	join []wire.GroupID
+}
+
+type recorded struct {
+	from transport.Addr
+	data string
+	at   time.Time
+}
+
+func (r *recorder) Start(env transport.Env) {
+	r.env = env
+	for _, g := range r.join {
+		if err := env.Join(g); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (r *recorder) Recv(from transport.Addr, data []byte) {
+	r.got = append(r.got, recorded{from: from, data: string(data), at: r.env.Now()})
+}
+
+func twoSiteNet(t *testing.T) (*Network, *Site, *Site) {
+	t.Helper()
+	n := New(1)
+	s1 := n.NewSite(SiteParams{Name: "s1"})
+	s2 := n.NewSite(SiteParams{Name: "s2"})
+	return n, s1, s2
+}
+
+func TestUnicastSameSiteDelay(t *testing.T) {
+	n, s1, _ := twoSiteNet(t)
+	a := s1.NewHost("a", &recorder{})
+	rb := &recorder{}
+	b := s1.NewHost("b", rb)
+	n.Start()
+	start := n.Clock().Now()
+	if err := a.Env().Send(b.Addr(), []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntilIdle()
+	if len(rb.got) != 1 {
+		t.Fatalf("b received %d packets, want 1", len(rb.got))
+	}
+	// a.up (1ms) + b.down (1ms) = 2ms one way.
+	want := start.Add(2 * time.Millisecond)
+	if !rb.got[0].at.Equal(want) {
+		t.Errorf("delivery at %v, want %v", rb.got[0].at, want)
+	}
+	if rb.got[0].from.(Addr).ID != a.ID() {
+		t.Errorf("from = %v, want %v", rb.got[0].from, a.Addr())
+	}
+}
+
+func TestUnicastCrossSiteDelay(t *testing.T) {
+	n, s1, s2 := twoSiteNet(t)
+	a := s1.NewHost("a", &recorder{})
+	rb := &recorder{}
+	b := s2.NewHost("b", rb)
+	n.Start()
+	start := n.Clock().Now()
+	if err := a.Env().Send(b.Addr(), []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntilIdle()
+	if len(rb.got) != 1 {
+		t.Fatalf("b received %d packets, want 1", len(rb.got))
+	}
+	// 1ms + 19ms + 19ms + 1ms = 40ms one-way, i.e. the paper's ~80ms RTT.
+	want := start.Add(40 * time.Millisecond)
+	if !rb.got[0].at.Equal(want) {
+		t.Errorf("delivery at %v, want %v", rb.got[0].at, want)
+	}
+	if d := n.PathDelay(a.ID(), b.ID()); d != 40*time.Millisecond {
+		t.Errorf("PathDelay = %v, want 40ms", d)
+	}
+}
+
+func TestUnicastToSelf(t *testing.T) {
+	n, s1, _ := twoSiteNet(t)
+	ra := &recorder{}
+	a := s1.NewHost("a", ra)
+	n.Start()
+	if err := a.Env().Send(a.Addr(), []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntilIdle()
+	if len(ra.got) != 1 || ra.got[0].data != "self" {
+		t.Fatalf("self delivery failed: %+v", ra.got)
+	}
+}
+
+func TestUnicastLossSilentlyDrops(t *testing.T) {
+	n, s1, s2 := twoSiteNet(t)
+	a := s1.NewHost("a", &recorder{})
+	rb := &recorder{}
+	b := s2.NewHost("b", rb)
+	s2.TailDown().SetLoss(&Gate{Down: true})
+	n.Start()
+	if err := a.Env().Send(b.Addr(), []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntilIdle()
+	if len(rb.got) != 0 {
+		t.Fatalf("b received %d packets through a down link", len(rb.got))
+	}
+	if c := s2.TailDown().Counters(); c.Drops != 1 || c.Packets != 1 {
+		t.Errorf("counters = %+v, want 1 drop of 1 packet", c)
+	}
+}
+
+func TestMulticastReachesMembersOnly(t *testing.T) {
+	const g = wire.GroupID(7)
+	n, s1, s2 := twoSiteNet(t)
+	src := s1.NewHost("src", &recorder{join: []wire.GroupID{g}})
+	rcv1 := &recorder{join: []wire.GroupID{g}}
+	rcv2 := &recorder{join: []wire.GroupID{g}}
+	out := &recorder{} // not a member
+	s1.NewHost("m1", rcv1)
+	s2.NewHost("m2", rcv2)
+	s2.NewHost("out", out)
+	n.Start()
+	if err := src.Env().Multicast(g, transport.TTLGlobal, []byte("up")); err != nil {
+		t.Fatal(err)
+	}
+	n.RunUntilIdle()
+	if len(rcv1.got) != 1 || len(rcv2.got) != 1 {
+		t.Fatalf("members got %d,%d packets, want 1,1", len(rcv1.got), len(rcv2.got))
+	}
+	if len(out.got) != 0 {
+		t.Fatal("non-member received multicast")
+	}
+	// Sender must not hear its own multicast.
+	if got := src.Received(); got != 0 {
+		t.Fatalf("sender looped back %d packets", got)
+	}
+}
+
+func TestMulticastDelaysPerReceiver(t *testing.T) {
+	const g = wire.GroupID(7)
+	n, s1, s2 := twoSiteNet(t)
+	src := s1.NewHost("src", &recorder{})
+	local := &recorder{join: []wire.GroupID{g}}
+	remote := &recorder{join: []wire.GroupID{g}}
+	s1.NewHost("local", local)
+	s2.NewHost("remote", remote)
+	n.Start()
+	start := n.Clock().Now()
+	src.Env().Multicast(g, transport.TTLGlobal, []byte("x"))
+	n.RunUntilIdle()
+	if !local.got[0].at.Equal(start.Add(2 * time.Millisecond)) {
+		t.Errorf("local at %v, want +2ms", local.got[0].at.Sub(start))
+	}
+	if !remote.got[0].at.Equal(start.Add(40 * time.Millisecond)) {
+		t.Errorf("remote at %v, want +40ms", remote.got[0].at.Sub(start))
+	}
+}
+
+func TestMulticastTTLSiteScoping(t *testing.T) {
+	const g = wire.GroupID(9)
+	n, s1, s2 := twoSiteNet(t)
+	src := s1.NewHost("src", &recorder{})
+	local := &recorder{join: []wire.GroupID{g}}
+	remote := &recorder{join: []wire.GroupID{g}}
+	s1.NewHost("local", local)
+	s2.NewHost("remote", remote)
+	n.Start()
+	src.Env().Multicast(g, transport.TTLSite, []byte("scoped"))
+	n.RunUntilIdle()
+	if len(local.got) != 1 {
+		t.Fatal("site-scoped multicast did not reach local member")
+	}
+	if len(remote.got) != 0 {
+		t.Fatal("site-scoped multicast crossed the tail circuit")
+	}
+	// Tail-up must not even have been attempted (no spurious traffic).
+	if c := s1.TailUp().Counters(); c.Packets != 0 {
+		t.Errorf("tail-up saw %d packets for a site-scoped multicast", c.Packets)
+	}
+}
+
+// TestMulticastCorrelatedLoss is the key property for §2.2.2: one loss
+// decision per link means a tail-circuit drop affects every receiver at
+// the site at once.
+func TestMulticastCorrelatedLoss(t *testing.T) {
+	const g = wire.GroupID(5)
+	n := New(42)
+	s1 := n.NewSite(SiteParams{Name: "s1"})
+	s2 := n.NewSite(SiteParams{Name: "s2"})
+	src := s1.NewHost("src", &recorder{})
+	const perSite = 20
+	var receivers []*recorder
+	for i := 0; i < perSite; i++ {
+		r := &recorder{join: []wire.GroupID{g}}
+		receivers = append(receivers, r)
+		s2.NewHost(fmt.Sprintf("r%d", i), r)
+	}
+	// Drop exactly the first packet crossing the tail-down link.
+	s2.TailDown().SetLoss(&FirstN{N: 1})
+	n.Start()
+	src.Env().Multicast(g, transport.TTLGlobal, []byte("p1"))
+	n.RunUntilIdle()
+	src.Env().Multicast(g, transport.TTLGlobal, []byte("p2"))
+	n.RunUntilIdle()
+	for i, r := range receivers {
+		if len(r.got) != 1 || r.got[0].data != "p2" {
+			t.Fatalf("receiver %d got %+v, want exactly p2", i, r.got)
+		}
+	}
+	if c := s2.TailDown().Counters(); c.Drops != 1 || c.Packets != 2 {
+		t.Errorf("tail-down counters = %+v, want 2 packets 1 drop (one decision per link)", c)
+	}
+}
+
+func TestLeaveStopsDelivery(t *testing.T) {
+	const g = wire.GroupID(3)
+	n, s1, _ := twoSiteNet(t)
+	src := s1.NewHost("src", &recorder{})
+	r := &recorder{join: []wire.GroupID{g}}
+	m := s1.NewHost("m", r)
+	n.Start()
+	src.Env().Multicast(g, transport.TTLGlobal, []byte("one"))
+	n.RunUntilIdle()
+	m.Env().Leave(g)
+	src.Env().Multicast(g, transport.TTLGlobal, []byte("two"))
+	n.RunUntilIdle()
+	if len(r.got) != 1 || r.got[0].data != "one" {
+		t.Fatalf("got %+v, want only packet one", r.got)
+	}
+	if n.Members(g) != 0 {
+		t.Errorf("Members = %d after leave, want 0", n.Members(g))
+	}
+}
+
+func TestSerializationRateQueueing(t *testing.T) {
+	n := New(1)
+	// 8000 bit/s link: a 100-byte packet takes 100ms to serialize.
+	s := n.NewSite(SiteParams{Name: "s", TailRate: 8000, TailDelay: 10 * time.Millisecond})
+	s2 := n.NewSite(SiteParams{Name: "d"})
+	a := s.NewHost("a", &recorder{})
+	rb := &recorder{}
+	b := s2.NewHost("b", rb)
+	n.Start()
+	start := n.Clock().Now()
+	payload := make([]byte, 100)
+	a.Env().Send(b.Addr(), payload)
+	a.Env().Send(b.Addr(), payload)
+	n.RunUntilIdle()
+	if len(rb.got) != 2 {
+		t.Fatalf("received %d, want 2", len(rb.got))
+	}
+	// First: 1ms LAN + (100ms tx + 10ms) tail + 19ms tail-down + 1ms LAN = 131ms.
+	// Second queues behind the first on tail-up: +100ms.
+	d0 := rb.got[0].at.Sub(start)
+	d1 := rb.got[1].at.Sub(start)
+	if d0 != 131*time.Millisecond {
+		t.Errorf("first delivery after %v, want 131ms", d0)
+	}
+	if d1-d0 != 100*time.Millisecond {
+		t.Errorf("spacing %v, want 100ms serialization gap", d1-d0)
+	}
+}
+
+func TestRegionTTLScoping(t *testing.T) {
+	const g = wire.GroupID(11)
+	n := New(1)
+	region := n.NewRegion("west", 5*time.Millisecond)
+	sIn := n.NewSite(SiteParams{Name: "in", Parent: region})
+	sIn2 := n.NewSite(SiteParams{Name: "in2", Parent: region})
+	sOut := n.NewSite(SiteParams{Name: "out"})
+	src := sIn.NewHost("src", &recorder{})
+	inRegion := &recorder{join: []wire.GroupID{g}}
+	outRegion := &recorder{join: []wire.GroupID{g}}
+	sIn2.NewHost("a", inRegion)
+	sOut.NewHost("b", outRegion)
+	n.Start()
+	src.Env().Multicast(g, transport.TTLRegion, []byte("regional"))
+	n.RunUntilIdle()
+	if len(inRegion.got) != 1 {
+		t.Fatal("region-scoped multicast did not reach sibling site in region")
+	}
+	if len(outRegion.got) != 0 {
+		t.Fatal("region-scoped multicast escaped the region")
+	}
+	src.Env().Multicast(g, transport.TTLGlobal, []byte("global"))
+	n.RunUntilIdle()
+	if len(outRegion.got) != 1 {
+		t.Fatal("global multicast did not cross the region boundary")
+	}
+}
+
+func TestOutagesWindow(t *testing.T) {
+	n, s1, s2 := twoSiteNet(t)
+	a := s1.NewHost("a", &recorder{})
+	rb := &recorder{}
+	b := s2.NewHost("b", rb)
+	start := n.Clock().Now()
+	s2.TailDown().SetLoss(&Outages{Windows: []Window{{
+		Start: start.Add(50 * time.Millisecond),
+		End:   start.Add(150 * time.Millisecond),
+	}}})
+	n.Start()
+	send := func() { a.Env().Send(b.Addr(), []byte("x")) }
+	send()                           // tail-down at t=20ms: passes
+	n.RunFor(40 * time.Millisecond)  // now t=40
+	send()                           // tail-down at t=60ms: dropped
+	n.RunFor(140 * time.Millisecond) // now t=180
+	send()                           // tail-down at t=200ms: passes
+	n.RunUntilIdle()
+	if len(rb.got) != 2 {
+		t.Fatalf("received %d, want 2 (middle packet dropped in outage)", len(rb.got))
+	}
+}
+
+func TestBernoulliLossRate(t *testing.T) {
+	n := New(7)
+	s1 := n.NewSite(SiteParams{Name: "s1"})
+	s2 := n.NewSite(SiteParams{Name: "s2", TailDownLoss: Bernoulli{P: 0.3}})
+	a := s1.NewHost("a", &recorder{})
+	rb := &recorder{}
+	b := s2.NewHost("b", rb)
+	n.Start()
+	const total = 5000
+	for i := 0; i < total; i++ {
+		a.Env().Send(b.Addr(), []byte("x"))
+		n.RunFor(time.Millisecond)
+	}
+	n.RunUntilIdle()
+	rate := 1 - float64(len(rb.got))/total
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("observed loss rate %.3f, want ≈0.30", rate)
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ge := &GilbertElliott{PGoodToBad: 0.01, PBadToGood: 0.2, LossGood: 0, LossBad: 1}
+	now := time.Now()
+	var drops, runs int
+	prev := false
+	const total = 100000
+	for i := 0; i < total; i++ {
+		d := ge.Drop(now, rng)
+		if d {
+			drops++
+			if !prev {
+				runs++
+			}
+		}
+		prev = d
+	}
+	lossRate := float64(drops) / total
+	// Steady state bad fraction = p/(p+q) = 0.01/0.21 ≈ 0.0476.
+	if lossRate < 0.03 || lossRate > 0.07 {
+		t.Errorf("GE loss rate %.4f, want ≈0.048", lossRate)
+	}
+	meanBurst := float64(drops) / float64(runs)
+	// Mean burst length = 1/PBadToGood = 5.
+	if meanBurst < 3.5 || meanBurst > 6.5 {
+		t.Errorf("mean burst length %.2f, want ≈5", meanBurst)
+	}
+}
+
+func TestDropSeqs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := &DropSeqs{Indices: map[int]bool{2: true, 4: true}}
+	var got []bool
+	for i := 0; i < 5; i++ {
+		got = append(got, d.Drop(time.Now(), rng))
+	}
+	want := []bool{false, true, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DropSeqs pattern = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseAddrRoundTrip(t *testing.T) {
+	a := Addr{ID: 42}
+	got, err := ParseAddr(a.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Errorf("round trip = %v, want %v", got, a)
+	}
+	for _, bad := range []string{"", "udp:1", "sim:", "sim:x"} {
+		if _, err := ParseAddr(bad); err == nil {
+			t.Errorf("ParseAddr(%q) accepted", bad)
+		}
+	}
+}
+
+func TestForeignAddrRejected(t *testing.T) {
+	n, s1, _ := twoSiteNet(t)
+	a := s1.NewHost("a", &recorder{})
+	n.Start()
+	if err := a.Env().Send(fakeAddr{}, []byte("x")); err == nil {
+		t.Fatal("Send to foreign address succeeded")
+	}
+}
+
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "fake" }
+func (fakeAddr) String() string  { return "fake" }
+
+// Property: identical seeds yield identical delivery traces.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []string {
+		const g = wire.GroupID(1)
+		n := New(seed)
+		s1 := n.NewSite(SiteParams{Name: "s1", TailDownLoss: Bernoulli{P: 0.2}})
+		s2 := n.NewSite(SiteParams{Name: "s2", TailDownLoss: Bernoulli{P: 0.2}})
+		src := s1.NewHost("src", &recorder{})
+		var rs []*recorder
+		for i := 0; i < 5; i++ {
+			r := &recorder{join: []wire.GroupID{g}}
+			rs = append(rs, r)
+			if i < 2 {
+				s1.NewHost("", r)
+			} else {
+				s2.NewHost("", r)
+			}
+		}
+		n.Start()
+		for i := 0; i < 50; i++ {
+			src.Env().Multicast(g, transport.TTLGlobal, []byte{byte(i)})
+			n.RunFor(10 * time.Millisecond)
+		}
+		n.RunUntilIdle()
+		var trace []string
+		for i, r := range rs {
+			for _, rec := range r.got {
+				trace = append(trace, fmt.Sprintf("%d:%x@%v", i, rec.data, rec.at.UnixNano()))
+			}
+		}
+		return trace
+	}
+	a, b := run(99), run(99)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	if c := run(100); len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical lossy traces (suspicious)")
+		}
+	}
+}
+
+// Property: for random site/host layouts, PathDelay is symmetric and the
+// delivery time of a lossless unicast equals PathDelay.
+func TestPathDelayConsistencyProperty(t *testing.T) {
+	f := func(seed int64, nSitesRaw, aRaw, bRaw uint8) bool {
+		nSites := int(nSitesRaw%4) + 1
+		n := New(seed)
+		var hosts []*Node
+		var recs []*recorder
+		for i := 0; i < nSites; i++ {
+			s := n.NewSite(SiteParams{
+				Name:      fmt.Sprintf("s%d", i),
+				TailDelay: time.Duration(int(seed&0xF)+1) * time.Millisecond,
+			})
+			for j := 0; j < 3; j++ {
+				r := &recorder{}
+				recs = append(recs, r)
+				hosts = append(hosts, s.NewHost("", r))
+			}
+		}
+		a := hosts[int(aRaw)%len(hosts)]
+		b := hosts[int(bRaw)%len(hosts)]
+		if a == b {
+			return true
+		}
+		if n.PathDelay(a.ID(), b.ID()) != n.PathDelay(b.ID(), a.ID()) {
+			return false
+		}
+		n.Start()
+		start := n.Clock().Now()
+		a.Env().Send(b.Addr(), []byte("x"))
+		n.RunUntilIdle()
+		rb := recs[int(bRaw)%len(hosts)]
+		return len(rb.got) == 1 &&
+			rb.got[0].at.Sub(start) == n.PathDelay(a.ID(), b.ID())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerBufferIsCopied(t *testing.T) {
+	// The env must copy the caller's buffer so reuse doesn't corrupt
+	// in-flight packets.
+	n, s1, _ := twoSiteNet(t)
+	a := s1.NewHost("a", &recorder{})
+	rb := &recorder{}
+	b := s1.NewHost("b", rb)
+	n.Start()
+	buf := []byte("original")
+	a.Env().Send(b.Addr(), buf)
+	copy(buf, "CLOBBER!")
+	n.RunUntilIdle()
+	if rb.got[0].data != "original" {
+		t.Fatalf("in-flight packet corrupted by sender buffer reuse: %q", rb.got[0].data)
+	}
+}
+
+// TestMulticastPrunesMemberlessSubtrees: tail circuits of sites with no
+// group members must carry no multicast traffic (IGMP-style pruning) —
+// the property that makes the §7 retransmission channel cheap for
+// healthy sites.
+func TestMulticastPrunesMemberlessSubtrees(t *testing.T) {
+	const g = wire.GroupID(13)
+	n := New(1)
+	s1 := n.NewSite(SiteParams{Name: "s1"})
+	s2 := n.NewSite(SiteParams{Name: "s2"})
+	s3 := n.NewSite(SiteParams{Name: "s3"})
+	src := s1.NewHost("src", &recorder{})
+	member := &recorder{join: []wire.GroupID{g}}
+	s2.NewHost("m", member)
+	s3.NewHost("nonmember", &recorder{})
+	n.Start()
+	src.Env().Multicast(g, transport.TTLGlobal, []byte("pruned"))
+	n.RunUntilIdle()
+	if len(member.got) != 1 {
+		t.Fatal("member did not receive")
+	}
+	if c := s3.TailDown().Counters(); c.Packets != 0 {
+		t.Fatalf("member-less site's tail carried %d packets, want 0", c.Packets)
+	}
+	if c := s2.TailDown().Counters(); c.Packets != 1 {
+		t.Fatalf("member site's tail carried %d packets, want 1", c.Packets)
+	}
+	// Membership changes re-grow the tree.
+	late := &recorder{}
+	node := s3.NewHost("late", late)
+	node.Env().Join(g)
+	src.Env().Multicast(g, transport.TTLGlobal, []byte("regrown"))
+	n.RunUntilIdle()
+	if len(late.got) != 1 {
+		t.Fatal("late joiner did not receive after join")
+	}
+	if c := s3.TailDown().Counters(); c.Packets != 1 {
+		t.Fatalf("joined site's tail carried %d packets, want 1", c.Packets)
+	}
+}
+
+func TestLinkJitterSpreadsArrivals(t *testing.T) {
+	n := New(9)
+	s1 := n.NewSite(SiteParams{Name: "s1"})
+	s2 := n.NewSite(SiteParams{Name: "s2", TailJitter: 10 * time.Millisecond})
+	a := s1.NewHost("a", &recorder{})
+	rb := &recorder{}
+	b := s2.NewHost("b", rb)
+	n.Start()
+	base := n.PathDelay(a.ID(), b.ID())
+	var sentAt []time.Time
+	for i := 0; i < 200; i++ {
+		sentAt = append(sentAt, n.Clock().Now())
+		a.Env().Send(b.Addr(), []byte("x"))
+		n.RunFor(time.Millisecond)
+	}
+	n.RunUntilIdle()
+	if len(rb.got) != 200 {
+		t.Fatalf("received %d", len(rb.got))
+	}
+	// One jittery link on the path: latency ∈ [base, base+10ms); expect
+	// visible spread.
+	var min, max time.Duration = time.Hour, 0
+	for i, rec := range rb.got {
+		d := rec.at.Sub(sentAt[i])
+		if d < base || d >= base+10*time.Millisecond {
+			t.Fatalf("latency %v outside [%v, %v+10ms)", d, base, base)
+		}
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max-min < 5*time.Millisecond {
+		t.Fatalf("jitter spread %v, want > 5ms", max-min)
+	}
+}
+
+func TestPcapTapCapturesWire(t *testing.T) {
+	const g = wire.GroupID(7)
+	var buf bytes.Buffer
+	pw, err := pcapio.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, s1, s2 := twoSiteNet(t)
+	src := s1.NewHost("src", &recorder{})
+	member := &recorder{join: []wire.GroupID{g}}
+	dst := s2.NewHost("m", member)
+	n.SetTap(PcapTap(pw, "s1/tail-up", nil))
+	n.Start()
+	// A real LBRM packet, so the tap can name the multicast group.
+	data, err := (&wire.Packet{Type: wire.TypeData, Source: 1, Group: g, Seq: 1,
+		Payload: []byte{1, 2, 3}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Env().Multicast(g, transport.TTLGlobal, data)
+	n.RunUntilIdle()
+	src.Env().Send(dst.Addr(), []byte{9, 9})
+	n.RunUntilIdle()
+	if pw.Count() != 2 {
+		t.Fatalf("captured %d frames on the tapped wire, want 2", pw.Count())
+	}
+	r, err := pcapio.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Dst != [4]byte{239, 77, 0, 7} {
+		t.Fatalf("multicast dst = %v, want 239.77.0.7", first.Dst)
+	}
+	second, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Dst != [4]byte{10, 77, 0, byte(dst.ID())} {
+		t.Fatalf("unicast dst = %v", second.Dst)
+	}
+	if len(second.Payload) != 2 {
+		t.Fatalf("payload = %v", second.Payload)
+	}
+}

@@ -1,0 +1,48 @@
+package netsim
+
+import (
+	"strings"
+
+	"lbrm/internal/pcapio"
+	"lbrm/internal/wire"
+)
+
+// PcapTap returns a tap that writes every surviving traversal of links
+// whose name contains match (all links when match is empty) to pw, as
+// synthesized IPv4/UDP frames. Pick a single wire to tap (e.g.
+// "source-site/tail-up") to avoid recording one packet once per hop, the
+// same discipline as placing a physical tap. Write errors are passed to
+// onErr (may be nil) and the tap keeps going.
+//
+// Address synthesis: node N → 10.77.N/16 style host addresses, multicast
+// destinations → 239.77.0.<group>. Port 7000 on both ends.
+func PcapTap(pw *pcapio.Writer, match string, onErr func(error)) TapFunc {
+	return func(ev TapEvent) {
+		if ev.Dropped {
+			return
+		}
+		if match != "" && !strings.Contains(ev.Link.Name(), match) {
+			return
+		}
+		src := nodeIP(ev.From)
+		var dst [4]byte
+		if ev.To >= 0 {
+			dst = nodeIP(ev.To)
+		} else {
+			// Multicast: name the group from the LBRM header.
+			var p wire.Packet
+			g := uint32(0)
+			if p.Unmarshal(ev.Data) == nil {
+				g = uint32(p.Group)
+			}
+			dst = [4]byte{239, 77, byte(g >> 8), byte(g)}
+		}
+		if err := pw.WriteUDP(ev.Time, src, dst, 7000, 7000, ev.Data); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}
+}
+
+func nodeIP(id NodeID) [4]byte {
+	return [4]byte{10, 77, byte(uint16(id) >> 8), byte(id)}
+}

@@ -1,0 +1,130 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"lbrm/internal/transport"
+)
+
+// Default topology parameters, chosen to reproduce the paper's measured
+// distances (§2.2.2): a host-to-host RTT within a site of ~4 ms and an
+// across-WAN RTT of ~80 ms.
+const (
+	// DefaultLANDelay is the one-way host↔site-router delay.
+	DefaultLANDelay = time.Millisecond
+	// DefaultTailDelay is the one-way site-router↔backbone delay.
+	DefaultTailDelay = 19 * time.Millisecond
+	// SiteBoundaryTTL is the TTL a multicast packet needs to cross a tail
+	// circuit. transport.TTLSite is below it, so site-scoped re-multicasts
+	// stay local.
+	SiteBoundaryTTL = transport.TTLSite + 1
+	// RegionBoundaryTTL is the TTL needed to cross a region boundary when
+	// a region tier is present (multi-level hierarchy, paper §7).
+	RegionBoundaryTTL = transport.TTLRegion + 1
+)
+
+// SiteParams configures one site (LAN + tail circuit).
+type SiteParams struct {
+	// Name labels the site; defaults to "siteN".
+	Name string
+	// TailDelay is the one-way tail-circuit propagation delay
+	// (DefaultTailDelay if zero).
+	TailDelay time.Duration
+	// TailRate is the tail-circuit serialization rate in bits/s (0 = ∞).
+	// A T1 is 1_544_000.
+	TailRate int64
+	// TailUpLoss / TailDownLoss are the tail circuit loss models.
+	TailUpLoss, TailDownLoss LossModel
+	// LANDelay is the one-way host↔router delay (DefaultLANDelay if zero).
+	LANDelay time.Duration
+	// TailJitter adds uniform random delay in [0, TailJitter) per packet
+	// on the tail circuit.
+	TailJitter time.Duration
+	// Parent places the site under a specific router (region tier);
+	// nil means directly under the backbone.
+	Parent *Router
+}
+
+// Site is a convenience wrapper for a site router plus its LAN defaults.
+type Site struct {
+	net      *Network
+	Router   *Router
+	lanDelay time.Duration
+	name     string
+	hosts    int
+}
+
+// NewSite creates a site: a router under the backbone (or p.Parent) whose
+// tail circuit carries the configured delay/rate/loss and requires
+// SiteBoundaryTTL for multicast.
+func (n *Network) NewSite(p SiteParams) *Site {
+	if p.Name == "" {
+		p.Name = fmt.Sprintf("site%d", len(n.routers))
+	}
+	if p.TailDelay == 0 {
+		p.TailDelay = DefaultTailDelay
+	}
+	if p.LANDelay == 0 {
+		p.LANDelay = DefaultLANDelay
+	}
+	up := LinkConfig{
+		Name:        p.Name + "/tail-up",
+		Delay:       p.TailDelay,
+		Jitter:      p.TailJitter,
+		Rate:        p.TailRate,
+		Loss:        p.TailUpLoss,
+		TTLRequired: SiteBoundaryTTL,
+	}
+	down := LinkConfig{
+		Name:        p.Name + "/tail-down",
+		Delay:       p.TailDelay,
+		Jitter:      p.TailJitter,
+		Rate:        p.TailRate,
+		Loss:        p.TailDownLoss,
+		TTLRequired: SiteBoundaryTTL,
+	}
+	r := n.NewRouter(p.Parent, p.Name, up, down)
+	return &Site{net: n, Router: r, lanDelay: p.LANDelay, name: p.Name}
+}
+
+// TailUp returns the site's outbound tail-circuit link.
+func (s *Site) TailUp() *Link { return s.Router.up }
+
+// TailDown returns the site's inbound tail-circuit link — the bottleneck
+// where the paper's correlated losses happen.
+func (s *Site) TailDown() *Link { return s.Router.down }
+
+// Name returns the site's label.
+func (s *Site) Name() string { return s.name }
+
+// NewHost attaches a host to the site LAN running handler h.
+func (s *Site) NewHost(name string, h transport.Handler) *Node {
+	if name == "" {
+		name = fmt.Sprintf("%s/host%d", s.name, s.hosts)
+	}
+	s.hosts++
+	up := LinkConfig{Name: name + "/up", Delay: s.lanDelay, TTLRequired: transport.TTLLAN}
+	down := LinkConfig{Name: name + "/down", Delay: s.lanDelay, TTLRequired: transport.TTLLAN}
+	return s.net.NewNode(s.Router, name, up, down, h)
+}
+
+// NewHostLossy attaches a host whose last-hop downlink has the given loss
+// model — the "crying baby" receiver behind a poor connection (§6).
+func (s *Site) NewHostLossy(name string, h transport.Handler, downLoss LossModel) *Node {
+	node := s.NewHost(name, h)
+	node.down.SetLoss(downLoss)
+	return node
+}
+
+// NewRegion creates an intermediate router tier under the backbone; sites
+// created with Parent pointing at it sit behind an extra WAN hop. Multicast
+// packets need RegionBoundaryTTL to leave the region.
+func (n *Network) NewRegion(name string, delay time.Duration) *Router {
+	if delay == 0 {
+		delay = 5 * time.Millisecond
+	}
+	up := LinkConfig{Name: name + "/up", Delay: delay, TTLRequired: RegionBoundaryTTL}
+	down := LinkConfig{Name: name + "/down", Delay: delay, TTLRequired: RegionBoundaryTTL}
+	return n.NewRouter(nil, name, up, down)
+}

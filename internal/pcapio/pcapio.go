@@ -1,0 +1,161 @@
+// Package pcapio writes simulator traffic as standard pcap capture files,
+// openable in Wireshark/tcpdump. Each simulated datagram is encapsulated
+// in a synthesized IPv4+UDP frame: node N becomes 10.77.(N>>8).(N&255),
+// multicast groups become 239.77.0.G, and the LBRM wire format rides as
+// the UDP payload. Timestamps are the virtual-clock times, so a capture of
+// a deterministic run is itself deterministic.
+package pcapio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// pcap constants (classic little-endian format, LINKTYPE_RAW = raw IPv4/6).
+const (
+	magicLE     = 0xA1B2C3D4
+	versionMaj  = 2
+	versionMin  = 4
+	linkTypeRaw = 101
+	// SnapLen is the maximum captured frame size.
+	SnapLen = 65535
+)
+
+// Writer emits one pcap stream.
+type Writer struct {
+	w     io.Writer
+	count int
+}
+
+// NewWriter writes the pcap global header and returns the writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicLE)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMin)
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:], SnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], linkTypeRaw)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: write header: %w", err)
+	}
+	return &Writer{w: w}, nil
+}
+
+// Count returns the number of packets written.
+func (pw *Writer) Count() int { return pw.count }
+
+// WriteUDP writes one synthesized IPv4/UDP frame carrying payload.
+func (pw *Writer) WriteUDP(ts time.Time, src, dst [4]byte, srcPort, dstPort uint16, payload []byte) error {
+	ipLen := 20 + 8 + len(payload)
+	if ipLen > SnapLen {
+		return fmt.Errorf("pcapio: frame %d exceeds snaplen", ipLen)
+	}
+	frame := make([]byte, ipLen)
+	// IPv4 header.
+	frame[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(frame[2:], uint16(ipLen))
+	frame[8] = 64 // TTL (cosmetic; scoping happened in the simulator)
+	frame[9] = 17 // UDP
+	copy(frame[12:16], src[:])
+	copy(frame[16:20], dst[:])
+	binary.BigEndian.PutUint16(frame[10:], ipChecksum(frame[:20]))
+	// UDP header (checksum 0 = unset, legal for IPv4).
+	binary.BigEndian.PutUint16(frame[20:], srcPort)
+	binary.BigEndian.PutUint16(frame[22:], dstPort)
+	binary.BigEndian.PutUint16(frame[24:], uint16(8+len(payload)))
+	copy(frame[28:], payload)
+
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(len(frame)))
+	if _, err := pw.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcapio: write record: %w", err)
+	}
+	if _, err := pw.w.Write(frame); err != nil {
+		return fmt.Errorf("pcapio: write frame: %w", err)
+	}
+	pw.count++
+	return nil
+}
+
+func ipChecksum(hdr []byte) uint16 {
+	sum := uint32(0)
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Record is one parsed capture record (used by the reader below; the
+// library reads its own output for tests and tooling).
+type Record struct {
+	Time     time.Time
+	Src, Dst [4]byte
+	SrcPort  uint16
+	DstPort  uint16
+	Payload  []byte
+}
+
+// Reader parses pcap streams written by this package (classic
+// little-endian, LINKTYPE_RAW, IPv4/UDP frames).
+type Reader struct {
+	r io.Reader
+}
+
+// NewReader validates the global header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicLE {
+		return nil, fmt.Errorf("pcapio: bad magic")
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != linkTypeRaw {
+		return nil, fmt.Errorf("pcapio: unsupported link type %d", lt)
+	}
+	return &Reader{r: r}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the stream.
+func (pr *Reader) Next() (*Record, error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(pr.r, rec[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return nil, err
+	}
+	capLen := binary.LittleEndian.Uint32(rec[8:])
+	if capLen > SnapLen {
+		return nil, fmt.Errorf("pcapio: record length %d exceeds snaplen", capLen)
+	}
+	frame := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, frame); err != nil {
+		return nil, fmt.Errorf("pcapio: short frame: %w", err)
+	}
+	if len(frame) < 28 || frame[0]>>4 != 4 || frame[9] != 17 {
+		return nil, fmt.Errorf("pcapio: not an IPv4/UDP frame")
+	}
+	out := &Record{
+		Time: time.Unix(int64(binary.LittleEndian.Uint32(rec[0:])),
+			int64(binary.LittleEndian.Uint32(rec[4:]))*1000).UTC(),
+		SrcPort: binary.BigEndian.Uint16(frame[20:]),
+		DstPort: binary.BigEndian.Uint16(frame[22:]),
+		Payload: frame[28:],
+	}
+	copy(out.Src[:], frame[12:16])
+	copy(out.Dst[:], frame[16:20])
+	return out, nil
+}

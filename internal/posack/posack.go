@@ -1,0 +1,227 @@
+// Package posack implements a conventional sender-reliable positive-
+// acknowledgement multicast baseline (§1, §5): the source knows its
+// receivers, every receiver unicasts an ACK for every data packet, and the
+// source retransmits to receivers whose ACKs are missing after a timeout.
+//
+// It exists to demonstrate the two pathologies LBRM avoids: ACK implosion
+// at the source (one ACK per receiver per packet) and the receiver-list
+// coupling that prevents dynamic membership.
+package posack
+
+import (
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/wire"
+)
+
+// SourceConfig configures the positive-ack source.
+type SourceConfig struct {
+	Group  wire.GroupID
+	Source wire.SourceID
+	// Receivers is the explicit receiver list (the coupling LBRM removes).
+	Receivers []transport.Addr
+	// RetransmitTimeout is how long to wait for ACKs before unicasting
+	// retransmissions to the laggards.
+	RetransmitTimeout time.Duration
+	// MaxRetries bounds retransmissions per packet per receiver.
+	MaxRetries int
+}
+
+func (c SourceConfig) withDefaults() SourceConfig {
+	if c.RetransmitTimeout == 0 {
+		c.RetransmitTimeout = 200 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 5
+	}
+	return c
+}
+
+// SourceStats counts the source's activity — AcksReceived is the implosion
+// metric.
+type SourceStats struct {
+	DataSent       uint64
+	AcksReceived   uint64
+	Retransmitted  uint64
+	PacketsGivenUp uint64
+	Malformed      uint64
+}
+
+// Source is the positive-ack multicast source.
+type Source struct {
+	cfg     SourceConfig
+	env     transport.Env
+	seq     uint64
+	pending map[uint64]*outstanding
+	stats   SourceStats
+}
+
+type outstanding struct {
+	payload []byte
+	missing map[transport.Addr]bool
+	retries int
+}
+
+// NewSource returns a positive-ack source.
+func NewSource(cfg SourceConfig) *Source {
+	return &Source{cfg: cfg.withDefaults(), pending: make(map[uint64]*outstanding)}
+}
+
+// Stats returns a snapshot of the source's counters.
+func (s *Source) Stats() SourceStats { return s.stats }
+
+// Outstanding returns the number of packets not yet fully acknowledged.
+func (s *Source) Outstanding() int { return len(s.pending) }
+
+// Start implements transport.Handler.
+func (s *Source) Start(env transport.Env) { s.env = env }
+
+// Send multicasts one payload and tracks per-receiver acknowledgement.
+func (s *Source) Send(payload []byte) (uint64, error) {
+	s.seq++
+	seq := s.seq
+	p := wire.Packet{
+		Type: wire.TypeData, Source: s.cfg.Source, Group: s.cfg.Group,
+		Seq: seq, Payload: payload,
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	if err := s.env.Multicast(s.cfg.Group, transport.TTLGlobal, buf); err != nil {
+		return 0, err
+	}
+	s.stats.DataSent++
+	o := &outstanding{
+		payload: append([]byte(nil), payload...),
+		missing: make(map[transport.Addr]bool, len(s.cfg.Receivers)),
+	}
+	for _, r := range s.cfg.Receivers {
+		o.missing[r] = true
+	}
+	s.pending[seq] = o
+	s.env.AfterFunc(s.cfg.RetransmitTimeout, func() { s.deadline(seq) })
+	return seq, nil
+}
+
+// Recv implements transport.Handler.
+func (s *Source) Recv(from transport.Addr, data []byte) {
+	var p wire.Packet
+	if err := p.Unmarshal(data); err != nil {
+		s.stats.Malformed++
+		return
+	}
+	if p.Type != wire.TypeAck || p.Source != s.cfg.Source || p.Group != s.cfg.Group {
+		return
+	}
+	s.stats.AcksReceived++
+	o := s.pending[p.Seq]
+	if o == nil {
+		return
+	}
+	delete(o.missing, from)
+	if len(o.missing) == 0 {
+		delete(s.pending, p.Seq)
+	}
+}
+
+// deadline unicasts retransmissions to every receiver still missing seq.
+func (s *Source) deadline(seq uint64) {
+	o := s.pending[seq]
+	if o == nil {
+		return
+	}
+	if o.retries >= s.cfg.MaxRetries {
+		delete(s.pending, seq)
+		s.stats.PacketsGivenUp++
+		return
+	}
+	o.retries++
+	r := wire.Packet{
+		Type: wire.TypeRetrans, Flags: wire.FlagRetransmission,
+		Source: s.cfg.Source, Group: s.cfg.Group, Seq: seq, Payload: o.payload,
+	}
+	buf, err := r.Marshal()
+	if err != nil {
+		return
+	}
+	for rcv := range o.missing {
+		_ = s.env.Send(rcv, buf)
+		s.stats.Retransmitted++
+	}
+	s.env.AfterFunc(s.cfg.RetransmitTimeout, func() { s.deadline(seq) })
+}
+
+// ReceiverConfig configures a positive-ack receiver.
+type ReceiverConfig struct {
+	Group  wire.GroupID
+	Source wire.SourceID
+	// SourceAddr is where ACKs go.
+	SourceAddr transport.Addr
+	// OnData observes deliveries.
+	OnData func(seq uint64, payload []byte)
+}
+
+// ReceiverStats counts the receiver's activity.
+type ReceiverStats struct {
+	Delivered  uint64
+	Duplicates uint64
+	AcksSent   uint64
+	Malformed  uint64
+}
+
+// Receiver is a positive-ack receiver: it ACKs every packet it gets.
+type Receiver struct {
+	cfg   ReceiverConfig
+	env   transport.Env
+	seen  map[uint64]bool
+	stats ReceiverStats
+}
+
+// NewReceiver returns a positive-ack receiver.
+func NewReceiver(cfg ReceiverConfig) *Receiver {
+	return &Receiver{cfg: cfg, seen: make(map[uint64]bool)}
+}
+
+// Stats returns a snapshot of the receiver's counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// Start implements transport.Handler.
+func (r *Receiver) Start(env transport.Env) {
+	r.env = env
+	if err := env.Join(r.cfg.Group); err != nil {
+		panic("posack: join failed: " + err.Error())
+	}
+}
+
+// Recv implements transport.Handler.
+func (r *Receiver) Recv(from transport.Addr, data []byte) {
+	var p wire.Packet
+	if err := p.Unmarshal(data); err != nil {
+		r.stats.Malformed++
+		return
+	}
+	if p.Source != r.cfg.Source || p.Group != r.cfg.Group {
+		return
+	}
+	if p.Type != wire.TypeData && p.Type != wire.TypeRetrans {
+		return
+	}
+	ack := wire.Packet{
+		Type: wire.TypeAck, Source: r.cfg.Source, Group: r.cfg.Group, Seq: p.Seq,
+	}
+	if buf, err := ack.Marshal(); err == nil {
+		_ = r.env.Send(r.cfg.SourceAddr, buf)
+		r.stats.AcksSent++
+	}
+	if r.seen[p.Seq] {
+		r.stats.Duplicates++
+		return
+	}
+	r.seen[p.Seq] = true
+	r.stats.Delivered++
+	if r.cfg.OnData != nil {
+		r.cfg.OnData(p.Seq, p.Payload)
+	}
+}

@@ -1,0 +1,117 @@
+package posack
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lbrm/internal/netsim"
+	"lbrm/internal/transport"
+	"lbrm/internal/wire"
+)
+
+const g = wire.GroupID(6)
+
+type bed struct {
+	net       *netsim.Network
+	source    *Source
+	receivers []*Receiver
+	nodes     []*netsim.Node
+	sites     []*netsim.Site
+}
+
+func buildBed(t *testing.T, seed int64, sites, perSite int) *bed {
+	t.Helper()
+	b := &bed{net: netsim.New(seed)}
+	srcSite := b.net.NewSite(netsim.SiteParams{Name: "src"})
+	// Receivers first so the source can be configured with their list —
+	// the explicit coupling this baseline exists to demonstrate.
+	var rcvAddrs []transport.Addr
+	for i := 0; i < sites; i++ {
+		site := b.net.NewSite(netsim.SiteParams{Name: fmt.Sprintf("s%d", i)})
+		b.sites = append(b.sites, site)
+		for j := 0; j < perSite; j++ {
+			node := site.NewHost("", nil)
+			b.nodes = append(b.nodes, node)
+			rcvAddrs = append(rcvAddrs, node.Addr())
+		}
+	}
+	b.source = NewSource(SourceConfig{Group: g, Source: 1, Receivers: rcvAddrs,
+		RetransmitTimeout: 150 * time.Millisecond})
+	srcNode := srcSite.NewHost("source", b.source)
+	// Now attach receiver handlers (they need the source address).
+	idx := 0
+	for range b.sites {
+		for j := 0; j < perSite; j++ {
+			r := NewReceiver(ReceiverConfig{Group: g, Source: 1, SourceAddr: srcNode.Addr()})
+			b.receivers = append(b.receivers, r)
+			b.attach(b.nodes[idx], r)
+			idx++
+		}
+	}
+	b.net.Start()
+	return b
+}
+
+// attach wires a handler to a pre-created node.
+func (b *bed) attach(node *netsim.Node, h transport.Handler) {
+	node.SetHandler(h)
+}
+
+func TestPosAckImplosion(t *testing.T) {
+	const sites, perSite = 5, 10
+	b := buildBed(t, 1, sites, perSite)
+	const packets = 4
+	for i := 0; i < packets; i++ {
+		if _, err := b.source.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		b.net.RunFor(300 * time.Millisecond)
+	}
+	b.net.RunFor(time.Second)
+	// The implosion metric: one ACK per receiver per packet arrives at the
+	// source.
+	want := uint64(sites * perSite * packets)
+	if got := b.source.Stats().AcksReceived; got != want {
+		t.Fatalf("acks at source = %d, want %d", got, want)
+	}
+	if b.source.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", b.source.Outstanding())
+	}
+}
+
+func TestPosAckRetransmitsToLaggard(t *testing.T) {
+	b := buildBed(t, 2, 2, 2)
+	b.source.Send([]byte("one"))
+	b.net.RunFor(500 * time.Millisecond)
+	b.nodes[0].DownLink().SetLoss(&netsim.FirstN{N: 1})
+	b.source.Send([]byte("two"))
+	b.net.RunFor(2 * time.Second)
+	if got := b.receivers[0].Stats().Delivered; got != 2 {
+		t.Fatalf("victim delivered = %d, want 2", got)
+	}
+	if b.source.Stats().Retransmitted == 0 {
+		t.Fatal("no retransmissions despite loss")
+	}
+	if b.source.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after recovery", b.source.Outstanding())
+	}
+}
+
+func TestPosAckGivesUpOnDeadReceiver(t *testing.T) {
+	b := buildBed(t, 3, 1, 2)
+	b.nodes[0].DownLink().SetLoss(&netsim.Gate{Down: true})
+	b.source.Send([]byte("one"))
+	b.net.RunFor(5 * time.Second)
+	st := b.source.Stats()
+	if st.PacketsGivenUp != 1 {
+		t.Fatalf("stats = %+v, want 1 given-up packet", st)
+	}
+	if b.source.Outstanding() != 0 {
+		t.Fatal("outstanding not cleared after give-up")
+	}
+	// Retries were bounded.
+	if st.Retransmitted > 10 {
+		t.Fatalf("retransmitted %d times, retries unbounded?", st.Retransmitted)
+	}
+}

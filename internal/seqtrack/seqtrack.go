@@ -1,0 +1,155 @@
+// Package seqtrack implements the sequence-number bookkeeping shared by
+// every LBRM endpoint that watches a stream: the contiguity watermark, the
+// sparse set of out-of-order arrivals, the late-join base (history a
+// mid-stream joiner deliberately skips), and gap (missing-range)
+// computation. The log store, the receiver, and the SRM baseline all track
+// streams through this one type.
+//
+// Semantics: sequence numbers start at 1; 0 is never valid. The first
+// Mark or SetBase establishes "contact"; SetBase after contact is a no-op,
+// so a late joiner adopts the stream position exactly once.
+package seqtrack
+
+import (
+	"sort"
+
+	"lbrm/internal/wire"
+)
+
+// Tracker tracks one stream. The zero value is ready to use.
+type Tracker struct {
+	contacted bool
+	base      uint64
+	contig    uint64
+	highest   uint64
+	seen      map[uint64]bool
+}
+
+// Contacted reports whether the stream has been seen at all (any Mark or
+// SetBase).
+func (t *Tracker) Contacted() bool { return t.contacted }
+
+// Base returns the late-join watermark: history ≤ Base is neither tracked
+// nor reported missing.
+func (t *Tracker) Base() uint64 { return t.base }
+
+// Contiguous returns the highest c such that every sequence number in
+// (Base, c] has been marked (Base when nothing has).
+func (t *Tracker) Contiguous() uint64 { return t.contig }
+
+// Highest returns the largest sequence number marked or implied (via
+// SetBase).
+func (t *Tracker) Highest() uint64 { return t.highest }
+
+// SetBase declares history up to and including seq as deliberately
+// skipped. It applies only on first contact and reports whether it did.
+func (t *Tracker) SetBase(seq uint64) bool {
+	if t.contacted {
+		return false
+	}
+	t.contacted = true
+	t.base = seq
+	t.contig = seq
+	t.highest = seq
+	return true
+}
+
+// Mark records seq as seen. It returns false for 0, for duplicates, and
+// for sequence numbers at or below the base watermark.
+func (t *Tracker) Mark(seq uint64) bool {
+	if seq == 0 || t.Seen(seq) {
+		return false
+	}
+	t.contacted = true
+	if seq > t.highest {
+		t.highest = seq
+	}
+	if seq == t.contig+1 {
+		t.contig++
+		for t.seen[t.contig+1] {
+			t.contig++
+			delete(t.seen, t.contig)
+		}
+		return true
+	}
+	if t.seen == nil {
+		t.seen = make(map[uint64]bool)
+	}
+	t.seen[seq] = true
+	return true
+}
+
+// Seen reports whether seq has been marked (or skipped by the base).
+func (t *Tracker) Seen(seq uint64) bool {
+	return seq <= t.contig || t.seen[seq]
+}
+
+// Missing returns up to maxRanges ranges of unmarked sequence numbers in
+// (Contiguous, hi]. hi of 0 means Highest(); maxRanges ≤ 0 means
+// wire.MaxNackRanges. Cost is O(pending·log pending), independent of the
+// width of the gaps — a forged sequence number cannot make this expensive.
+func (t *Tracker) Missing(hi uint64, maxRanges int) []wire.SeqRange {
+	if hi == 0 {
+		hi = t.highest
+	}
+	if maxRanges <= 0 {
+		maxRanges = wire.MaxNackRanges
+	}
+	if hi <= t.contig {
+		return nil
+	}
+	keys := make([]uint64, 0, len(t.seen))
+	for q := range t.seen {
+		if q > t.contig && q <= hi {
+			keys = append(keys, q)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []wire.SeqRange
+	next := t.contig + 1
+	for _, k := range keys {
+		if k > next {
+			out = append(out, wire.SeqRange{From: next, To: k - 1})
+			if len(out) == maxRanges {
+				return out
+			}
+		}
+		next = k + 1
+	}
+	if next <= hi {
+		out = append(out, wire.SeqRange{From: next, To: hi})
+	}
+	return out
+}
+
+// Advance force-skips history: every sequence number up to and including
+// seq counts as seen (without having been delivered). Endpoints use it to
+// bound how far behind they are willing to chase — receiver-reliable
+// semantics prefer adopting the stream's current position over unbounded
+// recovery, and it defuses forged sequence numbers.
+func (t *Tracker) Advance(seq uint64) {
+	if seq <= t.contig {
+		return
+	}
+	t.contacted = true
+	t.contig = seq
+	if seq > t.highest {
+		t.highest = seq
+	}
+	for q := range t.seen {
+		if q <= seq {
+			delete(t.seen, q)
+		}
+	}
+	for t.seen[t.contig+1] {
+		t.contig++
+		delete(t.seen, t.contig)
+	}
+	if t.contig > t.highest {
+		t.highest = t.contig
+	}
+}
+
+// Pending returns the number of out-of-order sequence numbers held above
+// the contiguity watermark (a memory gauge).
+func (t *Tracker) Pending() int { return len(t.seen) }

@@ -1,0 +1,161 @@
+package srm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lbrm/internal/netsim"
+	"lbrm/internal/wire"
+)
+
+const g = wire.GroupID(4)
+
+type fleet struct {
+	net     *netsim.Network
+	source  *Member
+	members []*Member
+	nodes   []*netsim.Node
+	sites   []*netsim.Site
+}
+
+// build creates a source plus receivers spread across sites, with correct
+// distance estimates injected.
+func build(t *testing.T, seed int64, sites, perSite int) *fleet {
+	t.Helper()
+	f := &fleet{net: netsim.New(seed)}
+	srcSite := f.net.NewSite(netsim.SiteParams{Name: "src"})
+	f.source = New(Config{Group: g, Source: 1, IsSource: true,
+		SessionInterval: 200 * time.Millisecond})
+	srcNode := srcSite.NewHost("source", f.source)
+	for i := 0; i < sites; i++ {
+		site := f.net.NewSite(netsim.SiteParams{Name: fmt.Sprintf("s%d", i)})
+		f.sites = append(f.sites, site)
+		for j := 0; j < perSite; j++ {
+			m := New(Config{Group: g, Source: 1})
+			node := site.NewHost("", m)
+			f.members = append(f.members, m)
+			f.nodes = append(f.nodes, node)
+			// Inject the true one-way distance (SRM learns it from
+			// session timestamps).
+			m.SetDistance(f.net.PathDelay(srcNode.ID(), node.ID()))
+		}
+	}
+	f.net.Start()
+	return f
+}
+
+func TestSRMLosslessDelivery(t *testing.T) {
+	f := build(t, 1, 2, 3)
+	for i := 0; i < 5; i++ {
+		if _, err := f.source.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		f.net.RunFor(100 * time.Millisecond)
+	}
+	f.net.RunFor(time.Second)
+	for i, m := range f.members {
+		if m.Contiguous() != 5 {
+			t.Fatalf("member %d contig = %d, want 5", i, m.Contiguous())
+		}
+		if st := m.Stats(); st.RequestsSent != 0 || st.RepairsSent != 0 {
+			t.Fatalf("member %d recovery traffic on lossless run: %+v", i, st)
+		}
+	}
+}
+
+func TestSRMRecoversSingleLoss(t *testing.T) {
+	f := build(t, 2, 2, 3)
+	f.source.Send([]byte("one"))
+	f.net.RunFor(200 * time.Millisecond)
+	// One member's downlink drops the next packet.
+	f.nodes[0].DownLink().SetLoss(&netsim.FirstN{N: 1})
+	f.source.Send([]byte("two"))
+	f.net.RunFor(3 * time.Second)
+	for i, m := range f.members {
+		if m.Contiguous() != 2 {
+			t.Fatalf("member %d contig = %d, want 2", i, m.Contiguous())
+		}
+	}
+	victim := f.members[0]
+	if victim.Stats().Recovered != 1 {
+		t.Fatalf("victim stats = %+v", victim.Stats())
+	}
+	// The request was multicast group-wide: everyone else heard it (the
+	// crying-baby cost). Total requests ≥ 1, repairs ≥ 1.
+	var reqs, reps uint64
+	for _, m := range f.members {
+		reqs += m.Stats().RequestsSent
+		reps += m.Stats().RepairsSent
+	}
+	reps += f.source.Stats().RepairsSent
+	if reqs < 1 || reps < 1 {
+		t.Fatalf("requests=%d repairs=%d", reqs, reps)
+	}
+	// Recovery time is proportional to the distance to the source (request
+	// timer C1·d minimum), far slower than a LAN RTT.
+	d, ok := victim.RecoveryTimes[2]
+	if !ok {
+		t.Fatal("no recovery time recorded")
+	}
+	if d < 40*time.Millisecond {
+		t.Fatalf("recovery in %v: suspiciously fast for wb-style recovery", d)
+	}
+}
+
+func TestSRMSuppressionLimitsDuplicateRequests(t *testing.T) {
+	// A whole site (10 members) loses the same packet: randomized
+	// suppression should keep the number of multicast requests well below
+	// the number of losers.
+	f := build(t, 3, 1, 10)
+	f.source.Send([]byte("one"))
+	f.net.RunFor(200 * time.Millisecond)
+	f.sites[0].TailDown().SetLoss(&netsim.FirstN{N: 1})
+	f.source.Send([]byte("two"))
+	f.net.RunFor(5 * time.Second)
+	var reqs, recovered uint64
+	for _, m := range f.members {
+		reqs += m.Stats().RequestsSent
+		recovered += m.Stats().Recovered
+	}
+	if recovered != 10 {
+		t.Fatalf("recovered = %d, want 10", recovered)
+	}
+	if reqs >= 10 {
+		t.Fatalf("requests = %d: suppression ineffective", reqs)
+	}
+	if reqs == 0 {
+		t.Fatal("no requests at all")
+	}
+}
+
+func TestSRMSessionMessageRevealsIdleLoss(t *testing.T) {
+	f := build(t, 4, 1, 2)
+	f.source.Send([]byte("one"))
+	f.net.RunFor(300 * time.Millisecond)
+	f.nodes[0].DownLink().SetLoss(&netsim.FirstN{N: 1})
+	f.source.Send([]byte("final")) // lost at member 0; no more data
+	f.net.RunFor(5 * time.Second)  // session messages reveal it
+	if f.members[0].Contiguous() != 2 {
+		t.Fatalf("idle loss never recovered: contig = %d", f.members[0].Contiguous())
+	}
+}
+
+func TestSRMLateJoinViaSession(t *testing.T) {
+	f := build(t, 5, 1, 1)
+	f.source.Send([]byte("old"))
+	f.net.RunFor(50 * time.Millisecond)
+	// New member joins mid-stream.
+	late := New(Config{Group: g, Source: 1})
+	site := f.net.NewSite(netsim.SiteParams{Name: "late"})
+	site.NewHost("late", late)
+	f.net.RunFor(2 * time.Second)
+	if st := late.Stats(); st.RequestsSent != 0 {
+		t.Fatalf("late joiner requested history: %+v", st)
+	}
+	f.source.Send([]byte("new"))
+	f.net.RunFor(time.Second)
+	if late.Stats().Delivered != 1 {
+		t.Fatalf("late joiner stats = %+v, want the new packet", late.Stats())
+	}
+}

@@ -1,0 +1,185 @@
+// Package stats provides the small measurement toolkit used by the
+// experiment harness: counters, streaming mean/stddev (Welford), and
+// sample-based histograms with percentiles. Values are owned by a single
+// goroutine (the simulator loop or one benchmark); none of the types are
+// concurrency-safe.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Welford accumulates a running mean and variance.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds in one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance.
+func (w *Welford) Var() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
+
+// Sample collects raw observations for percentile queries.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddDuration appends a duration observation in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// Min returns the smallest observation (0 with no samples).
+func (s *Sample) Min() float64 {
+	s.sort()
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.xs[0]
+}
+
+// Max returns the largest observation (0 with no samples).
+func (s *Sample) Max() float64 {
+	s.sort()
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.xs[len(s.xs)-1]
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank on the sorted samples.
+func (s *Sample) Percentile(p float64) float64 {
+	s.sort()
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.xs[rank-1]
+}
+
+// MeanDuration returns the mean as a time.Duration (samples in seconds).
+func (s *Sample) MeanDuration() time.Duration {
+	return time.Duration(s.Mean() * float64(time.Second))
+}
+
+// PercentileDuration returns a percentile as a time.Duration.
+func (s *Sample) PercentileDuration(p float64) time.Duration {
+	return time.Duration(s.Percentile(p) * float64(time.Second))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// String summarizes the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(99), s.Max())
+}
+
+// CounterSet is a named counter bag, used for per-packet-type traffic
+// accounting in experiments.
+type CounterSet struct {
+	names  []string
+	counts map[string]uint64
+}
+
+// NewCounterSet returns an empty counter bag.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counts: make(map[string]uint64)}
+}
+
+// Inc adds delta to the named counter, creating it on first use.
+func (c *CounterSet) Inc(name string, delta uint64) {
+	if _, ok := c.counts[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.counts[name] += delta
+}
+
+// Get returns the named counter's value (0 when absent).
+func (c *CounterSet) Get(name string) uint64 { return c.counts[name] }
+
+// Names returns counter names in first-use order.
+func (c *CounterSet) Names() []string { return append([]string(nil), c.names...) }
+
+// Reset zeroes all counters but keeps names.
+func (c *CounterSet) Reset() {
+	for k := range c.counts {
+		c.counts[k] = 0
+	}
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.StdDev()-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", w.StdDev())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.StdDev() != 0 {
+		t.Fatal("empty Welford not zero")
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 1}, {50, 50}, {99, 99}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleAddAfterSortStaysCorrect(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	_ = s.Percentile(50) // forces sort
+	s.Add(1)
+	if s.Min() != 1 {
+		t.Fatal("Add after sort broke ordering")
+	}
+}
+
+func TestSampleDurations(t *testing.T) {
+	var s Sample
+	s.AddDuration(100 * time.Millisecond)
+	s.AddDuration(300 * time.Millisecond)
+	if got := s.MeanDuration(); got != 200*time.Millisecond {
+		t.Fatalf("MeanDuration = %v", got)
+	}
+	if got := s.PercentileDuration(100); got != 300*time.Millisecond {
+		t.Fatalf("PercentileDuration(100) = %v", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty sample stats not zero")
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	c := NewCounterSet()
+	c.Inc("nack", 1)
+	c.Inc("data", 5)
+	c.Inc("nack", 2)
+	if c.Get("nack") != 3 || c.Get("data") != 5 || c.Get("missing") != 0 {
+		t.Fatal("counts wrong")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "nack" || names[1] != "data" {
+		t.Fatalf("Names = %v", names)
+	}
+	c.Reset()
+	if c.Get("nack") != 0 {
+		t.Fatal("Reset did not zero")
+	}
+	if len(c.Names()) != 2 {
+		t.Fatal("Reset dropped names")
+	}
+}
+
+// Property: Welford matches the two-pass computation.
+func TestWelfordProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, r := range raw {
+			w.Add(float64(r))
+			sum += float64(r)
+		}
+		mean := sum / float64(len(raw))
+		vsum := 0.0
+		for _, r := range raw {
+			d := float64(r) - mean
+			vsum += d * d
+		}
+		wantVar := vsum / float64(len(raw))
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Var()-wantVar) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by Min/Max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, r := range raw {
+			s.Add(float64(r))
+		}
+		ps := []float64{0, 10, 25, 50, 75, 90, 99, 100}
+		prev := math.Inf(-1)
+		for _, p := range ps {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		// Percentile values must be actual observations.
+		xs := append([]int16(nil), raw...)
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		return s.Percentile(50) == float64(xs[(len(xs)-1)/2]) ||
+			s.Percentile(50) == float64(xs[len(xs)/2])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

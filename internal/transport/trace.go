@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"time"
+
+	"lbrm/internal/wire"
+)
+
+// Direction classifies a traced transmission.
+type Direction int
+
+const (
+	// DirIn is a received datagram.
+	DirIn Direction = iota
+	// DirOut is a unicast transmission.
+	DirOut
+	// DirMcastOut is a multicast transmission.
+	DirMcastOut
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case DirIn:
+		return "recv"
+	case DirOut:
+		return "send"
+	case DirMcastOut:
+		return "mcast"
+	}
+	return "?"
+}
+
+// TraceEvent describes one datagram crossing a traced node's boundary.
+// Data is only valid during the callback.
+type TraceEvent struct {
+	At    time.Time
+	Dir   Direction
+	Peer  Addr         // sender (DirIn) or destination (DirOut); nil for multicast
+	Group wire.GroupID // multicast group (DirMcastOut only)
+	TTL   int          // multicast TTL (DirMcastOut only)
+	Data  []byte
+}
+
+// Trace wraps a handler so that every datagram it receives or transmits is
+// reported to fn, without the handler knowing. It composes with any
+// binding (simulator or UDP) because it interposes on the Env.
+func Trace(h Handler, fn func(TraceEvent)) Handler {
+	return &traceHandler{inner: h, fn: fn}
+}
+
+type traceHandler struct {
+	inner Handler
+	fn    func(TraceEvent)
+	env   Env
+}
+
+func (t *traceHandler) Start(env Env) {
+	t.env = env
+	t.inner.Start(&traceEnv{Env: env, fn: t.fn})
+}
+
+func (t *traceHandler) Recv(from Addr, data []byte) {
+	t.fn(TraceEvent{At: t.env.Now(), Dir: DirIn, Peer: from, Data: data})
+	t.inner.Recv(from, data)
+}
+
+type traceEnv struct {
+	Env
+	fn func(TraceEvent)
+}
+
+func (e *traceEnv) Send(to Addr, data []byte) error {
+	e.fn(TraceEvent{At: e.Now(), Dir: DirOut, Peer: to, Data: data})
+	return e.Env.Send(to, data)
+}
+
+func (e *traceEnv) Multicast(g wire.GroupID, ttl int, data []byte) error {
+	e.fn(TraceEvent{At: e.Now(), Dir: DirMcastOut, Group: g, TTL: ttl, Data: data})
+	return e.Env.Multicast(g, ttl, data)
+}
+
+// The embedded Env provides the remaining methods.
+var _ Env = (*traceEnv)(nil)

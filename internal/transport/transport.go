@@ -1,0 +1,96 @@
+// Package transport defines the environment interface that LBRM protocol
+// state machines run against. Two implementations exist: the deterministic
+// network simulator (internal/netsim) and real UDP multicast
+// (internal/transport/udp). Protocol code written against Env is oblivious
+// to which one it is running on.
+//
+// Concurrency contract: an implementation must deliver Recv calls and timer
+// callbacks for one Handler serially (never two at once). The simulator
+// achieves this by being single-threaded; the UDP binding holds a per-node
+// mutex. Handlers therefore need no internal locking.
+package transport
+
+import (
+	"math/rand"
+	"time"
+
+	"lbrm/internal/vtime"
+	"lbrm/internal/wire"
+)
+
+// Addr identifies a protocol endpoint. Implementations must be comparable
+// with == (protocol code uses addresses as map keys).
+type Addr interface {
+	// Network names the transport ("sim" or "udp").
+	Network() string
+	// String renders the address; it must round-trip through the
+	// implementation's address parser (used in discovery replies and
+	// primary redirects).
+	String() string
+}
+
+// TTL scopes for multicast transmission. The simulator maps these to link
+// TTL thresholds; the UDP binding sets the IP multicast TTL.
+const (
+	// TTLLAN confines a packet to the local network segment.
+	TTLLAN = 1
+	// TTLSite confines a packet to the sender's site (does not cross the
+	// tail circuit), the scope a secondary logger uses for local
+	// re-multicast (§2.2.1).
+	TTLSite = 15
+	// TTLRegion confines a packet to a region of sites (multi-level
+	// hierarchy, paper §7 future work).
+	TTLRegion = 63
+	// TTLGlobal reaches the whole group.
+	TTLGlobal = 127
+)
+
+// Env is the world as seen by one protocol node: a clock, timers, unicast
+// and scoped multicast transmission, and group membership.
+type Env interface {
+	// Now returns the current (real or simulated) time.
+	Now() time.Time
+	// AfterFunc schedules fn to run once after d, serialized with Recv.
+	AfterFunc(d time.Duration, fn func()) vtime.Timer
+	// Send transmits a datagram to a unicast address.
+	Send(to Addr, data []byte) error
+	// Multicast transmits a datagram to a group with the given TTL scope.
+	Multicast(g wire.GroupID, ttl int, data []byte) error
+	// Join subscribes this node to a multicast group.
+	Join(g wire.GroupID) error
+	// Leave unsubscribes this node from a multicast group.
+	Leave(g wire.GroupID) error
+	// LocalAddr returns this node's unicast address.
+	LocalAddr() Addr
+	// ParseAddr parses an address string previously produced by an Addr of
+	// this transport (used for discovery replies / primary redirects).
+	ParseAddr(s string) (Addr, error)
+	// Rand returns the node's random source. In the simulator it is seeded
+	// deterministically.
+	Rand() *rand.Rand
+}
+
+// Handler is a protocol node: a reactive state machine driven by packet
+// arrivals and timers.
+type Handler interface {
+	// Start is called exactly once, before any Recv, with the node's
+	// environment. The handler may send, join groups and set timers.
+	Start(env Env)
+	// Recv delivers one datagram. The buffer is only valid for the
+	// duration of the call.
+	Recv(from Addr, data []byte)
+}
+
+// HandlerFunc adapts a receive function (with no startup work) to Handler.
+type HandlerFunc func(env Env, from Addr, data []byte)
+
+type funcHandler struct {
+	fn  HandlerFunc
+	env Env
+}
+
+// NewHandlerFunc wraps fn as a Handler.
+func NewHandlerFunc(fn HandlerFunc) Handler { return &funcHandler{fn: fn} }
+
+func (h *funcHandler) Start(env Env)               { h.env = env }
+func (h *funcHandler) Recv(from Addr, data []byte) { h.fn(h.env, from, data) }

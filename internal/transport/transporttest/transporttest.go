@@ -1,0 +1,147 @@
+// Package transporttest provides a fake transport.Env for unit-testing
+// protocol handlers in isolation: sent packets are captured instead of
+// delivered, and time is a vtime.Sim the test advances by hand.
+package transporttest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/vtime"
+	"lbrm/internal/wire"
+)
+
+// Addr is a fake transport address.
+type Addr string
+
+// Network implements transport.Addr.
+func (Addr) Network() string { return "fake" }
+
+// String implements transport.Addr.
+func (a Addr) String() string { return "fake:" + string(a) }
+
+// ParseAddr inverts Addr.String.
+func ParseAddr(s string) (Addr, error) {
+	rest, ok := strings.CutPrefix(s, "fake:")
+	if !ok {
+		return "", fmt.Errorf("transporttest: bad address %q", s)
+	}
+	return Addr(rest), nil
+}
+
+// Sent is a captured unicast transmission.
+type Sent struct {
+	To   transport.Addr
+	Data []byte
+}
+
+// Multicast is a captured multicast transmission.
+type Multicast struct {
+	Group wire.GroupID
+	TTL   int
+	Data  []byte
+}
+
+// Env is the fake environment.
+type Env struct {
+	Clock  *vtime.Sim
+	addr   Addr
+	rng    *rand.Rand
+	Sents  []Sent
+	Mcasts []Multicast
+	Joined map[wire.GroupID]bool
+}
+
+// NewEnv returns a fake env named name with its own simulated clock.
+func NewEnv(name string) *Env {
+	return &Env{
+		Clock:  vtime.NewSim(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)),
+		addr:   Addr(name),
+		rng:    rand.New(rand.NewSource(1)),
+		Joined: make(map[wire.GroupID]bool),
+	}
+}
+
+// Now implements transport.Env.
+func (e *Env) Now() time.Time { return e.Clock.Now() }
+
+// AfterFunc implements transport.Env.
+func (e *Env) AfterFunc(d time.Duration, fn func()) vtime.Timer {
+	return e.Clock.AfterFunc(d, fn)
+}
+
+// Send implements transport.Env, capturing the datagram.
+func (e *Env) Send(to transport.Addr, data []byte) error {
+	e.Sents = append(e.Sents, Sent{To: to, Data: append([]byte(nil), data...)})
+	return nil
+}
+
+// Multicast implements transport.Env, capturing the datagram.
+func (e *Env) Multicast(g wire.GroupID, ttl int, data []byte) error {
+	e.Mcasts = append(e.Mcasts, Multicast{Group: g, TTL: ttl, Data: append([]byte(nil), data...)})
+	return nil
+}
+
+// Join implements transport.Env.
+func (e *Env) Join(g wire.GroupID) error {
+	e.Joined[g] = true
+	return nil
+}
+
+// Leave implements transport.Env.
+func (e *Env) Leave(g wire.GroupID) error {
+	delete(e.Joined, g)
+	return nil
+}
+
+// LocalAddr implements transport.Env.
+func (e *Env) LocalAddr() transport.Addr { return e.addr }
+
+// ParseAddr implements transport.Env.
+func (e *Env) ParseAddr(s string) (transport.Addr, error) { return ParseAddr(s) }
+
+// Rand implements transport.Env.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Advance runs the clock forward by d.
+func (e *Env) Advance(d time.Duration) { e.Clock.RunFor(d) }
+
+// TakeSents drains and returns captured unicasts.
+func (e *Env) TakeSents() []Sent {
+	s := e.Sents
+	e.Sents = nil
+	return s
+}
+
+// TakeMcasts drains and returns captured multicasts.
+func (e *Env) TakeMcasts() []Multicast {
+	m := e.Mcasts
+	e.Mcasts = nil
+	return m
+}
+
+// SentPackets decodes all captured unicasts (panicking on malformed ones,
+// which indicates a handler bug).
+func (e *Env) SentPackets() []wire.Packet {
+	out := make([]wire.Packet, len(e.Sents))
+	for i, s := range e.Sents {
+		if err := out[i].Unmarshal(s.Data); err != nil {
+			panic(fmt.Sprintf("transporttest: handler sent malformed packet: %v", err))
+		}
+	}
+	return out
+}
+
+// McastPackets decodes all captured multicasts.
+func (e *Env) McastPackets() []wire.Packet {
+	out := make([]wire.Packet, len(e.Mcasts))
+	for i, m := range e.Mcasts {
+		if err := out[i].Unmarshal(m.Data); err != nil {
+			panic(fmt.Sprintf("transporttest: handler multicast malformed packet: %v", err))
+		}
+	}
+	return out
+}

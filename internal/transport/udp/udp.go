@@ -1,0 +1,299 @@
+// Package udp binds LBRM protocol handlers to real UDP multicast using
+// only the standard library. Each Node owns one unicast socket (for
+// NACKs, ACKs, retransmissions and other point-to-point traffic) plus one
+// receive socket per joined multicast group. All handler callbacks —
+// packet deliveries and timers — are serialized under a per-node mutex,
+// giving the handler the same single-threaded world the simulator provides.
+//
+// Multicast TTL scoping uses the transport scope constants directly as IP
+// TTL values (site ≈ 15, global ≈ 127), matching the paper's use of the
+// TTL field to confine secondary-logger re-multicasts to a site.
+package udp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/vtime"
+	"lbrm/internal/wire"
+)
+
+// Addr is a UDP transport address.
+type Addr struct{ HostPort string }
+
+// Network implements transport.Addr.
+func (Addr) Network() string { return "udp" }
+
+// String implements transport.Addr.
+func (a Addr) String() string { return a.HostPort }
+
+// ParseAddr validates and normalizes a "host:port" string.
+func ParseAddr(s string) (Addr, error) {
+	ua, err := net.ResolveUDPAddr("udp", s)
+	if err != nil {
+		return Addr{}, fmt.Errorf("udp: bad address %q: %w", s, err)
+	}
+	return Addr{HostPort: ua.String()}, nil
+}
+
+// Config configures a UDP-bound protocol node.
+type Config struct {
+	// Listen is the unicast bind address (default "0.0.0.0:0").
+	Listen string
+	// Groups maps LBRM group IDs to multicast "ip:port" endpoints.
+	Groups map[wire.GroupID]string
+	// Interface optionally names the network interface for multicast.
+	Interface string
+	// ReadBuffer sizes the receive buffer per datagram (default 9000).
+	ReadBuffer int
+	// Seed seeds the node's random source (0 = time-based).
+	Seed int64
+}
+
+// Node runs one transport.Handler over real UDP.
+type Node struct {
+	mu      sync.Mutex
+	cfg     Config
+	handler transport.Handler
+	ucast   *net.UDPConn
+	iface   *net.Interface
+	groups  map[wire.GroupID]*net.UDPConn
+	rng     *rand.Rand
+	closed  bool
+	wg      sync.WaitGroup
+	lastTTL int
+}
+
+// Start binds sockets and runs the handler. Close releases everything.
+func Start(cfg Config, h transport.Handler) (*Node, error) {
+	if cfg.Listen == "" {
+		cfg.Listen = "0.0.0.0:0"
+	}
+	if cfg.ReadBuffer == 0 {
+		cfg.ReadBuffer = 9000
+	}
+	la, err := net.ResolveUDPAddr("udp4", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("udp: resolve listen %q: %w", cfg.Listen, err)
+	}
+	uc, err := net.ListenUDP("udp4", la)
+	if err != nil {
+		return nil, fmt.Errorf("udp: listen: %w", err)
+	}
+	n := &Node{
+		cfg:     cfg,
+		handler: h,
+		ucast:   uc,
+		groups:  make(map[wire.GroupID]*net.UDPConn),
+		lastTTL: -1,
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	n.rng = rand.New(rand.NewSource(seed))
+	if cfg.Interface != "" {
+		ifc, err := net.InterfaceByName(cfg.Interface)
+		if err != nil {
+			uc.Close()
+			return nil, fmt.Errorf("udp: interface %q: %w", cfg.Interface, err)
+		}
+		n.iface = ifc
+	}
+	n.readLoop(uc)
+	n.mu.Lock()
+	h.Start((*env)(n))
+	n.mu.Unlock()
+	return n, nil
+}
+
+// Addr returns the node's unicast address.
+func (n *Node) Addr() transport.Addr {
+	return Addr{HostPort: n.ucast.LocalAddr().String()}
+}
+
+// Do runs fn serialized with the handler's packet deliveries and timers.
+// External callers (e.g. an application thread invoking Sender.Send) must
+// use it: protocol handlers are single-threaded by contract.
+func (n *Node) Do(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.closed {
+		fn()
+	}
+}
+
+// Close stops the node. In-flight callbacks finish first.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := []*net.UDPConn{n.ucast}
+	for _, c := range n.groups {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	var err error
+	for _, c := range conns {
+		if e := c.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	n.wg.Wait()
+	return err
+}
+
+// readLoop pumps datagrams from one socket into the handler.
+func (n *Node) readLoop(conn *net.UDPConn) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		buf := make([]byte, n.cfg.ReadBuffer)
+		for {
+			sz, from, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return // socket closed
+			}
+			n.mu.Lock()
+			if !n.closed {
+				n.handler.Recv(Addr{HostPort: from.String()}, buf[:sz])
+			}
+			n.mu.Unlock()
+		}
+	}()
+}
+
+// env adapts Node to transport.Env (always called under n.mu).
+type env Node
+
+func (e *env) node() *Node { return (*Node)(e) }
+
+func (e *env) Now() time.Time { return time.Now() }
+
+func (e *env) AfterFunc(d time.Duration, fn func()) vtime.Timer {
+	n := e.node()
+	if d < 0 {
+		d = 0
+	}
+	return vtime.Real{}.AfterFunc(d, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if !n.closed {
+			fn()
+		}
+	})
+}
+
+func (e *env) Send(to transport.Addr, data []byte) error {
+	ua, ok := to.(Addr)
+	if !ok {
+		return fmt.Errorf("udp: foreign address %v (%s)", to, to.Network())
+	}
+	dst, err := net.ResolveUDPAddr("udp4", ua.HostPort)
+	if err != nil {
+		return fmt.Errorf("udp: resolve %q: %w", ua.HostPort, err)
+	}
+	_, err = e.node().ucast.WriteToUDP(data, dst)
+	return err
+}
+
+func (e *env) Multicast(g wire.GroupID, ttl int, data []byte) error {
+	n := e.node()
+	spec, ok := n.cfg.Groups[g]
+	if !ok {
+		return fmt.Errorf("udp: group %d not configured", g)
+	}
+	dst, err := net.ResolveUDPAddr("udp4", spec)
+	if err != nil {
+		return fmt.Errorf("udp: resolve group %q: %w", spec, err)
+	}
+	if err := n.setMulticastTTL(ttl); err != nil {
+		return err
+	}
+	_, err = n.ucast.WriteToUDP(data, dst)
+	return err
+}
+
+// setMulticastTTL sets IP_MULTICAST_TTL on the unicast (sending) socket,
+// caching the last value to avoid redundant syscalls.
+func (n *Node) setMulticastTTL(ttl int) error {
+	if ttl <= 0 {
+		ttl = 1
+	}
+	if ttl > 255 {
+		ttl = 255
+	}
+	if ttl == n.lastTTL {
+		return nil
+	}
+	raw, err := n.ucast.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var serr error
+	if err := raw.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.IPPROTO_IP, syscall.IP_MULTICAST_TTL, ttl)
+		if serr == nil {
+			// Loop multicast back to the local host so co-located
+			// receivers/loggers hear it.
+			serr = syscall.SetsockoptInt(int(fd), syscall.IPPROTO_IP, syscall.IP_MULTICAST_LOOP, 1)
+		}
+	}); err != nil {
+		return err
+	}
+	if serr != nil {
+		return fmt.Errorf("udp: set multicast ttl: %w", serr)
+	}
+	n.lastTTL = ttl
+	return nil
+}
+
+func (e *env) Join(g wire.GroupID) error {
+	n := e.node()
+	if _, ok := n.groups[g]; ok {
+		return nil
+	}
+	spec, ok := n.cfg.Groups[g]
+	if !ok {
+		return fmt.Errorf("udp: group %d not configured", g)
+	}
+	ga, err := net.ResolveUDPAddr("udp4", spec)
+	if err != nil {
+		return fmt.Errorf("udp: resolve group %q: %w", spec, err)
+	}
+	conn, err := net.ListenMulticastUDP("udp4", n.iface, ga)
+	if err != nil {
+		return fmt.Errorf("udp: join %v: %w", ga, err)
+	}
+	n.groups[g] = conn
+	n.readLoop(conn)
+	return nil
+}
+
+func (e *env) Leave(g wire.GroupID) error {
+	n := e.node()
+	conn, ok := n.groups[g]
+	if !ok {
+		return nil
+	}
+	delete(n.groups, g)
+	return conn.Close()
+}
+
+func (e *env) LocalAddr() transport.Addr { return e.node().Addr() }
+
+func (e *env) ParseAddr(s string) (transport.Addr, error) { return ParseAddr(s) }
+
+func (e *env) Rand() *rand.Rand { return e.node().rng }
+
+// ErrClosed is returned by operations on a closed node.
+var ErrClosed = errors.New("udp: node closed")

@@ -1,0 +1,256 @@
+package udp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/wire"
+)
+
+// collector is a thread-observable test handler.
+type collector struct {
+	mu   sync.Mutex
+	env  transport.Env
+	got  [][]byte
+	from []transport.Addr
+	join []wire.GroupID
+}
+
+func (c *collector) Start(env transport.Env) {
+	c.env = env
+	for _, g := range c.join {
+		if err := env.Join(g); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (c *collector) Recv(from transport.Addr, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, append([]byte(nil), data...))
+	c.from = append(c.from, from)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func waitFor(t *testing.T, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}
+
+func TestUnicastRoundTrip(t *testing.T) {
+	a := &collector{}
+	b := &collector{}
+	na, err := Start(Config{Listen: "127.0.0.1:0"}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	nb, err := Start(Config{Listen: "127.0.0.1:0"}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+
+	a.mu.Lock()
+	env := a.env
+	a.mu.Unlock()
+	if err := env.Send(nb.Addr(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, func() bool { return b.count() == 1 }) {
+		t.Fatal("unicast not delivered")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if string(b.got[0]) != "hello" {
+		t.Fatalf("payload = %q", b.got[0])
+	}
+	// The from address is A's unicast socket: replying to it must work.
+	if b.from[0].String() != na.Addr().String() {
+		t.Fatalf("from = %v, want %v", b.from[0], na.Addr())
+	}
+}
+
+func TestMulticastLoopback(t *testing.T) {
+	const g = wire.GroupID(1)
+	groups := map[wire.GroupID]string{g: "239.81.77.1:17771"}
+	r1 := &collector{join: []wire.GroupID{g}}
+	r2 := &collector{join: []wire.GroupID{g}}
+	sender := &collector{}
+
+	n1, err := Start(Config{Groups: groups, Interface: "lo"}, r1)
+	if err != nil {
+		t.Skipf("multicast unavailable in this environment: %v", err)
+	}
+	defer n1.Close()
+	n2, err := Start(Config{Groups: groups, Interface: "lo"}, r2)
+	if err != nil {
+		t.Skipf("multicast unavailable: %v", err)
+	}
+	defer n2.Close()
+	ns, err := Start(Config{Groups: groups, Interface: "lo"}, sender)
+	if err != nil {
+		t.Skipf("multicast unavailable: %v", err)
+	}
+	defer ns.Close()
+
+	sender.mu.Lock()
+	env := sender.env
+	sender.mu.Unlock()
+	// Re-send until delivery: first packets can race the group join.
+	ok := waitFor(t, func() bool {
+		if err := env.Multicast(g, transport.TTLGlobal, []byte("mc")); err != nil {
+			t.Logf("multicast send: %v", err)
+			return false
+		}
+		return r1.count() >= 1 && r2.count() >= 1
+	})
+	if !ok {
+		t.Skip("loopback multicast not deliverable in this environment")
+	}
+}
+
+func TestParseAddrRoundTrip(t *testing.T) {
+	a, err := ParseAddr("127.0.0.1:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "127.0.0.1:9000" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if _, err := ParseAddr("not an address"); err == nil {
+		t.Fatal("accepted garbage")
+	}
+}
+
+func TestTimersSerializedWithRecv(t *testing.T) {
+	c := &collector{}
+	n, err := Start(Config{Listen: "127.0.0.1:0"}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	c.mu.Lock()
+	env := c.env
+	c.mu.Unlock()
+
+	fired := make(chan struct{})
+	n.mu.Lock()
+	env.AfterFunc(10*time.Millisecond, func() { close(fired) })
+	n.mu.Unlock()
+	select {
+	case <-fired:
+	case <-time.After(3 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestTimerAfterCloseDoesNotFire(t *testing.T) {
+	c := &collector{}
+	n, err := Start(Config{Listen: "127.0.0.1:0"}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	env := c.env
+	c.mu.Unlock()
+	var fired bool
+	n.mu.Lock()
+	env.AfterFunc(50*time.Millisecond, func() { fired = true })
+	n.mu.Unlock()
+	n.Close()
+	time.Sleep(100 * time.Millisecond)
+	if fired {
+		t.Fatal("timer fired after Close")
+	}
+}
+
+func TestSendToForeignAddrFails(t *testing.T) {
+	c := &collector{}
+	n, err := Start(Config{Listen: "127.0.0.1:0"}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	c.mu.Lock()
+	env := c.env
+	c.mu.Unlock()
+	if err := env.Send(fakeAddr{}, []byte("x")); err == nil {
+		t.Fatal("send to foreign address succeeded")
+	}
+	if err := env.Multicast(99, transport.TTLGlobal, []byte("x")); err == nil {
+		t.Fatal("multicast to unconfigured group succeeded")
+	}
+}
+
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "fake" }
+func (fakeAddr) String() string  { return "fake" }
+
+func TestDoSerializesWithCallbacks(t *testing.T) {
+	c := &collector{}
+	n, err := Start(Config{Listen: "127.0.0.1:0"}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	ran := false
+	n.Do(func() { ran = true })
+	if !ran {
+		t.Fatal("Do did not run")
+	}
+	n.Close()
+	n.Do(func() { t.Fatal("Do ran after Close") })
+}
+
+func TestDoubleJoinAndLeave(t *testing.T) {
+	groups := map[wire.GroupID]string{3: "239.81.77.9:17799"}
+	c := &collector{}
+	n, err := Start(Config{Listen: "127.0.0.1:0", Groups: groups, Interface: "lo"}, c)
+	if err != nil {
+		t.Skipf("multicast unavailable: %v", err)
+	}
+	defer n.Close()
+	c.mu.Lock()
+	env := c.env
+	c.mu.Unlock()
+	n.Do(func() {
+		if err := env.Join(3); err != nil {
+			t.Errorf("join: %v", err)
+		}
+		if err := env.Join(3); err != nil {
+			t.Errorf("double join: %v", err)
+		}
+		if err := env.Leave(3); err != nil {
+			t.Errorf("leave: %v", err)
+		}
+		if err := env.Leave(3); err != nil {
+			t.Errorf("double leave: %v", err)
+		}
+	})
+}
+
+func TestStartRejectsBadConfig(t *testing.T) {
+	if _, err := Start(Config{Listen: "not-an-address"}, &collector{}); err == nil {
+		t.Fatal("bad listen accepted")
+	}
+	if _, err := Start(Config{Listen: "127.0.0.1:0", Interface: "definitely-no-such-iface"}, &collector{}); err == nil {
+		t.Fatal("bad interface accepted")
+	}
+}

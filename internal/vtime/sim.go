@@ -1,0 +1,202 @@
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Sim is a deterministic discrete-event simulated clock. Events scheduled at
+// the same instant fire in the order they were scheduled. Sim is not safe
+// for concurrent use: all callbacks execute synchronously inside Run,
+// RunUntil, RunFor or Step, on the calling goroutine.
+//
+// The zero value is not usable; construct with NewSim.
+type Sim struct {
+	now      time.Time
+	queue    eventQueue
+	nextSeq  uint64
+	running  bool
+	pending  int
+	executed uint64
+}
+
+// NewSim returns a simulated clock whose current time is start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time { return s.now }
+
+// AfterFunc implements Clock. The callback runs when simulated time reaches
+// now+d during a subsequent (or the current) Run call.
+func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("vtime: AfterFunc with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{sim: s, at: s.now.Add(d), seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	s.pending++
+	return ev
+}
+
+// Len returns the number of pending (not yet fired, not stopped) events.
+func (s *Sim) Len() int { return s.pending }
+
+// Executed returns the number of events that have fired so far.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// Step fires the single earliest pending event, advancing simulated time to
+// its deadline. It reports whether an event fired.
+func (s *Sim) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.stopped {
+			continue
+		}
+		s.pending--
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		ev.fired = true
+		s.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain. Callbacks may schedule further events.
+func (s *Sim) Run() {
+	s.enter()
+	defer s.exit()
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with deadlines at or before t, then sets the clock
+// to t (if t is later than the last event fired).
+func (s *Sim) RunUntil(t time.Time) {
+	s.enter()
+	defer s.exit()
+	for {
+		ev := s.peek()
+		if ev == nil || ev.at.After(t) {
+			break
+		}
+		s.step()
+	}
+	if t.After(s.now) {
+		s.now = t
+	}
+}
+
+// RunFor advances the clock by d, firing all events that fall due.
+func (s *Sim) RunFor(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("vtime: RunFor with negative duration %v", d))
+	}
+	s.RunUntil(s.now.Add(d))
+}
+
+// step is Step without re-entrancy accounting (used inside RunUntil).
+func (s *Sim) step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.stopped {
+			continue
+		}
+		s.pending--
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		ev.fired = true
+		s.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// peek returns the earliest live event without firing it, discarding
+// stopped events it encounters.
+func (s *Sim) peek() *event {
+	for s.queue.Len() > 0 {
+		ev := s.queue.events[0]
+		if !ev.stopped {
+			return ev
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+func (s *Sim) enter() {
+	if s.running {
+		panic("vtime: re-entrant Run on Sim (callbacks must not call Run)")
+	}
+	s.running = true
+}
+
+func (s *Sim) exit() { s.running = false }
+
+type event struct {
+	sim     *Sim
+	at      time.Time
+	seq     uint64
+	fn      func()
+	index   int
+	stopped bool
+	fired   bool
+}
+
+// Stop implements Timer. The event is removed lazily from the heap.
+func (ev *event) Stop() bool {
+	if ev.stopped || ev.fired {
+		return false
+	}
+	ev.stopped = true
+	ev.sim.pending--
+	return true
+}
+
+// eventQueue is a min-heap ordered by (deadline, scheduling sequence).
+type eventQueue struct {
+	events []*event
+}
+
+func (q *eventQueue) Len() int { return len(q.events) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.events[i], q.events[j]
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) {
+	q.events[i], q.events[j] = q.events[j], q.events[i]
+	q.events[i].index = i
+	q.events[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(q.events)
+	q.events = append(q.events, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := q.events
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	q.events = old[:n-1]
+	return ev
+}

@@ -1,0 +1,46 @@
+// Package vtime provides a clock abstraction with two implementations: a
+// real clock backed by package time, and a deterministic discrete-event
+// simulated clock. Protocol code is written against Clock so that the same
+// state machines run over real UDP multicast and inside the network
+// simulator, where hours of protocol time execute in milliseconds and every
+// run is reproducible.
+package vtime
+
+import "time"
+
+// Timer is a handle to a pending callback scheduled with Clock.AfterFunc.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call prevented the
+	// callback from firing. Stopping an already-fired or already-stopped
+	// timer is a no-op that returns false.
+	Stop() bool
+}
+
+// Clock abstracts the passage of time. Implementations must be safe for the
+// concurrency model they advertise: Real is safe for concurrent use; Sim is
+// single-threaded by construction (callbacks run inside Run).
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// AfterFunc schedules fn to run once, d from now. A non-positive d
+	// schedules fn to run as soon as possible, still asynchronously.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Real is a Clock backed by the standard time package.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool { return r.t.Stop() }

@@ -1,0 +1,371 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// samplePackets returns one representative valid packet per type.
+func samplePackets() []Packet {
+	return []Packet{
+		{Type: TypeData, Source: 7, Group: 3, Seq: 42, Epoch: 2, Payload: []byte("bridge destroyed")},
+		{Type: TypeData, Source: 7, Group: 3, Seq: 43, Payload: nil},
+		{Type: TypeHeartbeat, Source: 7, Group: 3, Seq: 42, HeartbeatIdx: 5},
+		{Type: TypeHeartbeat, Source: 7, Group: 3, Seq: 42, HeartbeatIdx: 1,
+			Flags: FlagInlineData, Payload: []byte("repeat")},
+		{Type: TypeNack, Source: 7, Group: 3,
+			Ranges: []SeqRange{{From: 10, To: 12}, {From: 20, To: 20}}},
+		{Type: TypeRetrans, Source: 7, Group: 3, Seq: 11,
+			Flags: FlagRetransmission | FlagFromLogger, Payload: []byte("x")},
+		{Type: TypeAck, Source: 7, Group: 3, Seq: 42, Epoch: 2},
+		{Type: TypeAckerSelect, Source: 7, Group: 3, Epoch: 3, PAck: 0.04, K: 20},
+		{Type: TypeAckerResponse, Source: 7, Group: 3, Epoch: 3},
+		{Type: TypeSizeProbe, Source: 7, Group: 3, ProbeID: 9, PAck: 0.125},
+		{Type: TypeSizeProbeResponse, Source: 7, Group: 3, ProbeID: 9},
+		{Type: TypeDiscoveryQuery, Source: 7, Group: 3},
+		{Type: TypeDiscoveryReply, Source: 7, Group: 3, Addr: "site4-logger:9001"},
+		{Type: TypeLogSync, Source: 7, Group: 3, Seq: 42, Payload: []byte("sync")},
+		{Type: TypeLogSyncAck, Source: 7, Group: 3, Seq: 42},
+		{Type: TypeSourceAck, Source: 7, Group: 3, Seq: 42, ReplicaSeq: 40},
+		{Type: TypePrimaryQuery, Source: 7, Group: 3},
+		{Type: TypePrimaryRedirect, Source: 7, Group: 3, Addr: "replica2:9001"},
+		{Type: TypeLogStateQuery, Source: 7, Group: 3},
+		{Type: TypeLogStateReply, Source: 7, Group: 3, Seq: 37},
+		{Type: TypePromote, Source: 7, Group: 3},
+	}
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	covered := map[Type]bool{}
+	for _, want := range samplePackets() {
+		covered[want.Type] = true
+		buf, err := want.Marshal()
+		if err != nil {
+			t.Fatalf("%v: Marshal: %v", want.Type, err)
+		}
+		var got Packet
+		if err := got.Unmarshal(buf); err != nil {
+			t.Fatalf("%v: Unmarshal: %v", want.Type, err)
+		}
+		// Normalize nil vs empty payload for comparison.
+		if len(want.Payload) == 0 {
+			want.Payload = nil
+		}
+		if len(got.Payload) == 0 {
+			got.Payload = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+	for ty := TypeData; ty < typeMax; ty++ {
+		if !covered[ty] {
+			t.Errorf("no round-trip sample for %v", ty)
+		}
+	}
+}
+
+func TestMarshalLengthField(t *testing.T) {
+	p := Packet{Type: TypeData, Payload: bytes.Repeat([]byte{0xAB}, 100)}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != HeaderLen+100 {
+		t.Fatalf("encoded length = %d, want %d", len(buf), HeaderLen+100)
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	valid, err := (&Packet{Type: TypeData, Payload: []byte("hello")}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"short", func(b []byte) []byte { return b[:HeaderLen-1] }},
+		{"bad magic", func(b []byte) []byte { b[0] = 0xFF; return b }},
+		{"bad version", func(b []byte) []byte { b[offVersion] = 99; return b }},
+		{"bad type zero", func(b []byte) []byte { b[offType] = 0; return b }},
+		{"bad type high", func(b []byte) []byte { b[offType] = 200; return b }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.mut(append([]byte(nil), valid...))
+			var p Packet
+			if err := p.Unmarshal(buf); err == nil {
+				t.Fatalf("Unmarshal accepted %s", tc.name)
+			}
+			if p.Type != TypeInvalid {
+				t.Fatalf("failed Unmarshal left partial state: %+v", p)
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsBadExtensions(t *testing.T) {
+	mk := func(p Packet) []byte {
+		b, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	fixLen := func(b []byte) []byte {
+		b[offExtLen] = byte((len(b) - HeaderLen) >> 8)
+		b[offExtLen+1] = byte(len(b) - HeaderLen)
+		return b
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"nack zero count", func() []byte {
+			b := mk(Packet{Type: TypeNack, Ranges: []SeqRange{{From: 1, To: 1}}})
+			b[HeaderLen] = 0
+			b[HeaderLen+1] = 0
+			return b
+		}()},
+		{"nack inverted range", func() []byte {
+			b := mk(Packet{Type: TypeNack, Ranges: []SeqRange{{From: 1, To: 1}}})
+			b[HeaderLen+2+7] = 9 // From = 9 > To = 1
+			return b
+		}()},
+		{"nack count mismatch", func() []byte {
+			b := mk(Packet{Type: TypeNack, Ranges: []SeqRange{{From: 1, To: 1}}})
+			b[HeaderLen+1] = 2
+			return b
+		}()},
+		{"acksel pack > 1", func() []byte {
+			b := mk(Packet{Type: TypeAckerSelect, PAck: 0.5, K: 5})
+			for i := 0; i < 8; i++ {
+				b[HeaderLen+i] = 0xFF // NaN bits
+			}
+			return b
+		}()},
+		{"heartbeat short", fixLen(mk(Packet{Type: TypeHeartbeat, HeartbeatIdx: 1})[:HeaderLen+2])},
+		{"heartbeat trailing without flag", func() []byte {
+			b := mk(Packet{Type: TypeHeartbeat, HeartbeatIdx: 1})
+			return fixLen(append(b, 'x'))
+		}()},
+		{"ack with extension", func() []byte {
+			b := mk(Packet{Type: TypeAck, Seq: 1})
+			return fixLen(append(b, 'x'))
+		}()},
+		{"redirect addr len mismatch", func() []byte {
+			b := mk(Packet{Type: TypePrimaryRedirect, Addr: "ab"})
+			b[HeaderLen] = 5
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var p Packet
+			if err := p.Unmarshal(tc.buf); err == nil {
+				t.Fatalf("accepted malformed %s: %+v", tc.name, p)
+			}
+		})
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Packet
+	}{
+		{"invalid type", Packet{Type: TypeInvalid}},
+		{"unknown type", Packet{Type: typeMax}},
+		{"oversize payload", Packet{Type: TypeData, Payload: make([]byte, MaxPayloadLen+1)}},
+		{"nack empty", Packet{Type: TypeNack}},
+		{"nack inverted", Packet{Type: TypeNack, Ranges: []SeqRange{{From: 5, To: 2}}}},
+		{"nack too many", Packet{Type: TypeNack, Ranges: make([]SeqRange, MaxNackRanges+1)}},
+		{"pack negative", Packet{Type: TypeAckerSelect, PAck: -0.1}},
+		{"pack over one", Packet{Type: TypeSizeProbe, PAck: 1.5}},
+		{"pack NaN", Packet{Type: TypeSizeProbe, PAck: math.NaN()}},
+		{"empty addr", Packet{Type: TypeDiscoveryReply}},
+		{"long addr", Packet{Type: TypeDiscoveryReply, Addr: strings.Repeat("a", MaxAddrLen+1)}},
+		{"heartbeat payload no flag", Packet{Type: TypeHeartbeat, Payload: []byte("x")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.p.Marshal(); err == nil {
+				t.Fatalf("Marshal accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestSeqRange(t *testing.T) {
+	r := SeqRange{From: 5, To: 9}
+	if r.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", r.Count())
+	}
+	if !r.Contains(5) || !r.Contains(9) || r.Contains(4) || r.Contains(10) {
+		t.Error("Contains boundaries wrong")
+	}
+	if (SeqRange{From: 3, To: 2}).Count() != 0 {
+		t.Error("inverted range Count != 0")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeData.String() != "DATA" || TypeHeartbeat.String() != "HEARTBEAT" {
+		t.Error("unexpected type names")
+	}
+	if s := Type(250).String(); !strings.Contains(s, "250") {
+		t.Errorf("unknown type String() = %q", s)
+	}
+}
+
+func TestPacketStringMentionsKeyFields(t *testing.T) {
+	for _, p := range samplePackets() {
+		p := p
+		s := p.String()
+		if !strings.Contains(s, p.Type.String()) {
+			t.Errorf("String() %q missing type %v", s, p.Type)
+		}
+	}
+}
+
+// Property: Marshal→Unmarshal is the identity on valid random packets.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPacket(rng)
+		buf, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		var got Packet
+		if err := got.Unmarshal(buf); err != nil {
+			return false
+		}
+		if len(p.Payload) == 0 {
+			p.Payload = nil
+		}
+		if len(got.Payload) == 0 {
+			got.Payload = nil
+		}
+		return reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unmarshal never panics and never succeeds on random garbage
+// with a wrong magic.
+func TestUnmarshalGarbageProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		var p Packet
+		err := p.Unmarshal(data)
+		if err != nil {
+			return true
+		}
+		// If it decoded, re-encoding must reproduce the input exactly.
+		out, merr := p.Marshal()
+		return merr == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomPacket(rng *rand.Rand) Packet {
+	types := []Type{
+		TypeData, TypeHeartbeat, TypeNack, TypeRetrans, TypeAck,
+		TypeAckerSelect, TypeAckerResponse, TypeSizeProbe,
+		TypeSizeProbeResponse, TypeDiscoveryQuery, TypeDiscoveryReply,
+		TypeLogSync, TypeLogSyncAck, TypeSourceAck, TypePrimaryQuery,
+		TypePrimaryRedirect, TypeLogStateQuery, TypeLogStateReply,
+		TypePromote,
+	}
+	p := Packet{
+		Type:   types[rng.Intn(len(types))],
+		Source: SourceID(rng.Uint64()),
+		Seq:    rng.Uint64(),
+		Epoch:  rng.Uint32(),
+		Group:  GroupID(rng.Uint32()),
+	}
+	payload := func(maxLen int) []byte {
+		b := make([]byte, rng.Intn(maxLen))
+		rng.Read(b)
+		return b
+	}
+	switch p.Type {
+	case TypeData, TypeRetrans, TypeLogSync:
+		p.Payload = payload(512)
+		if rng.Intn(2) == 0 {
+			p.Flags |= FlagRetransmission
+		}
+	case TypeHeartbeat:
+		p.HeartbeatIdx = rng.Uint32()
+		if rng.Intn(2) == 0 {
+			p.Flags |= FlagInlineData
+			p.Payload = payload(128)
+		}
+	case TypeNack:
+		n := rng.Intn(8) + 1
+		p.Ranges = make([]SeqRange, n)
+		for i := range p.Ranges {
+			from := rng.Uint64() / 2
+			p.Ranges[i] = SeqRange{From: from, To: from + uint64(rng.Intn(100))}
+		}
+	case TypeAckerSelect:
+		p.PAck = rng.Float64()
+		p.K = uint16(rng.Intn(100))
+	case TypeSizeProbe:
+		p.ProbeID = rng.Uint32()
+		p.PAck = rng.Float64()
+	case TypeSizeProbeResponse:
+		p.ProbeID = rng.Uint32()
+	case TypeSourceAck:
+		p.ReplicaSeq = rng.Uint64()
+	case TypeDiscoveryReply, TypePrimaryRedirect:
+		n := rng.Intn(MaxAddrLen) + 1
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		p.Addr = string(b)
+	}
+	return p
+}
+
+func BenchmarkMarshalData(b *testing.B) {
+	p := Packet{Type: TypeData, Source: 1, Group: 1, Seq: 1, Payload: make([]byte, 128)}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = p.AppendMarshal(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalData(b *testing.B) {
+	p := Packet{Type: TypeData, Source: 1, Group: 1, Seq: 1, Payload: make([]byte, 128)}
+	buf, err := p.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var q Packet
+	for i := 0; i < b.N; i++ {
+		if err := q.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

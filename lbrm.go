@@ -1,0 +1,149 @@
+// Package lbrm is a Go implementation of Log-Based Receiver-reliable
+// Multicast (LBRM), the reliable-multicast protocol of Holbrook, Singhal &
+// Cheriton (SIGCOMM '95), designed for low-rate, freshness-critical state
+// dissemination: distributed simulation (DIS) terrain updates, stock
+// tickers, cache invalidation.
+//
+// The protocol in one paragraph: a source multicasts sequence-numbered
+// data packets and fills idle periods with heartbeats whose spacing starts
+// at HMin right after data and backs off geometrically to HMax (§2.1), so
+// receivers detect isolated losses within HMin at a fraction of a fixed
+// heartbeat scheme's cost. Reliability comes from a logging service rather
+// than per-receiver ACKs: a primary logger records every packet (the
+// source buffers until the primary acknowledges), per-site secondary
+// loggers record the stream and serve local retransmissions, so one NACK
+// per site — not one per receiver — ever crosses the WAN (§2.2). With
+// statistical acknowledgement (§2.3) a small random set of secondary
+// loggers acknowledges each packet, letting the source detect and repair
+// widespread loss with one immediate re-multicast while isolated losses
+// stay on the cheap unicast path.
+//
+// The package re-exports the protocol endpoints (Sender, Receiver), the
+// logging servers (PrimaryLogger, SecondaryLogger), and two bindings: a
+// deterministic network simulator (Testbed, for experiments and tests) and
+// real UDP multicast (lbrm/udp... see cmd/ for ready-made daemons).
+package lbrm
+
+import (
+	"time"
+
+	"lbrm/internal/core"
+	"lbrm/internal/estimator"
+	"lbrm/internal/heartbeat"
+	"lbrm/internal/logger"
+	"lbrm/internal/transport"
+	"lbrm/internal/wire"
+)
+
+// Protocol endpoint types.
+type (
+	// Sender is an LBRM multicast source.
+	Sender = core.Sender
+	// SenderConfig configures a Sender.
+	SenderConfig = core.SenderConfig
+	// SenderStats counts a sender's protocol activity.
+	SenderStats = core.SenderStats
+	// StatAckConfig tunes statistical acknowledgement (§2.3).
+	StatAckConfig = core.StatAckConfig
+	// Durability selects when the sender may release retained packets.
+	Durability = core.Durability
+	// Receiver is an LBRM receiver endpoint.
+	Receiver = core.Receiver
+	// ReceiverConfig configures a Receiver.
+	ReceiverConfig = core.ReceiverConfig
+	// ReceiverStats counts a receiver's protocol activity.
+	ReceiverStats = core.ReceiverStats
+	// Event is one packet delivered to the application.
+	Event = core.Event
+	// StreamKey identifies one source's stream within a group.
+	StreamKey = core.StreamKey
+)
+
+// Logging service types (§2.2).
+type (
+	// PrimaryLogger is the primary logging server (or a replica).
+	PrimaryLogger = logger.Primary
+	// PrimaryConfig configures a PrimaryLogger.
+	PrimaryConfig = logger.PrimaryConfig
+	// PrimaryStats counts a primary's activity.
+	PrimaryStats = logger.PrimaryStats
+	// SecondaryLogger is a site secondary logging server.
+	SecondaryLogger = logger.Secondary
+	// SecondaryConfig configures a SecondaryLogger.
+	SecondaryConfig = logger.SecondaryConfig
+	// SecondaryStats counts a secondary's activity.
+	SecondaryStats = logger.SecondaryStats
+	// Retention bounds a log store.
+	Retention = logger.Retention
+	// LogStreamKey identifies a stream inside a logging server's store.
+	LogStreamKey = logger.StreamKey
+	// LogStore is a logging server's per-stream packet log.
+	LogStore = logger.Store
+)
+
+// Heartbeat scheduling (§2.1).
+type (
+	// HeartbeatParams parametrizes the variable heartbeat.
+	HeartbeatParams = heartbeat.Params
+)
+
+// Transport plumbing.
+type (
+	// Addr is a transport address.
+	Addr = transport.Addr
+	// Env is the environment protocol handlers run in.
+	Env = transport.Env
+	// Handler is a protocol node.
+	Handler = transport.Handler
+	// TraceEvent is one datagram crossing a traced node's boundary.
+	TraceEvent = transport.TraceEvent
+	// GroupID names a multicast group.
+	GroupID = wire.GroupID
+	// SourceID names a data stream.
+	SourceID = wire.SourceID
+	// SeqRange is an inclusive range of sequence numbers.
+	SeqRange = wire.SeqRange
+)
+
+// Estimator configuration re-exports.
+type (
+	// RTTConfig tunes the t_wait estimator.
+	RTTConfig = estimator.RTTConfig
+	// GroupSizeConfig tunes the N_sl estimator.
+	GroupSizeConfig = estimator.GroupSizeConfig
+	// ProbePlan tunes bootstrap group-size probing.
+	ProbePlan = estimator.ProbePlan
+)
+
+// Durability modes.
+const (
+	// ReleaseOnPrimaryAck frees retained packets on the primary's ack.
+	ReleaseOnPrimaryAck = core.ReleaseOnPrimaryAck
+	// ReleaseOnReplicaAck waits for replica durability.
+	ReleaseOnReplicaAck = core.ReleaseOnReplicaAck
+)
+
+// DefaultHeartbeat is the paper's DIS parameterization: HMin 250ms (the
+// terrain freshness bound), HMax 32s, backoff 2.
+var DefaultHeartbeat = heartbeat.DefaultParams
+
+// FixedHeartbeat returns the fixed-interval baseline schedule (§2's basic
+// protocol; compared against in Figures 4-5).
+func FixedHeartbeat(h time.Duration) HeartbeatParams { return heartbeat.Fixed(h) }
+
+// NewSender returns a Sender for cfg; attach it to a transport by calling
+// Start (the simulator and UDP bindings do this for you).
+func NewSender(cfg SenderConfig) (*Sender, error) { return core.NewSender(cfg) }
+
+// NewReceiver returns a Receiver for cfg.
+func NewReceiver(cfg ReceiverConfig) *Receiver { return core.NewReceiver(cfg) }
+
+// NewPrimaryLogger returns a primary logging server (or replica).
+func NewPrimaryLogger(cfg PrimaryConfig) *PrimaryLogger { return logger.NewPrimary(cfg) }
+
+// NewSecondaryLogger returns a site secondary logging server.
+func NewSecondaryLogger(cfg SecondaryConfig) *SecondaryLogger { return logger.NewSecondary(cfg) }
+
+// Trace wraps a protocol handler so every datagram it receives or
+// transmits is reported to fn; it composes with both bindings.
+func Trace(h Handler, fn func(TraceEvent)) Handler { return transport.Trace(h, fn) }

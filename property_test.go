@@ -1,0 +1,154 @@
+package lbrm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lbrm"
+)
+
+// TestEndToEndInvariantsProperty drives randomized deployments (topology,
+// loss rates, heartbeat cadence all seed-derived) and checks the protocol
+// invariants that must hold under ANY loss pattern:
+//
+//  1. no duplicate deliveries to the application (per receiver, per seq);
+//  2. every sequence number is eventually either delivered or explicitly
+//     abandoned (OnLost) at every receiver — silent holes are bugs;
+//  3. payload integrity: what arrives is what was sent;
+//  4. the sender's retention drains once the primary has everything.
+func TestEndToEndInvariantsProperty(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			sites := 1 + rng.Intn(3)
+			perSite := 1 + rng.Intn(3)
+			lossPct := rng.Float64() * 0.25
+			ordered := rng.Intn(2) == 0
+
+			type rcvState struct {
+				seen      map[uint64]int
+				abandoned map[uint64]bool
+				lastSeq   uint64
+				orderBad  int
+			}
+			var states []*rcvState
+
+			tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+				Seed: seed, Sites: sites, ReceiversPerSite: perSite,
+				Sender: lbrm.SenderConfig{Heartbeat: lbrm.HeartbeatParams{
+					HMin:    time.Duration(30+rng.Intn(60)) * time.Millisecond,
+					HMax:    400 * time.Millisecond,
+					Backoff: 2,
+				}},
+				Receiver: lbrm.ReceiverConfig{
+					Ordered:   ordered,
+					NackDelay: time.Duration(5+rng.Intn(20)) * time.Millisecond,
+				},
+				ConfigureReceiver: func(site, idx int, cfg *lbrm.ReceiverConfig) {
+					st := &rcvState{seen: map[uint64]int{}, abandoned: map[uint64]bool{}}
+					states = append(states, st)
+					cfg.OnData = func(e lbrm.Event) {
+						st.seen[e.Seq]++
+						if want := fmt.Sprintf("payload-%d", e.Seq); string(e.Payload) != want {
+							t.Errorf("seq %d payload = %q, want %q", e.Seq, e.Payload, want)
+						}
+						if ordered && e.Seq <= st.lastSeq {
+							st.orderBad++
+						}
+						st.lastSeq = e.Seq
+					}
+					cfg.OnLost = func(k lbrm.StreamKey, rg lbrm.SeqRange) {
+						for q := rg.From; q <= rg.To; q++ {
+							st.abandoned[q] = true
+						}
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range tb.Sites {
+				s.Site.TailDown().SetLoss(lbrm.Bernoulli{P: lossPct})
+			}
+			tb.Run(500 * time.Millisecond) // contact established
+			const n = 40
+			for i := 1; i <= n; i++ {
+				if _, err := tb.Send([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+				tb.Run(time.Duration(20+rng.Intn(100)) * time.Millisecond)
+			}
+			tb.Run(20 * time.Second) // drain all recovery machinery
+
+			for ri, st := range states {
+				for seq := uint64(1); seq <= n; seq++ {
+					switch st.seen[seq] {
+					case 0:
+						if !st.abandoned[seq] {
+							t.Errorf("receiver %d: seq %d neither delivered nor abandoned (silent hole)", ri, seq)
+						}
+					case 1:
+						// delivered exactly once: good
+					default:
+						t.Errorf("receiver %d: seq %d delivered %d times", ri, seq, st.seen[seq])
+					}
+				}
+				if st.orderBad > 0 {
+					t.Errorf("receiver %d: %d ordered-mode violations", ri, st.orderBad)
+				}
+			}
+			if tb.Sender.Retained() != 0 {
+				t.Errorf("sender retention = %d after drain (primary on lossless source LAN)", tb.Sender.Retained())
+			}
+		})
+	}
+}
+
+// TestLoggersConvergeProperty: under the same randomized regime, every
+// secondary logger's store ends contiguous through the last sequence
+// number (the logging service itself must self-heal).
+func TestLoggersConvergeProperty(t *testing.T) {
+	for seed := int64(20); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			sites := 1 + rng.Intn(4)
+			lossPct := rng.Float64() * 0.2
+			tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+				Seed: seed, Sites: sites, ReceiversPerSite: 1,
+				Sender:    lbrm.SenderConfig{Heartbeat: fastHB},
+				Secondary: lbrm.SecondaryConfig{NackDelay: 15 * time.Millisecond},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range tb.Sites {
+				s.Site.TailDown().SetLoss(lbrm.Bernoulli{P: lossPct})
+			}
+			tb.Run(300 * time.Millisecond)
+			const n = 30
+			for i := 1; i <= n; i++ {
+				tb.Send([]byte("x"))
+				tb.Run(60 * time.Millisecond)
+			}
+			tb.Run(15 * time.Second)
+			key := lbrm.LogStreamKey{Source: tb.Source, Group: tb.Group}
+			if got := tb.Primary.Contiguous(key); got != n {
+				t.Fatalf("primary contiguous = %d, want %d", got, n)
+			}
+			for i, s := range tb.Sites {
+				st := s.Secondary.Store(key)
+				if st == nil || st.Contiguous() != n {
+					var c uint64
+					if st != nil {
+						c = st.Contiguous()
+					}
+					t.Errorf("site %d secondary contiguous = %d, want %d", i+1, c, n)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,286 @@
+package lbrm
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lbrm/internal/core"
+	"lbrm/internal/logger"
+	"lbrm/internal/netsim"
+	"lbrm/internal/pcapio"
+	"lbrm/internal/transport"
+)
+
+// Simulation re-exports: the deterministic network simulator used by the
+// Testbed, the experiment harness, and the examples.
+type (
+	// Network is the simulated internetwork (virtual time, tree topology).
+	Network = netsim.Network
+	// SimNode is a simulated host.
+	SimNode = netsim.Node
+	// Site is a simulated site (LAN behind a tail circuit).
+	Site = netsim.Site
+	// SiteParams configures a simulated site.
+	SiteParams = netsim.SiteParams
+	// LinkConfig describes one direction of a simulated link.
+	LinkConfig = netsim.LinkConfig
+	// Link is one direction of a simulated link.
+	Link = netsim.Link
+	// LossModel decides per-packet drops on a link.
+	LossModel = netsim.LossModel
+	// Bernoulli drops packets independently with probability P.
+	Bernoulli = netsim.Bernoulli
+	// GilbertElliott is a two-state burst loss model.
+	GilbertElliott = netsim.GilbertElliott
+	// Outages drops everything inside configured time windows.
+	Outages = netsim.Outages
+	// Window is a half-open time interval for Outages.
+	Window = netsim.Window
+	// Gate is a manually switched loss model.
+	Gate = netsim.Gate
+	// FirstN drops the first N packets crossing a link.
+	FirstN = netsim.FirstN
+	// DropSeqs drops packets by their traversal index on a link.
+	DropSeqs = netsim.DropSeqs
+	// DropMatching drops selected packets among those matching a filter.
+	DropMatching = netsim.DropMatching
+	// TapEvent describes one packet traversal of one link.
+	TapEvent = netsim.TapEvent
+	// TapFunc observes link traversals.
+	TapFunc = netsim.TapFunc
+	// PcapWriter emits pcap capture streams (see PcapTap).
+	PcapWriter = pcapio.Writer
+)
+
+// NewNetwork returns a fresh simulated internetwork seeded for
+// reproducibility.
+func NewNetwork(seed int64) *Network { return netsim.New(seed) }
+
+// PcapTap returns a tap writing traffic on links matching the name filter
+// to a pcap stream (open the file in Wireshark). See netsim.PcapTap.
+func PcapTap(pw *pcapio.Writer, match string, onErr func(error)) netsim.TapFunc {
+	return netsim.PcapTap(pw, match, onErr)
+}
+
+// NewPcapWriter starts a pcap capture stream on w.
+func NewPcapWriter(w io.Writer) (*pcapio.Writer, error) { return pcapio.NewWriter(w) }
+
+// TestbedConfig describes the paper's canonical evaluation topology: a
+// source site hosting the sender, the primary logger and its replicas, and
+// N receiver sites each with a secondary logger and M receivers behind a
+// shared tail circuit (§2.2.2 uses 50 sites × 20 receivers).
+type TestbedConfig struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Group and Source identify the stream (defaults 1 and 1).
+	Group  GroupID
+	Source SourceID
+	// Sites is the number of receiver sites (default 2).
+	Sites int
+	// ReceiversPerSite is the number of receivers per site (default 3).
+	ReceiversPerSite int
+	// NoSecondaries omits the per-site secondary loggers (the centralized
+	// baseline of Figure 7a: every receiver recovers from the primary).
+	NoSecondaries bool
+	// Replicas is the number of primary-log replicas at the source site.
+	Replicas int
+	// TailDelay overrides the one-way tail circuit delay.
+	TailDelay time.Duration
+	// TailRate sets the tail circuits' serialization rate in bits/s.
+	TailRate int64
+	// Sender, Receiver, Secondary, Primary season the respective configs;
+	// identity and address fields are filled in by the builder.
+	Sender    SenderConfig
+	Receiver  ReceiverConfig
+	Secondary SecondaryConfig
+	Primary   PrimaryConfig
+	// ConfigureReceiver, when set, customizes each receiver's config
+	// (e.g. per-receiver callbacks) after the common fields are filled in
+	// and before the testbed's delivery accounting is attached.
+	ConfigureReceiver func(site, idx int, cfg *ReceiverConfig)
+}
+
+// Testbed is a fully wired LBRM deployment inside the simulator.
+type Testbed struct {
+	Net    *Network
+	Group  GroupID
+	Source SourceID
+
+	Sender     *Sender
+	SenderNode *SimNode
+
+	Primary      *PrimaryLogger
+	PrimaryNode  *SimNode
+	Replicas     []*PrimaryLogger
+	ReplicaNodes []*SimNode
+
+	SourceSite *Site
+	Sites      []*TestbedSite
+
+	// Delivered counts OnData events across all receivers (in addition to
+	// any OnData the caller configured).
+	Delivered map[uint64]int
+}
+
+// TestbedSite is one receiver site.
+type TestbedSite struct {
+	Site          *Site
+	Secondary     *SecondaryLogger
+	SecondaryNode *SimNode
+	Receivers     []*Receiver
+	ReceiverNodes []*SimNode
+}
+
+// NewTestbed builds and starts the deployment. The virtual clock has not
+// advanced yet: schedule traffic and call Run.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if cfg.Group == 0 {
+		cfg.Group = 1
+	}
+	if cfg.Source == 0 {
+		cfg.Source = 1
+	}
+	if cfg.Sites == 0 {
+		cfg.Sites = 2
+	}
+	if cfg.ReceiversPerSite == 0 {
+		cfg.ReceiversPerSite = 3
+	}
+
+	tb := &Testbed{
+		Net:       netsim.New(cfg.Seed),
+		Group:     cfg.Group,
+		Source:    cfg.Source,
+		Delivered: make(map[uint64]int),
+	}
+
+	srcSite := tb.Net.NewSite(netsim.SiteParams{
+		Name: "source-site", TailDelay: cfg.TailDelay, TailRate: cfg.TailRate,
+	})
+	tb.SourceSite = srcSite
+
+	// Primary and replicas first: the sender needs their addresses.
+	pcfg := cfg.Primary
+	pcfg.Group = cfg.Group
+	for i := 0; i < cfg.Replicas; i++ {
+		rcfg := pcfg
+		rcfg.Replica = true
+		rcfg.Replicas = nil
+		rep := logger.NewPrimary(rcfg)
+		node := srcSite.NewHost(fmt.Sprintf("replica%d", i), rep)
+		tb.Replicas = append(tb.Replicas, rep)
+		tb.ReplicaNodes = append(tb.ReplicaNodes, node)
+	}
+	for _, rn := range tb.ReplicaNodes {
+		pcfg.Replicas = append(pcfg.Replicas, rn.Addr())
+	}
+	tb.Primary = logger.NewPrimary(pcfg)
+	tb.PrimaryNode = srcSite.NewHost("primary", tb.Primary)
+
+	scfg := cfg.Sender
+	scfg.Source = cfg.Source
+	scfg.Group = cfg.Group
+	scfg.Primary = tb.PrimaryNode.Addr()
+	for _, rn := range tb.ReplicaNodes {
+		scfg.Replicas = append(scfg.Replicas, rn.Addr())
+	}
+	sender, err := core.NewSender(scfg)
+	if err != nil {
+		return nil, err
+	}
+	tb.Sender = sender
+	tb.SenderNode = srcSite.NewHost("sender", sender)
+
+	for i := 0; i < cfg.Sites; i++ {
+		site := tb.Net.NewSite(netsim.SiteParams{
+			Name:      fmt.Sprintf("site%d", i+1),
+			TailDelay: cfg.TailDelay,
+			TailRate:  cfg.TailRate,
+		})
+		ts := &TestbedSite{Site: site}
+		var secAddr transport.Addr
+		if !cfg.NoSecondaries {
+			secCfg := cfg.Secondary
+			secCfg.Group = cfg.Group
+			secCfg.Primary = tb.PrimaryNode.Addr()
+			ts.Secondary = logger.NewSecondary(secCfg)
+			ts.SecondaryNode = site.NewHost(fmt.Sprintf("site%d/logger", i+1), ts.Secondary)
+			secAddr = ts.SecondaryNode.Addr()
+		}
+		for j := 0; j < cfg.ReceiversPerSite; j++ {
+			rCfg := cfg.Receiver
+			rCfg.Group = cfg.Group
+			rCfg.Heartbeat = scfg.Heartbeat
+			rCfg.Primary = tb.PrimaryNode.Addr()
+			if secAddr != nil && !rCfg.Discover {
+				rCfg.Secondary = secAddr
+			}
+			if cfg.ConfigureReceiver != nil {
+				cfg.ConfigureReceiver(i, j, &rCfg)
+			}
+			userOnData := rCfg.OnData
+			rCfg.OnData = func(e Event) {
+				tb.Delivered[e.Seq]++
+				if userOnData != nil {
+					userOnData(e)
+				}
+			}
+			rcv := core.NewReceiver(rCfg)
+			node := site.NewHost(fmt.Sprintf("site%d/rcv%d", i+1, j), rcv)
+			ts.Receivers = append(ts.Receivers, rcv)
+			ts.ReceiverNodes = append(ts.ReceiverNodes, node)
+		}
+		tb.Sites = append(tb.Sites, ts)
+	}
+
+	tb.Net.Start()
+	return tb, nil
+}
+
+// Run advances virtual time by d.
+func (tb *Testbed) Run(d time.Duration) { tb.Net.RunFor(d) }
+
+// RunUntilIdle drains all pending events. Caution: a live sender's
+// heartbeat chain reschedules forever, so this only returns after every
+// sender in the network has been stopped — use Run(d) to advance a
+// deployment with active senders.
+func (tb *Testbed) RunUntilIdle() { tb.Net.RunUntilIdle() }
+
+// Send multicasts one payload from the testbed's source.
+func (tb *Testbed) Send(payload []byte) (uint64, error) { return tb.Sender.Send(payload) }
+
+// StopAll stops every protocol component (sender, loggers, replicas,
+// receivers); afterwards RunUntilIdle terminates.
+func (tb *Testbed) StopAll() {
+	tb.Sender.Stop()
+	tb.Primary.Stop()
+	for _, rep := range tb.Replicas {
+		rep.Stop()
+	}
+	for _, s := range tb.Sites {
+		if s.Secondary != nil {
+			s.Secondary.Stop()
+		}
+		for _, r := range s.Receivers {
+			r.Stop()
+		}
+	}
+}
+
+// TotalReceivers returns the receiver population.
+func (tb *Testbed) TotalReceivers() int {
+	n := 0
+	for _, s := range tb.Sites {
+		n += len(s.Receivers)
+	}
+	return n
+}
+
+// DeliveredCount returns how many receivers have delivered seq.
+func (tb *Testbed) DeliveredCount(seq uint64) int { return tb.Delivered[seq] }
+
+// EveryoneHas reports whether every receiver has delivered seq.
+func (tb *Testbed) EveryoneHas(seq uint64) bool {
+	return tb.Delivered[seq] == tb.TotalReceivers()
+}

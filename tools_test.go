@@ -1,0 +1,80 @@
+package lbrm_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLITools smoke-tests the command-line binaries that can run without
+// a network: the simulator driver, the experiment harness, and the pcap
+// pipeline (capture with lbrm-sim, decode with lbrm-pcap).
+func TestCLITools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs subprocesses")
+	}
+	t.Run("lbrm-sim", func(t *testing.T) {
+		t.Parallel()
+		out, err := exec.Command("go", "run", "./cmd/lbrm-sim",
+			"-sites", "3", "-receivers", "2", "-loss", "0.1", "-duration", "20s").CombinedOutput()
+		if err != nil {
+			t.Fatalf("lbrm-sim: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "fully delivered to all 6 receivers: 20 (100.0%)") {
+			t.Errorf("unexpected sim summary:\n%s", out)
+		}
+	})
+	t.Run("lbrm-bench-list", func(t *testing.T) {
+		t.Parallel()
+		out, err := exec.Command("go", "run", "./cmd/lbrm-bench", "-list").CombinedOutput()
+		if err != nil {
+			t.Fatalf("lbrm-bench -list: %v\n%s", err, out)
+		}
+		for _, id := range []string{"fig4", "table3", "statack", "freshness"} {
+			if !strings.Contains(string(out), id) {
+				t.Errorf("-list missing %s", id)
+			}
+		}
+	})
+	t.Run("lbrm-bench-fig5", func(t *testing.T) {
+		t.Parallel()
+		out, err := exec.Command("go", "run", "./cmd/lbrm-bench", "-exp", "fig5").CombinedOutput()
+		if err != nil {
+			t.Fatalf("lbrm-bench: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "53.2") {
+			t.Errorf("fig5 output missing the 53.2 marked point:\n%s", out)
+		}
+	})
+	t.Run("pcap-pipeline", func(t *testing.T) {
+		t.Parallel()
+		pcap := filepath.Join(t.TempDir(), "run.pcap")
+		out, err := exec.Command("go", "run", "./cmd/lbrm-sim",
+			"-sites", "2", "-receivers", "1", "-loss", "0.2", "-duration", "15s",
+			"-pcap", pcap).CombinedOutput()
+		if err != nil {
+			t.Fatalf("lbrm-sim -pcap: %v\n%s", err, out)
+		}
+		if fi, err := os.Stat(pcap); err != nil || fi.Size() < 100 {
+			t.Fatalf("pcap file missing/empty: %v", err)
+		}
+		out, err = exec.Command("go", "run", "./cmd/lbrm-pcap", pcap).CombinedOutput()
+		if err != nil {
+			t.Fatalf("lbrm-pcap: %v\n%s", err, out)
+		}
+		for _, want := range []string{"DATA", "HEARTBEAT", "packets ("} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("decode output missing %q:\n%s", want, out)
+			}
+		}
+	})
+	t.Run("lbrm-bench-unknown", func(t *testing.T) {
+		t.Parallel()
+		out, err := exec.Command("go", "run", "./cmd/lbrm-bench", "-exp", "nosuch").CombinedOutput()
+		if err == nil {
+			t.Fatalf("unknown experiment accepted:\n%s", out)
+		}
+	})
+}
