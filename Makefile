@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test allocgate bench perf
+
+# check is the pre-commit gate: static checks, the full suite under the
+# race detector, and the datapath allocation gate with a short benchtime
+# pass over every micro-benchmark.
+check: vet build test allocgate
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+allocgate:
+	$(GO) test ./internal/perf/ -run TestDatapathZeroAlloc -count=1
+	$(GO) test ./internal/perf/ -run '^$$' -bench . -benchmem -benchtime 10ms
+
+# bench runs every benchmark in the repo at full benchtime.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# perf re-measures the hot-datapath suite and rewrites BENCH_1.json.
+perf:
+	$(GO) run ./cmd/lbrm-perf

@@ -1,0 +1,81 @@
+// Command lbrm-perf runs the hot-datapath micro-benchmarks (internal/perf)
+// outside `go test` and writes the results as JSON, so the performance
+// trajectory of the datapath is recorded in-repo across changes
+// (BENCH_1.json for this revision; later revisions append _2, _3, ...).
+//
+// Usage:
+//
+//	lbrm-perf              # writes BENCH_1.json
+//	lbrm-perf -o -         # prints JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"lbrm/internal/perf"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Date           string   `json:"date"`
+	GoVersion      string   `json:"go_version"`
+	GOOS           string   `json:"goos"`
+	GOARCH         string   `json:"goarch"`
+	DatapathAllocs float64  `json:"datapath_allocs_per_op"`
+	Benchmarks     []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output file, or - for stdout")
+	flag.Parse()
+
+	rep := report{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		// The allocation gate's exact measurement, not a benchmark
+		// estimate: average allocations per steady-state pipeline step.
+		DatapathAllocs: perf.MeasureDatapathAllocs(5000),
+	}
+	for _, bn := range perf.All() {
+		fmt.Fprintf(os.Stderr, "running %s...\n", bn.Name)
+		r := testing.Benchmark(bn.F)
+		rep.Benchmarks = append(rep.Benchmarks, result{
+			Name:        bn.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbrm-perf:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "lbrm-perf:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

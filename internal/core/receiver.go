@@ -180,6 +180,14 @@ type Receiver struct {
 	channelJoined bool
 	channelTimer  vtime.Timer
 
+	// last is a one-entry stream cache: simulation traffic is dominated by
+	// long runs of packets from the same stream, so most lookups skip the
+	// map. Invalidated implicitly (the cached pointer stays valid until the
+	// stream is deleted, which this receiver never does).
+	last *rcvStream
+	// scratch is the reusable wire-encoding buffer (bindings copy).
+	scratch []byte
+
 	stopped bool
 }
 
@@ -304,6 +312,9 @@ func (r *Receiver) Recv(from transport.Addr, data []byte) {
 }
 
 func (r *Receiver) stream(key StreamKey) *rcvStream {
+	if st := r.last; st != nil && st.key == key {
+		return st
+	}
 	st := r.streams[key]
 	if st == nil {
 		st = &rcvStream{
@@ -317,6 +328,7 @@ func (r *Receiver) stream(key StreamKey) *rcvStream {
 		}
 		r.streams[key] = st
 	}
+	r.last = st
 	return st
 }
 
@@ -582,10 +594,11 @@ func (r *Receiver) requestRetransmission(st *rcvStream) {
 		Type: wire.TypeNack, Source: st.key.Source, Group: st.key.Group,
 		Ranges: miss,
 	}
-	buf, err := nack.Marshal()
+	buf, err := nack.AppendMarshal(r.scratch[:0])
 	if err != nil {
 		return
 	}
+	r.scratch = buf
 	_ = r.env.Send(target, buf)
 	r.stats.NacksSent++
 	if st.phase == phaseSecondary {
@@ -644,7 +657,8 @@ func (r *Receiver) escalate(st *rcvStream, miss []wire.SeqRange) {
 			q := wire.Packet{
 				Type: wire.TypePrimaryQuery, Source: st.key.Source, Group: st.key.Group,
 			}
-			if buf, err := q.Marshal(); err == nil {
+			if buf, err := q.AppendMarshal(r.scratch[:0]); err == nil {
+				r.scratch = buf
 				_ = r.env.Send(st.source, buf)
 				r.stats.PrimaryQueries++
 			}
@@ -716,13 +730,15 @@ func (r *Receiver) touch(st *rcvStream, p *wire.Packet) {
 			r.cfg.OnFresh(st.key)
 		}
 	}
-	if st.staleTimer != nil {
-		st.staleTimer.Stop()
-	}
 	interval := r.expectedNext(p)
 	wait := time.Duration(float64(interval)*r.cfg.StaleFactor) + r.cfg.StaleSlack
+	// One timer per stream, Reset per packet: this path runs for every
+	// delivered data packet, so it must not allocate a fresh timer+closure.
+	if st.staleTimer != nil {
+		st.staleTimer.Reset(wait)
+		return
+	}
 	st.staleTimer = r.after(wait, func() {
-		st.staleTimer = nil
 		st.stale = true
 		r.stats.StaleEpisodes++
 		if r.cfg.OnStale != nil {
@@ -762,10 +778,11 @@ func (r *Receiver) discoverLogger(ttl int) {
 	r.discovering = true
 	r.discoveryTTL = ttl
 	q := wire.Packet{Type: wire.TypeDiscoveryQuery, Group: r.cfg.Group}
-	buf, err := q.Marshal()
+	buf, err := q.AppendMarshal(r.scratch[:0])
 	if err != nil {
 		return
 	}
+	r.scratch = buf
 	_ = r.env.Multicast(r.cfg.Group, ttl, buf)
 	r.stats.DiscoveryQueries++
 	r.after(r.cfg.DiscoveryTimeout, func() {

@@ -481,9 +481,13 @@ func (s *Sender) Recv(from transport.Addr, data []byte) {
 
 // --- heartbeats ---
 
+// armHeartbeat (re)schedules the next heartbeat. The timer handle is
+// allocated once and Reset thereafter: this runs after every data packet,
+// so Stop+AfterFunc here would allocate a timer plus closure per send.
 func (s *Sender) armHeartbeat(d time.Duration) {
 	if s.hbTimer != nil {
-		s.hbTimer.Stop()
+		s.hbTimer.Reset(d)
+		return
 	}
 	s.hbTimer = s.after(d, s.fireHeartbeat)
 }
@@ -503,7 +507,7 @@ func (s *Sender) fireHeartbeat() {
 	}
 	s.multicast(&p)
 	s.stats.HeartbeatsSent++
-	s.hbTimer = s.after(next, s.fireHeartbeat)
+	s.hbTimer.Reset(next)
 }
 
 // --- retention & primary ack ---
@@ -582,9 +586,12 @@ func (s *Sender) scheduleChannelReplays(p *wire.Packet) {
 	replay := wire.Packet{
 		Type: wire.TypeRetrans, Flags: wire.FlagRetransmission,
 		Source: p.Source, Group: p.Group, Seq: p.Seq, Epoch: p.Epoch,
-		Payload: append([]byte(nil), p.Payload...),
+		Payload: p.Payload, // marshalled below, before this call returns
 	}
-	buf, err := replay.Marshal()
+	// The encoded buffer outlives this call (the replay timers hold it), so
+	// it cannot use the shared scratch: marshal once into a fresh buffer
+	// instead of copying the payload and then marshalling the copy.
+	buf, err := replay.AppendMarshal(nil)
 	if err != nil {
 		s.stats.SendErrors++
 		return

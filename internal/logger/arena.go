@@ -1,0 +1,96 @@
+package logger
+
+// arena is a per-stream chunked payload allocator. Packet payloads are
+// copied into large append-only chunks instead of one heap allocation per
+// packet; a chunk is recycled onto a free list once every payload in it has
+// been evicted. Because the store evicts oldest-first and the arena fills
+// chunks in arrival order, chunks drain almost in order and the steady
+// state (ring at capacity, every Put evicting one packet) allocates
+// nothing.
+//
+// A span returned by alloc stays valid until its release; the bytes it
+// references are owned by the arena (callers of Store.Get must copy if
+// they retain past the next Put/eviction).
+
+// arenaChunkSize is the payload capacity of one chunk. It comfortably
+// exceeds the maximum packet size, so a payload never spans chunks.
+const arenaChunkSize = 256 << 10
+
+// span references one payload inside the arena. The zero span (chunk 0,
+// n 0) is used for empty payloads and never dereferenced.
+type span struct {
+	chunk int32
+	off   int32
+	n     int32
+}
+
+type arenaChunk struct {
+	buf  []byte
+	live int // payloads referencing this chunk and not yet released
+}
+
+type arena struct {
+	chunks []*arenaChunk
+	active int   // index of the chunk being filled (-1 before first alloc)
+	free   []int // retired chunks ready for reuse
+}
+
+func newArena() arena { return arena{active: -1} }
+
+// alloc copies data into the arena and returns its span.
+func (a *arena) alloc(data []byte) span {
+	if len(data) == 0 {
+		return span{}
+	}
+	if a.active < 0 || arenaChunkSize-len(a.chunks[a.active].buf) < len(data) {
+		a.activate(len(data))
+	}
+	c := a.chunks[a.active]
+	off := len(c.buf)
+	c.buf = append(c.buf, data...)
+	c.live++
+	return span{chunk: int32(a.active), off: int32(off), n: int32(len(data))}
+}
+
+// activate makes a chunk with room for size the active one, reusing a
+// retired chunk when possible.
+func (a *arena) activate(size int) {
+	if a.active >= 0 && a.chunks[a.active].live == 0 {
+		// The outgoing chunk already drained while active: retire it.
+		a.free = append(a.free, a.active)
+	}
+	if n := len(a.free); n > 0 {
+		idx := a.free[n-1]
+		a.free = a.free[:n-1]
+		a.chunks[idx].buf = a.chunks[idx].buf[:0]
+		a.active = idx
+		return
+	}
+	capacity := arenaChunkSize
+	if size > capacity {
+		capacity = size // defensive; payloads are far below chunk size
+	}
+	a.chunks = append(a.chunks, &arenaChunk{buf: make([]byte, 0, capacity)})
+	a.active = len(a.chunks) - 1
+}
+
+// get returns the payload bytes for a span (aliasing arena memory).
+func (a *arena) get(sp span) []byte {
+	if sp.n == 0 {
+		return nil
+	}
+	return a.chunks[sp.chunk].buf[sp.off : sp.off+sp.n : sp.off+sp.n]
+}
+
+// release drops one payload reference; a fully-drained non-active chunk
+// goes back on the free list for reuse.
+func (a *arena) release(sp span) {
+	if sp.n == 0 {
+		return
+	}
+	c := a.chunks[sp.chunk]
+	c.live--
+	if c.live == 0 && int(sp.chunk) != a.active {
+		a.free = append(a.free, int(sp.chunk))
+	}
+}

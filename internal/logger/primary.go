@@ -94,6 +94,8 @@ type Primary struct {
 	stats    PrimaryStats
 	replica  bool
 	stopped  bool
+	// last is a one-entry stream cache (see Secondary.last).
+	last *priStream
 	// scratch is the reusable wire-encoding buffer (bindings copy).
 	scratch []byte
 }
@@ -239,6 +241,9 @@ func (p *Primary) Recv(from transport.Addr, data []byte) {
 }
 
 func (p *Primary) stream(key StreamKey) *priStream {
+	if st := p.last; st != nil && st.key == key {
+		return st
+	}
 	st := p.streams[key]
 	if st == nil {
 		st = &priStream{
@@ -248,6 +253,7 @@ func (p *Primary) stream(key StreamKey) *priStream {
 		}
 		p.streams[key] = st
 	}
+	p.last = st
 	return st
 }
 

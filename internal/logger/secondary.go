@@ -113,9 +113,21 @@ type Secondary struct {
 	env     transport.Env
 	streams map[StreamKey]*secStream
 	stopped bool
+	// last is a one-entry stream cache: traffic arrives in long runs from
+	// the same stream, so most lookups skip the map hash.
+	last *secStream
 	// scratch is the reusable wire-encoding buffer (bindings copy).
 	scratch []byte
-	stats   SecondaryStats
+	// ackPkt is the reusable Designated-Acker ACK: built in place per data
+	// packet so the steady-state ack path performs zero allocations.
+	ackPkt wire.Packet
+	// rangeScratch/seqScratch back missing()'s working slices between
+	// calls; their contents are dead once the NACK is marshalled.
+	rangeScratch []wire.SeqRange
+	seqScratch   []uint64
+	// waiterPool recycles the per-seq waiter maps of pendingReq.
+	waiterPool []map[transport.Addr]bool
+	stats      SecondaryStats
 }
 
 type secStream struct {
@@ -237,6 +249,9 @@ func (s *Secondary) Recv(from transport.Addr, data []byte) {
 }
 
 func (s *Secondary) stream(key StreamKey) *secStream {
+	if st := s.last; st != nil && st.key == key {
+		return st
+	}
 	st := s.streams[key]
 	if st == nil {
 		st = &secStream{
@@ -248,7 +263,24 @@ func (s *Secondary) stream(key StreamKey) *secStream {
 		}
 		s.streams[key] = st
 	}
+	s.last = st
 	return st
+}
+
+// getWaiters takes a waiter map from the pool (or allocates one).
+func (s *Secondary) getWaiters() map[transport.Addr]bool {
+	if n := len(s.waiterPool); n > 0 {
+		m := s.waiterPool[n-1]
+		s.waiterPool = s.waiterPool[:n-1]
+		return m
+	}
+	return make(map[transport.Addr]bool, 1)
+}
+
+// putWaiters returns a waiter map to the pool once its seq is resolved.
+func (s *Secondary) putWaiters(m map[transport.Addr]bool) {
+	clear(m)
+	s.waiterPool = append(s.waiterPool, m)
 }
 
 func (s *Secondary) onData(from transport.Addr, p *wire.Packet) {
@@ -269,11 +301,11 @@ func (s *Secondary) onData(from transport.Addr, p *wire.Packet) {
 		s.stats.PacketsLogged++
 		// Designated Acker duty: acknowledge fresh data of our epoch.
 		if st.isAcker && p.Type == wire.TypeData && p.Epoch == st.ackerEpoch && st.source != nil {
-			ack := wire.Packet{
+			s.ackPkt = wire.Packet{
 				Type: wire.TypeAck, Source: p.Source, Group: p.Group,
 				Seq: p.Seq, Epoch: p.Epoch,
 			}
-			s.send(st.source, &ack)
+			s.send(st.source, &s.ackPkt)
 			s.stats.AcksSent++
 		}
 	}
@@ -281,6 +313,7 @@ func (s *Secondary) onData(from transport.Addr, p *wire.Packet) {
 	if waiters := st.pendingReq[p.Seq]; len(waiters) > 0 {
 		delete(st.pendingReq, p.Seq)
 		s.serveWaiters(st, p.Seq, waiters)
+		s.putWaiters(waiters)
 	}
 	s.checkGaps(st)
 }
@@ -303,6 +336,7 @@ func (s *Secondary) onHeartbeat(from transport.Addr, p *wire.Packet) {
 		if waiters := st.pendingReq[p.Seq]; len(waiters) > 0 {
 			delete(st.pendingReq, p.Seq)
 			s.serveWaiters(st, p.Seq, waiters)
+			s.putWaiters(waiters)
 		}
 	}
 	s.checkGaps(st)
@@ -332,7 +366,7 @@ func (s *Secondary) onNack(from transport.Addr, p *wire.Packet) {
 			}
 			w := st.pendingReq[seq]
 			if w == nil {
-				w = make(map[transport.Addr]bool)
+				w = s.getWaiters()
 				st.pendingReq[seq] = w
 			}
 			w[from] = true
@@ -422,9 +456,10 @@ func (s *Secondary) clampWindow(st *secStream) {
 	if skipTo > st.gaveUpBelow {
 		st.gaveUpBelow = skipTo
 	}
-	for seq := range st.pendingReq {
+	for seq, w := range st.pendingReq {
 		if seq <= skipTo {
 			delete(st.pendingReq, seq)
+			s.putWaiters(w)
 		}
 	}
 	s.stats.SkippedAhead++
@@ -434,7 +469,20 @@ func (s *Secondary) clampWindow(st *secStream) {
 // holes (either sequence gaps or heartbeat-revealed missing packets).
 func (s *Secondary) checkGaps(st *secStream) {
 	s.clampWindow(st)
-	if len(s.missing(st)) == 0 || st.nackTimer != nil || st.retryTimer != nil {
+	if st.nackTimer != nil || st.retryTimer != nil {
+		return
+	}
+	// Fast path for the per-packet steady state: a contiguous log with no
+	// waiting receivers has nothing to fetch, so skip building the range
+	// list (missing sorts and appends) entirely.
+	hi := st.store.Highest()
+	if st.hbHigh > hi {
+		hi = st.hbHigh
+	}
+	if len(st.pendingReq) == 0 && hi <= st.store.Contiguous() {
+		return
+	}
+	if len(s.missing(st)) == 0 {
 		return
 	}
 	st.nackTimer = s.after(s.cfg.NackDelay, func() {
@@ -446,13 +494,15 @@ func (s *Secondary) checkGaps(st *secStream) {
 
 // missing returns what the stream should fetch from the primary: log gaps
 // above the give-up watermark, plus packets local receivers explicitly
-// asked for (including pre-join history below the base watermark).
+// asked for (including pre-join history below the base watermark). The
+// returned slice is backed by the Secondary's scratch storage and is valid
+// only until the next missing call.
 func (s *Secondary) missing(st *secStream) []wire.SeqRange {
 	hi := st.store.Highest()
 	if st.hbHigh > hi {
 		hi = st.hbHigh
 	}
-	var out []wire.SeqRange
+	out := s.rangeScratch[:0]
 	for _, r := range st.store.Missing(hi, wire.MaxNackRanges) {
 		if r.To <= st.gaveUpBelow {
 			continue
@@ -470,25 +520,29 @@ func (s *Secondary) missing(st *secStream) []wire.SeqRange {
 		}
 		return false
 	}
-	extra := make([]uint64, 0, len(st.pendingReq))
+	extra := s.seqScratch[:0]
 	for seq := range st.pendingReq {
 		if st.store.Has(seq) || st.store.Evicted(seq) || covered(seq) {
 			continue
 		}
 		extra = append(extra, seq)
 	}
-	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
-	for _, seq := range extra {
-		if n := len(out); n > 0 && out[n-1].To+1 == seq {
-			out[n-1].To = seq
-			continue
+	s.seqScratch = extra
+	if len(extra) > 0 {
+		sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+		for _, seq := range extra {
+			if n := len(out); n > 0 && out[n-1].To+1 == seq {
+				out[n-1].To = seq
+				continue
+			}
+			out = append(out, wire.SeqRange{From: seq, To: seq})
 		}
-		out = append(out, wire.SeqRange{From: seq, To: seq})
+		sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
 	if len(out) > wire.MaxNackRanges {
 		out = out[:wire.MaxNackRanges]
 	}
+	s.rangeScratch = out
 	return out
 }
 
@@ -531,8 +585,9 @@ func (s *Secondary) abandon(st *secStream, ranges []wire.SeqRange) {
 			hi = r.To
 		}
 		for seq := r.From; seq <= r.To; seq++ {
-			if _, ok := st.pendingReq[seq]; ok {
+			if w, ok := st.pendingReq[seq]; ok {
 				delete(st.pendingReq, seq)
+				s.putWaiters(w)
 			}
 		}
 	}

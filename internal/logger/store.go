@@ -35,20 +35,53 @@ type Retention struct {
 	SpillMaxBytes int64
 }
 
-type entry struct {
-	seq  uint64
-	data []byte
-	at   time.Time
+// Ring sizing. Sequence numbers are dense and monotonically increasing
+// (they start at 1 and the sender allocates them contiguously), so the hot
+// store is a ring indexed by seq&mask. Growth is bounded by a density
+// check: the ring only widens while the live span stays within
+// ringDensityFactor× the live entry count, so a forged far-ahead sequence
+// number lands in the sparse side index instead of ballooning the ring.
+const (
+	minRingSlots      = 64
+	ringDensityFactor = 8
+)
+
+// slot is one ring position. seq 0 marks an empty slot (sequence numbers
+// start at 1).
+type slot struct {
+	seq uint64
+	ref span
+	at  int64 // arrival time, UnixNano (for MaxAge)
+}
+
+// sideEntry is a sparse-index entry: below-base backfill fetched for
+// serving, or an out-of-window outlier that failed the density check.
+type sideEntry struct {
+	ref span
+	at  int64
 }
 
 // Store is the sequence-indexed packet log for one stream. Sequence
-// numbers start at 1. Eviction removes the oldest packets first;
-// contiguity tracking (what has been *seen*) is unaffected by eviction.
+// numbers start at 1. Eviction removes the lowest retained sequence number
+// first; contiguity tracking (what has been *seen*) is unaffected by
+// eviction.
+//
+// Payload bytes returned by Get alias the store's internal arena: they are
+// valid until the next Put or eviction. Callers that retain must copy.
 type Store struct {
-	ret     Retention
-	entries map[uint64]*entry
-	order   []uint64 // insertion order, for eviction
-	bytes   int64
+	ret Retention
+
+	// Hot path: the seq-indexed ring. slots is always a power of two;
+	// entries live in the window [lo, lo+len(slots)). lo only advances.
+	slots []slot
+	lo    uint64
+	count int // live ring entries
+
+	// side holds sparse entries outside the ring window (cold path).
+	side map[uint64]sideEntry
+
+	arena arena
+	bytes int64 // in-memory payload bytes (ring + side)
 
 	// track holds the stream's sequence bookkeeping (contiguity, base
 	// watermark, gaps).
@@ -61,39 +94,121 @@ type Store struct {
 
 // NewStore returns an empty store with the given retention policy.
 func NewStore(ret Retention) *Store {
-	return &Store{
-		ret:     ret,
-		entries: make(map[uint64]*entry),
+	return &Store{ret: ret, arena: newArena()}
+}
+
+// slotFor returns the ring slot holding seq, or nil.
+func (s *Store) slotFor(seq uint64) *slot {
+	if s.slots == nil || seq < s.lo || seq-s.lo >= uint64(len(s.slots)) {
+		return nil
 	}
+	sl := &s.slots[seq&uint64(len(s.slots)-1)]
+	if sl.seq != seq {
+		return nil
+	}
+	return sl
+}
+
+// inMemory reports in-memory presence (ring or side index).
+func (s *Store) inMemory(seq uint64) bool {
+	if s.slotFor(seq) != nil {
+		return true
+	}
+	_, ok := s.side[seq]
+	return ok
 }
 
 // Put logs a packet. It returns false for duplicates (seq already seen) and
-// for seq 0, true otherwise. The payload is copied. Sequence numbers at or
-// below the base watermark are accepted as backfill (stored for serving,
-// without contiguity bookkeeping).
+// for seq 0, true otherwise. The payload is copied into the store's arena.
+// Sequence numbers at or below the base watermark are accepted as backfill
+// (stored for serving, without contiguity bookkeeping).
 func (s *Store) Put(seq uint64, data []byte, now time.Time) bool {
 	if seq == 0 {
 		return false
 	}
-	if seq <= s.track.Base() && s.track.Contacted() {
-		if _, ok := s.entries[seq]; ok {
+	backfill := seq <= s.track.Base() && s.track.Contacted()
+	if backfill {
+		if s.inMemory(seq) {
 			return false
 		}
 	} else if !s.track.Mark(seq) {
 		return false
 	}
-	e := &entry{seq: seq, data: append([]byte(nil), data...), at: now}
-	s.entries[seq] = e
-	s.order = append(s.order, seq)
-	s.bytes += int64(len(e.data))
+	at := now.UnixNano()
+	// Backfill sits below the live window by construction; keep it out of
+	// the ring so it can never re-base the window under the live stream.
+	if !backfill && s.ringPlace(seq) {
+		sl := &s.slots[seq&uint64(len(s.slots)-1)]
+		*sl = slot{seq: seq, ref: s.arena.alloc(data), at: at}
+		s.count++
+	} else {
+		if s.side == nil {
+			s.side = make(map[uint64]sideEntry)
+		}
+		s.side[seq] = sideEntry{ref: s.arena.alloc(data), at: at}
+	}
+	s.bytes += int64(len(data))
 	s.evict(now)
 	return true
 }
 
+// ringPlace makes the ring window cover seq, growing within the density
+// bound. It reports false when seq belongs in the side index instead.
+func (s *Store) ringPlace(seq uint64) bool {
+	if s.slots == nil {
+		s.slots = make([]slot, minRingSlots)
+		s.lo = seq
+		return true
+	}
+	if s.count == 0 {
+		// Empty ring: restart the window wherever the stream is now.
+		s.lo = seq
+		return true
+	}
+	if seq < s.lo {
+		return false
+	}
+	for seq-s.lo >= uint64(len(s.slots)) {
+		span := seq - s.lo + 1
+		// Dense streams grow; sparse outliers go to the side index.
+		if span > uint64(ringDensityFactor)*uint64(s.count+1) &&
+			uint64(len(s.slots)) >= minRingSlots*2 {
+			return false
+		}
+		if s.ret.MaxPackets > 0 && s.count >= s.ret.MaxPackets {
+			// Retention is about to drop the oldest packet anyway: advance
+			// the window instead of growing.
+			s.dropRing(s.ringOldest())
+			continue
+		}
+		s.growRing()
+	}
+	return true
+}
+
+// growRing doubles the ring, re-placing live entries at their new indices.
+func (s *Store) growRing() {
+	old := s.slots
+	oldMask := uint64(len(old) - 1)
+	s.slots = make([]slot, len(old)*2)
+	mask := uint64(len(s.slots) - 1)
+	for seq := s.lo; seq < s.lo+uint64(len(old)); seq++ {
+		sl := old[seq&oldMask]
+		if sl.seq == seq {
+			s.slots[seq&mask] = sl
+		}
+	}
+}
+
 // Get returns the stored payload for seq, from memory or the disk spill.
+// The returned bytes alias the store's arena (valid until the next Put or
+// eviction); spilled payloads are freshly read from disk.
 func (s *Store) Get(seq uint64) ([]byte, bool) {
-	if e, ok := s.entries[seq]; ok {
-		return e.data, true
+	if sl := s.slotFor(seq); sl != nil {
+		return s.arena.get(sl.ref), true
+	}
+	if e, ok := s.side[seq]; ok {
+		return s.arena.get(e.ref), true
 	}
 	if s.spill != nil {
 		return s.spill.get(seq)
@@ -104,7 +219,7 @@ func (s *Store) Get(seq uint64) ([]byte, bool) {
 // Has reports whether the payload for seq is servable (in memory or on
 // disk).
 func (s *Store) Has(seq uint64) bool {
-	if _, ok := s.entries[seq]; ok {
+	if s.inMemory(seq) {
 		return true
 	}
 	return s.spill != nil && s.spill.has(seq)
@@ -112,10 +227,7 @@ func (s *Store) Has(seq uint64) bool {
 
 // InMemory reports whether seq's payload is held in memory (false for
 // spilled or absent packets).
-func (s *Store) InMemory(seq uint64) bool {
-	_, ok := s.entries[seq]
-	return ok
-}
+func (s *Store) InMemory(seq uint64) bool { return s.inMemory(seq) }
 
 // SpillErrors returns the number of packets lost to spill-file failures.
 func (s *Store) SpillErrors() int { return s.spillErrs }
@@ -154,7 +266,7 @@ func (s *Store) Base() uint64 { return s.track.Base() }
 func (s *Store) Advance(seq uint64) { s.track.Advance(seq) }
 
 // Len returns the number of stored packets.
-func (s *Store) Len() int { return len(s.entries) }
+func (s *Store) Len() int { return s.count + len(s.side) }
 
 // Bytes returns the stored payload bytes.
 func (s *Store) Bytes() int64 { return s.bytes }
@@ -178,7 +290,7 @@ func (s *Store) EvictExpired(now time.Time) { s.evictAge(now) }
 
 func (s *Store) evict(now time.Time) {
 	s.evictAge(now)
-	for (s.ret.MaxPackets > 0 && len(s.entries) > s.ret.MaxPackets) ||
+	for (s.ret.MaxPackets > 0 && s.Len() > s.ret.MaxPackets) ||
 		(s.ret.MaxBytes > 0 && s.bytes > s.ret.MaxBytes) {
 		if !s.evictOldest() {
 			return
@@ -186,41 +298,104 @@ func (s *Store) evict(now time.Time) {
 	}
 }
 
+// evictAge walks retained packets from the lowest sequence number and
+// evicts while they are expired, stopping at the first fresh one. A
+// backfilled old sequence number with a recent arrival time therefore
+// shields higher (older-by-arrival) packets until it is reached — same
+// best-effort property the previous insertion-ordered store had.
 func (s *Store) evictAge(now time.Time) {
 	if s.ret.MaxAge <= 0 {
 		return
 	}
-	cutoff := now.Add(-s.ret.MaxAge)
-	for len(s.order) > 0 {
-		seq := s.order[0]
-		e, ok := s.entries[seq]
-		if ok && e.at.After(cutoff) {
+	cutoff := now.Add(-s.ret.MaxAge).UnixNano()
+	for len(s.side) > 0 {
+		seq, e, ok := s.sideOldest()
+		if !ok || e.at > cutoff {
+			break
+		}
+		s.dropSide(seq, e)
+	}
+	for s.count > 0 {
+		sl := s.ringOldest()
+		if sl.at > cutoff {
 			return
 		}
-		if !ok { // already evicted by size pressure
-			s.order = s.order[1:]
-			continue
-		}
-		s.evictOldest()
+		s.dropRing(sl)
 	}
 }
 
-func (s *Store) evictOldest() bool {
-	for len(s.order) > 0 {
-		seq := s.order[0]
-		s.order = s.order[1:]
-		if e, ok := s.entries[seq]; ok {
-			s.spillOut(e)
-			s.bytes -= int64(len(e.data))
-			delete(s.entries, seq)
-			return true
+// ringOldest returns the lowest-seq live ring slot, advancing lo past
+// empty positions (amortized O(1): each position is skipped once per
+// window pass).
+func (s *Store) ringOldest() *slot {
+	mask := uint64(len(s.slots) - 1)
+	for {
+		sl := &s.slots[s.lo&mask]
+		if sl.seq == s.lo {
+			return sl
 		}
+		s.lo++
+	}
+}
+
+// sideOldest returns the lowest-seq side entry (cold path: linear scan of
+// the sparse index).
+func (s *Store) sideOldest() (uint64, sideEntry, bool) {
+	if len(s.side) == 0 {
+		return 0, sideEntry{}, false
+	}
+	var (
+		minSeq uint64
+		best   sideEntry
+		found  bool
+	)
+	for seq, e := range s.side {
+		if !found || seq < minSeq {
+			minSeq, best, found = seq, e, true
+		}
+	}
+	return minSeq, best, found
+}
+
+// evictOldest drops the lowest retained sequence number (side entries sit
+// below the ring window by construction, except out-of-window outliers).
+func (s *Store) evictOldest() bool {
+	sideSeq, sideE, haveSide := s.sideOldest()
+	if haveSide && (s.count == 0 || sideSeq < s.lo) {
+		s.dropSide(sideSeq, sideE)
+		return true
+	}
+	if s.count > 0 {
+		s.dropRing(s.ringOldest())
+		return true
+	}
+	if haveSide {
+		s.dropSide(sideSeq, sideE)
+		return true
 	}
 	return false
 }
 
-// spillOut moves one evicted entry to the disk spill file when enabled.
-func (s *Store) spillOut(e *entry) {
+// dropRing evicts one ring slot (spilling first when enabled).
+func (s *Store) dropRing(sl *slot) {
+	s.spillOut(sl.seq, s.arena.get(sl.ref))
+	s.bytes -= int64(sl.ref.n)
+	s.arena.release(sl.ref)
+	*sl = slot{}
+	s.count--
+	s.lo++
+}
+
+// dropSide evicts one side entry (spilling first when enabled).
+func (s *Store) dropSide(seq uint64, e sideEntry) {
+	s.spillOut(seq, s.arena.get(e.ref))
+	s.bytes -= int64(e.ref.n)
+	s.arena.release(e.ref)
+	delete(s.side, seq)
+}
+
+// spillOut moves one evicted payload to the disk spill file when enabled.
+func (s *Store) spillOut(seq uint64, data []byte) {
 	if !s.ret.SpillToDisk {
 		return
 	}
@@ -232,7 +407,7 @@ func (s *Store) spillOut(e *entry) {
 		}
 		s.spill = sp
 	}
-	if err := s.spill.put(e.seq, e.data); err != nil {
+	if err := s.spill.put(seq, data); err != nil {
 		s.spillErrs++
 	}
 }

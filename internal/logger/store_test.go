@@ -315,3 +315,284 @@ func TestStoreSpillNoLossProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- ring-buffer refactor: semantics preserved (table-driven) ---
+
+// TestStoreDuplicateRejection tables the duplicate-rejection rules across
+// the live window, the base watermark, and eviction.
+func TestStoreDuplicateRejection(t *testing.T) {
+	cases := []struct {
+		name  string
+		setup func(s *Store)
+		seq   uint64
+		want  bool
+	}{
+		{"fresh seq", func(s *Store) {}, 1, true},
+		{"zero seq", func(s *Store) {}, 0, false},
+		{"exact duplicate", func(s *Store) { s.Put(1, []byte("a"), tBase) }, 1, false},
+		{"evicted stays rejected", func(s *Store) {
+			// MaxPackets 1 → seq 1 evicted by seq 2, but still *seen*.
+			for seq := uint64(1); seq <= 2; seq++ {
+				s.Put(seq, []byte("x"), tBase)
+			}
+		}, 1, false},
+		{"below base accepted as backfill", func(s *Store) { s.SetBase(10) }, 5, true},
+		{"above base accepted", func(s *Store) { s.SetBase(10) }, 11, true},
+		{"gap fill accepted", func(s *Store) {
+			s.Put(1, nil, tBase)
+			s.Put(3, nil, tBase)
+		}, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewStore(Retention{MaxPackets: 1})
+			defer s.Close()
+			tc.setup(s)
+			if got := s.Put(tc.seq, []byte("p"), tBase.Add(time.Second)); got != tc.want {
+				t.Fatalf("Put(%d) = %v, want %v", tc.seq, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestStoreBelowBaseBackfill exercises the sparse side index: a late
+// joiner skips history with SetBase, then explicitly fetched pre-join
+// packets are stored for serving without contiguity bookkeeping.
+func TestStoreBelowBaseBackfill(t *testing.T) {
+	s := NewStore(Retention{})
+	defer s.Close()
+	s.SetBase(100)
+	for seq := uint64(101); seq <= 110; seq++ {
+		if !s.Put(seq, []byte{byte(seq)}, tBase) {
+			t.Fatalf("live Put(%d) rejected", seq)
+		}
+	}
+	// Backfill below the base: accepted, servable, repeat rejected.
+	if !s.Put(50, []byte("old"), tBase) {
+		t.Fatal("backfill Put(50) rejected")
+	}
+	if s.Put(50, []byte("dup"), tBase) {
+		t.Fatal("duplicate backfill accepted")
+	}
+	got, ok := s.Get(50)
+	if !ok || string(got) != "old" {
+		t.Fatalf("Get(50) = %q,%v", got, ok)
+	}
+	if !s.InMemory(50) {
+		t.Fatal("backfill not in memory")
+	}
+	// Contiguity bookkeeping is unaffected by backfill.
+	if s.Contiguous() != 110 {
+		t.Fatalf("Contiguous = %d, want 110", s.Contiguous())
+	}
+	if len(s.Missing(0, 0)) != 0 {
+		t.Fatal("backfill created phantom gaps")
+	}
+	// The live ring keeps working after backfill.
+	if !s.Put(111, []byte("live"), tBase) {
+		t.Fatal("live Put(111) rejected after backfill")
+	}
+	if got, ok := s.Get(111); !ok || string(got) != "live" {
+		t.Fatalf("Get(111) = %q,%v", got, ok)
+	}
+	if s.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", s.Len())
+	}
+}
+
+// TestStoreEvictionOrder verifies lowest-sequence-first eviction across
+// ring and side entries, including out-of-order arrival.
+func TestStoreEvictionOrder(t *testing.T) {
+	t.Run("in-order", func(t *testing.T) {
+		s := NewStore(Retention{MaxPackets: 2})
+		defer s.Close()
+		for seq := uint64(1); seq <= 5; seq++ {
+			s.Put(seq, []byte{byte(seq)}, tBase)
+		}
+		for seq := uint64(1); seq <= 3; seq++ {
+			if s.Has(seq) {
+				t.Fatalf("seq %d not evicted", seq)
+			}
+		}
+		for seq := uint64(4); seq <= 5; seq++ {
+			if !s.Has(seq) {
+				t.Fatalf("seq %d evicted out of order", seq)
+			}
+		}
+	})
+	t.Run("out-of-order arrival", func(t *testing.T) {
+		s := NewStore(Retention{MaxPackets: 3})
+		defer s.Close()
+		for _, seq := range []uint64{5, 2, 8, 3} {
+			s.Put(seq, []byte{byte(seq)}, tBase)
+		}
+		// Lowest seq (2) evicted first regardless of arrival order.
+		if s.Has(2) {
+			t.Fatal("seq 2 (lowest) not evicted")
+		}
+		for _, seq := range []uint64{3, 5, 8} {
+			if !s.Has(seq) {
+				t.Fatalf("seq %d evicted, want lowest-first", seq)
+			}
+		}
+	})
+	t.Run("backfill evicted before live window", func(t *testing.T) {
+		s := NewStore(Retention{})
+		defer s.Close()
+		s.SetBase(100)
+		s.Put(101, []byte("live"), tBase)
+		s.Put(50, []byte("old"), tBase) // side entry, below base
+		// Shrink: re-fetch policy caps at 1 packet → next Put evicts the
+		// lowest retained seq, which is the backfill.
+		s2 := NewStore(Retention{MaxPackets: 2})
+		defer s2.Close()
+		s2.SetBase(100)
+		s2.Put(101, []byte("live"), tBase)
+		s2.Put(50, []byte("old"), tBase)
+		s2.Put(102, []byte("live2"), tBase)
+		if s2.Has(50) {
+			t.Fatal("backfill (lowest seq) should evict first")
+		}
+		if !s2.Has(101) || !s2.Has(102) {
+			t.Fatal("live window evicted before backfill")
+		}
+	})
+}
+
+// TestStoreMaxAgeWithSpill verifies MaxAge expiry interacting with
+// spill-to-disk: expired packets leave memory but stay servable from disk.
+func TestStoreMaxAgeWithSpill(t *testing.T) {
+	s := NewStore(Retention{
+		MaxAge: time.Minute, SpillToDisk: true, SpillDir: t.TempDir(),
+	})
+	defer s.Close()
+	s.Put(1, []byte("ancient"), tBase)
+	s.Put(2, []byte("recent"), tBase.Add(55*time.Second))
+	s.EvictExpired(tBase.Add(70 * time.Second))
+	if s.InMemory(1) {
+		t.Fatal("expired packet still in memory")
+	}
+	if !s.InMemory(2) {
+		t.Fatal("fresh packet expired")
+	}
+	// Expired-but-spilled packets remain servable and are not "evicted".
+	got, ok := s.Get(1)
+	if !ok || string(got) != "ancient" {
+		t.Fatalf("Get(1) from spill = %q,%v", got, ok)
+	}
+	if s.Evicted(1) {
+		t.Fatal("spilled packet reads as evicted")
+	}
+	// MaxAge is also enforced on Put, spilling as it expires.
+	s.Put(3, []byte("new"), tBase.Add(3*time.Minute))
+	if s.InMemory(2) {
+		t.Fatal("expired packet kept in memory after Put")
+	}
+	if got, ok := s.Get(2); !ok || string(got) != "recent" {
+		t.Fatalf("Get(2) from spill = %q,%v", got, ok)
+	}
+	if s.SpillErrors() != 0 {
+		t.Fatalf("spill errors: %d", s.SpillErrors())
+	}
+}
+
+// TestStoreRingOutOfOrderWindow exercises gaps inside the ring window:
+// out-of-order arrival within the dense window must not send packets to
+// the side index or lose them.
+func TestStoreRingOutOfOrderWindow(t *testing.T) {
+	s := NewStore(Retention{})
+	defer s.Close()
+	// Arrive 1..200 with a stride permutation (gaps open and close).
+	for _, off := range []uint64{0, 3, 1, 2} {
+		for seq := uint64(1) + off; seq <= 200; seq += 4 {
+			s.Put(seq, []byte{byte(seq)}, tBase)
+		}
+	}
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", s.Len())
+	}
+	if s.Contiguous() != 200 {
+		t.Fatalf("Contiguous = %d, want 200", s.Contiguous())
+	}
+	for seq := uint64(1); seq <= 200; seq++ {
+		got, ok := s.Get(seq)
+		if !ok || len(got) != 1 || got[0] != byte(seq) {
+			t.Fatalf("Get(%d) = %v,%v", seq, got, ok)
+		}
+	}
+}
+
+// TestStoreSparseOutlierSide verifies a forged far-ahead sequence number
+// cannot balloon the ring: it lands in the sparse side index, stays
+// servable, and the dense stream continues unharmed.
+func TestStoreSparseOutlierSide(t *testing.T) {
+	s := NewStore(Retention{})
+	defer s.Close()
+	for seq := uint64(1); seq <= 100; seq++ {
+		s.Put(seq, []byte{byte(seq)}, tBase)
+	}
+	forged := uint64(1 << 40)
+	if !s.Put(forged, []byte("forged"), tBase) {
+		t.Fatal("outlier rejected")
+	}
+	if got, ok := s.Get(forged); !ok || string(got) != "forged" {
+		t.Fatalf("Get(outlier) = %q,%v", got, ok)
+	}
+	// The dense stream continues to work.
+	for seq := uint64(101); seq <= 300; seq++ {
+		if !s.Put(seq, []byte{byte(seq)}, tBase) {
+			t.Fatalf("live Put(%d) rejected after outlier", seq)
+		}
+	}
+	for seq := uint64(1); seq <= 300; seq++ {
+		if !s.Has(seq) {
+			t.Fatalf("Has(%d) = false", seq)
+		}
+	}
+}
+
+// TestStoreWindowRestartAfterDrain: when everything is evicted the window
+// re-bases wherever the stream is now (e.g. after a long idle + MaxAge).
+func TestStoreWindowRestartAfterDrain(t *testing.T) {
+	s := NewStore(Retention{MaxAge: time.Minute})
+	defer s.Close()
+	for seq := uint64(1); seq <= 10; seq++ {
+		s.Put(seq, []byte{byte(seq)}, tBase)
+	}
+	s.EvictExpired(tBase.Add(time.Hour))
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after full expiry, want 0", s.Len())
+	}
+	// Stream resumes far ahead: ring must restart, not treat it as sparse.
+	for seq := uint64(100000); seq <= 100100; seq++ {
+		if !s.Put(seq, []byte("r"), tBase.Add(2*time.Hour)) {
+			t.Fatalf("Put(%d) rejected after restart", seq)
+		}
+	}
+	if s.Len() != 101 {
+		t.Fatalf("Len = %d, want 101", s.Len())
+	}
+	for seq := uint64(100000); seq <= 100100; seq++ {
+		if !s.InMemory(seq) {
+			t.Fatalf("InMemory(%d) = false after restart", seq)
+		}
+	}
+}
+
+// TestStoreGetValidUntilNextPut documents the arena aliasing contract:
+// bytes returned by Get are stable until the next Put or eviction.
+func TestStoreGetValidUntilNextPut(t *testing.T) {
+	s := NewStore(Retention{})
+	defer s.Close()
+	s.Put(1, []byte("first"), tBase)
+	got, _ := s.Get(1)
+	snapshot := string(got) // copy, per the contract
+	s.Put(2, []byte("second"), tBase)
+	if snapshot != "first" {
+		t.Fatal("copied payload changed")
+	}
+	// The original seq is still served correctly after more Puts.
+	if got, ok := s.Get(1); !ok || string(got) != "first" {
+		t.Fatalf("Get(1) = %q,%v", got, ok)
+	}
+}

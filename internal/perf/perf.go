@@ -1,0 +1,34 @@
+// Package perf holds the per-stage micro-benchmarks for the LBRM hot
+// datapath: log store put/get/evict, the zero-allocation secondary-logger
+// pipeline (data → log → ack), real-UDP loopback, and an end-to-end
+// recovery episode. The benchmark bodies live in the package proper (not
+// _test files) so cmd/lbrm-perf can run them with testing.Benchmark and
+// record the trajectory in BENCH_1.json; thin Benchmark* wrappers in
+// perf_test.go expose them to `go test -bench`.
+//
+// The allocation contract these benchmarks enforce is documented in
+// DESIGN.md ("Datapath allocation contract"): TestDatapathZeroAlloc fails
+// the build if the steady-state logger path allocates at all.
+package perf
+
+import "testing"
+
+// Bench names one benchmark for the runner.
+type Bench struct {
+	Name string
+	F    func(*testing.B)
+}
+
+// All lists every micro-benchmark in reporting order.
+func All() []Bench {
+	return []Bench{
+		{"StorePut", StorePut},
+		{"StorePutUnbounded", StorePutUnbounded},
+		{"StoreGet", StoreGet},
+		{"StoreEvictByBytes", StoreEvictByBytes},
+		{"StoreMissingSteady", StoreMissingSteady},
+		{"DatapathAllocs", DatapathAllocs},
+		{"RecoveryRTT", RecoveryRTT},
+		{"UDPLoopback", UDPLoopback},
+	}
+}

@@ -1,0 +1,22 @@
+package perf
+
+import "testing"
+
+// TestDatapathZeroAlloc is the allocation gate: the steady-state
+// data→log→ack pipeline of a secondary logger must not allocate. Any
+// regression — a timer re-wrap, a map that stopped being pooled, an
+// escape-analysis break — fails this test, not just a benchmark report.
+func TestDatapathZeroAlloc(t *testing.T) {
+	if allocs := MeasureDatapathAllocs(5000); allocs != 0 {
+		t.Fatalf("steady-state datapath allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkStorePut(b *testing.B)           { StorePut(b) }
+func BenchmarkStorePutUnbounded(b *testing.B)  { StorePutUnbounded(b) }
+func BenchmarkStoreGet(b *testing.B)           { StoreGet(b) }
+func BenchmarkStoreEvictByBytes(b *testing.B)  { StoreEvictByBytes(b) }
+func BenchmarkStoreMissingSteady(b *testing.B) { StoreMissingSteady(b) }
+func BenchmarkDatapathAllocs(b *testing.B)     { DatapathAllocs(b) }
+func BenchmarkRecoveryRTT(b *testing.B)        { RecoveryRTT(b) }
+func BenchmarkUDPLoopback(b *testing.B)        { UDPLoopback(b) }

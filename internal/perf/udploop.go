@@ -1,0 +1,66 @@
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/udp"
+)
+
+// envGrab is a handler that only captures its Env for external sends.
+type envGrab struct{ env transport.Env }
+
+func (g *envGrab) Start(env transport.Env)            { g.env = env }
+func (g *envGrab) Recv(from transport.Addr, d []byte) {}
+
+// UDPLoopback measures one unicast datagram through the real UDP binding
+// on the loopback interface: marshal-free send on one node, kernel
+// round-trip, receive dispatch (address interning, handler serialization)
+// on the other. Ping-pong with one packet in flight so socket buffers
+// never overflow.
+func UDPLoopback(b *testing.B) {
+	got := make(chan struct{}, 1)
+	sink := transport.NewHandlerFunc(func(env transport.Env, from transport.Addr, data []byte) {
+		got <- struct{}{}
+	})
+	nr, err := udp.Start(udp.Config{Listen: "127.0.0.1:0"}, sink)
+	if err != nil {
+		b.Skipf("udp unavailable: %v", err)
+	}
+	defer nr.Close()
+
+	sender := &envGrab{}
+	ns, err := udp.Start(udp.Config{Listen: "127.0.0.1:0"}, sender)
+	if err != nil {
+		b.Skipf("udp unavailable: %v", err)
+	}
+	defer ns.Close()
+
+	dst := nr.Addr()
+	payload := make([]byte, 256)
+	send := func() {
+		ns.Do(func() {
+			if err := sender.env.Send(dst, payload); err != nil {
+				b.Error(err)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
+		select {
+		case <-got:
+		case <-time.After(500 * time.Millisecond):
+			// Loopback UDP very rarely drops; allow one retry before
+			// declaring failure so the benchmark isn't flaky.
+			send()
+			select {
+			case <-got:
+			case <-time.After(2 * time.Second):
+				b.Fatal("datagram lost on loopback")
+			}
+		}
+	}
+}

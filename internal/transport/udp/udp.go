@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
 	"syscall"
 	"time"
@@ -68,6 +69,14 @@ type Node struct {
 	closed  bool
 	wg      sync.WaitGroup
 	lastTTL int
+
+	// Datapath caches (all guarded by mu; see DESIGN.md "Datapath
+	// allocation contract"). Peer membership is small and stable in a
+	// simulation exercise, so these grow to the peer set and stay there.
+	peerAddrs  map[string]*net.UDPAddr       // unicast destinations, by HostPort
+	groupAddrs map[wire.GroupID]*net.UDPAddr // resolved once at Start
+	fromCache  map[netip.AddrPort]Addr       // interned datagram sources
+	bufPool    sync.Pool                     // *[]byte receive buffers
 }
 
 // Start binds sockets and runs the handler. Close releases everything.
@@ -87,11 +96,26 @@ func Start(cfg Config, h transport.Handler) (*Node, error) {
 		return nil, fmt.Errorf("udp: listen: %w", err)
 	}
 	n := &Node{
-		cfg:     cfg,
-		handler: h,
-		ucast:   uc,
-		groups:  make(map[wire.GroupID]*net.UDPConn),
-		lastTTL: -1,
+		cfg:        cfg,
+		handler:    h,
+		ucast:      uc,
+		groups:     make(map[wire.GroupID]*net.UDPConn),
+		lastTTL:    -1,
+		peerAddrs:  make(map[string]*net.UDPAddr),
+		groupAddrs: make(map[wire.GroupID]*net.UDPAddr, len(cfg.Groups)),
+		fromCache:  make(map[netip.AddrPort]Addr),
+	}
+	n.bufPool.New = func() any {
+		b := make([]byte, cfg.ReadBuffer)
+		return &b
+	}
+	for g, spec := range cfg.Groups {
+		ga, err := net.ResolveUDPAddr("udp4", spec)
+		if err != nil {
+			uc.Close()
+			return nil, fmt.Errorf("udp: resolve group %d %q: %w", g, spec, err)
+		}
+		n.groupAddrs[g] = ga
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -106,10 +130,15 @@ func Start(cfg Config, h transport.Handler) (*Node, error) {
 		}
 		n.iface = ifc
 	}
-	n.readLoop(uc)
+	// The handler must observe Start before any Recv: run it (and any
+	// group joins it performs) under the node mutex, and only then launch
+	// the unicast read loop. Group read loops spawned by Join during
+	// Start block on the mutex until Start returns, so they cannot
+	// deliver early either.
 	n.mu.Lock()
 	h.Start((*env)(n))
 	n.mu.Unlock()
+	n.readLoop(uc)
 	return n, nil
 }
 
@@ -152,24 +181,42 @@ func (n *Node) Close() error {
 	return err
 }
 
-// readLoop pumps datagrams from one socket into the handler.
+// readLoop pumps datagrams from one socket into the handler. The receive
+// buffer comes from the node pool (returned when the socket closes, so
+// Join/Leave churn reuses buffers), and source addresses are interned: the
+// string form is computed once per peer, not once per datagram.
 func (n *Node) readLoop(conn *net.UDPConn) {
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
-		buf := make([]byte, n.cfg.ReadBuffer)
+		bp := n.bufPool.Get().(*[]byte)
+		defer n.bufPool.Put(bp)
+		buf := *bp
 		for {
-			sz, from, err := conn.ReadFromUDP(buf)
+			sz, from, err := conn.ReadFromUDPAddrPort(buf)
 			if err != nil {
 				return // socket closed
 			}
 			n.mu.Lock()
 			if !n.closed {
-				n.handler.Recv(Addr{HostPort: from.String()}, buf[:sz])
+				n.handler.Recv(n.internFrom(from), buf[:sz])
 			}
 			n.mu.Unlock()
 		}
 	}()
+}
+
+// internFrom returns the cached Addr for a datagram source (mu held).
+// Addresses are unmapped first so a 4-in-6 form of the same peer does not
+// produce a distinct string from its IPv4 form.
+func (n *Node) internFrom(from netip.AddrPort) Addr {
+	from = netip.AddrPortFrom(from.Addr().Unmap(), from.Port())
+	if a, ok := n.fromCache[from]; ok {
+		return a
+	}
+	a := Addr{HostPort: from.String()}
+	n.fromCache[from] = a
+	return a
 }
 
 // env adapts Node to transport.Env (always called under n.mu).
@@ -179,18 +226,41 @@ func (e *env) node() *Node { return (*Node)(e) }
 
 func (e *env) Now() time.Time { return time.Now() }
 
-func (e *env) AfterFunc(d time.Duration, fn func()) vtime.Timer {
-	n := e.node()
+// guardedTimer wraps a real timer so the callback runs under the node
+// mutex and is suppressed after Close. The wrapper and its guard closure
+// are allocated once per timer; Reset re-arms the underlying timer without
+// re-wrapping, so hot reschedule paths (heartbeat rearm, staleness touch)
+// do not allocate per packet.
+type guardedTimer struct {
+	n  *Node
+	fn func()
+	t  vtime.Timer
+}
+
+func (g *guardedTimer) run() {
+	g.n.mu.Lock()
+	defer g.n.mu.Unlock()
+	if !g.n.closed {
+		g.fn()
+	}
+}
+
+func (g *guardedTimer) Stop() bool { return g.t.Stop() }
+
+func (g *guardedTimer) Reset(d time.Duration) bool {
 	if d < 0 {
 		d = 0
 	}
-	return vtime.Real{}.AfterFunc(d, func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		if !n.closed {
-			fn()
-		}
-	})
+	return g.t.Reset(d)
+}
+
+func (e *env) AfterFunc(d time.Duration, fn func()) vtime.Timer {
+	if d < 0 {
+		d = 0
+	}
+	g := &guardedTimer{n: e.node(), fn: fn}
+	g.t = vtime.Real{}.AfterFunc(d, g.run)
+	return g
 }
 
 func (e *env) Send(to transport.Addr, data []byte) error {
@@ -198,28 +268,30 @@ func (e *env) Send(to transport.Addr, data []byte) error {
 	if !ok {
 		return fmt.Errorf("udp: foreign address %v (%s)", to, to.Network())
 	}
-	dst, err := net.ResolveUDPAddr("udp4", ua.HostPort)
-	if err != nil {
-		return fmt.Errorf("udp: resolve %q: %w", ua.HostPort, err)
+	n := e.node()
+	dst, ok := n.peerAddrs[ua.HostPort]
+	if !ok {
+		var err error
+		dst, err = net.ResolveUDPAddr("udp4", ua.HostPort)
+		if err != nil {
+			return fmt.Errorf("udp: resolve %q: %w", ua.HostPort, err)
+		}
+		n.peerAddrs[ua.HostPort] = dst
 	}
-	_, err = e.node().ucast.WriteToUDP(data, dst)
+	_, err := n.ucast.WriteToUDP(data, dst)
 	return err
 }
 
 func (e *env) Multicast(g wire.GroupID, ttl int, data []byte) error {
 	n := e.node()
-	spec, ok := n.cfg.Groups[g]
+	dst, ok := n.groupAddrs[g]
 	if !ok {
 		return fmt.Errorf("udp: group %d not configured", g)
-	}
-	dst, err := net.ResolveUDPAddr("udp4", spec)
-	if err != nil {
-		return fmt.Errorf("udp: resolve group %q: %w", spec, err)
 	}
 	if err := n.setMulticastTTL(ttl); err != nil {
 		return err
 	}
-	_, err = n.ucast.WriteToUDP(data, dst)
+	_, err := n.ucast.WriteToUDP(data, dst)
 	return err
 }
 
@@ -262,13 +334,9 @@ func (e *env) Join(g wire.GroupID) error {
 	if _, ok := n.groups[g]; ok {
 		return nil
 	}
-	spec, ok := n.cfg.Groups[g]
+	ga, ok := n.groupAddrs[g]
 	if !ok {
 		return fmt.Errorf("udp: group %d not configured", g)
-	}
-	ga, err := net.ResolveUDPAddr("udp4", spec)
-	if err != nil {
-		return fmt.Errorf("udp: resolve group %q: %w", spec, err)
 	}
 	conn, err := net.ListenMulticastUDP("udp4", n.iface, ga)
 	if err != nil {

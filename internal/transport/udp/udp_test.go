@@ -1,6 +1,7 @@
 package udp
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -252,5 +253,132 @@ func TestStartRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := Start(Config{Listen: "127.0.0.1:0", Interface: "definitely-no-such-iface"}, &collector{}); err == nil {
 		t.Fatal("bad interface accepted")
+	}
+}
+
+// startGate records whether handler.Start had completed when each Recv
+// fired. Used to pin down Start/readLoop ordering.
+type startGate struct {
+	mu        sync.Mutex
+	started   bool
+	recvEarly bool
+	recvs     int
+}
+
+func (h *startGate) Start(env transport.Env) {
+	// Linger so a pre-primed sender's datagrams pile up on the socket
+	// while Start is still running.
+	time.Sleep(50 * time.Millisecond)
+	h.mu.Lock()
+	h.started = true
+	h.mu.Unlock()
+}
+
+func (h *startGate) Recv(from transport.Addr, data []byte) {
+	h.mu.Lock()
+	if !h.started {
+		h.recvEarly = true
+	}
+	h.recvs++
+	h.mu.Unlock()
+}
+
+func TestStartCompletesBeforeFirstRecv(t *testing.T) {
+	// Reserve a port, release it, then re-bind it via Start while a
+	// sender is already hammering it. Regression test: the read loop
+	// used to launch before handler.Start, so a datagram could race the
+	// mutex and reach Recv on a handler that had not started.
+	probe, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := probe.LocalAddr().String()
+	probe.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := net.Dial("udp4", target)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Write([]byte("prime"))
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	h := &startGate{}
+	n, err := Start(Config{Listen: target}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if !waitFor(t, func() bool {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.recvs > 0
+	}) {
+		t.Fatal("no datagrams delivered after Start")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.recvEarly {
+		t.Fatal("handler.Recv fired before handler.Start completed")
+	}
+}
+
+func TestSourceAddrInterned(t *testing.T) {
+	recv := &collector{}
+	nr, err := Start(Config{Listen: "127.0.0.1:0"}, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nr.Close()
+	send := &collector{}
+	ns, err := Start(Config{Listen: "127.0.0.1:0"}, send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	for i := 0; i < 3; i++ {
+		ns.Do(func() {
+			if err := send.env.Send(nr.Addr(), []byte{byte(i)}); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		})
+	}
+	if !waitFor(t, func() bool { return recv.count() == 3 }) {
+		t.Fatalf("got %d datagrams, want 3", recv.count())
+	}
+	recv.mu.Lock()
+	defer recv.mu.Unlock()
+	for _, f := range recv.from {
+		if f != recv.from[0] {
+			t.Fatalf("source addr not stable: %v vs %v", f, recv.from[0])
+		}
+	}
+	nr.mu.Lock()
+	cached := len(nr.fromCache)
+	nr.mu.Unlock()
+	if cached != 1 {
+		t.Fatalf("fromCache has %d entries, want 1", cached)
+	}
+	// The sender resolved the receiver's address once, then reused it.
+	ns.mu.Lock()
+	resolved := len(ns.peerAddrs)
+	ns.mu.Unlock()
+	if resolved != 1 {
+		t.Fatalf("peerAddrs has %d entries, want 1", resolved)
 	}
 }

@@ -153,6 +153,7 @@ type event struct {
 	index   int
 	stopped bool
 	fired   bool
+	inHeap  bool
 }
 
 // Stop implements Timer. The event is removed lazily from the heap.
@@ -163,6 +164,30 @@ func (ev *event) Stop() bool {
 	ev.stopped = true
 	ev.sim.pending--
 	return true
+}
+
+// Reset implements Timer: it re-arms the event to fire d from now with the
+// original callback, reusing the handle whether the event is pending,
+// stopped, or already fired (including from inside its own callback).
+func (ev *event) Reset(d time.Duration) bool {
+	s := ev.sim
+	if d < 0 {
+		d = 0
+	}
+	wasPending := !ev.stopped && !ev.fired
+	ev.at = s.now.Add(d)
+	ev.seq = s.nextSeq
+	s.nextSeq++
+	if !wasPending {
+		ev.stopped, ev.fired = false, false
+		s.pending++
+	}
+	if ev.inHeap {
+		heap.Fix(&s.queue, ev.index)
+	} else {
+		heap.Push(&s.queue, ev)
+	}
+	return wasPending
 }
 
 // eventQueue is a min-heap ordered by (deadline, scheduling sequence).
@@ -189,6 +214,7 @@ func (q *eventQueue) Swap(i, j int) {
 func (q *eventQueue) Push(x any) {
 	ev := x.(*event)
 	ev.index = len(q.events)
+	ev.inHeap = true
 	q.events = append(q.events, ev)
 }
 
@@ -197,6 +223,7 @@ func (q *eventQueue) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.inHeap = false
 	q.events = old[:n-1]
 	return ev
 }

@@ -277,3 +277,105 @@ func TestSimReentrantRunPanics(t *testing.T) {
 	})
 	s.Run()
 }
+
+func TestSimTimerReset(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	t.Run("pending reschedules", func(t *testing.T) {
+		s := NewSim(start)
+		var fired []time.Time
+		tm := s.AfterFunc(time.Second, func() { fired = append(fired, s.Now()) })
+		if !tm.Reset(3 * time.Second) {
+			t.Fatal("Reset on pending timer reported not-pending")
+		}
+		s.Run()
+		if len(fired) != 1 || !fired[0].Equal(start.Add(3*time.Second)) {
+			t.Fatalf("fired = %v, want one firing at +3s", fired)
+		}
+	})
+	t.Run("stopped re-arms", func(t *testing.T) {
+		s := NewSim(start)
+		n := 0
+		tm := s.AfterFunc(time.Second, func() { n++ })
+		tm.Stop()
+		if tm.Reset(2 * time.Second) {
+			t.Fatal("Reset on stopped timer reported pending")
+		}
+		if s.Len() != 1 {
+			t.Fatalf("Len = %d, want 1", s.Len())
+		}
+		s.Run()
+		if n != 1 {
+			t.Fatalf("fired %d times, want 1", n)
+		}
+	})
+	t.Run("fired re-arms from callback", func(t *testing.T) {
+		// The hot heartbeat pattern: the callback Resets its own timer.
+		s := NewSim(start)
+		n := 0
+		var tm Timer
+		tm = s.AfterFunc(time.Second, func() {
+			n++
+			if n < 3 {
+				tm.Reset(time.Second)
+			}
+		})
+		s.Run()
+		if n != 3 {
+			t.Fatalf("fired %d times, want 3", n)
+		}
+		if !s.Now().Equal(start.Add(3 * time.Second)) {
+			t.Fatalf("Now = %v, want +3s", s.Now())
+		}
+	})
+	t.Run("reset then stop", func(t *testing.T) {
+		s := NewSim(start)
+		n := 0
+		tm := s.AfterFunc(time.Second, func() { n++ })
+		tm.Reset(2 * time.Second)
+		if !tm.Stop() {
+			t.Fatal("Stop after Reset reported not-pending")
+		}
+		s.Run()
+		if n != 0 {
+			t.Fatalf("stopped timer fired %d times", n)
+		}
+		if s.Len() != 0 {
+			t.Fatalf("Len = %d, want 0", s.Len())
+		}
+	})
+	t.Run("ordering against equal deadlines", func(t *testing.T) {
+		// A Reset timer schedules after already-pending events at the same
+		// instant (fresh scheduling sequence).
+		s := NewSim(start)
+		var order []string
+		s.AfterFunc(time.Second, func() { order = append(order, "a") })
+		tm := s.AfterFunc(500*time.Millisecond, func() { order = append(order, "b") })
+		tm.Reset(time.Second)
+		s.Run()
+		if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+			t.Fatalf("order = %v, want [a b]", order)
+		}
+	})
+}
+
+func TestRealTimerReset(t *testing.T) {
+	done := make(chan struct{}, 1)
+	tm := Real{}.AfterFunc(time.Hour, func() { done <- struct{}{} })
+	if !tm.Reset(time.Millisecond) {
+		t.Fatal("Reset on pending real timer reported not-pending")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reset real timer never fired")
+	}
+	// Re-arm after firing.
+	if tm.Reset(time.Millisecond) {
+		t.Fatal("Reset on fired real timer reported pending")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-armed real timer never fired")
+	}
+}

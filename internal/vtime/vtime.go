@@ -14,6 +14,12 @@ type Timer interface {
 	// callback from firing. Stopping an already-fired or already-stopped
 	// timer is a no-op that returns false.
 	Stop() bool
+	// Reset re-arms the timer to fire d from now with its original
+	// callback, whether or not it has already fired or been stopped. It
+	// reports whether the timer was still pending. Hot reschedule paths
+	// (heartbeat rearm on every data packet) use Reset instead of
+	// Stop+AfterFunc so no new callback closure is allocated per packet.
+	Reset(d time.Duration) bool
 }
 
 // Clock abstracts the passage of time. Implementations must be safe for the
@@ -44,3 +50,10 @@ func (Real) AfterFunc(d time.Duration, fn func()) Timer {
 type realTimer struct{ t *time.Timer }
 
 func (r realTimer) Stop() bool { return r.t.Stop() }
+
+func (r realTimer) Reset(d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	return r.t.Reset(d)
+}
