@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test allocgate bench perf
+.PHONY: check vet build test allocgate chaos bench perf
 
 # check is the pre-commit gate: static checks, the full suite under the
-# race detector, and the datapath allocation gate with a short benchtime
-# pass over every micro-benchmark.
-check: vet build test allocgate
+# race detector, the datapath allocation gate with a short benchtime
+# pass over every micro-benchmark, and the chaos seed matrix.
+check: vet build test allocgate chaos
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,14 @@ test:
 allocgate:
 	$(GO) test ./internal/perf/ -run TestDatapathZeroAlloc -count=1
 	$(GO) test ./internal/perf/ -run '^$$' -bench . -benchmem -benchtime 10ms
+
+# chaos drives the deterministic fault-injection matrix under the race
+# detector: fixed seeds, crash/partition/link-chaos schedules, end-to-end
+# recovery invariants. A failure prints the seed and the fault schedule —
+# reproduce any run with
+#   go run ./cmd/lbrm-sim -chaos -seed N [-chaos-crash-primary] ...
+chaos:
+	$(GO) test -race ./internal/chaos/ -count=1
 
 # bench runs every benchmark in the repo at full benchtime.
 bench:

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"lbrm"
+	"lbrm/internal/chaos"
 	"lbrm/internal/wire"
 )
 
@@ -35,7 +36,31 @@ func main() {
 	k := flag.Int("k", 20, "desired ACKs per packet (with -statack)")
 	pcapPath := flag.String("pcap", "", "write traffic on the tapped link to this pcap file (open in Wireshark)")
 	pcapLink := flag.String("pcap-link", "source-site/tail-up", "link-name substring to tap for -pcap")
+	chaosMode := flag.Bool("chaos", false, "run the deterministic chaos harness instead of the traffic simulation")
+	chaosCrash := flag.Bool("chaos-crash-primary", false, "with -chaos: force a primary crash into the schedule")
+	chaosFaults := flag.Int("chaos-faults", 0, "with -chaos: number of faults to schedule (0 = default)")
 	flag.Parse()
+
+	if *chaosMode {
+		res, err := chaos.Run(chaos.Config{
+			Seed:             *seed,
+			Sites:            *sites,
+			ReceiversPerSite: *receivers,
+			Replicas:         *replicas,
+			Duration:         *duration,
+			SendEvery:        *interval,
+			Faults:           *chaosFaults,
+			CrashPrimary:     *chaosCrash,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Report())
+		if !res.OK() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	scfg := lbrm.SenderConfig{
 		Heartbeat: lbrm.HeartbeatParams{HMin: *hmin, HMax: *hmax, Backoff: 2},

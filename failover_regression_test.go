@@ -1,0 +1,382 @@
+package lbrm_test
+
+import (
+	"testing"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/logger"
+	"lbrm/internal/wire"
+)
+
+// isStateReply matches serialized LogStateReply packets (for DropMatching).
+func isStateReply(data []byte) bool {
+	var p wire.Packet
+	return p.Unmarshal(data) == nil && p.Type == wire.TypeLogStateReply
+}
+
+// TestFailoverPromotesLaggedReplicaAndBackfills: the sender can promote a
+// replica that is NOT the most up-to-date (here the up-to-date replica's
+// state reply is lost during the failover probe). The promoted replica's
+// log then ends below the sender's release watermark — a hole the sender
+// can no longer fill. The promoted replica must backfill the gap from its
+// peer replicas before acknowledging, or receivers NACKing into the hole
+// would be stranded.
+func TestFailoverPromotesLaggedReplicaAndBackfills(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 21, Sites: 1, ReceiversPerSite: 2, Replicas: 2,
+		Sender: lbrm.SenderConfig{
+			Heartbeat:       fastHB,
+			FailoverTimeout: 400 * time.Millisecond,
+			FailoverWait:    100 * time.Millisecond,
+		},
+		Secondary: lbrm.SecondaryConfig{NackDelay: 10 * time.Millisecond},
+		Receiver:  lbrm.ReceiverConfig{NackDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := logger.StreamKey{Source: tb.Source, Group: tb.Group}
+
+	// Replica 0 misses all replication traffic while packets 1..5 are sent,
+	// acknowledged by the primary, and released from the sender's buffer.
+	lag := &lbrm.Gate{Down: true}
+	tb.ReplicaNodes[0].DownLink().SetLoss(lag)
+	for i := 0; i < 5; i++ {
+		tb.Send([]byte("released"))
+		tb.Run(100 * time.Millisecond)
+	}
+	tb.Run(time.Second)
+	if tb.Sender.Retained() != 0 {
+		t.Fatalf("retention not drained before failure: %d", tb.Sender.Retained())
+	}
+	if got := tb.Replicas[1].Contiguous(key); got != 5 {
+		t.Fatalf("up-to-date replica contiguous = %d, want 5", got)
+	}
+	if got := tb.Replicas[0].Contiguous(key); got != 0 {
+		t.Fatalf("lagged replica contiguous = %d, want 0", got)
+	}
+
+	// The primary dies; the lagged replica's link heals (the dead primary
+	// can no longer resync it); and the up-to-date replica's first state
+	// reply — its answer to the sender's failover probe — is lost, so the
+	// sender hears only the lagged replica and promotes it.
+	dead := &lbrm.Gate{Down: true}
+	tb.PrimaryNode.DownLink().SetLoss(dead)
+	tb.PrimaryNode.UpLink().SetLoss(dead)
+	lag.Down = false
+	tb.ReplicaNodes[1].UpLink().SetLoss(&lbrm.DropMatching{
+		Match: isStateReply, Indices: map[int]bool{1: true},
+	})
+
+	tb.Send([]byte("six")) // unacked backlog arms the failover check
+	tb.Run(4 * time.Second)
+
+	if got := tb.Sender.Stats().Failovers; got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+	if tb.Replicas[0].IsReplica() {
+		t.Fatal("lagged replica was not promoted")
+	}
+	if !tb.Replicas[1].IsReplica() {
+		t.Fatal("up-to-date replica unexpectedly promoted")
+	}
+	st := tb.Replicas[0].Stats()
+	if st.BackfillsStarted != 1 {
+		t.Fatalf("BackfillsStarted = %d, want 1", st.BackfillsStarted)
+	}
+	if st.BackfillNacks == 0 {
+		t.Fatal("promoted replica never NACKed its peer for the hole")
+	}
+	if st.BackfillSkipped != 0 {
+		t.Fatalf("BackfillSkipped = %d: gave up on a hole a live peer held", st.BackfillSkipped)
+	}
+	// The backfilled log is whole: 1..5 from the peer, 6 from the sender's
+	// retention push.
+	if got := tb.Replicas[0].Contiguous(key); got != 6 {
+		t.Fatalf("promoted replica contiguous = %d, want 6", got)
+	}
+	if tb.Sender.Retained() != 0 {
+		t.Fatalf("retention stuck after failover: %d", tb.Sender.Retained())
+	}
+
+	// And the promoted primary actually serves from the backfilled log: a
+	// site-wide loss of the next packet heals through it.
+	tb.Sites[0].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("seven"))
+	tb.Run(3 * time.Second)
+	if !tb.EveryoneHas(7) {
+		t.Fatalf("seq 7 delivered to %d/%d via promoted primary",
+			tb.DeliveredCount(7), tb.TotalReceivers())
+	}
+}
+
+// TestFailoverNoSpuriousRefireWhilePromotedReplicaBackfills: found by the
+// chaos harness (every crash-primary seed reported one failover too many).
+// Completing a failover did not restart the sender's ack-idle clock, so the
+// next liveness check still measured idleness from the dead primary's last
+// ack and immediately declared the just-promoted replica dead too — here
+// that second spurious failover would promote the OTHER replica while the
+// first was mid-backfill. The probe reply that won the election is proof of
+// liveness; the idle clock must restart at promotion.
+func TestFailoverNoSpuriousRefireWhilePromotedReplicaBackfills(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 100, Sites: 1, ReceiversPerSite: 1, Replicas: 2,
+		Sender: lbrm.SenderConfig{
+			Heartbeat:       fastHB,
+			FailoverTimeout: 400 * time.Millisecond,
+			FailoverWait:    100 * time.Millisecond,
+		},
+		Primary: lbrm.PrimaryConfig{RequestTimeout: 450 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := logger.StreamKey{Source: tb.Source, Group: tb.Group}
+
+	// Packets 1..5 are released while replica 0 lags behind a dead link.
+	lag := &lbrm.Gate{Down: true}
+	tb.ReplicaNodes[0].DownLink().SetLoss(lag)
+	for i := 0; i < 5; i++ {
+		tb.Send([]byte("released"))
+		tb.Run(100 * time.Millisecond)
+	}
+	tb.Run(time.Second)
+
+	// Primary dies; the lagged replica wins the election because the
+	// up-to-date replica's probe reply (match 0) is lost. Its backfill
+	// answer (match 1) is lost too, so the promoted replica stays silent —
+	// no source ack — until its first backfill retry succeeds, well past
+	// the sender's first post-failover liveness check.
+	dead := &lbrm.Gate{Down: true}
+	tb.PrimaryNode.DownLink().SetLoss(dead)
+	tb.PrimaryNode.UpLink().SetLoss(dead)
+	lag.Down = false
+	tb.ReplicaNodes[1].UpLink().SetLoss(&lbrm.DropMatching{
+		Match: isStateReply, Indices: map[int]bool{0: true, 1: true},
+	})
+
+	tb.Send([]byte("six"))
+	tb.Run(6 * time.Second)
+
+	if got := tb.Sender.Stats().Failovers; got != 1 {
+		t.Fatalf("failovers = %d, want exactly 1 (spurious re-fire)", got)
+	}
+	if tb.Replicas[0].IsReplica() {
+		t.Fatal("elected replica was not promoted")
+	}
+	if !tb.Replicas[1].IsReplica() {
+		t.Fatal("second replica promoted by a spurious failover")
+	}
+	if got := tb.Replicas[0].Contiguous(key); got != 6 {
+		t.Fatalf("promoted replica contiguous = %d, want 6", got)
+	}
+	if tb.Sender.Retained() != 0 {
+		t.Fatalf("retention stuck: %d", tb.Sender.Retained())
+	}
+}
+
+// TestFailoverBackfillSkipsUnrecoverableHole: a lagged replica promoted with
+// no peer replicas cannot recover the released span. It must declare the
+// hole unrecoverable and advance its watermark past it — wedging the
+// acknowledgement (and with it the sender's retention buffer) forever would
+// trade a bounded loss for an unbounded leak.
+func TestFailoverBackfillSkipsUnrecoverableHole(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 22, Sites: 1, ReceiversPerSite: 2, Replicas: 1,
+		Sender: lbrm.SenderConfig{
+			Heartbeat:       fastHB,
+			FailoverTimeout: 400 * time.Millisecond,
+			FailoverWait:    100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := logger.StreamKey{Source: tb.Source, Group: tb.Group}
+
+	lag := &lbrm.Gate{Down: true}
+	tb.ReplicaNodes[0].DownLink().SetLoss(lag)
+	for i := 0; i < 3; i++ {
+		tb.Send([]byte("released"))
+		tb.Run(100 * time.Millisecond)
+	}
+	tb.Run(time.Second)
+	if tb.Sender.Retained() != 0 {
+		t.Fatal("retention not drained before failure")
+	}
+
+	dead := &lbrm.Gate{Down: true}
+	tb.PrimaryNode.DownLink().SetLoss(dead)
+	tb.PrimaryNode.UpLink().SetLoss(dead)
+	lag.Down = false
+
+	tb.Send([]byte("four"))
+	tb.Run(4 * time.Second)
+
+	if got := tb.Sender.Stats().Failovers; got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+	st := tb.Replicas[0].Stats()
+	if st.BackfillsStarted != 0 {
+		t.Fatalf("BackfillsStarted = %d with no peers, want 0", st.BackfillsStarted)
+	}
+	if st.BackfillSkipped != 3 {
+		t.Fatalf("BackfillSkipped = %d, want 3 (seqs 1..3)", st.BackfillSkipped)
+	}
+	// The watermark advanced past the hole and the sender's buffer drained.
+	if got := tb.Replicas[0].Contiguous(key); got != 4 {
+		t.Fatalf("promoted replica contiguous = %d, want 4", got)
+	}
+	if tb.Sender.Retained() != 0 {
+		t.Fatalf("retention wedged on an unrecoverable hole: %d", tb.Sender.Retained())
+	}
+}
+
+// TestSecondaryRedirectRetargetsInFlightFetch: a secondary with a NACK
+// retry episode in flight against a dead primary must re-target the episode
+// when the PrimaryRedirect arrives — immediately, with its retry budget
+// reset — rather than burning MaxRetries against an address that will never
+// answer.
+func TestSecondaryRedirectRetargetsInFlightFetch(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 23, Sites: 1, ReceiversPerSite: 3, Replicas: 1,
+		Sender: lbrm.SenderConfig{
+			Heartbeat:       fastHB,
+			FailoverTimeout: 400 * time.Millisecond,
+			FailoverWait:    100 * time.Millisecond,
+		},
+		Secondary: lbrm.SecondaryConfig{
+			NackDelay:      10 * time.Millisecond,
+			RequestTimeout: 300 * time.Millisecond,
+		},
+		Receiver: lbrm.ReceiverConfig{NackDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Send([]byte("warm"))
+	tb.Run(500 * time.Millisecond)
+
+	// The primary dies, and the next packet is lost on the site's tail
+	// circuit: the whole site (secondary included) misses it and the
+	// secondary's fetch episode targets a dead host.
+	dead := &lbrm.Gate{Down: true}
+	tb.PrimaryNode.DownLink().SetLoss(dead)
+	tb.PrimaryNode.UpLink().SetLoss(dead)
+	tb.Sites[0].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("lost"))
+	tb.Run(5 * time.Second)
+
+	if got := tb.Sender.Stats().Failovers; got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+	sec := tb.Sites[0].Secondary.Stats()
+	if sec.RedirectsFollowed != 1 {
+		t.Fatalf("RedirectsFollowed = %d, want 1", sec.RedirectsFollowed)
+	}
+	if sec.FetchesAbandoned != 0 {
+		t.Fatalf("secondary abandoned %d fetches despite a live new primary", sec.FetchesAbandoned)
+	}
+	if !tb.EveryoneHas(2) {
+		t.Fatalf("seq 2 delivered to %d/%d after redirect",
+			tb.DeliveredCount(2), tb.TotalReceivers())
+	}
+}
+
+// TestReceiverRedirectRetargetsInFlightRetry: receivers recovering straight
+// from the primary (no secondaries) must re-target an in-flight retry when
+// the redirect arrives. PrimaryRetries is set high enough that escalation
+// to a source query cannot rescue the episode within the test horizon: if
+// recovery succeeds, it succeeded through the redirect.
+func TestReceiverRedirectRetargetsInFlightRetry(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 24, Sites: 1, ReceiversPerSite: 2, Replicas: 1,
+		NoSecondaries: true,
+		Sender: lbrm.SenderConfig{
+			Heartbeat:       fastHB,
+			FailoverTimeout: 400 * time.Millisecond,
+			FailoverWait:    100 * time.Millisecond,
+		},
+		Receiver: lbrm.ReceiverConfig{
+			NackDelay:      10 * time.Millisecond,
+			PrimaryRetries: 50,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Send([]byte("warm"))
+	tb.Run(500 * time.Millisecond)
+
+	dead := &lbrm.Gate{Down: true}
+	tb.PrimaryNode.DownLink().SetLoss(dead)
+	tb.PrimaryNode.UpLink().SetLoss(dead)
+	tb.Sites[0].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("lost"))
+	tb.Run(5 * time.Second)
+
+	if got := tb.Sender.Stats().Failovers; got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+	if !tb.EveryoneHas(2) {
+		t.Fatalf("seq 2 delivered to %d/%d after redirect",
+			tb.DeliveredCount(2), tb.TotalReceivers())
+	}
+	for i, r := range tb.Sites[0].Receivers {
+		st := r.Stats()
+		if st.RangesAbandoned != 0 {
+			t.Fatalf("receiver %d abandoned %d ranges despite a live new primary",
+				i, st.RangesAbandoned)
+		}
+		if st.PrimaryQueries != 0 {
+			t.Fatalf("receiver %d fell back to a source query; redirect should have re-targeted the retry", i)
+		}
+	}
+}
+
+// TestReceiverRedirectDuringDiscovery: a receiver still running logger
+// discovery (which will find nothing — there are no secondaries) recovers
+// through the primary; primary churn during that window must not strand it.
+func TestReceiverRedirectDuringDiscovery(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 25, Sites: 1, ReceiversPerSite: 2, Replicas: 1,
+		NoSecondaries: true,
+		Sender: lbrm.SenderConfig{
+			Heartbeat:       fastHB,
+			FailoverTimeout: 400 * time.Millisecond,
+			FailoverWait:    100 * time.Millisecond,
+		},
+		Receiver: lbrm.ReceiverConfig{
+			NackDelay:        10 * time.Millisecond,
+			PrimaryRetries:   50,
+			Discover:         true,
+			DiscoveryTimeout: 2 * time.Second, // still discovering during the churn
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Send([]byte("warm"))
+	tb.Run(100 * time.Millisecond)
+
+	dead := &lbrm.Gate{Down: true}
+	tb.PrimaryNode.DownLink().SetLoss(dead)
+	tb.PrimaryNode.UpLink().SetLoss(dead)
+	tb.Sites[0].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("lost"))
+	tb.Run(6 * time.Second)
+
+	if got := tb.Sender.Stats().Failovers; got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+	if !tb.EveryoneHas(2) {
+		t.Fatalf("seq 2 delivered to %d/%d (redirect during discovery)",
+			tb.DeliveredCount(2), tb.TotalReceivers())
+	}
+	for i, r := range tb.Sites[0].Receivers {
+		if st := r.Stats(); st.RangesAbandoned != 0 {
+			t.Fatalf("receiver %d abandoned %d ranges", i, st.RangesAbandoned)
+		}
+	}
+}

@@ -1,0 +1,639 @@
+// Package chaos is a deterministic fault-injection harness for the full
+// LBRM topology. A seeded orchestrator drives the paper's deployment —
+// sender, primary logger, replicas, per-site secondaries, receivers — under
+// the simulator's virtual clock while injecting a reproducible schedule of
+// faults: process crashes with total state loss and later restart, site
+// partitions (tail-circuit gates), and flaky-link windows (random loss +
+// duplication + reordering). After the last fault heals it checks the
+// protocol's end-to-end recovery invariants:
+//
+//   - every live receiver converges to the sender's last sequence number
+//     within a bounded horizon (freshness over completeness: abandoned
+//     ranges advance the watermark too);
+//   - the sender's retention buffer drains to zero;
+//   - exactly one acting (non-replica) primary remains among live loggers;
+//   - acknowledgement sequence numbers (source acks and replica sync acks)
+//     are monotone per node incarnation;
+//   - after convergence the network goes quiet — no NACK traffic at all in
+//     a trailing window (retry storms and leaked retry loops show up here);
+//   - if the primary crashed, failover completed within the analytic bound;
+//   - after everything stops, the event queue drains — a timer that
+//     re-arms itself past shutdown is a leak.
+//
+// Every run is reproducible from its seed alone: the same seed yields the
+// same fault schedule, the same packet trace (TraceHash), and the same
+// verdict. A failing seed IS the bug report.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/wire"
+)
+
+// Config parameterizes one chaos run. Zero values get defaults.
+type Config struct {
+	// Seed determines the topology rng AND the fault schedule.
+	Seed int64
+	// Topology (defaults: 3 sites × 3 receivers, 2 replicas).
+	Sites, ReceiversPerSite, Replicas int
+	// Duration is the traffic+fault phase length (default 20s virtual).
+	Duration time.Duration
+	// SendEvery is the data packet interval (default 150ms).
+	SendEvery time.Duration
+	// Faults is how many faults to schedule (default 6).
+	Faults int
+	// CrashPrimary forces one primary crash (plus restart as a cold
+	// replica) into the schedule. Requires Replicas ≥ 1.
+	CrashPrimary bool
+	// DisableCrashes / DisablePartitions / DisableLinkChaos remove a fault
+	// class from the random schedule.
+	DisableCrashes    bool
+	DisablePartitions bool
+	DisableLinkChaos  bool
+	// ConvergeWithin bounds the post-heal recovery horizon (default 30s).
+	ConvergeWithin time.Duration
+	// QuiesceWindow is the trailing silence check (default 5s).
+	QuiesceWindow time.Duration
+	// FailoverTimeout / FailoverWait season the sender (defaults 400ms /
+	// 100ms); the failover-latency invariant is derived from them.
+	FailoverTimeout time.Duration
+	FailoverWait    time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sites == 0 {
+		c.Sites = 3
+	}
+	if c.ReceiversPerSite == 0 {
+		c.ReceiversPerSite = 3
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.Duration == 0 {
+		c.Duration = 20 * time.Second
+	}
+	if c.SendEvery == 0 {
+		c.SendEvery = 150 * time.Millisecond
+	}
+	if c.Faults == 0 {
+		c.Faults = 6
+	}
+	if c.ConvergeWithin == 0 {
+		c.ConvergeWithin = 30 * time.Second
+	}
+	if c.QuiesceWindow == 0 {
+		c.QuiesceWindow = 5 * time.Second
+	}
+	if c.FailoverTimeout == 0 {
+		c.FailoverTimeout = 400 * time.Millisecond
+	}
+	if c.FailoverWait == 0 {
+		c.FailoverWait = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Fault is one scheduled fault. At/Dur are offsets from the run start.
+type Fault struct {
+	At, Dur time.Duration
+	// Kind is one of crash-receiver, crash-secondary, crash-replica,
+	// crash-primary, partition, flaky-link.
+	Kind string
+	// Site and Idx locate the target where applicable (-1 otherwise).
+	Site, Idx int
+}
+
+func (f Fault) String() string {
+	loc := ""
+	if f.Site >= 0 {
+		loc = fmt.Sprintf(" site%d", f.Site+1)
+	}
+	if f.Idx >= 0 {
+		loc += fmt.Sprintf("/%d", f.Idx)
+	}
+	return fmt.Sprintf("t=%v +%v %s%s", f.At, f.Dur, f.Kind, loc)
+}
+
+// Violation is one failed invariant.
+type Violation struct {
+	Name   string
+	Detail string
+}
+
+func (v Violation) String() string { return v.Name + ": " + v.Detail }
+
+// Result is one chaos run's verdict.
+type Result struct {
+	Seed       int64
+	Schedule   []Fault
+	Violations []Violation
+	// TraceHash fingerprints every observed link traversal; two runs of
+	// the same seed must produce identical hashes.
+	TraceHash uint64
+	// LastSeq is the final data sequence number sent.
+	LastSeq uint64
+	// Failovers and Promotions from the protocol's own counters.
+	Failovers, Promotions uint64
+	// FailoverLatency is crash→Promote (zero if the primary never crashed).
+	FailoverLatency time.Duration
+	// ConvergeTook is heal→convergence (zero if never converged).
+	ConvergeTook time.Duration
+	// BackfillSkipped counts sequence numbers declared unrecoverable by a
+	// promoted replica (data loss — possible when peers were also faulted).
+	BackfillSkipped uint64
+}
+
+// OK reports whether every invariant held.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// Report renders a human-readable run summary.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos seed=%d lastSeq=%d failovers=%d promotions=%d\n",
+		r.Seed, r.LastSeq, r.Failovers, r.Promotions)
+	for _, f := range r.Schedule {
+		fmt.Fprintf(&b, "  fault: %s\n", f)
+	}
+	if r.FailoverLatency > 0 {
+		fmt.Fprintf(&b, "  failover latency: %v\n", r.FailoverLatency)
+	}
+	if r.ConvergeTook > 0 {
+		fmt.Fprintf(&b, "  converged in: %v\n", r.ConvergeTook)
+	}
+	if r.BackfillSkipped > 0 {
+		fmt.Fprintf(&b, "  backfill skipped: %d seqs\n", r.BackfillSkipped)
+	}
+	fmt.Fprintf(&b, "  trace hash: %016x\n", r.TraceHash)
+	if r.OK() {
+		b.WriteString("  PASS: all invariants held\n")
+	} else {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  FAIL %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// ackKey identifies one acknowledgement stream for monotonicity tracking.
+type ackKey struct {
+	node int
+	typ  wire.Type
+	src  wire.SourceID
+	grp  wire.GroupID
+}
+
+// harness owns one run's mutable state.
+type harness struct {
+	cfg Config
+	tb  *lbrm.Testbed
+	res *Result
+
+	key    lbrm.StreamKey
+	logKey lbrm.LogStreamKey
+
+	// Current handler incarnations (replaced on restart).
+	receivers   [][]*lbrm.Receiver
+	secondaries []*lbrm.SecondaryLogger
+	// primaries[0] is the original primary's node; 1.. are replicas.
+	primaries    []*lbrm.PrimaryLogger
+	primaryNodes []*lbrm.SimNode
+
+	// Every handler ever created, for shutdown.
+	stoppables []interface{ Stop() }
+
+	// Tap state.
+	hash           uint64
+	lastAck        map[ackKey]uint64
+	primaryCrashAt time.Time
+	promoteAt      time.Time
+}
+
+// Run executes one chaos run and returns its verdict. The only error cases
+// are construction failures; invariant violations are reported in the
+// Result, not as errors.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CrashPrimary && cfg.Replicas < 1 {
+		return nil, fmt.Errorf("chaos: CrashPrimary requires at least one replica")
+	}
+	schedule := buildSchedule(cfg)
+
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed:             cfg.Seed,
+		Sites:            cfg.Sites,
+		ReceiversPerSite: cfg.ReceiversPerSite,
+		Replicas:         cfg.Replicas,
+		Sender: lbrm.SenderConfig{
+			Heartbeat:       lbrm.HeartbeatParams{HMin: 50 * time.Millisecond, HMax: 400 * time.Millisecond, Backoff: 2},
+			FailoverTimeout: cfg.FailoverTimeout,
+			FailoverWait:    cfg.FailoverWait,
+		},
+		Secondary: lbrm.SecondaryConfig{
+			NackDelay:      10 * time.Millisecond,
+			RequestTimeout: 200 * time.Millisecond,
+		},
+		Receiver: lbrm.ReceiverConfig{
+			NackDelay:      10 * time.Millisecond,
+			RequestTimeout: 200 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	h := &harness{
+		cfg:     cfg,
+		tb:      tb,
+		res:     &Result{Seed: cfg.Seed, Schedule: schedule},
+		key:     lbrm.StreamKey{Source: tb.Source, Group: tb.Group},
+		logKey:  lbrm.LogStreamKey{Source: tb.Source, Group: tb.Group},
+		lastAck: make(map[ackKey]uint64),
+	}
+	for _, ts := range tb.Sites {
+		h.receivers = append(h.receivers, append([]*lbrm.Receiver(nil), ts.Receivers...))
+		h.secondaries = append(h.secondaries, ts.Secondary)
+	}
+	h.primaries = append([]*lbrm.PrimaryLogger{tb.Primary}, tb.Replicas...)
+	h.primaryNodes = append([]*lbrm.SimNode{tb.PrimaryNode}, tb.ReplicaNodes...)
+	h.stoppables = append(h.stoppables, tb.Sender, tb.Primary)
+	for _, r := range tb.Replicas {
+		h.stoppables = append(h.stoppables, r)
+	}
+	for _, ts := range tb.Sites {
+		h.stoppables = append(h.stoppables, ts.Secondary)
+		for _, r := range ts.Receivers {
+			h.stoppables = append(h.stoppables, r)
+		}
+	}
+	tb.Net.SetTap(h.tap)
+
+	clk := tb.Net.Clock()
+	for _, f := range schedule {
+		f := f
+		clk.AfterFunc(f.At, func() { h.applyFault(f) })
+	}
+
+	// Traffic phase: steady low-rate data through the whole fault window.
+	for t := time.Duration(0); t < cfg.Duration; t += cfg.SendEvery {
+		seq, err := tb.Send([]byte("chaos-payload"))
+		if err != nil {
+			return nil, err
+		}
+		h.res.LastSeq = seq
+		tb.Run(cfg.SendEvery)
+	}
+
+	// Convergence phase: every fault has healed (buildSchedule guarantees
+	// At+Dur < Duration); poll until the invariant targets are met.
+	healAt := clk.Now()
+	const poll = 100 * time.Millisecond
+	converged := false
+	for el := time.Duration(0); el < cfg.ConvergeWithin; el += poll {
+		tb.Run(poll)
+		if h.converged() {
+			converged = true
+			h.res.ConvergeTook = clk.Now().Sub(healAt)
+			break
+		}
+	}
+	if !converged {
+		h.violate("convergence", h.lagReport())
+	} else {
+		// Quiesce: after convergence, recovery traffic must dry up. Cold
+		// restarted servers may still be draining a terminating fetch
+		// schedule (bounded by MaxRetries), so allow a few windows for the
+		// tail — but a leaked retry loop or synchronized retry storm never
+		// produces a silent window.
+		before := h.nackCount()
+		quiet := false
+		for i := 0; i < 6 && !quiet; i++ {
+			tb.Run(cfg.QuiesceWindow)
+			after := h.nackCount()
+			quiet = after == before
+			before = after
+		}
+		if !quiet {
+			h.violate("quiesce", fmt.Sprintf("NACK traffic still flowing %v after convergence",
+				6*cfg.QuiesceWindow))
+		}
+	}
+
+	h.checkFinalInvariants()
+
+	// Shutdown: stop every handler ever created and drain. Anything still
+	// pending after the drain re-armed itself past shutdown — a leak.
+	for _, s := range h.stoppables {
+		s.Stop()
+	}
+	tb.Run(30 * time.Second)
+	if n := clk.Len(); n != 0 {
+		h.violate("timer-leak", fmt.Sprintf("%d events still pending after shutdown drain", n))
+	}
+
+	h.res.TraceHash = h.hash
+	h.res.Failovers = h.tb.Sender.Stats().Failovers
+	for _, p := range h.primaries {
+		h.res.Promotions += p.Stats().Promotions
+		h.res.BackfillSkipped += p.Stats().BackfillSkipped
+	}
+	return h.res, nil
+}
+
+func (h *harness) violate(name, detail string) {
+	h.res.Violations = append(h.res.Violations, Violation{Name: name, Detail: detail})
+}
+
+// buildSchedule derives the fault plan purely from the seed. The fault rng
+// is separate from the network's, so the schedule is a function of the
+// config alone.
+func buildSchedule(cfg Config) []Fault {
+	rng := rand.New(rand.NewSource(cfg.Seed*0x9E3779B9 + 0x7F4A7C15))
+	var kinds []string
+	if !cfg.DisableCrashes {
+		kinds = append(kinds, "crash-receiver", "crash-secondary")
+		if cfg.Replicas > 0 {
+			kinds = append(kinds, "crash-replica")
+		}
+	}
+	if !cfg.DisablePartitions {
+		kinds = append(kinds, "partition")
+	}
+	if !cfg.DisableLinkChaos {
+		kinds = append(kinds, "flaky-link")
+	}
+	var out []Fault
+	used := make(map[string]bool)
+	target := func(f Fault) string {
+		// Partition and flaky-link contend for the same tail links: treat
+		// them as one target class per site so heals cannot clobber each
+		// other's loss models.
+		if f.Kind == "partition" || f.Kind == "flaky-link" {
+			return fmt.Sprintf("link/%d", f.Site)
+		}
+		return fmt.Sprintf("%s/%d/%d", f.Kind, f.Site, f.Idx)
+	}
+	draw := func() (Fault, bool) {
+		if len(kinds) == 0 {
+			return Fault{}, false
+		}
+		f := Fault{
+			Kind: kinds[rng.Intn(len(kinds))],
+			At:   cfg.Duration/10 + time.Duration(rng.Int63n(int64(cfg.Duration*6/10))),
+			Dur:  200*time.Millisecond + time.Duration(rng.Int63n(int64(1300*time.Millisecond))),
+			Site: -1, Idx: -1,
+		}
+		switch f.Kind {
+		case "crash-receiver":
+			f.Site = rng.Intn(cfg.Sites)
+			f.Idx = rng.Intn(cfg.ReceiversPerSite)
+		case "crash-secondary", "partition", "flaky-link":
+			f.Site = rng.Intn(cfg.Sites)
+		case "crash-replica":
+			f.Idx = rng.Intn(cfg.Replicas)
+		}
+		return f, true
+	}
+	// One fault per target keeps heals unambiguous, which also bounds the
+	// schedule by the number of distinct targets: stop once draws keep
+	// landing on used targets (narrow configs can exhaust them).
+	for misses := 0; len(out) < cfg.Faults && misses < 64; {
+		f, ok := draw()
+		if !ok {
+			break
+		}
+		if used[target(f)] {
+			misses++
+			continue
+		}
+		used[target(f)] = true
+		out = append(out, f)
+	}
+	if cfg.CrashPrimary {
+		out = append(out, Fault{
+			Kind: "crash-primary",
+			At:   cfg.Duration * 2 / 5,
+			Dur:  1500 * time.Millisecond,
+			Site: -1, Idx: -1,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// applyFault injects one fault and arms its heal.
+func (h *harness) applyFault(f Fault) {
+	clk := h.tb.Net.Clock()
+	switch f.Kind {
+	case "crash-receiver":
+		node := h.tb.Sites[f.Site].ReceiverNodes[f.Idx]
+		h.crash(node)
+		clk.AfterFunc(f.Dur, func() {
+			rcv := lbrm.NewReceiver(h.tb.Sites[f.Site].ReceiverCfgs[f.Idx])
+			h.receivers[f.Site][f.Idx] = rcv
+			h.stoppables = append(h.stoppables, rcv)
+			node.Restart(rcv)
+		})
+	case "crash-secondary":
+		node := h.tb.Sites[f.Site].SecondaryNode
+		h.crash(node)
+		clk.AfterFunc(f.Dur, func() {
+			sec := lbrm.NewSecondaryLogger(h.tb.Sites[f.Site].SecondaryCfg)
+			h.secondaries[f.Site] = sec
+			h.stoppables = append(h.stoppables, sec)
+			node.Restart(sec)
+		})
+	case "crash-replica":
+		node := h.tb.ReplicaNodes[f.Idx]
+		h.crash(node)
+		clk.AfterFunc(f.Dur, func() {
+			rep := lbrm.NewPrimaryLogger(h.tb.ReplicaCfgs[f.Idx])
+			h.primaries[1+f.Idx] = rep
+			h.stoppables = append(h.stoppables, rep)
+			node.Restart(rep)
+		})
+	case "crash-primary":
+		node := h.tb.PrimaryNode
+		h.primaryCrashAt = clk.Now()
+		h.crash(node)
+		clk.AfterFunc(f.Dur, func() {
+			// A rebooted primary lost everything, including the knowledge
+			// that it was primary: it comes back as a cold replica (the
+			// sender has failed over — or will — to a live replica).
+			rcfg := h.tb.PrimaryCfg
+			rcfg.Replica = true
+			rcfg.Replicas = nil
+			rcfg.Peers = append([]lbrm.Addr(nil), h.tb.PrimaryCfg.Replicas...)
+			rep := lbrm.NewPrimaryLogger(rcfg)
+			h.primaries[0] = rep
+			h.stoppables = append(h.stoppables, rep)
+			node.Restart(rep)
+		})
+	case "partition":
+		site := h.tb.Sites[f.Site].Site
+		gate := &lbrm.Gate{Down: true}
+		site.TailUp().SetLoss(gate)
+		site.TailDown().SetLoss(gate)
+		clk.AfterFunc(f.Dur, func() { gate.Down = false })
+	case "flaky-link":
+		site := h.tb.Sites[f.Site].Site
+		down := site.TailDown()
+		down.SetLoss(lbrm.Compose(
+			lbrm.Bernoulli{P: 0.3},
+			lbrm.Reorder{P: 0.25, MaxDelay: 20 * time.Millisecond},
+			lbrm.Duplicate{P: 0.1, Lag: 2 * time.Millisecond},
+		))
+		clk.AfterFunc(f.Dur, func() { down.SetLoss(nil) })
+	}
+}
+
+// crash takes a node down and forgets its acknowledgement watermarks (a new
+// incarnation legitimately restarts its ack sequence).
+func (h *harness) crash(node *lbrm.SimNode) {
+	node.Crash()
+	id := int(node.ID())
+	for k := range h.lastAck {
+		if k.node == id {
+			delete(h.lastAck, k)
+		}
+	}
+}
+
+// tap observes every link traversal: it folds the event into the trace
+// hash, tracks ack monotonicity, and timestamps the failover Promote.
+func (h *harness) tap(ev lbrm.TapEvent) {
+	f := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		f.Write(buf[:])
+	}
+	put(h.hash)
+	put(uint64(ev.Time.UnixNano()))
+	put(uint64(int64(ev.From)))
+	put(uint64(int64(ev.To)))
+	put(uint64(ev.Size))
+	if ev.Dropped {
+		put(1)
+	} else {
+		put(0)
+	}
+	h.hash = f.Sum64()
+
+	var p wire.Packet
+	if p.Unmarshal(ev.Data) != nil {
+		return
+	}
+	if ev.Dropped {
+		return
+	}
+	switch p.Type {
+	case wire.TypeSourceAck, wire.TypeLogSyncAck:
+		k := ackKey{node: int(ev.From), typ: p.Type, src: p.Source, grp: p.Group}
+		if last, ok := h.lastAck[k]; ok && p.Seq < last {
+			h.violate("ack-monotonicity", fmt.Sprintf(
+				"node %d %s regressed %d -> %d", ev.From, p.Type, last, p.Seq))
+		} else {
+			h.lastAck[k] = p.Seq
+		}
+	case wire.TypePromote:
+		if h.promoteAt.IsZero() && !h.primaryCrashAt.IsZero() {
+			h.promoteAt = ev.Time
+		}
+	}
+}
+
+// converged reports whether every live receiver has resolved everything up
+// to the last sent sequence number and the sender's buffer has drained.
+func (h *harness) converged() bool {
+	if h.tb.Sender.Retained() != 0 {
+		return false
+	}
+	for s, ts := range h.tb.Sites {
+		for i, node := range ts.ReceiverNodes {
+			if node.Crashed() {
+				continue
+			}
+			if h.receivers[s][i].Contiguous(h.key) < h.res.LastSeq {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// lagReport names the convergence stragglers.
+func (h *harness) lagReport() string {
+	var lags []string
+	if n := h.tb.Sender.Retained(); n != 0 {
+		lags = append(lags, fmt.Sprintf("sender retains %d", n))
+	}
+	for s, ts := range h.tb.Sites {
+		for i, node := range ts.ReceiverNodes {
+			if node.Crashed() {
+				continue
+			}
+			if got := h.receivers[s][i].Contiguous(h.key); got < h.res.LastSeq {
+				lags = append(lags, fmt.Sprintf("site%d/rcv%d at %d/%d", s+1, i, got, h.res.LastSeq))
+			}
+		}
+	}
+	return strings.Join(lags, "; ")
+}
+
+// nackCount sums NACK traffic across the deployment.
+func (h *harness) nackCount() uint64 {
+	var n uint64
+	for s := range h.receivers {
+		for _, r := range h.receivers[s] {
+			n += r.Stats().NacksSent
+		}
+		if sec := h.secondaries[s]; sec != nil {
+			n += sec.Stats().NacksToPrimary
+		}
+	}
+	for _, p := range h.primaries {
+		n += p.Stats().BackfillNacks
+	}
+	return n
+}
+
+// checkFinalInvariants runs the post-convergence structural checks.
+func (h *harness) checkFinalInvariants() {
+	// Exactly one acting primary among live logging servers.
+	acting := 0
+	for i, node := range h.primaryNodes {
+		if node.Crashed() {
+			continue
+		}
+		if !h.primaries[i].IsReplica() {
+			acting++
+		}
+	}
+	if acting != 1 {
+		h.violate("single-primary", fmt.Sprintf("%d acting primaries among live loggers", acting))
+	}
+	// Failover latency bound: detection needs backlog (≤ SendEvery old)
+	// aged past FailoverTimeout, observed by a jittered check firing at
+	// ≤ 1.25×FailoverTimeout intervals; then one probe round (FailoverWait)
+	// plus source-site RTT slack.
+	if !h.primaryCrashAt.IsZero() {
+		bound := h.cfg.FailoverTimeout*5/2 + h.cfg.FailoverWait + h.cfg.SendEvery + 250*time.Millisecond
+		if h.promoteAt.IsZero() {
+			h.violate("failover", "primary crashed but no Promote was ever sent")
+		} else if lat := h.promoteAt.Sub(h.primaryCrashAt); lat > bound {
+			h.violate("failover", fmt.Sprintf("crash->promote took %v, bound %v", lat, bound))
+		} else {
+			h.res.FailoverLatency = lat
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosDeterministic: the whole point of the harness — one seed must
+// reproduce the identical fault schedule and the identical packet trace.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, CrashPrimary: true}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Schedule) != len(b.Schedule) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a.Schedule), len(b.Schedule))
+	}
+	for i := range a.Schedule {
+		if a.Schedule[i] != b.Schedule[i] {
+			t.Fatalf("schedules diverge at %d: %s vs %s", i, a.Schedule[i], b.Schedule[i])
+		}
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("trace hashes differ: %016x vs %016x", a.TraceHash, b.TraceHash)
+	}
+	if a.LastSeq != b.LastSeq || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("verdicts differ:\n%s\nvs\n%s", a.Report(), b.Report())
+	}
+}
+
+// TestChaosDifferentSeedsDiverge: a sanity check that the schedule actually
+// depends on the seed (a constant schedule would make the matrix worthless).
+func TestChaosDifferentSeedsDiverge(t *testing.T) {
+	a := buildSchedule(Config{Seed: 1}.withDefaults())
+	b := buildSchedule(Config{Seed: 2}.withDefaults())
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical fault schedules")
+	}
+}
+
+// TestChaosPrimaryCrash: the hardest recovery path — primary dies mid-stream
+// with full state loss, a replica is promoted within the failover bound, the
+// old primary reboots as a cold replica, and the deployment converges.
+func TestChaosPrimaryCrash(t *testing.T) {
+	res, err := Run(Config{Seed: 7, CrashPrimary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariants violated:\n%s", res.Report())
+	}
+	if res.Failovers == 0 {
+		t.Fatalf("primary crashed but sender never failed over:\n%s", res.Report())
+	}
+	if res.FailoverLatency <= 0 {
+		t.Fatalf("no failover latency recorded:\n%s", res.Report())
+	}
+	if res.Promotions == 0 {
+		t.Fatalf("no replica was promoted:\n%s", res.Report())
+	}
+}
+
+// TestChaosPartitionsOnly and TestChaosLinkChaosOnly exercise single fault
+// classes so a matrix failure can be bisected by class.
+func TestChaosPartitionsOnly(t *testing.T) {
+	res, err := Run(Config{Seed: 11, DisableCrashes: true, DisableLinkChaos: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariants violated:\n%s", res.Report())
+	}
+}
+
+func TestChaosLinkChaosOnly(t *testing.T) {
+	res, err := Run(Config{Seed: 12, DisableCrashes: true, DisablePartitions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariants violated:\n%s", res.Report())
+	}
+}
+
+// TestChaosMatrix is the fixed seed matrix behind `make chaos`: every seed
+// must satisfy every invariant; a failure prints the seed and the schedule
+// (the Report embeds both), which is all that is needed to reproduce it.
+func TestChaosMatrix(t *testing.T) {
+	type entry struct {
+		seed int64
+		cfg  Config
+	}
+	matrix := []entry{
+		{1, Config{}},
+		{2, Config{}},
+		{3, Config{}},
+		{4, Config{CrashPrimary: true}},
+		{5, Config{CrashPrimary: true, Faults: 8}},
+		{6, Config{Replicas: 1, CrashPrimary: true}},
+		{7, Config{Sites: 4, ReceiversPerSite: 2}},
+		{8, Config{Faults: 10, Duration: 25 * time.Second}},
+	}
+	for _, e := range matrix {
+		e := e
+		e.cfg.Seed = e.seed
+		res, err := Run(e.cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", e.seed, err)
+		}
+		if !res.OK() {
+			t.Errorf("seed %d failed:\n%s", e.seed, res.Report())
+		} else {
+			t.Logf("seed %d: lastSeq=%d failovers=%d converged in %v",
+				e.seed, res.LastSeq, res.Failovers, res.ConvergeTook)
+		}
+	}
+}

@@ -607,7 +607,12 @@ func (r *Receiver) requestRetransmission(st *rcvStream) {
 		r.stats.NacksToPrimary++
 	}
 	st.retries++
-	st.retryTimer = r.after(r.cfg.RequestTimeout, func() {
+	// Jittered exponential backoff: a site full of receivers that lost the
+	// same packets must not re-fire NACKs in lockstep forever (retry storm
+	// after a healed partition), and a struggling logger sees geometrically
+	// decreasing pressure.
+	retry := transport.Backoff{Base: r.cfg.RequestTimeout}.Interval(st.retries-1, r.env.Rand())
+	st.retryTimer = r.after(retry, func() {
 		st.retryTimer = nil
 		if r.phaseExhausted(st) {
 			r.escalate(st, nil)
@@ -827,9 +832,21 @@ func (r *Receiver) onRedirect(p *wire.Packet) {
 	// that keeps naming a dead primary pins us in a retry loop forever).
 	same := st.primary == addr
 	st.primary = addr
-	if st.phase == phaseQueried && !same {
-		// A genuinely new primary may serve what we were about to abandon.
+	if same {
+		return
+	}
+	switch st.phase {
+	case phasePrimary, phaseQueried:
+		// A genuinely new primary invalidates retries burned against the
+		// old (dead) address: re-target the in-flight retry at the new
+		// primary immediately instead of letting MaxRetries expire against
+		// a host that will never answer.
 		st.phase = phasePrimary
 		st.retries = 0
+		if st.retryTimer != nil {
+			st.retryTimer.Stop()
+			st.retryTimer = nil
+			r.requestRetransmission(st)
+		}
 	}
 }

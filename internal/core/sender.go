@@ -226,10 +226,14 @@ type Sender struct {
 	retained     map[uint64]*retainedPkt
 	primaryAcked uint64 // cumulative primary logger seq
 	replicaAcked uint64 // cumulative replicated logger seq
+	released     uint64 // highest seq ever released from retention
 	lastAckAt    time.Time
 
 	primary  transport.Addr
 	failover *failoverState
+	// foProbes counts consecutive failover probe rounds with no replica
+	// reply, driving the re-probe backoff.
+	foProbes int
 
 	// Statistical acknowledgement.
 	epoch        uint32
@@ -410,7 +414,7 @@ func (s *Sender) Start(env transport.Env) {
 		}
 	}
 	if s.cfg.FailoverTimeout > 0 && s.primary != nil {
-		s.after(s.cfg.FailoverTimeout, s.failoverCheck)
+		s.armFailoverCheck(0)
 	}
 }
 
@@ -524,6 +528,15 @@ func (s *Sender) onSourceAck(p *wire.Packet) {
 	release := s.primaryAcked
 	if s.cfg.Durability == ReleaseOnReplicaAck && s.replicaAcked < release {
 		release = s.replicaAcked
+	}
+	if release > s.released {
+		s.released = release
+		// Release progress resets the failover backoff. A bare ack without
+		// progress deliberately does not: a just-promoted cold replica acks
+		// immediately (liveness) but may be backfilling for a while, and
+		// each fruitless failover round must keep backing off or the sender
+		// re-elects every FailoverTimeout while the log recovers.
+		s.foProbes = 0
 	}
 	for seq := range s.retained {
 		if seq <= release {
@@ -778,6 +791,16 @@ func (s *Sender) ackDeadline(pa *pendingAck) {
 
 // --- failover (§2.2.3) ---
 
+// armFailoverCheck schedules the next liveness check, jittered ±25% so a
+// fleet of senders that lost the same primary does not probe in lockstep.
+// attempt > 0 applies exponential backoff (used for fruitless re-probes
+// when no replica answers either — the whole logging service is likely
+// partitioned away, so hammering it at a fixed period helps nobody).
+func (s *Sender) armFailoverCheck(attempt int) {
+	d := transport.Backoff{Base: s.cfg.FailoverTimeout}.Interval(attempt, s.env.Rand())
+	s.after(d, s.failoverCheck)
+}
+
 func (s *Sender) failoverCheck() {
 	if s.failover != nil {
 		return
@@ -786,7 +809,7 @@ func (s *Sender) failoverCheck() {
 	if len(s.retained) > 0 && idle >= s.cfg.FailoverTimeout && len(s.cfg.Replicas) > 0 {
 		s.beginFailover()
 	} else {
-		s.after(s.cfg.FailoverTimeout, s.failoverCheck)
+		s.armFailoverCheck(s.foProbes)
 	}
 }
 
@@ -825,14 +848,28 @@ func (s *Sender) completeFailover(fo *failoverState) {
 	fo.finished = true
 	s.failover = nil
 	if !fo.haveAny {
-		// No replica answered; retry later.
-		s.after(s.cfg.FailoverTimeout, s.failoverCheck)
+		// No replica answered; retry later, backing off per fruitless round.
+		s.foProbes++
+		s.armFailoverCheck(s.foProbes)
 		return
 	}
+	// Count the election as a probe round too: until the new primary's
+	// acks actually advance the release watermark, successive failovers
+	// back off — re-electing at a fixed period while a cold replica
+	// backfills only thrashes the roster.
+	s.foProbes++
 	s.stats.Failovers++
 	s.primary = fo.best
+	// The winning replica just proved liveness by answering the probe:
+	// restart the idle clock, or the next check would still see the dead
+	// primary's whole silent window and immediately fail over again.
+	s.lastAckAt = s.env.Now()
+	// Seq carries the retention release watermark: the new primary must
+	// hold everything at or below it (this sender cannot re-supply released
+	// packets) and backfills any shortfall from its peer replicas.
 	prom := wire.Packet{
 		Type: wire.TypePromote, Source: s.cfg.Source, Group: s.cfg.Group,
+		Seq: s.released,
 	}
 	s.send(fo.best, &prom)
 	// Bring the new primary up to date from the retention buffer.
@@ -852,7 +889,7 @@ func (s *Sender) completeFailover(fo *failoverState) {
 		Addr: fo.best.String(),
 	}
 	s.multicast(&redir)
-	s.after(s.cfg.FailoverTimeout, s.failoverCheck)
+	s.armFailoverCheck(s.foProbes)
 }
 
 func (s *Sender) onPrimaryQuery(from transport.Addr) {

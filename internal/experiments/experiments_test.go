@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"nack", "recovery", "statack", "srm", "burst", "dis",
 		"estimate", "posack", "aggregation", "inline",
 		"hierarchy", "channel", "flow", "dissim", "reorder", "freshness",
+		"e20",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -420,5 +421,25 @@ func TestResultCSV(t *testing.T) {
 	want := "a,\"b,with comma\"\n1,\"quote \"\" inside\"\n"
 	if got != want {
 		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestE20RecoveryDistributions(t *testing.T) {
+	r := RecoveryDistributions()
+	for _, cl := range []string{"crash", "partition", "crash+burst"} {
+		if v := r.Get(cl + ".violations"); v != 0 {
+			t.Errorf("%s: %v invariant violations, want 0\n%s", cl, v, r)
+		}
+	}
+	// Primary-crash classes must actually exercise failover.
+	if r.Get("crash.failovers") == 0 || r.Get("crash+burst.failovers") == 0 {
+		t.Errorf("crash classes produced no failovers:\n%s", r)
+	}
+	// Failover latency stays within the configured detection+election
+	// bound (2.5×FailoverTimeout + FailoverWait + send interval + slack).
+	for _, cl := range []string{"crash", "crash+burst"} {
+		if v := r.Get(cl + ".fo_max_ms"); v <= 0 || v > 1500 {
+			t.Errorf("%s: failover max = %.0fms, want (0, 1500]", cl, v)
+		}
 	}
 }

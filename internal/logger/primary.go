@@ -38,6 +38,12 @@ type PrimaryConfig struct {
 	// Replica starts the server in the replica role: it does not join the
 	// multicast group and only applies LogSyncs until promoted.
 	Replica bool
+	// Peers lists the other replicas of the same log. A replica promoted to
+	// primary whose log ends below the source's retention floor (packets the
+	// source already released under its durability rule) backfills the gap
+	// from these peers via LogStateQuery + NACK instead of serving a
+	// permanent hole (§2.2.3 failover).
+	Peers []transport.Addr
 }
 
 func (c PrimaryConfig) withDefaults() PrimaryConfig {
@@ -76,6 +82,12 @@ type PrimaryStats struct {
 	LogSyncsApplied  uint64
 	StateQueries     uint64
 	Promotions       uint64
+	Demotions        uint64 // stepped down after a redirect named another primary
+	// Promotion-gap backfill (§2.2.3): a promoted replica fetching packets
+	// the source has already released from its peer replicas.
+	BackfillsStarted uint64
+	BackfillNacks    uint64
+	BackfillSkipped  uint64 // sequence numbers given up as unrecoverable
 	Malformed        uint64
 }
 
@@ -94,6 +106,12 @@ type Primary struct {
 	stats    PrimaryStats
 	replica  bool
 	stopped  bool
+	// syncTimer drives the LogSync repair tick; syncIdle counts consecutive
+	// ticks with nothing to send, driving the idle backoff.
+	syncTimer vtime.Timer
+	syncIdle  int
+	// backfill is the active promotion-gap backfill episode (nil when none).
+	backfill *backfillState
 	// last is a one-entry stream cache (see Secondary.last).
 	last *priStream
 	// scratch is the reusable wire-encoding buffer (bindings copy).
@@ -115,6 +133,21 @@ type priStream struct {
 type replicaState struct {
 	addr  transport.Addr
 	acked map[StreamKey]uint64 // cumulative LogSyncAck per stream
+}
+
+// backfillState tracks a promoted replica's fetch of the packets released
+// by the source before the old primary died (§2.2.3 failover gap).
+type backfillState struct {
+	st      *priStream
+	floor   uint64 // the source's release watermark: we must hold ≤ floor
+	retries int
+	// lastContig/fruitless detect stalled episodes: rounds that close no
+	// part of the hole. Peers that are alive but equally cold can never
+	// help, so a few fruitless rounds skip the hole early instead of
+	// riding the full backed-off MaxRetries schedule.
+	lastContig uint64
+	fruitless  int
+	timer      vtime.Timer
 }
 
 // NewPrimary returns a primary logger (or replica) for cfg.
@@ -185,8 +218,26 @@ func (p *Primary) joinAndSync() {
 		panic("logger: primary failed to join group: " + err.Error())
 	}
 	if len(p.replicas) > 0 {
-		p.after(p.cfg.SyncRetry, p.syncTick)
+		p.armSync(p.syncInterval())
 	}
+}
+
+// armSync (re)schedules the LogSync repair tick, reusing one timer handle.
+func (p *Primary) armSync(d time.Duration) {
+	if p.syncTimer != nil {
+		p.syncTimer.Reset(d)
+		return
+	}
+	p.syncTimer = p.after(d, p.syncTick)
+}
+
+// syncInterval is the next repair-tick delay: SyncRetry jittered ±25%,
+// doubling while consecutive ticks find nothing to send. Jitter keeps
+// primaries of different groups (and a promoted replica next to a restarted
+// one) from ticking in lockstep; the idle backoff keeps a fully synchronized
+// replica set nearly silent.
+func (p *Primary) syncInterval() time.Duration {
+	return transport.Backoff{Base: p.cfg.SyncRetry}.Interval(p.syncIdle, p.env.Rand())
 }
 
 // startEviction arms the periodic retention tick (runs in both roles).
@@ -235,8 +286,12 @@ func (p *Primary) Recv(from transport.Addr, data []byte) {
 		p.onLogSyncAck(from, &pkt)
 	case wire.TypeLogStateQuery:
 		p.onStateQuery(from, &pkt)
+	case wire.TypeLogStateReply:
+		p.onPeerStateReply(from, &pkt)
 	case wire.TypePromote:
 		p.onPromote(from, &pkt)
+	case wire.TypePrimaryRedirect:
+		p.onPrimaryRedirect(&pkt)
 	}
 }
 
@@ -273,6 +328,11 @@ func (p *Primary) onData(from transport.Addr, pkt *wire.Packet) {
 		for w := range waiters {
 			p.retransmit(st, pkt.Seq, w)
 		}
+	}
+	// A backfill episode completes as soon as the hole closes, not at the
+	// next retry tick.
+	if bf := p.backfill; bf != nil && bf.st == st && st.store.Contiguous() >= bf.floor {
+		p.finishBackfill(bf)
 	}
 	p.ackSource(st)
 	p.checkGaps(st)
@@ -336,6 +396,12 @@ func (p *Primary) replicate(st *priStream, seq uint64) {
 	if len(p.replicas) == 0 {
 		return
 	}
+	// Fresh work cancels the idle backoff: a loss of this eager copy should
+	// be repaired within one base SyncRetry, not a backed-off multiple.
+	if p.syncIdle > 0 {
+		p.syncIdle = 0
+		p.armSync(p.syncInterval())
+	}
 	payload, ok := st.store.Get(seq)
 	if !ok {
 		return
@@ -353,6 +419,7 @@ func (p *Primary) replicate(st *priStream, seq uint64) {
 // syncTick periodically re-sends LogSyncs the replicas have not
 // acknowledged.
 func (p *Primary) syncTick() {
+	anySent := false
 	for _, r := range p.replicas {
 		for key, st := range p.streams {
 			contig := st.store.Contiguous()
@@ -360,7 +427,17 @@ func (p *Primary) syncTick() {
 			for seq := r.acked[key] + 1; seq <= contig && sent < p.cfg.SyncBatch; seq++ {
 				payload, ok := st.store.Get(seq)
 				if !ok {
-					continue // evicted; replica can never catch up on this one
+					// Evicted or skipped; the replica can never catch up on
+					// this one. Jump to the next servable packet — stepping
+					// through the gap one sequence number at a time is
+					// unbounded when a backfill skip advanced the watermark
+					// by an arbitrary amount.
+					next := st.store.NextRetained(seq + 1)
+					if next == 0 || next > contig {
+						break
+					}
+					seq = next - 1
+					continue
 				}
 				sync := wire.Packet{
 					Type: wire.TypeLogSync, Source: key.Source, Group: key.Group,
@@ -369,10 +446,16 @@ func (p *Primary) syncTick() {
 				p.send(r.addr, &sync)
 				p.stats.LogSyncsSent++
 				sent++
+				anySent = true
 			}
 		}
 	}
-	p.after(p.cfg.SyncRetry, p.syncTick)
+	if anySent {
+		p.syncIdle = 0
+	} else if p.syncIdle < 8 {
+		p.syncIdle++
+	}
+	p.armSync(p.syncInterval())
 }
 
 func (p *Primary) onNack(from transport.Addr, pkt *wire.Packet) {
@@ -464,16 +547,194 @@ func (p *Primary) onStateQuery(from transport.Addr, pkt *wire.Packet) {
 // onPromote turns a replica into the acting primary: it joins the
 // multicast group, records the promoting source's address, and from then
 // on acknowledges and serves like a primary (§2.2.3).
+//
+// The packet's Seq carries the source's release watermark: every sequence
+// number at or below it has left the source's retention buffer, so if this
+// replica's log ends earlier (it was not actually the most up-to-date, or
+// replication lagged the release rule), the gap can only be recovered from
+// peer replicas — a backfill episode starts. The replica also adopts its
+// peers as replication targets so the dual-sequence-number durability story
+// survives the failover.
 func (p *Primary) onPromote(from transport.Addr, pkt *wire.Packet) {
 	if !p.replica {
 		return
 	}
 	p.replica = false
 	p.stats.Promotions++
+	if len(p.replicas) == 0 {
+		for _, a := range p.cfg.Peers {
+			p.replicas = append(p.replicas, &replicaState{addr: a, acked: make(map[StreamKey]uint64)})
+		}
+	}
 	p.joinAndSync()
 	st := p.stream(KeyOf(pkt))
 	st.source = from
+	if floor := pkt.Seq; floor > st.store.Contiguous() {
+		p.startBackfill(st, floor)
+	}
 	p.ackSource(st)
+}
+
+// onPrimaryRedirect handles the source's group-wide announcement of where
+// the log lives now. An acting primary that is NOT the named server has
+// been superseded — the source elected someone else, typically after this
+// server was unreachable long enough to be declared dead — and must step
+// down, or the deployment ends up with two acting primaries (split-brain):
+// both acknowledge sources and serve clients from logs that then diverge.
+// Demotion is safe: the log is kept, the server keeps answering NACKs and
+// state queries like any replica, and it can be promoted again later.
+func (p *Primary) onPrimaryRedirect(pkt *wire.Packet) {
+	if p.replica {
+		return
+	}
+	addr, err := p.env.ParseAddr(pkt.Addr)
+	if err != nil {
+		p.stats.Malformed++
+		return
+	}
+	if addr.String() == p.env.LocalAddr().String() {
+		return // the redirect names us: we are the rightful primary
+	}
+	p.replica = true
+	p.stats.Demotions++
+	if bf := p.backfill; bf != nil {
+		// The backfill episode dies with the role; the new primary owns
+		// closing the hole now.
+		if bf.timer != nil {
+			bf.timer.Stop()
+			bf.timer = nil
+		}
+		p.backfill = nil
+	}
+	p.env.Leave(p.cfg.Group)
+}
+
+// startBackfill begins recovering (Contiguous, floor] — packets the source
+// has released — from peer replicas. Peers are probed with LogStateQuery
+// (confirming liveness and waking their state); any reply triggers a NACK
+// for the still-missing ranges, which the peer serves from its log. When no
+// peer can help within MaxRetries, the hole is declared unrecoverable and
+// skipped so the acknowledgement watermark (and with it the source's
+// retention buffer) is not wedged forever.
+func (p *Primary) startBackfill(st *priStream, floor uint64) {
+	if len(p.cfg.Peers) == 0 {
+		p.skipBackfillHole(st, floor)
+		return
+	}
+	p.stats.BackfillsStarted++
+	bf := &backfillState{st: st, floor: floor, lastContig: st.store.Contiguous()}
+	p.backfill = bf
+	q := wire.Packet{
+		Type: wire.TypeLogStateQuery, Source: st.key.Source, Group: st.key.Group,
+	}
+	for _, a := range p.cfg.Peers {
+		p.send(a, &q)
+	}
+	p.armBackfillRetry(bf)
+}
+
+func (p *Primary) armBackfillRetry(bf *backfillState) {
+	d := transport.Backoff{Base: p.cfg.RequestTimeout}.Interval(bf.retries, p.env.Rand())
+	bf.timer = p.after(d, func() {
+		bf.timer = nil
+		p.backfillRetry(bf)
+	})
+}
+
+// backfillRetry re-probes the peers (or gives up) when a retry interval
+// elapses without the hole closing.
+func (p *Primary) backfillRetry(bf *backfillState) {
+	if p.backfill != bf {
+		return
+	}
+	contig := bf.st.store.Contiguous()
+	if contig >= bf.floor {
+		p.finishBackfill(bf)
+		return
+	}
+	if contig > bf.lastContig {
+		bf.lastContig = contig
+		bf.fruitless = 0
+	} else {
+		bf.fruitless++
+	}
+	bf.retries++
+	if bf.retries >= p.cfg.MaxRetries || bf.fruitless >= 3 {
+		p.skipBackfillHole(bf.st, bf.floor)
+		p.finishBackfill(bf)
+		return
+	}
+	// Keep acknowledging the source while the episode runs: the ack carries
+	// an unchanged watermark but proves this primary is alive and working,
+	// so the source does not keep re-electing while the log recovers.
+	p.ackSource(bf.st)
+	q := wire.Packet{
+		Type: wire.TypeLogStateQuery, Source: bf.st.key.Source, Group: bf.st.key.Group,
+	}
+	for _, a := range p.cfg.Peers {
+		p.send(a, &q)
+	}
+	p.armBackfillRetry(bf)
+}
+
+// onPeerStateReply handles a peer replica's LogStateReply during backfill:
+// a live peer is asked (via NACK) for everything still missing below the
+// floor, regardless of its reported contiguous sequence — a peer whose own
+// log has an early hole may still hold the later packets we need.
+func (p *Primary) onPeerStateReply(from transport.Addr, pkt *wire.Packet) {
+	bf := p.backfill
+	if bf == nil {
+		return
+	}
+	st := bf.st
+	if KeyOf(pkt) != st.key {
+		return
+	}
+	if st.store.Contiguous() >= bf.floor {
+		p.finishBackfill(bf)
+		return
+	}
+	ranges := st.store.Missing(bf.floor, wire.MaxNackRanges)
+	if len(ranges) == 0 {
+		p.finishBackfill(bf)
+		return
+	}
+	nack := wire.Packet{
+		Type: wire.TypeNack, Source: st.key.Source, Group: st.key.Group,
+		Ranges: ranges,
+	}
+	p.send(from, &nack)
+	p.stats.BackfillNacks++
+}
+
+// finishBackfill ends the episode (the hole is closed or skipped) and
+// re-acknowledges the source with the advanced watermark.
+func (p *Primary) finishBackfill(bf *backfillState) {
+	if bf.timer != nil {
+		bf.timer.Stop()
+		bf.timer = nil
+	}
+	if p.backfill == bf {
+		p.backfill = nil
+	}
+	p.ackSource(bf.st)
+}
+
+// skipBackfillHole declares (Contiguous, floor] unrecoverable: no peer can
+// serve it and the source has released it. The store advances past the hole
+// so acknowledgement progress resumes; clients NACKing into the hole see it
+// as evicted and abandon through their own escalation path.
+func (p *Primary) skipBackfillHole(st *priStream, floor uint64) {
+	contig := st.store.Contiguous()
+	if floor <= contig {
+		return
+	}
+	missing := uint64(0)
+	for _, r := range st.store.Missing(floor, 0) {
+		missing += r.Count()
+	}
+	st.store.Advance(floor)
+	p.stats.BackfillSkipped += missing
 }
 
 // checkGaps arms the aggregation timer for the primary's own recovery from
@@ -507,6 +768,22 @@ func (p *Primary) fetchFromSource(st *priStream, hi uint64) {
 		hi = st.store.Highest()
 	}
 	ranges := st.store.Missing(hi, wire.MaxNackRanges)
+	// A hole under an active backfill floor belongs to the peer replicas,
+	// not the source: the source has released everything at or below the
+	// floor and can never serve it.
+	if bf := p.backfill; bf != nil && bf.st == st {
+		trimmed := ranges[:0]
+		for _, r := range ranges {
+			if r.To <= bf.floor {
+				continue
+			}
+			if r.From <= bf.floor {
+				r.From = bf.floor + 1
+			}
+			trimmed = append(trimmed, r)
+		}
+		ranges = trimmed
+	}
 	// Include packets requested by clients that we never saw at all
 	// (beyond hi).
 	for seq := range st.pendingReq {
@@ -532,7 +809,10 @@ func (p *Primary) fetchFromSource(st *priStream, hi uint64) {
 	}
 	p.send(st.source, &nack)
 	p.stats.NacksToSource++
-	st.retryTimer = p.after(p.cfg.RequestTimeout, func() {
+	// Jittered exponential backoff (see Secondary.fetchMissing): the primary
+	// must not hammer a source that is down or partitioned at a fixed period.
+	retry := transport.Backoff{Base: p.cfg.RequestTimeout}.Interval(st.retries-1, p.env.Rand())
+	st.retryTimer = p.after(retry, func() {
 		st.retryTimer = nil
 		p.fetchFromSource(st, 0)
 	})

@@ -340,3 +340,38 @@ func TestPrimaryStopSilences(t *testing.T) {
 		t.Fatal("stopped primary served a request")
 	}
 }
+
+// TestPromoteWithForgedWatermarkBoundsSyncScan reproduces a hang found by
+// the adversarial-packet fuzzer (seed 0): a demoted primary re-promoted
+// with a forged huge release watermark skips the unrecoverable hole via
+// Advance, and the replica sync tick must then jump the gap rather than
+// walk it one sequence number at a time (2^60 Store.Get calls).
+func TestPromoteWithForgedWatermarkBoundsSyncScan(t *testing.T) {
+	p, env := newPrimary(t, PrimaryConfig{
+		Replicas:  []transport.Addr{replica1},
+		SyncRetry: 50 * time.Millisecond,
+	})
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "one")))
+	// Redirect naming another server demotes the acting primary.
+	redir := wire.Packet{Type: wire.TypePrimaryRedirect, Source: testSource,
+		Group: testGroup, Addr: transporttest.Addr("other").String()}
+	p.Recv(srcAddr, mustMarshal(t, redir))
+	if !p.IsReplica() {
+		t.Fatal("primary did not demote on redirect naming another server")
+	}
+	// Re-promotion with a forged astronomical watermark: no peers can serve
+	// the hole, so it is skipped, advancing contiguity by ~2^60.
+	prom := wire.Packet{Type: wire.TypePromote, Source: testSource,
+		Group: testGroup, Seq: 1 << 60}
+	p.Recv(srcAddr, mustMarshal(t, prom))
+	key := StreamKey{Source: testSource, Group: testGroup}
+	if got := p.Contiguous(key); got != 1<<60 {
+		t.Fatalf("Contiguous = %d, want %d", got, uint64(1)<<60)
+	}
+	// The sync tick over the un-acked replica must complete promptly; before
+	// the gap-jumping fix this walked every sequence number in the hole.
+	env.Advance(time.Second)
+	if p.Stats().Demotions != 1 {
+		t.Fatalf("Demotions = %d, want 1", p.Stats().Demotions)
+	}
+}

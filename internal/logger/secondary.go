@@ -571,7 +571,12 @@ func (s *Secondary) fetchMissing(st *secStream) {
 	}
 	s.send(st.primary, &nack)
 	s.stats.NacksToPrimary++
-	st.retryTimer = s.after(s.cfg.RequestTimeout, func() {
+	// Jittered exponential backoff: every site logger behind a healed
+	// partition holds the same gaps; fixed-period retries would hit the
+	// primary in synchronized waves (§2.2.2's correlated loss applies to
+	// control traffic too).
+	retry := transport.Backoff{Base: s.cfg.RequestTimeout}.Interval(st.retries-1, s.env.Rand())
+	st.retryTimer = s.after(retry, func() {
 		st.retryTimer = nil
 		s.fetchMissing(st)
 	})
@@ -661,10 +666,24 @@ func (s *Secondary) onRedirect(p *wire.Packet) {
 		return
 	}
 	st := s.stream(KeyOf(p))
+	if st.primary == addr {
+		return // already pointed there; nothing new
+	}
 	st.primary = addr
 	s.stats.RedirectsFollowed++
 	// A new primary may be able to serve what we had given up on.
 	st.gaveUpBelow = 0
+	// Re-target any in-flight fetch episode: retries burned against the
+	// old (dead) primary must not count toward MaxRetries at the new one,
+	// and the pending retry should re-fire at the new address now rather
+	// than after a full backoff interval.
+	st.retries = 0
+	if st.retryTimer != nil {
+		st.retryTimer.Stop()
+		st.retryTimer = nil
+		s.fetchMissing(st)
+		return
+	}
 	s.checkGaps(st)
 }
 

@@ -285,6 +285,42 @@ func (s *Store) Missing(hi uint64, maxRanges int) []wire.SeqRange {
 	return s.track.Missing(hi, maxRanges)
 }
 
+// NextRetained returns the smallest retained (servable) sequence number at
+// or above seq, or 0 when nothing at or above seq is held. Cost is bounded
+// by the number of live entries, never by the width of evicted or skipped
+// gaps — a forged watermark cannot turn a scan over the log into an
+// unbounded per-sequence walk.
+func (s *Store) NextRetained(seq uint64) uint64 {
+	best := uint64(0)
+	consider := func(q uint64) {
+		if q >= seq && (best == 0 || q < best) {
+			best = q
+		}
+	}
+	if s.count > 0 {
+		mask := uint64(len(s.slots) - 1)
+		start := s.lo
+		if seq > start {
+			start = seq
+		}
+		for q := start; q < s.lo+uint64(len(s.slots)); q++ {
+			if sl := &s.slots[q&mask]; sl.seq == q {
+				consider(q)
+				break
+			}
+		}
+	}
+	for q := range s.side {
+		consider(q)
+	}
+	if s.spill != nil {
+		for q := range s.spill.index {
+			consider(q)
+		}
+	}
+	return best
+}
+
 // EvictExpired drops packets older than MaxAge.
 func (s *Store) EvictExpired(now time.Time) { s.evictAge(now) }
 

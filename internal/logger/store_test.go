@@ -596,3 +596,33 @@ func TestStoreGetValidUntilNextPut(t *testing.T) {
 		t.Fatalf("Get(1) = %q,%v", got, ok)
 	}
 }
+
+// TestStoreNextRetained exercises the gap-jumping helper the sync scan
+// relies on: it must find the lowest servable sequence at or above a
+// point without walking the (possibly astronomically wide) hole between.
+func TestStoreNextRetained(t *testing.T) {
+	s := NewStore(Retention{MaxPackets: 4})
+	defer s.Close()
+	if got := s.NextRetained(1); got != 0 {
+		t.Fatalf("empty store NextRetained = %d, want 0", got)
+	}
+	for seq := uint64(1); seq <= 6; seq++ {
+		s.Put(seq, []byte("x"), tBase)
+	}
+	// MaxPackets 4: seqs 1-2 evicted, 3-6 retained.
+	if got := s.NextRetained(1); got != 3 {
+		t.Fatalf("NextRetained(1) = %d, want 3", got)
+	}
+	if got := s.NextRetained(4); got != 4 {
+		t.Fatalf("NextRetained(4) = %d, want 4", got)
+	}
+	if got := s.NextRetained(7); got != 0 {
+		t.Fatalf("NextRetained(7) = %d, want 0", got)
+	}
+	// A forged skip far ahead must not make the lookup walk the gap.
+	s.Advance(1 << 60)
+	s.Put(1<<60+5, []byte("y"), tBase)
+	if got := s.NextRetained(7); got != 1<<60+5 {
+		t.Fatalf("NextRetained across wide gap = %d, want %d", got, uint64(1<<60+5))
+	}
+}

@@ -133,6 +133,134 @@ func (d *DropSeqs) Drop(time.Time, *rand.Rand) bool {
 	return d.Indices[d.count]
 }
 
+// ReorderingModel is an optional LossModel extension: surviving packets may
+// be held back by an extra delay, letting later packets overtake them. The
+// link adds ExtraDelay's result to the packet's arrival time.
+type ReorderingModel interface {
+	LossModel
+	ExtraDelay(now time.Time, rng *rand.Rand) time.Duration
+}
+
+// DuplicatingModel is an optional LossModel extension: surviving packets may
+// be delivered twice. When Duplicate reports true, the link schedules a
+// second copy lagging the original by the returned duration.
+type DuplicatingModel interface {
+	LossModel
+	Duplicate(now time.Time, rng *rand.Rand) (lag time.Duration, dup bool)
+}
+
+// Reorder never drops; with probability P it delays a packet by an extra
+// uniform amount in (0, MaxDelay], so packets sent close together can arrive
+// out of order. Compose it with a drop model for lossy-and-reordering links.
+type Reorder struct {
+	P        float64
+	MaxDelay time.Duration
+}
+
+// Drop implements LossModel (never drops).
+func (Reorder) Drop(time.Time, *rand.Rand) bool { return false }
+
+// ExtraDelay implements ReorderingModel.
+func (r Reorder) ExtraDelay(_ time.Time, rng *rand.Rand) time.Duration {
+	if r.MaxDelay <= 0 || rng.Float64() >= r.P {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(r.MaxDelay))) + 1
+}
+
+// Duplicate never drops; with probability P it delivers a second copy of the
+// packet, Lag after the original (0 means back-to-back). Receiver-side
+// dedup is the protocol's job, not the network's.
+type Duplicate struct {
+	P   float64
+	Lag time.Duration
+}
+
+// Drop implements LossModel (never drops).
+func (Duplicate) Drop(time.Time, *rand.Rand) bool { return false }
+
+// Duplicate implements DuplicatingModel.
+func (d Duplicate) Duplicate(_ time.Time, rng *rand.Rand) (time.Duration, bool) {
+	if rng.Float64() >= d.P {
+		return 0, false
+	}
+	return d.Lag, true
+}
+
+// Chain composes several loss models on one link: a packet drops if any
+// member drops it, reorder delays add, and the first member that duplicates
+// wins. Every member is consulted on every packet (even after an earlier
+// member already dropped it) so each model's rng/state stream advances
+// identically whatever the others decide — a prerequisite for reproducible
+// fault schedules.
+type Chain struct{ Models []LossModel }
+
+// Compose builds a Chain; nil members are skipped.
+func Compose(models ...LossModel) *Chain {
+	c := &Chain{}
+	for _, m := range models {
+		if m != nil {
+			c.Models = append(c.Models, m)
+		}
+	}
+	return c
+}
+
+// Drop implements LossModel.
+func (c *Chain) Drop(now time.Time, rng *rand.Rand) bool {
+	drop := false
+	for _, m := range c.Models {
+		if m.Drop(now, rng) {
+			drop = true
+		}
+	}
+	return drop
+}
+
+// DropPacket implements PacketAwareLoss, routing to members' DropPacket
+// where available.
+func (c *Chain) DropPacket(now time.Time, rng *rand.Rand, data []byte) bool {
+	drop := false
+	for _, m := range c.Models {
+		var d bool
+		if pa, ok := m.(PacketAwareLoss); ok {
+			d = pa.DropPacket(now, rng, data)
+		} else {
+			d = m.Drop(now, rng)
+		}
+		if d {
+			drop = true
+		}
+	}
+	return drop
+}
+
+// ExtraDelay implements ReorderingModel, summing members' extra delays.
+func (c *Chain) ExtraDelay(now time.Time, rng *rand.Rand) time.Duration {
+	var total time.Duration
+	for _, m := range c.Models {
+		if rm, ok := m.(ReorderingModel); ok {
+			total += rm.ExtraDelay(now, rng)
+		}
+	}
+	return total
+}
+
+// Duplicate implements DuplicatingModel; the first member that duplicates
+// wins (later members are still consulted to keep their rng draws aligned).
+func (c *Chain) Duplicate(now time.Time, rng *rand.Rand) (time.Duration, bool) {
+	var lag time.Duration
+	dup := false
+	for _, m := range c.Models {
+		if dm, ok := m.(DuplicatingModel); ok {
+			if l, d := dm.Duplicate(now, rng); d && !dup {
+				lag, dup = l, true
+			}
+		}
+	}
+	return lag, dup
+}
+
 // DropMatching drops, among packets satisfying Match, exactly those whose
 // 1-based match index is listed in Indices. Packets that do not match are
 // never dropped. It implements PacketAwareLoss; used to lose "the 3rd data

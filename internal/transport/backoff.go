@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry intervals. LBRM's recovery
+// machinery re-fires NACKs and sync probes on timers; with a fixed period,
+// every node that lost the same packets (correlated loss is the norm on a
+// shared tail circuit, §2.2.2) retries at the same instant forever — a
+// healed partition is greeted by a synchronized retry storm. Backoff breaks
+// both pathologies: the interval doubles per attempt (bounded pressure on a
+// struggling peer) and each interval is jittered ±25% from the node's own
+// random source (desynchronization across nodes).
+//
+// The zero value of Jitter means the default ±25%; Cap defaults to 16×Base.
+type Backoff struct {
+	// Base is the interval before the first retry (attempt 0).
+	Base time.Duration
+	// Cap bounds the un-jittered interval (default 16×Base).
+	Cap time.Duration
+	// Jitter is the relative jitter half-width (default 0.25 = ±25%).
+	Jitter float64
+}
+
+// Interval returns the delay before retry number attempt (0-based): Base
+// doubled per attempt, saturating at Cap, jittered uniformly in
+// [1-Jitter, 1+Jitter) using rng. A nil rng yields the un-jittered value
+// (deterministic, for tests).
+func (b Backoff) Interval(attempt int, rng *rand.Rand) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		return 0
+	}
+	cap := b.Cap
+	if cap <= 0 {
+		cap = 16 * base
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= cap || d <= 0 { // d <= 0 catches overflow
+			d = cap
+			break
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	j := b.Jitter
+	if j == 0 {
+		j = 0.25
+	}
+	if rng == nil || j < 0 {
+		return d
+	}
+	// factor ∈ [1-j, 1+j)
+	factor := 1 - j + 2*j*rng.Float64()
+	return time.Duration(float64(d) * factor)
+}

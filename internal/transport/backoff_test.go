@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 800 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 800 * time.Millisecond, 800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Interval(i, nil); got != w {
+			t.Fatalf("attempt %d: got %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffDefaultCap(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Jitter: -1}
+	if got, want := b.Interval(10, nil), 16*50*time.Millisecond; got != want {
+		t.Fatalf("default cap: got %v, want %v", got, want)
+	}
+}
+
+func TestBackoffOverflowSaturates(t *testing.T) {
+	b := Backoff{Base: time.Hour, Cap: 1<<62 - 1, Jitter: -1}
+	if got := b.Interval(100, nil); got <= 0 {
+		t.Fatalf("overflowed to %v", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Hour}
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 5; attempt++ {
+		nominal := b.Interval(attempt, nil)
+		for i := 0; i < 200; i++ {
+			d := b.Interval(attempt, rng)
+			lo := time.Duration(float64(nominal) * 0.75)
+			hi := time.Duration(float64(nominal) * 1.25)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: interval %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestBackoffSuccessiveIntervalsGrow checks the satellite requirement
+// directly: realized (jittered) retry intervals still grow attempt over
+// attempt, because doubling dominates the ±25% jitter band.
+func TestBackoffSuccessiveIntervalsGrow(t *testing.T) {
+	b := Backoff{Base: 250 * time.Millisecond, Cap: time.Minute}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		prev := b.Interval(0, rng)
+		for attempt := 1; attempt < 6; attempt++ {
+			d := b.Interval(attempt, rng)
+			if d <= prev {
+				t.Fatalf("trial %d attempt %d: interval %v did not grow past %v", trial, attempt, d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+// TestBackoffDesynchronizesNodes checks that two nodes with distinct seeds
+// do not share retry instants: over a simulated episode the cumulative fire
+// times diverge.
+func TestBackoffDesynchronizesNodes(t *testing.T) {
+	b := Backoff{Base: 250 * time.Millisecond, Cap: 8 * time.Second}
+	a := rand.New(rand.NewSource(1))
+	c := rand.New(rand.NewSource(2))
+	same := 0
+	var ta, tc time.Duration
+	for attempt := 0; attempt < 8; attempt++ {
+		ia, ic := b.Interval(attempt, a), b.Interval(attempt, c)
+		ta += ia
+		tc += ic
+		if ta == tc {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("nodes fired at identical cumulative instants %d times", same)
+	}
+}

@@ -43,6 +43,12 @@ type (
 	FirstN = netsim.FirstN
 	// DropSeqs drops packets by their traversal index on a link.
 	DropSeqs = netsim.DropSeqs
+	// Duplicate delivers some packets twice (never drops).
+	Duplicate = netsim.Duplicate
+	// Reorder delays some packets so later ones overtake them (never drops).
+	Reorder = netsim.Reorder
+	// Chain composes several loss models on one link (see Compose).
+	Chain = netsim.Chain
 	// DropMatching drops selected packets among those matching a filter.
 	DropMatching = netsim.DropMatching
 	// TapEvent describes one packet traversal of one link.
@@ -56,6 +62,10 @@ type (
 // NewNetwork returns a fresh simulated internetwork seeded for
 // reproducibility.
 func NewNetwork(seed int64) *Network { return netsim.New(seed) }
+
+// Compose chains loss models on one link: a packet drops if any member
+// drops it, reorder delays add, the first duplicating member wins.
+func Compose(models ...LossModel) *Chain { return netsim.Compose(models...) }
 
 // PcapTap returns a tap writing traffic on links matching the name filter
 // to a pcap stream (open the file in Wireshark). See netsim.PcapTap.
@@ -118,6 +128,13 @@ type Testbed struct {
 	SourceSite *Site
 	Sites      []*TestbedSite
 
+	// Effective configs as wired (identity and address fields filled in),
+	// retained so chaos tests can rebuild a handler after Crash/Restart
+	// with the exact configuration the dead incarnation ran.
+	SenderCfg   SenderConfig
+	PrimaryCfg  PrimaryConfig
+	ReplicaCfgs []PrimaryConfig
+
 	// Delivered counts OnData events across all receivers (in addition to
 	// any OnData the caller configured).
 	Delivered map[uint64]int
@@ -130,6 +147,10 @@ type TestbedSite struct {
 	SecondaryNode *SimNode
 	Receivers     []*Receiver
 	ReceiverNodes []*SimNode
+
+	// SecondaryCfg and ReceiverCfgs mirror Testbed's retained configs.
+	SecondaryCfg SecondaryConfig
+	ReceiverCfgs []ReceiverConfig
 }
 
 // NewTestbed builds and starts the deployment. The virtual clock has not
@@ -160,23 +181,38 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	})
 	tb.SourceSite = srcSite
 
-	// Primary and replicas first: the sender needs their addresses.
+	// Primary and replicas: allocate the nodes first so every logger can be
+	// configured with the others' addresses — each replica lists its peer
+	// replicas (promotion backfill, §2.2.3) and the acting primary lists
+	// its replication targets.
 	pcfg := cfg.Primary
 	pcfg.Group = cfg.Group
+	tb.PrimaryNode = srcSite.NewHost("primary", nil)
 	for i := 0; i < cfg.Replicas; i++ {
+		tb.ReplicaNodes = append(tb.ReplicaNodes, srcSite.NewHost(fmt.Sprintf("replica%d", i), nil))
+	}
+	for i, node := range tb.ReplicaNodes {
 		rcfg := pcfg
 		rcfg.Replica = true
 		rcfg.Replicas = nil
+		rcfg.Peers = append([]transport.Addr(nil), pcfg.Peers...)
+		for j, other := range tb.ReplicaNodes {
+			if j != i {
+				rcfg.Peers = append(rcfg.Peers, other.Addr())
+			}
+		}
 		rep := logger.NewPrimary(rcfg)
-		node := srcSite.NewHost(fmt.Sprintf("replica%d", i), rep)
+		node.SetHandler(rep)
 		tb.Replicas = append(tb.Replicas, rep)
-		tb.ReplicaNodes = append(tb.ReplicaNodes, node)
+		tb.ReplicaCfgs = append(tb.ReplicaCfgs, rcfg)
 	}
+	pcfg.Replicas = append([]transport.Addr(nil), pcfg.Replicas...)
 	for _, rn := range tb.ReplicaNodes {
 		pcfg.Replicas = append(pcfg.Replicas, rn.Addr())
 	}
 	tb.Primary = logger.NewPrimary(pcfg)
-	tb.PrimaryNode = srcSite.NewHost("primary", tb.Primary)
+	tb.PrimaryNode.SetHandler(tb.Primary)
+	tb.PrimaryCfg = pcfg
 
 	scfg := cfg.Sender
 	scfg.Source = cfg.Source
@@ -191,6 +227,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	}
 	tb.Sender = sender
 	tb.SenderNode = srcSite.NewHost("sender", sender)
+	tb.SenderCfg = scfg
 
 	for i := 0; i < cfg.Sites; i++ {
 		site := tb.Net.NewSite(netsim.SiteParams{
@@ -207,6 +244,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			ts.Secondary = logger.NewSecondary(secCfg)
 			ts.SecondaryNode = site.NewHost(fmt.Sprintf("site%d/logger", i+1), ts.Secondary)
 			secAddr = ts.SecondaryNode.Addr()
+			ts.SecondaryCfg = secCfg
 		}
 		for j := 0; j < cfg.ReceiversPerSite; j++ {
 			rCfg := cfg.Receiver
@@ -230,6 +268,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			node := site.NewHost(fmt.Sprintf("site%d/rcv%d", i+1, j), rcv)
 			ts.Receivers = append(ts.Receivers, rcv)
 			ts.ReceiverNodes = append(ts.ReceiverNodes, node)
+			ts.ReceiverCfgs = append(ts.ReceiverCfgs, rCfg)
 		}
 		tb.Sites = append(tb.Sites, ts)
 	}
