@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test allocgate chaos bench perf
+.PHONY: check vet build test allocgate chaos fuzzsmoke bench perf
 
 # check is the pre-commit gate: static checks, the full suite under the
 # race detector, the datapath allocation gate with a short benchtime
-# pass over every micro-benchmark, and the chaos seed matrix.
-check: vet build test allocgate chaos
+# pass over every micro-benchmark, the chaos seed matrix, and a short
+# fuzz pass over the epoch-carrying wire codec.
+check: vet build test allocgate chaos fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +28,12 @@ allocgate:
 #   go run ./cmd/lbrm-sim -chaos -seed N [-chaos-crash-primary] ...
 chaos:
 	$(GO) test -race ./internal/chaos/ -count=1
+
+# fuzzsmoke runs a short coverage-guided pass over the wire codec — the
+# surface that grew the primary-epoch and advance-record fields. The seed
+# corpus alone runs in every `go test`; this target actually mutates.
+fuzzsmoke:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s
 
 # bench runs every benchmark in the repo at full benchtime.
 bench:

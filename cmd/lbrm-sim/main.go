@@ -39,6 +39,9 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "run the deterministic chaos harness instead of the traffic simulation")
 	chaosCrash := flag.Bool("chaos-crash-primary", false, "with -chaos: force a primary crash into the schedule")
 	chaosFaults := flag.Int("chaos-faults", 0, "with -chaos: number of faults to schedule (0 = default)")
+	chaosSrcPart := flag.Bool("chaos-source-partition", false, "with -chaos: isolate the acting primary from the source segment (epoch fencing)")
+	chaosJoinWin := flag.Bool("chaos-join-window", false, "with -chaos: land every fault in the first tenth of the run")
+	chaosOverlap := flag.Bool("chaos-overlapping", false, "with -chaos: overlap a flaky-link and a partition window on one site")
 	flag.Parse()
 
 	if *chaosMode {
@@ -51,6 +54,9 @@ func main() {
 			SendEvery:        *interval,
 			Faults:           *chaosFaults,
 			CrashPrimary:     *chaosCrash,
+			SourcePartition:  *chaosSrcPart,
+			JoinWindow:       *chaosJoinWin,
+			Overlapping:      *chaosOverlap,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -17,8 +17,27 @@
 //   - after convergence the network goes quiet — no NACK traffic at all in
 //     a trailing window (retry storms and leaked retry loops show up here);
 //   - if the primary crashed, failover completed within the analytic bound;
+//   - primary-epoch monotonicity per observer: no node's authority-bearing
+//     traffic (source acks, log syncs, sync acks, promotes, redirects,
+//     heartbeats) ever regresses to a lower primary epoch within one
+//     incarnation;
+//   - at most one un-fenced acting primary at every virtual instant: a
+//     second acting primary may exist only while a fault window isolates it
+//     (it cannot have heard the new epoch) or within a short grace after
+//     the heal;
+//   - NACK budget (§2.2.2): every NACK traversal attempted on a receiver
+//     site's tail circuit is accounted for by that site's secondary and
+//     receiver NacksToPrimary counters — recovery load on the backbone is
+//     exactly the per-site aggregate, nothing leaks around it;
 //   - after everything stops, the event queue drains — a timer that
 //     re-arms itself past shutdown is a leak.
+//
+// Beyond the original crash/partition/flaky-link faults, the schedule can
+// include a source-segment partition (the acting primary isolated deaf,
+// mute, or both while sender and replicas stay mutually reachable —
+// §2.2.3's split-brain scenario), join-window faults (everything fired in
+// the first tenth of the run, while streams are still establishing state),
+// and overlapping fault windows on one site's tail circuit.
 //
 // Every run is reproducible from its seed alone: the same seed yields the
 // same fault schedule, the same packet trace (TraceHash), and the same
@@ -52,6 +71,25 @@ type Config struct {
 	// CrashPrimary forces one primary crash (plus restart as a cold
 	// replica) into the schedule. Requires Replicas ≥ 1.
 	CrashPrimary bool
+	// SourcePartition forces a source-segment partition into the schedule:
+	// the acting primary's host is isolated — deaf, mute, or both, chosen
+	// by the seed — while the sender and the replicas remain mutually
+	// reachable, then healed. The stale primary keeps its state and its
+	// conviction of authority; epoch fencing must neutralize it (§2.2.3).
+	// Mutually exclusive with CrashPrimary; requires Replicas ≥ 1.
+	SourcePartition bool
+	// JoinWindow draws every random fault's start from the join window
+	// (t < Duration/10), when receivers and loggers are still establishing
+	// first contact — the protocol's most fragile phase.
+	JoinWindow bool
+	// Overlapping schedules a flaky-link window and a partition window
+	// that overlap on the same site's tail circuit, exercising stacked
+	// fault application and out-of-order heals.
+	Overlapping bool
+	// disableFencing runs every logging server with epoch fencing off
+	// (test-only): used to demonstrate that the un-fenced-primary
+	// invariant actually trips when the mechanism is reverted.
+	disableFencing bool
 	// DisableCrashes / DisablePartitions / DisableLinkChaos remove a fault
 	// class from the random schedule.
 	DisableCrashes    bool
@@ -105,19 +143,25 @@ func (c Config) withDefaults() Config {
 type Fault struct {
 	At, Dur time.Duration
 	// Kind is one of crash-receiver, crash-secondary, crash-replica,
-	// crash-primary, partition, flaky-link.
+	// crash-primary, partition, flaky-link, partition-source.
 	Kind string
 	// Site and Idx locate the target where applicable (-1 otherwise).
+	// For partition-source, Idx encodes the isolation mode: 0 = both
+	// directions, 1 = mute (outbound gated), 2 = deaf (inbound gated).
 	Site, Idx int
 }
 
 func (f Fault) String() string {
 	loc := ""
-	if f.Site >= 0 {
-		loc = fmt.Sprintf(" site%d", f.Site+1)
-	}
-	if f.Idx >= 0 {
-		loc += fmt.Sprintf("/%d", f.Idx)
+	if f.Kind == "partition-source" {
+		loc = " " + [...]string{"both", "mute", "deaf"}[f.Idx]
+	} else {
+		if f.Site >= 0 {
+			loc = fmt.Sprintf(" site%d", f.Site+1)
+		}
+		if f.Idx >= 0 {
+			loc += fmt.Sprintf("/%d", f.Idx)
+		}
 	}
 	return fmt.Sprintf("t=%v +%v %s%s", f.At, f.Dur, f.Kind, loc)
 }
@@ -149,6 +193,40 @@ type Result struct {
 	// BackfillSkipped counts sequence numbers declared unrecoverable by a
 	// promoted replica (data loss — possible when peers were also faulted).
 	BackfillSkipped uint64
+	// PrimaryEpoch is the sender's final primary epoch (1 = no failover
+	// ever happened; each failover mints the next epoch).
+	PrimaryEpoch uint32
+	// StaleSourceAcks counts source acks the sender fenced as coming from
+	// a stale (lower-epoch) primary.
+	StaleSourceAcks uint64
+	// TailTraffic classifies every attempted tail-circuit traversal
+	// (drops included: a NACK that dies in a partition still spent the
+	// attempt) by recovery-bandwidth class; TailTrafficFault is the subset
+	// that happened inside a fault window.
+	TailTraffic, TailTrafficFault map[string]TrafficCounters
+}
+
+// TrafficCounters accumulates one traffic class's tail-circuit load.
+type TrafficCounters struct {
+	Packets, Bytes uint64
+}
+
+// trafficClass buckets a packet type for recovery-bandwidth accounting.
+func trafficClass(t wire.Type) string {
+	switch t {
+	case wire.TypeData:
+		return "data"
+	case wire.TypeHeartbeat:
+		return "heartbeat"
+	case wire.TypeNack:
+		return "nack"
+	case wire.TypeRetrans:
+		return "retrans"
+	case wire.TypeLogSync, wire.TypeLogSyncAck:
+		return "sync"
+	default:
+		return "control"
+	}
 }
 
 // OK reports whether every invariant held.
@@ -171,6 +249,22 @@ func (r *Result) Report() string {
 	if r.BackfillSkipped > 0 {
 		fmt.Fprintf(&b, "  backfill skipped: %d seqs\n", r.BackfillSkipped)
 	}
+	fmt.Fprintf(&b, "  primary epoch: %d; stale source acks fenced: %d\n",
+		r.PrimaryEpoch, r.StaleSourceAcks)
+	if len(r.TailTraffic) > 0 {
+		var classes []string
+		for c := range r.TailTraffic {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		b.WriteString("  tail-circuit traffic (attempted traversals):\n")
+		for _, c := range classes {
+			tc := r.TailTraffic[c]
+			ft := r.TailTrafficFault[c]
+			fmt.Fprintf(&b, "    %-9s %6d pkts %8d B  (in fault windows: %d pkts %d B)\n",
+				c, tc.Packets, tc.Bytes, ft.Packets, ft.Bytes)
+		}
+	}
 	fmt.Fprintf(&b, "  trace hash: %016x\n", r.TraceHash)
 	if r.OK() {
 		b.WriteString("  PASS: all invariants held\n")
@@ -180,6 +274,14 @@ func (r *Result) Report() string {
 		}
 	}
 	return b.String()
+}
+
+// bump adds one attempted traversal to a traffic-class counter.
+func bump(m map[string]TrafficCounters, cls string, size int) {
+	c := m[cls]
+	c.Packets++
+	c.Bytes += uint64(size)
+	m[cls] = c
 }
 
 // ackKey identifies one acknowledgement stream for monotonicity tracking.
@@ -214,7 +316,40 @@ type harness struct {
 	lastAck        map[ackKey]uint64
 	primaryCrashAt time.Time
 	promoteAt      time.Time
+
+	// Epoch-fencing invariant state.
+	start time.Time
+	// lastEpoch tracks the highest primary epoch each node has stamped on
+	// authority-bearing traffic (per incarnation; cleared on crash).
+	lastEpoch map[int]uint32
+	// excuseFrom/To is the window in which the original primary is excused
+	// from the un-fenced-primary check: it is isolated by a source-segment
+	// partition (or just healed and has not yet heard the new epoch).
+	excuseFrom, excuseTo time.Time
+	monitorStop          bool
+	unfencedHit          bool
+	epochHit             bool
+
+	// Recovery-bandwidth accounting.
+	tailLinks    map[*lbrm.Link]bool
+	tailUpSite   map[*lbrm.Link]int
+	faultWindows []timeWindow
+	// nackUp counts attempted TypeNack traversals per receiver site's
+	// tail-up link; deadNacks accumulates NacksToPrimary of crashed
+	// handler incarnations per site.
+	nackUp, deadNacks []uint64
 }
+
+// timeWindow is a half-open absolute time interval.
+type timeWindow struct{ from, to time.Time }
+
+// monitorEvery is the un-fenced-primary check cadence.
+const monitorEvery = 25 * time.Millisecond
+
+// fenceGrace is how long after a heal a stale acting primary is still
+// excused: one heartbeat interval (HMax 400ms) plus propagation slack must
+// suffice for it to hear the new epoch and self-demote.
+const fenceGrace = 650 * time.Millisecond
 
 // Run executes one chaos run and returns its verdict. The only error cases
 // are construction failures; invariant violations are reported in the
@@ -224,6 +359,12 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.CrashPrimary && cfg.Replicas < 1 {
 		return nil, fmt.Errorf("chaos: CrashPrimary requires at least one replica")
 	}
+	if cfg.SourcePartition && cfg.Replicas < 1 {
+		return nil, fmt.Errorf("chaos: SourcePartition requires at least one replica")
+	}
+	if cfg.SourcePartition && cfg.CrashPrimary {
+		return nil, fmt.Errorf("chaos: SourcePartition and CrashPrimary are mutually exclusive (both target the acting primary)")
+	}
 	schedule := buildSchedule(cfg)
 
 	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
@@ -231,6 +372,7 @@ func Run(cfg Config) (*Result, error) {
 		Sites:            cfg.Sites,
 		ReceiversPerSite: cfg.ReceiversPerSite,
 		Replicas:         cfg.Replicas,
+		Primary:          lbrm.PrimaryConfig{UnsafeNoFence: cfg.disableFencing},
 		Sender: lbrm.SenderConfig{
 			Heartbeat:       lbrm.HeartbeatParams{HMin: 50 * time.Millisecond, HMax: 400 * time.Millisecond, Backoff: 2},
 			FailoverTimeout: cfg.FailoverTimeout,
@@ -250,12 +392,28 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	h := &harness{
-		cfg:     cfg,
-		tb:      tb,
-		res:     &Result{Seed: cfg.Seed, Schedule: schedule},
-		key:     lbrm.StreamKey{Source: tb.Source, Group: tb.Group},
-		logKey:  lbrm.LogStreamKey{Source: tb.Source, Group: tb.Group},
-		lastAck: make(map[ackKey]uint64),
+		cfg: cfg,
+		tb:  tb,
+		res: &Result{
+			Seed: cfg.Seed, Schedule: schedule,
+			TailTraffic:      make(map[string]TrafficCounters),
+			TailTrafficFault: make(map[string]TrafficCounters),
+		},
+		key:        lbrm.StreamKey{Source: tb.Source, Group: tb.Group},
+		logKey:     lbrm.LogStreamKey{Source: tb.Source, Group: tb.Group},
+		lastAck:    make(map[ackKey]uint64),
+		lastEpoch:  make(map[int]uint32),
+		tailLinks:  make(map[*lbrm.Link]bool),
+		tailUpSite: make(map[*lbrm.Link]int),
+		nackUp:     make([]uint64, cfg.Sites),
+		deadNacks:  make([]uint64, cfg.Sites),
+	}
+	h.tailLinks[tb.SourceSite.TailUp()] = true
+	h.tailLinks[tb.SourceSite.TailDown()] = true
+	for i, ts := range tb.Sites {
+		h.tailLinks[ts.Site.TailUp()] = true
+		h.tailLinks[ts.Site.TailDown()] = true
+		h.tailUpSite[ts.Site.TailUp()] = i
 	}
 	for _, ts := range tb.Sites {
 		h.receivers = append(h.receivers, append([]*lbrm.Receiver(nil), ts.Receivers...))
@@ -276,10 +434,18 @@ func Run(cfg Config) (*Result, error) {
 	tb.Net.SetTap(h.tap)
 
 	clk := tb.Net.Clock()
+	h.start = clk.Now()
 	for _, f := range schedule {
 		f := f
 		clk.AfterFunc(f.At, func() { h.applyFault(f) })
+		h.faultWindows = append(h.faultWindows, timeWindow{
+			from: h.start.Add(f.At), to: h.start.Add(f.At + f.Dur)})
+		if f.Kind == "partition-source" {
+			h.excuseFrom = h.start.Add(f.At)
+			h.excuseTo = h.start.Add(f.At + f.Dur + fenceGrace)
+		}
 	}
+	h.startMonitor()
 
 	// Traffic phase: steady low-rate data through the whole fault window.
 	for t := time.Duration(0); t < cfg.Duration; t += cfg.SendEvery {
@@ -329,7 +495,10 @@ func Run(cfg Config) (*Result, error) {
 	h.checkFinalInvariants()
 
 	// Shutdown: stop every handler ever created and drain. Anything still
-	// pending after the drain re-armed itself past shutdown — a leak.
+	// pending after the drain re-armed itself past shutdown — a leak. The
+	// monitor is stopped first so its last armed tick fires into a no-op
+	// instead of re-arming forever.
+	h.monitorStop = true
 	for _, s := range h.stoppables {
 		s.Stop()
 	}
@@ -340,11 +509,63 @@ func Run(cfg Config) (*Result, error) {
 
 	h.res.TraceHash = h.hash
 	h.res.Failovers = h.tb.Sender.Stats().Failovers
+	h.res.PrimaryEpoch = h.tb.Sender.PrimaryEpoch()
+	h.res.StaleSourceAcks = h.tb.Sender.Stats().StaleSourceAcks
 	for _, p := range h.primaries {
 		h.res.Promotions += p.Stats().Promotions
 		h.res.BackfillSkipped += p.Stats().BackfillSkipped
 	}
 	return h.res, nil
+}
+
+// startMonitor arms the continuous un-fenced-primary check: every
+// monitorEvery of virtual time, at most one live acting primary may exist
+// outside its excusal window.
+func (h *harness) startMonitor() {
+	clk := h.tb.Net.Clock()
+	var tick func()
+	tick = func() {
+		if h.monitorStop {
+			return
+		}
+		h.checkUnfenced(clk.Now())
+		clk.AfterFunc(monitorEvery, tick)
+	}
+	clk.AfterFunc(monitorEvery, tick)
+}
+
+// checkUnfenced enforces "at most one un-fenced acting primary at every
+// virtual instant". The original primary is excused while a source-segment
+// partition isolates it — it cannot have heard the new epoch — and for
+// fenceGrace after the heal, by which time a heartbeat carrying the new
+// epoch must have demoted it.
+func (h *harness) checkUnfenced(now time.Time) {
+	acting := 0
+	for i, node := range h.primaryNodes {
+		if node.Crashed() || h.primaries[i].IsReplica() {
+			continue
+		}
+		if i == 0 && !h.excuseFrom.IsZero() &&
+			!now.Before(h.excuseFrom) && now.Before(h.excuseTo) {
+			continue
+		}
+		acting++
+	}
+	if acting > 1 && !h.unfencedHit {
+		h.unfencedHit = true
+		h.violate("unfenced-primary", fmt.Sprintf(
+			"%d un-fenced acting primaries at t=%v", acting, now.Sub(h.start)))
+	}
+}
+
+// inFaultWindow reports whether t falls inside any scheduled fault window.
+func (h *harness) inFaultWindow(t time.Time) bool {
+	for _, w := range h.faultWindows {
+		if !t.Before(w.from) && t.Before(w.to) {
+			return true
+		}
+	}
+	return false
 }
 
 func (h *harness) violate(name, detail string) {
@@ -386,9 +607,15 @@ func buildSchedule(cfg Config) []Fault {
 		}
 		f := Fault{
 			Kind: kinds[rng.Intn(len(kinds))],
-			At:   cfg.Duration/10 + time.Duration(rng.Int63n(int64(cfg.Duration*6/10))),
 			Dur:  200*time.Millisecond + time.Duration(rng.Int63n(int64(1300*time.Millisecond))),
 			Site: -1, Idx: -1,
+		}
+		if cfg.JoinWindow {
+			// Join-window faults: everything lands before t = Duration/10,
+			// while first contact is still being established.
+			f.At = time.Duration(rng.Int63n(int64(cfg.Duration / 10)))
+		} else {
+			f.At = cfg.Duration/10 + time.Duration(rng.Int63n(int64(cfg.Duration*6/10)))
 		}
 		switch f.Kind {
 		case "crash-receiver":
@@ -400,6 +627,20 @@ func buildSchedule(cfg Config) []Fault {
 			f.Idx = rng.Intn(cfg.Replicas)
 		}
 		return f, true
+	}
+	if cfg.Overlapping {
+		// Overlapping windows on one tail circuit: a flaky-link window and
+		// a partition window that intersect. Loss models stack (PushLoss
+		// overlays), so the partition heal must not clobber the still-open
+		// flaky window and vice versa.
+		site := rng.Intn(cfg.Sites)
+		used[fmt.Sprintf("link/%d", site)] = true
+		out = append(out,
+			Fault{Kind: "flaky-link", At: cfg.Duration / 4,
+				Dur: 1500 * time.Millisecond, Site: site, Idx: -1},
+			Fault{Kind: "partition", At: cfg.Duration/4 + 700*time.Millisecond,
+				Dur: 1300 * time.Millisecond, Site: site, Idx: -1},
+		)
 	}
 	// One fault per target keeps heals unambiguous, which also bounds the
 	// schedule by the number of distinct targets: stop once draws keep
@@ -424,6 +665,16 @@ func buildSchedule(cfg Config) []Fault {
 			Site: -1, Idx: -1,
 		})
 	}
+	if cfg.SourcePartition {
+		// Deterministic start (traffic established, room to heal and
+		// reconverge); seed-drawn duration and isolation mode.
+		out = append(out, Fault{
+			Kind: "partition-source",
+			At:   cfg.Duration * 2 / 5,
+			Dur:  2*time.Second + time.Duration(rng.Int63n(int64(500*time.Millisecond))),
+			Site: -1, Idx: rng.Intn(3),
+		})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }
@@ -434,6 +685,9 @@ func (h *harness) applyFault(f Fault) {
 	switch f.Kind {
 	case "crash-receiver":
 		node := h.tb.Sites[f.Site].ReceiverNodes[f.Idx]
+		// Bank the dying incarnation's NACK count before it is replaced:
+		// the nack-budget invariant sums over all incarnations.
+		h.deadNacks[f.Site] += h.receivers[f.Site][f.Idx].Stats().NacksToPrimary
 		h.crash(node)
 		clk.AfterFunc(f.Dur, func() {
 			rcv := lbrm.NewReceiver(h.tb.Sites[f.Site].ReceiverCfgs[f.Idx])
@@ -443,6 +697,7 @@ func (h *harness) applyFault(f Fault) {
 		})
 	case "crash-secondary":
 		node := h.tb.Sites[f.Site].SecondaryNode
+		h.deadNacks[f.Site] += h.secondaries[f.Site].Stats().NacksToPrimary
 		h.crash(node)
 		clk.AfterFunc(f.Dur, func() {
 			sec := lbrm.NewSecondaryLogger(h.tb.Sites[f.Site].SecondaryCfg)
@@ -477,25 +732,39 @@ func (h *harness) applyFault(f Fault) {
 			node.Restart(rep)
 		})
 	case "partition":
+		// Overlay, not SetLoss: fault windows may overlap on one tail
+		// circuit (Overlapping schedules), and each heal must remove only
+		// its own contribution.
 		site := h.tb.Sites[f.Site].Site
 		gate := &lbrm.Gate{Down: true}
-		site.TailUp().SetLoss(gate)
-		site.TailDown().SetLoss(gate)
-		clk.AfterFunc(f.Dur, func() { gate.Down = false })
+		healUp := site.TailUp().PushLoss(gate)
+		healDown := site.TailDown().PushLoss(gate)
+		clk.AfterFunc(f.Dur, func() { healUp(); healDown() })
 	case "flaky-link":
 		site := h.tb.Sites[f.Site].Site
-		down := site.TailDown()
-		down.SetLoss(lbrm.Compose(
+		heal := site.TailDown().PushLoss(lbrm.Compose(
 			lbrm.Bernoulli{P: 0.3},
 			lbrm.Reorder{P: 0.25, MaxDelay: 20 * time.Millisecond},
 			lbrm.Duplicate{P: 0.1, Lag: 2 * time.Millisecond},
 		))
-		clk.AfterFunc(f.Dur, func() { down.SetLoss(nil) })
+		clk.AfterFunc(f.Dur, heal)
+	case "partition-source":
+		// The acting primary's host is cut off — deaf, mute, or both — with
+		// all its state and timers intact. It receives nothing (deaf) or
+		// its acks vanish (mute), so the sender's idle detection fails over
+		// to a replica and mints the next epoch; after the heal the stale
+		// primary's authority must be fenced everywhere until a heartbeat
+		// carrying the new epoch demotes it.
+		h.primaryCrashAt = clk.Now()
+		up := f.Idx == 0 || f.Idx == 1
+		down := f.Idx == 0 || f.Idx == 2
+		heal := h.tb.PrimaryNode.Isolate(up, down)
+		clk.AfterFunc(f.Dur, heal)
 	}
 }
 
-// crash takes a node down and forgets its acknowledgement watermarks (a new
-// incarnation legitimately restarts its ack sequence).
+// crash takes a node down and forgets its acknowledgement and epoch
+// watermarks (a new incarnation legitimately restarts both).
 func (h *harness) crash(node *lbrm.SimNode) {
 	node.Crash()
 	id := int(node.ID())
@@ -504,6 +773,7 @@ func (h *harness) crash(node *lbrm.SimNode) {
 			delete(h.lastAck, k)
 		}
 	}
+	delete(h.lastEpoch, id)
 }
 
 // tap observes every link traversal: it folds the event into the trace
@@ -533,8 +803,44 @@ func (h *harness) tap(ev lbrm.TapEvent) {
 	if p.Unmarshal(ev.Data) != nil {
 		return
 	}
+	// Recovery-bandwidth accounting counts attempted traversals, drops
+	// included: a NACK that dies in a partition still spent the attempt,
+	// and the budget identity below must hold regardless of loss.
+	if h.tailLinks[ev.Link] {
+		cls := trafficClass(p.Type)
+		bump(h.res.TailTraffic, cls, ev.Size)
+		if h.inFaultWindow(ev.Time) {
+			bump(h.res.TailTrafficFault, cls, ev.Size)
+		}
+	}
+	if site, ok := h.tailUpSite[ev.Link]; ok && p.Type == wire.TypeNack {
+		h.nackUp[site]++
+	}
 	if ev.Dropped {
 		return
+	}
+	// Epoch monotonicity per observer: within one incarnation, no node's
+	// authority-bearing traffic may regress to a lower primary epoch.
+	var pe uint32
+	hasEpoch := false
+	switch p.Type {
+	case wire.TypeHeartbeat:
+		pe, hasEpoch = p.PrimaryEpoch, true
+	case wire.TypeSourceAck, wire.TypeLogSync, wire.TypeLogSyncAck,
+		wire.TypePromote, wire.TypePrimaryRedirect, wire.TypeLogStateReply:
+		pe, hasEpoch = p.Epoch, true
+	}
+	if hasEpoch {
+		id := int(ev.From)
+		if last, ok := h.lastEpoch[id]; ok && pe < last {
+			if !h.epochHit {
+				h.epochHit = true
+				h.violate("epoch-monotonicity", fmt.Sprintf(
+					"node %d %s epoch regressed %d -> %d", ev.From, p.Type, last, pe))
+			}
+		} else {
+			h.lastEpoch[id] = pe
+		}
 	}
 	switch p.Type {
 	case wire.TypeSourceAck, wire.TypeLogSyncAck:
@@ -621,6 +927,24 @@ func (h *harness) checkFinalInvariants() {
 	}
 	if acting != 1 {
 		h.violate("single-primary", fmt.Sprintf("%d acting primaries among live loggers", acting))
+	}
+	// NACK budget (§2.2.2): every NACK traversal attempted on a receiver
+	// site's tail-up circuit must be one the site's secondary or receivers
+	// counted as sent to the primary — summed over every incarnation.
+	// Recovery load on the backbone is exactly the per-site aggregate.
+	for s := range h.tb.Sites {
+		want := h.deadNacks[s]
+		if sec := h.secondaries[s]; sec != nil {
+			want += sec.Stats().NacksToPrimary
+		}
+		for _, r := range h.receivers[s] {
+			want += r.Stats().NacksToPrimary
+		}
+		if got := h.nackUp[s]; got != want {
+			h.violate("nack-budget", fmt.Sprintf(
+				"site%d tail-up saw %d NACK traversals but components account for %d",
+				s+1, got, want))
+		}
 	}
 	// Failover latency bound: detection needs backlog (≤ SendEvery old)
 	// aged past FailoverTimeout, observed by a jittered check firing at

@@ -96,6 +96,115 @@ func TestChaosLinkChaosOnly(t *testing.T) {
 	}
 }
 
+// TestChaosSourcePartition: the §2.2.3 split-brain scenario — the acting
+// primary is isolated (deaf, mute, or both) with all state intact, the
+// sender fails over and mints a new epoch, the partition heals, and the
+// stale primary must be fenced everywhere until a heartbeat demotes it.
+func TestChaosSourcePartition(t *testing.T) {
+	for _, seed := range []int64{2, 5, 7, 8} {
+		res, err := Run(Config{Seed: seed, SourcePartition: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK() {
+			t.Errorf("seed %d failed:\n%s", seed, res.Report())
+			continue
+		}
+		if res.Failovers == 0 {
+			t.Errorf("seed %d: primary was partitioned but sender never failed over:\n%s",
+				seed, res.Report())
+		}
+		if res.PrimaryEpoch < 2 {
+			t.Errorf("seed %d: failover happened but no new epoch was minted (epoch %d)",
+				seed, res.PrimaryEpoch)
+		}
+	}
+}
+
+// TestChaosJoinWindow: every random fault lands in the first tenth of the
+// run, while receivers and loggers are still establishing first contact.
+func TestChaosJoinWindow(t *testing.T) {
+	res, err := Run(Config{Seed: 31, JoinWindow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariants violated:\n%s", res.Report())
+	}
+	for _, f := range res.Schedule {
+		if f.At >= 2*time.Second { // Duration/10 of the 20s default
+			t.Fatalf("join-window fault scheduled too late: %s", f)
+		}
+	}
+}
+
+// TestChaosOverlapping: a flaky-link window and a partition window overlap
+// on one site's tail circuit; the stacked loss overlays must apply and heal
+// independently.
+func TestChaosOverlapping(t *testing.T) {
+	res, err := Run(Config{Seed: 41, Overlapping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariants violated:\n%s", res.Report())
+	}
+}
+
+// TestChaosUnfencedPrimaryTrips proves the un-fenced-primary invariant has
+// teeth: with epoch fencing reverted (UnsafeNoFence), the deaf partitioned
+// primary misses the redirect multicast, keeps acting past the heal grace,
+// and the monitor must catch the split brain that fencing normally
+// prevents. The same seed with fencing on is clean.
+func TestChaosUnfencedPrimaryTrips(t *testing.T) {
+	// Seed 7 draws the "deaf" isolation mode: the stale primary can still
+	// send but hears nothing, so without epochs nothing ever demotes it.
+	fenced, err := Run(Config{Seed: 7, SourcePartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fenced.OK() {
+		t.Fatalf("fenced run should be clean:\n%s", fenced.Report())
+	}
+	unfenced, err := Run(Config{Seed: 7, SourcePartition: true, disableFencing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tripped := false
+	for _, v := range unfenced.Violations {
+		if v.Name == "unfenced-primary" {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatalf("fencing disabled but the un-fenced-primary invariant did not trip:\n%s",
+			unfenced.Report())
+	}
+}
+
+// TestChaosRecoveryBandwidthAccounted: the tail-circuit traffic report is
+// populated and the NACK class is non-empty under link chaos — the budget
+// identity itself is enforced inside every run as the nack-budget
+// invariant.
+func TestChaosRecoveryBandwidthAccounted(t *testing.T) {
+	res, err := Run(Config{Seed: 12, DisableCrashes: true, DisablePartitions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariants violated:\n%s", res.Report())
+	}
+	if res.TailTraffic["data"].Packets == 0 || res.TailTraffic["heartbeat"].Packets == 0 {
+		t.Fatalf("tail traffic accounting empty:\n%s", res.Report())
+	}
+	if res.TailTraffic["nack"].Packets == 0 || res.TailTraffic["retrans"].Packets == 0 {
+		t.Fatalf("link chaos ran but no recovery traffic was classified:\n%s", res.Report())
+	}
+	if res.TailTrafficFault["data"].Packets >= res.TailTraffic["data"].Packets {
+		t.Fatalf("fault-window traffic should be a strict subset:\n%s", res.Report())
+	}
+}
+
 // TestChaosMatrix is the fixed seed matrix behind `make chaos`: every seed
 // must satisfy every invariant; a failure prints the seed and the schedule
 // (the Report embeds both), which is all that is needed to reproduce it.
@@ -127,5 +236,47 @@ func TestChaosMatrix(t *testing.T) {
 			t.Logf("seed %d: lastSeq=%d failovers=%d converged in %v",
 				e.seed, res.LastSeq, res.Failovers, res.ConvergeTook)
 		}
+	}
+}
+
+// TestChaosSeedMatrixE21 is the experiment-E21 matrix: 20 seeds through
+// each schedule class — the legacy random mix plus the three robustness
+// classes (source-segment partition, join-window, overlapping) — with
+// every invariant (including un-fenced-single-primary, epoch monotonicity
+// and the NACK budget) required to hold on all of them.
+func TestChaosSeedMatrixE21(t *testing.T) {
+	classes := []struct {
+		name string
+		cfg  Config
+	}{
+		{"legacy", Config{}},
+		{"source-partition", Config{SourcePartition: true}},
+		{"join-window", Config{JoinWindow: true}},
+		{"overlapping", Config{Overlapping: true}},
+	}
+	for _, c := range classes {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var failovers, staleAcks uint64
+			var maxEpoch uint32
+			for seed := int64(1); seed <= 20; seed++ {
+				cfg := c.cfg
+				cfg.Seed = seed
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !res.OK() {
+					t.Errorf("class %s seed %d failed:\n%s", c.name, seed, res.Report())
+				}
+				failovers += res.Failovers
+				staleAcks += res.StaleSourceAcks
+				if res.PrimaryEpoch > maxEpoch {
+					maxEpoch = res.PrimaryEpoch
+				}
+			}
+			t.Logf("class %s: 20 seeds, failovers=%d maxEpoch=%d staleAcksFenced=%d",
+				c.name, failovers, maxEpoch, staleAcks)
+		})
 	}
 }

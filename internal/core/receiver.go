@@ -156,6 +156,7 @@ type ReceiverStats struct {
 	ChannelJoins       uint64 // retransmission-channel subscriptions (§7)
 	ChannelRecoveries  uint64 // losses healed by channel replays
 	SkippedAhead       uint64 // recovery-window skips (fell too far behind)
+	StaleRedirects     uint64 // redirects fenced by the primary epoch
 }
 
 // recovery escalation phases.
@@ -200,12 +201,16 @@ type rcvStream struct {
 	// ordered-mode buffer.
 	buffer map[uint64][]byte
 	// recovery.
-	primary     transport.Addr
-	nackTimer   vtime.Timer
-	retryTimer  vtime.Timer
-	phase       int
-	retries     int
-	gaveUpBelow uint64
+	primary transport.Addr
+	// primaryEpoch is the highest primary epoch observed for this stream
+	// (heartbeats and redirects carry it). Redirects naming a lower epoch
+	// are from a fenced, stale primary and are ignored.
+	primaryEpoch uint32
+	nackTimer    vtime.Timer
+	retryTimer   vtime.Timer
+	phase        int
+	retries      int
+	gaveUpBelow  uint64
 	// freshness.
 	lastArrival time.Time
 	staleTimer  vtime.Timer
@@ -265,6 +270,15 @@ func (r *Receiver) Contiguous(key StreamKey) uint64 {
 		return st.track.Contiguous()
 	}
 	return 0
+}
+
+// PrimaryTarget returns the stream's current recovery primary and the
+// highest primary epoch observed for it (for tests).
+func (r *Receiver) PrimaryTarget(key StreamKey) (transport.Addr, uint32) {
+	if st := r.streams[key]; st != nil {
+		return st.primary, st.primaryEpoch
+	}
+	return nil, 0
 }
 
 // Stale reports whether the stream is currently considered stale.
@@ -435,6 +449,9 @@ func (r *Receiver) onHeartbeat(from transport.Addr, p *wire.Packet) {
 	st := r.stream(StreamKey{Source: p.Source, Group: p.Group})
 	st.source = from
 	r.stats.HeartbeatsSeen++
+	if p.PrimaryEpoch > st.primaryEpoch {
+		st.primaryEpoch = p.PrimaryEpoch
+	}
 	r.touch(st, p)
 	// First contact via heartbeat: adopt the current position (no-op once
 	// contacted).
@@ -827,6 +844,17 @@ func (r *Receiver) onRedirect(p *wire.Packet) {
 		return
 	}
 	st := r.stream(StreamKey{Source: p.Source, Group: p.Group})
+	// Epoch fence (§2.2.3): a redirect stamped with a lower primary epoch
+	// than we have already observed comes from a fenced, stale primary
+	// (e.g. one acking into a healed partition). It must not move our
+	// recovery target.
+	if p.Epoch < st.primaryEpoch {
+		r.stats.StaleRedirects++
+		return
+	}
+	if p.Epoch > st.primaryEpoch {
+		st.primaryEpoch = p.Epoch
+	}
 	// A redirect naming the primary we already tried carries no new
 	// information: let the escalation run its course (otherwise a source
 	// that keeps naming a dead primary pins us in a retry loop forever).

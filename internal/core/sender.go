@@ -200,6 +200,7 @@ type SenderStats struct {
 	ProbeResponses    uint64
 	Failovers         uint64
 	RedirectsServed   uint64
+	StaleSourceAcks   uint64 // acks fenced for carrying an old primary epoch
 	ChannelReplays    uint64 // retransmission-channel replays (§7)
 	SendErrors        uint64
 	Malformed         uint64
@@ -229,8 +230,12 @@ type Sender struct {
 	released     uint64 // highest seq ever released from retention
 	lastAckAt    time.Time
 
-	primary  transport.Addr
-	failover *failoverState
+	primary transport.Addr
+	// primaryEpoch is the fencing token (§2.2.3): minted (incremented) at
+	// every completed failover, stamped on every authority-bearing message,
+	// and piggybacked on heartbeats so stale primaries self-demote.
+	primaryEpoch uint32
+	failover     *failoverState
 	// foProbes counts consecutive failover probe rounds with no replica
 	// reply, driving the re-probe backoff.
 	foProbes int
@@ -297,6 +302,11 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		primary:    cfg.Primary,
 		ackers:     make(map[transport.Addr]bool),
 	}
+	if cfg.Primary != nil {
+		// Epoch 1 is the configured primary's authority; every failover
+		// mints the next one.
+		s.primaryEpoch = 1
+	}
 	var err error
 	if s.schedule, err = heartbeat.NewSchedule(cfg.Heartbeat); err != nil {
 		return nil, err
@@ -344,6 +354,10 @@ func (s *Sender) Retained() int { return len(s.retained) }
 
 // Epoch returns the current statistical-ack epoch (0 before the first).
 func (s *Sender) Epoch() uint32 { return s.epoch }
+
+// PrimaryEpoch returns the current primary-authority epoch: 0 with no
+// logging service, 1 for the configured primary, +1 per completed failover.
+func (s *Sender) PrimaryEpoch() uint32 { return s.primaryEpoch }
 
 // AckerCount returns the number of Designated Ackers in the current epoch.
 func (s *Sender) AckerCount() int { return len(s.ackers) }
@@ -503,6 +517,7 @@ func (s *Sender) fireHeartbeat() {
 	}
 	next := s.schedule.OnHeartbeat()
 	p.HeartbeatIdx = s.schedule.Index()
+	p.PrimaryEpoch = s.primaryEpoch
 	if s.cfg.InlineHeartbeatMax > 0 && s.lastData != nil &&
 		len(s.lastData.Payload) <= s.cfg.InlineHeartbeatMax {
 		p.Flags |= wire.FlagInlineData
@@ -517,6 +532,14 @@ func (s *Sender) fireHeartbeat() {
 // --- retention & primary ack ---
 
 func (s *Sender) onSourceAck(p *wire.Packet) {
+	if p.Epoch < s.primaryEpoch {
+		// Fenced: a demoted-but-unaware primary is still acking. Its acks
+		// must neither move watermarks nor refresh lastAckAt — a zombie
+		// refreshing the idle clock would mask the very failure that minted
+		// the newer epoch.
+		s.stats.StaleSourceAcks++
+		return
+	}
 	s.stats.SourceAcks++
 	s.lastAckAt = s.env.Now()
 	if p.Seq > s.primaryAcked {
@@ -860,6 +883,9 @@ func (s *Sender) completeFailover(fo *failoverState) {
 	s.foProbes++
 	s.stats.Failovers++
 	s.primary = fo.best
+	// Mint the next primary epoch: the promotion and redirect below carry
+	// it, and from here on acks from any older epoch are fenced.
+	s.primaryEpoch++
 	// The winning replica just proved liveness by answering the probe:
 	// restart the idle clock, or the next check would still see the dead
 	// primary's whole silent window and immediately fail over again.
@@ -869,7 +895,7 @@ func (s *Sender) completeFailover(fo *failoverState) {
 	// packets) and backfills any shortfall from its peer replicas.
 	prom := wire.Packet{
 		Type: wire.TypePromote, Source: s.cfg.Source, Group: s.cfg.Group,
-		Seq: s.released,
+		Seq: s.released, Epoch: s.primaryEpoch,
 	}
 	s.send(fo.best, &prom)
 	// Bring the new primary up to date from the retention buffer.
@@ -886,7 +912,7 @@ func (s *Sender) completeFailover(fo *failoverState) {
 	// Tell the group where the log lives now.
 	redir := wire.Packet{
 		Type: wire.TypePrimaryRedirect, Source: s.cfg.Source, Group: s.cfg.Group,
-		Addr: fo.best.String(),
+		Addr: fo.best.String(), Epoch: s.primaryEpoch,
 	}
 	s.multicast(&redir)
 	s.armFailoverCheck(s.foProbes)
@@ -898,7 +924,7 @@ func (s *Sender) onPrimaryQuery(from transport.Addr) {
 	}
 	redir := wire.Packet{
 		Type: wire.TypePrimaryRedirect, Source: s.cfg.Source, Group: s.cfg.Group,
-		Addr: s.primary.String(),
+		Addr: s.primary.String(), Epoch: s.primaryEpoch,
 	}
 	s.send(from, &redir)
 	s.stats.RedirectsServed++

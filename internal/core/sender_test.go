@@ -143,7 +143,7 @@ func TestSenderRetentionReleasedByPrimaryAck(t *testing.T) {
 		t.Fatalf("Retained = %d, want 5", s.Retained())
 	}
 	ack := wire.Packet{Type: wire.TypeSourceAck, Source: tSource, Group: tGroup,
-		Seq: 3, ReplicaSeq: 3}
+		Seq: 3, ReplicaSeq: 3, Epoch: 1}
 	s.Recv(tPrimary, mustPkt(t, ack))
 	if s.Retained() != 2 {
 		t.Fatalf("Retained = %d after ack 3, want 2", s.Retained())
@@ -156,7 +156,7 @@ func TestSenderReplicaDurabilityHoldsUntilReplicaAck(t *testing.T) {
 	s.Send([]byte("x"))
 	s.Send([]byte("y"))
 	ack := wire.Packet{Type: wire.TypeSourceAck, Source: tSource, Group: tGroup,
-		Seq: 2, ReplicaSeq: 1}
+		Seq: 2, ReplicaSeq: 1, Epoch: 1}
 	s.Recv(tPrimary, mustPkt(t, ack))
 	if s.Retained() != 1 {
 		t.Fatalf("Retained = %d, want 1 (replica behind)", s.Retained())
@@ -184,7 +184,7 @@ func TestSenderServesNackFromRetention(t *testing.T) {
 		t.Fatalf("retrans = %v", sents)
 	}
 	// After release, the NACK cannot be served (the log has it).
-	ack := wire.Packet{Type: wire.TypeSourceAck, Source: tSource, Group: tGroup, Seq: 1, ReplicaSeq: 1}
+	ack := wire.Packet{Type: wire.TypeSourceAck, Source: tSource, Group: tGroup, Seq: 1, ReplicaSeq: 1, Epoch: 1}
 	s.Recv(tPrimary, mustPkt(t, ack))
 	env.Sents = nil
 	s.Recv(tPrimary, mustPkt(t, nack))
@@ -537,7 +537,7 @@ func TestSenderNoFailoverWhileHealthy(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		seq, _ := s.Send([]byte("x"))
 		ack := wire.Packet{Type: wire.TypeSourceAck, Source: tSource, Group: tGroup,
-			Seq: seq, ReplicaSeq: seq}
+			Seq: seq, ReplicaSeq: seq, Epoch: 1}
 		env.Advance(300 * time.Millisecond)
 		s.Recv(tPrimary, mustPkt(t, ack))
 	}

@@ -44,6 +44,15 @@ type PrimaryConfig struct {
 	// from these peers via LogStateQuery + NACK instead of serving a
 	// permanent hole (§2.2.3 failover).
 	Peers []transport.Addr
+	// Epoch is the initial primary-authority epoch. The configured acting
+	// primary defaults to 1 (matching the sender's initial epoch); replicas
+	// start at 0 and adopt epochs from LogSyncs and promotions.
+	Epoch uint32
+	// UnsafeNoFence disables epoch fencing, reverting to the pre-epoch
+	// demote-on-redirect heuristic. Test-only: it exists so the chaos
+	// harness can demonstrate that the un-fenced-single-primary invariant
+	// actually trips when fencing is removed. Never set in production.
+	UnsafeNoFence bool
 }
 
 func (c PrimaryConfig) withDefaults() PrimaryConfig {
@@ -64,6 +73,9 @@ func (c PrimaryConfig) withDefaults() PrimaryConfig {
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 8
+	}
+	if !c.Replica && c.Epoch == 0 {
+		c.Epoch = 1
 	}
 	return c
 }
@@ -88,7 +100,15 @@ type PrimaryStats struct {
 	BackfillsStarted uint64
 	BackfillNacks    uint64
 	BackfillSkipped  uint64 // sequence numbers given up as unrecoverable
-	Malformed        uint64
+	// Epoch fencing (§2.2.3 failover hygiene).
+	StaleSyncs     uint64 // LogSyncs dropped for carrying an old epoch
+	StaleSyncAcks  uint64 // LogSyncAcks dropped for carrying an old epoch
+	StaleRedirects uint64 // redirects ignored for carrying an old epoch
+	StalePromotes  uint64 // promotions ignored for carrying an old epoch
+	// LogSync advance records (watermark jumps across skipped holes).
+	AdvancesSent    uint64
+	AdvancesApplied uint64
+	Malformed       uint64
 }
 
 // Primary is the primary logging server: it logs every packet from the
@@ -106,6 +126,10 @@ type Primary struct {
 	stats    PrimaryStats
 	replica  bool
 	stopped  bool
+	// epoch is the highest primary-authority epoch observed (or held, when
+	// acting). Authority-bearing traffic below it is fenced; observing a
+	// higher one while acting demotes this server deterministically.
+	epoch uint32
 	// syncTimer drives the LogSync repair tick; syncIdle counts consecutive
 	// ticks with nothing to send, driving the idle backoff.
 	syncTimer vtime.Timer
@@ -157,6 +181,7 @@ func NewPrimary(cfg PrimaryConfig) *Primary {
 		cfg:     cfg,
 		streams: make(map[StreamKey]*priStream),
 		replica: cfg.Replica,
+		epoch:   cfg.Epoch,
 	}
 	for _, a := range cfg.Replicas {
 		p.replicas = append(p.replicas, &replicaState{addr: a, acked: make(map[StreamKey]uint64)})
@@ -187,6 +212,51 @@ func (p *Primary) after(d time.Duration, fn func()) vtime.Timer {
 
 // IsReplica reports whether the server is still in the replica role.
 func (p *Primary) IsReplica() bool { return p.replica }
+
+// Epoch returns the highest primary-authority epoch this server has held
+// or observed.
+func (p *Primary) Epoch() uint32 { return p.epoch }
+
+// staleAuthority reports whether authority-bearing traffic at epoch e must
+// be fenced (dropped without effect).
+func (p *Primary) staleAuthority(e uint32) bool {
+	return !p.cfg.UnsafeNoFence && e < p.epoch
+}
+
+// observeEpoch folds an observed primary epoch into p.epoch. Seeing a
+// higher epoch while acting means the source elected someone else and this
+// server missed the announcement (typically it was partitioned away): it
+// self-demotes deterministically and the return value is true. This is the
+// fencing discipline of view-numbered leader election — demote on evidence,
+// not on heuristics.
+func (p *Primary) observeEpoch(e uint32) bool {
+	if p.cfg.UnsafeNoFence || e <= p.epoch {
+		return false
+	}
+	p.epoch = e
+	if !p.replica {
+		p.demote()
+		return true
+	}
+	return false
+}
+
+// demote steps an acting primary down to the replica role: the log is kept
+// and NACKs/state queries keep being served, but the server leaves the data
+// group and stops acknowledging sources. Any backfill episode dies with the
+// role; the new primary owns closing the hole now.
+func (p *Primary) demote() {
+	p.replica = true
+	p.stats.Demotions++
+	if bf := p.backfill; bf != nil {
+		if bf.timer != nil {
+			bf.timer.Stop()
+			bf.timer = nil
+		}
+		p.backfill = nil
+	}
+	p.env.Leave(p.cfg.Group)
+}
 
 // Store returns the log store for a stream (nil if unknown).
 func (p *Primary) Store(key StreamKey) *Store {
@@ -339,6 +409,13 @@ func (p *Primary) onData(from transport.Addr, pkt *wire.Packet) {
 }
 
 func (p *Primary) onHeartbeat(from transport.Addr, pkt *wire.Packet) {
+	// The piggybacked primary epoch is the post-partition fencing path: a
+	// stale primary that missed the redirect multicast learns from the very
+	// next heartbeat that a newer epoch was minted, and steps down before
+	// acking anything else.
+	if p.observeEpoch(pkt.PrimaryEpoch) {
+		return
+	}
 	st := p.stream(KeyOf(pkt))
 	st.source = from
 	if pkt.Flags&wire.FlagInlineData != 0 && pkt.Seq > 0 {
@@ -366,6 +443,7 @@ func (p *Primary) ackSource(st *priStream) {
 	ack := wire.Packet{
 		Type: wire.TypeSourceAck, Source: st.key.Source, Group: st.key.Group,
 		Seq: st.store.Contiguous(), ReplicaSeq: p.replicaSeq(st.key),
+		Epoch: p.epoch,
 	}
 	p.send(st.source, &ack)
 	p.stats.SourceAcks++
@@ -408,12 +486,26 @@ func (p *Primary) replicate(st *priStream, seq uint64) {
 	}
 	sync := wire.Packet{
 		Type: wire.TypeLogSync, Source: st.key.Source, Group: st.key.Group,
-		Seq: seq, Payload: payload,
+		Seq: seq, Payload: payload, Epoch: p.epoch,
 	}
 	for _, r := range p.replicas {
 		p.send(r.addr, &sync)
 		p.stats.LogSyncsSent++
 	}
+}
+
+// sendAdvance ships a LogSync advance record: no payload, just "move your
+// watermark past Seq". Without it a replica's cumulative ack sticks below
+// any hole the primary skipped as unrecoverable, and a later promotion
+// re-serves the whole skip through its own backfill.
+func (p *Primary) sendAdvance(st *priStream, to transport.Addr, seq uint64) {
+	adv := wire.Packet{
+		Type: wire.TypeLogSync, Flags: wire.FlagLogAdvance,
+		Source: st.key.Source, Group: st.key.Group,
+		Seq: seq, Epoch: p.epoch,
+	}
+	p.send(to, &adv)
+	p.stats.AdvancesSent++
 }
 
 // syncTick periodically re-sends LogSyncs the replicas have not
@@ -428,20 +520,27 @@ func (p *Primary) syncTick() {
 				payload, ok := st.store.Get(seq)
 				if !ok {
 					// Evicted or skipped; the replica can never catch up on
-					// this one. Jump to the next servable packet — stepping
-					// through the gap one sequence number at a time is
-					// unbounded when a backfill skip advanced the watermark
-					// by an arbitrary amount.
+					// this one. Tell it to advance its watermark across the
+					// unservable range, then jump to the next servable packet
+					// — without the advance record the replica's cumulative
+					// ack sticks below the gap forever and this loop re-sends
+					// the same batch every tick.
 					next := st.store.NextRetained(seq + 1)
 					if next == 0 || next > contig {
+						p.sendAdvance(st, r.addr, contig)
+						sent++
+						anySent = true
 						break
 					}
+					p.sendAdvance(st, r.addr, next-1)
+					sent++
+					anySent = true
 					seq = next - 1
 					continue
 				}
 				sync := wire.Packet{
 					Type: wire.TypeLogSync, Source: key.Source, Group: key.Group,
-					Seq: seq, Payload: payload,
+					Seq: seq, Payload: payload, Epoch: p.epoch,
 				}
 				p.send(r.addr, &sync)
 				p.stats.LogSyncsSent++
@@ -502,22 +601,57 @@ func (p *Primary) retransmit(st *priStream, seq uint64, to transport.Addr) {
 }
 
 func (p *Primary) onLogSync(from transport.Addr, pkt *wire.Packet) {
+	p.observeEpoch(pkt.Epoch)
 	st := p.stream(KeyOf(pkt))
+	if p.staleAuthority(pkt.Epoch) {
+		// A fenced primary is still replicating. Do not apply its log, but
+		// do ack with our (higher) epoch: the stale primary fences itself
+		// the moment the ack arrives.
+		p.stats.StaleSyncs++
+		p.sendSyncAck(from, st)
+		return
+	}
+	if pkt.Flags&wire.FlagLogAdvance != 0 {
+		if pkt.Seq > st.store.Contiguous() {
+			st.store.Advance(pkt.Seq)
+			p.stats.AdvancesApplied++
+			// A promoted replica with replicas of its own forwards the
+			// advance, like any other sync.
+			if !p.replica {
+				for _, r := range p.replicas {
+					p.sendAdvance(st, r.addr, pkt.Seq)
+				}
+			}
+		}
+		p.sendSyncAck(from, st)
+		return
+	}
 	if st.store.Put(pkt.Seq, pkt.Payload, p.env.Now()) {
 		p.stats.LogSyncsApplied++
 	}
-	ack := wire.Packet{
-		Type: wire.TypeLogSyncAck, Source: pkt.Source, Group: pkt.Group,
-		Seq: st.store.Contiguous(),
-	}
-	p.send(from, &ack)
+	p.sendSyncAck(from, st)
 	// A promoted replica with replicas of its own forwards the sync on.
 	if !p.replica {
 		p.replicate(st, pkt.Seq)
 	}
 }
 
+func (p *Primary) sendSyncAck(to transport.Addr, st *priStream) {
+	ack := wire.Packet{
+		Type: wire.TypeLogSyncAck, Source: st.key.Source, Group: st.key.Group,
+		Seq: st.store.Contiguous(), Epoch: p.epoch,
+	}
+	p.send(to, &ack)
+}
+
 func (p *Primary) onLogSyncAck(from transport.Addr, pkt *wire.Packet) {
+	if p.observeEpoch(pkt.Epoch) {
+		return // the replica knows a newer primary: we just self-demoted
+	}
+	if p.staleAuthority(pkt.Epoch) {
+		p.stats.StaleSyncAcks++
+		return
+	}
 	p.stats.LogSyncAcks++
 	key := KeyOf(pkt)
 	for _, r := range p.replicas {
@@ -539,7 +673,7 @@ func (p *Primary) onStateQuery(from transport.Addr, pkt *wire.Packet) {
 	}
 	reply := wire.Packet{
 		Type: wire.TypeLogStateReply, Source: pkt.Source, Group: pkt.Group,
-		Seq: contig,
+		Seq: contig, Epoch: p.epoch,
 	}
 	p.send(from, &reply)
 }
@@ -556,7 +690,25 @@ func (p *Primary) onStateQuery(from transport.Addr, pkt *wire.Packet) {
 // peers as replication targets so the dual-sequence-number durability story
 // survives the failover.
 func (p *Primary) onPromote(from transport.Addr, pkt *wire.Packet) {
+	if !p.cfg.UnsafeNoFence && pkt.Epoch < p.epoch {
+		// A delayed or replayed promotion from a superseded election; acting
+		// on it would resurrect exactly the split-brain the epoch prevents.
+		p.stats.StalePromotes++
+		return
+	}
+	if pkt.Epoch > p.epoch {
+		p.epoch = pkt.Epoch
+	}
 	if !p.replica {
+		// Re-promoted while already acting (the sender re-elected us, e.g.
+		// after a fruitless probe round): adopt the fresh epoch, refresh the
+		// source address, and prove liveness; the roles are already right.
+		st := p.stream(KeyOf(pkt))
+		st.source = from
+		if floor := pkt.Seq; floor > st.store.Contiguous() && p.backfill == nil {
+			p.startBackfill(st, floor)
+		}
+		p.ackSource(st)
 		return
 	}
 	p.replica = false
@@ -583,6 +735,10 @@ func (p *Primary) onPromote(from transport.Addr, pkt *wire.Packet) {
 // both acknowledge sources and serve clients from logs that then diverge.
 // Demotion is safe: the log is kept, the server keeps answering NACKs and
 // state queries like any replica, and it can be promoted again later.
+//
+// The redirect carries the epoch of the election that produced it: one
+// from an older epoch is fenced (a delayed multicast must not demote the
+// rightful primary of a later election).
 func (p *Primary) onPrimaryRedirect(pkt *wire.Packet) {
 	if p.replica {
 		return
@@ -592,21 +748,17 @@ func (p *Primary) onPrimaryRedirect(pkt *wire.Packet) {
 		p.stats.Malformed++
 		return
 	}
+	if !p.cfg.UnsafeNoFence && pkt.Epoch < p.epoch {
+		p.stats.StaleRedirects++
+		return
+	}
+	if pkt.Epoch > p.epoch && !p.cfg.UnsafeNoFence {
+		p.epoch = pkt.Epoch
+	}
 	if addr.String() == p.env.LocalAddr().String() {
 		return // the redirect names us: we are the rightful primary
 	}
-	p.replica = true
-	p.stats.Demotions++
-	if bf := p.backfill; bf != nil {
-		// The backfill episode dies with the role; the new primary owns
-		// closing the hole now.
-		if bf.timer != nil {
-			bf.timer.Stop()
-			bf.timer = nil
-		}
-		p.backfill = nil
-	}
-	p.env.Leave(p.cfg.Group)
+	p.demote()
 }
 
 // startBackfill begins recovering (Contiguous, floor] — packets the source
@@ -735,6 +887,13 @@ func (p *Primary) skipBackfillHole(st *priStream, floor uint64) {
 	}
 	st.store.Advance(floor)
 	p.stats.BackfillSkipped += missing
+	// Replicas can never recover the hole either (this primary was elected
+	// as the most up-to-date copy): ship them an advance record so their
+	// cumulative acks cross the gap instead of wedging below it, and so a
+	// later promotion does not re-serve the whole skip.
+	for _, r := range p.replicas {
+		p.sendAdvance(st, r.addr, floor)
+	}
 }
 
 // checkGaps arms the aggregation timer for the primary's own recovery from

@@ -176,7 +176,7 @@ func TestPrimaryReplication(t *testing.T) {
 	}
 	env.Sents = nil
 	// replica1 acks seq 1; rank-1 replica seq becomes 1.
-	ackR := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup, Seq: 1}
+	ackR := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup, Seq: 1, Epoch: 1}
 	p.Recv(replica1, mustMarshal(t, ackR))
 	p.Recv(srcAddr, mustMarshal(t, dataPkt(2, "b")))
 	for _, q := range env.SentPackets() {
@@ -194,7 +194,7 @@ func TestPrimaryReplicaRank2(t *testing.T) {
 		ReplicaRank: 2,
 	})
 	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
-	ackR := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup, Seq: 1}
+	ackR := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup, Seq: 1, Epoch: 1}
 	p.Recv(replica1, mustMarshal(t, ackR))
 	env.Sents = nil
 	p.Recv(srcAddr, mustMarshal(t, dataPkt(2, "b")))
@@ -223,7 +223,7 @@ func TestPrimarySyncRetryUntilReplicaAcks(t *testing.T) {
 		t.Fatalf("LogSync resends = %d, want ≥ 2", resends)
 	}
 	// Ack stops the resends.
-	ackR := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup, Seq: 1}
+	ackR := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup, Seq: 1, Epoch: 1}
 	p.Recv(replica1, mustMarshal(t, ackR))
 	env.Sents = nil
 	env.Advance(500 * time.Millisecond)
@@ -341,6 +341,92 @@ func TestPrimaryStopSilences(t *testing.T) {
 	}
 }
 
+// TestAdvanceRecordCrossesSkippedHole is the failover regression for LogSync
+// advance records: when a primary skips an unrecoverable backfill hole, the
+// empty FlagLogAdvance record must move its replica's watermark across the
+// gap, so that promoting that replica later (with the same release floor)
+// does not re-serve the skip through a backfill episode of its own.
+func TestAdvanceRecordCrossesSkippedHole(t *testing.T) {
+	p, penv := newPrimary(t, PrimaryConfig{Replicas: []transport.Addr{replica1}})
+	// The replica has peers of its own, so a promotion that still sees the
+	// hole WOULD start a backfill — that is exactly the regression guarded.
+	r, renv := newPrimary(t, PrimaryConfig{Replica: true,
+		Peers: []transport.Addr{replica2}})
+	key := StreamKey{Source: testSource, Group: testGroup}
+	relay := func() {
+		for _, s := range penv.TakeSents() {
+			if s.To == replica1 {
+				r.Recv(primaryAddr, s.Data)
+			}
+		}
+	}
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(2, "b")))
+	relay() // eager LogSyncs for 1 and 2
+	if r.Contiguous(key) != 2 {
+		t.Fatalf("replica Contiguous = %d, want 2", r.Contiguous(key))
+	}
+
+	// The source re-promotes the acting primary with a release floor far
+	// above its log (the post-crash gap of §2.2.3). With no peers to backfill
+	// from, the hole is unrecoverable: the primary skips it and must ship an
+	// advance record so the replica watermark crosses the gap too.
+	prom := wire.Packet{Type: wire.TypePromote, Source: testSource,
+		Group: testGroup, Seq: 10, Epoch: 2}
+	p.Recv(srcAddr, mustMarshal(t, prom))
+	if got := p.Contiguous(key); got != 10 {
+		t.Fatalf("primary Contiguous = %d, want 10 after skip", got)
+	}
+	if p.Stats().AdvancesSent == 0 {
+		t.Fatal("skipping the hole sent no advance record")
+	}
+	foundAdv := false
+	for _, s := range penv.Sents {
+		var pkt wire.Packet
+		if err := pkt.Unmarshal(s.Data); err != nil {
+			t.Fatal(err)
+		}
+		if s.To == replica1 && pkt.Type == wire.TypeLogSync &&
+			pkt.Flags&wire.FlagLogAdvance != 0 {
+			foundAdv = true
+			if pkt.Seq != 10 {
+				t.Fatalf("advance Seq = %d, want 10", pkt.Seq)
+			}
+			if len(pkt.Payload) != 0 {
+				t.Fatal("advance record carries a payload")
+			}
+		}
+	}
+	if !foundAdv {
+		t.Fatal("no FlagLogAdvance record on the wire to the replica")
+	}
+	relay()
+	if got := r.Contiguous(key); got != 10 {
+		t.Fatalf("replica Contiguous = %d, want 10 after advance", got)
+	}
+	if r.Stats().AdvancesApplied != 1 {
+		t.Fatalf("AdvancesApplied = %d, want 1", r.Stats().AdvancesApplied)
+	}
+
+	// Promote the replica with the same floor: its watermark is already past
+	// the hole, so it must NOT re-serve the skip — no backfill episode, no
+	// peer probes, and the very first ack carries the advanced watermark.
+	renv.TakeSents()
+	prom2 := wire.Packet{Type: wire.TypePromote, Source: testSource,
+		Group: testGroup, Seq: 10, Epoch: 3}
+	r.Recv(srcAddr, mustMarshal(t, prom2))
+	if r.IsReplica() {
+		t.Fatal("replica was not promoted")
+	}
+	if n := r.Stats().BackfillsStarted; n != 0 {
+		t.Fatalf("promoted replica re-served the skip: BackfillsStarted = %d", n)
+	}
+	sents := renv.SentPackets()
+	if len(sents) != 1 || sents[0].Type != wire.TypeSourceAck || sents[0].Seq != 10 {
+		t.Fatalf("post-promotion sends = %v, want one SourceAck at 10", sents)
+	}
+}
+
 // TestPromoteWithForgedWatermarkBoundsSyncScan reproduces a hang found by
 // the adversarial-packet fuzzer (seed 0): a demoted primary re-promoted
 // with a forged huge release watermark skips the unrecoverable hole via
@@ -354,7 +440,7 @@ func TestPromoteWithForgedWatermarkBoundsSyncScan(t *testing.T) {
 	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "one")))
 	// Redirect naming another server demotes the acting primary.
 	redir := wire.Packet{Type: wire.TypePrimaryRedirect, Source: testSource,
-		Group: testGroup, Addr: transporttest.Addr("other").String()}
+		Group: testGroup, Addr: transporttest.Addr("other").String(), Epoch: 2}
 	p.Recv(srcAddr, mustMarshal(t, redir))
 	if !p.IsReplica() {
 		t.Fatal("primary did not demote on redirect naming another server")
@@ -362,7 +448,7 @@ func TestPromoteWithForgedWatermarkBoundsSyncScan(t *testing.T) {
 	// Re-promotion with a forged astronomical watermark: no peers can serve
 	// the hole, so it is skipped, advancing contiguity by ~2^60.
 	prom := wire.Packet{Type: wire.TypePromote, Source: testSource,
-		Group: testGroup, Seq: 1 << 60}
+		Group: testGroup, Seq: 1 << 60, Epoch: 3}
 	p.Recv(srcAddr, mustMarshal(t, prom))
 	key := StreamKey{Source: testSource, Group: testGroup}
 	if got := p.Contiguous(key); got != 1<<60 {

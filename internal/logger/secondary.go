@@ -100,6 +100,7 @@ type SecondaryStats struct {
 	ProbeResponses    uint64
 	DiscoveryReplies  uint64
 	RedirectsFollowed uint64
+	StaleRedirects    uint64 // redirects fenced by the primary epoch
 	SkippedAhead      uint64 // recovery-window skips (fell too far behind)
 	Malformed         uint64
 }
@@ -135,6 +136,10 @@ type secStream struct {
 	store   *Store
 	source  transport.Addr // learned from the stream's data packets
 	primary transport.Addr
+	// primaryEpoch is the highest primary epoch observed (heartbeats and
+	// redirects carry it); redirects stamped lower are from a fenced, stale
+	// primary and must not move the fetch target.
+	primaryEpoch uint32
 	// hbHigh is the highest sequence number referenced by a heartbeat.
 	hbHigh uint64
 	// pendingReq holds local receivers waiting for packets we don't have.
@@ -186,6 +191,15 @@ func (s *Secondary) after(d time.Duration, fn func()) vtime.Timer {
 			fn()
 		}
 	})
+}
+
+// PrimaryTarget returns the stream's current fetch target and the highest
+// primary epoch observed for it (for tests).
+func (s *Secondary) PrimaryTarget(key StreamKey) (transport.Addr, uint32) {
+	if st := s.streams[key]; st != nil {
+		return st.primary, st.primaryEpoch
+	}
+	return nil, 0
 }
 
 // Store returns the log store for a stream (nil if the stream is unknown),
@@ -321,6 +335,9 @@ func (s *Secondary) onData(from transport.Addr, p *wire.Packet) {
 func (s *Secondary) onHeartbeat(from transport.Addr, p *wire.Packet) {
 	st := s.stream(KeyOf(p))
 	st.source = from
+	if p.PrimaryEpoch > st.primaryEpoch {
+		st.primaryEpoch = p.PrimaryEpoch
+	}
 	// First contact via heartbeat: adopt the current position, skipping
 	// history.
 	st.store.SetBase(p.Seq)
@@ -666,6 +683,15 @@ func (s *Secondary) onRedirect(p *wire.Packet) {
 		return
 	}
 	st := s.stream(KeyOf(p))
+	// Epoch fence (§2.2.3): a redirect stamped below the highest primary
+	// epoch we have observed comes from a fenced, stale primary.
+	if p.Epoch < st.primaryEpoch {
+		s.stats.StaleRedirects++
+		return
+	}
+	if p.Epoch > st.primaryEpoch {
+		st.primaryEpoch = p.Epoch
+	}
 	if st.primary == addr {
 		return // already pointed there; nothing new
 	}

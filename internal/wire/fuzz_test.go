@@ -34,10 +34,14 @@ func FuzzUnmarshal(f *testing.F) {
 func samplePacketsForFuzz() []Packet {
 	return []Packet{
 		{Type: TypeData, Source: 7, Group: 3, Seq: 42, Payload: []byte("seed")},
-		{Type: TypeHeartbeat, Source: 7, Group: 3, Seq: 42, HeartbeatIdx: 5},
+		{Type: TypeHeartbeat, Source: 7, Group: 3, Seq: 42, HeartbeatIdx: 5, PrimaryEpoch: 3},
 		{Type: TypeNack, Source: 7, Group: 3, Ranges: []SeqRange{{From: 1, To: 3}}},
 		{Type: TypeAckerSelect, Source: 7, Group: 3, Epoch: 3, PAck: 0.04, K: 20},
 		{Type: TypeDiscoveryReply, Source: 7, Group: 3, Addr: "host:1"},
-		{Type: TypeSourceAck, Source: 7, Group: 3, Seq: 42, ReplicaSeq: 40},
+		{Type: TypeSourceAck, Source: 7, Group: 3, Seq: 42, Epoch: 2, ReplicaSeq: 40},
+		{Type: TypeLogSync, Source: 7, Group: 3, Seq: 50, Epoch: 2, Flags: FlagLogAdvance},
+		{Type: TypeLogSyncAck, Source: 7, Group: 3, Seq: 50, Epoch: 2},
+		{Type: TypePromote, Source: 7, Group: 3, Seq: 40, Epoch: 2},
+		{Type: TypePrimaryRedirect, Source: 7, Group: 3, Epoch: 2, Addr: "replica2:9001"},
 	}
 }

@@ -15,8 +15,8 @@ func samplePackets() []Packet {
 	return []Packet{
 		{Type: TypeData, Source: 7, Group: 3, Seq: 42, Epoch: 2, Payload: []byte("bridge destroyed")},
 		{Type: TypeData, Source: 7, Group: 3, Seq: 43, Payload: nil},
-		{Type: TypeHeartbeat, Source: 7, Group: 3, Seq: 42, HeartbeatIdx: 5},
-		{Type: TypeHeartbeat, Source: 7, Group: 3, Seq: 42, HeartbeatIdx: 1,
+		{Type: TypeHeartbeat, Source: 7, Group: 3, Seq: 42, HeartbeatIdx: 5, PrimaryEpoch: 2},
+		{Type: TypeHeartbeat, Source: 7, Group: 3, Seq: 42, HeartbeatIdx: 1, PrimaryEpoch: 1,
 			Flags: FlagInlineData, Payload: []byte("repeat")},
 		{Type: TypeNack, Source: 7, Group: 3,
 			Ranges: []SeqRange{{From: 10, To: 12}, {From: 20, To: 20}}},
@@ -29,14 +29,15 @@ func samplePackets() []Packet {
 		{Type: TypeSizeProbeResponse, Source: 7, Group: 3, ProbeID: 9},
 		{Type: TypeDiscoveryQuery, Source: 7, Group: 3},
 		{Type: TypeDiscoveryReply, Source: 7, Group: 3, Addr: "site4-logger:9001"},
-		{Type: TypeLogSync, Source: 7, Group: 3, Seq: 42, Payload: []byte("sync")},
-		{Type: TypeLogSyncAck, Source: 7, Group: 3, Seq: 42},
-		{Type: TypeSourceAck, Source: 7, Group: 3, Seq: 42, ReplicaSeq: 40},
+		{Type: TypeLogSync, Source: 7, Group: 3, Seq: 42, Epoch: 2, Payload: []byte("sync")},
+		{Type: TypeLogSync, Source: 7, Group: 3, Seq: 50, Epoch: 2, Flags: FlagLogAdvance},
+		{Type: TypeLogSyncAck, Source: 7, Group: 3, Seq: 42, Epoch: 2},
+		{Type: TypeSourceAck, Source: 7, Group: 3, Seq: 42, Epoch: 2, ReplicaSeq: 40},
 		{Type: TypePrimaryQuery, Source: 7, Group: 3},
-		{Type: TypePrimaryRedirect, Source: 7, Group: 3, Addr: "replica2:9001"},
+		{Type: TypePrimaryRedirect, Source: 7, Group: 3, Epoch: 2, Addr: "replica2:9001"},
 		{Type: TypeLogStateQuery, Source: 7, Group: 3},
-		{Type: TypeLogStateReply, Source: 7, Group: 3, Seq: 37},
-		{Type: TypePromote, Source: 7, Group: 3},
+		{Type: TypeLogStateReply, Source: 7, Group: 3, Seq: 37, Epoch: 2},
+		{Type: TypePromote, Source: 7, Group: 3, Epoch: 2},
 	}
 }
 
@@ -310,6 +311,7 @@ func randomPacket(rng *rand.Rand) Packet {
 		}
 	case TypeHeartbeat:
 		p.HeartbeatIdx = rng.Uint32()
+		p.PrimaryEpoch = rng.Uint32()
 		if rng.Intn(2) == 0 {
 			p.Flags |= FlagInlineData
 			p.Payload = payload(128)
