@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,10 +22,24 @@ import (
 	"time"
 
 	"lbrm"
+	"lbrm/internal/obs"
 	"lbrm/internal/transport"
 	"lbrm/internal/transport/udp"
 	"lbrm/internal/wire"
 )
+
+// serveMetrics exposes a sink over HTTP at /metrics (text by default,
+// ?format=json for the JSON document).
+func serveMetrics(addr string, sink *obs.Sink) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(sink))
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("lbrm-logger: metrics server: %v", err)
+		}
+	}()
+	log.Printf("lbrm-logger: metrics on http://%s/metrics", addr)
+}
 
 func main() {
 	mode := flag.String("mode", "secondary", "secondary | primary | replica")
@@ -38,8 +53,13 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for spill files (default: os temp dir)")
 	iface := flag.String("iface", "", "network interface for multicast")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats logging interval")
+	metricsAddr := flag.String("metrics-addr", "", "serve the metrics/trace exposition over HTTP on this host:port")
 	flag.Parse()
 
+	var sink *obs.Sink
+	if *metricsAddr != "" {
+		sink = obs.NewSink()
+	}
 	ret := lbrm.Retention{
 		MaxPackets: *maxPackets, MaxAge: *maxAge,
 		SpillToDisk: *spill, SpillDir: *spillDir,
@@ -50,7 +70,7 @@ func main() {
 
 	switch *mode {
 	case "secondary":
-		cfg := lbrm.SecondaryConfig{Group: 1, Retention: ret}
+		cfg := lbrm.SecondaryConfig{Group: 1, Retention: ret, Obs: sink}
 		if *primary != "" {
 			pa, err := udp.ParseAddr(*primary)
 			if err != nil {
@@ -67,7 +87,7 @@ func main() {
 				st.Remulticasts, st.NacksToPrimary, st.AcksSent)
 		}
 	case "primary", "replica":
-		cfg := lbrm.PrimaryConfig{Group: 1, Retention: ret, Replica: *mode == "replica"}
+		cfg := lbrm.PrimaryConfig{Group: 1, Retention: ret, Replica: *mode == "replica", Obs: sink}
 		if *replicas != "" {
 			for _, r := range strings.Split(*replicas, ",") {
 				ra, err := udp.ParseAddr(strings.TrimSpace(r))
@@ -93,12 +113,16 @@ func main() {
 		Listen:    *listen,
 		Groups:    groups,
 		Interface: *iface,
+		Obs:       sink,
 	}, handler)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer node.Close()
 	log.Printf("lbrm-logger: %s on %s, unicast %s", *mode, *mcast, node.Addr())
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, sink)
+	}
 
 	tick := time.NewTicker(*statsEvery)
 	defer tick.Stop()

@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"lbrm/internal/obs"
 	"lbrm/internal/perf"
 )
 
@@ -35,7 +36,10 @@ type report struct {
 	GOOS           string   `json:"goos"`
 	GOARCH         string   `json:"goarch"`
 	DatapathAllocs float64  `json:"datapath_allocs_per_op"`
-	Benchmarks     []result `json:"benchmarks"`
+	// DatapathAllocsObs is the same measurement with a live metrics sink
+	// attached; the observability contract keeps it at zero too.
+	DatapathAllocsObs float64  `json:"datapath_allocs_obs_per_op"`
+	Benchmarks        []result `json:"benchmarks"`
 }
 
 func main() {
@@ -49,7 +53,8 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		// The allocation gate's exact measurement, not a benchmark
 		// estimate: average allocations per steady-state pipeline step.
-		DatapathAllocs: perf.MeasureDatapathAllocs(5000),
+		DatapathAllocs:    perf.MeasureDatapathAllocs(5000, nil),
+		DatapathAllocsObs: perf.MeasureDatapathAllocs(5000, obs.NewSink()),
 	}
 	for _, bn := range perf.All() {
 		fmt.Fprintf(os.Stderr, "running %s...\n", bn.Name)

@@ -6,15 +6,30 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"lbrm"
+	"lbrm/internal/obs"
 	"lbrm/internal/transport/udp"
 	"lbrm/internal/wire"
 )
+
+// serveMetrics exposes a sink over HTTP at /metrics (text by default,
+// ?format=json for the JSON document).
+func serveMetrics(addr string, sink *obs.Sink) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(sink))
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("lbrm-recv: metrics server: %v", err)
+		}
+	}()
+	log.Printf("lbrm-recv: metrics on http://%s/metrics", addr)
+}
 
 func main() {
 	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast group ip:port")
@@ -27,13 +42,19 @@ func main() {
 	ordered := flag.Bool("ordered", false, "deliver in sequence order")
 	iface := flag.String("iface", "", "network interface for multicast")
 	trace := flag.Bool("trace", false, "log every packet in and out (decoded)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the metrics/trace exposition over HTTP on this host:port")
 	flag.Parse()
 
+	var sink *obs.Sink
+	if *metricsAddr != "" {
+		sink = obs.NewSink()
+	}
 	cfg := lbrm.ReceiverConfig{
 		Group:     1,
 		Heartbeat: lbrm.HeartbeatParams{HMin: *hmin, HMax: *hmax, Backoff: *backoff},
 		Discover:  *discover,
 		Ordered:   *ordered,
+		Obs:       sink,
 		OnData: func(e lbrm.Event) {
 			tag := ""
 			if e.Retransmitted {
@@ -81,12 +102,16 @@ func main() {
 	node, err := udp.Start(udp.Config{
 		Groups:    map[wire.GroupID]string{1: *mcast},
 		Interface: *iface,
+		Obs:       sink,
 	}, handler)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer node.Close()
 	log.Printf("lbrm-recv: listening on %s (unicast %s)", *mcast, node.Addr())
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, sink)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

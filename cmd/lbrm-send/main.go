@@ -15,13 +15,28 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"lbrm"
+	"lbrm/internal/obs"
 	"lbrm/internal/transport/udp"
 	"lbrm/internal/wire"
 )
+
+// serveMetrics exposes a sink over HTTP at /metrics (text by default,
+// ?format=json for the JSON document).
+func serveMetrics(addr, cmd string, sink *obs.Sink) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(sink))
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("%s: metrics server: %v", cmd, err)
+		}
+	}()
+	log.Printf("%s: metrics on http://%s/metrics", cmd, addr)
+}
 
 func main() {
 	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast group ip:port")
@@ -34,12 +49,18 @@ func main() {
 	statack := flag.Bool("statack", false, "enable statistical acknowledgement")
 	k := flag.Int("k", 20, "desired ACKs per packet (with -statack)")
 	iface := flag.String("iface", "", "network interface for multicast")
+	metricsAddr := flag.String("metrics-addr", "", "serve the metrics/trace exposition over HTTP on this host:port")
 	flag.Parse()
 
+	var sink *obs.Sink
+	if *metricsAddr != "" {
+		sink = obs.NewSink()
+	}
 	cfg := lbrm.SenderConfig{
 		Source:    lbrm.SourceID(*source),
 		Group:     1,
 		Heartbeat: lbrm.HeartbeatParams{HMin: *hmin, HMax: *hmax, Backoff: *backoff},
+		Obs:       sink,
 	}
 	if *primary != "" {
 		pa, err := udp.ParseAddr(*primary)
@@ -58,12 +79,16 @@ func main() {
 	node, err := udp.Start(udp.Config{
 		Groups:    map[wire.GroupID]string{1: *mcast},
 		Interface: *iface,
+		Obs:       sink,
 	}, sender)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer node.Close()
 	log.Printf("lbrm-send: source %d on %s from %s", *source, *mcast, node.Addr())
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, "lbrm-send", sink)
+	}
 
 	send := func(payload []byte) {
 		// Serialize with the node's packet/timer callbacks.

@@ -18,8 +18,22 @@ import (
 
 	"lbrm"
 	"lbrm/internal/chaos"
+	"lbrm/internal/obs"
 	"lbrm/internal/wire"
 )
+
+// printMetrics renders a merged registry snapshot (plus the sender's trace
+// window) in the text exposition format.
+func printMetrics(m obs.Snapshot, trace []obs.Event) {
+	fmt.Println("merged handler metrics:")
+	d := obs.Dump{
+		Counters: m.Counters, Gauges: m.Gauges,
+		Histograms: m.Histograms, Trace: trace,
+	}
+	if err := d.WriteText(os.Stdout); err != nil {
+		log.Printf("metrics: %v", err)
+	}
+}
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -42,6 +56,7 @@ func main() {
 	chaosSrcPart := flag.Bool("chaos-source-partition", false, "with -chaos: isolate the acting primary from the source segment (epoch fencing)")
 	chaosJoinWin := flag.Bool("chaos-join-window", false, "with -chaos: land every fault in the first tenth of the run")
 	chaosOverlap := flag.Bool("chaos-overlapping", false, "with -chaos: overlap a flaky-link and a partition window on one site")
+	metrics := flag.Bool("metrics", false, "after the run, print every handler's metrics merged (counters/histograms summed, gauges max-merged) plus the sender's trace window")
 	flag.Parse()
 
 	if *chaosMode {
@@ -62,6 +77,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(res.Report())
+		if *metrics {
+			printMetrics(res.Metrics, res.SenderTrace)
+		}
 		if !res.OK() {
 			os.Exit(1)
 		}
@@ -187,5 +205,23 @@ func main() {
 		if tail[ty] > 0 {
 			fmt.Printf("  %-10v %d\n", ty, tail[ty])
 		}
+	}
+	if *metrics {
+		// The testbed retains one sink per handler in the handler's config;
+		// merge them all into the fleet view.
+		snaps := []obs.Snapshot{
+			tb.SenderCfg.Obs.Registry().Snapshot(),
+			tb.PrimaryCfg.Obs.Registry().Snapshot(),
+		}
+		for _, rcfg := range tb.ReplicaCfgs {
+			snaps = append(snaps, rcfg.Obs.Registry().Snapshot())
+		}
+		for _, s := range tb.Sites {
+			snaps = append(snaps, s.SecondaryCfg.Obs.Registry().Snapshot())
+			for _, rcfg := range s.ReceiverCfgs {
+				snaps = append(snaps, rcfg.Obs.Registry().Snapshot())
+			}
+		}
+		printMetrics(obs.Merge(snaps...), tb.SenderCfg.Obs.Ring().Snapshot())
 	}
 }

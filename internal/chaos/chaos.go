@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"lbrm"
+	"lbrm/internal/obs"
 	"lbrm/internal/wire"
 )
 
@@ -204,6 +205,14 @@ type Result struct {
 	// attempt) by recovery-bandwidth class; TailTrafficFault is the subset
 	// that happened inside a fault window.
 	TailTraffic, TailTrafficFault map[string]TrafficCounters
+	// Metrics is the fleet-wide merge of every handler sink's registry
+	// (counters and histograms summed, gauges max-merged) after the run —
+	// the same aggregation lbrm-sim's -metrics report uses.
+	Metrics obs.Snapshot
+	// SenderTrace is the sender sink's trace-ring snapshot: the protocol
+	// transitions (DA-set epochs, failover start/done, epoch bumps) the
+	// run produced, oldest first.
+	SenderTrace []obs.Event
 }
 
 // TrafficCounters accumulates one traffic class's tail-circuit load.
@@ -211,23 +220,10 @@ type TrafficCounters struct {
 	Packets, Bytes uint64
 }
 
-// trafficClass buckets a packet type for recovery-bandwidth accounting.
-func trafficClass(t wire.Type) string {
-	switch t {
-	case wire.TypeData:
-		return "data"
-	case wire.TypeHeartbeat:
-		return "heartbeat"
-	case wire.TypeNack:
-		return "nack"
-	case wire.TypeRetrans:
-		return "retrans"
-	case wire.TypeLogSync, wire.TypeLogSyncAck:
-		return "sync"
-	default:
-		return "control"
-	}
-}
+// trafficClass buckets a packet type for recovery-bandwidth accounting. It
+// delegates to the wire-level classification, so the tap and the
+// components' per-class transmit metrics can never disagree on bucketing.
+func trafficClass(t wire.Type) string { return wire.ClassOf(t).String() }
 
 // OK reports whether every invariant held.
 func (r *Result) OK() bool { return len(r.Violations) == 0 }
@@ -338,6 +334,26 @@ type harness struct {
 	// tail-up link; deadNacks accumulates NacksToPrimary of crashed
 	// handler incarnations per site.
 	nackUp, deadNacks []uint64
+
+	// Metrics-vs-tap cross-check state (DESIGN.md §9). Every protocol
+	// handler's host up-link is registered here together with the obs sink
+	// its incarnations share: the testbed retains each sink in the handler
+	// config and restarts rebuild from that config, so one registry
+	// accumulates across incarnations. Every send a handler makes traverses
+	// its host up-link exactly once (drops included — components count
+	// before env.Send, the tap counts attempted traversals), and nothing
+	// else routes through that link, so the tap-side per-class counts in
+	// upTx must reconcile exactly with the sink's "<pfx>.tx.<class>"
+	// counters.
+	upNode   map[*lbrm.Link]int
+	nodeID   []int
+	nodeName []string
+	nodePfx  []string
+	nodeSink []*obs.Sink
+	upTx     [][]TrafficCounters // [registered node][wire.TrafficClass]
+	// Per-site sink handles for the metrics-side NACK budget identity.
+	siteSecSink []*obs.Sink
+	siteRcvSink [][]*obs.Sink
 }
 
 // timeWindow is a half-open absolute time interval.
@@ -414,6 +430,30 @@ func Run(cfg Config) (*Result, error) {
 		h.tailLinks[ts.Site.TailUp()] = true
 		h.tailLinks[ts.Site.TailDown()] = true
 		h.tailUpSite[ts.Site.TailUp()] = i
+	}
+	h.upNode = make(map[*lbrm.Link]int)
+	regNode := func(node *lbrm.SimNode, name, pfx string, sink *obs.Sink) {
+		h.upNode[node.UpLink()] = len(h.nodeSink)
+		h.nodeID = append(h.nodeID, int(node.ID()))
+		h.nodeName = append(h.nodeName, name)
+		h.nodePfx = append(h.nodePfx, pfx)
+		h.nodeSink = append(h.nodeSink, sink)
+		h.upTx = append(h.upTx, make([]TrafficCounters, wire.NumTrafficClasses))
+	}
+	regNode(tb.SenderNode, "sender", "sender", tb.SenderCfg.Obs)
+	regNode(tb.PrimaryNode, "primary", "primary", tb.PrimaryCfg.Obs)
+	for i, node := range tb.ReplicaNodes {
+		regNode(node, fmt.Sprintf("replica%d", i), "primary", tb.ReplicaCfgs[i].Obs)
+	}
+	for i, ts := range tb.Sites {
+		regNode(ts.SecondaryNode, fmt.Sprintf("site%d/secondary", i+1), "secondary", ts.SecondaryCfg.Obs)
+		h.siteSecSink = append(h.siteSecSink, ts.SecondaryCfg.Obs)
+		var sinks []*obs.Sink
+		for j, node := range ts.ReceiverNodes {
+			regNode(node, fmt.Sprintf("site%d/rcv%d", i+1, j), "recv", ts.ReceiverCfgs[j].Obs)
+			sinks = append(sinks, ts.ReceiverCfgs[j].Obs)
+		}
+		h.siteRcvSink = append(h.siteRcvSink, sinks)
 	}
 	for _, ts := range tb.Sites {
 		h.receivers = append(h.receivers, append([]*lbrm.Receiver(nil), ts.Receivers...))
@@ -515,6 +555,12 @@ func Run(cfg Config) (*Result, error) {
 		h.res.Promotions += p.Stats().Promotions
 		h.res.BackfillSkipped += p.Stats().BackfillSkipped
 	}
+	snaps := make([]obs.Snapshot, len(h.nodeSink))
+	for i, s := range h.nodeSink {
+		snaps[i] = s.Registry().Snapshot()
+	}
+	h.res.Metrics = obs.Merge(snaps...)
+	h.res.SenderTrace = h.tb.SenderCfg.Obs.Ring().Snapshot()
 	return h.res, nil
 }
 
@@ -816,6 +862,14 @@ func (h *harness) tap(ev lbrm.TapEvent) {
 	if site, ok := h.tailUpSite[ev.Link]; ok && p.Type == wire.TypeNack {
 		h.nackUp[site]++
 	}
+	// Per-handler transmit ledger: every send a handler makes crosses its
+	// host up-link exactly once (attempted traversals, drops included),
+	// keyed by the same wire.TrafficClass the component metrics use.
+	if idx, ok := h.upNode[ev.Link]; ok {
+		c := &h.upTx[idx][wire.ClassOf(p.Type)]
+		c.Packets++
+		c.Bytes += uint64(ev.Size)
+	}
 	if ev.Dropped {
 		return
 	}
@@ -945,6 +999,65 @@ func (h *harness) checkFinalInvariants() {
 				"site%d tail-up saw %d NACK traversals but components account for %d",
 				s+1, got, want))
 		}
+	}
+	// Metrics-vs-tap reconciliation (DESIGN.md §9): each handler counted
+	// its own transmissions per traffic class at the send site; the wire
+	// tap independently counted attempted traversals of that handler's
+	// host up-link. The two ledgers were kept by different code on
+	// opposite sides of the transport boundary and must agree exactly —
+	// across every incarnation, since restarts reuse the retained sink.
+	for idx, sink := range h.nodeSink {
+		snap := sink.Registry().Snapshot()
+		for cls := wire.TrafficClass(0); cls < wire.NumTrafficClasses; cls++ {
+			base := h.nodePfx[idx] + ".tx." + cls.String()
+			wantP := snap.Counters[base+".pkts"]
+			wantB := snap.Counters[base+".bytes"]
+			got := h.upTx[idx][cls]
+			if got.Packets != wantP || got.Bytes != wantB {
+				h.violate("metrics-reconcile", fmt.Sprintf(
+					"%s %s: tap saw %d pkts / %d B on the up-link, metrics report %d pkts / %d B",
+					h.nodeName[idx], cls, got.Packets, got.Bytes, wantP, wantB))
+			}
+		}
+	}
+	// The §2.2.2 NACK budget settled against the metrics registry instead
+	// of handler stats: sinks persist across incarnations, so unlike the
+	// stats-based check above no dead-incarnation banking is needed.
+	for s := range h.tb.Sites {
+		want := h.siteSecSink[s].Counter("secondary.nacks_to_primary").Value()
+		for _, sink := range h.siteRcvSink[s] {
+			want += sink.Counter("recv.nacks_to_primary").Value()
+		}
+		if got := h.nackUp[s]; got != want {
+			h.violate("nack-budget-metrics", fmt.Sprintf(
+				"site%d tail-up saw %d NACK traversals but metrics account for %d",
+				s+1, got, want))
+		}
+	}
+	// Epoch gauges vs the tap's per-node epoch watermark: components set
+	// their epoch gauge before sending anything stamped with that epoch,
+	// and the watermark is per incarnation (cleared on crash), so no
+	// node's gauge may end below the highest epoch the tap saw it stamp.
+	// The sender never crashes and must agree with its own API exactly.
+	epochGauge := map[string]string{
+		"sender":    "sender.primary_epoch",
+		"primary":   "primary.epoch",
+		"secondary": "secondary.primary_epoch",
+		"recv":      "recv.primary_epoch",
+	}
+	for idx, sink := range h.nodeSink {
+		last, seen := h.lastEpoch[h.nodeID[idx]]
+		if !seen {
+			continue
+		}
+		if g := sink.Gauge(epochGauge[h.nodePfx[idx]]).Value(); g < int64(last) {
+			h.violate("epoch-gauge", fmt.Sprintf(
+				"%s epoch gauge %d below tap watermark %d", h.nodeName[idx], g, last))
+		}
+	}
+	if g := h.tb.SenderCfg.Obs.Gauge("sender.primary_epoch").Value(); g != int64(h.tb.Sender.PrimaryEpoch()) {
+		h.violate("epoch-gauge", fmt.Sprintf(
+			"sender epoch gauge %d != PrimaryEpoch() %d", g, h.tb.Sender.PrimaryEpoch()))
 	}
 	// Failover latency bound: detection needs backlog (≤ SendEvery old)
 	// aged past FailoverTimeout, observed by a jittered check firing at

@@ -3,6 +3,8 @@ package chaos
 import (
 	"testing"
 	"time"
+
+	"lbrm/internal/obs"
 )
 
 // TestChaosDeterministic: the whole point of the harness — one seed must
@@ -236,6 +238,73 @@ func TestChaosMatrix(t *testing.T) {
 			t.Logf("seed %d: lastSeq=%d failovers=%d converged in %v",
 				e.seed, res.LastSeq, res.Failovers, res.ConvergeTook)
 		}
+	}
+}
+
+// TestChaosMetricsCrossCheck drives one seed through every schedule class
+// and requires the observability ledgers to reconcile: every run already
+// enforces the metrics-reconcile, nack-budget-metrics and epoch-gauge
+// invariants inside checkFinalInvariants (component metrics vs independent
+// wire-tap counts, across crash/restart incarnations); this test
+// additionally asserts the merged fleet snapshot is populated — a silently
+// empty registry would reconcile trivially.
+func TestChaosMetricsCrossCheck(t *testing.T) {
+	classes := []struct {
+		name     string
+		cfg      Config
+		wantNack bool // schedule guarantees loss, so NACK metrics must flow
+	}{
+		{"legacy", Config{Seed: 3}, false},
+		{"crash-primary", Config{Seed: 4, CrashPrimary: true}, false},
+		{"source-partition", Config{Seed: 7, SourcePartition: true}, false},
+		{"join-window", Config{Seed: 31, JoinWindow: true}, false},
+		{"overlapping", Config{Seed: 41, Overlapping: true}, true},
+	}
+	for _, c := range classes {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Run(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				t.Fatalf("invariants violated:\n%s", res.Report())
+			}
+			m := res.Metrics
+			// The datapath actually flowed through the instrumented
+			// components: data out of the sender, into receivers, logged
+			// by the loggers.
+			want := []string{
+				"sender.tx.data.pkts", "sender.data_sent", "sender.heartbeats",
+				"recv.delivered", "primary.logged", "secondary.logged",
+			}
+			if c.wantNack {
+				want = append(want, "recv.tx.nack.pkts")
+			}
+			for _, name := range want {
+				if m.Counters[name] == 0 {
+					t.Errorf("merged metric %q is zero:\n%s", name, res.Report())
+				}
+			}
+			// The fleet's epoch gauges agree with the protocol's verdict
+			// (gauges max-merge, and the sender holds the newest epoch).
+			if g := m.Gauges["sender.primary_epoch"]; g != int64(res.PrimaryEpoch) {
+				t.Errorf("merged sender.primary_epoch %d != PrimaryEpoch %d", g, res.PrimaryEpoch)
+			}
+			if c.cfg.CrashPrimary {
+				if m.Counters["sender.failovers"] == 0 || m.Counters["primary.promotions"] == 0 {
+					t.Errorf("crash-primary run recorded no failover/promotion metrics:\n%s", res.Report())
+				}
+				var start, done bool
+				for _, ev := range res.SenderTrace {
+					start = start || ev.Kind == obs.KindFailoverStart
+					done = done || ev.Kind == obs.KindFailoverDone
+				}
+				if !start || !done {
+					t.Errorf("sender trace missing failover transitions (start=%v done=%v)", start, done)
+				}
+			}
+		})
 	}
 }
 

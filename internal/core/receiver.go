@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lbrm/internal/heartbeat"
+	"lbrm/internal/obs"
 	"lbrm/internal/seqtrack"
 	"lbrm/internal/transport"
 	"lbrm/internal/vtime"
@@ -94,6 +95,10 @@ type ReceiverConfig struct {
 	OnFresh func(StreamKey)
 	// OnLost is called when recovery of a range is abandoned.
 	OnLost func(StreamKey, wire.SeqRange)
+
+	// Obs receives metrics and trace events (nil = uninstrumented; the
+	// delivery path stays zero-allocation either way, see DESIGN.md §9).
+	Obs *obs.Sink
 }
 
 func (c ReceiverConfig) withDefaults() ReceiverConfig {
@@ -190,6 +195,69 @@ type Receiver struct {
 	scratch []byte
 
 	stopped bool
+	// mx caches the preregistered metric handles (all nil-safe).
+	mx receiverMetrics
+}
+
+// receiverMetrics holds the receiver's preregistered observability handles.
+type receiverMetrics struct {
+	sink             *obs.Sink
+	tx               *obs.ClassCounters
+	delivered        *obs.Counter
+	duplicates       *obs.Counter
+	heartbeats       *obs.Counter
+	gaps             *obs.Counter
+	recovered        *obs.Counter
+	recoveredInline  *obs.Counter
+	nacks            *obs.Counter
+	nacksToSecondary *obs.Counter
+	nacksToPrimary   *obs.Counter
+	escalations      *obs.Counter
+	primaryQueries   *obs.Counter
+	abandoned        *obs.Counter
+	staleEpisodes    *obs.Counter
+	discoveries      *obs.Counter
+	skippedAhead     *obs.Counter
+	staleRedirects   *obs.Counter
+	primaryEpoch     *obs.Gauge
+	recoveryMS       *obs.Histogram
+}
+
+// recoveryBoundsMS buckets loss-detection→delivery latency: the paper's
+// Figure 6 recovery-delay axis as a histogram.
+var recoveryBoundsMS = []uint64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+func newReceiverMetrics(sink *obs.Sink) receiverMetrics {
+	return receiverMetrics{
+		sink:             sink,
+		tx:               sink.Classes("recv.tx", wire.TrafficClassNames()),
+		delivered:        sink.Counter("recv.delivered"),
+		duplicates:       sink.Counter("recv.duplicates"),
+		heartbeats:       sink.Counter("recv.heartbeats_seen"),
+		gaps:             sink.Counter("recv.gaps_detected"),
+		recovered:        sink.Counter("recv.recovered"),
+		recoveredInline:  sink.Counter("recv.recovered_inline"),
+		nacks:            sink.Counter("recv.nacks_sent"),
+		nacksToSecondary: sink.Counter("recv.nacks_to_secondary"),
+		nacksToPrimary:   sink.Counter("recv.nacks_to_primary"),
+		escalations:      sink.Counter("recv.escalations"),
+		primaryQueries:   sink.Counter("recv.primary_queries"),
+		abandoned:        sink.Counter("recv.ranges_abandoned"),
+		staleEpisodes:    sink.Counter("recv.stale_episodes"),
+		discoveries:      sink.Counter("recv.discovery_queries"),
+		skippedAhead:     sink.Counter("recv.skipped_ahead"),
+		staleRedirects:   sink.Counter("recv.fence.stale_redirects"),
+		primaryEpoch:     sink.Gauge("recv.primary_epoch"),
+		recoveryMS:       sink.Histogram("recv.recovery_ms", recoveryBoundsMS),
+	}
+}
+
+// now returns the environment clock in nanoseconds (0 before Start).
+func (r *Receiver) now() int64 {
+	if r.env == nil {
+		return 0
+	}
+	return r.env.Now().UnixNano()
 }
 
 type rcvStream struct {
@@ -228,6 +296,7 @@ func NewReceiver(cfg ReceiverConfig) *Receiver {
 		cfg:       cfg.withDefaults(),
 		secondary: cfg.Secondary,
 		streams:   make(map[StreamKey]*rcvStream),
+		mx:        newReceiverMetrics(cfg.Obs),
 	}
 }
 
@@ -390,15 +459,19 @@ func (r *Receiver) onData(from transport.Addr, p *wire.Packet) {
 func (r *Receiver) ingest(st *rcvStream, seq uint64, payload []byte, retrans bool) {
 	if !st.track.Mark(seq) {
 		r.stats.Duplicates++
+		r.mx.duplicates.Inc()
 		return
 	}
 	if retrans {
 		r.stats.Recovered++
+		r.mx.recovered.Inc()
 		if r.channelJoined {
 			r.stats.ChannelRecoveries++
 		}
 		if at, ok := st.gapSince[seq]; ok {
-			st.recoveryTimes[seq] = r.env.Now().Sub(at)
+			d := r.env.Now().Sub(at)
+			st.recoveryTimes[seq] = d
+			r.mx.recoveryMS.Observe(uint64(d / time.Millisecond))
 			delete(st.gapSince, seq)
 		}
 	}
@@ -412,6 +485,7 @@ func (r *Receiver) ingest(st *rcvStream, seq uint64, payload []byte, retrans boo
 
 func (r *Receiver) deliver(st *rcvStream, seq uint64, payload []byte, retrans bool) {
 	r.stats.DataDelivered++
+	r.mx.delivered.Inc()
 	if r.cfg.OnData != nil {
 		r.cfg.OnData(Event{Stream: st.key, Seq: seq, Payload: payload, Retransmitted: retrans})
 	}
@@ -449,8 +523,11 @@ func (r *Receiver) onHeartbeat(from transport.Addr, p *wire.Packet) {
 	st := r.stream(StreamKey{Source: p.Source, Group: p.Group})
 	st.source = from
 	r.stats.HeartbeatsSeen++
+	r.mx.heartbeats.Inc()
 	if p.PrimaryEpoch > st.primaryEpoch {
+		r.mx.sink.Emit(r.now(), obs.KindEpochBump, uint64(st.primaryEpoch), uint64(p.PrimaryEpoch), 0)
 		st.primaryEpoch = p.PrimaryEpoch
+		r.mx.primaryEpoch.Set(int64(p.PrimaryEpoch))
 	}
 	r.touch(st, p)
 	// First contact via heartbeat: adopt the current position (no-op once
@@ -461,6 +538,7 @@ func (r *Receiver) onHeartbeat(from transport.Addr, p *wire.Packet) {
 	}
 	if p.Flags&wire.FlagInlineData != 0 && p.Seq > 0 && !st.track.Seen(p.Seq) {
 		r.stats.RecoveredInline++
+		r.mx.recoveredInline.Inc()
 		r.ingest(st, p.Seq, p.Payload, true)
 		return
 	}
@@ -499,6 +577,8 @@ func (r *Receiver) clampWindow(st *rcvStream) {
 		}
 	}
 	r.stats.SkippedAhead++
+	r.mx.skippedAhead.Inc()
+	r.mx.sink.Emit(r.now(), obs.KindSkipAhead, contig, skipTo, 0)
 	if r.cfg.OnLost != nil {
 		r.cfg.OnLost(st.key, wire.SeqRange{From: contig + 1, To: skipTo})
 	}
@@ -517,6 +597,7 @@ func (r *Receiver) checkGaps(st *rcvStream) {
 			if _, ok := st.gapSince[seq]; !ok {
 				st.gapSince[seq] = now
 				r.stats.GapsDetected++
+				r.mx.gaps.Inc()
 			}
 		}
 	}
@@ -616,12 +697,16 @@ func (r *Receiver) requestRetransmission(st *rcvStream) {
 		return
 	}
 	r.scratch = buf
+	r.mx.tx.Record(int(wire.ClassNack), len(buf))
 	_ = r.env.Send(target, buf)
 	r.stats.NacksSent++
+	r.mx.nacks.Inc()
 	if st.phase == phaseSecondary {
 		r.stats.NacksToSecondary++
+		r.mx.nacksToSecondary.Inc()
 	} else {
 		r.stats.NacksToPrimary++
+		r.mx.nacksToPrimary.Inc()
 	}
 	st.retries++
 	// Jittered exponential backoff: a site full of receivers that lost the
@@ -671,6 +756,7 @@ func (r *Receiver) escalate(st *rcvStream, miss []wire.SeqRange) {
 		st.phase = phasePrimary
 		st.retries = 0
 		r.stats.Escalations++
+		r.mx.escalations.Inc()
 		r.requestRetransmission(st)
 	case phasePrimary:
 		st.phase = phaseQueried
@@ -681,8 +767,10 @@ func (r *Receiver) escalate(st *rcvStream, miss []wire.SeqRange) {
 			}
 			if buf, err := q.AppendMarshal(r.scratch[:0]); err == nil {
 				r.scratch = buf
+				r.mx.tx.Record(int(wire.ClassControl), len(buf))
 				_ = r.env.Send(st.source, buf)
 				r.stats.PrimaryQueries++
+				r.mx.primaryQueries.Inc()
 			}
 			// Give the redirect a round trip before retrying the primary.
 			st.retryTimer = r.after(r.cfg.RequestTimeout, func() {
@@ -713,6 +801,7 @@ func (r *Receiver) abandon(st *rcvStream, miss []wire.SeqRange) {
 			st.track.Mark(seq)
 		}
 		r.stats.RangesAbandoned++
+		r.mx.abandoned.Inc()
 		if r.cfg.OnLost != nil {
 			r.cfg.OnLost(st.key, rg)
 		}
@@ -763,6 +852,7 @@ func (r *Receiver) touch(st *rcvStream, p *wire.Packet) {
 	st.staleTimer = r.after(wait, func() {
 		st.stale = true
 		r.stats.StaleEpisodes++
+		r.mx.staleEpisodes.Inc()
 		if r.cfg.OnStale != nil {
 			r.cfg.OnStale(st.key, r.env.Now().Sub(st.lastArrival))
 		}
@@ -805,8 +895,10 @@ func (r *Receiver) discoverLogger(ttl int) {
 		return
 	}
 	r.scratch = buf
+	r.mx.tx.Record(int(wire.ClassControl), len(buf))
 	_ = r.env.Multicast(r.cfg.Group, ttl, buf)
 	r.stats.DiscoveryQueries++
+	r.mx.discoveries.Inc()
 	r.after(r.cfg.DiscoveryTimeout, func() {
 		if r.secondary != nil || !r.discovering {
 			return
@@ -850,10 +942,14 @@ func (r *Receiver) onRedirect(p *wire.Packet) {
 	// recovery target.
 	if p.Epoch < st.primaryEpoch {
 		r.stats.StaleRedirects++
+		r.mx.staleRedirects.Inc()
+		r.mx.sink.Emit(r.now(), obs.KindFenceHit, uint64(st.primaryEpoch), uint64(p.Epoch), uint64(p.Type))
 		return
 	}
 	if p.Epoch > st.primaryEpoch {
+		r.mx.sink.Emit(r.now(), obs.KindEpochBump, uint64(st.primaryEpoch), uint64(p.Epoch), 0)
 		st.primaryEpoch = p.Epoch
+		r.mx.primaryEpoch.Set(int64(p.Epoch))
 	}
 	// A redirect naming the primary we already tried carries no new
 	// information: let the escalation run its course (otherwise a source

@@ -16,6 +16,7 @@ import (
 
 	"lbrm/internal/estimator"
 	"lbrm/internal/heartbeat"
+	"lbrm/internal/obs"
 	"lbrm/internal/transport"
 	"lbrm/internal/vtime"
 	"lbrm/internal/wire"
@@ -33,6 +34,11 @@ const (
 	// sequence number, guaranteeing the log survives a primary failure.
 	ReleaseOnReplicaAck
 )
+
+// hotlistPruneFloor is the decayed-activity score below which a tracked
+// acker is evicted from the faulty-acker hotlist at each selection round:
+// well under one activation, far below any faulty threshold.
+const hotlistPruneFloor = 0.05
 
 // StatAckConfig tunes statistical acknowledgement (§2.3). The zero value
 // disables it.
@@ -125,6 +131,9 @@ type SenderConfig struct {
 	// FailoverWait is how long to collect LogStateReplies before
 	// promoting the best replica.
 	FailoverWait time.Duration
+	// Obs receives metrics and trace events (nil = uninstrumented; the
+	// send path stays zero-allocation either way, see DESIGN.md §9).
+	Obs *obs.Sink
 }
 
 func (c SenderConfig) withDefaults() SenderConfig {
@@ -264,6 +273,90 @@ type Sender struct {
 	// bindings copy the datagram before returning, so reuse is safe.
 	scratch []byte
 	stats   SenderStats
+	// mx caches the preregistered metric handles (all nil-safe).
+	mx senderMetrics
+}
+
+// senderMetrics holds the sender's preregistered observability handles.
+type senderMetrics struct {
+	sink            *obs.Sink
+	tx              *obs.ClassCounters
+	dataSent        *obs.Counter
+	heartbeats      *obs.Counter
+	inlineHbs       *obs.Counter
+	acks            *obs.Counter
+	acksFaulty      *obs.Counter
+	statRemcasts    *obs.Counter
+	nackRemcasts    *obs.Counter
+	retransUnicast  *obs.Counter
+	nacksRx         *obs.Counter
+	sourceAcks      *obs.Counter
+	staleSourceAcks *obs.Counter
+	epochs          *obs.Counter
+	failovers       *obs.Counter
+	channelReplays  *obs.Counter
+	sendErrors      *obs.Counter
+	primaryEpoch    *obs.Gauge
+	statEpoch       *obs.Gauge
+	twaitNS         *obs.Gauge
+	nsl             *obs.Gauge
+	packPPM         *obs.Gauge
+	ackerCount      *obs.Gauge
+	hbInterval      *obs.Histogram
+}
+
+// heartbeatBoundsMS buckets the variable-heartbeat interval (§2.1): the
+// distribution should show mass near HMin right after data and near HMax
+// during idle, which is the paper's bandwidth argument in histogram form.
+var heartbeatBoundsMS = []uint64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+func newSenderMetrics(sink *obs.Sink) senderMetrics {
+	return senderMetrics{
+		sink:            sink,
+		tx:              sink.Classes("sender.tx", wire.TrafficClassNames()),
+		dataSent:        sink.Counter("sender.data_sent"),
+		heartbeats:      sink.Counter("sender.heartbeats"),
+		inlineHbs:       sink.Counter("sender.inline_heartbeats"),
+		acks:            sink.Counter("sender.acks"),
+		acksFaulty:      sink.Counter("sender.acks_ignored_faulty"),
+		statRemcasts:    sink.Counter("sender.stat_remulticasts"),
+		nackRemcasts:    sink.Counter("sender.nack_remulticasts"),
+		retransUnicast:  sink.Counter("sender.retrans_unicast"),
+		nacksRx:         sink.Counter("sender.nacks_received"),
+		sourceAcks:      sink.Counter("sender.source_acks"),
+		staleSourceAcks: sink.Counter("sender.fence.stale_source_acks"),
+		epochs:          sink.Counter("sender.epochs_started"),
+		failovers:       sink.Counter("sender.failovers"),
+		channelReplays:  sink.Counter("sender.channel_replays"),
+		sendErrors:      sink.Counter("sender.send_errors"),
+		primaryEpoch:    sink.Gauge("sender.primary_epoch"),
+		statEpoch:       sink.Gauge("sender.stat_epoch"),
+		twaitNS:         sink.Gauge("sender.twait_ns"),
+		nsl:             sink.Gauge("sender.nsl"),
+		packPPM:         sink.Gauge("sender.pack_ppm"),
+		ackerCount:      sink.Gauge("sender.ackers"),
+		hbInterval:      sink.Histogram("sender.heartbeat_interval_ms", heartbeatBoundsMS),
+	}
+}
+
+// syncEstimates publishes the current estimator state as gauges.
+func (s *Sender) syncEstimates() {
+	if s.rtt != nil {
+		s.mx.twaitNS.Set(int64(s.rtt.TWait()))
+	}
+	if s.groupSize != nil {
+		s.mx.nsl.Set(int64(s.groupSize.Estimate() + 0.5))
+		s.mx.packPPM.Set(int64(s.groupSize.PAck() * 1e6))
+	}
+	s.mx.ackerCount.Set(int64(len(s.ackers)))
+}
+
+// now returns the environment clock in nanoseconds (0 before Start).
+func (s *Sender) now() int64 {
+	if s.env == nil {
+		return 0
+	}
+	return s.env.Now().UnixNano()
 }
 
 type retainedPkt struct {
@@ -301,12 +394,14 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		nackDemand: make(map[uint64]*nackWindow),
 		primary:    cfg.Primary,
 		ackers:     make(map[transport.Addr]bool),
+		mx:         newSenderMetrics(cfg.Obs),
 	}
 	if cfg.Primary != nil {
 		// Epoch 1 is the configured primary's authority; every failover
 		// mints the next one.
 		s.primaryEpoch = 1
 	}
+	s.mx.primaryEpoch.Set(int64(s.primaryEpoch))
 	var err error
 	if s.schedule, err = heartbeat.NewSchedule(cfg.Heartbeat); err != nil {
 		return nil, err
@@ -453,6 +548,7 @@ func (s *Sender) Send(payload []byte) (uint64, error) {
 	}
 	s.multicast(&p)
 	s.stats.DataSent++
+	s.mx.dataSent.Inc()
 	s.lastData = &p
 	s.retained[seq] = &retainedPkt{seq: seq, payload: append([]byte(nil), payload...)}
 	s.epochPackets++
@@ -523,9 +619,12 @@ func (s *Sender) fireHeartbeat() {
 		p.Flags |= wire.FlagInlineData
 		p.Payload = s.lastData.Payload
 		s.stats.InlineHeartbeats++
+		s.mx.inlineHbs.Inc()
 	}
 	s.multicast(&p)
 	s.stats.HeartbeatsSent++
+	s.mx.heartbeats.Inc()
+	s.mx.hbInterval.Observe(uint64(next / time.Millisecond))
 	s.hbTimer.Reset(next)
 }
 
@@ -538,9 +637,12 @@ func (s *Sender) onSourceAck(p *wire.Packet) {
 		// refreshing the idle clock would mask the very failure that minted
 		// the newer epoch.
 		s.stats.StaleSourceAcks++
+		s.mx.staleSourceAcks.Inc()
+		s.mx.sink.Emit(s.now(), obs.KindFenceHit, uint64(s.primaryEpoch), uint64(p.Epoch), uint64(p.Type))
 		return
 	}
 	s.stats.SourceAcks++
+	s.mx.sourceAcks.Inc()
 	s.lastAckAt = s.env.Now()
 	if p.Seq > s.primaryAcked {
 		s.primaryAcked = p.Seq
@@ -573,6 +675,7 @@ func (s *Sender) onSourceAck(p *wire.Packet) {
 // mode). Heavy distinct demand for one packet triggers a re-multicast.
 func (s *Sender) onNack(from transport.Addr, p *wire.Packet) {
 	s.stats.NacksReceived++
+	s.mx.nacksRx.Inc()
 	const budget = 1024
 	n := 0
 	for _, r := range p.Ranges {
@@ -607,11 +710,13 @@ func (s *Sender) serveNack(from transport.Addr, seq uint64) {
 			w.remulticast = true
 			s.multicast(&out)
 			s.stats.NackRemulticasts++
+			s.mx.nackRemcasts.Inc()
 			return
 		}
 	}
 	s.send(from, &out)
 	s.stats.RetransUnicast++
+	s.mx.retransUnicast.Inc()
 }
 
 // scheduleChannelReplays arms the §7 retransmission-channel replays for a
@@ -635,11 +740,14 @@ func (s *Sender) scheduleChannelReplays(p *wire.Packet) {
 	delay := s.cfg.RetransStart
 	for i := 0; i < s.cfg.RetransRepeats; i++ {
 		s.after(delay, func() {
+			s.mx.tx.Record(int(wire.ClassRetrans), len(buf))
 			if err := s.env.Multicast(s.cfg.RetransChannel, transport.TTLGlobal, buf); err != nil {
 				s.stats.SendErrors++
+				s.mx.sendErrors.Inc()
 				return
 			}
 			s.stats.ChannelReplays++
+			s.mx.channelReplays.Inc()
 		})
 		delay *= 2
 	}
@@ -688,6 +796,10 @@ func (s *Sender) beginSelection() {
 		return
 	}
 	s.selecting = true
+	// One selection round per epoch is the natural cadence for bounding the
+	// faulty-acker hotlist: entries that decayed to noise are evicted, so
+	// the map tracks recently-active ackers, not every addr ever heard.
+	s.hotlist.Prune(s.env.Now(), hotlistPruneFloor)
 	next := s.epoch + 1
 	pAck := s.groupSize.PAck()
 	sel := wire.Packet{
@@ -696,6 +808,8 @@ func (s *Sender) beginSelection() {
 	}
 	s.nextAckers = make(map[transport.Addr]bool)
 	s.multicast(&sel)
+	s.mx.sink.Emit(s.now(), obs.KindDASet,
+		uint64(next), uint64(pAck*1e6), uint64(s.groupSize.Estimate()+0.5))
 	wait := 2 * s.rtt.TWait()
 	s.after(wait, func() { s.finishSelection(next, pAck) })
 }
@@ -725,6 +839,9 @@ func (s *Sender) finishSelection(next uint32, pAck float64) {
 	s.nextAckers = nil
 	s.selecting = false
 	s.stats.EpochsStarted++
+	s.mx.epochs.Inc()
+	s.mx.statEpoch.Set(int64(s.epoch))
+	s.syncEstimates()
 	s.after(s.cfg.StatAck.EpochInterval, func() {
 		if !s.selecting {
 			s.beginSelection()
@@ -740,6 +857,7 @@ func (s *Sender) onAckerResponse(from transport.Addr, p *wire.Packet) {
 	s.hotlist.Record(from, now)
 	if s.hotlist.Faulty(from, now) {
 		s.stats.AcksIgnoredFaulty++
+		s.mx.acksFaulty.Inc()
 		return
 	}
 	s.nextAckers[from] = true
@@ -769,6 +887,7 @@ func (s *Sender) onAck(from transport.Addr, p *wire.Packet) {
 	}
 	if !s.ackers[from] {
 		s.stats.AcksIgnoredFaulty++
+		s.mx.acksFaulty.Inc()
 		return // not a Designated Acker for this epoch (or faulty)
 	}
 	if pa.acks[from] {
@@ -776,10 +895,12 @@ func (s *Sender) onAck(from transport.Addr, p *wire.Packet) {
 	}
 	pa.acks[from] = true
 	s.stats.AcksReceived++
+	s.mx.acks.Inc()
 	if len(pa.acks) >= pa.expected {
 		// All expected ACKs in: sample the RTT and retire the packet.
 		s.rtt.Observe(s.env.Now().Sub(pa.sentAt))
 		s.observeLoss(0)
+		s.syncEstimates()
 		pa.timer.Stop()
 		delete(s.pending, pa.seq)
 	}
@@ -797,6 +918,7 @@ func (s *Sender) ackDeadline(pa *pendingAck) {
 	// Cap the RTT sample: the last ACK "arrived" at 2×t_wait.
 	s.rtt.Observe(s.rtt.Cap())
 	s.observeLoss(float64(missing) / float64(pa.expected))
+	s.syncEstimates()
 	sitesPerAcker := 1.0
 	if est := s.groupSize.Estimate(); est > 0 && pa.expected > 0 {
 		sitesPerAcker = est / float64(pa.expected)
@@ -809,6 +931,7 @@ func (s *Sender) ackDeadline(pa *pendingAck) {
 		}
 		s.multicast(&out)
 		s.stats.StatRemulticasts++
+		s.mx.statRemcasts.Inc()
 	}
 }
 
@@ -846,6 +969,7 @@ type failoverState struct {
 func (s *Sender) beginFailover() {
 	fo := &failoverState{}
 	s.failover = fo
+	s.mx.sink.Emit(s.now(), obs.KindFailoverStart, uint64(s.primaryEpoch), uint64(s.foProbes), 0)
 	q := wire.Packet{
 		Type: wire.TypeLogStateQuery, Source: s.cfg.Source, Group: s.cfg.Group,
 	}
@@ -882,10 +1006,14 @@ func (s *Sender) completeFailover(fo *failoverState) {
 	// backfills only thrashes the roster.
 	s.foProbes++
 	s.stats.Failovers++
+	s.mx.failovers.Inc()
 	s.primary = fo.best
 	// Mint the next primary epoch: the promotion and redirect below carry
 	// it, and from here on acks from any older epoch are fenced.
+	s.mx.sink.Emit(s.now(), obs.KindEpochBump, uint64(s.primaryEpoch), uint64(s.primaryEpoch+1), 0)
 	s.primaryEpoch++
+	s.mx.primaryEpoch.Set(int64(s.primaryEpoch))
+	s.mx.sink.Emit(s.now(), obs.KindFailoverDone, uint64(s.primaryEpoch), fo.bestSeq, 0)
 	// The winning replica just proved liveness by answering the probe:
 	// restart the idle clock, or the next check would still see the dead
 	// primary's whole silent window and immediately fail over again.
@@ -936,11 +1064,14 @@ func (s *Sender) multicast(p *wire.Packet) {
 	buf, err := p.AppendMarshal(s.scratch[:0])
 	if err != nil {
 		s.stats.SendErrors++
+		s.mx.sendErrors.Inc()
 		return
 	}
 	s.scratch = buf
+	s.mx.tx.Record(int(wire.ClassOf(p.Type)), len(buf))
 	if err := s.env.Multicast(s.cfg.Group, transport.TTLGlobal, buf); err != nil {
 		s.stats.SendErrors++
+		s.mx.sendErrors.Inc()
 	}
 }
 
@@ -948,10 +1079,13 @@ func (s *Sender) send(to transport.Addr, p *wire.Packet) {
 	buf, err := p.AppendMarshal(s.scratch[:0])
 	if err != nil {
 		s.stats.SendErrors++
+		s.mx.sendErrors.Inc()
 		return
 	}
 	s.scratch = buf
+	s.mx.tx.Record(int(wire.ClassOf(p.Type)), len(buf))
 	if err := s.env.Send(to, buf); err != nil {
 		s.stats.SendErrors++
+		s.mx.sendErrors.Inc()
 	}
 }

@@ -360,6 +360,24 @@ func (h *Hotlist[ID]) Faulty(id ID, now time.Time) bool {
 // Len returns the number of tracked IDs.
 func (h *Hotlist[ID]) Len() int { return len(h.entries) }
 
+// Prune evicts every ID whose decayed activity has fallen below floor,
+// bounding the map at the set of recently-active ackers. With a
+// non-positive floor nothing is evicted (scores never decay below zero but
+// never reach it either). It returns the number of evicted entries.
+func (h *Hotlist[ID]) Prune(now time.Time, floor float64) int {
+	if floor <= 0 {
+		return 0
+	}
+	evicted := 0
+	for id, e := range h.entries {
+		if h.decayed(e, now) < floor {
+			delete(h.entries, id)
+			evicted++
+		}
+	}
+	return evicted
+}
+
 func (h *Hotlist[ID]) decayed(e *hotEntry, now time.Time) float64 {
 	if h.HalfLife <= 0 {
 		return e.score

@@ -1,0 +1,196 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRTTConvergenceTable pins the Jacobson-style t_wait EWMA's convergence
+// analytically: with a constant sample S inside the cap and no Min/Max
+// clamping, the error after n observations is exactly (1−α)ⁿ·(t₀−S), and
+// the estimate lands within tolerance of S in the predicted number of
+// steps.
+func TestRTTConvergenceTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		alpha   float64
+		initial time.Duration
+		sample  time.Duration
+		steps   int
+	}{
+		{"paper-alpha-down", 1.0 / 8, 500 * time.Millisecond, 80 * time.Millisecond, 64},
+		{"paper-alpha-up", 1.0 / 8, 100 * time.Millisecond, 180 * time.Millisecond, 64},
+		{"fast-gain", 1.0 / 2, 400 * time.Millisecond, 50 * time.Millisecond, 16},
+		{"slow-gain", 1.0 / 32, 300 * time.Millisecond, 250 * time.Millisecond, 256},
+		{"alpha-one-jumps", 1, 500 * time.Millisecond, 90 * time.Millisecond, 1},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			r, err := NewRTT(RTTConfig{
+				Alpha: c.alpha, Initial: c.initial,
+				Min: time.Millisecond, Max: 30 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err0 := float64(c.initial - c.sample)
+			for n := 1; n <= c.steps; n++ {
+				// Samples above Cap (2×t_wait) would be clamped; every row
+				// keeps the sample inside the cap so the recurrence is exact.
+				if cap := r.Cap(); c.sample > cap {
+					t.Fatalf("step %d: sample %v above cap %v, table row invalid", n, c.sample, cap)
+				}
+				r.Observe(c.sample)
+				want := float64(c.sample) + math.Pow(1-c.alpha, float64(n))*err0
+				if got := float64(r.TWait()); math.Abs(got-want) > 1e3 { // 1µs slack for Duration rounding
+					t.Fatalf("step %d: t_wait %v, analytic %v", n, r.TWait(), time.Duration(want))
+				}
+			}
+			final := r.TWait() - c.sample
+			if final < 0 {
+				final = -final
+			}
+			// After the tabulated steps the residual is (1−α)^steps of the
+			// initial error — at most 0.1% for every row.
+			if float64(final) > math.Abs(err0)*1e-3+1e3 {
+				t.Fatalf("after %d steps residual %v (initial error %v)",
+					c.steps, final, time.Duration(err0))
+			}
+		})
+	}
+}
+
+// TestBolotProbeErrorBoundsTable runs the probing bootstrap against seeded
+// binomial populations and requires the final estimate to land within
+// 4·ProbeStdDev of the true size — the Table 2 error model, applied to the
+// estimator that claims it.
+func TestBolotProbeErrorBoundsTable(t *testing.T) {
+	cases := []struct {
+		n       int
+		plan    ProbePlan
+		maxStep int // escalation can't run away: rounds are bounded
+	}{
+		{100, ProbePlan{}, 12},
+		{1000, ProbePlan{}, 12},
+		{10000, ProbePlan{}, 12},
+		{1000, ProbePlan{StartPAck: 1.0 / 64, Growth: 2, MinResponses: 20, Repeats: 5}, 16},
+		{50, ProbePlan{StartPAck: 1.0 / 4, Growth: 4, MinResponses: 10, Repeats: 3}, 8},
+	}
+	for ci, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("n=%d/case=%d", c.n, ci), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(0xB010 + ci)))
+			p := NewProber(c.plan)
+			var finalPAck float64
+			rounds := 0
+			for {
+				pAck, ok := p.NextProbe()
+				if !ok {
+					break
+				}
+				finalPAck = pAck
+				responses := 0
+				for i := 0; i < c.n; i++ {
+					if rng.Float64() < pAck {
+						responses++
+					}
+				}
+				p.ObserveRound(responses)
+				if rounds++; rounds > c.maxStep {
+					t.Fatalf("prober still running after %d rounds", rounds)
+				}
+			}
+			if !p.Done() {
+				t.Fatal("prober stopped yielding probes but is not Done")
+			}
+			repeats := c.plan.normalize().Repeats
+			sigma := ProbeStdDev(float64(c.n), finalPAck, repeats)
+			if math.IsNaN(sigma) {
+				t.Fatalf("ProbeStdDev NaN for n=%d pAck=%v repeats=%d", c.n, finalPAck, repeats)
+			}
+			if err := math.Abs(p.Estimate() - float64(c.n)); err > 4*sigma+1 {
+				t.Fatalf("estimate %.1f vs truth %d: |err| %.1f exceeds 4σ %.1f (pAck %v)",
+					p.Estimate(), c.n, err, 4*sigma, finalPAck)
+			}
+		})
+	}
+}
+
+// TestHotlistPruneTable covers the eviction edge cases: the strict floor
+// comparison, active-vs-stale coexistence, the no-decay degenerate case,
+// and reinsertion after eviction.
+func TestHotlistPruneTable(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	halfLife := time.Second
+	cases := []struct {
+		name    string
+		setup   func(h *Hotlist[int]) (pruneAt time.Time, floor float64)
+		evicted int
+		left    int
+	}{
+		{"empty", func(h *Hotlist[int]) (time.Time, float64) {
+			return t0, 0.5
+		}, 0, 0},
+		{"non-positive-floor-keeps-all", func(h *Hotlist[int]) (time.Time, float64) {
+			h.Record(1, t0)
+			return t0.Add(100 * halfLife), 0
+		}, 0, 1},
+		{"exactly-at-floor-kept", func(h *Hotlist[int]) (time.Time, float64) {
+			h.Record(1, t0) // score 1; after one half-life exactly 0.5
+			return t0.Add(halfLife), 0.5
+		}, 0, 1},
+		{"below-floor-evicted", func(h *Hotlist[int]) (time.Time, float64) {
+			h.Record(1, t0) // after two half-lives 0.25 < 0.3
+			return t0.Add(2 * halfLife), 0.3
+		}, 1, 0},
+		{"stale-evicted-active-kept", func(h *Hotlist[int]) (time.Time, float64) {
+			h.Record(1, t0)
+			at := t0.Add(10 * halfLife)
+			h.Record(2, at)
+			return at, 0.5
+		}, 1, 1},
+		{"zero-halflife-never-decays", func(h *Hotlist[int]) (time.Time, float64) {
+			h.HalfLife = 0
+			h.Record(1, t0)
+			return t0.Add(time.Hour), 0.5
+		}, 0, 1},
+		{"zero-halflife-floor-above-score", func(h *Hotlist[int]) (time.Time, float64) {
+			h.HalfLife = 0
+			h.Record(1, t0)
+			return t0.Add(time.Hour), 1.5
+		}, 1, 0},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			h := NewHotlist[int](halfLife, 3)
+			at, floor := c.setup(h)
+			if got := h.Prune(at, floor); got != c.evicted {
+				t.Fatalf("Prune evicted %d, want %d", got, c.evicted)
+			}
+			if h.Len() != c.left {
+				t.Fatalf("Len() = %d after prune, want %d", h.Len(), c.left)
+			}
+		})
+	}
+}
+
+// TestHotlistPruneReinsert: an evicted ID is not blacklisted — a fresh
+// Record starts it over at score 1.
+func TestHotlistPruneReinsert(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	h := NewHotlist[string](time.Second, 3)
+	h.Record("a", t0)
+	at := t0.Add(10 * time.Second)
+	if n := h.Prune(at, 0.5); n != 1 {
+		t.Fatalf("Prune evicted %d, want 1", n)
+	}
+	h.Record("a", at)
+	if got := h.Score("a", at); got != 1 {
+		t.Fatalf("Score after reinsert = %v, want 1", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"lbrm/internal/obs"
 	"lbrm/internal/transport"
 	"lbrm/internal/vtime"
 	"lbrm/internal/wire"
@@ -53,6 +54,8 @@ type PrimaryConfig struct {
 	// harness can demonstrate that the un-fenced-single-primary invariant
 	// actually trips when fencing is removed. Never set in production.
 	UnsafeNoFence bool
+	// Obs receives metrics and trace events (nil = uninstrumented).
+	Obs *obs.Sink
 }
 
 func (c PrimaryConfig) withDefaults() PrimaryConfig {
@@ -140,6 +143,59 @@ type Primary struct {
 	last *priStream
 	// scratch is the reusable wire-encoding buffer (bindings copy).
 	scratch []byte
+	// mx caches the preregistered metric handles (all nil-safe).
+	mx primaryMetrics
+}
+
+// primaryMetrics holds the primary's preregistered observability handles.
+type primaryMetrics struct {
+	sink            *obs.Sink
+	tx              *obs.ClassCounters
+	logged          *obs.Counter
+	duplicates      *obs.Counter
+	sourceAcks      *obs.Counter
+	logSyncsSent    *obs.Counter
+	logSyncsApplied *obs.Counter
+	retransServed   *obs.Counter
+	nacksToSource   *obs.Counter
+	backfillNacks   *obs.Counter
+	promotions      *obs.Counter
+	demotions       *obs.Counter
+	backfills       *obs.Counter
+	backfillSkipped *obs.Counter
+	staleSyncs      *obs.Counter
+	staleSyncAcks   *obs.Counter
+	staleRedirects  *obs.Counter
+	stalePromotes   *obs.Counter
+	advancesSent    *obs.Counter
+	advancesApplied *obs.Counter
+	epoch           *obs.Gauge
+}
+
+func newPrimaryMetrics(sink *obs.Sink) primaryMetrics {
+	return primaryMetrics{
+		sink:            sink,
+		tx:              sink.Classes("primary.tx", wire.TrafficClassNames()),
+		logged:          sink.Counter("primary.logged"),
+		duplicates:      sink.Counter("primary.duplicates"),
+		sourceAcks:      sink.Counter("primary.source_acks"),
+		logSyncsSent:    sink.Counter("primary.logsyncs_sent"),
+		logSyncsApplied: sink.Counter("primary.logsyncs_applied"),
+		retransServed:   sink.Counter("primary.retrans_served"),
+		nacksToSource:   sink.Counter("primary.nacks_to_source"),
+		backfillNacks:   sink.Counter("primary.backfill_nacks"),
+		promotions:      sink.Counter("primary.promotions"),
+		demotions:       sink.Counter("primary.demotions"),
+		backfills:       sink.Counter("primary.backfills"),
+		backfillSkipped: sink.Counter("primary.backfill_skipped"),
+		staleSyncs:      sink.Counter("primary.fence.stale_syncs"),
+		staleSyncAcks:   sink.Counter("primary.fence.stale_sync_acks"),
+		staleRedirects:  sink.Counter("primary.fence.stale_redirects"),
+		stalePromotes:   sink.Counter("primary.fence.stale_promotes"),
+		advancesSent:    sink.Counter("primary.advances_sent"),
+		advancesApplied: sink.Counter("primary.advances_applied"),
+		epoch:           sink.Gauge("primary.epoch"),
+	}
 }
 
 type priStream struct {
@@ -182,7 +238,9 @@ func NewPrimary(cfg PrimaryConfig) *Primary {
 		streams: make(map[StreamKey]*priStream),
 		replica: cfg.Replica,
 		epoch:   cfg.Epoch,
+		mx:      newPrimaryMetrics(cfg.Obs),
 	}
+	p.mx.epoch.Set(int64(cfg.Epoch))
 	for _, a := range cfg.Replicas {
 		p.replicas = append(p.replicas, &replicaState{addr: a, acked: make(map[StreamKey]uint64)})
 	}
@@ -233,12 +291,23 @@ func (p *Primary) observeEpoch(e uint32) bool {
 	if p.cfg.UnsafeNoFence || e <= p.epoch {
 		return false
 	}
+	old := p.epoch
 	p.epoch = e
+	p.mx.sink.Emit(p.now(), obs.KindEpochBump, uint64(old), uint64(e), 0)
+	p.mx.epoch.Set(int64(e))
 	if !p.replica {
 		p.demote()
 		return true
 	}
 	return false
+}
+
+// now returns the environment clock in nanoseconds (0 before Start).
+func (p *Primary) now() int64 {
+	if p.env == nil {
+		return 0
+	}
+	return p.env.Now().UnixNano()
 }
 
 // demote steps an acting primary down to the replica role: the log is kept
@@ -248,6 +317,8 @@ func (p *Primary) observeEpoch(e uint32) bool {
 func (p *Primary) demote() {
 	p.replica = true
 	p.stats.Demotions++
+	p.mx.demotions.Inc()
+	p.mx.sink.Emit(p.now(), obs.KindDemote, uint64(p.epoch), uint64(p.epoch), 0)
 	if bf := p.backfill; bf != nil {
 		if bf.timer != nil {
 			bf.timer.Stop()
@@ -389,9 +460,11 @@ func (p *Primary) onData(from transport.Addr, pkt *wire.Packet) {
 	}
 	if st.store.Put(pkt.Seq, pkt.Payload, p.env.Now()) {
 		p.stats.PacketsLogged++
+		p.mx.logged.Inc()
 		p.replicate(st, pkt.Seq)
 	} else {
 		p.stats.Duplicates++
+		p.mx.duplicates.Inc()
 	}
 	if waiters := st.pendingReq[pkt.Seq]; len(waiters) > 0 {
 		delete(st.pendingReq, pkt.Seq)
@@ -421,6 +494,7 @@ func (p *Primary) onHeartbeat(from transport.Addr, pkt *wire.Packet) {
 	if pkt.Flags&wire.FlagInlineData != 0 && pkt.Seq > 0 {
 		if st.store.Put(pkt.Seq, pkt.Payload, p.env.Now()) {
 			p.stats.PacketsLogged++
+			p.mx.logged.Inc()
 			p.replicate(st, pkt.Seq)
 			p.ackSource(st)
 		}
@@ -447,6 +521,7 @@ func (p *Primary) ackSource(st *priStream) {
 	}
 	p.send(st.source, &ack)
 	p.stats.SourceAcks++
+	p.mx.sourceAcks.Inc()
 }
 
 // replicaSeq computes the replicated-logger sequence number for a stream.
@@ -491,6 +566,7 @@ func (p *Primary) replicate(st *priStream, seq uint64) {
 	for _, r := range p.replicas {
 		p.send(r.addr, &sync)
 		p.stats.LogSyncsSent++
+		p.mx.logSyncsSent.Inc()
 	}
 }
 
@@ -506,6 +582,7 @@ func (p *Primary) sendAdvance(st *priStream, to transport.Addr, seq uint64) {
 	}
 	p.send(to, &adv)
 	p.stats.AdvancesSent++
+	p.mx.advancesSent.Inc()
 }
 
 // syncTick periodically re-sends LogSyncs the replicas have not
@@ -544,6 +621,7 @@ func (p *Primary) syncTick() {
 				}
 				p.send(r.addr, &sync)
 				p.stats.LogSyncsSent++
+				p.mx.logSyncsSent.Inc()
 				sent++
 				anySent = true
 			}
@@ -598,6 +676,7 @@ func (p *Primary) retransmit(st *priStream, seq uint64, to transport.Addr) {
 	}
 	p.send(to, &r)
 	p.stats.RetransServed++
+	p.mx.retransServed.Inc()
 }
 
 func (p *Primary) onLogSync(from transport.Addr, pkt *wire.Packet) {
@@ -608,6 +687,8 @@ func (p *Primary) onLogSync(from transport.Addr, pkt *wire.Packet) {
 		// do ack with our (higher) epoch: the stale primary fences itself
 		// the moment the ack arrives.
 		p.stats.StaleSyncs++
+		p.mx.staleSyncs.Inc()
+		p.mx.sink.Emit(p.now(), obs.KindFenceHit, uint64(p.epoch), uint64(pkt.Epoch), uint64(pkt.Type))
 		p.sendSyncAck(from, st)
 		return
 	}
@@ -615,6 +696,8 @@ func (p *Primary) onLogSync(from transport.Addr, pkt *wire.Packet) {
 		if pkt.Seq > st.store.Contiguous() {
 			st.store.Advance(pkt.Seq)
 			p.stats.AdvancesApplied++
+			p.mx.advancesApplied.Inc()
+			p.mx.sink.Emit(p.now(), obs.KindAdvance, pkt.Seq, 0, 0)
 			// A promoted replica with replicas of its own forwards the
 			// advance, like any other sync.
 			if !p.replica {
@@ -628,6 +711,7 @@ func (p *Primary) onLogSync(from transport.Addr, pkt *wire.Packet) {
 	}
 	if st.store.Put(pkt.Seq, pkt.Payload, p.env.Now()) {
 		p.stats.LogSyncsApplied++
+		p.mx.logSyncsApplied.Inc()
 	}
 	p.sendSyncAck(from, st)
 	// A promoted replica with replicas of its own forwards the sync on.
@@ -650,6 +734,8 @@ func (p *Primary) onLogSyncAck(from transport.Addr, pkt *wire.Packet) {
 	}
 	if p.staleAuthority(pkt.Epoch) {
 		p.stats.StaleSyncAcks++
+		p.mx.staleSyncAcks.Inc()
+		p.mx.sink.Emit(p.now(), obs.KindFenceHit, uint64(p.epoch), uint64(pkt.Epoch), uint64(pkt.Type))
 		return
 	}
 	p.stats.LogSyncAcks++
@@ -694,10 +780,14 @@ func (p *Primary) onPromote(from transport.Addr, pkt *wire.Packet) {
 		// A delayed or replayed promotion from a superseded election; acting
 		// on it would resurrect exactly the split-brain the epoch prevents.
 		p.stats.StalePromotes++
+		p.mx.stalePromotes.Inc()
+		p.mx.sink.Emit(p.now(), obs.KindFenceHit, uint64(p.epoch), uint64(pkt.Epoch), uint64(pkt.Type))
 		return
 	}
 	if pkt.Epoch > p.epoch {
+		p.mx.sink.Emit(p.now(), obs.KindEpochBump, uint64(p.epoch), uint64(pkt.Epoch), 0)
 		p.epoch = pkt.Epoch
+		p.mx.epoch.Set(int64(p.epoch))
 	}
 	if !p.replica {
 		// Re-promoted while already acting (the sender re-elected us, e.g.
@@ -713,6 +803,8 @@ func (p *Primary) onPromote(from transport.Addr, pkt *wire.Packet) {
 	}
 	p.replica = false
 	p.stats.Promotions++
+	p.mx.promotions.Inc()
+	p.mx.sink.Emit(p.now(), obs.KindPromote, uint64(p.epoch), pkt.Seq, 0)
 	if len(p.replicas) == 0 {
 		for _, a := range p.cfg.Peers {
 			p.replicas = append(p.replicas, &replicaState{addr: a, acked: make(map[StreamKey]uint64)})
@@ -750,10 +842,14 @@ func (p *Primary) onPrimaryRedirect(pkt *wire.Packet) {
 	}
 	if !p.cfg.UnsafeNoFence && pkt.Epoch < p.epoch {
 		p.stats.StaleRedirects++
+		p.mx.staleRedirects.Inc()
+		p.mx.sink.Emit(p.now(), obs.KindFenceHit, uint64(p.epoch), uint64(pkt.Epoch), uint64(pkt.Type))
 		return
 	}
 	if pkt.Epoch > p.epoch && !p.cfg.UnsafeNoFence {
+		p.mx.sink.Emit(p.now(), obs.KindEpochBump, uint64(p.epoch), uint64(pkt.Epoch), 0)
 		p.epoch = pkt.Epoch
+		p.mx.epoch.Set(int64(p.epoch))
 	}
 	if addr.String() == p.env.LocalAddr().String() {
 		return // the redirect names us: we are the rightful primary
@@ -774,6 +870,7 @@ func (p *Primary) startBackfill(st *priStream, floor uint64) {
 		return
 	}
 	p.stats.BackfillsStarted++
+	p.mx.backfills.Inc()
 	bf := &backfillState{st: st, floor: floor, lastContig: st.store.Contiguous()}
 	p.backfill = bf
 	q := wire.Packet{
@@ -857,6 +954,7 @@ func (p *Primary) onPeerStateReply(from transport.Addr, pkt *wire.Packet) {
 	}
 	p.send(from, &nack)
 	p.stats.BackfillNacks++
+	p.mx.backfillNacks.Inc()
 }
 
 // finishBackfill ends the episode (the hole is closed or skipped) and
@@ -887,6 +985,8 @@ func (p *Primary) skipBackfillHole(st *priStream, floor uint64) {
 	}
 	st.store.Advance(floor)
 	p.stats.BackfillSkipped += missing
+	p.mx.backfillSkipped.Add(missing)
+	p.mx.sink.Emit(p.now(), obs.KindSkipAhead, contig, floor, missing)
 	// Replicas can never recover the hole either (this primary was elected
 	// as the most up-to-date copy): ship them an advance record so their
 	// cumulative acks cross the gap instead of wedging below it, and so a
@@ -968,6 +1068,7 @@ func (p *Primary) fetchFromSource(st *priStream, hi uint64) {
 	}
 	p.send(st.source, &nack)
 	p.stats.NacksToSource++
+	p.mx.nacksToSource.Inc()
 	// Jittered exponential backoff (see Secondary.fetchMissing): the primary
 	// must not hammer a source that is down or partitioned at a fixed period.
 	retry := transport.Backoff{Base: p.cfg.RequestTimeout}.Interval(st.retries-1, p.env.Rand())
@@ -983,5 +1084,6 @@ func (p *Primary) send(to transport.Addr, pkt *wire.Packet) {
 		return
 	}
 	p.scratch = buf
+	p.mx.tx.Record(int(wire.ClassOf(pkt.Type)), len(buf))
 	_ = p.env.Send(to, buf)
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"lbrm/internal/obs"
 	"lbrm/internal/transport"
 	"lbrm/internal/vtime"
 	"lbrm/internal/wire"
@@ -53,6 +54,9 @@ type SecondaryConfig struct {
 	// discovery query (avoids reply implosion when several loggers hear
 	// the same query).
 	DiscoveryJitter time.Duration
+	// Obs receives metrics and trace events (nil = uninstrumented; the
+	// datapath stays zero-allocation either way, see DESIGN.md §9).
+	Obs *obs.Sink
 }
 
 // withDefaults fills zero fields.
@@ -129,6 +133,45 @@ type Secondary struct {
 	// waiterPool recycles the per-seq waiter maps of pendingReq.
 	waiterPool []map[transport.Addr]bool
 	stats      SecondaryStats
+	// mx caches the preregistered metric handles (all nil-safe): resolved
+	// once at construction so the hot path is atomic adds only.
+	mx secondaryMetrics
+}
+
+// secondaryMetrics holds the secondary's preregistered observability
+// handles. Every field no-ops when the sink is nil.
+type secondaryMetrics struct {
+	sink           *obs.Sink
+	tx             *obs.ClassCounters
+	logged         *obs.Counter
+	duplicates     *obs.Counter
+	acksSent       *obs.Counter
+	nacksToPrimary *obs.Counter
+	retransUnicast *obs.Counter
+	remulticasts   *obs.Counter
+	abandoned      *obs.Counter
+	skippedAhead   *obs.Counter
+	staleRedirects *obs.Counter
+	primaryEpoch   *obs.Gauge
+	nackRanges     *obs.Histogram
+}
+
+func newSecondaryMetrics(sink *obs.Sink) secondaryMetrics {
+	return secondaryMetrics{
+		sink:           sink,
+		tx:             sink.Classes("secondary.tx", wire.TrafficClassNames()),
+		logged:         sink.Counter("secondary.logged"),
+		duplicates:     sink.Counter("secondary.duplicates"),
+		acksSent:       sink.Counter("secondary.acks_sent"),
+		nacksToPrimary: sink.Counter("secondary.nacks_to_primary"),
+		retransUnicast: sink.Counter("secondary.retrans_unicast"),
+		remulticasts:   sink.Counter("secondary.remulticasts"),
+		abandoned:      sink.Counter("secondary.fetches_abandoned"),
+		skippedAhead:   sink.Counter("secondary.skipped_ahead"),
+		staleRedirects: sink.Counter("secondary.fence.stale_redirects"),
+		primaryEpoch:   sink.Gauge("secondary.primary_epoch"),
+		nackRanges:     sink.Histogram("secondary.nack.ranges", []uint64{1, 2, 4, 8, 16, 32}),
+	}
 }
 
 type secStream struct {
@@ -169,7 +212,16 @@ func NewSecondary(cfg SecondaryConfig) *Secondary {
 	return &Secondary{
 		cfg:     cfg.withDefaults(),
 		streams: make(map[StreamKey]*secStream),
+		mx:      newSecondaryMetrics(cfg.Obs),
 	}
+}
+
+// now returns the trace timestamp (0 before Start).
+func (s *Secondary) now() int64 {
+	if s.env == nil {
+		return 0
+	}
+	return s.env.Now().UnixNano()
 }
 
 // Stats returns a snapshot of the logger's counters.
@@ -311,8 +363,10 @@ func (s *Secondary) onData(from transport.Addr, p *wire.Packet) {
 	stored := st.store.Put(p.Seq, p.Payload, s.env.Now())
 	if !stored {
 		s.stats.Duplicates++
+		s.mx.duplicates.Inc()
 	} else {
 		s.stats.PacketsLogged++
+		s.mx.logged.Inc()
 		// Designated Acker duty: acknowledge fresh data of our epoch.
 		if st.isAcker && p.Type == wire.TypeData && p.Epoch == st.ackerEpoch && st.source != nil {
 			s.ackPkt = wire.Packet{
@@ -321,6 +375,7 @@ func (s *Secondary) onData(from transport.Addr, p *wire.Packet) {
 			}
 			s.send(st.source, &s.ackPkt)
 			s.stats.AcksSent++
+			s.mx.acksSent.Inc()
 		}
 	}
 	// Satisfy any local receivers waiting on this packet.
@@ -336,7 +391,9 @@ func (s *Secondary) onHeartbeat(from transport.Addr, p *wire.Packet) {
 	st := s.stream(KeyOf(p))
 	st.source = from
 	if p.PrimaryEpoch > st.primaryEpoch {
+		s.mx.sink.Emit(s.now(), obs.KindEpochBump, uint64(st.primaryEpoch), uint64(p.PrimaryEpoch), 0)
 		st.primaryEpoch = p.PrimaryEpoch
+		s.mx.primaryEpoch.Set(int64(st.primaryEpoch))
 	}
 	// First contact via heartbeat: adopt the current position, skipping
 	// history.
@@ -349,6 +406,7 @@ func (s *Secondary) onHeartbeat(from transport.Addr, p *wire.Packet) {
 	if p.Flags&wire.FlagInlineData != 0 && p.Seq > 0 {
 		if st.store.Put(p.Seq, p.Payload, s.env.Now()) {
 			s.stats.PacketsLogged++
+			s.mx.logged.Inc()
 		}
 		if waiters := st.pendingReq[p.Seq]; len(waiters) > 0 {
 			delete(st.pendingReq, p.Seq)
@@ -450,10 +508,12 @@ func (s *Secondary) retransmit(st *secStream, seq uint64, to transport.Addr) {
 	if to == nil {
 		s.multicast(&p, s.cfg.RemcastTTL)
 		s.stats.Remulticasts++
+		s.mx.remulticasts.Inc()
 		return
 	}
 	s.send(to, &p)
 	s.stats.RetransUnicast++
+	s.mx.retransUnicast.Inc()
 }
 
 // clampWindow enforces RecoveryWindow: a logger that is hopelessly behind
@@ -469,6 +529,7 @@ func (s *Secondary) clampWindow(st *secStream) {
 		return
 	}
 	skipTo := hi - s.cfg.RecoveryWindow
+	s.mx.sink.Emit(s.now(), obs.KindSkipAhead, contig, skipTo, 0)
 	st.store.Advance(skipTo)
 	if skipTo > st.gaveUpBelow {
 		st.gaveUpBelow = skipTo
@@ -480,6 +541,7 @@ func (s *Secondary) clampWindow(st *secStream) {
 		}
 	}
 	s.stats.SkippedAhead++
+	s.mx.skippedAhead.Inc()
 }
 
 // checkGaps schedules a fetch from the primary when the local log has
@@ -588,6 +650,8 @@ func (s *Secondary) fetchMissing(st *secStream) {
 	}
 	s.send(st.primary, &nack)
 	s.stats.NacksToPrimary++
+	s.mx.nacksToPrimary.Inc()
+	s.mx.nackRanges.Observe(uint64(len(ranges)))
 	// Jittered exponential backoff: every site logger behind a healed
 	// partition holds the same gaps; fixed-period retries would hit the
 	// primary in synchronized waves (§2.2.2's correlated loss applies to
@@ -618,6 +682,7 @@ func (s *Secondary) abandon(st *secStream, ranges []wire.SeqRange) {
 	}
 	st.retries = 0
 	s.stats.FetchesAbandoned++
+	s.mx.abandoned.Inc()
 }
 
 func (s *Secondary) onAckerSelect(from transport.Addr, p *wire.Packet) {
@@ -687,10 +752,14 @@ func (s *Secondary) onRedirect(p *wire.Packet) {
 	// epoch we have observed comes from a fenced, stale primary.
 	if p.Epoch < st.primaryEpoch {
 		s.stats.StaleRedirects++
+		s.mx.staleRedirects.Inc()
+		s.mx.sink.Emit(s.now(), obs.KindFenceHit, uint64(st.primaryEpoch), uint64(p.Epoch), uint64(p.Type))
 		return
 	}
 	if p.Epoch > st.primaryEpoch {
+		s.mx.sink.Emit(s.now(), obs.KindEpochBump, uint64(st.primaryEpoch), uint64(p.Epoch), 0)
 		st.primaryEpoch = p.Epoch
+		s.mx.primaryEpoch.Set(int64(st.primaryEpoch))
 	}
 	if st.primary == addr {
 		return // already pointed there; nothing new
@@ -719,6 +788,7 @@ func (s *Secondary) send(to transport.Addr, p *wire.Packet) {
 		return
 	}
 	s.scratch = buf
+	s.mx.tx.Record(int(wire.ClassOf(p.Type)), len(buf))
 	_ = s.env.Send(to, buf)
 }
 
@@ -728,5 +798,6 @@ func (s *Secondary) multicast(p *wire.Packet, ttl int) {
 		return
 	}
 	s.scratch = buf
+	s.mx.tx.Record(int(wire.ClassOf(p.Type)), len(buf))
 	_ = s.env.Multicast(s.cfg.Group, ttl, buf)
 }

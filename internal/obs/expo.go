@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Dump is the full exposition payload: a registry snapshot plus the
+// retained trace window. It is the JSON wire format (expvar-style: one
+// flat document, stable field names).
+type Dump struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Trace      []Event                      `json:"trace"`
+}
+
+// DumpOf captures a sink's current state. Nil-safe (empty dump).
+func DumpOf(s *Sink) Dump {
+	snap := s.Registry().Snapshot()
+	return Dump{
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: snap.Histograms,
+		Trace:      s.Ring().Snapshot(),
+	}
+}
+
+// WriteJSON writes the dump as one indented JSON document.
+func (d Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(normalize(d))
+}
+
+// normalize replaces nil maps/slices so the JSON form always carries all
+// four sections (decoders and the fuzz round-trip rely on that).
+func normalize(d Dump) Dump {
+	if d.Counters == nil {
+		d.Counters = map[string]uint64{}
+	}
+	if d.Gauges == nil {
+		d.Gauges = map[string]int64{}
+	}
+	if d.Histograms == nil {
+		d.Histograms = map[string]HistogramSnapshot{}
+	}
+	if d.Trace == nil {
+		d.Trace = []Event{}
+	}
+	return d
+}
+
+// WriteText writes the dump in a line-oriented human format: one metric
+// per line, sorted by name; metric names are rendered with %q when they
+// contain bytes that would break the line discipline.
+func (d Dump) WriteText(w io.Writer) error {
+	d = normalize(d)
+	for _, name := range sortedKeys(d.Counters) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", textName(name), d.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(d.Gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", textName(name), d.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(d.Histograms) {
+		h := d.Histograms[name]
+		if _, err := fmt.Fprintf(w, "hist %s total=%d sum=%d", textName(name), h.Total(), h.Sum); err != nil {
+			return err
+		}
+		for i, c := range h.Counts {
+			var err error
+			if i < len(h.Bounds) {
+				_, err = fmt.Fprintf(w, " le%d=%d", h.Bounds[i], c)
+			} else {
+				_, err = fmt.Fprintf(w, " inf=%d", c)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	for _, ev := range d.Trace {
+		if _, err := fmt.Fprintf(w, "trace %d at=%d %s a=%d b=%d c=%d\n",
+			ev.Seq, ev.At, ev.Kind, ev.A, ev.B, ev.C); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// textName renders a metric name for the text format, quoting any name
+// that would break the one-metric-per-line discipline.
+func textName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if b := name[i]; b <= ' ' || b == 0x7f {
+			return fmt.Sprintf("%q", name)
+		}
+	}
+	if name == "" {
+		return `""`
+	}
+	return name
+}
+
+// Handler serves the sink over HTTP: text by default, JSON with
+// ?format=json or an Accept: application/json header. Safe to serve while
+// the instrumented components run — every read is atomic.
+func Handler(s *Sink) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := DumpOf(s)
+		if r.URL.Query().Get("format") == "json" || r.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = d.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = d.WriteText(w)
+	})
+}

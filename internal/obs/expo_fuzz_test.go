@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzExposition drives the metrics/trace exposition encoder with
+// adversarial metric names and values: both encoders must never panic, the
+// text format must keep its one-metric-per-line discipline, and the JSON
+// form must round-trip to an identical Dump (the cross-check and any
+// external scraper depend on lossless encoding).
+func FuzzExposition(f *testing.F) {
+	f.Add("sender.tx.data.pkts", uint64(45), int64(-3), uint64(7), uint64(500), int64(99), uint8(KindEpochBump), uint64(1), uint64(2), uint64(3))
+	f.Add("", uint64(0), int64(0), uint64(0), uint64(0), int64(0), uint8(0), uint64(0), uint64(0), uint64(0))
+	f.Add("name with spaces\nand\tcontrol", uint64(1<<63), int64(-1<<62), uint64(10), uint64(11), int64(-5), uint8(200), uint64(1<<64-1), uint64(0), uint64(42))
+	f.Add("unicode-Ωμε\x7f\x00", uint64(3), int64(5), uint64(100), uint64(101), int64(7), uint8(KindDASet), uint64(9), uint64(8), uint64(7))
+	f.Fuzz(func(t *testing.T, name string, cv uint64, gv int64, h1, h2 uint64, at int64, kindRaw uint8, a, b, c uint64) {
+		s := NewSink()
+		s.Counter(name).Add(cv)
+		s.Counter("fixed.counter").Inc()
+		s.Gauge(name + ".g").Set(gv)
+		hist := s.Histogram(name+".h", []uint64{10, 100, 1000})
+		hist.Observe(h1)
+		hist.Observe(h2)
+		s.Emit(at, Kind(kindRaw), a, b, c)
+
+		d := DumpOf(s)
+
+		// Text: must not panic and must hold the line discipline — every
+		// line has one of the four record heads, regardless of the name.
+		var text bytes.Buffer
+		if err := d.WriteText(&text); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		for _, line := range bytes.Split(bytes.TrimSuffix(text.Bytes(), []byte("\n")), []byte("\n")) {
+			switch {
+			case bytes.HasPrefix(line, []byte("counter ")),
+				bytes.HasPrefix(line, []byte("gauge ")),
+				bytes.HasPrefix(line, []byte("hist ")),
+				bytes.HasPrefix(line, []byte("trace ")):
+			default:
+				t.Fatalf("text line lost its record head: %q", line)
+			}
+		}
+
+		// JSON: encode, decode, compare — lossless round-trip.
+		var js bytes.Buffer
+		if err := d.WriteJSON(&js); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		var back Dump
+		if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+			t.Fatalf("round-trip unmarshal: %v\n%s", err, js.Bytes())
+		}
+		// JSON map keys cannot carry invalid UTF-8 (the encoder substitutes
+		// U+FFFD); real metric names are code constants and always valid, so
+		// losslessness is asserted exactly there.
+		if utf8.ValidString(name) {
+			want := normalize(d)
+			if !reflect.DeepEqual(back, want) {
+				t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", back, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. All methods are nil-safe
+// and wait-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous signed value. All methods are nil-safe and
+// wait-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (negative to subtract).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram over uint64 samples (typically
+// nanoseconds). Bucket i counts samples ≤ Bounds[i]; one overflow bucket
+// counts the rest. Bounds are fixed at registration — Observe is a short
+// linear scan plus one atomic add, with no allocation.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1, last is overflow
+	sum    atomic.Uint64
+}
+
+// Observe folds in one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram: each field
+// is read atomically (the struct as a whole is not fenced — fine for
+// telemetry, and exact once writers are quiet).
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bucket bounds; Counts has one extra
+	// trailing overflow bucket.
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Sum    uint64   `json:"sum"`
+}
+
+// Total returns the number of observed samples.
+func (s HistogramSnapshot) Total() uint64 {
+	var t uint64
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// ClassCounters is a counter family indexed by a small dense class enum
+// (e.g. wire traffic classes): one packet counter and one byte counter per
+// class. Record is the per-send hot path: two atomic adds.
+type ClassCounters struct {
+	pkts  []*Counter
+	bytes []*Counter
+}
+
+// Record adds one packet of size bytes to class i. Out-of-range classes
+// and nil receivers are ignored.
+func (c *ClassCounters) Record(i int, size int) {
+	if c == nil || i < 0 || i >= len(c.pkts) {
+		return
+	}
+	c.pkts[i].Inc()
+	c.bytes[i].Add(uint64(size))
+}
+
+// Pkts returns the packet count for class i (0 when out of range or nil).
+func (c *ClassCounters) Pkts(i int) uint64 {
+	if c == nil || i < 0 || i >= len(c.pkts) {
+		return 0
+	}
+	return c.pkts[i].Value()
+}
+
+// Bytes returns the byte count for class i (0 when out of range or nil).
+func (c *ClassCounters) Bytes(i int) uint64 {
+	if c == nil || i < 0 || i >= len(c.bytes) {
+		return 0
+	}
+	return c.bytes[i].Value()
+}
+
+// Registry holds preregistered metrics by name. Registration is idempotent
+// (the first registration of a name wins, later ones return the same
+// metric) and mutex-guarded; reads of registered metrics never lock.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter registers (or finds) the named counter. Returns nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers (or finds) the named gauge. Returns nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram registers (or finds) the named histogram. Bounds must be
+// strictly increasing; they are fixed by the first registration (later
+// calls return the existing histogram regardless of bounds). Returns nil
+// on a nil registry.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		clean := make([]uint64, 0, len(bounds))
+		for _, b := range bounds {
+			if len(clean) == 0 || b > clean[len(clean)-1] {
+				clean = append(clean, b)
+			}
+		}
+		h = &Histogram{bounds: clean, counts: make([]atomic.Uint64, len(clean)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Classes registers a per-class counter family: for each class name c the
+// counters "<prefix>.<c>.pkts" and "<prefix>.<c>.bytes". Returns nil on a
+// nil registry.
+func (r *Registry) Classes(prefix string, classes []string) *ClassCounters {
+	if r == nil {
+		return nil
+	}
+	cc := &ClassCounters{
+		pkts:  make([]*Counter, len(classes)),
+		bytes: make([]*Counter, len(classes)),
+	}
+	for i, c := range classes {
+		cc.pkts[i] = r.Counter(prefix + "." + c + ".pkts")
+		cc.bytes[i] = r.Counter(prefix + "." + c + ".bytes")
+	}
+	return cc
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, the input to
+// exposition and merging. Maps are never nil.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric's current value. Works on a nil registry
+// (empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Merge sums counters and histogram buckets (when bounds agree; on a
+// bounds mismatch the first wins) and keeps each gauge's maximum —
+// the aggregation used by the lbrm-sim fleet report.
+func Merge(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			if cur, ok := out.Gauges[name]; !ok || v > cur {
+				out.Gauges[name] = v
+			}
+		}
+		for name, h := range s.Histograms {
+			cur, ok := out.Histograms[name]
+			if !ok {
+				out.Histograms[name] = HistogramSnapshot{
+					Bounds: append([]uint64(nil), h.Bounds...),
+					Counts: append([]uint64(nil), h.Counts...),
+					Sum:    h.Sum,
+				}
+				continue
+			}
+			if !equalBounds(cur.Bounds, h.Bounds) {
+				continue
+			}
+			for i := range cur.Counts {
+				cur.Counts[i] += h.Counts[i]
+			}
+			cur.Sum += h.Sum
+			out.Histograms[name] = cur
+		}
+	}
+	return out
+}
+
+func equalBounds(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedKeys returns map keys in lexical order (exposition is the cold
+// path; sorting keeps dumps diffable).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

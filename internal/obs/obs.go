@@ -1,0 +1,85 @@
+// Package obs is the zero-allocation observability layer: a metrics
+// registry of atomic counters, gauges and fixed-bucket histograms, plus a
+// seqlock-style ring-buffer tracer for protocol transitions (failovers,
+// epoch bumps, fence hits, promotions, skip/advance records, DA-set
+// epochs).
+//
+// The design contract mirrors the datapath allocation contract (DESIGN.md):
+//
+//   - Registration is the cold path: components resolve every metric they
+//     will ever touch once, at construction, and keep the returned
+//     pointers. Registration takes a mutex; the hot path never does.
+//   - The hot path is wait-free: Counter.Add, Gauge.Set, Histogram.Observe
+//     and Ring.Emit are a handful of atomic operations — no allocation, no
+//     locks, no map lookups.
+//   - Everything is nil-safe: a nil *Sink hands out nil metrics, and every
+//     method on a nil *Counter/*Gauge/*Histogram/*Ring is a no-op. An
+//     uninstrumented component pays a single predictable branch per
+//     operation and nothing else.
+//
+// Exposition (text and expvar-style JSON rendering of a registry snapshot)
+// lives in expo.go; it allocates freely — observability readers are never
+// on the datapath.
+package obs
+
+// Sink bundles the two halves of the observability layer — a metric
+// Registry and a trace Ring — behind one nil-safe handle that protocol
+// components accept in their configs. A nil *Sink is fully functional:
+// every registration returns a nil metric whose operations no-op.
+type Sink struct {
+	reg  *Registry
+	ring *Ring
+}
+
+// DefaultRingSize is the trace capacity NewSink allocates: enough to hold
+// every protocol transition of a long chaos run (transitions are rare —
+// the ring records failovers, not packets).
+const DefaultRingSize = 512
+
+// NewSink returns a live sink with a fresh registry and a trace ring of
+// DefaultRingSize events.
+func NewSink() *Sink {
+	return &Sink{reg: NewRegistry(), ring: NewRing(DefaultRingSize)}
+}
+
+// Registry returns the underlying metric registry (nil for a nil sink).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Ring returns the underlying trace ring (nil for a nil sink).
+func (s *Sink) Ring() *Ring {
+	if s == nil {
+		return nil
+	}
+	return s.ring
+}
+
+// Counter registers (or finds) a counter. Nil-safe cold path.
+func (s *Sink) Counter(name string) *Counter { return s.Registry().Counter(name) }
+
+// Gauge registers (or finds) a gauge. Nil-safe cold path.
+func (s *Sink) Gauge(name string) *Gauge { return s.Registry().Gauge(name) }
+
+// Histogram registers (or finds) a fixed-bucket histogram. Nil-safe cold
+// path; see Registry.Histogram for bounds semantics.
+func (s *Sink) Histogram(name string, bounds []uint64) *Histogram {
+	return s.Registry().Histogram(name, bounds)
+}
+
+// Classes registers a per-class counter family under
+// "<prefix>.<class>.pkts" / "<prefix>.<class>.bytes". Nil-safe cold path.
+func (s *Sink) Classes(prefix string, classes []string) *ClassCounters {
+	return s.Registry().Classes(prefix, classes)
+}
+
+// Emit appends one trace event. Nil-safe, wait-free hot path.
+func (s *Sink) Emit(at int64, kind Kind, a, b, c uint64) {
+	if s == nil {
+		return
+	}
+	s.ring.Emit(at, kind, a, b, c)
+}

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety: the whole layer must be inert on a nil sink — components
+// are instrumented unconditionally and a nil *Sink is the "off" switch.
+func TestNilSafety(t *testing.T) {
+	var s *Sink
+	c := s.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := s.Gauge("x")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	h := s.Histogram("x", []uint64{1, 2})
+	h.Observe(1)
+	cc := s.Classes("x", []string{"a"})
+	cc.Record(0, 10)
+	if cc.Pkts(0) != 0 || cc.Bytes(0) != 0 {
+		t.Fatal("nil class counters accumulated")
+	}
+	s.Emit(1, KindEpochBump, 1, 2, 3)
+	if s.Ring().Len() != 0 || s.Ring().Snapshot() != nil {
+		t.Fatal("nil ring not inert")
+	}
+	d := DumpOf(s)
+	if len(d.Counters) != 0 || len(d.Trace) != 0 {
+		t.Fatal("DumpOf(nil) not empty")
+	}
+}
+
+// TestRegistryIdempotent: registration is find-or-create — the hot path
+// holds pointers, so two registrations of one name must alias.
+func TestRegistryIdempotent(t *testing.T) {
+	s := NewSink()
+	a, b := s.Counter("c"), s.Counter("c")
+	if a != b {
+		t.Fatal("same counter name returned distinct pointers")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliased counter did not share state")
+	}
+	if s.Gauge("g") != s.Gauge("g") {
+		t.Fatal("same gauge name returned distinct pointers")
+	}
+	h1 := s.Histogram("h", []uint64{1, 2, 3})
+	h2 := s.Histogram("h", []uint64{9}) // later bounds ignored
+	if h1 != h2 {
+		t.Fatal("same histogram name returned distinct pointers")
+	}
+	h1.Observe(2)
+	snap := s.Registry().Snapshot()
+	if got := snap.Histograms["h"]; !reflect.DeepEqual(got.Bounds, []uint64{1, 2, 3}) {
+		t.Fatalf("histogram bounds %v, want first registration's", got.Bounds)
+	}
+}
+
+// TestHistogramBucketing pins the ≤-bound bucket discipline, the overflow
+// bucket, and the cleaning of non-increasing registration bounds.
+func TestHistogramBucketing(t *testing.T) {
+	s := NewSink()
+	h := s.Histogram("h", []uint64{10, 10, 5, 100}) // cleans to {10, 100}
+	for _, v := range []uint64{0, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	snap := s.Registry().Snapshot().Histograms["h"]
+	if !reflect.DeepEqual(snap.Bounds, []uint64{10, 100}) {
+		t.Fatalf("bounds %v, want [10 100]", snap.Bounds)
+	}
+	// 0,10 ≤ 10; 11,100 ≤ 100; 101,5000 overflow.
+	if !reflect.DeepEqual(snap.Counts, []uint64{2, 2, 2}) {
+		t.Fatalf("counts %v, want [2 2 2]", snap.Counts)
+	}
+	if snap.Total() != 6 {
+		t.Fatalf("Total() = %d, want 6", snap.Total())
+	}
+	if snap.Sum != 0+10+11+100+101+5000 {
+		t.Fatalf("Sum = %d", snap.Sum)
+	}
+}
+
+// TestClassCounters: dense per-class families, out-of-range classes ignored.
+func TestClassCounters(t *testing.T) {
+	s := NewSink()
+	cc := s.Classes("tx", []string{"data", "nack"})
+	cc.Record(0, 45)
+	cc.Record(0, 45)
+	cc.Record(1, 12)
+	cc.Record(2, 99) // out of range: dropped
+	cc.Record(-1, 99)
+	if cc.Pkts(0) != 2 || cc.Bytes(0) != 90 || cc.Pkts(1) != 1 || cc.Bytes(1) != 12 {
+		t.Fatalf("class counts wrong: %d/%d %d/%d", cc.Pkts(0), cc.Bytes(0), cc.Pkts(1), cc.Bytes(1))
+	}
+	snap := s.Registry().Snapshot()
+	if snap.Counters["tx.data.pkts"] != 2 || snap.Counters["tx.nack.bytes"] != 12 {
+		t.Fatalf("registry names wrong: %v", snap.Counters)
+	}
+}
+
+// TestRingOrderAndWrap: the snapshot is oldest-first with contiguous global
+// sequence numbers, and wrapping retains exactly the newest window.
+func TestRingOrderAndWrap(t *testing.T) {
+	r := NewRing(8)
+	for i := 1; i <= 5; i++ {
+		r.Emit(int64(i), KindEpochBump, uint64(i), 0, 0)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 5 {
+		t.Fatalf("len %d, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) || ev.A != uint64(i+1) {
+			t.Fatalf("event %d: seq=%d a=%d", i, ev.Seq, ev.A)
+		}
+	}
+	for i := 6; i <= 20; i++ {
+		r.Emit(int64(i), KindPromote, uint64(i), 0, 0)
+	}
+	evs = r.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("wrapped len %d, want 8", len(evs))
+	}
+	if evs[0].Seq != 13 || evs[7].Seq != 20 {
+		t.Fatalf("wrapped window [%d..%d], want [13..20]", evs[0].Seq, evs[7].Seq)
+	}
+	if r.Len() != 20 {
+		t.Fatalf("Len() = %d, want 20", r.Len())
+	}
+}
+
+// TestRingSizeRounding: capacity rounds up to a power of two, minimum 8.
+func TestRingSizeRounding(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{{0, 8}, {3, 8}, {8, 8}, {9, 16}, {512, 512}} {
+		if got := len(NewRing(c.ask).slots); got != c.want {
+			t.Errorf("NewRing(%d) capacity %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+// TestConcurrentHotPath hammers counters, gauges, histograms and the ring
+// from many goroutines while a reader snapshots continuously — the race
+// detector enforces the wait-free claims, and every snapshot must be
+// well-formed (strictly increasing seqs, no partially-written events).
+func TestConcurrentHotPath(t *testing.T) {
+	s := NewSink()
+	c := s.Counter("c")
+	g := s.Gauge("g")
+	h := s.Histogram("h", []uint64{10, 100})
+	const writers, perWriter = 8, 2000
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() { // concurrent reader
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := s.Ring().Snapshot()
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Seq <= evs[i-1].Seq {
+					t.Error("snapshot seqs not strictly increasing")
+					return
+				}
+			}
+			for _, ev := range evs {
+				// Writers always emit A == uint64(At); a torn slot that
+				// leaked through the seqlock would break the pairing.
+				if ev.A != uint64(ev.At) {
+					t.Errorf("torn event leaked: at=%d a=%d", ev.At, ev.A)
+					return
+				}
+			}
+			_ = s.Registry().Snapshot()
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(uint64(i % 200))
+				at := int64(w*perWriter + i)
+				s.Emit(at, KindEpochBump, uint64(at), 0, 0)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if c.Value() != writers*perWriter {
+		t.Fatalf("counter %d, want %d", c.Value(), writers*perWriter)
+	}
+	if s.Ring().Len() != writers*perWriter {
+		t.Fatalf("ring emitted %d, want %d", s.Ring().Len(), writers*perWriter)
+	}
+}
+
+// TestMergeSemantics: counters and agreeing histograms sum, gauges
+// max-merge, histogram bounds mismatches keep the first.
+func TestMergeSemantics(t *testing.T) {
+	a := Snapshot{
+		Counters: map[string]uint64{"c": 2, "only-a": 1},
+		Gauges:   map[string]int64{"g": 5},
+		Histograms: map[string]HistogramSnapshot{
+			"h": {Bounds: []uint64{10}, Counts: []uint64{1, 2}, Sum: 30},
+			"m": {Bounds: []uint64{1}, Counts: []uint64{1, 0}, Sum: 1},
+		},
+	}
+	b := Snapshot{
+		Counters: map[string]uint64{"c": 3},
+		Gauges:   map[string]int64{"g": 4, "only-b": -1},
+		Histograms: map[string]HistogramSnapshot{
+			"h": {Bounds: []uint64{10}, Counts: []uint64{4, 1}, Sum: 50},
+			"m": {Bounds: []uint64{2}, Counts: []uint64{9, 9}, Sum: 99}, // bounds clash
+		},
+	}
+	m := Merge(a, b)
+	if m.Counters["c"] != 5 || m.Counters["only-a"] != 1 {
+		t.Fatalf("counters %v", m.Counters)
+	}
+	if m.Gauges["g"] != 5 || m.Gauges["only-b"] != -1 {
+		t.Fatalf("gauges %v", m.Gauges)
+	}
+	if h := m.Histograms["h"]; !reflect.DeepEqual(h.Counts, []uint64{5, 3}) || h.Sum != 80 {
+		t.Fatalf("merged histogram %+v", h)
+	}
+	if mm := m.Histograms["m"]; !reflect.DeepEqual(mm.Bounds, []uint64{1}) || mm.Sum != 1 {
+		t.Fatalf("bounds clash should keep first: %+v", mm)
+	}
+}
+
+// TestWriteTextFormat pins the line discipline, ordering, and the quoting
+// of names that would break it.
+func TestWriteTextFormat(t *testing.T) {
+	s := NewSink()
+	s.Counter("b.count").Add(2)
+	s.Counter("a count").Inc() // space: must be quoted
+	s.Gauge("g").Set(-4)
+	s.Histogram("h", []uint64{10}).Observe(7)
+	s.Emit(99, KindPromote, 1, 2, 3)
+	var sb strings.Builder
+	if err := DumpOf(s).WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "counter \"a count\" 1\n" +
+		"counter b.count 2\n" +
+		"gauge g -4\n" +
+		"hist h total=1 sum=7 le10=1 inf=0\n" +
+		"trace 1 at=99 promote a=1 b=2 c=3\n"
+	if sb.String() != want {
+		t.Fatalf("text dump:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestHandlerFormats: the HTTP exposition serves text by default and JSON
+// on request.
+func TestHandlerFormats(t *testing.T) {
+	s := NewSink()
+	s.Counter("c").Inc()
+	h := Handler(s)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("default Content-Type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "counter c 1") {
+		t.Fatalf("text body: %q", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json Content-Type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"counters"`) {
+		t.Fatalf("json body: %q", rec.Body.String())
+	}
+}
+
+// TestKindNames: every defined kind has a stable name; out-of-range kinds
+// render as unknown rather than panicking the text encoder.
+func TestKindNames(t *testing.T) {
+	for k := KindNone; k < kindMax; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(255).String() != "unknown" {
+		t.Fatal("out-of-range kind should render unknown")
+	}
+}

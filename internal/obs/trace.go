@@ -1,0 +1,170 @@
+package obs
+
+import "sync/atomic"
+
+// Kind labels one protocol transition in the trace ring.
+type Kind uint32
+
+// Trace event kinds. The A/B/C argument meanings are part of the
+// observability contract (DESIGN.md §9).
+const (
+	// KindNone marks an empty slot.
+	KindNone Kind = iota
+	// KindFailoverStart: the sender began a failover round.
+	// A = current epoch, B = round number.
+	KindFailoverStart
+	// KindFailoverDone: the sender promoted a replica.
+	// A = new epoch, B = promoted log floor (best replica seq).
+	KindFailoverDone
+	// KindEpochBump: a component observed a higher primary epoch.
+	// A = old epoch, B = new epoch.
+	KindEpochBump
+	// KindFenceHit: an authority-bearing message was fenced as stale.
+	// A = local epoch, B = the message's (lower) epoch, C = packet type.
+	KindFenceHit
+	// KindPromote: a logging server assumed primary authority.
+	// A = epoch, B = log floor at promotion.
+	KindPromote
+	// KindDemote: an acting primary stepped down to replica.
+	// A = its epoch, B = the newer epoch that demoted it.
+	KindDemote
+	// KindSkipAhead: a receiver or logger skipped unrecoverable history.
+	// A = old next-expected seq, B = new next-expected seq.
+	KindSkipAhead
+	// KindAdvance: a primary recorded a skip/advance watermark.
+	// A = advance-through seq.
+	KindAdvance
+	// KindDASet: the sender multicast an Acker Selection Packet.
+	// A = selection seq, B = advertised pAck in ppm, C = estimated N_sl.
+	KindDASet
+	kindMax // sentinel, keep last
+)
+
+var kindNames = [...]string{
+	KindNone:          "none",
+	KindFailoverStart: "failover-start",
+	KindFailoverDone:  "failover-done",
+	KindEpochBump:     "epoch-bump",
+	KindFenceHit:      "fence-hit",
+	KindPromote:       "promote",
+	KindDemote:        "demote",
+	KindSkipAhead:     "skip-ahead",
+	KindAdvance:       "advance",
+	KindDASet:         "da-set",
+}
+
+// String returns the stable lowercase name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one decoded trace entry.
+type Event struct {
+	// Seq is the global 1-based emission sequence number.
+	Seq uint64 `json:"seq"`
+	// At is the emission time in nanoseconds (virtual or wall clock,
+	// whichever the component runs on).
+	At int64 `json:"at"`
+	// Kind is the transition type.
+	Kind Kind `json:"kind"`
+	// A, B, C are kind-specific arguments.
+	A uint64 `json:"a"`
+	B uint64 `json:"b"`
+	C uint64 `json:"c"`
+}
+
+// slot is one ring entry. Every field is accessed atomically so concurrent
+// Emit/Snapshot are race-detector clean; the seq stamp is the seqlock:
+// cleared to 0 before the payload is written, set to the event's sequence
+// after, so a reader accepts a slot only when the stamp brackets a
+// consistent payload.
+type slot struct {
+	seq  atomic.Uint64
+	at   atomic.Int64
+	kind atomic.Uint32
+	a    atomic.Uint64
+	b    atomic.Uint64
+	c    atomic.Uint64
+}
+
+// Ring is a fixed-capacity, allocation-free trace buffer. Writers never
+// block and never allocate; the newest events overwrite the oldest. A
+// reader that races a wrapping writer detects the torn slot by its seq
+// stamp and skips it.
+type Ring struct {
+	mask  uint64
+	slots []slot
+	head  atomic.Uint64 // total events ever emitted
+}
+
+// NewRing returns a ring holding the most recent `size` events (rounded up
+// to a power of two, minimum 8).
+func NewRing(size int) *Ring {
+	n := 8
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// Emit appends one event. Nil-safe, wait-free, zero-allocation.
+func (r *Ring) Emit(at int64, kind Kind, a, b, c uint64) {
+	if r == nil {
+		return
+	}
+	seq := r.head.Add(1)
+	s := &r.slots[(seq-1)&r.mask]
+	s.seq.Store(0) // open the seqlock: readers reject the slot
+	s.at.Store(at)
+	s.kind.Store(uint32(kind))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.c.Store(c)
+	s.seq.Store(seq) // publish
+}
+
+// Len returns the total number of events ever emitted (not the retained
+// window). Nil-safe.
+func (r *Ring) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.head.Load()
+}
+
+// Snapshot decodes the retained window, oldest first. Slots torn by a
+// concurrent wrapping writer are skipped. Nil-safe (returns nil).
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	head := r.head.Load()
+	n := uint64(len(r.slots))
+	first := uint64(1)
+	if head > n {
+		first = head - n + 1
+	}
+	out := make([]Event, 0, head-first+1)
+	for seq := first; seq <= head; seq++ {
+		s := &r.slots[(seq-1)&r.mask]
+		if s.seq.Load() != seq {
+			continue // not yet published, or already overwritten
+		}
+		ev := Event{
+			Seq:  seq,
+			At:   s.at.Load(),
+			Kind: Kind(s.kind.Load()),
+			A:    s.a.Load(),
+			B:    s.b.Load(),
+			C:    s.c.Load(),
+		}
+		if s.seq.Load() != seq {
+			continue // torn by a wrapping writer mid-read
+		}
+		out = append(out, ev)
+	}
+	return out
+}

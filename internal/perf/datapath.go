@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lbrm/internal/logger"
+	"lbrm/internal/obs"
 	"lbrm/internal/transport"
 	"lbrm/internal/vtime"
 	"lbrm/internal/wire"
@@ -62,7 +63,7 @@ type datapath struct {
 	payload []byte
 }
 
-func newDatapath() *datapath {
+func newDatapath(sink *obs.Sink) *datapath {
 	d := &datapath{
 		src:     nullAddr("sender"),
 		payload: make([]byte, 128),
@@ -70,6 +71,7 @@ func newDatapath() *datapath {
 	d.sec = logger.NewSecondary(logger.SecondaryConfig{
 		Group:     1,
 		Retention: logger.Retention{MaxPackets: 4096},
+		Obs:       sink,
 	})
 	d.sec.Start(newNullEnv())
 	// Volunteer this logger as Designated Acker with certainty (PAck 1),
@@ -119,7 +121,21 @@ func (d *datapath) warm() {
 // DatapathAllocs benchmarks the steady-state data→log→ack pipeline. The
 // companion gate TestDatapathZeroAlloc asserts it allocates nothing.
 func DatapathAllocs(b *testing.B) {
-	d := newDatapath()
+	d := newDatapath(nil)
+	d.warm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.step()
+	}
+}
+
+// DatapathAllocsObs is the same pipeline with a live observability sink
+// attached: per-class tx counters, protocol counters and the epoch gauge
+// all firing. The zero-allocation contract must survive instrumentation —
+// that is the whole point of the obs design (DESIGN.md §9).
+func DatapathAllocsObs(b *testing.B) {
+	d := newDatapath(obs.NewSink())
 	d.warm()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -129,9 +145,10 @@ func DatapathAllocs(b *testing.B) {
 }
 
 // MeasureDatapathAllocs returns the average allocations per steady-state
-// pipeline step over runs iterations.
-func MeasureDatapathAllocs(runs int) float64 {
-	d := newDatapath()
+// pipeline step over runs iterations, with metrics attached when sink is
+// non-nil.
+func MeasureDatapathAllocs(runs int, sink *obs.Sink) float64 {
+	d := newDatapath(sink)
 	d.warm()
 	return testing.AllocsPerRun(runs, d.step)
 }

@@ -1,0 +1,42 @@
+package perf
+
+import (
+	"testing"
+
+	"lbrm/internal/obs"
+)
+
+// ObsCounterInc benchmarks the metric hot path: one preregistered counter
+// increment — a single atomic add behind a nil check. This is the cost
+// every instrumented protocol event pays.
+func ObsCounterInc(b *testing.B) {
+	c := obs.NewSink().Counter("bench.counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// ObsClassRecord benchmarks the per-send transmit accounting: two atomic
+// adds (packet + byte counters) indexed by traffic class.
+func ObsClassRecord(b *testing.B) {
+	cc := obs.NewSink().Classes("bench.tx", []string{"data", "heartbeat", "nack"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.Record(i%3, 45)
+	}
+}
+
+// ObsTraceEmit benchmarks the trace-ring append: one seqlock-stamped slot
+// write, wait-free and allocation-free, overwriting the oldest event when
+// the ring is full.
+func ObsTraceEmit(b *testing.B) {
+	r := obs.NewRing(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit(int64(i), obs.KindEpochBump, uint64(i), 0, 0)
+	}
+}

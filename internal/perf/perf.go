@@ -28,6 +28,10 @@ func All() []Bench {
 		{"StoreEvictByBytes", StoreEvictByBytes},
 		{"StoreMissingSteady", StoreMissingSteady},
 		{"DatapathAllocs", DatapathAllocs},
+		{"DatapathAllocsObs", DatapathAllocsObs},
+		{"ObsCounterInc", ObsCounterInc},
+		{"ObsClassRecord", ObsClassRecord},
+		{"ObsTraceEmit", ObsTraceEmit},
 		{"RecoveryRTT", RecoveryRTT},
 		{"UDPLoopback", UDPLoopback},
 	}

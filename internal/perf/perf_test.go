@@ -1,14 +1,23 @@
 package perf
 
-import "testing"
+import (
+	"testing"
+
+	"lbrm/internal/obs"
+)
 
 // TestDatapathZeroAlloc is the allocation gate: the steady-state
-// data→log→ack pipeline of a secondary logger must not allocate. Any
-// regression — a timer re-wrap, a map that stopped being pooled, an
-// escape-analysis break — fails this test, not just a benchmark report.
+// data→log→ack pipeline of a secondary logger must not allocate — bare,
+// and with a live observability sink attached (per-class tx counters,
+// protocol counters, epoch gauge all firing). Any regression — a timer
+// re-wrap, a map that stopped being pooled, an escape-analysis break, a
+// metric that allocates — fails this test, not just a benchmark report.
 func TestDatapathZeroAlloc(t *testing.T) {
-	if allocs := MeasureDatapathAllocs(5000); allocs != 0 {
+	if allocs := MeasureDatapathAllocs(5000, nil); allocs != 0 {
 		t.Fatalf("steady-state datapath allocates %.2f allocs/op, want 0", allocs)
+	}
+	if allocs := MeasureDatapathAllocs(5000, obs.NewSink()); allocs != 0 {
+		t.Fatalf("instrumented datapath allocates %.2f allocs/op, want 0", allocs)
 	}
 }
 
@@ -18,5 +27,9 @@ func BenchmarkStoreGet(b *testing.B)           { StoreGet(b) }
 func BenchmarkStoreEvictByBytes(b *testing.B)  { StoreEvictByBytes(b) }
 func BenchmarkStoreMissingSteady(b *testing.B) { StoreMissingSteady(b) }
 func BenchmarkDatapathAllocs(b *testing.B)     { DatapathAllocs(b) }
+func BenchmarkDatapathAllocsObs(b *testing.B)  { DatapathAllocsObs(b) }
+func BenchmarkObsCounterInc(b *testing.B)      { ObsCounterInc(b) }
+func BenchmarkObsClassRecord(b *testing.B)     { ObsClassRecord(b) }
+func BenchmarkObsTraceEmit(b *testing.B)       { ObsTraceEmit(b) }
 func BenchmarkRecoveryRTT(b *testing.B)        { RecoveryRTT(b) }
 func BenchmarkUDPLoopback(b *testing.B)        { UDPLoopback(b) }

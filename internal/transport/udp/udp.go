@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"lbrm/internal/obs"
 	"lbrm/internal/transport"
 	"lbrm/internal/vtime"
 	"lbrm/internal/wire"
@@ -55,6 +56,8 @@ type Config struct {
 	ReadBuffer int
 	// Seed seeds the node's random source (0 = time-based).
 	Seed int64
+	// Obs receives transport-level rx/tx metrics (nil = uninstrumented).
+	Obs *obs.Sink
 }
 
 // Node runs one transport.Handler over real UDP.
@@ -77,6 +80,27 @@ type Node struct {
 	groupAddrs map[wire.GroupID]*net.UDPAddr // resolved once at Start
 	fromCache  map[netip.AddrPort]Addr       // interned datagram sources
 	bufPool    sync.Pool                     // *[]byte receive buffers
+
+	// mx caches the preregistered transport metric handles (nil-safe).
+	mx nodeMetrics
+}
+
+// nodeMetrics counts datagrams through the socket layer, below the
+// protocol components' per-class accounting.
+type nodeMetrics struct {
+	rxPkts  *obs.Counter
+	rxBytes *obs.Counter
+	txPkts  *obs.Counter
+	txBytes *obs.Counter
+}
+
+func newNodeMetrics(sink *obs.Sink) nodeMetrics {
+	return nodeMetrics{
+		rxPkts:  sink.Counter("udp.rx_pkts"),
+		rxBytes: sink.Counter("udp.rx_bytes"),
+		txPkts:  sink.Counter("udp.tx_pkts"),
+		txBytes: sink.Counter("udp.tx_bytes"),
+	}
 }
 
 // Start binds sockets and runs the handler. Close releases everything.
@@ -104,6 +128,7 @@ func Start(cfg Config, h transport.Handler) (*Node, error) {
 		peerAddrs:  make(map[string]*net.UDPAddr),
 		groupAddrs: make(map[wire.GroupID]*net.UDPAddr, len(cfg.Groups)),
 		fromCache:  make(map[netip.AddrPort]Addr),
+		mx:         newNodeMetrics(cfg.Obs),
 	}
 	n.bufPool.New = func() any {
 		b := make([]byte, cfg.ReadBuffer)
@@ -197,6 +222,8 @@ func (n *Node) readLoop(conn *net.UDPConn) {
 			if err != nil {
 				return // socket closed
 			}
+			n.mx.rxPkts.Inc()
+			n.mx.rxBytes.Add(uint64(sz))
 			n.mu.Lock()
 			if !n.closed {
 				n.handler.Recv(n.internFrom(from), buf[:sz])
@@ -278,6 +305,8 @@ func (e *env) Send(to transport.Addr, data []byte) error {
 		}
 		n.peerAddrs[ua.HostPort] = dst
 	}
+	n.mx.txPkts.Inc()
+	n.mx.txBytes.Add(uint64(len(data)))
 	_, err := n.ucast.WriteToUDP(data, dst)
 	return err
 }
@@ -291,6 +320,8 @@ func (e *env) Multicast(g wire.GroupID, ttl int, data []byte) error {
 	if err := n.setMulticastTTL(ttl); err != nil {
 		return err
 	}
+	n.mx.txPkts.Inc()
+	n.mx.txBytes.Add(uint64(len(data)))
 	_, err := n.ucast.WriteToUDP(data, dst)
 	return err
 }

@@ -1,0 +1,70 @@
+package wire
+
+// TrafficClass buckets packet types for recovery-bandwidth accounting —
+// the classes of the paper's bandwidth claims (§2.1 heartbeats, §2.2.2
+// NACK budget) plus data, retransmission, log-replication sync and a
+// catch-all control class. The chaos harness's tail-circuit accounting and
+// the per-component transmit metrics (internal/obs) index by this enum, so
+// the metrics-vs-tap reconciliation compares like with like.
+type TrafficClass uint8
+
+const (
+	// ClassData is original data traffic (TypeData).
+	ClassData TrafficClass = iota
+	// ClassHeartbeat is the variable-heartbeat stream (TypeHeartbeat).
+	ClassHeartbeat
+	// ClassNack is negative-acknowledgement traffic (TypeNack).
+	ClassNack
+	// ClassRetrans is retransmitted data (TypeRetrans).
+	ClassRetrans
+	// ClassSync is primary→replica log replication (TypeLogSync and its
+	// acknowledgement).
+	ClassSync
+	// ClassControl is everything else: acks, acker selection, probes,
+	// discovery, redirects, promotion and log-state traffic.
+	ClassControl
+	// NumTrafficClasses sizes dense per-class arrays.
+	NumTrafficClasses
+)
+
+var trafficClassNames = [NumTrafficClasses]string{
+	ClassData:      "data",
+	ClassHeartbeat: "heartbeat",
+	ClassNack:      "nack",
+	ClassRetrans:   "retrans",
+	ClassSync:      "sync",
+	ClassControl:   "control",
+}
+
+// String returns the stable lowercase class name.
+func (c TrafficClass) String() string {
+	if c < NumTrafficClasses {
+		return trafficClassNames[c]
+	}
+	return "unknown"
+}
+
+// TrafficClassNames returns the class names indexed by TrafficClass.
+func TrafficClassNames() []string {
+	names := make([]string, NumTrafficClasses)
+	copy(names, trafficClassNames[:])
+	return names
+}
+
+// ClassOf buckets a packet type.
+func ClassOf(t Type) TrafficClass {
+	switch t {
+	case TypeData:
+		return ClassData
+	case TypeHeartbeat:
+		return ClassHeartbeat
+	case TypeNack:
+		return ClassNack
+	case TypeRetrans:
+		return ClassRetrans
+	case TypeLogSync, TypeLogSyncAck:
+		return ClassSync
+	default:
+		return ClassControl
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"lbrm/internal/estimator"
 	"lbrm/internal/heartbeat"
 	"lbrm/internal/logger"
+	"lbrm/internal/obs"
 	"lbrm/internal/transport"
 	"lbrm/internal/wire"
 )
@@ -114,6 +115,28 @@ type (
 	// ProbePlan tunes bootstrap group-size probing.
 	ProbePlan = estimator.ProbePlan
 )
+
+// Observability re-exports (DESIGN.md §9).
+type (
+	// ObsSink bundles a metrics registry and trace ring for one component.
+	ObsSink = obs.Sink
+	// ObsRegistry is a preregistered, lock-free-on-the-hot-path metrics
+	// registry.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a point-in-time registry capture.
+	ObsSnapshot = obs.Snapshot
+	// ObsDump is the exposition payload (registry snapshot + trace window).
+	ObsDump = obs.Dump
+)
+
+// NewObsSink returns a sink with a fresh registry and trace ring.
+func NewObsSink() *ObsSink { return obs.NewSink() }
+
+// ObsDumpOf captures a sink's current state for exposition.
+func ObsDumpOf(s *ObsSink) ObsDump { return obs.DumpOf(s) }
+
+// ObsMerge sums counters/histograms and max-merges gauges across snapshots.
+func ObsMerge(snaps ...ObsSnapshot) ObsSnapshot { return obs.Merge(snaps...) }
 
 // Durability modes.
 const (

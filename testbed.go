@@ -8,6 +8,7 @@ import (
 	"lbrm/internal/core"
 	"lbrm/internal/logger"
 	"lbrm/internal/netsim"
+	"lbrm/internal/obs"
 	"lbrm/internal/pcapio"
 	"lbrm/internal/transport"
 )
@@ -201,6 +202,12 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 				rcfg.Peers = append(rcfg.Peers, other.Addr())
 			}
 		}
+		// One sink per handler, retained in the config: a chaos restart
+		// rebuilds the handler from the same config, so its metrics keep
+		// accumulating across incarnations (DESIGN.md §9).
+		if rcfg.Obs == nil {
+			rcfg.Obs = obs.NewSink()
+		}
 		rep := logger.NewPrimary(rcfg)
 		node.SetHandler(rep)
 		tb.Replicas = append(tb.Replicas, rep)
@@ -209,6 +216,9 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	pcfg.Replicas = append([]transport.Addr(nil), pcfg.Replicas...)
 	for _, rn := range tb.ReplicaNodes {
 		pcfg.Replicas = append(pcfg.Replicas, rn.Addr())
+	}
+	if pcfg.Obs == nil {
+		pcfg.Obs = obs.NewSink()
 	}
 	tb.Primary = logger.NewPrimary(pcfg)
 	tb.PrimaryNode.SetHandler(tb.Primary)
@@ -220,6 +230,9 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	scfg.Primary = tb.PrimaryNode.Addr()
 	for _, rn := range tb.ReplicaNodes {
 		scfg.Replicas = append(scfg.Replicas, rn.Addr())
+	}
+	if scfg.Obs == nil {
+		scfg.Obs = obs.NewSink()
 	}
 	sender, err := core.NewSender(scfg)
 	if err != nil {
@@ -241,6 +254,9 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			secCfg := cfg.Secondary
 			secCfg.Group = cfg.Group
 			secCfg.Primary = tb.PrimaryNode.Addr()
+			if secCfg.Obs == nil {
+				secCfg.Obs = obs.NewSink()
+			}
 			ts.Secondary = logger.NewSecondary(secCfg)
 			ts.SecondaryNode = site.NewHost(fmt.Sprintf("site%d/logger", i+1), ts.Secondary)
 			secAddr = ts.SecondaryNode.Addr()
@@ -256,6 +272,9 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			}
 			if cfg.ConfigureReceiver != nil {
 				cfg.ConfigureReceiver(i, j, &rCfg)
+			}
+			if rCfg.Obs == nil {
+				rCfg.Obs = obs.NewSink()
 			}
 			userOnData := rCfg.OnData
 			rCfg.OnData = func(e Event) {
