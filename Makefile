@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test allocgate cover chaos fuzzsmoke bench perf
+.PHONY: check vet build test allocgate cover chaos fuzzsmoke bench perf flight
 
 # check is the pre-commit gate: static checks, the full suite under the
 # race detector, the datapath allocation gate with a short benchtime
@@ -58,6 +58,24 @@ chaos:
 fuzzsmoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzExposition -fuzztime 10s
+
+# flight runs the chaos matrix with the recovery flight recorder's fleet
+# timeline enabled, writing one JSONL flight log per seed into
+# $(FLIGHT_DIR), then validates every log against the golden schema
+# (internal/chaos/testdata/flight_schema.golden): parseable JSONL,
+# monotonic sample times, and the end-of-run flight.* chain summary.
+FLIGHT_DIR ?= flightlogs
+FLIGHT_SEEDS ?= 1 2 3
+
+flight:
+	@mkdir -p $(FLIGHT_DIR)
+	@for seed in $(FLIGHT_SEEDS); do \
+	  echo "chaos seed $$seed → $(FLIGHT_DIR)/chaos-seed$$seed.jsonl"; \
+	  $(GO) run ./cmd/lbrm-sim -chaos -seed $$seed -chaos-faults 8 \
+	    -flight-log $(FLIGHT_DIR)/chaos-seed$$seed.jsonl || exit 1; \
+	done
+	$(GO) test ./internal/chaos/ -run TestFlightLogSchema -count=1 \
+	  -flight-glob '$(abspath $(FLIGHT_DIR))/*.jsonl'
 
 # bench runs every benchmark in the repo at full benchtime.
 bench:

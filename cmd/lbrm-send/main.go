@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -26,16 +27,24 @@ import (
 )
 
 // serveMetrics exposes a sink over HTTP at /metrics (text by default,
-// ?format=json for the JSON document).
+// ?format=json for the JSON document), Go runtime health at
+// /metrics/runtime (GC pauses, goroutines, heap), and the standard pprof
+// profiling endpoints under /debug/pprof/.
 func serveMetrics(addr, cmd string, sink *obs.Sink) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(sink))
+	mux.Handle("/metrics/runtime", obs.RuntimeHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	go func() {
 		if err := http.ListenAndServe(addr, mux); err != nil {
 			log.Printf("%s: metrics server: %v", cmd, err)
 		}
 	}()
-	log.Printf("%s: metrics on http://%s/metrics", cmd, addr)
+	log.Printf("%s: metrics on http://%s/metrics (runtime at /metrics/runtime, profiles at /debug/pprof/)", cmd, addr)
 }
 
 func main() {

@@ -56,6 +56,7 @@ func main() {
 	chaosSrcPart := flag.Bool("chaos-source-partition", false, "with -chaos: isolate the acting primary from the source segment (epoch fencing)")
 	chaosJoinWin := flag.Bool("chaos-join-window", false, "with -chaos: land every fault in the first tenth of the run")
 	chaosOverlap := flag.Bool("chaos-overlapping", false, "with -chaos: overlap a flaky-link and a partition window on one site")
+	flightLog := flag.String("flight-log", "", "with -chaos: write the fleet timeline (one merged metrics snapshot per second of virtual time) to this file as JSONL")
 	metrics := flag.Bool("metrics", false, "after the run, print every handler's metrics merged (counters/histograms summed, gauges max-merged) plus the sender's trace window")
 	flag.Parse()
 
@@ -77,6 +78,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(res.Report())
+		if *flightLog != "" {
+			f, err := os.Create(*flightLog)
+			if err != nil {
+				log.Fatalf("flight log: %v", err)
+			}
+			if err := obs.WriteFlightLog(f, res.Flight); err != nil {
+				f.Close()
+				log.Fatalf("flight log: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("flight log: %v", err)
+			}
+			fmt.Printf("flight log: %d samples → %s\n", len(res.Flight), *flightLog)
+		}
 		if *metrics {
 			printMetrics(res.Metrics, res.SenderTrace)
 		}

@@ -1,0 +1,300 @@
+package lbrm_test
+
+import (
+	"testing"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/obs"
+	"lbrm/internal/wire"
+)
+
+// Flight-recorder integration tests: drive each recovery branch through
+// the in-memory testbed, then stitch the receivers' flight rings against
+// every server-side ring and assert the reconstructed chains tell the
+// right story — exactly one terminal per sequence, the expected recovery
+// path, completeness and causal ordering (DESIGN.md §10).
+
+// flightServerRings snapshots every server-side flight ring in the
+// testbed: sender, primary, replicas and all site secondaries.
+func flightServerRings(tb *lbrm.Testbed) [][]obs.Event {
+	var rings [][]obs.Event
+	if tb.SenderCfg.Obs != nil {
+		rings = append(rings, tb.SenderCfg.Obs.FlightRing().Snapshot())
+	}
+	if tb.PrimaryCfg.Obs != nil {
+		rings = append(rings, tb.PrimaryCfg.Obs.FlightRing().Snapshot())
+	}
+	for _, rc := range tb.ReplicaCfgs {
+		if rc.Obs != nil {
+			rings = append(rings, rc.Obs.FlightRing().Snapshot())
+		}
+	}
+	for _, s := range tb.Sites {
+		if s.SecondaryCfg.Obs != nil {
+			rings = append(rings, s.SecondaryCfg.Obs.FlightRing().Snapshot())
+		}
+	}
+	return rings
+}
+
+// stitchReceiver reconstructs one receiver's recovery chains.
+func stitchReceiver(tb *lbrm.Testbed, site, idx int) map[uint64]*obs.FlightChain {
+	return obs.StitchFlights(
+		tb.Sites[site].ReceiverCfgs[idx].Obs.FlightRing().Snapshot(),
+		flightServerRings(tb)...)
+}
+
+// rcvRef names one receiver in the testbed.
+type rcvRef struct{ site, idx int }
+
+// TestFlightRecorderBranches enumerates every recovery branch and checks
+// the stitched chain for the lost sequence at each affected receiver.
+func TestFlightRecorderBranches(t *testing.T) {
+	tests := []struct {
+		name string
+		// drive runs the scenario and returns the testbed, the lost
+		// sequence number and the receivers that lost it.
+		drive func(t *testing.T) (*lbrm.Testbed, uint64, []rcvRef)
+
+		terminal      obs.Kind
+		path          wire.RecoveryPath
+		detected      bool
+		hbRevealed    bool
+		abandonReason uint64
+		wantNack      bool // the chain must include at least one NACK
+		wantServe     bool // the chain must resolve a serving repair
+		wantStatMiss  bool // the chain must include the sender's stat-miss
+	}{
+		{
+			name: "local hit: site secondary serves the repair",
+			drive: func(t *testing.T) (*lbrm.Testbed, uint64, []rcvRef) {
+				tb := newFlightTB(t, lbrm.TestbedConfig{
+					Seed: 41, Sites: 2, ReceiversPerSite: 3,
+					Sender:    lbrm.SenderConfig{Heartbeat: fastHB},
+					Receiver:  lbrm.ReceiverConfig{NackDelay: 10 * time.Millisecond},
+					Secondary: lbrm.SecondaryConfig{NackDelay: 10 * time.Millisecond},
+				})
+				tb.Send([]byte("warm"))
+				tb.Run(200 * time.Millisecond)
+				tb.Sites[0].ReceiverNodes[0].DownLink().SetLoss(&lbrm.FirstN{N: 1})
+				tb.Send([]byte("lost"))
+				tb.Run(2 * time.Second)
+				return tb, 2, []rcvRef{{0, 0}}
+			},
+			terminal: obs.KindDeliver, path: wire.PathLocal,
+			detected: true, hbRevealed: true, wantNack: true, wantServe: true,
+		},
+		{
+			name: "primary callback: dead secondary, receiver escalates",
+			drive: func(t *testing.T) (*lbrm.Testbed, uint64, []rcvRef) {
+				tb := newFlightTB(t, lbrm.TestbedConfig{
+					Seed: 42, Sites: 1, ReceiversPerSite: 3,
+					Sender: lbrm.SenderConfig{Heartbeat: fastHB},
+					Receiver: lbrm.ReceiverConfig{
+						NackDelay: 10 * time.Millisecond, RequestTimeout: 100 * time.Millisecond,
+						SecondaryRetries: 2,
+					},
+				})
+				tb.Send([]byte("warm"))
+				tb.Run(300 * time.Millisecond)
+				gate := &lbrm.Gate{Down: true}
+				tb.Sites[0].SecondaryNode.UpLink().SetLoss(gate)
+				tb.Sites[0].SecondaryNode.DownLink().SetLoss(gate)
+				tb.Sites[0].ReceiverNodes[0].DownLink().SetLoss(&lbrm.FirstN{N: 1})
+				tb.Send([]byte("lost"))
+				tb.Run(5 * time.Second)
+				return tb, 2, []rcvRef{{0, 0}}
+			},
+			terminal: obs.KindDeliver, path: wire.PathPrimaryCallback,
+			detected: true, hbRevealed: true, wantNack: true, wantServe: true,
+		},
+		{
+			name: "multicast retrans: missing statistical ACK re-multicast",
+			drive: func(t *testing.T) (*lbrm.Testbed, uint64, []rcvRef) {
+				tb := newFlightTB(t, lbrm.TestbedConfig{
+					Seed: 43, Sites: 5, ReceiversPerSite: 4,
+					Sender: lbrm.SenderConfig{
+						Heartbeat: lbrm.HeartbeatParams{HMin: 2 * time.Second, HMax: 16 * time.Second, Backoff: 2},
+						StatAck: lbrm.StatAckConfig{
+							Enabled: true, K: 5, EpochInterval: time.Minute,
+							RTT:       lbrm.RTTConfig{Initial: 120 * time.Millisecond},
+							GroupSize: lbrm.GroupSizeConfig{Initial: 5},
+						},
+					},
+					// Receivers must not be the ones doing the repairing.
+					Receiver:  lbrm.ReceiverConfig{NackDelay: 10 * time.Second},
+					Secondary: lbrm.SecondaryConfig{NackDelay: 10 * time.Second},
+				})
+				tb.Run(2 * time.Second) // epoch establishes
+				tb.Send([]byte("warm"))
+				tb.Run(time.Second)
+				tb.SourceSite.TailUp().SetLoss(&lbrm.FirstN{N: 1})
+				tb.Send([]byte("wide-loss"))
+				tb.Run(1500 * time.Millisecond)
+				var victims []rcvRef
+				for s := range tb.Sites {
+					for j := range tb.Sites[s].Receivers {
+						victims = append(victims, rcvRef{s, j})
+					}
+				}
+				return tb, 2, victims
+			},
+			// The re-multicast beats every detector: slow heartbeats mean
+			// no receiver notices the gap before the repair lands.
+			terminal: obs.KindDeliver, path: wire.PathSourceMulticast,
+			detected: false, wantServe: true, wantStatMiss: true,
+		},
+		{
+			name: "abandon: total log failure exhausts escalation",
+			drive: func(t *testing.T) (*lbrm.Testbed, uint64, []rcvRef) {
+				tb := newFlightTB(t, lbrm.TestbedConfig{
+					Seed: 44, Sites: 1, ReceiversPerSite: 1,
+					Sender: lbrm.SenderConfig{Heartbeat: fastHB},
+					Receiver: lbrm.ReceiverConfig{
+						NackDelay: 10 * time.Millisecond, RequestTimeout: 100 * time.Millisecond,
+						SecondaryRetries: 1, PrimaryRetries: 1,
+					},
+				})
+				tb.Send([]byte("warm"))
+				tb.Run(300 * time.Millisecond)
+				gate := &lbrm.Gate{Down: true}
+				tb.PrimaryNode.UpLink().SetLoss(gate)
+				tb.PrimaryNode.DownLink().SetLoss(gate)
+				tb.Sites[0].SecondaryNode.UpLink().SetLoss(gate)
+				tb.Sites[0].SecondaryNode.DownLink().SetLoss(gate)
+				tb.Sites[0].ReceiverNodes[0].DownLink().SetLoss(&lbrm.FirstN{N: 1})
+				tb.Send([]byte("unrecoverable"))
+				tb.Run(10 * time.Second)
+				return tb, 2, []rcvRef{{0, 0}}
+			},
+			terminal: obs.KindAbandon, path: wire.PathNone,
+			detected: true, hbRevealed: true, abandonReason: 0, wantNack: true,
+		},
+		{
+			name: "abandon: recovery-window skip-ahead",
+			drive: func(t *testing.T) (*lbrm.Testbed, uint64, []rcvRef) {
+				tb := newFlightTB(t, lbrm.TestbedConfig{
+					Seed: 45, Sites: 1, ReceiversPerSite: 1,
+					Sender: lbrm.SenderConfig{Heartbeat: fastHB},
+					// NACK machinery effectively off: the stream outruns
+					// the tiny recovery window before any NACK fires.
+					Receiver: lbrm.ReceiverConfig{NackDelay: 10 * time.Second, RecoveryWindow: 2},
+				})
+				tb.Send([]byte("warm"))
+				tb.Run(200 * time.Millisecond)
+				tb.Sites[0].ReceiverNodes[0].DownLink().SetLoss(&lbrm.FirstN{N: 1})
+				tb.Send([]byte("lost"))
+				tb.Run(100 * time.Millisecond)
+				tb.Send([]byte("three"))
+				tb.Run(100 * time.Millisecond)
+				tb.Send([]byte("four"))
+				tb.Run(time.Second)
+				return tb, 2, []rcvRef{{0, 0}}
+			},
+			terminal: obs.KindAbandon, path: wire.PathNone,
+			detected: true, hbRevealed: true, abandonReason: 1,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tb, seq, victims := tc.drive(t)
+			for _, v := range victims {
+				chains := stitchReceiver(tb, v.site, v.idx)
+				c := chains[seq]
+				if c == nil {
+					t.Fatalf("receiver %d/%d: no chain for seq %d (chains: %d)",
+						v.site, v.idx, seq, len(chains))
+				}
+				if c.TerminalCount != 1 {
+					t.Fatalf("receiver %d/%d seq %d: %d terminals, want exactly 1\nevents: %+v",
+						v.site, v.idx, seq, c.TerminalCount, c.Events)
+				}
+				if c.Terminal != tc.terminal || c.Path != tc.path {
+					t.Fatalf("receiver %d/%d seq %d: terminal %v path %v, want %v/%v",
+						v.site, v.idx, seq, c.Terminal, c.Path, tc.terminal, tc.path)
+				}
+				if c.Detected() != tc.detected {
+					t.Fatalf("receiver %d/%d seq %d: detected=%v, want %v",
+						v.site, v.idx, seq, c.Detected(), tc.detected)
+				}
+				if tc.detected && c.HeartbeatRevealed != tc.hbRevealed {
+					t.Fatalf("receiver %d/%d seq %d: heartbeatRevealed=%v, want %v",
+						v.site, v.idx, seq, c.HeartbeatRevealed, tc.hbRevealed)
+				}
+				if c.Terminal == obs.KindAbandon && c.AbandonReason != tc.abandonReason {
+					t.Fatalf("receiver %d/%d seq %d: abandon reason %d, want %d",
+						v.site, v.idx, seq, c.AbandonReason, tc.abandonReason)
+				}
+				if tc.wantNack && c.NackCount == 0 {
+					t.Fatalf("receiver %d/%d seq %d: chain has no NACK", v.site, v.idx, seq)
+				}
+				if tc.wantServe && c.ServeAt == 0 {
+					t.Fatalf("receiver %d/%d seq %d: chain has no serving repair\nevents: %+v",
+						v.site, v.idx, seq, c.Events)
+				}
+				if tc.wantStatMiss && !chainHas(c, obs.KindStatMiss) {
+					t.Fatalf("receiver %d/%d seq %d: chain missing the sender's stat-miss\nevents: %+v",
+						v.site, v.idx, seq, c.Events)
+				}
+				if !c.Complete() {
+					t.Fatalf("receiver %d/%d seq %d: chain incomplete\nevents: %+v",
+						v.site, v.idx, seq, c.Events)
+				}
+				if !c.CausallyOrdered() {
+					t.Fatalf("receiver %d/%d seq %d: hops out of causal order "+
+						"(detect=%d nack=%d serve=%d terminal=%d)",
+						v.site, v.idx, seq, c.DetectAt, c.NackAt, c.ServeAt, c.TerminalAt)
+				}
+				// A detected delivery's embedded latency must agree with
+				// the hop timestamps it was computed from.
+				if c.Terminal == obs.KindDeliver && tc.detected {
+					d, ok := c.DetectToDeliver()
+					if !ok || d != c.DeliverLatency {
+						t.Fatalf("receiver %d/%d seq %d: DetectToDeliver=%v ok=%v vs DeliverLatency=%v",
+							v.site, v.idx, seq, d, ok, c.DeliverLatency)
+					}
+				}
+				// The E22 dataset: per-hop breakdown for this branch.
+				if v == victims[0] {
+					dn, _ := c.DetectToNack()
+					ns, _ := c.NackToServe()
+					sd, _ := c.ServeToDeliver()
+					t.Logf("path=%s detect→nack=%v nack→serve=%v serve→deliver=%v detect→deliver=%v",
+						c.Path, dn, ns, sd, c.DeliverLatency)
+				}
+			}
+			// Sweep every receiver in the fleet: no chain anywhere may hold
+			// more than one terminal for a sequence.
+			for s := range tb.Sites {
+				for j := range tb.Sites[s].Receivers {
+					for q, c := range stitchReceiver(tb, s, j) {
+						if c.TerminalCount > 1 {
+							t.Fatalf("receiver %d/%d seq %d: %d terminals", s, j, q, c.TerminalCount)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// chainHas reports whether the chain's event list includes kind k.
+func chainHas(c *obs.FlightChain, k obs.Kind) bool {
+	for _, ev := range c.Events {
+		if ev.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// newFlightTB builds a testbed or fails the test.
+func newFlightTB(t *testing.T, cfg lbrm.TestbedConfig) *lbrm.Testbed {
+	t.Helper()
+	tb, err := lbrm.NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}

@@ -29,6 +29,11 @@
 //     site's tail circuit is accounted for by that site's secondary and
 //     receiver NacksToPrimary counters — recovery load on the backbone is
 //     exactly the per-site aggregate, nothing leaks around it;
+//   - flight-recorder completeness (DESIGN.md §10): every packet the
+//     harness observed a receiver recover has a complete, causally ordered
+//     recovery chain in the flight rings (detect → NACK → serve → deliver),
+//     and the chain's delivery and NACK timestamps reconcile with the wire
+//     tap's independent measurements within one host-link delay;
 //   - after everything stops, the event queue drains — a timer that
 //     re-arms itself past shutdown is a leak.
 //
@@ -53,6 +58,7 @@ import (
 	"time"
 
 	"lbrm"
+	"lbrm/internal/netsim"
 	"lbrm/internal/obs"
 	"lbrm/internal/wire"
 )
@@ -213,6 +219,14 @@ type Result struct {
 	// transitions (DA-set epochs, failover start/done, epoch bumps) the
 	// run produced, oldest first.
 	SenderTrace []obs.Event
+	// Flight is the fleet timeline: one merged metrics snapshot per
+	// sampler tick through the whole run, rendered as the JSONL flight
+	// log by lbrm-sim's -flight-log.
+	Flight []obs.FlightSample
+	// FlightChains counts the per-sequence recovery chains stitched from
+	// the flight rings across all receivers; FlightComplete is how many of
+	// them told the whole recovery story (obs.FlightChain.Complete).
+	FlightChains, FlightComplete uint64
 }
 
 // TrafficCounters accumulates one traffic class's tail-circuit load.
@@ -261,6 +275,8 @@ func (r *Result) Report() string {
 				c, tc.Packets, tc.Bytes, ft.Packets, ft.Bytes)
 		}
 	}
+	fmt.Fprintf(&b, "  flight recorder: %d chains (%d complete), %d timeline samples\n",
+		r.FlightChains, r.FlightComplete, len(r.Flight))
 	fmt.Fprintf(&b, "  trace hash: %016x\n", r.TraceHash)
 	if r.OK() {
 		b.WriteString("  PASS: all invariants held\n")
@@ -354,6 +370,36 @@ type harness struct {
 	// Per-site sink handles for the metrics-side NACK budget identity.
 	siteSecSink []*obs.Sink
 	siteRcvSink [][]*obs.Sink
+
+	// Flight-recorder reconciliation state (DESIGN.md §10): recovered is
+	// the harness's own ledger of retransmitted deliveries per receiver
+	// (recorded via the receivers' OnData hook, surviving restarts because
+	// the testbed retains the wrapped config); repairs and nackFirst are
+	// the wire tap's independent measurements of repair arrivals on each
+	// receiver's host down-link and first NACK departure per sequence on
+	// its up-link. rcvRestarted marks receivers whose flight ring spans
+	// incarnations — only the relaxed chain check applies to those.
+	recovered    [][]map[uint64]bool
+	rcvRestarted [][]bool
+	rcvDown      map[*lbrm.Link]rcvRef
+	rcvUp        map[*lbrm.Link]rcvRef
+	repairs      [][]map[uint64][]tapRepair
+	nackFirst    [][]map[uint64]time.Time
+	// flightReg accumulates the stitched chains' latency breakdowns
+	// (obs.FoldFlightChains); merged into Result.Metrics.
+	flightReg *obs.Registry
+}
+
+// rcvRef locates one receiver in the deployment.
+type rcvRef struct{ site, idx int }
+
+// tapRepair is one repair-classified arrival the wire tap observed heading
+// for a receiver's host down-link: at is the delivery instant (tap time
+// plus the link's propagation delay — host links are jitter-free), path is
+// the wire-level recovery-path classification.
+type tapRepair struct {
+	at   time.Time
+	path wire.RecoveryPath
 }
 
 // timeWindow is a half-open absolute time interval.
@@ -366,6 +412,15 @@ const monitorEvery = 25 * time.Millisecond
 // excused: one heartbeat interval (HMax 400ms) plus propagation slack must
 // suffice for it to hear the new epoch and self-demote.
 const fenceGrace = 650 * time.Millisecond
+
+// flightTick is the reconciliation tolerance between the flight recorder's
+// hop timestamps and the wire tap's independent measurement: one host-link
+// propagation delay (host links carry no jitter, so delivery happens at
+// tap time + delay exactly; the tolerance absorbs rounding only).
+const flightTick = netsim.DefaultLANDelay
+
+// flightSampleEvery is the fleet timeline sampler cadence.
+const flightSampleEvery = time.Second
 
 // Run executes one chaos run and returns its verdict. The only error cases
 // are construction failures; invariant violations are reported in the
@@ -383,12 +438,33 @@ func Run(cfg Config) (*Result, error) {
 	}
 	schedule := buildSchedule(cfg)
 
+	// The harness's own recovery ledger, fed by the receivers' OnData hook:
+	// every Retransmitted delivery lands here, independent of the flight
+	// recorder it will later be reconciled against. The maps are allocated
+	// up front so the ConfigureReceiver closures (retained in the receiver
+	// configs, hence surviving crash/restart) can capture them.
+	recovered := make([][]map[uint64]bool, cfg.Sites)
+	for s := range recovered {
+		recovered[s] = make([]map[uint64]bool, cfg.ReceiversPerSite)
+		for j := range recovered[s] {
+			recovered[s][j] = make(map[uint64]bool)
+		}
+	}
+
 	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
 		Seed:             cfg.Seed,
 		Sites:            cfg.Sites,
 		ReceiversPerSite: cfg.ReceiversPerSite,
 		Replicas:         cfg.Replicas,
 		Primary:          lbrm.PrimaryConfig{UnsafeNoFence: cfg.disableFencing},
+		ConfigureReceiver: func(site, idx int, rcfg *lbrm.ReceiverConfig) {
+			rec := recovered[site][idx]
+			rcfg.OnData = func(e lbrm.Event) {
+				if e.Retransmitted {
+					rec[e.Seq] = true
+				}
+			}
+		},
 		Sender: lbrm.SenderConfig{
 			Heartbeat:       lbrm.HeartbeatParams{HMin: 50 * time.Millisecond, HMax: 400 * time.Millisecond, Backoff: 2},
 			FailoverTimeout: cfg.FailoverTimeout,
@@ -423,6 +499,20 @@ func Run(cfg Config) (*Result, error) {
 		tailUpSite: make(map[*lbrm.Link]int),
 		nackUp:     make([]uint64, cfg.Sites),
 		deadNacks:  make([]uint64, cfg.Sites),
+		recovered:  recovered,
+		rcvDown:    make(map[*lbrm.Link]rcvRef),
+		rcvUp:      make(map[*lbrm.Link]rcvRef),
+	}
+	for s, ts := range tb.Sites {
+		h.rcvRestarted = append(h.rcvRestarted, make([]bool, cfg.ReceiversPerSite))
+		h.repairs = append(h.repairs, make([]map[uint64][]tapRepair, cfg.ReceiversPerSite))
+		h.nackFirst = append(h.nackFirst, make([]map[uint64]time.Time, cfg.ReceiversPerSite))
+		for j, node := range ts.ReceiverNodes {
+			h.rcvDown[node.DownLink()] = rcvRef{site: s, idx: j}
+			h.rcvUp[node.UpLink()] = rcvRef{site: s, idx: j}
+			h.repairs[s][j] = make(map[uint64][]tapRepair)
+			h.nackFirst[s][j] = make(map[uint64]time.Time)
+		}
 	}
 	h.tailLinks[tb.SourceSite.TailUp()] = true
 	h.tailLinks[tb.SourceSite.TailDown()] = true
@@ -486,6 +576,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	h.startMonitor()
+	h.startFlightSampler()
 
 	// Traffic phase: steady low-rate data through the whole fault window.
 	for t := time.Duration(0); t < cfg.Duration; t += cfg.SendEvery {
@@ -559,7 +650,16 @@ func Run(cfg Config) (*Result, error) {
 	for i, s := range h.nodeSink {
 		snaps[i] = s.Registry().Snapshot()
 	}
+	// The stitched chains' latency breakdowns (flight.* counters and
+	// histograms, folded in checkFinalInvariants) join the fleet view.
+	snaps = append(snaps, h.flightReg.Snapshot())
 	h.res.Metrics = obs.Merge(snaps...)
+	// Close the fleet timeline with a final sample carrying the complete
+	// merged view — the JSONL flight log is self-contained: periodic
+	// samples plus the end-of-run flight.* chain summary.
+	h.res.Flight = append(h.res.Flight, obs.FlightSample{
+		At: clk.Now().UnixNano(), Metrics: h.res.Metrics,
+	})
 	h.res.SenderTrace = h.tb.SenderCfg.Obs.Ring().Snapshot()
 	return h.res, nil
 }
@@ -578,6 +678,29 @@ func (h *harness) startMonitor() {
 		clk.AfterFunc(monitorEvery, tick)
 	}
 	clk.AfterFunc(monitorEvery, tick)
+}
+
+// startFlightSampler arms the fleet timeline: every flightSampleEvery of
+// virtual time, one merged metrics snapshot of every node sink is appended
+// to the run's flight log. Always on — the sampler is part of the harness's
+// contract, not an option.
+func (h *harness) startFlightSampler() {
+	clk := h.tb.Net.Clock()
+	var tick func()
+	tick = func() {
+		if h.monitorStop {
+			return
+		}
+		snaps := make([]obs.Snapshot, len(h.nodeSink))
+		for i, s := range h.nodeSink {
+			snaps[i] = s.Registry().Snapshot()
+		}
+		h.res.Flight = append(h.res.Flight, obs.FlightSample{
+			At: clk.Now().UnixNano(), Metrics: obs.Merge(snaps...),
+		})
+		clk.AfterFunc(flightSampleEvery, tick)
+	}
+	clk.AfterFunc(flightSampleEvery, tick)
 }
 
 // checkUnfenced enforces "at most one un-fenced acting primary at every
@@ -734,6 +857,9 @@ func (h *harness) applyFault(f Fault) {
 		// Bank the dying incarnation's NACK count before it is replaced:
 		// the nack-budget invariant sums over all incarnations.
 		h.deadNacks[f.Site] += h.receivers[f.Site][f.Idx].Stats().NacksToPrimary
+		// The shared flight ring now spans incarnations: duplicate
+		// terminals are legitimate, so only the relaxed check applies.
+		h.rcvRestarted[f.Site][f.Idx] = true
 		h.crash(node)
 		clk.AfterFunc(f.Dur, func() {
 			rcv := lbrm.NewReceiver(h.tb.Sites[f.Site].ReceiverCfgs[f.Idx])
@@ -869,6 +995,27 @@ func (h *harness) tap(ev lbrm.TapEvent) {
 		c := &h.upTx[idx][wire.ClassOf(p.Type)]
 		c.Packets++
 		c.Bytes += uint64(ev.Size)
+	}
+	// Flight-recorder wire truth. First NACK departure per sequence on each
+	// receiver's host up-link (attempted traversals, drops included — a NACK
+	// that dies downstream was still issued at this instant), and every
+	// repair-classified arrival heading for its down-link (delivery happens
+	// at tap time + link delay; host links are jitter-free).
+	if ref, ok := h.rcvUp[ev.Link]; ok && p.Type == wire.TypeNack {
+		m := h.nackFirst[ref.site][ref.idx]
+		for _, rg := range p.Ranges {
+			for seq := rg.From; seq <= rg.To; seq++ {
+				if _, seen := m[seq]; !seen {
+					m[seq] = ev.Time
+				}
+			}
+		}
+	}
+	if ref, ok := h.rcvDown[ev.Link]; ok && !ev.Dropped {
+		if path := wire.ClassifyRecovery(p.Type, p.Flags); path != wire.PathNone {
+			m := h.repairs[ref.site][ref.idx]
+			m[p.Seq] = append(m[p.Seq], tapRepair{at: ev.Time.Add(ev.Link.Delay()), path: path})
+		}
 	}
 	if ev.Dropped {
 		return
@@ -1059,6 +1206,7 @@ func (h *harness) checkFinalInvariants() {
 		h.violate("epoch-gauge", fmt.Sprintf(
 			"sender epoch gauge %d != PrimaryEpoch() %d", g, h.tb.Sender.PrimaryEpoch()))
 	}
+	h.checkFlightRecorder()
 	// Failover latency bound: detection needs backlog (≤ SendEvery old)
 	// aged past FailoverTimeout, observed by a jittered check firing at
 	// ≤ 1.25×FailoverTimeout intervals; then one probe round (FailoverWait)
@@ -1072,5 +1220,165 @@ func (h *harness) checkFinalInvariants() {
 		} else {
 			h.res.FailoverLatency = lat
 		}
+	}
+}
+
+// absDur returns |ns| as a duration.
+func absDur(ns int64) time.Duration {
+	if ns < 0 {
+		ns = -ns
+	}
+	return time.Duration(ns)
+}
+
+// checkFlightRecorder is the flight recorder's headline invariant
+// (DESIGN.md §10): every packet the harness observed a receiver recover
+// must have a complete, causally ordered recovery chain stitched from the
+// flight rings, and the chain's hop timestamps must reconcile with the wire
+// tap's independent measurements within flightTick.
+//
+// For each receiver, its sink's flight ring (detections, NACKs, terminals)
+// is stitched against every server-side ring — sender, primary, replicas
+// and all secondaries (a remote site's re-multicast can repair a local
+// loss). Strict receivers get the full check; receivers that crashed share
+// one ring across incarnations, where duplicate terminals and re-detections
+// are legitimate, so only chain existence and a deliver event are required.
+// The stitched latency breakdowns are folded into flightReg for the fleet
+// metrics view.
+func (h *harness) checkFlightRecorder() {
+	h.flightReg = obs.NewRegistry()
+	servers := [][]obs.Event{
+		h.tb.SenderCfg.Obs.FlightRing().Snapshot(),
+		h.tb.PrimaryCfg.Obs.FlightRing().Snapshot(),
+	}
+	for i := range h.tb.ReplicaCfgs {
+		servers = append(servers, h.tb.ReplicaCfgs[i].Obs.FlightRing().Snapshot())
+	}
+	for _, sink := range h.siteSecSink {
+		servers = append(servers, sink.FlightRing().Snapshot())
+	}
+	// A broken recorder would trip once per recovered packet; cap the
+	// detailed reports and summarize the rest.
+	tripped := 0
+	flag := func(name, detail string) {
+		if tripped < 3 {
+			h.violate(name, detail)
+		}
+		tripped++
+	}
+	for s := range h.siteRcvSink {
+		for j, sink := range h.siteRcvSink[s] {
+			chains := obs.StitchFlights(sink.FlightRing().Snapshot(), servers...)
+			obs.FoldFlightChains(h.flightReg, chains)
+			h.res.FlightChains += uint64(len(chains))
+			for _, c := range chains {
+				if c.Complete() {
+					h.res.FlightComplete++
+				}
+			}
+			relaxed := h.rcvRestarted[s][j]
+			who := fmt.Sprintf("site%d/rcv%d", s+1, j)
+			for seq := range h.recovered[s][j] {
+				c := chains[seq]
+				if c == nil {
+					flag("flight-chain", fmt.Sprintf(
+						"%s recovered seq %d with no flight chain", who, seq))
+					continue
+				}
+				delivered := false
+				for _, ev := range c.Events {
+					if ev.Kind == obs.KindDeliver {
+						delivered = true
+						break
+					}
+				}
+				if !delivered {
+					flag("flight-chain", fmt.Sprintf(
+						"%s recovered seq %d: chain has no deliver event", who, seq))
+					continue
+				}
+				if relaxed {
+					continue
+				}
+				if c.Terminal != obs.KindDeliver || !c.Complete() {
+					flag("flight-chain", fmt.Sprintf(
+						"%s seq %d: incomplete chain (terminal=%v terminals=%d detectAt=%d nackAt=%d serveAt=%d path=%v)",
+						who, seq, c.Terminal, c.TerminalCount, c.DetectAt, c.NackAt, c.ServeAt, c.Path))
+					continue
+				}
+				if !c.CausallyOrdered() {
+					flag("flight-causal", fmt.Sprintf(
+						"%s seq %d: hops out of causal order (detect=%d nack=%d serve=%d deliver=%d)",
+						who, seq, c.DetectAt, c.NackAt, c.ServeAt, c.TerminalAt))
+					continue
+				}
+				// Delivery reconciliation: the receiver delivers at the first
+				// repair arrival the tap saw, and the delivering repair's
+				// wire-classified path must match the chain's.
+				arrivals := h.repairs[s][j][seq]
+				if len(arrivals) == 0 {
+					flag("flight-reconcile", fmt.Sprintf(
+						"%s seq %d: chain delivers but the tap saw no repair arrive", who, seq))
+					continue
+				}
+				first := arrivals[0]
+				pathMatch := false
+				for _, a := range arrivals {
+					if a.at.Before(first.at) {
+						first = a
+					}
+					if a.path == c.Path && absDur(c.TerminalAt-a.at.UnixNano()) <= flightTick {
+						pathMatch = true
+					}
+				}
+				if d := absDur(c.TerminalAt - first.at.UnixNano()); d > flightTick {
+					flag("flight-reconcile", fmt.Sprintf(
+						"%s seq %d: deliver at %d vs tap first repair arrival %d (off by %v, tolerance %v)",
+						who, seq, c.TerminalAt, first.at.UnixNano(), d, flightTick))
+				} else if !pathMatch {
+					flag("flight-reconcile", fmt.Sprintf(
+						"%s seq %d: chain path %v has no matching tap arrival near the delivery",
+						who, seq, c.Path))
+				}
+				if !c.Detected() {
+					continue
+				}
+				// The deliver event's own latency measurement must equal the
+				// chain's detect→deliver span.
+				if d := absDur(int64(c.DeliverLatency) - (c.TerminalAt - c.DetectAt)); d > flightTick {
+					flag("flight-latency", fmt.Sprintf(
+						"%s seq %d: recorded latency %v vs chain span %v",
+						who, seq, c.DeliverLatency, time.Duration(c.TerminalAt-c.DetectAt)))
+				}
+				// NACK reconciliation: the chain's first NACK is the first
+				// NACK the tap saw leave this receiver covering the seq.
+				if c.NackAt != 0 {
+					tapN, ok := h.nackFirst[s][j][seq]
+					if !ok {
+						flag("flight-reconcile", fmt.Sprintf(
+							"%s seq %d: chain records a NACK the tap never saw leave", who, seq))
+					} else if d := absDur(c.NackAt - tapN.UnixNano()); d > flightTick {
+						flag("flight-reconcile", fmt.Sprintf(
+							"%s seq %d: NACK at %d vs tap %d (off by %v)",
+							who, seq, c.NackAt, tapN.UnixNano(), d))
+					}
+				}
+			}
+			// The converse: a strict receiver's deliver terminal must be a
+			// recovery the harness itself observed — the recorder cannot
+			// invent recoveries either.
+			if !relaxed {
+				for seq, c := range chains {
+					if c.Terminal == obs.KindDeliver && !h.recovered[s][j][seq] {
+						flag("flight-chain", fmt.Sprintf(
+							"%s seq %d: deliver terminal with no harness-observed recovery", who, seq))
+					}
+				}
+			}
+		}
+	}
+	if tripped > 3 {
+		h.violate("flight", fmt.Sprintf(
+			"%d flight-recorder violations in total (first 3 detailed)", tripped))
 	}
 }

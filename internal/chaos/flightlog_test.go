@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lbrm/internal/obs"
+)
+
+// flightGlob lets `make flight` point the schema check at JSONL files the
+// chaos matrix just wrote. Empty (the plain `go test` path) means generate
+// a log in-process instead.
+var flightGlob = flag.String("flight-glob", "", "glob of flight-log JSONL files to validate against testdata/flight_schema.golden")
+
+// schemaEntry is one golden requirement: a metric of a given kind that the
+// flight log's final sample must carry.
+type schemaEntry struct{ kind, name string }
+
+func loadGoldenSchema(t *testing.T) []schemaEntry {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "flight_schema.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []schemaEntry
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || (fields[0] != "counter" && fields[0] != "gauge" && fields[0] != "histogram") {
+			t.Fatalf("flight_schema.golden:%d: malformed entry %q", ln+1, line)
+		}
+		entries = append(entries, schemaEntry{fields[0], fields[1]})
+	}
+	if len(entries) == 0 {
+		t.Fatal("flight_schema.golden holds no requirements")
+	}
+	return entries
+}
+
+// validateFlightLog checks one JSONL flight log: every line parses as a
+// FlightSample with non-nil metric maps, sample times never go backwards,
+// and the final sample satisfies every golden requirement.
+func validateFlightLog(name string, data []byte, required []schemaEntry) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var last obs.FlightSample
+	lines, prevAt := 0, int64(0)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		var s obs.FlightSample
+		if err := json.Unmarshal(line, &s); err != nil {
+			return fmt.Errorf("%s line %d: %v", name, lines, err)
+		}
+		if s.Metrics.Counters == nil || s.Metrics.Gauges == nil || s.Metrics.Histograms == nil {
+			return fmt.Errorf("%s line %d: nil metric map in sample", name, lines)
+		}
+		if s.At < prevAt {
+			return fmt.Errorf("%s line %d: at_ns %d went backwards (prev %d)", name, lines, s.At, prevAt)
+		}
+		prevAt = s.At
+		last = s
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	if lines == 0 {
+		return fmt.Errorf("%s: empty flight log", name)
+	}
+	for _, req := range required {
+		var ok bool
+		switch req.kind {
+		case "counter":
+			_, ok = last.Metrics.Counters[req.name]
+		case "gauge":
+			_, ok = last.Metrics.Gauges[req.name]
+		case "histogram":
+			_, ok = last.Metrics.Histograms[req.name]
+		}
+		if !ok {
+			return fmt.Errorf("%s: final sample missing %s %q", name, req.kind, req.name)
+		}
+	}
+	return nil
+}
+
+// TestFlightLogSchema validates flight-log JSONL against the golden
+// schema. With -flight-glob it checks files the chaos matrix wrote
+// (`make flight`); without, it runs one chaos scenario in-process and
+// validates the log it would have written.
+func TestFlightLogSchema(t *testing.T) {
+	required := loadGoldenSchema(t)
+	if *flightGlob != "" {
+		files, err := filepath.Glob(*flightGlob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Fatalf("-flight-glob %q matched no files", *flightGlob)
+		}
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := validateFlightLog(f, data, required); err != nil {
+				t.Error(err)
+			} else {
+				t.Logf("flight log ok: %s", f)
+			}
+		}
+		return
+	}
+	res, err := Run(Config{Seed: 1, CrashPrimary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariants violated:\n%s", res.Report())
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteFlightLog(&buf, res.Flight); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateFlightLog("in-process", buf.Bytes(), required); err != nil {
+		t.Fatal(err)
+	}
+	if res.FlightChains == 0 {
+		t.Fatal("chaos run recorded no recovery chains — flight recorder is dark")
+	}
+}

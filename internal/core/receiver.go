@@ -221,6 +221,9 @@ type receiverMetrics struct {
 	staleRedirects   *obs.Counter
 	primaryEpoch     *obs.Gauge
 	recoveryMS       *obs.Histogram
+	// pathRTT breaks recoveryMS down by recovery path (indexed by
+	// wire.RecoveryPath; PathNone stays nil).
+	pathRTT [wire.NumRecoveryPaths]*obs.Histogram
 }
 
 // recoveryBoundsMS buckets loss-detection→delivery latency: the paper's
@@ -228,7 +231,7 @@ type receiverMetrics struct {
 var recoveryBoundsMS = []uint64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 
 func newReceiverMetrics(sink *obs.Sink) receiverMetrics {
-	return receiverMetrics{
+	mx := receiverMetrics{
 		sink:             sink,
 		tx:               sink.Classes("recv.tx", wire.TrafficClassNames()),
 		delivered:        sink.Counter("recv.delivered"),
@@ -250,6 +253,10 @@ func newReceiverMetrics(sink *obs.Sink) receiverMetrics {
 		primaryEpoch:     sink.Gauge("recv.primary_epoch"),
 		recoveryMS:       sink.Histogram("recv.recovery_ms", recoveryBoundsMS),
 	}
+	for p := wire.PathLocal; p < wire.NumRecoveryPaths; p++ {
+		mx.pathRTT[p] = sink.Histogram("recv.recovery."+p.MetricName()+"_ms", recoveryBoundsMS)
+	}
+	return mx
 }
 
 // now returns the environment clock in nanoseconds (0 before Start).
@@ -452,28 +459,38 @@ func (r *Receiver) onData(from transport.Addr, p *wire.Packet) {
 	if !st.track.Contacted() && p.Seq > 0 {
 		st.track.SetBase(p.Seq - 1)
 	}
-	r.ingest(st, p.Seq, p.Payload, p.Flags&wire.FlagRetransmission != 0)
+	r.ingest(st, p.Seq, p.Payload, wire.ClassifyRecovery(p.Type, p.Flags))
 }
 
 // ingest marks a sequence number as received and delivers its payload.
-func (r *Receiver) ingest(st *rcvStream, seq uint64, payload []byte, retrans bool) {
+// path is the repair's recovery path (PathNone for an original
+// transmission).
+func (r *Receiver) ingest(st *rcvStream, seq uint64, payload []byte, path wire.RecoveryPath) {
 	if !st.track.Mark(seq) {
 		r.stats.Duplicates++
 		r.mx.duplicates.Inc()
 		return
 	}
+	retrans := path != wire.PathNone
 	if retrans {
 		r.stats.Recovered++
 		r.mx.recovered.Inc()
 		if r.channelJoined {
 			r.stats.ChannelRecoveries++
 		}
+		// lat stays 0 for a proactive repair that beat detection (site
+		// remulticast for a neighbour's NACK, inline heartbeat racing the
+		// gap check); the flight recorder distinguishes the two cases by it.
+		var lat uint64
 		if at, ok := st.gapSince[seq]; ok {
 			d := r.env.Now().Sub(at)
 			st.recoveryTimes[seq] = d
 			r.mx.recoveryMS.Observe(uint64(d / time.Millisecond))
+			r.mx.pathRTT[path].Observe(uint64(d / time.Millisecond))
+			lat = uint64(d)
 			delete(st.gapSince, seq)
 		}
+		r.mx.sink.EmitFlight(r.now(), obs.KindDeliver, seq, uint64(path), lat)
 	}
 	if r.cfg.Ordered {
 		r.deliverOrdered(st, seq, payload, retrans)
@@ -539,7 +556,7 @@ func (r *Receiver) onHeartbeat(from transport.Addr, p *wire.Packet) {
 	if p.Flags&wire.FlagInlineData != 0 && p.Seq > 0 && !st.track.Seen(p.Seq) {
 		r.stats.RecoveredInline++
 		r.mx.recoveredInline.Inc()
-		r.ingest(st, p.Seq, p.Payload, true)
+		r.ingest(st, p.Seq, p.Payload, wire.ClassifyRecovery(p.Type, p.Flags))
 		return
 	}
 	r.checkGaps(st)
@@ -564,8 +581,10 @@ func (r *Receiver) clampWindow(st *rcvStream) {
 	if skipTo > st.gaveUpBelow {
 		st.gaveUpBelow = skipTo
 	}
+	nowNS := r.now()
 	for seq := range st.gapSince {
 		if seq <= skipTo {
+			r.mx.sink.EmitFlight(nowNS, obs.KindAbandon, seq, 1, 0)
 			delete(st.gapSince, seq)
 		}
 	}
@@ -592,12 +611,21 @@ func (r *Receiver) checkGaps(st *rcvStream) {
 		return
 	}
 	now := r.env.Now()
+	nowNS := now.UnixNano()
 	for _, rg := range miss {
 		for seq := rg.From; seq <= rg.To; seq++ {
 			if _, ok := st.gapSince[seq]; !ok {
 				st.gapSince[seq] = now
 				r.stats.GapsDetected++
 				r.mx.gaps.Inc()
+				// The gap is heartbeat-revealed when nothing above it has
+				// arrived as data (the heartbeat's seq pushed hbHigh past
+				// the highest received packet).
+				var hb uint64
+				if seq > st.track.Highest() {
+					hb = 1
+				}
+				r.mx.sink.EmitFlight(nowNS, obs.KindGapDetect, seq, hb, 0)
 			}
 		}
 	}
@@ -701,6 +729,14 @@ func (r *Receiver) requestRetransmission(st *rcvStream) {
 	_ = r.env.Send(target, buf)
 	r.stats.NacksSent++
 	r.mx.nacks.Inc()
+	if r.mx.sink != nil {
+		nowNS := r.now()
+		for _, rg := range miss {
+			for seq := rg.From; seq <= rg.To; seq++ {
+				r.mx.sink.EmitFlight(nowNS, obs.KindNackSend, seq, uint64(st.phase), uint64(st.retries))
+			}
+		}
+	}
 	if st.phase == phaseSecondary {
 		r.stats.NacksToSecondary++
 		r.mx.nacksToSecondary.Inc()
@@ -792,12 +828,18 @@ func (r *Receiver) escalate(st *rcvStream, miss []wire.SeqRange) {
 // abandoned sequence numbers are marked resolved so the in-order watermark
 // advances past the hole.
 func (r *Receiver) abandon(st *rcvStream, miss []wire.SeqRange) {
+	nowNS := r.now()
 	for _, rg := range miss {
 		if rg.To > st.gaveUpBelow {
 			st.gaveUpBelow = rg.To
 		}
 		for seq := rg.From; seq <= rg.To; seq++ {
-			delete(st.gapSince, seq)
+			// The abandon terminal is emitted only for seqs whose loss was
+			// detected (in gapSince): one terminal per detected chain.
+			if _, ok := st.gapSince[seq]; ok {
+				r.mx.sink.EmitFlight(nowNS, obs.KindAbandon, seq, 0, 0)
+				delete(st.gapSince, seq)
+			}
 			st.track.Mark(seq)
 		}
 		r.stats.RangesAbandoned++

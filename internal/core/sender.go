@@ -303,6 +303,9 @@ type senderMetrics struct {
 	packPPM         *obs.Gauge
 	ackerCount      *obs.Gauge
 	hbInterval      *obs.Histogram
+	// statDelay measures send→re-multicast delay when a missing
+	// statistical ACK triggers the §2.3.2 immediate retransmission.
+	statDelay *obs.Histogram
 }
 
 // heartbeatBoundsMS buckets the variable-heartbeat interval (§2.1): the
@@ -336,6 +339,7 @@ func newSenderMetrics(sink *obs.Sink) senderMetrics {
 		packPPM:         sink.Gauge("sender.pack_ppm"),
 		ackerCount:      sink.Gauge("sender.ackers"),
 		hbInterval:      sink.Histogram("sender.heartbeat_interval_ms", heartbeatBoundsMS),
+		statDelay:       sink.Histogram("sender.recovery.multicast_retrans.delay_ms", recoveryBoundsMS),
 	}
 }
 
@@ -711,12 +715,14 @@ func (s *Sender) serveNack(from transport.Addr, seq uint64) {
 			s.multicast(&out)
 			s.stats.NackRemulticasts++
 			s.mx.nackRemcasts.Inc()
+			s.mx.sink.EmitFlight(s.now(), obs.KindServe, seq, uint64(wire.PathSourceMulticast), 1)
 			return
 		}
 	}
 	s.send(from, &out)
 	s.stats.RetransUnicast++
 	s.mx.retransUnicast.Inc()
+	s.mx.sink.EmitFlight(s.now(), obs.KindServe, seq, uint64(wire.PathSourceMulticast), 0)
 }
 
 // scheduleChannelReplays arms the §7 retransmission-channel replays for a
@@ -748,6 +754,7 @@ func (s *Sender) scheduleChannelReplays(p *wire.Packet) {
 			}
 			s.stats.ChannelReplays++
 			s.mx.channelReplays.Inc()
+			s.mx.sink.EmitFlight(s.now(), obs.KindServe, replay.Seq, uint64(wire.PathSourceMulticast), 1)
 		})
 		delay *= 2
 	}
@@ -923,6 +930,7 @@ func (s *Sender) ackDeadline(pa *pendingAck) {
 	if est := s.groupSize.Estimate(); est > 0 && pa.expected > 0 {
 		sitesPerAcker = est / float64(pa.expected)
 	}
+	s.mx.sink.EmitFlight(s.now(), obs.KindStatMiss, pa.seq, uint64(missing), uint64(pa.expected))
 	if float64(missing)*sitesPerAcker > s.cfg.StatAck.RemcastSiteThreshold {
 		out := wire.Packet{
 			Type: wire.TypeRetrans, Flags: wire.FlagRetransmission,
@@ -932,6 +940,8 @@ func (s *Sender) ackDeadline(pa *pendingAck) {
 		s.multicast(&out)
 		s.stats.StatRemulticasts++
 		s.mx.statRemcasts.Inc()
+		s.mx.sink.EmitFlight(s.now(), obs.KindServe, pa.seq, uint64(wire.PathSourceMulticast), 1)
+		s.mx.statDelay.Observe(uint64(s.env.Now().Sub(pa.sentAt) / time.Millisecond))
 	}
 }
 

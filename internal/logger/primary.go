@@ -670,13 +670,17 @@ func (p *Primary) retransmit(st *priStream, seq uint64, to transport.Addr) {
 	if !ok {
 		return
 	}
+	// FlagViaPrimary classifies the repair as a §2.2.2 primary callback for
+	// the flight recorder; a secondary relaying this packet propagates it.
 	r := wire.Packet{
-		Type: wire.TypeRetrans, Flags: wire.FlagRetransmission | wire.FlagFromLogger,
+		Type:   wire.TypeRetrans,
+		Flags:  wire.FlagRetransmission | wire.FlagFromLogger | wire.FlagViaPrimary,
 		Source: st.key.Source, Group: st.key.Group, Seq: seq, Payload: payload,
 	}
 	p.send(to, &r)
 	p.stats.RetransServed++
 	p.mx.retransServed.Inc()
+	p.mx.sink.EmitFlight(p.now(), obs.KindServe, seq, uint64(wire.PathPrimaryCallback), 0)
 }
 
 func (p *Primary) onLogSync(from transport.Addr, pkt *wire.Packet) {

@@ -378,10 +378,15 @@ func (s *Secondary) onData(from transport.Addr, p *wire.Packet) {
 			s.mx.acksSent.Inc()
 		}
 	}
-	// Satisfy any local receivers waiting on this packet.
+	// Satisfy any local receivers waiting on this packet. A packet that
+	// arrived from the primary (a fetched retransmission or a LogSync)
+	// makes the relayed repair a primary-callback recovery; anything else
+	// (the original multicast, a source re-multicast) leaves it a local
+	// serve from this logger's view.
 	if waiters := st.pendingReq[p.Seq]; len(waiters) > 0 {
 		delete(st.pendingReq, p.Seq)
-		s.serveWaiters(st, p.Seq, waiters)
+		viaPrimary := p.Flags&wire.FlagViaPrimary != 0 || p.Type == wire.TypeLogSync
+		s.serveWaiters(st, p.Seq, waiters, viaPrimary)
 		s.putWaiters(waiters)
 	}
 	s.checkGaps(st)
@@ -410,7 +415,7 @@ func (s *Secondary) onHeartbeat(from transport.Addr, p *wire.Packet) {
 		}
 		if waiters := st.pendingReq[p.Seq]; len(waiters) > 0 {
 			delete(st.pendingReq, p.Seq)
-			s.serveWaiters(st, p.Seq, waiters)
+			s.serveWaiters(st, p.Seq, waiters, false)
 			s.putWaiters(waiters)
 		}
 	}
@@ -476,27 +481,30 @@ func (s *Secondary) serveLocal(st *secStream, seq uint64, from transport.Addr) {
 	}
 	if len(rc.requesters) >= s.cfg.RemcastThreshold {
 		rc.remulticast = true
-		s.retransmit(st, seq, nil)
+		s.retransmit(st, seq, nil, false)
 		return
 	}
-	s.retransmit(st, seq, from)
+	s.retransmit(st, seq, from, false)
 }
 
 // serveWaiters delivers a just-recovered packet to the receivers that
-// asked for it.
-func (s *Secondary) serveWaiters(st *secStream, seq uint64, waiters map[transport.Addr]bool) {
+// asked for it. viaPrimary records whether the packet had to be fetched
+// through the primary callback (§2.2.2) rather than found locally.
+func (s *Secondary) serveWaiters(st *secStream, seq uint64, waiters map[transport.Addr]bool, viaPrimary bool) {
 	if len(waiters) >= s.cfg.RemcastThreshold {
-		s.retransmit(st, seq, nil)
+		s.retransmit(st, seq, nil, viaPrimary)
 		return
 	}
 	for w := range waiters {
-		s.retransmit(st, seq, w)
+		s.retransmit(st, seq, w, viaPrimary)
 	}
 }
 
 // retransmit sends the stored packet for seq to one receiver (unicast) or,
-// with to == nil, re-multicasts it with site scope.
-func (s *Secondary) retransmit(st *secStream, seq uint64, to transport.Addr) {
+// with to == nil, re-multicasts it with site scope. viaPrimary stamps
+// FlagViaPrimary so receivers attribute the repair to the primary-callback
+// path.
+func (s *Secondary) retransmit(st *secStream, seq uint64, to transport.Addr, viaPrimary bool) {
 	payload, ok := st.store.Get(seq)
 	if !ok {
 		return
@@ -505,15 +513,22 @@ func (s *Secondary) retransmit(st *secStream, seq uint64, to transport.Addr) {
 		Type: wire.TypeRetrans, Flags: wire.FlagRetransmission | wire.FlagFromLogger,
 		Source: st.key.Source, Group: st.key.Group, Seq: seq, Payload: payload,
 	}
+	path := wire.PathLocal
+	if viaPrimary {
+		p.Flags |= wire.FlagViaPrimary
+		path = wire.PathPrimaryCallback
+	}
 	if to == nil {
 		s.multicast(&p, s.cfg.RemcastTTL)
 		s.stats.Remulticasts++
 		s.mx.remulticasts.Inc()
+		s.mx.sink.EmitFlight(s.now(), obs.KindServe, seq, uint64(path), 1)
 		return
 	}
 	s.send(to, &p)
 	s.stats.RetransUnicast++
 	s.mx.retransUnicast.Inc()
+	s.mx.sink.EmitFlight(s.now(), obs.KindServe, seq, uint64(path), 0)
 }
 
 // clampWindow enforces RecoveryWindow: a logger that is hopelessly behind
@@ -652,6 +667,17 @@ func (s *Secondary) fetchMissing(st *secStream) {
 	s.stats.NacksToPrimary++
 	s.mx.nacksToPrimary.Inc()
 	s.mx.nackRanges.Observe(uint64(len(ranges)))
+	if s.mx.sink != nil {
+		// Flight recorder: the site's aggregated fetch is the NACK hop of
+		// every covered seq's primary-callback chain (phase 3 = secondary→
+		// primary, after the receiver's phases 0–2).
+		nowNS := s.now()
+		for _, r := range ranges {
+			for seq := r.From; seq <= r.To; seq++ {
+				s.mx.sink.EmitFlight(nowNS, obs.KindNackSend, seq, 3, uint64(st.retries-1))
+			}
+		}
+	}
 	// Jittered exponential backoff: every site logger behind a healed
 	// partition holds the same gaps; fixed-period retries would hit the
 	// primary in synchronized waves (§2.2.2's correlated loss applies to

@@ -15,6 +15,7 @@ type Dump struct {
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Trace      []Event                      `json:"trace"`
+	Flight     []Event                      `json:"flight"`
 }
 
 // DumpOf captures a sink's current state. Nil-safe (empty dump).
@@ -25,6 +26,7 @@ func DumpOf(s *Sink) Dump {
 		Gauges:     snap.Gauges,
 		Histograms: snap.Histograms,
 		Trace:      s.Ring().Snapshot(),
+		Flight:     s.FlightRing().Snapshot(),
 	}
 }
 
@@ -49,6 +51,9 @@ func normalize(d Dump) Dump {
 	}
 	if d.Trace == nil {
 		d.Trace = []Event{}
+	}
+	if d.Flight == nil {
+		d.Flight = []Event{}
 	}
 	return d
 }
@@ -90,6 +95,12 @@ func (d Dump) WriteText(w io.Writer) error {
 	}
 	for _, ev := range d.Trace {
 		if _, err := fmt.Fprintf(w, "trace %d at=%d %s a=%d b=%d c=%d\n",
+			ev.Seq, ev.At, ev.Kind, ev.A, ev.B, ev.C); err != nil {
+			return err
+		}
+	}
+	for _, ev := range d.Flight {
+		if _, err := fmt.Fprintf(w, "flight %d at=%d %s a=%d b=%d c=%d\n",
 			ev.Seq, ev.At, ev.Kind, ev.A, ev.B, ev.C); err != nil {
 			return err
 		}

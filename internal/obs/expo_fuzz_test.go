@@ -27,11 +27,12 @@ func FuzzExposition(f *testing.F) {
 		hist.Observe(h1)
 		hist.Observe(h2)
 		s.Emit(at, Kind(kindRaw), a, b, c)
+		s.EmitFlight(at, Kind(kindRaw), a, b, c)
 
 		d := DumpOf(s)
 
 		// Text: must not panic and must hold the line discipline — every
-		// line has one of the four record heads, regardless of the name.
+		// line has one of the five record heads, regardless of the name.
 		var text bytes.Buffer
 		if err := d.WriteText(&text); err != nil {
 			t.Fatalf("WriteText: %v", err)
@@ -41,7 +42,8 @@ func FuzzExposition(f *testing.F) {
 			case bytes.HasPrefix(line, []byte("counter ")),
 				bytes.HasPrefix(line, []byte("gauge ")),
 				bytes.HasPrefix(line, []byte("hist ")),
-				bytes.HasPrefix(line, []byte("trace ")):
+				bytes.HasPrefix(line, []byte("trace ")),
+				bytes.HasPrefix(line, []byte("flight ")):
 			default:
 				t.Fatalf("text line lost its record head: %q", line)
 			}

@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"lbrm/internal/wire"
+)
+
+// This file is the flight-recorder read side (DESIGN.md §10): it stitches
+// the per-sequence recovery events that components emitted into their
+// flight rings (Sink.EmitFlight) into causal chains, folds per-path
+// latency breakdowns into a registry, and renders the periodic fleet
+// timeline as a JSONL flight log. Like the rest of the exposition layer
+// it allocates freely — stitching never runs on the datapath.
+
+// FlightChain is the reconstructed recovery lifecycle of one lost packet:
+// detect → nack* → serve → deliver (or abandon). Absent hops are zero.
+type FlightChain struct {
+	// Seq is the data sequence number the chain describes.
+	Seq uint64
+	// Path is the recovery path of the delivering repair (PathNone when
+	// the chain ended in abandon or has no terminal yet).
+	Path wire.RecoveryPath
+	// Terminal is KindDeliver or KindAbandon (KindNone when the chain is
+	// still open).
+	Terminal Kind
+	// AbandonReason is the abandon terminal's B argument (0 escalation
+	// exhausted, 1 recovery-window skip); meaningful only for abandons.
+	AbandonReason uint64
+	// DetectAt/NackAt/ServeAt/TerminalAt are hop timestamps in ns:
+	// first detection, first NACK covering the seq, the serve that
+	// plausibly produced the delivered repair (latest matching-path serve
+	// at or before the terminal), and the terminal itself.
+	DetectAt, NackAt, ServeAt, TerminalAt int64
+	// DeliverLatency is the deliver terminal's own detect→deliver
+	// measurement (its C argument, ns); 0 when the repair arrived before
+	// the loss was detected.
+	DeliverLatency time.Duration
+	// HeartbeatRevealed records whether the first detection came from a
+	// heartbeat (idle gap) rather than a higher data seq.
+	HeartbeatRevealed bool
+	// DetectCount/NackCount/ServeCount/TerminalCount tally the chain's
+	// events: detections, NACK sends (receiver and secondary→primary
+	// fetches), repairs served, and terminals (exactly 1 in a well-formed
+	// chain).
+	DetectCount, NackCount, ServeCount, TerminalCount int
+	// Events is the chain's full event list, causally ordered.
+	Events []Event
+}
+
+// causalRank breaks At ties so a same-tick chain still sorts in causal
+// order: detection precedes the NACK it triggers, which precedes the serve
+// it triggers, which precedes the delivery.
+func causalRank(k Kind) int {
+	switch k {
+	case KindGapDetect:
+		return 0
+	case KindNackSend, KindStatMiss:
+		return 1
+	case KindServe:
+		return 2
+	case KindDeliver, KindAbandon:
+		return 3
+	}
+	return 4
+}
+
+// flightKind reports whether k belongs to the flight-recorder schema.
+func flightKind(k Kind) bool { return causalRank(k) < 4 }
+
+// StitchFlights merges flight-ring snapshots into per-sequence chains. The
+// first argument is the observing receiver's ring (detections, NACKs and
+// terminals are read from it); the rest are server-side rings (secondary,
+// primary, sender) contributing serve and stat-miss evidence. Events of
+// non-flight kinds are ignored.
+func StitchFlights(receiver []Event, servers ...[]Event) map[uint64]*FlightChain {
+	chains := make(map[uint64]*FlightChain)
+	chain := func(seq uint64) *FlightChain {
+		c := chains[seq]
+		if c == nil {
+			c = &FlightChain{Seq: seq}
+			chains[seq] = c
+		}
+		return c
+	}
+	for _, ev := range receiver {
+		if !flightKind(ev.Kind) {
+			continue
+		}
+		c := chain(ev.A)
+		c.Events = append(c.Events, ev)
+		switch ev.Kind {
+		case KindGapDetect:
+			c.DetectCount++
+			if c.DetectAt == 0 || ev.At < c.DetectAt {
+				c.DetectAt = ev.At
+				c.HeartbeatRevealed = ev.B == 1
+			}
+		case KindNackSend:
+			c.NackCount++
+			if c.NackAt == 0 || ev.At < c.NackAt {
+				c.NackAt = ev.At
+			}
+		case KindDeliver, KindAbandon:
+			c.TerminalCount++
+			if c.Terminal == KindNone || ev.At < c.TerminalAt {
+				c.Terminal = ev.Kind
+				c.TerminalAt = ev.At
+				if ev.Kind == KindDeliver {
+					c.Path = wire.RecoveryPath(ev.B)
+					c.DeliverLatency = time.Duration(ev.C)
+				} else {
+					c.Path = wire.PathNone
+					c.AbandonReason = ev.B
+				}
+			}
+		}
+	}
+	for _, ring := range servers {
+		for _, ev := range ring {
+			if !flightKind(ev.Kind) {
+				continue
+			}
+			c := chains[ev.A]
+			if c == nil {
+				continue // nobody we observe lost this seq
+			}
+			c.Events = append(c.Events, ev)
+			switch ev.Kind {
+			case KindServe:
+				c.ServeCount++
+			case KindNackSend:
+				c.NackCount++
+			}
+		}
+	}
+	for _, c := range chains {
+		sort.SliceStable(c.Events, func(i, j int) bool {
+			if c.Events[i].At != c.Events[j].At {
+				return c.Events[i].At < c.Events[j].At
+			}
+			return causalRank(c.Events[i].Kind) < causalRank(c.Events[j].Kind)
+		})
+		c.resolveServe()
+	}
+	return chains
+}
+
+// resolveServe picks the serve that plausibly produced the delivered
+// repair: the latest serve on the terminal's path at or before the
+// terminal (network delay means the serve strictly precedes the arrival).
+// For abandons or still-open chains it takes the latest serve seen at all
+// — evidence someone tried.
+func (c *FlightChain) resolveServe() {
+	c.ServeAt = 0
+	for _, ev := range c.Events {
+		if ev.Kind != KindServe {
+			continue
+		}
+		if c.Terminal == KindDeliver {
+			if wire.RecoveryPath(ev.B) != c.Path || ev.At > c.TerminalAt {
+				continue
+			}
+		}
+		if ev.At > c.ServeAt {
+			c.ServeAt = ev.At
+		}
+	}
+}
+
+// Detected reports whether the loss was noticed before the repair arrived
+// (a chain with no detection is a proactive repair: a site re-multicast
+// answering a neighbour's NACK, or an inline heartbeat winning the race).
+func (c *FlightChain) Detected() bool { return c.DetectAt != 0 }
+
+// Complete reports whether the chain tells the whole story of the
+// recovery: exactly one terminal; a detected abandon needs its detection;
+// a detected delivery over a logger path (local or primary callback) needs
+// the serve that produced the repair. The NACK hop is NOT required on a
+// delivery: §2.2.2's aggregation means a receiver is often repaired by a
+// serve a site sibling's NACK triggered, its own NACK suppressed — the
+// serve evidence carries the story. The source path needs neither (an
+// inline-data heartbeat or statistical re-multicast is sender-initiated
+// and, for the heartbeat, emits no serve event by design).
+func (c *FlightChain) Complete() bool {
+	if c.TerminalCount != 1 {
+		return false
+	}
+	if c.Terminal == KindAbandon {
+		return c.Detected()
+	}
+	if !c.Detected() {
+		return true // proactive repair: the terminal alone is the story
+	}
+	if c.Path == wire.PathLocal || c.Path == wire.PathPrimaryCallback {
+		return c.ServeAt != 0
+	}
+	return true
+}
+
+// CausallyOrdered reports whether the present hop timestamps respect the
+// recovery causality detect ≤ nack ≤ serve ≤ terminal.
+func (c *FlightChain) CausallyOrdered() bool {
+	last := int64(0)
+	for _, at := range [...]int64{c.DetectAt, c.NackAt, c.ServeAt, c.TerminalAt} {
+		if at == 0 {
+			continue
+		}
+		if at < last {
+			return false
+		}
+		last = at
+	}
+	return true
+}
+
+// hop returns the duration between two present timestamps.
+func hop(from, to int64) (time.Duration, bool) {
+	if from == 0 || to == 0 || to < from {
+		return 0, false
+	}
+	return time.Duration(to - from), true
+}
+
+// DetectToNack is the loss-detection → first-NACK component.
+func (c *FlightChain) DetectToNack() (time.Duration, bool) { return hop(c.DetectAt, c.NackAt) }
+
+// NackToServe is the first-NACK → serving-repair component.
+func (c *FlightChain) NackToServe() (time.Duration, bool) { return hop(c.NackAt, c.ServeAt) }
+
+// ServeToDeliver is the serving-repair → delivery component.
+func (c *FlightChain) ServeToDeliver() (time.Duration, bool) {
+	if c.Terminal != KindDeliver {
+		return 0, false
+	}
+	return hop(c.ServeAt, c.TerminalAt)
+}
+
+// DetectToDeliver is the end-to-end recovery latency of a detected
+// delivery.
+func (c *FlightChain) DetectToDeliver() (time.Duration, bool) {
+	if c.Terminal != KindDeliver || !c.Detected() {
+		return 0, false
+	}
+	return hop(c.DetectAt, c.TerminalAt)
+}
+
+// flightBoundsMS buckets recovery-path latencies (same scale as the
+// receiver's recovery histogram).
+var flightBoundsMS = []uint64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// ms converts a duration to whole milliseconds for histogram observation.
+func ms(d time.Duration) uint64 { return uint64(d / time.Millisecond) }
+
+// FoldFlightChains aggregates stitched chains into reg under the
+// "flight." namespace: per-path end-to-end latency histograms
+// (flight.recovery.local.rtt_ms, flight.recovery.primary_callback.rtt_ms,
+// flight.recovery.multicast_retrans.delay_ms), per-hop component
+// histograms, and chain-outcome counters. Nil-safe on reg.
+func FoldFlightChains(reg *Registry, chains map[uint64]*FlightChain) {
+	total := reg.Counter("flight.chains")
+	complete := reg.Counter("flight.chains.complete")
+	abandoned := reg.Counter("flight.chains.abandoned")
+	proactive := reg.Counter("flight.chains.proactive")
+	detectToNack := reg.Histogram("flight.recovery.detect_to_nack_ms", flightBoundsMS)
+	nackToServe := reg.Histogram("flight.recovery.nack_to_serve_ms", flightBoundsMS)
+	serveToDeliver := reg.Histogram("flight.recovery.serve_to_deliver_ms", flightBoundsMS)
+	for _, c := range chains {
+		total.Inc()
+		if c.Complete() {
+			complete.Inc()
+		}
+		switch {
+		case c.Terminal == KindAbandon:
+			abandoned.Inc()
+		case c.Terminal == KindDeliver && !c.Detected():
+			proactive.Inc()
+		case c.Terminal == KindDeliver:
+			reg.Counter("flight.chains." + c.Path.String()).Inc()
+			reg.Histogram("flight.recovery."+c.Path.MetricName()+"_ms", flightBoundsMS).
+				Observe(ms(c.DeliverLatency))
+		}
+		if d, ok := c.DetectToNack(); ok {
+			detectToNack.Observe(ms(d))
+		}
+		if d, ok := c.NackToServe(); ok {
+			nackToServe.Observe(ms(d))
+		}
+		if d, ok := c.ServeToDeliver(); ok {
+			serveToDeliver.Observe(ms(d))
+		}
+	}
+}
+
+// FlightSample is one fleet-timeline sample: the merged metrics registry
+// of every node at one instant. A sequence of samples is the JSONL flight
+// log (`lbrm-sim -flight-log`, `make flight`).
+type FlightSample struct {
+	// At is the sample time in nanoseconds on the fleet's clock.
+	At int64 `json:"at_ns"`
+	// Metrics is the merged fleet snapshot at that instant.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// WriteFlightLog renders samples as JSONL: one compact JSON object per
+// line, in sample order.
+func WriteFlightLog(w io.Writer, samples []FlightSample) error {
+	enc := json.NewEncoder(w)
+	for i := range samples {
+		if err := enc.Encode(&samples[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

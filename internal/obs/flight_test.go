@@ -1,0 +1,409 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"lbrm/internal/wire"
+)
+
+// ev builds one flight event; the ring's own Seq stamp is irrelevant to
+// stitching, so it stays zero.
+func ev(at int64, kind Kind, seq, b, c uint64) Event {
+	return Event{At: at, Kind: kind, A: seq, B: b, C: c}
+}
+
+func TestSinkConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{RingSize: 3},
+		{RingSize: 12},
+		{FlightRingSize: 7},
+		{FlightRingSize: 1000},
+		{RingSize: 256, FlightRingSize: 6},
+		{RingSize: -8},
+	} {
+		if s, err := NewSinkWith(bad); err == nil {
+			t.Errorf("NewSinkWith(%+v) = %v, want power-of-two error", bad, s)
+		}
+	}
+	for _, good := range []Config{
+		{}, // defaults
+		{RingSize: 8},
+		{RingSize: 1024, FlightRingSize: 8},
+		{FlightRingSize: 65536},
+	} {
+		s, err := NewSinkWith(good)
+		if err != nil {
+			t.Fatalf("NewSinkWith(%+v): %v", good, err)
+		}
+		if s.Ring() == nil || s.FlightRing() == nil || s.Registry() == nil {
+			t.Fatalf("NewSinkWith(%+v) returned incomplete sink", good)
+		}
+	}
+	// The default constructor must match the zero config.
+	if s := NewSink(); s.FlightRing() == nil {
+		t.Fatal("NewSink has no flight ring")
+	}
+}
+
+// TestStitchRecoveryBranches stitches each recovery branch from
+// hand-written rings and asserts chain shape, completeness and hop math.
+func TestStitchRecoveryBranches(t *testing.T) {
+	msn := int64(time.Millisecond) // one ms in ns
+
+	tests := []struct {
+		name     string
+		receiver []Event
+		servers  [][]Event
+		seq      uint64
+		terminal Kind
+		path     wire.RecoveryPath
+		complete bool
+		detected bool
+		hbReveal bool
+		counts   [4]int // detect, nack, serve, terminal
+	}{
+		{
+			name: "local hit",
+			receiver: []Event{
+				ev(10*msn, KindGapDetect, 7, 0, 0),
+				ev(20*msn, KindNackSend, 7, 0, 0),
+				ev(24*msn, KindDeliver, 7, uint64(wire.PathLocal), uint64(14*msn)),
+			},
+			servers: [][]Event{{
+				ev(22*msn, KindServe, 7, uint64(wire.PathLocal), 0),
+			}},
+			seq: 7, terminal: KindDeliver, path: wire.PathLocal,
+			complete: true, detected: true,
+			counts: [4]int{1, 1, 1, 1},
+		},
+		{
+			name: "primary callback",
+			receiver: []Event{
+				ev(10*msn, KindGapDetect, 8, 1, 0),
+				ev(20*msn, KindNackSend, 8, 0, 0),
+				ev(120*msn, KindNackSend, 8, 0, 1),
+				ev(160*msn, KindDeliver, 8, uint64(wire.PathPrimaryCallback), uint64(150*msn)),
+			},
+			servers: [][]Event{
+				{ev(130*msn, KindNackSend, 8, 3, 0)},                             // secondary → primary fetch
+				{ev(140*msn, KindServe, 8, uint64(wire.PathPrimaryCallback), 0)}, // primary serve
+				{ev(155*msn, KindServe, 8, uint64(wire.PathPrimaryCallback), 1)}, // secondary relay
+			},
+			seq: 8, terminal: KindDeliver, path: wire.PathPrimaryCallback,
+			complete: true, detected: true, hbReveal: true,
+			counts: [4]int{1, 3, 2, 1},
+		},
+		{
+			name: "multicast retrans after missing statistical ACK",
+			receiver: []Event{
+				ev(10*msn, KindGapDetect, 9, 0, 0),
+				ev(20*msn, KindNackSend, 9, 0, 0),
+				ev(300*msn, KindDeliver, 9, uint64(wire.PathSourceMulticast), uint64(290*msn)),
+			},
+			servers: [][]Event{{
+				ev(250*msn, KindStatMiss, 9, 3, 20),
+				ev(250*msn, KindServe, 9, uint64(wire.PathSourceMulticast), 1),
+			}},
+			seq: 9, terminal: KindDeliver, path: wire.PathSourceMulticast,
+			complete: true, detected: true,
+			counts: [4]int{1, 1, 1, 1},
+		},
+		{
+			name: "inline-heartbeat repair needs no serve evidence",
+			receiver: []Event{
+				ev(10*msn, KindGapDetect, 10, 1, 0),
+				ev(20*msn, KindNackSend, 10, 2, 0),
+				ev(90*msn, KindDeliver, 10, uint64(wire.PathSourceMulticast), uint64(80*msn)),
+			},
+			seq: 10, terminal: KindDeliver, path: wire.PathSourceMulticast,
+			complete: true, detected: true, hbReveal: true,
+			counts: [4]int{1, 1, 0, 1},
+		},
+		{
+			name: "skip-ahead abandon",
+			receiver: []Event{
+				ev(10*msn, KindGapDetect, 11, 0, 0),
+				ev(20*msn, KindNackSend, 11, 0, 0),
+				ev(500*msn, KindAbandon, 11, 1, 0),
+			},
+			seq: 11, terminal: KindAbandon, path: wire.PathNone,
+			complete: true, detected: true,
+			counts: [4]int{1, 1, 0, 1},
+		},
+		{
+			name: "proactive repair: terminal alone is the story",
+			receiver: []Event{
+				ev(30*msn, KindDeliver, 12, uint64(wire.PathLocal), 0),
+			},
+			seq: 12, terminal: KindDeliver, path: wire.PathLocal,
+			complete: true, detected: false,
+			counts: [4]int{0, 0, 0, 1},
+		},
+		{
+			// §2.2.2 NACK suppression: a sibling's NACK triggered the
+			// serve, ours never fired — the serve evidence completes the
+			// story.
+			name: "detected local delivery, NACK suppressed by sibling, serve evidence completes",
+			receiver: []Event{
+				ev(10*msn, KindGapDetect, 13, 0, 0),
+				ev(40*msn, KindDeliver, 13, uint64(wire.PathLocal), uint64(30*msn)),
+			},
+			servers: [][]Event{{ev(35*msn, KindServe, 13, uint64(wire.PathLocal), 0)}},
+			seq:     13, terminal: KindDeliver, path: wire.PathLocal,
+			complete: true, detected: true,
+			counts: [4]int{1, 0, 1, 1},
+		},
+		{
+			name: "detected local delivery with no serve evidence is incomplete",
+			receiver: []Event{
+				ev(10*msn, KindGapDetect, 17, 0, 0),
+				ev(20*msn, KindNackSend, 17, 0, 0),
+				ev(40*msn, KindDeliver, 17, uint64(wire.PathLocal), uint64(30*msn)),
+			},
+			seq: 17, terminal: KindDeliver, path: wire.PathLocal,
+			complete: false, detected: true,
+			counts: [4]int{1, 1, 0, 1},
+		},
+		{
+			name: "double terminal is incomplete",
+			receiver: []Event{
+				ev(10*msn, KindGapDetect, 14, 0, 0),
+				ev(20*msn, KindNackSend, 14, 0, 0),
+				ev(40*msn, KindDeliver, 14, uint64(wire.PathLocal), uint64(30*msn)),
+				ev(50*msn, KindAbandon, 14, 0, 0),
+			},
+			servers: [][]Event{{ev(30*msn, KindServe, 14, uint64(wire.PathLocal), 0)}},
+			seq:     14, terminal: KindDeliver, path: wire.PathLocal,
+			complete: false, detected: true,
+			counts: [4]int{1, 1, 1, 2},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			chains := StitchFlights(tc.receiver, tc.servers...)
+			c := chains[tc.seq]
+			if c == nil {
+				t.Fatalf("no chain for seq %d", tc.seq)
+			}
+			if c.Terminal != tc.terminal || c.Path != tc.path {
+				t.Fatalf("terminal=%v path=%v, want %v/%v", c.Terminal, c.Path, tc.terminal, tc.path)
+			}
+			if got := [4]int{c.DetectCount, c.NackCount, c.ServeCount, c.TerminalCount}; got != tc.counts {
+				t.Fatalf("counts detect/nack/serve/terminal = %v, want %v", got, tc.counts)
+			}
+			if c.Complete() != tc.complete {
+				t.Fatalf("Complete() = %v, want %v", c.Complete(), tc.complete)
+			}
+			if c.Detected() != tc.detected {
+				t.Fatalf("Detected() = %v, want %v", c.Detected(), tc.detected)
+			}
+			if c.HeartbeatRevealed != tc.hbReveal {
+				t.Fatalf("HeartbeatRevealed = %v, want %v", c.HeartbeatRevealed, tc.hbReveal)
+			}
+			if !c.CausallyOrdered() {
+				t.Fatalf("chain not causally ordered: %+v", c)
+			}
+			// Exactly-one-terminal is what a well-formed branch guarantees.
+			if tc.complete && c.TerminalCount != 1 {
+				t.Fatalf("complete chain has %d terminals", c.TerminalCount)
+			}
+		})
+	}
+}
+
+func TestStitchServerEventsWithoutReceiverChainDropped(t *testing.T) {
+	chains := StitchFlights(nil, []Event{
+		ev(5, KindServe, 42, uint64(wire.PathLocal), 1),
+		ev(6, KindNackSend, 42, 3, 0),
+	})
+	if len(chains) != 0 {
+		t.Fatalf("server-only events created %d chains, want 0", len(chains))
+	}
+}
+
+func TestStitchHopLatencies(t *testing.T) {
+	msn := int64(time.Millisecond)
+	chains := StitchFlights([]Event{
+		ev(10*msn, KindGapDetect, 1, 0, 0),
+		ev(25*msn, KindNackSend, 1, 0, 0),
+		ev(40*msn, KindDeliver, 1, uint64(wire.PathLocal), uint64(30*msn)),
+	}, []Event{
+		// Two serves: a stale one on the wrong path after the delivery, and
+		// the real one. resolveServe must pick the matching-path serve at or
+		// before the terminal.
+		ev(45*msn, KindServe, 1, uint64(wire.PathPrimaryCallback), 0),
+		ev(30*msn, KindServe, 1, uint64(wire.PathLocal), 0),
+	})
+	c := chains[1]
+	if c == nil {
+		t.Fatal("no chain")
+	}
+	if c.ServeAt != 30*msn {
+		t.Fatalf("ServeAt = %d, want %d", c.ServeAt, 30*msn)
+	}
+	check := func(name string, f func() (time.Duration, bool), want time.Duration) {
+		t.Helper()
+		d, ok := f()
+		if !ok || d != want {
+			t.Fatalf("%s = %v/%v, want %v/true", name, d, ok, want)
+		}
+	}
+	check("DetectToNack", c.DetectToNack, 15*time.Millisecond)
+	check("NackToServe", c.NackToServe, 5*time.Millisecond)
+	check("ServeToDeliver", c.ServeToDeliver, 10*time.Millisecond)
+	check("DetectToDeliver", c.DetectToDeliver, 30*time.Millisecond)
+	// Events must be causally sorted even with the out-of-order input.
+	for i := 1; i < len(c.Events); i++ {
+		if c.Events[i].At < c.Events[i-1].At {
+			t.Fatalf("events not sorted by At: %+v", c.Events)
+		}
+	}
+}
+
+func TestCausallyOrderedViolation(t *testing.T) {
+	msn := int64(time.Millisecond)
+	// An abandon whose only serve evidence postdates the terminal: the
+	// resolver keeps it (evidence someone tried), causality check trips.
+	chains := StitchFlights([]Event{
+		ev(10*msn, KindGapDetect, 2, 0, 0),
+		ev(20*msn, KindNackSend, 2, 0, 0),
+		ev(30*msn, KindAbandon, 2, 0, 0),
+	}, []Event{
+		ev(40*msn, KindServe, 2, uint64(wire.PathLocal), 0),
+	})
+	if c := chains[2]; c.CausallyOrdered() {
+		t.Fatalf("serve after abandon should break causal order: %+v", c)
+	}
+}
+
+func TestFoldFlightChains(t *testing.T) {
+	msn := int64(time.Millisecond)
+	chains := StitchFlights([]Event{
+		// Local recovery, 24ms end to end.
+		ev(10*msn, KindGapDetect, 1, 0, 0),
+		ev(20*msn, KindNackSend, 1, 0, 0),
+		ev(34*msn, KindDeliver, 1, uint64(wire.PathLocal), uint64(24*msn)),
+		// Abandon.
+		ev(10*msn, KindGapDetect, 2, 0, 0),
+		ev(500*msn, KindAbandon, 2, 0, 0),
+		// Proactive.
+		ev(15*msn, KindDeliver, 3, uint64(wire.PathSourceMulticast), 0),
+	}, []Event{
+		ev(28*msn, KindServe, 1, uint64(wire.PathLocal), 0),
+	})
+	reg := NewRegistry()
+	FoldFlightChains(reg, chains)
+	snap := reg.Snapshot()
+	wantCounters := map[string]uint64{
+		"flight.chains":           3,
+		"flight.chains.complete":  3,
+		"flight.chains.abandoned": 1,
+		"flight.chains.proactive": 1,
+		"flight.chains.local":     1,
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	h, ok := snap.Histograms["flight.recovery.local.rtt_ms"]
+	if !ok || h.Total() != 1 || h.Sum != 24 {
+		t.Fatalf("local rtt histogram = %+v, want one 24ms observation", h)
+	}
+	for _, name := range []string{
+		"flight.recovery.detect_to_nack_ms",
+		"flight.recovery.nack_to_serve_ms",
+		"flight.recovery.serve_to_deliver_ms",
+	} {
+		if h := snap.Histograms[name]; h.Total() != 1 {
+			t.Errorf("%s count = %d, want 1", name, h.Total())
+		}
+	}
+}
+
+func TestWriteFlightLog(t *testing.T) {
+	s := NewSink()
+	s.Counter("x.pkts").Add(3)
+	samples := []FlightSample{
+		{At: 1_000_000, Metrics: s.Registry().Snapshot()},
+		{At: 2_000_000, Metrics: s.Registry().Snapshot()},
+	}
+	var buf bytes.Buffer
+	if err := WriteFlightLog(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var ats []int64
+	for sc.Scan() {
+		var got FlightSample
+		if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+			t.Fatalf("line %d: %v", len(ats)+1, err)
+		}
+		if got.Metrics.Counters["x.pkts"] != 3 {
+			t.Fatalf("line %d: counters did not round-trip: %+v", len(ats)+1, got.Metrics)
+		}
+		ats = append(ats, got.At)
+	}
+	if len(ats) != 2 || ats[0] != 1_000_000 || ats[1] != 2_000_000 {
+		t.Fatalf("round-tripped sample times %v, want [1000000 2000000]", ats)
+	}
+}
+
+// TestConcurrentFlightEmit tortures the flight ring under -race: eight
+// writers emitting flight records while a reader snapshots. The seqlock
+// contract is the same as the trace ring's: snapshot seqs strictly
+// increase and no torn slot leaks (writers pair A with At).
+func TestConcurrentFlightEmit(t *testing.T) {
+	s, err := NewSinkWith(Config{FlightRingSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 2000
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := s.FlightRing().Snapshot()
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Seq <= evs[i-1].Seq {
+					t.Error("flight snapshot seqs not strictly increasing")
+					return
+				}
+			}
+			for _, ev := range evs {
+				if ev.A != uint64(ev.At) {
+					t.Errorf("torn flight event leaked: at=%d a=%d", ev.At, ev.A)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				at := int64(w*perWriter + i)
+				s.EmitFlight(at, KindDeliver, uint64(at), uint64(wire.PathLocal), 0)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if got := s.FlightRing().Len(); got != writers*perWriter {
+		t.Fatalf("flight ring recorded %d emissions, want %d", got, writers*perWriter)
+	}
+}

@@ -22,13 +22,16 @@
 // on the datapath.
 package obs
 
+import "fmt"
+
 // Sink bundles the two halves of the observability layer — a metric
 // Registry and a trace Ring — behind one nil-safe handle that protocol
 // components accept in their configs. A nil *Sink is fully functional:
 // every registration returns a nil metric whose operations no-op.
 type Sink struct {
-	reg  *Registry
-	ring *Ring
+	reg    *Registry
+	ring   *Ring
+	flight *Ring
 }
 
 // DefaultRingSize is the trace capacity NewSink allocates: enough to hold
@@ -36,10 +39,50 @@ type Sink struct {
 // the ring records failovers, not packets).
 const DefaultRingSize = 512
 
-// NewSink returns a live sink with a fresh registry and a trace ring of
-// DefaultRingSize events.
+// DefaultFlightRingSize is the flight-recorder capacity NewSink allocates.
+// Flight events are per-lost-packet (a handful per recovery), so the ring
+// is sized for thousands of recoveries, not the raw packet rate.
+const DefaultFlightRingSize = 4096
+
+// Config sizes a sink's rings. The zero value of each field selects the
+// default; explicit sizes must be powers of two ≥ 8 (the rings index with
+// a bit mask, so a silent round-up would lie about the retained window).
+type Config struct {
+	// RingSize is the protocol-transition trace capacity, in events.
+	RingSize int
+	// FlightRingSize is the flight-recorder capacity, in events.
+	FlightRingSize int
+}
+
+// ringSize validates one configured capacity.
+func ringSize(name string, n, def int) (int, error) {
+	if n == 0 {
+		return def, nil
+	}
+	if n < 8 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("obs: %s %d: ring sizes must be powers of two ≥ 8", name, n)
+	}
+	return n, nil
+}
+
+// NewSink returns a live sink with a fresh registry and default-sized
+// trace and flight rings.
 func NewSink() *Sink {
-	return &Sink{reg: NewRegistry(), ring: NewRing(DefaultRingSize)}
+	s, _ := NewSinkWith(Config{}) // zero config cannot fail
+	return s
+}
+
+// NewSinkWith returns a live sink with the configured ring capacities.
+func NewSinkWith(cfg Config) (*Sink, error) {
+	rs, err := ringSize("RingSize", cfg.RingSize, DefaultRingSize)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := ringSize("FlightRingSize", cfg.FlightRingSize, DefaultFlightRingSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Sink{reg: NewRegistry(), ring: NewRing(rs), flight: NewRing(fs)}, nil
 }
 
 // Registry returns the underlying metric registry (nil for a nil sink).
@@ -56,6 +99,14 @@ func (s *Sink) Ring() *Ring {
 		return nil
 	}
 	return s.ring
+}
+
+// FlightRing returns the flight-recorder ring (nil for a nil sink).
+func (s *Sink) FlightRing() *Ring {
+	if s == nil {
+		return nil
+	}
+	return s.flight
 }
 
 // Counter registers (or finds) a counter. Nil-safe cold path.
@@ -82,4 +133,13 @@ func (s *Sink) Emit(at int64, kind Kind, a, b, c uint64) {
 		return
 	}
 	s.ring.Emit(at, kind, a, b, c)
+}
+
+// EmitFlight appends one flight-recorder event (the per-sequence recovery
+// trace, DESIGN.md §10). Nil-safe, wait-free, zero-allocation hot path.
+func (s *Sink) EmitFlight(at int64, kind Kind, seq, b, c uint64) {
+	if s == nil {
+		return
+	}
+	s.flight.Emit(at, kind, seq, b, c)
 }

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"net/http"
+	"runtime"
+)
+
+// RuntimeSnapshot captures the Go runtime's health gauges — goroutines,
+// heap, GC — as a Dump so both exposition formats apply. Everything is a
+// gauge: the values are instantaneous runtime state, not protocol counts.
+func RuntimeSnapshot() Dump {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	lastPause := uint64(0)
+	if m.NumGC > 0 {
+		lastPause = m.PauseNs[(m.NumGC+255)%256]
+	}
+	return Dump{
+		Gauges: map[string]int64{
+			"runtime.goroutines":         int64(runtime.NumGoroutine()),
+			"runtime.heap_alloc_bytes":   int64(m.HeapAlloc),
+			"runtime.heap_sys_bytes":     int64(m.HeapSys),
+			"runtime.heap_objects":       int64(m.HeapObjects),
+			"runtime.next_gc_bytes":      int64(m.NextGC),
+			"runtime.gc_runs":            int64(m.NumGC),
+			"runtime.gc_pause_total_ns":  int64(m.PauseTotalNs),
+			"runtime.gc_pause_last_ns":   int64(lastPause),
+			"runtime.alloc_total_bytes":  int64(m.TotalAlloc),
+			"runtime.mallocs_minus_free": int64(m.Mallocs - m.Frees),
+		},
+	}
+}
+
+// RuntimeHandler serves RuntimeSnapshot over HTTP with the same content
+// negotiation as Handler: text by default, JSON with ?format=json or an
+// Accept: application/json header.
+func RuntimeHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := RuntimeSnapshot()
+		if r.URL.Query().Get("format") == "json" || r.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = d.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = d.WriteText(w)
+	})
+}

@@ -37,6 +37,35 @@ const (
 	// KindDASet: the sender multicast an Acker Selection Packet.
 	// A = selection seq, B = advertised pAck in ppm, C = estimated N_sl.
 	KindDASet
+
+	// Flight-recorder kinds: the causal recovery trace of one lost packet
+	// (DESIGN.md §10). A always carries the data sequence number; these go
+	// to the sink's flight ring, not the transition ring above.
+
+	// KindGapDetect: a receiver or secondary noticed the seq missing.
+	// A = seq, B = 1 when a heartbeat revealed the loss (idle gap), 0 when
+	// a higher data seq did.
+	KindGapDetect
+	// KindNackSend: the seq was covered by an outgoing NACK.
+	// A = seq, B = requester phase (0 secondary, 1 primary, 2 source query,
+	// 3 secondary→primary fetch), C = retry count before this send.
+	KindNackSend
+	// KindServe: a repair carrying the seq was sent.
+	// A = seq, B = recovery path (wire.RecoveryPath), C = 1 for multicast,
+	// 0 for unicast.
+	KindServe
+	// KindStatMiss: the sender's t_wait deadline found missing statistical
+	// ACKs for the seq. A = seq, B = missing ACKs, C = expected ACKs.
+	KindStatMiss
+	// KindDeliver: terminal — a repair for the seq reached the application.
+	// A = seq, B = recovery path (wire.RecoveryPath), C = detect→deliver
+	// latency in nanoseconds (0 when the repair arrived before the loss was
+	// detected: proactive site remulticast or inline heartbeat).
+	KindDeliver
+	// KindAbandon: terminal — recovery of the seq was given up.
+	// A = seq, B = 0 when escalation was exhausted, 1 on a recovery-window
+	// skip-ahead.
+	KindAbandon
 	kindMax // sentinel, keep last
 )
 
@@ -51,6 +80,12 @@ var kindNames = [...]string{
 	KindSkipAhead:     "skip-ahead",
 	KindAdvance:       "advance",
 	KindDASet:         "da-set",
+	KindGapDetect:     "gap-detect",
+	KindNackSend:      "nack-send",
+	KindServe:         "serve",
+	KindStatMiss:      "stat-miss",
+	KindDeliver:       "deliver",
+	KindAbandon:       "abandon",
 }
 
 // String returns the stable lowercase name of the kind.

@@ -56,6 +56,7 @@ func (e *nullEnv) Rand() *rand.Rand { return e.rng }
 // (evicting at capacity), and emit the Designated-Acker ACK.
 type datapath struct {
 	sec     *logger.Secondary
+	sink    *obs.Sink
 	src     transport.Addr
 	pkt     wire.Packet
 	buf     []byte
@@ -65,6 +66,7 @@ type datapath struct {
 
 func newDatapath(sink *obs.Sink) *datapath {
 	d := &datapath{
+		sink:    sink,
 		src:     nullAddr("sender"),
 		payload: make([]byte, 128),
 	}
@@ -103,6 +105,9 @@ func (d *datapath) step() {
 		panic(err)
 	}
 	d.sec.Recv(d.src, d.buf)
+	// Flight-record emission rides the same step so the alloc gate covers
+	// the recorder's hot path (a recovery chain emits a handful of these).
+	d.sink.EmitFlight(int64(d.seq), obs.KindDeliver, d.seq, uint64(wire.PathLocal), 0)
 }
 
 // warm runs the pipeline past its growth phase: ring at capacity, arena

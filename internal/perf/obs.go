@@ -40,3 +40,15 @@ func ObsTraceEmit(b *testing.B) {
 		r.Emit(int64(i), obs.KindEpochBump, uint64(i), 0, 0)
 	}
 }
+
+// ObsFlightEmit benchmarks the flight-recorder append through the sink:
+// the per-hop cost of the causal recovery trace (DESIGN.md §10) — the
+// same seqlock write plus the sink indirection the protocol handlers pay.
+func ObsFlightEmit(b *testing.B) {
+	s := obs.NewSink()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EmitFlight(int64(i), obs.KindDeliver, uint64(i), 1, 0)
+	}
+}

@@ -32,6 +32,7 @@ func All() []Bench {
 		{"ObsCounterInc", ObsCounterInc},
 		{"ObsClassRecord", ObsClassRecord},
 		{"ObsTraceEmit", ObsTraceEmit},
+		{"ObsFlightEmit", ObsFlightEmit},
 		{"RecoveryRTT", RecoveryRTT},
 		{"UDPLoopback", UDPLoopback},
 	}

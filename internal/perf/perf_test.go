@@ -9,9 +9,10 @@ import (
 // TestDatapathZeroAlloc is the allocation gate: the steady-state
 // data→log→ack pipeline of a secondary logger must not allocate — bare,
 // and with a live observability sink attached (per-class tx counters,
-// protocol counters, epoch gauge all firing). Any regression — a timer
-// re-wrap, a map that stopped being pooled, an escape-analysis break, a
-// metric that allocates — fails this test, not just a benchmark report.
+// protocol counters, epoch gauge, and a flight-record emission per step
+// all firing). Any regression — a timer re-wrap, a map that stopped being
+// pooled, an escape-analysis break, a metric that allocates — fails this
+// test, not just a benchmark report.
 func TestDatapathZeroAlloc(t *testing.T) {
 	if allocs := MeasureDatapathAllocs(5000, nil); allocs != 0 {
 		t.Fatalf("steady-state datapath allocates %.2f allocs/op, want 0", allocs)
@@ -31,5 +32,6 @@ func BenchmarkDatapathAllocsObs(b *testing.B)  { DatapathAllocsObs(b) }
 func BenchmarkObsCounterInc(b *testing.B)      { ObsCounterInc(b) }
 func BenchmarkObsClassRecord(b *testing.B)     { ObsClassRecord(b) }
 func BenchmarkObsTraceEmit(b *testing.B)       { ObsTraceEmit(b) }
+func BenchmarkObsFlightEmit(b *testing.B)      { ObsFlightEmit(b) }
 func BenchmarkRecoveryRTT(b *testing.B)        { RecoveryRTT(b) }
 func BenchmarkUDPLoopback(b *testing.B)        { UDPLoopback(b) }

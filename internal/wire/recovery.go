@@ -1,0 +1,81 @@
+package wire
+
+// RecoveryPath classifies which of the paper's recovery paths a repair
+// packet travelled (§2.2 hierarchical recovery, §2.3.2 statistical-ack
+// re-multicast). The classification is carried entirely by wire flags, so
+// a receiver can attribute its recovery latency to the right path without
+// any out-of-band state:
+//
+//   - PathLocal: served from a logging server's own log (FlagFromLogger
+//     without FlagViaPrimary) — the §2.2 "one RTT to the nearest logger"
+//     case, a site secondary's local hit.
+//   - PathPrimaryCallback: the repair crossed the primary (FlagViaPrimary)
+//     — either the primary served the requester directly, or a secondary
+//     relayed a packet it had to fetch from the primary first.
+//   - PathSourceMulticast: the repair came from the source itself — a
+//     missing-statistical-ack re-multicast, a NACK-demand re-multicast, a
+//     retransmission-channel replay, or an inline-data heartbeat.
+type RecoveryPath uint8
+
+const (
+	// PathNone: the packet is not a repair (an original transmission).
+	PathNone RecoveryPath = iota
+	// PathLocal: repair served from a logger's local log.
+	PathLocal
+	// PathPrimaryCallback: repair that crossed the primary callback.
+	PathPrimaryCallback
+	// PathSourceMulticast: repair retransmitted by the source.
+	PathSourceMulticast
+	// NumRecoveryPaths sizes per-path arrays.
+	NumRecoveryPaths
+)
+
+var recoveryPathNames = [NumRecoveryPaths]string{
+	PathNone:            "none",
+	PathLocal:           "local",
+	PathPrimaryCallback: "primary_callback",
+	PathSourceMulticast: "multicast_retrans",
+}
+
+// String returns the stable lowercase name of the path.
+func (p RecoveryPath) String() string {
+	if p < NumRecoveryPaths {
+		return recoveryPathNames[p]
+	}
+	return "unknown"
+}
+
+// MetricName returns the path's latency-metric suffix from the issue's
+// observability contract: "local.rtt", "primary_callback.rtt",
+// "multicast_retrans.delay" (empty for PathNone). Components prepend their
+// role, e.g. "recv.recovery.local.rtt_ms".
+func (p RecoveryPath) MetricName() string {
+	switch p {
+	case PathLocal:
+		return "local.rtt"
+	case PathPrimaryCallback:
+		return "primary_callback.rtt"
+	case PathSourceMulticast:
+		return "multicast_retrans.delay"
+	}
+	return ""
+}
+
+// ClassifyRecovery classifies a received packet. Anything that repeats an
+// earlier transmission — TypeRetrans, a FlagRetransmission data packet, or
+// an inline-data heartbeat — is a repair; everything else is PathNone.
+func ClassifyRecovery(t Type, fl Flags) RecoveryPath {
+	repair := fl&FlagRetransmission != 0 ||
+		(t == TypeHeartbeat && fl&FlagInlineData != 0)
+	if !repair {
+		return PathNone
+	}
+	switch {
+	case fl&FlagViaPrimary != 0:
+		return PathPrimaryCallback
+	case fl&FlagFromLogger != 0:
+		return PathLocal
+	default:
+		return PathSourceMulticast
+	}
+}

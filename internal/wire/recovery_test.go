@@ -1,0 +1,75 @@
+package wire
+
+import "testing"
+
+func TestClassifyRecovery(t *testing.T) {
+	tests := []struct {
+		name string
+		typ  Type
+		fl   Flags
+		want RecoveryPath
+	}{
+		{"original data", TypeData, 0, PathNone},
+		{"plain heartbeat", TypeHeartbeat, 0, PathNone},
+		{"nack", TypeNack, 0, PathNone},
+		{"ack", TypeAck, FlagFromLogger, PathNone},
+		{"from-logger data without retransmission flag", TypeData, FlagFromLogger, PathNone},
+
+		{"source re-multicast (missing statistical ACK)", TypeData, FlagRetransmission, PathSourceMulticast},
+		{"retrans from source", TypeRetrans, FlagRetransmission, PathSourceMulticast},
+		{"inline-data heartbeat", TypeHeartbeat, FlagInlineData, PathSourceMulticast},
+		{"inline-data heartbeat with extra flags", TypeHeartbeat, FlagInlineData | FlagLogAdvance, PathSourceMulticast},
+
+		{"secondary local hit", TypeRetrans, FlagRetransmission | FlagFromLogger, PathLocal},
+		{"secondary remulticast", TypeData, FlagRetransmission | FlagFromLogger, PathLocal},
+
+		{"primary serve", TypeRetrans, FlagRetransmission | FlagFromLogger | FlagViaPrimary, PathPrimaryCallback},
+		{"secondary relay of a primary fetch", TypeRetrans, FlagRetransmission | FlagFromLogger | FlagViaPrimary, PathPrimaryCallback},
+		{"via-primary wins over from-logger", TypeData, FlagRetransmission | FlagViaPrimary, PathPrimaryCallback},
+
+		// FlagViaPrimary on a non-repair must not classify: the repair
+		// gate comes first.
+		{"via-primary without repair flags", TypeData, FlagViaPrimary, PathNone},
+		{"inline heartbeat via primary", TypeHeartbeat, FlagInlineData | FlagViaPrimary, PathPrimaryCallback},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ClassifyRecovery(tc.typ, tc.fl); got != tc.want {
+				t.Fatalf("ClassifyRecovery(%v, %v) = %v, want %v", tc.typ, tc.fl, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestClassifyRecoveryMatchesRetransSemantics pins the compatibility
+// contract: a packet classifies as a repair exactly when the receiver's
+// pre-classifier logic would have set Event.Retransmitted.
+func TestClassifyRecoveryMatchesRetransSemantics(t *testing.T) {
+	for _, typ := range []Type{TypeData, TypeRetrans, TypeHeartbeat} {
+		for fl := Flags(0); fl < 1<<5; fl++ {
+			legacy := fl&FlagRetransmission != 0 || (typ == TypeHeartbeat && fl&FlagInlineData != 0)
+			got := ClassifyRecovery(typ, fl) != PathNone
+			if got != legacy {
+				t.Fatalf("type %v flags %v: repair=%v, legacy retrans=%v", typ, fl, got, legacy)
+			}
+		}
+	}
+}
+
+func TestRecoveryPathNames(t *testing.T) {
+	want := map[RecoveryPath]struct{ str, metric string }{
+		PathNone:            {"none", ""},
+		PathLocal:           {"local", "local.rtt"},
+		PathPrimaryCallback: {"primary_callback", "primary_callback.rtt"},
+		PathSourceMulticast: {"multicast_retrans", "multicast_retrans.delay"},
+	}
+	for p := PathNone; p < NumRecoveryPaths; p++ {
+		if p.String() != want[p].str || p.MetricName() != want[p].metric {
+			t.Errorf("path %d: String=%q MetricName=%q, want %q/%q",
+				p, p.String(), p.MetricName(), want[p].str, want[p].metric)
+		}
+	}
+	if NumRecoveryPaths.String() != "unknown" || NumRecoveryPaths.MetricName() != "" {
+		t.Error("out-of-range path must render as unknown")
+	}
+}
