@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test allocgate cover chaos fuzzsmoke bench perf flight
+.PHONY: check vet build test allocgate perfgate cover chaos fuzzsmoke bench perf flight
 
 # check is the pre-commit gate: static checks, the full suite under the
-# race detector, the datapath allocation gate with a short benchtime
-# pass over every micro-benchmark, the per-package coverage floors, the
-# chaos seed matrix, and a short fuzz pass over the epoch-carrying wire
-# codec and the metrics exposition encoder.
-check: vet build test allocgate cover chaos fuzzsmoke
+# race detector, the datapath allocation gates with a short benchtime
+# pass over every micro-benchmark, the perf-regression gate against the
+# committed baseline, the per-package coverage floors, the chaos seed
+# matrix, and a short fuzz pass over the epoch-carrying wire codec and
+# the metrics exposition encoder.
+check: vet build test allocgate perfgate cover chaos fuzzsmoke
 
 vet:
 	$(GO) vet ./...
@@ -19,8 +20,14 @@ test:
 	$(GO) test -race ./...
 
 allocgate:
-	$(GO) test ./internal/perf/ -run TestDatapathZeroAlloc -count=1
+	$(GO) test ./internal/perf/ -run 'TestDatapathZeroAlloc|TestRecoveryZeroAlloc|TestUDPLoopbackZeroAlloc' -count=1
 	$(GO) test ./internal/perf/ -run '^$$' -bench . -benchmem -benchtime 10ms
+
+# perfgate re-measures the zero-allocation invariants and the batched
+# egress headline, failing if throughput drops below 80% of the
+# committed BENCH_2.json baseline. Refresh the baseline with `make bench`.
+perfgate:
+	$(GO) run ./cmd/lbrm-perf -gate
 
 # cover enforces per-package statement-coverage floors on the protocol
 # endpoints, the logging servers, the wire codec and the observability
@@ -77,10 +84,14 @@ flight:
 	$(GO) test ./internal/chaos/ -run TestFlightLogSchema -count=1 \
 	  -flight-glob '$(abspath $(FLIGHT_DIR))/*.jsonl'
 
-# bench runs every benchmark in the repo at full benchtime.
+# bench re-measures the hot-datapath suite and rewrites the committed
+# BENCH_2.json baseline (the perfgate reference point), then runs every
+# other benchmark in the repo at full benchtime.
 bench:
+	$(GO) run ./cmd/lbrm-perf -o BENCH_2.json
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# perf re-measures the hot-datapath suite and rewrites BENCH_1.json.
+# perf re-measures the hot-datapath suite and rewrites BENCH_2.json
+# without the full repo-wide benchmark sweep.
 perf:
 	$(GO) run ./cmd/lbrm-perf

@@ -9,6 +9,11 @@
 //     -replica peers.
 //   - replica: a passive replica (§2.2.3), promoted by the source on
 //     primary failure.
+//
+// With -groups N the logger serves N groups on consecutive ports from
+// -mcast (one logger instance per group); -shards splits those groups
+// across independent datapath shards (each with its own socket, batch
+// rings and lock), and -batch sizes the sendmmsg/recvmmsg rings.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 
 	"lbrm"
 	"lbrm/internal/obs"
+	"lbrm/internal/shard"
 	"lbrm/internal/transport"
 	"lbrm/internal/transport/udp"
 	"lbrm/internal/wire"
@@ -52,8 +58,8 @@ func serveMetrics(addr string, sink *obs.Sink) {
 
 func main() {
 	mode := flag.String("mode", "secondary", "secondary | primary | replica")
-	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast group ip:port")
-	listen := flag.String("listen", "0.0.0.0:0", "unicast bind host:port (give loggers a stable port)")
+	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast base ip:port (group i uses port+i-1)")
+	listen := flag.String("listen", "0.0.0.0:0", "unicast bind host:port (with -shards > 1, shard s binds port+s)")
 	primary := flag.String("primary", "", "primary logger host:port (secondary mode)")
 	replicas := flag.String("replicas", "", "comma-separated replica host:ports (primary mode)")
 	maxPackets := flag.Int("max-packets", 0, "retention: max packets per stream in memory (0 = unlimited)")
@@ -63,6 +69,9 @@ func main() {
 	iface := flag.String("iface", "", "network interface for multicast")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats logging interval")
 	metricsAddr := flag.String("metrics-addr", "", "serve the metrics/trace exposition over HTTP on this host:port")
+	nGroups := flag.Int("groups", 1, "number of multicast groups served (consecutive ports from -mcast)")
+	shards := flag.Int("shards", 1, "datapath shards; groups are spread across shards by stable modulus")
+	batch := flag.Int("batch", 0, "datagrams per socket syscall (0 = default ring, 1 = unbatched)")
 	flag.Parse()
 
 	var sink *obs.Sink
@@ -73,66 +82,105 @@ func main() {
 		MaxPackets: *maxPackets, MaxAge: *maxAge,
 		SpillToDisk: *spill, SpillDir: *spillDir,
 	}
-	groups := map[wire.GroupID]string{1: *mcast}
-	var handler transport.Handler
-	var report func()
+	groups, err := shard.GroupSpecs(*mcast, *nGroups)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *shards > *nGroups {
+		log.Printf("lbrm-logger: clamping -shards %d to -groups %d", *shards, *nGroups)
+		*shards = *nGroups
+	}
 
+	// mk builds the protocol handler (and its stats reporter) for one
+	// group; a shard serving several groups muxes them on its socket.
+	var mk func(g lbrm.GroupID) (transport.Handler, func())
 	switch *mode {
 	case "secondary":
-		cfg := lbrm.SecondaryConfig{Group: 1, Retention: ret, Obs: sink}
+		var pa transport.Addr
 		if *primary != "" {
-			pa, err := udp.ParseAddr(*primary)
-			if err != nil {
+			if pa, err = udp.ParseAddr(*primary); err != nil {
 				log.Fatalf("bad -primary: %v", err)
 			}
-			cfg.Primary = pa
 		}
-		sec := lbrm.NewSecondaryLogger(cfg)
-		handler = sec
-		report = func() {
-			st := sec.Stats()
-			log.Printf("logged=%d nacksIn=%d served=%d remcast=%d nacksUp=%d acks=%d",
-				st.PacketsLogged, st.NacksFromClients, st.RetransUnicast,
-				st.Remulticasts, st.NacksToPrimary, st.AcksSent)
+		mk = func(g lbrm.GroupID) (transport.Handler, func()) {
+			sec := lbrm.NewSecondaryLogger(lbrm.SecondaryConfig{
+				Group: g, Retention: ret, Primary: pa, Obs: sink,
+			})
+			return sec, func() {
+				st := sec.Stats()
+				log.Printf("g%d: logged=%d nacksIn=%d served=%d remcast=%d nacksUp=%d acks=%d",
+					g, st.PacketsLogged, st.NacksFromClients, st.RetransUnicast,
+					st.Remulticasts, st.NacksToPrimary, st.AcksSent)
+			}
 		}
 	case "primary", "replica":
-		cfg := lbrm.PrimaryConfig{Group: 1, Retention: ret, Replica: *mode == "replica", Obs: sink}
+		var reps []transport.Addr
 		if *replicas != "" {
 			for _, r := range strings.Split(*replicas, ",") {
 				ra, err := udp.ParseAddr(strings.TrimSpace(r))
 				if err != nil {
 					log.Fatalf("bad -replicas entry %q: %v", r, err)
 				}
-				cfg.Replicas = append(cfg.Replicas, ra)
+				reps = append(reps, ra)
 			}
 		}
-		pri := lbrm.NewPrimaryLogger(cfg)
-		handler = pri
-		report = func() {
-			st := pri.Stats()
-			log.Printf("logged=%d srcAcks=%d nacksIn=%d served=%d syncsOut=%d syncsIn=%d replica=%v",
-				st.PacketsLogged, st.SourceAcks, st.NacksFromClients,
-				st.RetransServed, st.LogSyncsSent, st.LogSyncsApplied, pri.IsReplica())
+		mk = func(g lbrm.GroupID) (transport.Handler, func()) {
+			pri := lbrm.NewPrimaryLogger(lbrm.PrimaryConfig{
+				Group: g, Retention: ret, Replica: *mode == "replica",
+				Replicas: reps, Obs: sink,
+			})
+			return pri, func() {
+				st := pri.Stats()
+				log.Printf("g%d: logged=%d srcAcks=%d nacksIn=%d served=%d syncsOut=%d syncsIn=%d replica=%v",
+					g, st.PacketsLogged, st.SourceAcks, st.NacksFromClients,
+					st.RetransServed, st.LogSyncsSent, st.LogSyncsApplied, pri.IsReplica())
+			}
 		}
 	default:
 		log.Fatalf("unknown -mode %q", *mode)
 	}
 
-	node, err := udp.Start(udp.Config{
-		Listen:    *listen,
-		Groups:    groups,
-		Interface: *iface,
-		Obs:       sink,
-	}, handler)
+	reports := make([][]func(), *shards)
+	fleet, err := shard.Start(shard.Config{
+		Shards: *shards,
+		Groups: groups,
+		Node: udp.Config{
+			Listen:    *listen,
+			Interface: *iface,
+			Obs:       sink,
+			Batch:     *batch,
+		},
+	}, func(s int, gs []wire.GroupID) transport.Handler {
+		hs := make(map[wire.GroupID]transport.Handler, len(gs))
+		for _, g := range gs {
+			h, rep := mk(g)
+			hs[g] = h
+			reports[s] = append(reports[s], rep)
+		}
+		if len(gs) == 1 {
+			return hs[gs[0]]
+		}
+		return shard.NewMux(hs, nil)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer node.Close()
-	log.Printf("lbrm-logger: %s on %s, unicast %s", *mode, *mcast, node.Addr())
+	defer fleet.Close()
+	for s := 0; s < fleet.Shards(); s++ {
+		log.Printf("lbrm-logger: %s shard %d/%d on %s, unicast %s",
+			*mode, s, fleet.Shards(), *mcast, fleet.Node(s).Addr())
+	}
 	if *metricsAddr != "" {
 		serveMetrics(*metricsAddr, sink)
 	}
 
+	report := func() {
+		for s := 0; s < fleet.Shards(); s++ {
+			for _, rep := range reports[s] {
+				fleet.Node(s).Do(rep)
+			}
+		}
+	}
 	tick := time.NewTicker(*statsEvery)
 	defer tick.Stop()
 	sig := make(chan os.Signal, 1)
@@ -140,9 +188,9 @@ func main() {
 	for {
 		select {
 		case <-tick.C:
-			node.Do(report)
+			report()
 		case <-sig:
-			node.Do(report)
+			report()
 			return
 		}
 	}

@@ -1,12 +1,20 @@
 // Command lbrm-perf runs the hot-datapath micro-benchmarks (internal/perf)
 // outside `go test` and writes the results as JSON, so the performance
 // trajectory of the datapath is recorded in-repo across changes
-// (BENCH_1.json for this revision; later revisions append _2, _3, ...).
+// (BENCH_1.json for the pre-sharding datapath, BENCH_2.json for the
+// batched/sharded one; later revisions append _3, ...).
 //
 // Usage:
 //
-//	lbrm-perf              # writes BENCH_1.json
-//	lbrm-perf -o -         # prints JSON to stdout
+//	lbrm-perf                      # writes BENCH_2.json
+//	lbrm-perf -o -                 # prints JSON to stdout
+//	lbrm-perf -gate                # regression gate against BENCH_2.json
+//	lbrm-perf -gate -baseline F    # gate against a specific baseline
+//
+// The gate re-measures the cheap invariants (zero steady-state
+// allocations on the logging pipeline and the recovery episode) and the
+// egress headline, failing if throughput drops below 80% of the committed
+// baseline's udp_pps_per_core.
 package main
 
 import (
@@ -28,46 +36,131 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// PPS is the achieved packets/second for benchmarks that report the
+	// "pps" metric (the egress floods).
+	PPS float64 `json:"pps,omitempty"`
 }
 
 type report struct {
-	Date           string   `json:"date"`
-	GoVersion      string   `json:"go_version"`
-	GOOS           string   `json:"goos"`
-	GOARCH         string   `json:"goarch"`
-	DatapathAllocs float64  `json:"datapath_allocs_per_op"`
+	Date           string  `json:"date"`
+	GoVersion      string  `json:"go_version"`
+	GOOS           string  `json:"goos"`
+	GOARCH         string  `json:"goarch"`
+	DatapathAllocs float64 `json:"datapath_allocs_per_op"`
 	// DatapathAllocsObs is the same measurement with a live metrics sink
 	// attached; the observability contract keeps it at zero too.
-	DatapathAllocsObs float64  `json:"datapath_allocs_obs_per_op"`
-	Benchmarks        []result `json:"benchmarks"`
+	DatapathAllocsObs float64 `json:"datapath_allocs_obs_per_op"`
+	// RecoveryAllocs is the steady-state allocation count of one full
+	// loss-recovery episode (gap → NACK → retransmit → deliver).
+	RecoveryAllocs float64 `json:"recovery_allocs_per_op"`
+	// UDPPpsPerCore is the batched-egress headline: datagrams/second one
+	// core pushes through the real UDP stack (the UDPEgress flood).
+	UDPPpsPerCore float64  `json:"udp_pps_per_core"`
+	Benchmarks    []result `json:"benchmarks"`
 }
 
-func main() {
-	out := flag.String("o", "BENCH_1.json", "output file, or - for stdout")
-	flag.Parse()
-
+func run() report {
 	rep := report{
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		// The allocation gate's exact measurement, not a benchmark
-		// estimate: average allocations per steady-state pipeline step.
+		// The allocation gates' exact measurements, not benchmark
+		// estimates: average allocations per steady-state operation.
 		DatapathAllocs:    perf.MeasureDatapathAllocs(5000, nil),
 		DatapathAllocsObs: perf.MeasureDatapathAllocs(5000, obs.NewSink()),
+		RecoveryAllocs:    perf.MeasureRecoveryAllocs(2000),
 	}
 	for _, bn := range perf.All() {
 		fmt.Fprintf(os.Stderr, "running %s...\n", bn.Name)
 		r := testing.Benchmark(bn.F)
-		rep.Benchmarks = append(rep.Benchmarks, result{
+		res := result{
 			Name:        bn.Name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
+			PPS:         r.Extra["pps"],
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		if bn.Name == "UDPEgress" {
+			rep.UDPPpsPerCore = res.PPS
+		}
+	}
+	return rep
+}
+
+// gate re-measures the datapath invariants against a committed baseline
+// report and returns false on regression.
+func gate(baselinePath string) bool {
+	ok := true
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "perf gate FAIL: "+format+"\n", args...)
+		ok = false
+	}
+	if a := perf.MeasureDatapathAllocs(2000, nil); a != 0 {
+		fail("datapath allocates %.2f allocs/op, want 0", a)
+	}
+	if a := perf.MeasureDatapathAllocs(2000, obs.NewSink()); a != 0 {
+		fail("instrumented datapath allocates %.2f allocs/op, want 0", a)
+	}
+	if a := perf.MeasureRecoveryAllocs(1000); a != 0 {
+		fail("recovery episode allocates %.2f allocs/op, want 0", a)
+	}
+	for _, tc := range []struct {
+		name     string
+		fallback bool
+	}{{"batched", false}, {"fallback", true}} {
+		if a := perf.MeasureUDPLoopbackAllocs(500, tc.fallback); a > 0 {
+			fail("%s loopback round-trip allocates %.2f allocs/op, want 0", tc.name, a)
+		}
 	}
 
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf gate: no baseline (%v); skipping throughput check\n", err)
+		return ok
+	}
+	var base report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fail("baseline %s unreadable: %v", baselinePath, err)
+		return ok
+	}
+	if base.UDPPpsPerCore <= 0 {
+		fmt.Fprintln(os.Stderr, "perf gate: baseline has no udp_pps_per_core; skipping throughput check")
+		return ok
+	}
+	r := testing.Benchmark(perf.UDPEgress)
+	pps := r.Extra["pps"]
+	if pps == 0 {
+		fmt.Fprintln(os.Stderr, "perf gate: UDP unavailable; skipping throughput check")
+		return ok
+	}
+	// 0.8× absorbs scheduler noise on shared machines while still
+	// catching a real datapath regression (which shows up as 2×+).
+	if floor := 0.8 * base.UDPPpsPerCore; pps < floor {
+		fail("UDPEgress %.0f pps < %.0f (80%% of baseline %.0f)", pps, floor, base.UDPPpsPerCore)
+	} else {
+		fmt.Fprintf(os.Stderr, "perf gate: UDPEgress %.0f pps (baseline %.0f)\n", pps, base.UDPPpsPerCore)
+	}
+	return ok
+}
+
+func main() {
+	out := flag.String("o", "BENCH_2.json", "output file, or - for stdout")
+	gateMode := flag.Bool("gate", false, "regression-gate mode: check invariants against -baseline and exit")
+	baseline := flag.String("baseline", "BENCH_2.json", "baseline report for -gate")
+	flag.Parse()
+
+	if *gateMode {
+		if !gate(*baseline) {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "perf gate: ok")
+		return
+	}
+
+	rep := run()
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbrm-perf:", err)

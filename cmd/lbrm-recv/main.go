@@ -1,5 +1,10 @@
 // Command lbrm-recv is an LBRM receiver over real UDP. It prints every
 // delivered update and announces staleness episodes and abandoned ranges.
+//
+// With -groups N it joins N groups on consecutive ports from -mcast (one
+// receiver instance per group); -shards splits those groups across
+// independent datapath shards, and -batch sizes the sendmmsg/recvmmsg
+// rings.
 package main
 
 import (
@@ -15,6 +20,8 @@ import (
 
 	"lbrm"
 	"lbrm/internal/obs"
+	"lbrm/internal/shard"
+	"lbrm/internal/transport"
 	"lbrm/internal/transport/udp"
 	"lbrm/internal/wire"
 )
@@ -41,7 +48,7 @@ func serveMetrics(addr string, sink *obs.Sink) {
 }
 
 func main() {
-	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast group ip:port")
+	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast base ip:port (group i uses port+i-1)")
 	secondary := flag.String("secondary", "", "site secondary logger host:port (empty: discover or use primary)")
 	primary := flag.String("primary", "", "primary logger host:port")
 	discover := flag.Bool("discover", false, "discover a nearby logger by scoped multicast")
@@ -52,72 +59,108 @@ func main() {
 	iface := flag.String("iface", "", "network interface for multicast")
 	trace := flag.Bool("trace", false, "log every packet in and out (decoded)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the metrics/trace exposition over HTTP on this host:port")
+	nGroups := flag.Int("groups", 1, "number of multicast groups joined (consecutive ports from -mcast)")
+	shards := flag.Int("shards", 1, "datapath shards; groups are spread across shards by stable modulus")
+	batch := flag.Int("batch", 0, "datagrams per socket syscall (0 = default ring, 1 = unbatched)")
 	flag.Parse()
 
 	var sink *obs.Sink
 	if *metricsAddr != "" {
 		sink = obs.NewSink()
 	}
-	cfg := lbrm.ReceiverConfig{
-		Group:     1,
-		Heartbeat: lbrm.HeartbeatParams{HMin: *hmin, HMax: *hmax, Backoff: *backoff},
-		Discover:  *discover,
-		Ordered:   *ordered,
-		Obs:       sink,
-		OnData: func(e lbrm.Event) {
-			tag := ""
-			if e.Retransmitted {
-				tag = " (recovered)"
-			}
-			log.Printf("src %d seq %d: %q%s", e.Stream.Source, e.Seq, e.Payload, tag)
-		},
-		OnStale: func(k lbrm.StreamKey, silent time.Duration) {
-			log.Printf("src %d: STALE (silent for %v)", k.Source, silent)
-		},
-		OnFresh: func(k lbrm.StreamKey) {
-			log.Printf("src %d: fresh again", k.Source)
-		},
-		OnLost: func(k lbrm.StreamKey, rg lbrm.SeqRange) {
-			log.Printf("src %d: gave up on seqs [%d,%d]", k.Source, rg.From, rg.To)
-		},
+	groups, err := shard.GroupSpecs(*mcast, *nGroups)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var err error
+	if *shards > *nGroups {
+		log.Printf("lbrm-recv: clamping -shards %d to -groups %d", *shards, *nGroups)
+		*shards = *nGroups
+	}
+	var secAddr, priAddr transport.Addr
 	if *secondary != "" {
-		if cfg.Secondary, err = udp.ParseAddr(*secondary); err != nil {
+		if secAddr, err = udp.ParseAddr(*secondary); err != nil {
 			log.Fatalf("bad -secondary: %v", err)
 		}
 	}
 	if *primary != "" {
-		if cfg.Primary, err = udp.ParseAddr(*primary); err != nil {
+		if priAddr, err = udp.ParseAddr(*primary); err != nil {
 			log.Fatalf("bad -primary: %v", err)
 		}
 	}
-	rcv := lbrm.NewReceiver(cfg)
-	var handler lbrm.Handler = rcv
-	if *trace {
-		handler = lbrm.Trace(rcv, func(ev lbrm.TraceEvent) {
-			var p wire.Packet
-			desc := fmt.Sprintf("%d bytes (non-LBRM)", len(ev.Data))
-			if p.Unmarshal(ev.Data) == nil {
-				desc = p.String()
-			}
-			peer := ""
-			if ev.Peer != nil {
-				peer = " " + ev.Peer.String()
-			}
-			log.Printf("[%s]%s %s", ev.Dir, peer, desc)
+
+	mk := func(g lbrm.GroupID) (*lbrm.Receiver, transport.Handler) {
+		rcv := lbrm.NewReceiver(lbrm.ReceiverConfig{
+			Group:     g,
+			Heartbeat: lbrm.HeartbeatParams{HMin: *hmin, HMax: *hmax, Backoff: *backoff},
+			Discover:  *discover,
+			Ordered:   *ordered,
+			Secondary: secAddr,
+			Primary:   priAddr,
+			Obs:       sink,
+			OnData: func(e lbrm.Event) {
+				tag := ""
+				if e.Retransmitted {
+					tag = " (recovered)"
+				}
+				log.Printf("g%d src %d seq %d: %q%s", g, e.Stream.Source, e.Seq, e.Payload, tag)
+			},
+			OnStale: func(k lbrm.StreamKey, silent time.Duration) {
+				log.Printf("g%d src %d: STALE (silent for %v)", g, k.Source, silent)
+			},
+			OnFresh: func(k lbrm.StreamKey) {
+				log.Printf("g%d src %d: fresh again", g, k.Source)
+			},
+			OnLost: func(k lbrm.StreamKey, rg lbrm.SeqRange) {
+				log.Printf("g%d src %d: gave up on seqs [%d,%d]", g, k.Source, rg.From, rg.To)
+			},
 		})
+		var handler lbrm.Handler = rcv
+		if *trace {
+			handler = lbrm.Trace(rcv, func(ev lbrm.TraceEvent) {
+				var p wire.Packet
+				desc := fmt.Sprintf("%d bytes (non-LBRM)", len(ev.Data))
+				if p.Unmarshal(ev.Data) == nil {
+					desc = p.String()
+				}
+				peer := ""
+				if ev.Peer != nil {
+					peer = " " + ev.Peer.String()
+				}
+				log.Printf("[%s]%s %s", ev.Dir, peer, desc)
+			})
+		}
+		return rcv, handler
 	}
-	node, err := udp.Start(udp.Config{
-		Groups:    map[wire.GroupID]string{1: *mcast},
-		Interface: *iface,
-		Obs:       sink,
-	}, handler)
+
+	rcvsByShard := make([][]*lbrm.Receiver, *shards)
+	fleet, err := shard.Start(shard.Config{
+		Shards: *shards,
+		Groups: groups,
+		Node: udp.Config{
+			Interface: *iface,
+			Obs:       sink,
+			Batch:     *batch,
+		},
+	}, func(s int, gs []wire.GroupID) transport.Handler {
+		hs := make(map[wire.GroupID]transport.Handler, len(gs))
+		for _, g := range gs {
+			rcv, h := mk(g)
+			hs[g] = h
+			rcvsByShard[s] = append(rcvsByShard[s], rcv)
+		}
+		if len(gs) == 1 {
+			return hs[gs[0]]
+		}
+		return shard.NewMux(hs, nil)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer node.Close()
-	log.Printf("lbrm-recv: listening on %s (unicast %s)", *mcast, node.Addr())
+	defer fleet.Close()
+	for s := 0; s < fleet.Shards(); s++ {
+		log.Printf("lbrm-recv: shard %d/%d listening from %s (unicast %s)",
+			s, fleet.Shards(), *mcast, fleet.Node(s).Addr())
+	}
 	if *metricsAddr != "" {
 		serveMetrics(*metricsAddr, sink)
 	}
@@ -125,10 +168,14 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	node.Do(func() {
-		st := rcv.Stats()
-		log.Printf("delivered=%d recovered=%d nacks=%d escalations=%d abandoned=%d stale=%d",
-			st.DataDelivered, st.Recovered, st.NacksSent, st.Escalations,
-			st.RangesAbandoned, st.StaleEpisodes)
-	})
+	for s := 0; s < fleet.Shards(); s++ {
+		for _, rcv := range rcvsByShard[s] {
+			fleet.Node(s).Do(func() {
+				st := rcv.Stats()
+				log.Printf("delivered=%d recovered=%d nacks=%d escalations=%d abandoned=%d stale=%d",
+					st.DataDelivered, st.Recovered, st.NacksSent, st.Escalations,
+					st.RangesAbandoned, st.StaleEpisodes)
+			})
+		}
+	}
 }

@@ -3,6 +3,11 @@
 // publishes each as one LBRM data packet, with variable heartbeats filling
 // the idle periods.
 //
+// With -groups N it runs one source per group on consecutive ports from
+// -mcast, striping updates round-robin — a load generator for sharded
+// deployments; -shards splits the groups across independent datapath
+// shards, and -batch sizes the sendmmsg egress rings.
+//
 // Example (three terminals):
 //
 //	lbrm-logger -mode primary -listen :7001 -mcast 239.9.9.9:7000
@@ -22,6 +27,8 @@ import (
 
 	"lbrm"
 	"lbrm/internal/obs"
+	"lbrm/internal/shard"
+	"lbrm/internal/transport"
 	"lbrm/internal/transport/udp"
 	"lbrm/internal/wire"
 )
@@ -48,7 +55,7 @@ func serveMetrics(addr, cmd string, sink *obs.Sink) {
 }
 
 func main() {
-	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast group ip:port")
+	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast base ip:port (group i uses port+i-1)")
 	primary := flag.String("primary", "", "primary logger host:port (empty = basic receiver-reliable mode)")
 	source := flag.Uint64("source", 1, "source/stream id")
 	hmin := flag.Duration("hmin", 250*time.Millisecond, "minimum heartbeat interval (MaxIT)")
@@ -59,55 +66,94 @@ func main() {
 	k := flag.Int("k", 20, "desired ACKs per packet (with -statack)")
 	iface := flag.String("iface", "", "network interface for multicast")
 	metricsAddr := flag.String("metrics-addr", "", "serve the metrics/trace exposition over HTTP on this host:port")
+	nGroups := flag.Int("groups", 1, "number of multicast groups published (consecutive ports from -mcast), striped round-robin")
+	shards := flag.Int("shards", 1, "datapath shards; groups are spread across shards by stable modulus")
+	batch := flag.Int("batch", 0, "datagrams per socket syscall (0 = default ring, 1 = unbatched)")
 	flag.Parse()
 
 	var sink *obs.Sink
 	if *metricsAddr != "" {
 		sink = obs.NewSink()
 	}
-	cfg := lbrm.SenderConfig{
-		Source:    lbrm.SourceID(*source),
-		Group:     1,
-		Heartbeat: lbrm.HeartbeatParams{HMin: *hmin, HMax: *hmax, Backoff: *backoff},
-		Obs:       sink,
+	groups, err := shard.GroupSpecs(*mcast, *nGroups)
+	if err != nil {
+		log.Fatal(err)
 	}
+	if *shards > *nGroups {
+		log.Printf("lbrm-send: clamping -shards %d to -groups %d", *shards, *nGroups)
+		*shards = *nGroups
+	}
+	var priAddr transport.Addr
 	if *primary != "" {
-		pa, err := udp.ParseAddr(*primary)
-		if err != nil {
+		if priAddr, err = udp.ParseAddr(*primary); err != nil {
 			log.Fatalf("bad -primary: %v", err)
 		}
-		cfg.Primary = pa
 	}
-	if *statack {
-		cfg.StatAck = lbrm.StatAckConfig{Enabled: true, K: *k}
+
+	senders := make(map[lbrm.GroupID]*lbrm.Sender, *nGroups)
+	mk := func(g lbrm.GroupID) *lbrm.Sender {
+		cfg := lbrm.SenderConfig{
+			Source:    lbrm.SourceID(*source),
+			Group:     g,
+			Heartbeat: lbrm.HeartbeatParams{HMin: *hmin, HMax: *hmax, Backoff: *backoff},
+			Primary:   priAddr,
+			Obs:       sink,
+		}
+		if *statack {
+			cfg.StatAck = lbrm.StatAckConfig{Enabled: true, K: *k}
+		}
+		snd, err := lbrm.NewSender(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		senders[g] = snd
+		return snd
 	}
-	sender, err := lbrm.NewSender(cfg)
+
+	fleet, err := shard.Start(shard.Config{
+		Shards: *shards,
+		Groups: groups,
+		Node: udp.Config{
+			Interface: *iface,
+			Obs:       sink,
+			Batch:     *batch,
+		},
+	}, func(s int, gs []wire.GroupID) transport.Handler {
+		hs := make(map[wire.GroupID]transport.Handler, len(gs))
+		for _, g := range gs {
+			hs[g] = mk(g)
+		}
+		if len(gs) == 1 {
+			return hs[gs[0]]
+		}
+		return shard.NewMux(hs, nil)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	node, err := udp.Start(udp.Config{
-		Groups:    map[wire.GroupID]string{1: *mcast},
-		Interface: *iface,
-		Obs:       sink,
-	}, sender)
-	if err != nil {
-		log.Fatal(err)
+	defer fleet.Close()
+	for s := 0; s < fleet.Shards(); s++ {
+		log.Printf("lbrm-send: source %d, shard %d/%d from %s",
+			*source, s, fleet.Shards(), fleet.Node(s).Addr())
 	}
-	defer node.Close()
-	log.Printf("lbrm-send: source %d on %s from %s", *source, *mcast, node.Addr())
 	if *metricsAddr != "" {
 		serveMetrics(*metricsAddr, "lbrm-send", sink)
 	}
 
+	next := 0
 	send := func(payload []byte) {
-		// Serialize with the node's packet/timer callbacks.
-		node.Do(func() {
-			seq, err := sender.Send(payload)
+		// Stripe across groups; serialize with the owning shard's
+		// packet/timer callbacks.
+		g := lbrm.GroupID(next%*nGroups + 1)
+		next++
+		snd := senders[g]
+		fleet.Do(g, func() {
+			seq, err := snd.Send(payload)
 			if err != nil {
-				log.Printf("send: %v", err)
+				log.Printf("send g%d: %v", g, err)
 				return
 			}
-			log.Printf("sent seq %d (%d bytes), retained=%d", seq, len(payload), sender.Retained())
+			log.Printf("sent g%d seq %d (%d bytes), retained=%d", g, seq, len(payload), snd.Retained())
 		})
 	}
 

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"lbrm/internal/heartbeat"
@@ -84,6 +84,13 @@ type ReceiverConfig struct {
 	// reporting the skipped span through OnLost. Freshness over
 	// completeness, and a bound on per-packet work and state.
 	RecoveryWindow uint64
+
+	// TrackRecoveryTimes retains the detection→delivery latency of every
+	// recovered sequence number for the RecoveryTimes accessor (testbeds
+	// and experiments). Off by default: the record grows with recovery
+	// count, so production datapaths leave it disabled and read the
+	// recovery-latency histogram from Obs instead.
+	TrackRecoveryTimes bool
 
 	// OnData is called for every delivered packet (required to observe
 	// data). The payload is only valid during the call.
@@ -193,6 +200,12 @@ type Receiver struct {
 	last *rcvStream
 	// scratch is the reusable wire-encoding buffer (bindings copy).
 	scratch []byte
+	// missScratch/trackScratch back missing()'s working slices between
+	// calls (the result is dead once the NACK is marshalled or the gap
+	// check decides), so steady-state recovery computes gaps without
+	// allocating.
+	missScratch  []wire.SeqRange
+	trackScratch []wire.SeqRange
 
 	stopped bool
 	// mx caches the preregistered metric handles (all nil-safe).
@@ -281,11 +294,19 @@ type rcvStream struct {
 	// (heartbeats and redirects carry it). Redirects naming a lower epoch
 	// are from a fenced, stale primary and are ignored.
 	primaryEpoch uint32
-	nackTimer    vtime.Timer
-	retryTimer   vtime.Timer
-	phase        int
-	retries      int
-	gaveUpBelow  uint64
+	// nackTimer/retryTimer are persistent: created once per stream on the
+	// first recovery episode and re-armed with Reset afterwards, with the
+	// armed flags carrying the "is a fire pending" state (a timer handle
+	// outliving its episode must not be mistaken for an active one). This
+	// keeps per-episode recovery free of timer and closure allocations.
+	nackTimer  vtime.Timer
+	nackArmed  bool
+	retryTimer vtime.Timer
+	retryArmed bool
+
+	phase       int
+	retries     int
+	gaveUpBelow uint64
 	// freshness.
 	lastArrival time.Time
 	staleTimer  vtime.Timer
@@ -408,10 +429,12 @@ func (r *Receiver) stream(key StreamKey) *rcvStream {
 	st := r.streams[key]
 	if st == nil {
 		st = &rcvStream{
-			key:           key,
-			primary:       r.cfg.Primary,
-			gapSince:      make(map[uint64]time.Time),
-			recoveryTimes: make(map[uint64]time.Duration),
+			key:      key,
+			primary:  r.cfg.Primary,
+			gapSince: make(map[uint64]time.Time),
+		}
+		if r.cfg.TrackRecoveryTimes {
+			st.recoveryTimes = make(map[uint64]time.Duration)
 		}
 		if r.cfg.Ordered {
 			st.buffer = make(map[uint64][]byte)
@@ -425,14 +448,17 @@ func (r *Receiver) stream(key StreamKey) *rcvStream {
 // --- sequence bookkeeping (shared tracker plus recovery filtering) ---
 
 // missing returns the outstanding ranges: tracker gaps up to the highest
-// seen (data or heartbeat-implied), minus anything already abandoned.
-func (st *rcvStream) missing(cap int) []wire.SeqRange {
+// seen (data or heartbeat-implied), minus anything already abandoned. The
+// result is backed by the Receiver's scratch storage and is valid only
+// until the next missing call.
+func (r *Receiver) missing(st *rcvStream, cap int) []wire.SeqRange {
 	hi := st.track.Highest()
 	if st.hbHigh > hi {
 		hi = st.hbHigh
 	}
-	var out []wire.SeqRange
-	for _, rg := range st.track.Missing(hi, cap) {
+	r.trackScratch = st.track.AppendMissing(r.trackScratch[:0], hi, cap)
+	out := r.missScratch[:0]
+	for _, rg := range r.trackScratch {
 		if rg.To <= st.gaveUpBelow {
 			continue
 		}
@@ -444,6 +470,7 @@ func (st *rcvStream) missing(cap int) []wire.SeqRange {
 			break
 		}
 	}
+	r.missScratch = out
 	return out
 }
 
@@ -484,7 +511,9 @@ func (r *Receiver) ingest(st *rcvStream, seq uint64, payload []byte, path wire.R
 		var lat uint64
 		if at, ok := st.gapSince[seq]; ok {
 			d := r.env.Now().Sub(at)
-			st.recoveryTimes[seq] = d
+			if st.recoveryTimes != nil {
+				st.recoveryTimes[seq] = d
+			}
 			r.mx.recoveryMS.Observe(uint64(d / time.Millisecond))
 			r.mx.pathRTT[path].Observe(uint64(d / time.Millisecond))
 			lat = uint64(d)
@@ -522,7 +551,7 @@ func (r *Receiver) deliverOrdered(st *rcvStream, seq uint64, payload []byte, ret
 			ready = append(ready, q)
 		}
 	}
-	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	slices.Sort(ready)
 	for _, q := range ready {
 		r.deliver(st, q, st.buffer[q], retrans && q == seq)
 		delete(st.buffer, q)
@@ -530,7 +559,7 @@ func (r *Receiver) deliverOrdered(st *rcvStream, seq uint64, payload []byte, ret
 	// Bounded memory: on overflow, force-abandon the oldest outstanding
 	// gap so the stream can flush past it.
 	if len(st.buffer) > r.cfg.OrderedBufferMax {
-		if miss := st.missing(1); len(miss) > 0 {
+		if miss := r.missing(st, 1); len(miss) > 0 {
 			r.abandon(st, miss[:1])
 		}
 	}
@@ -605,7 +634,7 @@ func (r *Receiver) clampWindow(st *rcvStream) {
 
 func (r *Receiver) checkGaps(st *rcvStream) {
 	r.clampWindow(st)
-	miss := st.missing(wire.MaxNackRanges)
+	miss := r.missing(st, wire.MaxNackRanges)
 	if len(miss) == 0 {
 		r.maybeLeaveChannel()
 		return
@@ -629,7 +658,7 @@ func (r *Receiver) checkGaps(st *rcvStream) {
 			}
 		}
 	}
-	if st.nackTimer != nil || st.retryTimer != nil {
+	if st.nackArmed || st.retryArmed {
 		return
 	}
 	// §7 extension: try the retransmission channel first; NACK recovery
@@ -639,12 +668,52 @@ func (r *Receiver) checkGaps(st *rcvStream) {
 		r.joinChannel()
 		delay += r.cfg.RetransWait
 	}
-	st.nackTimer = r.after(delay, func() {
-		st.nackTimer = nil
-		st.phase = phaseSecondary
-		st.retries = 0
-		r.requestRetransmission(st)
-	})
+	r.armNack(st, delay)
+}
+
+// armNack schedules the start of a recovery episode. The underlying timer
+// is created once per stream and re-armed thereafter (see rcvStream).
+func (r *Receiver) armNack(st *rcvStream, d time.Duration) {
+	st.nackArmed = true
+	if st.nackTimer == nil {
+		st.nackTimer = r.after(d, func() { r.nackFire(st) })
+		return
+	}
+	st.nackTimer.Reset(d)
+}
+
+func (r *Receiver) nackFire(st *rcvStream) {
+	if !st.nackArmed {
+		return
+	}
+	st.nackArmed = false
+	st.phase = phaseSecondary
+	st.retries = 0
+	r.requestRetransmission(st)
+}
+
+// armRetry schedules the next NACK retry; like armNack it reuses the
+// stream's persistent timer. The fire path re-checks phase exhaustion, so
+// one callback serves every escalation phase.
+func (r *Receiver) armRetry(st *rcvStream, d time.Duration) {
+	st.retryArmed = true
+	if st.retryTimer == nil {
+		st.retryTimer = r.after(d, func() { r.retryFire(st) })
+		return
+	}
+	st.retryTimer.Reset(d)
+}
+
+func (r *Receiver) retryFire(st *rcvStream) {
+	if !st.retryArmed {
+		return
+	}
+	st.retryArmed = false
+	if r.phaseExhausted(st) {
+		r.escalate(st, nil)
+		return
+	}
+	r.requestRetransmission(st)
 }
 
 // joinChannel subscribes to the sender's retransmission channel.
@@ -665,7 +734,7 @@ func (r *Receiver) maybeLeaveChannel() {
 		return
 	}
 	for _, st := range r.streams {
-		if len(st.missing(1)) > 0 {
+		if len(r.missing(st, 1)) > 0 {
 			return
 		}
 	}
@@ -705,7 +774,7 @@ func (r *Receiver) GapAges(key StreamKey) map[uint64]time.Duration {
 // requestRetransmission sends one NACK for everything missing, to the
 // current recovery target, escalating through the logging hierarchy.
 func (r *Receiver) requestRetransmission(st *rcvStream) {
-	miss := st.missing(wire.MaxNackRanges)
+	miss := r.missing(st, wire.MaxNackRanges)
 	if len(miss) == 0 {
 		st.retries = 0
 		st.phase = phaseSecondary
@@ -750,14 +819,7 @@ func (r *Receiver) requestRetransmission(st *rcvStream) {
 	// after a healed partition), and a struggling logger sees geometrically
 	// decreasing pressure.
 	retry := transport.Backoff{Base: r.cfg.RequestTimeout}.Interval(st.retries-1, r.env.Rand())
-	st.retryTimer = r.after(retry, func() {
-		st.retryTimer = nil
-		if r.phaseExhausted(st) {
-			r.escalate(st, nil)
-			return
-		}
-		r.requestRetransmission(st)
-	})
+	r.armRetry(st, retry)
 }
 
 // target returns the recovery peer for the stream's current phase.
@@ -809,16 +871,15 @@ func (r *Receiver) escalate(st *rcvStream, miss []wire.SeqRange) {
 				r.mx.primaryQueries.Inc()
 			}
 			// Give the redirect a round trip before retrying the primary.
-			st.retryTimer = r.after(r.cfg.RequestTimeout, func() {
-				st.retryTimer = nil
-				r.requestRetransmission(st)
-			})
+			// The shared retryFire path applies: phase is phaseQueried with
+			// zero retries, so exhaustion cannot trigger before the retry.
+			r.armRetry(st, r.cfg.RequestTimeout)
 			return
 		}
 		r.requestRetransmission(st)
 	default:
 		if miss == nil {
-			miss = st.missing(wire.MaxNackRanges)
+			miss = r.missing(st, wire.MaxNackRanges)
 		}
 		r.abandon(st, miss)
 	}
@@ -859,7 +920,7 @@ func (r *Receiver) abandon(st *rcvStream, miss []wire.SeqRange) {
 				ready = append(ready, q)
 			}
 		}
-		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		slices.Sort(ready)
 		for _, q := range ready {
 			r.deliver(st, q, st.buffer[q], false)
 			delete(st.buffer, q)
@@ -1009,9 +1070,9 @@ func (r *Receiver) onRedirect(p *wire.Packet) {
 		// a host that will never answer.
 		st.phase = phasePrimary
 		st.retries = 0
-		if st.retryTimer != nil {
+		if st.retryArmed {
+			st.retryArmed = false
 			st.retryTimer.Stop()
-			st.retryTimer = nil
 			r.requestRetransmission(st)
 		}
 	}

@@ -272,6 +272,8 @@ type Sender struct {
 	// scratch is the reusable wire-encoding buffer: both transport
 	// bindings copy the datagram before returning, so reuse is safe.
 	scratch []byte
+	// dec recycles NACK range storage across decodes.
+	dec wire.Decoder
 	stats   SenderStats
 	// mx caches the preregistered metric handles (all nil-safe).
 	mx senderMetrics
@@ -572,7 +574,9 @@ func (s *Sender) Send(payload []byte) (uint64, error) {
 // Recv implements transport.Handler.
 func (s *Sender) Recv(from transport.Addr, data []byte) {
 	var p wire.Packet
-	if err := p.Unmarshal(data); err != nil {
+	// The shared Decoder recycles NACK range storage across packets:
+	// p.Ranges is dead once this call returns, so the alias is safe.
+	if err := s.dec.Unmarshal(data, &p); err != nil {
 		s.stats.Malformed++
 		return
 	}

@@ -141,6 +141,8 @@ type Primary struct {
 	backfill *backfillState
 	// last is a one-entry stream cache (see Secondary.last).
 	last *priStream
+	// dec recycles NACK range storage across decodes.
+	dec wire.Decoder
 	// scratch is the reusable wire-encoding buffer (bindings copy).
 	scratch []byte
 	// mx caches the preregistered metric handles (all nil-safe).
@@ -403,7 +405,9 @@ func (p *Primary) Recv(from transport.Addr, data []byte) {
 		return
 	}
 	var pkt wire.Packet
-	if err := pkt.Unmarshal(data); err != nil {
+	// The shared Decoder recycles NACK range storage across packets:
+	// pkt.Ranges is dead once this call returns, so the alias is safe.
+	if err := p.dec.Unmarshal(data, &pkt); err != nil {
 		p.stats.Malformed++
 		return
 	}

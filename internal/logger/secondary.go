@@ -1,7 +1,7 @@
 package logger
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"lbrm/internal/obs"
@@ -123,16 +123,24 @@ type Secondary struct {
 	last *secStream
 	// scratch is the reusable wire-encoding buffer (bindings copy).
 	scratch []byte
+	// dec recycles NACK range storage across decodes.
+	dec wire.Decoder
 	// ackPkt is the reusable Designated-Acker ACK: built in place per data
 	// packet so the steady-state ack path performs zero allocations.
 	ackPkt wire.Packet
-	// rangeScratch/seqScratch back missing()'s working slices between
-	// calls; their contents are dead once the NACK is marshalled.
+	// rangeScratch/seqScratch/trackScratch back missing()'s working
+	// slices between calls; their contents are dead once the NACK is
+	// marshalled.
 	rangeScratch []wire.SeqRange
 	seqScratch   []uint64
+	trackScratch []wire.SeqRange
 	// waiterPool recycles the per-seq waiter maps of pendingReq.
 	waiterPool []map[transport.Addr]bool
-	stats      SecondaryStats
+	// reqPool recycles reqWindow entries; each keeps its requester map
+	// and expiry timer across episodes (the timer is re-armed with Reset,
+	// so steady-state request-window churn allocates nothing).
+	reqPool []*reqCount
+	stats   SecondaryStats
 	// mx caches the preregistered metric handles (all nil-safe): resolved
 	// once at construction so the hot path is atomic adds only.
 	mx secondaryMetrics
@@ -205,6 +213,13 @@ type reqCount struct {
 	requesters  map[transport.Addr]bool
 	remulticast bool
 	expire      vtime.Timer
+	// Pool plumbing: the expiry callback is created once per reqCount and
+	// reads the episode's identity from these fields, so re-arming the
+	// window for a new seq is a Reset, not an allocation. armed guards
+	// against a stale timer firing after the entry was recycled.
+	seq   uint64
+	st    *secStream
+	armed bool
 }
 
 // NewSecondary returns a secondary logger for cfg.
@@ -289,7 +304,9 @@ func (s *Secondary) Recv(from transport.Addr, data []byte) {
 		return
 	}
 	var p wire.Packet
-	if err := p.Unmarshal(data); err != nil {
+	// The shared Decoder recycles NACK range storage across packets:
+	// p.Ranges is dead once this call returns, so the alias is safe.
+	if err := s.dec.Unmarshal(data, &p); err != nil {
 		s.stats.Malformed++
 		return
 	}
@@ -347,6 +364,40 @@ func (s *Secondary) getWaiters() map[transport.Addr]bool {
 func (s *Secondary) putWaiters(m map[transport.Addr]bool) {
 	clear(m)
 	s.waiterPool = append(s.waiterPool, m)
+}
+
+// getReqCount takes a request-window entry from the pool (or builds a
+// fresh one, creating its expiry callback exactly once) and arms it for
+// (st, seq). Recycled entries re-arm their existing timer with Reset, so
+// the steady-state request window allocates nothing.
+func (s *Secondary) getReqCount(st *secStream, seq uint64) *reqCount {
+	var rc *reqCount
+	if n := len(s.reqPool); n > 0 {
+		rc = s.reqPool[n-1]
+		s.reqPool = s.reqPool[:n-1]
+		clear(rc.requesters)
+		rc.remulticast = false
+	} else {
+		rc = &reqCount{requesters: make(map[transport.Addr]bool, 1)}
+	}
+	rc.st, rc.seq, rc.armed = st, seq, true
+	if rc.expire == nil {
+		rc.expire = s.after(s.cfg.RemcastWindow, func() { s.expireReq(rc) })
+	} else {
+		rc.expire.Reset(s.cfg.RemcastWindow)
+	}
+	return rc
+}
+
+// expireReq closes one request-counting window and recycles its entry.
+func (s *Secondary) expireReq(rc *reqCount) {
+	if !rc.armed {
+		return
+	}
+	rc.armed = false
+	delete(rc.st.reqWindow, rc.seq)
+	rc.st = nil
+	s.reqPool = append(s.reqPool, rc)
 }
 
 func (s *Secondary) onData(from transport.Addr, p *wire.Packet) {
@@ -469,11 +520,8 @@ func (s *Secondary) onNack(from transport.Addr, p *wire.Packet) {
 func (s *Secondary) serveLocal(st *secStream, seq uint64, from transport.Addr) {
 	rc := st.reqWindow[seq]
 	if rc == nil {
-		rc = &reqCount{requesters: make(map[transport.Addr]bool)}
+		rc = s.getReqCount(st, seq)
 		st.reqWindow[seq] = rc
-		rc.expire = s.after(s.cfg.RemcastWindow, func() {
-			delete(st.reqWindow, seq)
-		})
 	}
 	rc.requesters[from] = true
 	if rc.remulticast {
@@ -597,7 +645,8 @@ func (s *Secondary) missing(st *secStream) []wire.SeqRange {
 		hi = st.hbHigh
 	}
 	out := s.rangeScratch[:0]
-	for _, r := range st.store.Missing(hi, wire.MaxNackRanges) {
+	s.trackScratch = st.store.AppendMissing(s.trackScratch[:0], hi, wire.MaxNackRanges)
+	for _, r := range s.trackScratch {
 		if r.To <= st.gaveUpBelow {
 			continue
 		}
@@ -623,7 +672,7 @@ func (s *Secondary) missing(st *secStream) []wire.SeqRange {
 	}
 	s.seqScratch = extra
 	if len(extra) > 0 {
-		sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+		slices.Sort(extra)
 		for _, seq := range extra {
 			if n := len(out); n > 0 && out[n-1].To+1 == seq {
 				out[n-1].To = seq
@@ -631,7 +680,15 @@ func (s *Secondary) missing(st *secStream) []wire.SeqRange {
 			}
 			out = append(out, wire.SeqRange{From: seq, To: seq})
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+		slices.SortFunc(out, func(a, b wire.SeqRange) int {
+			switch {
+			case a.From < b.From:
+				return -1
+			case a.From > b.From:
+				return 1
+			}
+			return 0
+		})
 	}
 	if len(out) > wire.MaxNackRanges {
 		out = out[:wire.MaxNackRanges]

@@ -285,6 +285,13 @@ func (s *Store) Missing(hi uint64, maxRanges int) []wire.SeqRange {
 	return s.track.Missing(hi, maxRanges)
 }
 
+// AppendMissing appends the missing ranges to dst and returns the
+// extended slice — the allocation-free form of Missing for hot callers
+// that reuse a scratch slice (see seqtrack.Tracker.AppendMissing).
+func (s *Store) AppendMissing(dst []wire.SeqRange, hi uint64, maxRanges int) []wire.SeqRange {
+	return s.track.AppendMissing(dst, hi, maxRanges)
+}
+
 // NextRetained returns the smallest retained (servable) sequence number at
 // or above seq, or 0 when nothing at or above seq is held. Cost is bounded
 // by the number of live entries, never by the width of evicted or skipped

@@ -35,5 +35,11 @@ func All() []Bench {
 		{"ObsFlightEmit", ObsFlightEmit},
 		{"RecoveryRTT", RecoveryRTT},
 		{"UDPLoopback", UDPLoopback},
+		{"UDPEgress", UDPEgress},
+		{"UDPEgressFallback", UDPEgressFallback},
+		{"UDPEgressB1", udpEgressB(1)},
+		{"UDPEgressB8", udpEgressB(8)},
+		{"UDPEgressB64", udpEgressB(64)},
+		{"ShardedEgress", ShardedEgress},
 	}
 }

@@ -22,6 +22,38 @@ func TestDatapathZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestRecoveryZeroAlloc pins the end-to-end recovery episode — gap
+// detect, NACK arm/fire, request decode, retransmit lookup, redelivery —
+// at zero steady-state allocations. It guards the episode pools (reqCount
+// recycling, persistent nack/retry timers, decoder Ranges reuse, scratch
+// slices) the same way TestDatapathZeroAlloc guards the logging pipeline.
+func TestRecoveryZeroAlloc(t *testing.T) {
+	if allocs := MeasureRecoveryAllocs(2000); allocs != 0 {
+		t.Fatalf("steady-state recovery episode allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestUDPLoopbackZeroAlloc pins the real-socket round-trip — egress
+// coalescing, sendmmsg/GSO flush, recvmmsg dispatch with address
+// interning — at zero steady-state allocations, on the batched path and
+// on the forced portable fallback (the path every non-Linux build runs).
+func TestUDPLoopbackZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		fallback bool
+	}{{"batched", false}, {"fallback", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			allocs := MeasureUDPLoopbackAllocs(1000, tc.fallback)
+			if allocs < 0 {
+				t.Skip("udp unavailable")
+			}
+			if allocs != 0 {
+				t.Fatalf("steady-state loopback round-trip allocates %.2f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
 func BenchmarkStorePut(b *testing.B)           { StorePut(b) }
 func BenchmarkStorePutUnbounded(b *testing.B)  { StorePutUnbounded(b) }
 func BenchmarkStoreGet(b *testing.B)           { StoreGet(b) }
@@ -35,3 +67,9 @@ func BenchmarkObsTraceEmit(b *testing.B)       { ObsTraceEmit(b) }
 func BenchmarkObsFlightEmit(b *testing.B)      { ObsFlightEmit(b) }
 func BenchmarkRecoveryRTT(b *testing.B)        { RecoveryRTT(b) }
 func BenchmarkUDPLoopback(b *testing.B)        { UDPLoopback(b) }
+func BenchmarkUDPEgress(b *testing.B)          { UDPEgress(b) }
+func BenchmarkUDPEgressFallback(b *testing.B)  { UDPEgressFallback(b) }
+func BenchmarkUDPEgressB1(b *testing.B)        { udpEgressB(1)(b) }
+func BenchmarkUDPEgressB8(b *testing.B)        { udpEgressB(8)(b) }
+func BenchmarkUDPEgressB64(b *testing.B)       { udpEgressB(64)(b) }
+func BenchmarkShardedEgress(b *testing.B)      { ShardedEgress(b) }

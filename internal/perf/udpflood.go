@@ -1,0 +1,158 @@
+package perf
+
+import (
+	"net"
+	"testing"
+
+	"lbrm/internal/shard"
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/udp"
+	"lbrm/internal/wire"
+)
+
+// flood holds the mutable state of one egress flood so the burst closure
+// can be built once and reused: rebuilding it per critical section would
+// put an allocation inside the measured loop.
+type flood struct {
+	env     transport.Env
+	dst     transport.Addr
+	payload []byte
+	count   int
+}
+
+func (f *flood) burst() {
+	for j := 0; j < f.count; j++ {
+		if err := f.env.Send(f.dst, f.payload); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// newFloodSink binds a throwaway UDP socket for the flood to aim at. The
+// sink is never read: egress cost is what is being measured, and loopback
+// UDP drops at the receive buffer without back-pressuring the sender. The
+// socket must exist, though — a closed port would answer every datagram
+// with ICMP unreachable.
+func newFloodSink(b *testing.B) *net.UDPConn {
+	sink, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Skipf("udp unavailable: %v", err)
+	}
+	b.Cleanup(func() { sink.Close() })
+	return sink
+}
+
+// udpEgress floods b.N 256-byte datagrams through one node, enqueueing
+// `burst` packets per critical section so egress coalescing sees full
+// rings, and reports achieved packets/second as the "pps" metric. This is
+// the datapath headline: BENCH_2.json's udp_pps_per_core field comes from
+// the UDPEgress variant.
+func udpEgress(b *testing.B, batch int, forceFallback bool) {
+	sink := newFloodSink(b)
+
+	sender := &envGrab{}
+	ns, err := udp.Start(udp.Config{
+		Listen:        "127.0.0.1:0",
+		Batch:         batch,
+		ForceFallback: forceFallback,
+	}, sender)
+	if err != nil {
+		b.Skipf("udp unavailable: %v", err)
+	}
+	defer ns.Close()
+
+	fl := &flood{env: sender.env, payload: make([]byte, 256)}
+	ns.Do(func() {
+		fl.dst, err = sender.env.ParseAddr(sink.LocalAddr().String())
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	burst := batch
+	if burst <= 0 {
+		burst = udp.DefaultBatch
+	}
+	fl.count = burst
+	for i := 0; i < 50; i++ { // warm rings, dst cache, scratch buffers
+		ns.Do(fl.burst)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for sent := 0; sent < b.N; sent += fl.count {
+		if rem := b.N - sent; rem < burst {
+			fl.count = rem
+		}
+		ns.Do(fl.burst)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+}
+
+// UDPEgress is the headline batched-egress flood at the default batch.
+func UDPEgress(b *testing.B) { udpEgress(b, 0, false) }
+
+// UDPEgressFallback is the same flood with batching disabled, measuring
+// the portable one-syscall-per-packet path the non-Linux build uses.
+func UDPEgressFallback(b *testing.B) { udpEgress(b, 0, true) }
+
+// udpEgressB generates the batch-sweep entries (B=1 is the degenerate
+// ring: batch machinery on, one packet per flush).
+func udpEgressB(batch int) func(*testing.B) {
+	return func(b *testing.B) { udpEgress(b, batch, false) }
+}
+
+// ShardedEgress floods through a 4-shard Fleet round-robin across groups,
+// so every shard's private ring and socket is on the hot path. Per-packet
+// cost should track UDPEgress: sharding adds routing (Assign + one map
+// hit), not serialization.
+func ShardedEgress(b *testing.B) {
+	const shards = 4
+	sink := newFloodSink(b)
+
+	grabs := make([]*envGrab, shards)
+	fleet, err := shard.Start(shard.Config{
+		Shards: shards,
+		Node:   udp.Config{Listen: "127.0.0.1:0"},
+	}, func(s int, _ []wire.GroupID) transport.Handler {
+		grabs[s] = &envGrab{}
+		return grabs[s]
+	})
+	if err != nil {
+		b.Skipf("udp unavailable: %v", err)
+	}
+	defer fleet.Close()
+
+	dstSpec := sink.LocalAddr().String()
+	fls := make([]*flood, shards)
+	payload := make([]byte, 256)
+	for s := 0; s < shards; s++ {
+		fl := &flood{env: grabs[s].env, payload: payload, count: udp.DefaultBatch}
+		fleet.Node(s).Do(func() {
+			fl.dst, err = fl.env.ParseAddr(dstSpec)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fls[s] = fl
+	}
+
+	for i := 0; i < 50*shards; i++ { // warm every shard's ring
+		g := wire.GroupID(i%shards + 1)
+		fleet.Do(g, fls[shard.Assign(g, shards)].burst)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	g := wire.GroupID(0)
+	for sent := 0; sent < b.N; {
+		g = g%shards + 1
+		fl := fls[shard.Assign(g, shards)]
+		if rem := b.N - sent; rem < udp.DefaultBatch {
+			fl.count = rem
+		}
+		fleet.Do(g, fl.burst)
+		sent += fl.count
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+}

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -14,53 +15,113 @@ type envGrab struct{ env transport.Env }
 func (g *envGrab) Start(env transport.Env)            { g.env = env }
 func (g *envGrab) Recv(from transport.Addr, d []byte) {}
 
+// newUDPLoopback builds the loopback ping-pong pair — a sending node and
+// an echo-counting receiver over real sockets — and returns the per-op
+// pingPong closure plus a teardown. Shared between the UDPLoopback
+// benchmark and the allocation gate so both measure the same datapath.
+// Errors go through fatalf/skipf so the gate can substitute panics for
+// *testing.B methods.
+func newUDPLoopback(fatalf, skipf func(format string, args ...any), forceFallback bool) (pingPong, cleanup func()) {
+	got := make(chan struct{}, 1)
+	sink := transport.NewHandlerFunc(func(env transport.Env, from transport.Addr, data []byte) {
+		got <- struct{}{}
+	})
+	cfg := udp.Config{Listen: "127.0.0.1:0", ForceFallback: forceFallback}
+	nr, err := udp.Start(cfg, sink)
+	if err != nil {
+		skipf("udp unavailable: %v", err)
+		return nil, func() {}
+	}
+	sender := &envGrab{}
+	ns, err := udp.Start(cfg, sender)
+	if err != nil {
+		nr.Close()
+		skipf("udp unavailable: %v", err)
+		return nil, func() {}
+	}
+	cleanup = func() { ns.Close(); nr.Close() }
+
+	dst := nr.Addr()
+	payload := make([]byte, 256)
+	// Both closures are hoisted out of the loop: building the inner
+	// func per iteration would allocate, as would time.After's
+	// throwaway timer. One persistent timer is reset per wait instead.
+	doSend := func() {
+		if err := sender.env.Send(dst, payload); err != nil {
+			fatalf("send: %v", err)
+		}
+	}
+	send := func() { ns.Do(doSend) }
+	timeout := time.NewTimer(time.Hour)
+	if !timeout.Stop() {
+		<-timeout.C
+	}
+	wait := func(d time.Duration) bool {
+		timeout.Reset(d)
+		select {
+		case <-got:
+			if !timeout.Stop() {
+				<-timeout.C
+			}
+			return true
+		case <-timeout.C:
+			return false
+		}
+	}
+	pingPong = func() {
+		send()
+		if !wait(500 * time.Millisecond) {
+			// Loopback UDP very rarely drops; allow one retry before
+			// declaring failure so the benchmark isn't flaky.
+			send()
+			if !wait(2 * time.Second) {
+				fatalf("datagram lost on loopback")
+			}
+		}
+	}
+	return pingPong, cleanup
+}
+
+// udpLoopbackWarm is the untimed ping-pong count that warms the
+// address-intern maps, batch rings, and dispatch buffers before either
+// the benchmark's timed region or the gate's measured region.
+const udpLoopbackWarm = 200
+
 // UDPLoopback measures one unicast datagram through the real UDP binding
 // on the loopback interface: marshal-free send on one node, kernel
 // round-trip, receive dispatch (address interning, handler serialization)
 // on the other. Ping-pong with one packet in flight so socket buffers
 // never overflow.
 func UDPLoopback(b *testing.B) {
-	got := make(chan struct{}, 1)
-	sink := transport.NewHandlerFunc(func(env transport.Env, from transport.Addr, data []byte) {
-		got <- struct{}{}
-	})
-	nr, err := udp.Start(udp.Config{Listen: "127.0.0.1:0"}, sink)
-	if err != nil {
-		b.Skipf("udp unavailable: %v", err)
-	}
-	defer nr.Close()
-
-	sender := &envGrab{}
-	ns, err := udp.Start(udp.Config{Listen: "127.0.0.1:0"}, sender)
-	if err != nil {
-		b.Skipf("udp unavailable: %v", err)
-	}
-	defer ns.Close()
-
-	dst := nr.Addr()
-	payload := make([]byte, 256)
-	send := func() {
-		ns.Do(func() {
-			if err := sender.env.Send(dst, payload); err != nil {
-				b.Error(err)
-			}
-		})
+	pingPong, cleanup := newUDPLoopback(b.Fatalf, b.Skipf, false)
+	defer cleanup()
+	for i := 0; i < udpLoopbackWarm; i++ {
+		pingPong()
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		send()
-		select {
-		case <-got:
-		case <-time.After(500 * time.Millisecond):
-			// Loopback UDP very rarely drops; allow one retry before
-			// declaring failure so the benchmark isn't flaky.
-			send()
-			select {
-			case <-got:
-			case <-time.After(2 * time.Second):
-				b.Fatal("datagram lost on loopback")
-			}
-		}
+		pingPong()
 	}
+}
+
+// MeasureUDPLoopbackAllocs reports the average allocations of one warm
+// loopback round-trip (both goroutines: send coalescing and receive
+// dispatch), on the batched path or the forced portable fallback. -1
+// means UDP sockets are unavailable in this environment.
+func MeasureUDPLoopbackAllocs(runs int, forceFallback bool) float64 {
+	fatalf := func(format string, args ...any) {
+		panic(fmt.Sprintf("udp loopback: "+format, args...))
+	}
+	unavailable := false
+	skipf := func(format string, args ...any) { unavailable = true }
+	pingPong, cleanup := newUDPLoopback(fatalf, skipf, forceFallback)
+	if unavailable {
+		return -1
+	}
+	defer cleanup()
+	for i := 0; i < udpLoopbackWarm; i++ {
+		pingPong()
+	}
+	return testing.AllocsPerRun(runs, pingPong)
 }

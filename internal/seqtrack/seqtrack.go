@@ -11,7 +11,7 @@
 package seqtrack
 
 import (
-	"sort"
+	"slices"
 
 	"lbrm/internal/wire"
 )
@@ -23,6 +23,9 @@ type Tracker struct {
 	contig    uint64
 	highest   uint64
 	seen      map[uint64]bool
+	// keyScratch is reused by AppendMissing so steady-state gap
+	// computation (NACK build, heartbeat check) does not allocate.
+	keyScratch []uint64
 }
 
 // Contacted reports whether the stream has been seen at all (any Mark or
@@ -89,6 +92,14 @@ func (t *Tracker) Seen(seq uint64) bool {
 // wire.MaxNackRanges. Cost is O(pending·log pending), independent of the
 // width of the gaps — a forged sequence number cannot make this expensive.
 func (t *Tracker) Missing(hi uint64, maxRanges int) []wire.SeqRange {
+	return t.AppendMissing(nil, hi, maxRanges)
+}
+
+// AppendMissing appends the missing ranges to dst and returns the extended
+// slice (see Missing for the range semantics). Callers on hot paths pass a
+// reused dst (typically dst[:0]) to make gap computation allocation-free;
+// the sort scratch is retained on the Tracker for the same reason.
+func (t *Tracker) AppendMissing(dst []wire.SeqRange, hi uint64, maxRanges int) []wire.SeqRange {
 	if hi == 0 {
 		hi = t.highest
 	}
@@ -96,30 +107,31 @@ func (t *Tracker) Missing(hi uint64, maxRanges int) []wire.SeqRange {
 		maxRanges = wire.MaxNackRanges
 	}
 	if hi <= t.contig {
-		return nil
+		return dst
 	}
-	keys := make([]uint64, 0, len(t.seen))
+	keys := t.keyScratch[:0]
 	for q := range t.seen {
 		if q > t.contig && q <= hi {
 			keys = append(keys, q)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	var out []wire.SeqRange
+	t.keyScratch = keys
+	slices.Sort(keys) // generic sort: no closure, no boxing, no alloc
+	base := len(dst)
 	next := t.contig + 1
 	for _, k := range keys {
 		if k > next {
-			out = append(out, wire.SeqRange{From: next, To: k - 1})
-			if len(out) == maxRanges {
-				return out
+			dst = append(dst, wire.SeqRange{From: next, To: k - 1})
+			if len(dst)-base == maxRanges {
+				return dst
 			}
 		}
 		next = k + 1
 	}
 	if next <= hi {
-		out = append(out, wire.SeqRange{From: next, To: hi})
+		dst = append(dst, wire.SeqRange{From: next, To: hi})
 	}
-	return out
+	return dst
 }
 
 // Advance force-skips history: every sequence number up to and including

@@ -1,0 +1,244 @@
+// Package shard partitions the UDP datapath across per-group shards.
+//
+// LBRM traffic is naturally keyed by multicast group: every data packet,
+// heartbeat, NACK and retransmission names the group it belongs to in the
+// fixed header, and protocol state (sequence trackers, retention rings,
+// recovery episodes) never crosses groups. A Fleet exploits that by giving
+// each shard its own udp.Node — its own unicast socket, its own egress and
+// ingress rings, its own handler instance, and its own mutex — so shards
+// share no locks and scale datapath throughput with cores. Group-to-shard
+// assignment is a stable modulus (Assign); ingress needs no cross-shard
+// dispatch because each shard joins only its own groups, while unicast
+// replies land on the socket that sent the corresponding request.
+//
+// For the cases where several groups do share one socket (a logger serving
+// a whole site, a monitor tapping many groups), Mux routes each datagram to
+// a per-group handler using wire.PeekGroup without copying or fully
+// decoding the packet.
+package shard
+
+import (
+	"fmt"
+	"net/netip"
+	"slices"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/udp"
+	"lbrm/internal/wire"
+)
+
+// Assign maps a group to a shard index in [0, shards). The mapping is a
+// plain modulus: stable across restarts, independent of join order, and
+// uniform when group IDs are dense (the common case — groups are small
+// integers chosen by the exercise manager).
+func Assign(g wire.GroupID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(uint32(g) % uint32(shards))
+}
+
+// GroupSpecs derives n multicast endpoints from a base "ip:port" spec:
+// group i (1-based) gets port base+i-1 on the base address. This is the
+// canonical layout for sharded deployments — one group per simulated
+// exercise channel, consecutive ports, one -mcast flag.
+func GroupSpecs(base string, n int) (map[wire.GroupID]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 group, got %d", n)
+	}
+	ap, err := netip.ParseAddrPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("shard: bad base spec %q: %w", base, err)
+	}
+	if int(ap.Port())+n-1 > 65535 {
+		return nil, fmt.Errorf("shard: %d groups from port %d exceed the port space", n, ap.Port())
+	}
+	out := make(map[wire.GroupID]string, n)
+	for i := 0; i < n; i++ {
+		out[wire.GroupID(i+1)] = netip.AddrPortFrom(ap.Addr(), ap.Port()+uint16(i)).String()
+	}
+	return out, nil
+}
+
+// Config configures a Fleet.
+type Config struct {
+	// Shards is the number of datapath shards (default 1).
+	Shards int
+	// Groups maps every group the fleet serves to its multicast endpoint;
+	// each shard receives the subset Assign sends its way.
+	Groups map[wire.GroupID]string
+	// Node is the per-shard udp.Config template. Groups is overwritten
+	// with the shard's subset. A Listen spec with an explicit nonzero
+	// port becomes a consecutive-port range when Shards > 1 — shard s
+	// binds port+s, mirroring the GroupSpecs layout — so a fixed
+	// endpoint (a logger peers point at) stays predictable; empty or
+	// ":0" forms let every shard pick its own port. MetricsPrefix gains
+	// a ".shardN" suffix when Shards > 1.
+	Node udp.Config
+}
+
+// shardListen derives shard s's unicast bind spec from the template:
+// explicit ports become consecutive per-shard ports, wildcard forms pass
+// through untouched.
+func shardListen(base string, s, shards int) (string, error) {
+	if shards <= 1 || s == 0 || base == "" {
+		return base, nil
+	}
+	ap, err := netip.ParseAddrPort(base)
+	if err != nil || ap.Port() == 0 {
+		// Not an explicit addr:port (hostnames, ":0" forms): every
+		// shard can bind it as-is.
+		return base, nil
+	}
+	if int(ap.Port())+shards-1 > 65535 {
+		return "", fmt.Errorf("shard: %d shards from port %d exceed the port space", shards, ap.Port())
+	}
+	return netip.AddrPortFrom(ap.Addr(), ap.Port()+uint16(s)).String(), nil
+}
+
+// HandlerFactory builds the protocol handler for one shard. It receives
+// the shard index and the shard's group subset (sorted ascending) and
+// returns the handler that shard's node will run. Handlers of different
+// shards run concurrently — they must not share mutable state.
+type HandlerFactory func(shard int, groups []wire.GroupID) transport.Handler
+
+// Fleet is a set of per-shard UDP nodes covering one group space.
+type Fleet struct {
+	shards int
+	nodes  []*udp.Node
+}
+
+// Start partitions cfg.Groups across cfg.Shards shards and starts one
+// udp.Node per shard. On error, already-started shards are closed.
+func Start(cfg Config, mk HandlerFactory) (*Fleet, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if mk == nil {
+		return nil, fmt.Errorf("shard: nil handler factory")
+	}
+	// Partition the group space; sort for deterministic factory input.
+	subsets := make([][]wire.GroupID, cfg.Shards)
+	for g := range cfg.Groups {
+		s := Assign(g, cfg.Shards)
+		subsets[s] = append(subsets[s], g)
+	}
+	for _, gs := range subsets {
+		slices.Sort(gs)
+	}
+	f := &Fleet{shards: cfg.Shards, nodes: make([]*udp.Node, 0, cfg.Shards)}
+	for s := 0; s < cfg.Shards; s++ {
+		ncfg := cfg.Node
+		ncfg.Groups = make(map[wire.GroupID]string, len(subsets[s]))
+		for _, g := range subsets[s] {
+			ncfg.Groups[g] = cfg.Groups[g]
+		}
+		if cfg.Shards > 1 {
+			prefix := ncfg.MetricsPrefix
+			if prefix == "" {
+				prefix = "udp"
+			}
+			ncfg.MetricsPrefix = fmt.Sprintf("%s.shard%d", prefix, s)
+		}
+		listen, err := shardListen(cfg.Node.Listen, s, cfg.Shards)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		ncfg.Listen = listen
+		node, err := udp.Start(ncfg, mk(s, subsets[s]))
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		f.nodes = append(f.nodes, node)
+	}
+	return f, nil
+}
+
+// Shards returns the shard count.
+func (f *Fleet) Shards() int { return f.shards }
+
+// Node returns the node of shard s.
+func (f *Fleet) Node(s int) *udp.Node { return f.nodes[s] }
+
+// NodeFor returns the node owning group g.
+func (f *Fleet) NodeFor(g wire.GroupID) *udp.Node {
+	return f.nodes[Assign(g, f.shards)]
+}
+
+// Do runs fn serialized with group g's shard handler (see udp.Node.Do).
+func (f *Fleet) Do(g wire.GroupID, fn func()) { f.NodeFor(g).Do(fn) }
+
+// Close stops every shard, returning the first error.
+func (f *Fleet) Close() error {
+	var err error
+	for _, n := range f.nodes {
+		if e := n.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// Mux routes datagrams arriving on one shared socket to per-group
+// handlers, peeking the group ID from the fixed header without a full
+// decode or a copy. Datagrams that fail the peek (non-LBRM) or name an
+// unregistered group go to the fallback handler, if any; otherwise they
+// are dropped, mirroring what a group-specific handler would do with a
+// packet it cannot parse.
+type Mux struct {
+	handlers map[wire.GroupID]transport.Handler
+	fallback transport.Handler
+}
+
+// NewMux builds a group router. fallback may be nil.
+func NewMux(handlers map[wire.GroupID]transport.Handler, fallback transport.Handler) *Mux {
+	m := &Mux{handlers: make(map[wire.GroupID]transport.Handler, len(handlers)), fallback: fallback}
+	for g, h := range handlers {
+		m.handlers[g] = h
+	}
+	return m
+}
+
+// Start implements transport.Handler: every registered handler (and the
+// fallback) observes the same environment. They share the owning node's
+// serialization, so the single-threaded handler contract holds across the
+// whole mux.
+func (m *Mux) Start(env transport.Env) {
+	seen := make(map[transport.Handler]bool, len(m.handlers)+1)
+	for _, g := range m.groupsSorted() {
+		h := m.handlers[g]
+		if !seen[h] {
+			seen[h] = true
+			h.Start(env)
+		}
+	}
+	if m.fallback != nil && !seen[m.fallback] {
+		m.fallback.Start(env)
+	}
+}
+
+// groupsSorted keeps Start deterministic (a handler registered under
+// several groups starts once, in ascending group order).
+func (m *Mux) groupsSorted() []wire.GroupID {
+	gs := make([]wire.GroupID, 0, len(m.handlers))
+	for g := range m.handlers {
+		gs = append(gs, g)
+	}
+	slices.Sort(gs)
+	return gs
+}
+
+// Recv implements transport.Handler.
+func (m *Mux) Recv(from transport.Addr, data []byte) {
+	if g, ok := wire.PeekGroup(data); ok {
+		if h, ok := m.handlers[g]; ok {
+			h.Recv(from, data)
+			return
+		}
+	}
+	if m.fallback != nil {
+		m.fallback.Recv(from, data)
+	}
+}

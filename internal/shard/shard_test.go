@@ -1,0 +1,293 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/udp"
+	"lbrm/internal/wire"
+)
+
+func TestAssign(t *testing.T) {
+	if got := Assign(7, 1); got != 0 {
+		t.Fatalf("Assign(7,1) = %d, want 0", got)
+	}
+	if got := Assign(7, 0); got != 0 {
+		t.Fatalf("Assign(7,0) = %d, want 0", got)
+	}
+	// Dense group IDs spread uniformly and stably.
+	counts := make([]int, 4)
+	for g := wire.GroupID(1); g <= 16; g++ {
+		s := Assign(g, 4)
+		if s != Assign(g, 4) {
+			t.Fatalf("Assign unstable for group %d", g)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c != 4 {
+			t.Fatalf("shard %d got %d of 16 dense groups, want 4", s, c)
+		}
+	}
+}
+
+func TestGroupSpecs(t *testing.T) {
+	specs, err := GroupSpecs("239.9.9.9:7000", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[wire.GroupID]string{
+		1: "239.9.9.9:7000",
+		2: "239.9.9.9:7001",
+		3: "239.9.9.9:7002",
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for g, spec := range want {
+		if specs[g] != spec {
+			t.Errorf("group %d: got %q, want %q", g, specs[g], spec)
+		}
+	}
+	if _, err := GroupSpecs("not-an-addr", 2); err == nil {
+		t.Error("bad base spec accepted")
+	}
+	if _, err := GroupSpecs("239.9.9.9:65534", 4); err == nil {
+		t.Error("port-space overflow accepted")
+	}
+	if _, err := GroupSpecs("239.9.9.9:7000", 0); err == nil {
+		t.Error("zero groups accepted")
+	}
+}
+
+func TestShardListen(t *testing.T) {
+	cases := []struct {
+		base      string
+		s, shards int
+		want      string
+	}{
+		{"127.0.0.1:7001", 0, 3, "127.0.0.1:7001"},
+		{"127.0.0.1:7001", 2, 3, "127.0.0.1:7003"},
+		{"127.0.0.1:0", 1, 2, "127.0.0.1:0"},
+		{":0", 1, 2, ":0"},
+		{"", 1, 2, ""},
+		{"localhost:7001", 1, 2, "localhost:7001"},
+		{"127.0.0.1:7001", 1, 1, "127.0.0.1:7001"},
+	}
+	for _, tc := range cases {
+		got, err := shardListen(tc.base, tc.s, tc.shards)
+		if err != nil {
+			t.Errorf("shardListen(%q, %d, %d): %v", tc.base, tc.s, tc.shards, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("shardListen(%q, %d, %d) = %q, want %q", tc.base, tc.s, tc.shards, got, tc.want)
+		}
+	}
+	if _, err := shardListen("127.0.0.1:65534", 3, 4); err == nil {
+		t.Error("port-space overflow accepted")
+	}
+}
+
+// TestFleetExplicitListenPorts starts a two-shard fleet on an explicit
+// port and checks the consecutive-port derivation end to end.
+func TestFleetExplicitListenPorts(t *testing.T) {
+	base, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := base.LocalAddr().(*net.UDPAddr).Port
+	base.Close()
+	if port+1 > 65535 {
+		t.Skip("no room for a second consecutive port")
+	}
+	f, err := Start(Config{
+		Shards: 2,
+		Groups: map[wire.GroupID]string{1: "239.77.7.7:17000", 2: "239.77.7.7:17001"},
+		Node:   udp.Config{Listen: fmt.Sprintf("127.0.0.1:%d", port)},
+	}, func(s int, gs []wire.GroupID) transport.Handler { return &recHandler{} })
+	if err != nil {
+		t.Skipf("consecutive port %d or %d taken: %v", port, port+1, err)
+	}
+	defer f.Close()
+	for s := 0; s < 2; s++ {
+		want := fmt.Sprintf("127.0.0.1:%d", port+s)
+		if got := f.Node(s).Addr().String(); got != want {
+			t.Errorf("shard %d bound %s, want %s", s, got, want)
+		}
+	}
+}
+
+// recHandler records which handler each datagram reached.
+type recHandler struct {
+	mu  sync.Mutex
+	got [][]byte
+}
+
+func (h *recHandler) Start(transport.Env) {}
+func (h *recHandler) Recv(_ transport.Addr, data []byte) {
+	h.mu.Lock()
+	h.got = append(h.got, append([]byte(nil), data...))
+	h.mu.Unlock()
+}
+func (h *recHandler) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.got)
+}
+
+// fakeAddr satisfies transport.Addr for direct Mux.Recv calls.
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "test" }
+func (fakeAddr) String() string  { return "test" }
+
+func packetFor(t *testing.T, g wire.GroupID, payload string) []byte {
+	t.Helper()
+	p := wire.Packet{Type: wire.TypeData, Group: g, Seq: 1, Payload: []byte(payload)}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestMuxRoutes(t *testing.T) {
+	h1, h2, fb := &recHandler{}, &recHandler{}, &recHandler{}
+	m := NewMux(map[wire.GroupID]transport.Handler{1: h1, 2: h2}, fb)
+	from := fakeAddr{}
+	m.Recv(from, packetFor(t, 1, "to-one"))
+	m.Recv(from, packetFor(t, 2, "to-two"))
+	m.Recv(from, packetFor(t, 2, "to-two-again"))
+	m.Recv(from, packetFor(t, 9, "unknown-group"))
+	m.Recv(from, []byte("not lbrm at all"))
+	if h1.count() != 1 || h2.count() != 2 || fb.count() != 2 {
+		t.Fatalf("routing: h1=%d h2=%d fallback=%d, want 1/2/2",
+			h1.count(), h2.count(), fb.count())
+	}
+	// No fallback: unroutable datagrams are dropped, not delivered.
+	m2 := NewMux(map[wire.GroupID]transport.Handler{1: h1}, nil)
+	m2.Recv(from, []byte("garbage"))
+	m2.Recv(from, packetFor(t, 3, "orphan"))
+	if h1.count() != 1 {
+		t.Fatalf("mux without fallback leaked to h1: %d", h1.count())
+	}
+}
+
+func TestMuxSharedHandlerStartsOnce(t *testing.T) {
+	starts := 0
+	counting := &startCounter{n: &starts}
+	m := NewMux(map[wire.GroupID]transport.Handler{1: counting, 2: counting, 3: counting}, counting)
+	m.Start(nil)
+	if starts != 1 {
+		t.Fatalf("shared handler started %d times, want 1", starts)
+	}
+}
+
+type startCounter struct{ n *int }
+
+func (s *startCounter) Start(transport.Env)         { *s.n++ }
+func (s *startCounter) Recv(transport.Addr, []byte) {}
+
+// sendEnv captures the env so tests can transmit from a shard handler.
+type sendEnv struct {
+	mu  sync.Mutex
+	env transport.Env
+}
+
+func (h *sendEnv) Start(env transport.Env) {
+	h.mu.Lock()
+	h.env = env
+	h.mu.Unlock()
+}
+func (h *sendEnv) Recv(transport.Addr, []byte) {}
+
+// TestFleetConcurrentEgressOneSocket starts a multi-shard fleet and
+// hammers every shard's egress concurrently into a single receiving
+// socket. Under -race this pins the no-shared-state property of the
+// fleet: each shard owns its own ring and mutex, so concurrent shard
+// egress must be data-race free without any fleet-level locking.
+func TestFleetConcurrentEgressOneSocket(t *testing.T) {
+	rconn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rconn.Close()
+	dst := udp.Addr{HostPort: rconn.LocalAddr().String()}
+
+	const shards = 4
+	groups, err := GroupSpecs("239.77.0.1:17000", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlers := make([]*sendEnv, shards)
+	fleet, err := Start(Config{
+		Shards: shards,
+		Groups: groups,
+		Node:   udp.Config{Listen: "127.0.0.1:0", Batch: 8},
+	}, func(s int, gs []wire.GroupID) transport.Handler {
+		for _, g := range gs {
+			if Assign(g, shards) != s {
+				t.Errorf("group %d handed to shard %d, want %d", g, s, Assign(g, shards))
+			}
+		}
+		handlers[s] = &sendEnv{}
+		return handlers[s]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	if fleet.Shards() != shards {
+		t.Fatalf("Shards() = %d, want %d", fleet.Shards(), shards)
+	}
+	for g := range groups {
+		if fleet.NodeFor(g) != fleet.Node(Assign(g, shards)) {
+			t.Fatalf("NodeFor(%d) mismatch", g)
+		}
+	}
+
+	const per = 50
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("shard-%d", s))
+			for i := 0; i < per; i++ {
+				fleet.Node(s).Do(func() {
+					if err := handlers[s].env.Send(dst, payload); err != nil {
+						t.Errorf("shard %d send: %v", s, err)
+					}
+				})
+				if i%10 == 9 {
+					// Pace the flood: the point is concurrent shard
+					// egress, not loopback buffer overflow.
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	rconn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 2048)
+	perShard := make(map[string]int)
+	for n := 0; n < shards*per; n++ {
+		sz, _, err := rconn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			t.Fatalf("read after %d/%d datagrams: %v", n, shards*per, err)
+		}
+		perShard[string(buf[:sz])]++
+	}
+	for s := 0; s < shards; s++ {
+		key := fmt.Sprintf("shard-%d", s)
+		if perShard[key] != per {
+			t.Errorf("shard %d: delivered %d, want %d", s, perShard[key], per)
+		}
+	}
+}

@@ -8,6 +8,12 @@
 // callbacks for one Handler serially (never two at once). The simulator
 // achieves this by being single-threaded; the UDP binding holds a per-node
 // mutex. Handlers therefore need no internal locking.
+//
+// The same serialization governs Env: its methods may be called only from
+// inside a handler callback (Start, Recv), a timer scheduled through
+// AfterFunc, or the binding's explicit serialization hook (udp.Node.Do).
+// Calling a captured Env from an unsynchronized goroutine races the
+// binding's internal transmit state.
 package transport
 
 import (

@@ -46,6 +46,14 @@ type Multicast struct {
 }
 
 // Env is the fake environment.
+//
+// Capture storage is double-buffered: TakeSents/TakeMcasts swap the live
+// slice with the previously returned one, and Send/Multicast reuse the
+// retired entries' Data buffers. Benchmarks that drain captures every
+// iteration therefore settle into a zero-allocation steady state. The
+// corollary: a slice returned by Take* (and the Data it holds) is valid
+// only until the *second* following Take* call — copy what must outlive
+// that.
 type Env struct {
 	Clock  *vtime.Sim
 	addr   Addr
@@ -53,6 +61,9 @@ type Env struct {
 	Sents  []Sent
 	Mcasts []Multicast
 	Joined map[wire.GroupID]bool
+
+	prevSents  []Sent
+	prevMcasts []Multicast
 }
 
 // NewEnv returns a fake env named name with its own simulated clock.
@@ -73,14 +84,31 @@ func (e *Env) AfterFunc(d time.Duration, fn func()) vtime.Timer {
 	return e.Clock.AfterFunc(d, fn)
 }
 
-// Send implements transport.Env, capturing the datagram.
+// Send implements transport.Env, capturing the datagram. Within the
+// slice's capacity the retired entry's Data buffer is reused.
 func (e *Env) Send(to transport.Addr, data []byte) error {
+	n := len(e.Sents)
+	if n < cap(e.Sents) {
+		e.Sents = e.Sents[:n+1]
+		e.Sents[n].To = to
+		e.Sents[n].Data = append(e.Sents[n].Data[:0], data...)
+		return nil
+	}
 	e.Sents = append(e.Sents, Sent{To: to, Data: append([]byte(nil), data...)})
 	return nil
 }
 
-// Multicast implements transport.Env, capturing the datagram.
+// Multicast implements transport.Env, capturing the datagram. Within the
+// slice's capacity the retired entry's Data buffer is reused.
 func (e *Env) Multicast(g wire.GroupID, ttl int, data []byte) error {
+	n := len(e.Mcasts)
+	if n < cap(e.Mcasts) {
+		e.Mcasts = e.Mcasts[:n+1]
+		e.Mcasts[n].Group = g
+		e.Mcasts[n].TTL = ttl
+		e.Mcasts[n].Data = append(e.Mcasts[n].Data[:0], data...)
+		return nil
+	}
 	e.Mcasts = append(e.Mcasts, Multicast{Group: g, TTL: ttl, Data: append([]byte(nil), data...)})
 	return nil
 }
@@ -109,17 +137,19 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 // Advance runs the clock forward by d.
 func (e *Env) Advance(d time.Duration) { e.Clock.RunFor(d) }
 
-// TakeSents drains and returns captured unicasts.
+// TakeSents drains and returns captured unicasts. The result is valid
+// until the second-next TakeSents (double-buffered storage; see Env).
 func (e *Env) TakeSents() []Sent {
 	s := e.Sents
-	e.Sents = nil
+	e.Sents, e.prevSents = e.prevSents[:0], s
 	return s
 }
 
-// TakeMcasts drains and returns captured multicasts.
+// TakeMcasts drains and returns captured multicasts. The result is valid
+// until the second-next TakeMcasts (double-buffered storage; see Env).
 func (e *Env) TakeMcasts() []Multicast {
 	m := e.Mcasts
-	e.Mcasts = nil
+	e.Mcasts, e.prevMcasts = e.prevMcasts[:0], m
 	return m
 }
 

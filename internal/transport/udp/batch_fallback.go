@@ -1,0 +1,35 @@
+//go:build !linux || !(amd64 || arm64)
+
+package udp
+
+// Portable fallback: no sendmmsg/recvmmsg here, so Node.batched is always
+// false and the single-packet paths in udp.go carry all traffic. The stubs
+// below exist only to satisfy references from the common code; none is
+// reachable when batchSupported reports false.
+
+import (
+	"net"
+	"net/netip"
+)
+
+// batchSupported reports that the mmsg datapath is unavailable.
+func batchSupported() bool { return false }
+
+// egress is never instantiated on this platform.
+type egress struct {
+	n int
+}
+
+func (n *Node) startBatch() error { return nil }
+
+func (n *Node) flushOnExit() {}
+
+func (n *Node) flushLocked() {}
+
+func (n *Node) egEnqueue(dst netip.AddrPort, ttl int, data []byte) error {
+	panic("udp: egEnqueue without batch support")
+}
+
+func (n *Node) readLoopBatch(conn *net.UDPConn) {
+	panic("udp: readLoopBatch without batch support")
+}

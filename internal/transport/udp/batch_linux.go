@@ -1,0 +1,446 @@
+//go:build linux && (amd64 || arm64)
+
+package udp
+
+// Batched socket I/O: sendmmsg(2)/recvmmsg(2) through raw syscalls on the
+// net package's own descriptors (via syscall.RawConn, so the runtime
+// netpoller still parks the goroutines). The raw-syscall route keeps the
+// module dependency-free — the stdlib syscall package lacks the mmsghdr
+// type, so it is declared here; its layout (a Msghdr plus a 32-bit
+// received-length, padded to 8 bytes) is identical on linux/amd64 and
+// linux/arm64, the two GOARCHes this file builds for. Everything —
+// buffers, iovecs, headers, sockaddrs, the RawConn callbacks — is
+// allocated once at Start, so the steady-state batch path performs zero
+// allocations per datagram.
+
+import (
+	"encoding/binary"
+	"net"
+	"net/netip"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"lbrm/internal/vtime"
+)
+
+// batchSupported reports that the mmsg datapath is available.
+func batchSupported() bool { return true }
+
+// mmsghdr mirrors struct mmsghdr from <sys/socket.h>.
+type mmsghdr struct {
+	hdr  syscall.Msghdr
+	mlen uint32 // bytes received/sent for this message (msg_len)
+	_    [4]byte
+}
+
+// egress is the coalescing transmit ring: datagrams enqueued inside one
+// handler critical section accumulate here and leave in one sendmmsg.
+// All state is preallocated at Start and guarded by the node mutex.
+type egress struct {
+	cap int
+	n   int
+	// Per-slot datagram state. bufs hold copies of the payloads (the
+	// handler's buffer is only valid during its call); names hold the
+	// destination sockaddrs; ttls is 0 for unicast, the clamped IP TTL
+	// for multicast (TTL changes split a flush into runs).
+	bufs  [][]byte
+	lens  []int
+	ttls  []int
+	names []syscall.RawSockaddrInet4
+	iovs  []syscall.Iovec
+	// Send-side arrays, indexed by packed message rather than ring slot:
+	// sendRun folds runs of equal-size datagrams to one destination into
+	// a single UDP_SEGMENT super-message (one mmsghdr whose iovec array
+	// spans the run's ring slots), so hdrs[m] may carry many slots. segs
+	// and slotOf record the fold (datagram count and first ring slot);
+	// cmsgs hold the per-message UDP_SEGMENT control buffers.
+	hdrs   []mmsghdr
+	segs   []int
+	slotOf []int
+	cmsgs  [][]byte
+	// gsoOK starts true and latches false the first time the kernel
+	// rejects UDP_SEGMENT (pre-4.18, or a socket type that lacks it);
+	// from then on every datagram ships as its own mmsghdr.
+	gsoOK bool
+	// Pre-bound RawConn write callback and its in/out state: creating a
+	// closure per flush would allocate, so one closure reads its
+	// arguments from these fields for the node's lifetime.
+	writeFn func(fd uintptr) bool
+	wOff    int
+	wCnt    int
+	wRes    int
+	wErrno  syscall.Errno
+	// flushTimer bounds how long an enqueued datagram can wait in
+	// deadline mode (Config.FlushInterval > 0): armed on the first
+	// datagram of every batch, cancelled when the batch flushes first.
+	// In immediate mode it never arms — every legal entry point into the
+	// ring (Do, read dispatch, a guardedTimer callback) ends its
+	// critical section with flushOnExit, which is also why the ring
+	// needs no lock of its own (see the Env contract in
+	// internal/transport).
+	flushTimer    *guardedTimer
+	flushAfter    time.Duration
+	deadlineArmed bool
+}
+
+// UDP generic segmentation offload (kernel ≥4.18): a UDP_SEGMENT cmsg on
+// a send tells the kernel to split the payload into gso-size datagrams
+// after one pass through the expensive per-send stack (route, skb, socket
+// charge) — the dominant cost of small-datagram floods. The stdlib
+// syscall package predates the option, so the constants live here.
+const (
+	solUDP     = 17  // SOL_UDP
+	udpSegment = 103 // UDP_SEGMENT
+	// maxGSOSegs caps datagrams per super-message (UDP_MAX_SEGMENTS).
+	maxGSOSegs = 64
+	// maxGSOBytes keeps a super-message under the 64 KiB IP datagram
+	// ceiling with room for headers.
+	maxGSOBytes = 65000
+)
+
+// gsoUnsupported classifies a send errno as "this kernel or socket has no
+// UDP_SEGMENT" rather than a transient transmit failure.
+func gsoUnsupported(e syscall.Errno) bool {
+	return e == syscall.EINVAL || e == syscall.ENOPROTOOPT || e == syscall.EOPNOTSUPP
+}
+
+// startBatch allocates the egress ring and caches the unicast RawConn.
+func (n *Node) startBatch() error {
+	raw, err := n.ucast.SyscallConn()
+	if err != nil {
+		return err
+	}
+	n.ucastRaw = raw
+	eg := &egress{
+		cap:    n.cfg.Batch,
+		bufs:   make([][]byte, n.cfg.Batch),
+		lens:   make([]int, n.cfg.Batch),
+		ttls:   make([]int, n.cfg.Batch),
+		names:  make([]syscall.RawSockaddrInet4, n.cfg.Batch),
+		iovs:   make([]syscall.Iovec, n.cfg.Batch),
+		hdrs:   make([]mmsghdr, n.cfg.Batch),
+		segs:   make([]int, n.cfg.Batch),
+		slotOf: make([]int, n.cfg.Batch),
+		cmsgs:  make([][]byte, n.cfg.Batch),
+		gsoOK:  true,
+	}
+	for i := range eg.bufs {
+		eg.bufs[i] = make([]byte, n.cfg.ReadBuffer)
+	}
+	for i := range eg.cmsgs {
+		// Level, type and length never change; only the gso size is
+		// written at fold time.
+		cb := make([]byte, syscall.CmsgSpace(2))
+		ch := (*syscall.Cmsghdr)(unsafe.Pointer(&cb[0]))
+		ch.Level = solUDP
+		ch.Type = udpSegment
+		ch.SetLen(syscall.CmsgLen(2))
+		eg.cmsgs[i] = cb
+	}
+	eg.writeFn = func(fd uintptr) bool {
+		r1, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+			uintptr(unsafe.Pointer(&eg.hdrs[eg.wOff])), uintptr(eg.wCnt), 0, 0, 0)
+		if errno == syscall.EAGAIN {
+			return false // park on the netpoller until writable
+		}
+		if errno != 0 {
+			eg.wRes, eg.wErrno = 0, errno
+		} else {
+			eg.wRes, eg.wErrno = int(r1), 0
+		}
+		return true
+	}
+	n.eg = eg
+	eg.flushAfter = n.cfg.FlushInterval
+	g := &guardedTimer{n: n, fn: n.deadlineFlush}
+	g.t = vtime.Real{}.AfterFunc(time.Hour, g.run)
+	g.t.Stop() // armed lazily by the first enqueue
+	eg.flushTimer = g
+	return nil
+}
+
+// deadlineFlush runs under the node mutex when the FlushInterval deadline
+// expires with datagrams still coalescing.
+func (n *Node) deadlineFlush() {
+	if n.eg.deadlineArmed {
+		n.eg.deadlineArmed = false
+		n.mx.txFlushDeadline.Inc()
+		n.flushLocked()
+	}
+}
+
+// egEnqueue copies one datagram into the egress ring (mu held), flushing
+// when the ring fills. With FlushInterval 0 the caller's critical-section
+// exit flushes instead (flushOnExit); otherwise the deadline timer is
+// armed on the first datagram of a batch.
+func (n *Node) egEnqueue(dst netip.AddrPort, ttl int, data []byte) error {
+	eg := n.eg
+	a := dst.Addr()
+	if len(data) > len(eg.bufs[0]) || !a.Is4() {
+		// Oversized or non-IPv4 destination: flush what's queued so
+		// ordering holds, then take the single-packet escape hatch.
+		n.flushLocked()
+		return n.writeNow(dst, ttl, data)
+	}
+	i := eg.n
+	copy(eg.bufs[i], data)
+	eg.lens[i] = len(data)
+	eg.ttls[i] = ttl
+	sa := &eg.names[i]
+	sa.Family = syscall.AF_INET
+	sa.Addr = a.As4()
+	// sin_port is big-endian in memory regardless of host order.
+	binary.BigEndian.PutUint16((*[2]byte)(unsafe.Pointer(&sa.Port))[:], dst.Port())
+	eg.n = i + 1
+	if eg.n == eg.cap {
+		n.flushLocked()
+	} else if eg.flushAfter > 0 && !eg.deadlineArmed {
+		eg.deadlineArmed = true
+		eg.flushTimer.Reset(eg.flushAfter)
+	}
+	return nil
+}
+
+// flushOnExit ships the coalesced batch at the end of a handler critical
+// section (mu held). In deadline mode the timer owns the flush instead,
+// trading bounded latency (≤ FlushInterval) for larger batches.
+func (n *Node) flushOnExit() {
+	if n.eg != nil && n.eg.n > 0 && n.cfg.FlushInterval == 0 {
+		n.flushLocked()
+	}
+}
+
+// flushLocked transmits everything in the egress ring (mu held). Entries
+// are shipped in enqueue order; a multicast entry whose TTL differs from
+// the socket's current IP_MULTICAST_TTL ends the current sendmmsg run so
+// the setsockopt lands between runs (unicast entries are TTL-agnostic and
+// never split a run).
+func (n *Node) flushLocked() {
+	eg := n.eg
+	if eg == nil || eg.n == 0 {
+		return
+	}
+	if eg.deadlineArmed {
+		eg.deadlineArmed = false
+		eg.flushTimer.Stop()
+	}
+	total := eg.n
+	eg.n = 0
+	start := 0
+	for i := 0; i < total; i++ {
+		if eg.ttls[i] > 0 && eg.ttls[i] != n.lastTTL {
+			n.sendRun(start, i)
+			start = i
+			if err := n.setMulticastTTL(eg.ttls[i]); err != nil {
+				n.mx.txErrors.Inc()
+			}
+		}
+	}
+	n.sendRun(start, total)
+}
+
+// sendRun transmits ring slots [start, end) with as few sendmmsg calls as
+// the socket allows. Consecutive slots carrying equal-size datagrams to
+// one destination — the shape of every flood, burst retransmission and
+// heartbeat fan-out — are folded into a single UDP_SEGMENT super-message:
+// the kernel walks its per-send path once and splits at the segment
+// boundary, which is exactly the per-datagram framing the receiver would
+// have seen unfolded. A shorter datagram may ride as the final segment;
+// anything else (size growth, new destination, 64-segment or 64 KiB cap)
+// starts a new message.
+func (n *Node) sendRun(start, end int) {
+	eg := n.eg
+	if start >= end {
+		return
+	}
+	m := 0 // packed message count
+	for i := start; i < end; {
+		sz := eg.lens[i]
+		eg.iovs[i].Base = &eg.bufs[i][0]
+		eg.iovs[i].Len = uint64(sz)
+		j := i + 1
+		if eg.gsoOK && sz > 0 {
+			total := sz
+			for j < end && j-i < maxGSOSegs && eg.names[j] == eg.names[i] {
+				l := eg.lens[j]
+				if l == 0 || l > sz || total+l > maxGSOBytes {
+					break
+				}
+				eg.iovs[j].Base = &eg.bufs[j][0]
+				eg.iovs[j].Len = uint64(l)
+				total += l
+				j++
+				if l < sz {
+					break // a short segment must be the last
+				}
+			}
+		}
+		h := &eg.hdrs[m]
+		h.hdr.Name = (*byte)(unsafe.Pointer(&eg.names[i]))
+		h.hdr.Namelen = syscall.SizeofSockaddrInet4
+		h.hdr.Iov = &eg.iovs[i] // slots are contiguous, so iovs[i:j] are too
+		h.hdr.Iovlen = uint64(j - i)
+		if j-i > 1 {
+			cb := eg.cmsgs[m]
+			*(*uint16)(unsafe.Pointer(&cb[syscall.CmsgLen(0)])) = uint16(sz)
+			h.hdr.Control = &cb[0]
+			h.hdr.SetControllen(len(cb))
+		} else {
+			h.hdr.Control = nil
+			h.hdr.Controllen = 0
+		}
+		eg.segs[m] = j - i
+		eg.slotOf[m] = i
+		m++
+		i = j
+	}
+	off := 0
+	for off < m {
+		eg.wOff, eg.wCnt = off, m-off
+		if err := n.ucastRaw.Write(eg.writeFn); err != nil {
+			return // socket closed
+		}
+		if eg.wErrno != 0 || eg.wRes <= 0 {
+			if eg.segs[off] > 1 && gsoUnsupported(eg.wErrno) {
+				// First UDP_SEGMENT rejection: latch GSO off and resend
+				// everything not yet shipped, one mmsghdr per datagram.
+				eg.gsoOK = false
+				n.sendRun(eg.slotOf[off], end)
+				return
+			}
+			// Drop the head message so one bad destination cannot
+			// wedge the ring; the loss is counted. UDP sends are
+			// fire-and-forget on the fallback path too.
+			n.mx.txErrors.Inc()
+			off++
+			continue
+		}
+		sent, gso := 0, 0
+		for k := off; k < off+eg.wRes; k++ {
+			sent += eg.segs[k]
+			if eg.segs[k] > 1 {
+				gso += eg.segs[k]
+			}
+		}
+		n.mx.txBatch.Observe(uint64(sent))
+		if gso > 0 {
+			n.mx.txGSOSegs.Add(uint64(gso))
+		}
+		off += eg.wRes
+	}
+}
+
+// ingress is one read loop's recvmmsg state: a pooled batch of receive
+// buffers and headers, preallocated so the steady-state receive path
+// performs no allocations.
+type ingress struct {
+	cap    int
+	bufs   [][]byte
+	names  []syscall.RawSockaddrInet4
+	iovs   []syscall.Iovec
+	hdrs   []mmsghdr
+	readFn func(fd uintptr) bool
+	res    int
+	errno  syscall.Errno
+}
+
+func newIngress(batch, bufSize int) *ingress {
+	in := &ingress{
+		cap:   batch,
+		bufs:  make([][]byte, batch),
+		names: make([]syscall.RawSockaddrInet4, batch),
+		iovs:  make([]syscall.Iovec, batch),
+		hdrs:  make([]mmsghdr, batch),
+	}
+	for i := range in.bufs {
+		in.bufs[i] = make([]byte, bufSize)
+		in.iovs[i].Base = &in.bufs[i][0]
+		in.iovs[i].Len = uint64(bufSize)
+		h := &in.hdrs[i]
+		h.hdr.Name = (*byte)(unsafe.Pointer(&in.names[i]))
+		h.hdr.Namelen = syscall.SizeofSockaddrInet4
+		h.hdr.Iov = &in.iovs[i]
+		h.hdr.Iovlen = 1
+	}
+	in.readFn = func(fd uintptr) bool {
+		r1, _, errno := syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&in.hdrs[0])), uintptr(in.cap), 0, 0, 0)
+		if errno == syscall.EAGAIN {
+			return false // park on the netpoller until readable
+		}
+		if errno != 0 {
+			in.res, in.errno = 0, errno
+		} else {
+			in.res, in.errno = int(r1), 0
+		}
+		return true
+	}
+	return in
+}
+
+// recv fills the batch from the socket, returning the message count.
+func (in *ingress) recv(raw syscall.RawConn) (int, error) {
+	// msg_namelen is value-result: restore before every call.
+	for i := 0; i < in.cap; i++ {
+		in.hdrs[i].hdr.Namelen = syscall.SizeofSockaddrInet4
+	}
+	if err := raw.Read(in.readFn); err != nil {
+		return 0, err // socket closed
+	}
+	if in.errno != 0 {
+		if in.errno == syscall.EINTR {
+			return 0, nil
+		}
+		return 0, in.errno
+	}
+	return in.res, nil
+}
+
+// from decodes message i's source address.
+func (in *ingress) from(i int) netip.AddrPort {
+	sa := &in.names[i]
+	port := binary.BigEndian.Uint16((*[2]byte)(unsafe.Pointer(&sa.Port))[:])
+	return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), port)
+}
+
+// readLoopBatch drains one socket with recvmmsg and dispatches each batch
+// to the handler under a single mutex acquisition, flushing any egress
+// the handler produced before releasing it — so a burst of NACKs answered
+// by a burst of retransmissions costs two syscalls, not 2×burst.
+func (n *Node) readLoopBatch(conn *net.UDPConn) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		raw, err := conn.SyscallConn()
+		if err != nil {
+			return
+		}
+		in := newIngress(n.cfg.Batch, n.cfg.ReadBuffer)
+		for {
+			k, err := in.recv(raw)
+			if err != nil {
+				return
+			}
+			if k == 0 {
+				continue
+			}
+			n.mx.rxBatch.Observe(uint64(k))
+			var bytes uint64
+			n.mu.Lock()
+			if n.closed {
+				n.mu.Unlock()
+				return
+			}
+			for i := 0; i < k; i++ {
+				sz := int(in.hdrs[i].mlen)
+				bytes += uint64(sz)
+				n.handler.Recv(n.internFrom(in.from(i)), in.bufs[i][:sz])
+			}
+			n.flushOnExit()
+			n.mu.Unlock()
+			n.mx.rxPkts.Add(uint64(k))
+			n.mx.rxBytes.Add(bytes)
+		}
+	}()
+}

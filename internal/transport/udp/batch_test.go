@@ -1,0 +1,287 @@
+package udp
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lbrm/internal/obs"
+	"lbrm/internal/transport"
+)
+
+// rawReceiver is a plain UDP socket for observing exact wire output
+// (bytes and order) without any Node machinery on the receive side.
+type rawReceiver struct {
+	conn *net.UDPConn
+}
+
+func newRawReceiver(t *testing.T) *rawReceiver {
+	t.Helper()
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawReceiver{conn: conn}
+}
+
+func (r *rawReceiver) addr() transport.Addr {
+	return Addr{HostPort: r.conn.LocalAddr().String()}
+}
+
+// read collects n datagrams (payload copies, arrival order).
+func (r *rawReceiver) read(t *testing.T, n int) [][]byte {
+	t.Helper()
+	r.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	out := make([][]byte, 0, n)
+	buf := make([]byte, 65536)
+	for len(out) < n {
+		sz, _, err := r.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			t.Fatalf("read after %d/%d datagrams: %v", len(out), n, err)
+		}
+		out = append(out, append([]byte(nil), buf[:sz]...))
+	}
+	return out
+}
+
+// sendAll pushes every payload through one node inside a single Do
+// critical section (the coalescing case the batched path optimizes).
+func sendAll(t *testing.T, n *Node, h *collector, dst transport.Addr, payloads [][]byte) {
+	t.Helper()
+	n.Do(func() {
+		for _, p := range payloads {
+			if err := h.env.Send(dst, p); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	})
+}
+
+// TestBatchedVsFallbackWireIdentical sends the same datagram sequence
+// through the batched path and the forced portable fallback and asserts
+// byte-identical wire output in identical order. Exercises ring wrap
+// (more payloads than Batch) and the jumbo escape hatch (payload larger
+// than an egress slot).
+func TestBatchedVsFallbackWireIdentical(t *testing.T) {
+	mk := func(sizes ...int) [][]byte {
+		out := make([][]byte, len(sizes))
+		for i, sz := range sizes {
+			p := make([]byte, sz)
+			for j := range p {
+				p[j] = byte(i + j)
+			}
+			out[i] = p
+		}
+		return out
+	}
+	cases := []struct {
+		name     string
+		cfg      Config
+		payloads [][]byte
+	}{
+		{"default-batch", Config{}, mk(64, 256, 1, 900, 32, 128)},
+		{"ring-wrap", Config{Batch: 4}, mk(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)},
+		{"jumbo-escape", Config{Batch: 8, ReadBuffer: 1024}, mk(100, 200, 2000, 300, 4000, 64)},
+		{"deadline-mode", Config{FlushInterval: time.Millisecond}, mk(64, 64, 64, 64)},
+		// A long equal-size run to one destination is the GSO fold case:
+		// one UDP_SEGMENT super-message must split back into the exact
+		// datagrams the fallback path sends one by one. The short 100
+		// rides as a tail segment; the 300 breaks the fold (segments
+		// may only shrink); the trailing run folds again.
+		{"gso-fold", Config{Batch: 64}, mk(
+			200, 200, 200, 200, 200, 200, 200, 200, 200, 200,
+			200, 200, 200, 200, 200, 200, 200, 200, 200, 100,
+			300, 300, 300, 64, 64, 64, 64, 64, 64, 64)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var wire [2][][]byte
+			for mode := 0; mode < 2; mode++ {
+				rr := newRawReceiver(t)
+				cfg := tc.cfg
+				cfg.Listen = "127.0.0.1:0"
+				cfg.ForceFallback = mode == 1
+				h := &collector{}
+				n, err := Start(cfg, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer n.Close()
+				if mode == 0 && n.Batched() != batchSupported() {
+					t.Fatalf("Batched() = %v, want %v", n.Batched(), batchSupported())
+				}
+				if mode == 1 && n.Batched() {
+					t.Fatal("ForceFallback node reports batched")
+				}
+				sendAll(t, n, h, rr.addr(), tc.payloads)
+				wire[mode] = rr.read(t, len(tc.payloads))
+			}
+			for i := range wire[0] {
+				if !bytes.Equal(wire[0][i], wire[1][i]) {
+					t.Fatalf("datagram %d differs: batched %d bytes, fallback %d bytes",
+						i, len(wire[0][i]), len(wire[1][i]))
+				}
+			}
+		})
+	}
+}
+
+// TestGSOFoldCounted floods one destination with equal-size datagrams and
+// checks the tx_gso_segs counter: on a UDP-GSO kernel the fold must
+// engage (and deliver every datagram intact); on an older kernel the
+// latch must quietly disable it with delivery unharmed.
+func TestGSOFoldCounted(t *testing.T) {
+	if !batchSupported() {
+		t.Skip("batched path unavailable")
+	}
+	sink := obs.NewSink()
+	rr := newRawReceiver(t)
+	h := &collector{}
+	n, err := Start(Config{Listen: "127.0.0.1:0", Obs: sink, MetricsPrefix: "t"}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	payloads := make([][]byte, 32)
+	for i := range payloads {
+		p := make([]byte, 256)
+		for j := range p {
+			p[j] = byte(i ^ j)
+		}
+		payloads[i] = p
+	}
+	sendAll(t, n, h, rr.addr(), payloads)
+	got := rr.read(t, len(payloads))
+	for i, p := range payloads {
+		if !bytes.Equal(got[i], p) {
+			t.Fatalf("datagram %d corrupted by fold", i)
+		}
+	}
+	if segs := sink.Counter("t.tx_gso_segs").Value(); segs == 0 {
+		t.Log("kernel lacks UDP_SEGMENT; fold latched off (delivery verified)")
+	} else if segs != uint64(len(payloads)) {
+		t.Fatalf("tx_gso_segs = %d, want %d", segs, len(payloads))
+	}
+}
+
+// TestBatchSizeOne disables batching via Batch: 1 and still delivers.
+func TestBatchSizeOne(t *testing.T) {
+	rr := newRawReceiver(t)
+	h := &collector{}
+	n, err := Start(Config{Listen: "127.0.0.1:0", Batch: 1}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Batched() {
+		t.Fatal("Batch=1 node reports batched")
+	}
+	sendAll(t, n, h, rr.addr(), [][]byte{[]byte("one"), []byte("two")})
+	got := rr.read(t, 2)
+	if string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("got %q, %q", got[0], got[1])
+	}
+}
+
+// TestFlushDeadlineFires verifies deadline mode: a datagram enqueued in a
+// critical section that doesn't fill the ring still leaves within the
+// flush interval, and the deadline flush is counted.
+func TestFlushDeadlineFires(t *testing.T) {
+	if !batchSupported() {
+		t.Skip("batched path unavailable")
+	}
+	sink := obs.NewSink()
+	rr := newRawReceiver(t)
+	h := &collector{}
+	n, err := Start(Config{Listen: "127.0.0.1:0", FlushInterval: 5 * time.Millisecond, Obs: sink}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	sendAll(t, n, h, rr.addr(), [][]byte{[]byte("deadline")})
+	got := rr.read(t, 1)
+	if string(got[0]) != "deadline" {
+		t.Fatalf("got %q", got[0])
+	}
+	if v := sink.Counter("udp.tx_flush_deadline").Value(); v != 1 {
+		t.Fatalf("tx_flush_deadline = %d, want 1", v)
+	}
+}
+
+// TestTimerSendFlushes covers the third legal entry point into the
+// egress ring: a send from an AfterFunc timer callback (no Do, no Recv
+// dispatch) must still hit the wire, because the guarded timer ends its
+// critical section with the same flush-on-exit as the other two.
+func TestTimerSendFlushes(t *testing.T) {
+	rr := newRawReceiver(t)
+	h := &collector{}
+	n, err := Start(Config{Listen: "127.0.0.1:0"}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	h.mu.Lock()
+	env := h.env
+	h.mu.Unlock()
+	dst := rr.addr()
+	n.Do(func() {
+		env.AfterFunc(time.Millisecond, func() {
+			if err := env.Send(dst, []byte("from-timer")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		})
+	})
+	got := rr.read(t, 1)
+	if string(got[0]) != "from-timer" {
+		t.Fatalf("got %q", got[0])
+	}
+}
+
+// TestConcurrentEgressRace hammers one node's egress from many goroutines
+// through Do while the receiver counts deliveries; run under -race this
+// pins the mutex discipline of the shared ring.
+func TestConcurrentEgressRace(t *testing.T) {
+	recv := &collector{}
+	nr, err := Start(Config{Listen: "127.0.0.1:0"}, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nr.Close()
+	send := &collector{}
+	ns, err := Start(Config{Listen: "127.0.0.1:0", Batch: 8}, send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	const workers, per = 8, 100
+	dst := nr.Addr()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("worker-%d", w))
+			for i := 0; i < per; i++ {
+				ns.Do(func() {
+					if err := send.env.Send(dst, payload); err != nil {
+						t.Errorf("send: %v", err)
+					}
+				})
+				if i%10 == 9 {
+					// Pace the flood: the point is racing the shared
+					// ring, not overflowing the loopback socket buffer.
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !waitFor(t, func() bool { return recv.count() == workers*per }) {
+		t.Fatalf("delivered %d datagrams, want %d", recv.count(), workers*per)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package udp
+
+// The stdlib syscall table on linux/amd64 predates sendmmsg(2) (kernel
+// 3.0); the numbers are ABI-frozen, so declaring them here is safe.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package udp
+
+// linux/arm64 syscall numbers for the mmsg pair (ABI-frozen).
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

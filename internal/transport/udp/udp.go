@@ -5,6 +5,15 @@
 // packet deliveries and timers — are serialized under a per-node mutex,
 // giving the handler the same single-threaded world the simulator provides.
 //
+// On Linux (amd64/arm64) the datapath is batched: egress coalesces
+// datagrams produced inside one handler critical section into a ring and
+// ships them with a single sendmmsg(2); ingress drains the socket with
+// recvmmsg(2) into a pooled buffer batch and dispatches the whole batch
+// under one mutex acquisition. Everywhere else (and under ForceFallback)
+// an auto-detected portable single-packet path is used, itself
+// allocation-free via the netip fast paths. See DESIGN.md §11 for the
+// sharding + batching contract.
+//
 // Multicast TTL scoping uses the transport scope constants directly as IP
 // TTL values (site ≈ 15, global ≈ 127), matching the paper's use of the
 // TTL field to confine secondary-logger re-multicasts to a site.
@@ -44,6 +53,16 @@ func ParseAddr(s string) (Addr, error) {
 	return Addr{HostPort: ua.String()}, nil
 }
 
+// Batch sizing for the mmsg rings.
+const (
+	// DefaultBatch is the egress/ingress ring size used when Config.Batch
+	// is zero and batched I/O is available.
+	DefaultBatch = 32
+	// MaxBatch caps the ring size (sendmmsg accepts up to 1021 messages,
+	// but past a few dozen the syscall amortization is already total).
+	MaxBatch = 256
+)
+
 // Config configures a UDP-bound protocol node.
 type Config struct {
 	// Listen is the unicast bind address (default "0.0.0.0:0").
@@ -56,6 +75,23 @@ type Config struct {
 	ReadBuffer int
 	// Seed seeds the node's random source (0 = time-based).
 	Seed int64
+	// Batch is the maximum number of datagrams coalesced per
+	// sendmmsg/recvmmsg call (default DefaultBatch, capped at MaxBatch).
+	// 1 disables batching. Ignored where batched I/O is unsupported.
+	Batch int
+	// FlushInterval bounds how long a coalesced egress datagram may wait
+	// before hitting the wire. 0 (the default) flushes at the end of
+	// every handler critical section, adding no latency; a positive
+	// interval trades bounded latency for larger batches, with the flush
+	// deadline driven by a vtime timer.
+	FlushInterval time.Duration
+	// ForceFallback forces the portable single-packet socket path even
+	// where batched I/O is available (fallback-seam tests, latency
+	// comparisons).
+	ForceFallback bool
+	// MetricsPrefix prefixes this node's metric names (default "udp").
+	// Sharded deployments give each shard its own prefix.
+	MetricsPrefix string
 	// Obs receives transport-level rx/tx metrics (nil = uninstrumented).
 	Obs *obs.Sink
 }
@@ -73,13 +109,20 @@ type Node struct {
 	wg      sync.WaitGroup
 	lastTTL int
 
+	// batched selects the mmsg datapath; eg/ucastRaw are its state
+	// (see batch_linux.go; stubs elsewhere keep batched false).
+	batched  bool
+	eg       *egress
+	ucastRaw syscall.RawConn
+
 	// Datapath caches (all guarded by mu; see DESIGN.md "Datapath
 	// allocation contract"). Peer membership is small and stable in a
 	// simulation exercise, so these grow to the peer set and stay there.
-	peerAddrs  map[string]*net.UDPAddr       // unicast destinations, by HostPort
-	groupAddrs map[wire.GroupID]*net.UDPAddr // resolved once at Start
-	fromCache  map[netip.AddrPort]Addr       // interned datagram sources
-	bufPool    sync.Pool                     // *[]byte receive buffers
+	peerAddrs  map[string]netip.AddrPort       // unicast destinations, by HostPort
+	groupAddrs map[wire.GroupID]*net.UDPAddr   // resolved once at Start (joins)
+	groupPorts map[wire.GroupID]netip.AddrPort // resolved once at Start (sends)
+	fromCache  map[netip.AddrPort]transport.Addr // interned datagram sources
+	bufPool    sync.Pool                       // *[]byte receive buffers
 
 	// mx caches the preregistered transport metric handles (nil-safe).
 	mx nodeMetrics
@@ -92,14 +135,33 @@ type nodeMetrics struct {
 	rxBytes *obs.Counter
 	txPkts  *obs.Counter
 	txBytes *obs.Counter
+	// Batched-datapath instrumentation: datagrams per syscall on each
+	// side, deadline-driven flushes, and transmit errors (which the
+	// batched path reports asynchronously).
+	txBatch         *obs.Histogram
+	rxBatch         *obs.Histogram
+	txFlushDeadline *obs.Counter
+	txErrors        *obs.Counter
+	// txGSOSegs counts datagrams that left folded inside a UDP_SEGMENT
+	// super-message (zero on kernels without UDP GSO and on the
+	// fallback path).
+	txGSOSegs *obs.Counter
 }
 
-func newNodeMetrics(sink *obs.Sink) nodeMetrics {
+// batchBounds buckets the datagrams-per-syscall histograms.
+var batchBounds = []uint64{1, 2, 4, 8, 16, 32, 64, 128}
+
+func newNodeMetrics(sink *obs.Sink, prefix string) nodeMetrics {
 	return nodeMetrics{
-		rxPkts:  sink.Counter("udp.rx_pkts"),
-		rxBytes: sink.Counter("udp.rx_bytes"),
-		txPkts:  sink.Counter("udp.tx_pkts"),
-		txBytes: sink.Counter("udp.tx_bytes"),
+		rxPkts:          sink.Counter(prefix + ".rx_pkts"),
+		rxBytes:         sink.Counter(prefix + ".rx_bytes"),
+		txPkts:          sink.Counter(prefix + ".tx_pkts"),
+		txBytes:         sink.Counter(prefix + ".tx_bytes"),
+		txBatch:         sink.Histogram(prefix+".tx_batch", batchBounds),
+		rxBatch:         sink.Histogram(prefix+".rx_batch", batchBounds),
+		txFlushDeadline: sink.Counter(prefix + ".tx_flush_deadline"),
+		txErrors:        sink.Counter(prefix + ".tx_errors"),
+		txGSOSegs:       sink.Counter(prefix + ".tx_gso_segs"),
 	}
 }
 
@@ -110,6 +172,18 @@ func Start(cfg Config, h transport.Handler) (*Node, error) {
 	}
 	if cfg.ReadBuffer == 0 {
 		cfg.ReadBuffer = 9000
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = DefaultBatch
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
+	if cfg.Batch > MaxBatch {
+		cfg.Batch = MaxBatch
+	}
+	if cfg.MetricsPrefix == "" {
+		cfg.MetricsPrefix = "udp"
 	}
 	la, err := net.ResolveUDPAddr("udp4", cfg.Listen)
 	if err != nil {
@@ -125,10 +199,12 @@ func Start(cfg Config, h transport.Handler) (*Node, error) {
 		ucast:      uc,
 		groups:     make(map[wire.GroupID]*net.UDPConn),
 		lastTTL:    -1,
-		peerAddrs:  make(map[string]*net.UDPAddr),
+		batched:    batchSupported() && !cfg.ForceFallback && cfg.Batch > 1,
+		peerAddrs:  make(map[string]netip.AddrPort),
 		groupAddrs: make(map[wire.GroupID]*net.UDPAddr, len(cfg.Groups)),
-		fromCache:  make(map[netip.AddrPort]Addr),
-		mx:         newNodeMetrics(cfg.Obs),
+		groupPorts: make(map[wire.GroupID]netip.AddrPort, len(cfg.Groups)),
+		fromCache:  make(map[netip.AddrPort]transport.Addr),
+		mx:         newNodeMetrics(cfg.Obs, cfg.MetricsPrefix),
 	}
 	n.bufPool.New = func() any {
 		b := make([]byte, cfg.ReadBuffer)
@@ -141,6 +217,8 @@ func Start(cfg Config, h transport.Handler) (*Node, error) {
 			return nil, fmt.Errorf("udp: resolve group %d %q: %w", g, spec, err)
 		}
 		n.groupAddrs[g] = ga
+		ap := ga.AddrPort()
+		n.groupPorts[g] = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -155,6 +233,12 @@ func Start(cfg Config, h transport.Handler) (*Node, error) {
 		}
 		n.iface = ifc
 	}
+	if n.batched {
+		if err := n.startBatch(); err != nil {
+			uc.Close()
+			return nil, fmt.Errorf("udp: batch setup: %w", err)
+		}
+	}
 	// The handler must observe Start before any Recv: run it (and any
 	// group joins it performs) under the node mutex, and only then launch
 	// the unicast read loop. Group read loops spawned by Join during
@@ -162,6 +246,7 @@ func Start(cfg Config, h transport.Handler) (*Node, error) {
 	// deliver early either.
 	n.mu.Lock()
 	h.Start((*env)(n))
+	n.flushOnExit()
 	n.mu.Unlock()
 	n.readLoop(uc)
 	return n, nil
@@ -172,6 +257,10 @@ func (n *Node) Addr() transport.Addr {
 	return Addr{HostPort: n.ucast.LocalAddr().String()}
 }
 
+// Batched reports whether the node is using the sendmmsg/recvmmsg
+// datapath (false on unsupported platforms and under ForceFallback).
+func (n *Node) Batched() bool { return n.batched }
+
 // Do runs fn serialized with the handler's packet deliveries and timers.
 // External callers (e.g. an application thread invoking Sender.Send) must
 // use it: protocol handlers are single-threaded by contract.
@@ -180,16 +269,19 @@ func (n *Node) Do(fn func()) {
 	defer n.mu.Unlock()
 	if !n.closed {
 		fn()
+		n.flushOnExit()
 	}
 }
 
-// Close stops the node. In-flight callbacks finish first.
+// Close stops the node. In-flight callbacks finish first; coalesced
+// egress still waiting on a flush deadline is shipped, not dropped.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return nil
 	}
+	n.flushLocked()
 	n.closed = true
 	conns := []*net.UDPConn{n.ucast}
 	for _, c := range n.groups {
@@ -206,11 +298,22 @@ func (n *Node) Close() error {
 	return err
 }
 
-// readLoop pumps datagrams from one socket into the handler. The receive
-// buffer comes from the node pool (returned when the socket closes, so
-// Join/Leave churn reuses buffers), and source addresses are interned: the
-// string form is computed once per peer, not once per datagram.
+// readLoop pumps datagrams from one socket into the handler, batched
+// where supported.
 func (n *Node) readLoop(conn *net.UDPConn) {
+	if n.batched {
+		n.readLoopBatch(conn)
+		return
+	}
+	n.readLoopSingle(conn)
+}
+
+// readLoopSingle is the portable one-datagram-per-syscall loop. The
+// receive buffer comes from the node pool (returned when the socket
+// closes, so Join/Leave churn reuses buffers), and source addresses are
+// interned: the string form is computed once per peer, not once per
+// datagram.
+func (n *Node) readLoopSingle(conn *net.UDPConn) {
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -227,6 +330,7 @@ func (n *Node) readLoop(conn *net.UDPConn) {
 			n.mu.Lock()
 			if !n.closed {
 				n.handler.Recv(n.internFrom(from), buf[:sz])
+				n.flushOnExit()
 			}
 			n.mu.Unlock()
 		}
@@ -235,15 +339,46 @@ func (n *Node) readLoop(conn *net.UDPConn) {
 
 // internFrom returns the cached Addr for a datagram source (mu held).
 // Addresses are unmapped first so a 4-in-6 form of the same peer does not
-// produce a distinct string from its IPv4 form.
-func (n *Node) internFrom(from netip.AddrPort) Addr {
+// produce a distinct string from its IPv4 form. The cache stores the
+// boxed interface value: handing the struct to handler.Recv directly
+// would heap-allocate the interface conversion on every datagram.
+func (n *Node) internFrom(from netip.AddrPort) transport.Addr {
 	from = netip.AddrPortFrom(from.Addr().Unmap(), from.Port())
 	if a, ok := n.fromCache[from]; ok {
 		return a
 	}
-	a := Addr{HostPort: from.String()}
+	var a transport.Addr = Addr{HostPort: from.String()}
 	n.fromCache[from] = a
 	return a
+}
+
+// resolveAddrPort parses a destination, preferring the allocation-free
+// netip parser (every Addr this package produces round-trips through it)
+// and falling back to the resolver for hostnames.
+func resolveAddrPort(s string) (netip.AddrPort, error) {
+	if ap, err := netip.ParseAddrPort(s); err == nil {
+		return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port()), nil
+	}
+	ua, err := net.ResolveUDPAddr("udp4", s)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	ap := ua.AddrPort()
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port()), nil
+}
+
+// writeNow transmits one datagram immediately on the unicast socket (the
+// portable single-packet path; also the batched path's escape hatch for
+// jumbo and non-IPv4 destinations). WriteToUDPAddrPort takes the netip
+// fast path in the runtime, so this performs no per-packet allocation.
+func (n *Node) writeNow(dst netip.AddrPort, ttl int, data []byte) error {
+	if ttl > 0 {
+		if err := n.setMulticastTTL(ttl); err != nil {
+			return err
+		}
+	}
+	_, err := n.ucast.WriteToUDPAddrPort(data, dst)
+	return err
 }
 
 // env adapts Node to transport.Env (always called under n.mu).
@@ -269,6 +404,7 @@ func (g *guardedTimer) run() {
 	defer g.n.mu.Unlock()
 	if !g.n.closed {
 		g.fn()
+		g.n.flushOnExit()
 	}
 }
 
@@ -299,7 +435,7 @@ func (e *env) Send(to transport.Addr, data []byte) error {
 	dst, ok := n.peerAddrs[ua.HostPort]
 	if !ok {
 		var err error
-		dst, err = net.ResolveUDPAddr("udp4", ua.HostPort)
+		dst, err = resolveAddrPort(ua.HostPort)
 		if err != nil {
 			return fmt.Errorf("udp: resolve %q: %w", ua.HostPort, err)
 		}
@@ -307,43 +443,59 @@ func (e *env) Send(to transport.Addr, data []byte) error {
 	}
 	n.mx.txPkts.Inc()
 	n.mx.txBytes.Add(uint64(len(data)))
-	_, err := n.ucast.WriteToUDP(data, dst)
-	return err
+	if n.batched {
+		return n.egEnqueue(dst, 0, data)
+	}
+	return n.writeNow(dst, 0, data)
 }
 
 func (e *env) Multicast(g wire.GroupID, ttl int, data []byte) error {
 	n := e.node()
-	dst, ok := n.groupAddrs[g]
+	dst, ok := n.groupPorts[g]
 	if !ok {
 		return fmt.Errorf("udp: group %d not configured", g)
 	}
-	if err := n.setMulticastTTL(ttl); err != nil {
-		return err
-	}
 	n.mx.txPkts.Inc()
 	n.mx.txBytes.Add(uint64(len(data)))
-	_, err := n.ucast.WriteToUDP(data, dst)
-	return err
+	if n.batched {
+		return n.egEnqueue(dst, clampTTL(ttl), data)
+	}
+	return n.writeNow(dst, clampTTL(ttl), data)
+}
+
+// clampTTL normalizes a multicast scope to a valid IP TTL.
+func clampTTL(ttl int) int {
+	if ttl <= 0 {
+		return 1
+	}
+	if ttl > 255 {
+		return 255
+	}
+	return ttl
+}
+
+// rawControl runs f over the unicast socket's descriptor, caching the
+// RawConn (SyscallConn allocates a fresh wrapper per call).
+func (n *Node) rawControl(f func(fd uintptr)) error {
+	if n.ucastRaw == nil {
+		raw, err := n.ucast.SyscallConn()
+		if err != nil {
+			return err
+		}
+		n.ucastRaw = raw
+	}
+	return n.ucastRaw.Control(f)
 }
 
 // setMulticastTTL sets IP_MULTICAST_TTL on the unicast (sending) socket,
 // caching the last value to avoid redundant syscalls.
 func (n *Node) setMulticastTTL(ttl int) error {
-	if ttl <= 0 {
-		ttl = 1
-	}
-	if ttl > 255 {
-		ttl = 255
-	}
+	ttl = clampTTL(ttl)
 	if ttl == n.lastTTL {
 		return nil
 	}
-	raw, err := n.ucast.SyscallConn()
-	if err != nil {
-		return err
-	}
 	var serr error
-	if err := raw.Control(func(fd uintptr) {
+	if err := n.rawControl(func(fd uintptr) {
 		serr = syscall.SetsockoptInt(int(fd), syscall.IPPROTO_IP, syscall.IP_MULTICAST_TTL, ttl)
 		if serr == nil {
 			// Loop multicast back to the local host so co-located

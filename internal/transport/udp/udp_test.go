@@ -70,8 +70,10 @@ func TestUnicastRoundTrip(t *testing.T) {
 	a.mu.Lock()
 	env := a.env
 	a.mu.Unlock()
-	if err := env.Send(nb.Addr(), []byte("hello")); err != nil {
-		t.Fatal(err)
+	var sendErr error
+	na.Do(func() { sendErr = env.Send(nb.Addr(), []byte("hello")) })
+	if sendErr != nil {
+		t.Fatal(sendErr)
 	}
 	if !waitFor(t, func() bool { return b.count() == 1 }) {
 		t.Fatal("unicast not delivered")
@@ -115,7 +117,9 @@ func TestMulticastLoopback(t *testing.T) {
 	sender.mu.Unlock()
 	// Re-send until delivery: first packets can race the group join.
 	ok := waitFor(t, func() bool {
-		if err := env.Multicast(g, transport.TTLGlobal, []byte("mc")); err != nil {
+		var err error
+		ns.Do(func() { err = env.Multicast(g, transport.TTLGlobal, []byte("mc")) })
+		if err != nil {
 			t.Logf("multicast send: %v", err)
 			return false
 		}

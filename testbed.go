@@ -267,6 +267,9 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			rCfg.Group = cfg.Group
 			rCfg.Heartbeat = scfg.Heartbeat
 			rCfg.Primary = tb.PrimaryNode.Addr()
+			// Testbeds exist to measure: keep the per-seq recovery-latency
+			// record that experiments read through RecoveryTimes.
+			rCfg.TrackRecoveryTimes = true
 			if secAddr != nil && !rCfg.Discover {
 				rCfg.Secondary = secAddr
 			}
