@@ -57,13 +57,16 @@ cover:
 chaos:
 	$(GO) test -race ./internal/chaos/ -count=1
 
-# fuzzsmoke runs a short coverage-guided pass over the two codec
-# surfaces: the wire codec (the surface that grew the primary-epoch and
-# advance-record fields) and the metrics/trace exposition encoder
-# (no-panic + lossless JSON round-trip). The seed corpora alone run in
-# every `go test`; this target actually mutates.
+# fuzzsmoke runs a short coverage-guided pass over the codec surfaces:
+# the wire codec (the surface that grew the primary-epoch, advance-record
+# and quorum-ring fields), the quorum-ack watermark block specifically
+# (variable-length replica watermarks + ring epoch fencing), and the
+# metrics/trace exposition encoder (no-panic + lossless JSON round-trip).
+# The seed corpora alone run in every `go test`; this target actually
+# mutates.
 fuzzsmoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzQuorumAck -fuzztime 10s
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzExposition -fuzztime 10s
 
 # flight runs the chaos matrix with the recovery flight recorder's fleet

@@ -10,18 +10,42 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"lbrm/internal/experiments"
 )
+
+// jsonDoc is the -json output document, shaped like the committed
+// BENCH_*.json artifacts: an environment header plus the selected
+// experiments' full results.
+type jsonDoc struct {
+	Date        string           `json:"date"`
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Headers []string           `json:"headers"`
+	Rows    [][]string         `json:"rows"`
+	Values  map[string]float64 `json:"values"`
+	Notes   []string           `json:"notes,omitempty"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	exp := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 	format := flag.String("format", "table", "output format: table | csv")
+	jsonPath := flag.String("json", "", "also write the selected experiments' results (tables, values, notes) to this file as JSON")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +69,12 @@ func main() {
 			runners = append(runners, r)
 		}
 	}
+	doc := jsonDoc{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
 	for i, r := range runners {
 		if i > 0 {
 			fmt.Println()
@@ -56,5 +86,23 @@ func main() {
 		default:
 			fmt.Print(res.String())
 		}
+		if *jsonPath != "" {
+			doc.Experiments = append(doc.Experiments, jsonExperiment{
+				ID: res.ID, Title: res.Title, Headers: res.Headers,
+				Rows: res.Rows, Values: res.Values, Notes: res.Notes,
+			})
+		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }

@@ -62,6 +62,7 @@ func main() {
 	listen := flag.String("listen", "0.0.0.0:0", "unicast bind host:port (with -shards > 1, shard s binds port+s)")
 	primary := flag.String("primary", "", "primary logger host:port (secondary mode)")
 	replicas := flag.String("replicas", "", "comma-separated replica host:ports (primary mode)")
+	quorum := flag.Int("quorum", 0, "write quorum: replicas that must apply a packet before the source ack mints (0 = ack immediately; primary mode)")
 	maxPackets := flag.Int("max-packets", 0, "retention: max packets per stream in memory (0 = unlimited)")
 	maxAge := flag.Duration("max-age", 0, "retention: max packet age (0 = unlimited)")
 	spill := flag.Bool("spill", false, "spill memory-evicted packets to disk (keeps them servable)")
@@ -124,16 +125,23 @@ func main() {
 				reps = append(reps, ra)
 			}
 		}
+		if *quorum > len(reps) {
+			log.Fatalf("-quorum %d unsatisfiable with %d replicas", *quorum, len(reps))
+		}
 		mk = func(g lbrm.GroupID) (transport.Handler, func()) {
 			pri := lbrm.NewPrimaryLogger(lbrm.PrimaryConfig{
 				Group: g, Retention: ret, Replica: *mode == "replica",
-				Replicas: reps, Obs: sink,
+				Replicas: reps, Quorum: *quorum, Obs: sink,
 			})
 			return pri, func() {
 				st := pri.Stats()
 				log.Printf("g%d: logged=%d srcAcks=%d nacksIn=%d served=%d syncsOut=%d syncsIn=%d replica=%v",
 					g, st.PacketsLogged, st.SourceAcks, st.NacksFromClients,
 					st.RetransServed, st.LogSyncsSent, st.LogSyncsApplied, pri.IsReplica())
+				if *quorum > 0 && !pri.IsReplica() {
+					log.Printf("g%d: quorum=%d parked=%d ringStalls=%d ringRepairs=%d",
+						g, *quorum, st.AcksParked, st.RingStalls, st.RingRepairs)
+				}
 			}
 		}
 	default:

@@ -56,6 +56,8 @@ func main() {
 	chaosSrcPart := flag.Bool("chaos-source-partition", false, "with -chaos: isolate the acting primary from the source segment (epoch fencing)")
 	chaosJoinWin := flag.Bool("chaos-join-window", false, "with -chaos: land every fault in the first tenth of the run")
 	chaosOverlap := flag.Bool("chaos-overlapping", false, "with -chaos: overlap a flaky-link and a partition window on one site")
+	chaosQuorum := flag.Int("chaos-quorum", 0, "with -chaos: enable quorum replication with this write quorum and run the quorum durability schedule (invariant 11)")
+	chaosQuorumFault := flag.String("chaos-quorum-fault", "", "with -chaos-quorum: pin the replication fault (crash-primary | crash-replica | ring-partition | none; empty = seed-drawn)")
 	flightLog := flag.String("flight-log", "", "with -chaos: write the fleet timeline (one merged metrics snapshot per second of virtual time) to this file as JSONL")
 	metrics := flag.Bool("metrics", false, "after the run, print every handler's metrics merged (counters/histograms summed, gauges max-merged) plus the sender's trace window")
 	flag.Parse()
@@ -73,6 +75,8 @@ func main() {
 			SourcePartition:  *chaosSrcPart,
 			JoinWindow:       *chaosJoinWin,
 			Overlapping:      *chaosOverlap,
+			Quorum:           *chaosQuorum,
+			QuorumFault:      *chaosQuorumFault,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -35,7 +35,11 @@
 //     and the chain's delivery and NACK timestamps reconcile with the wire
 //     tap's independent measurements within one host-link delay;
 //   - after everything stops, the event queue drains — a timer that
-//     re-arms itself past shutdown is a leak.
+//     re-arms itself past shutdown is a leak;
+//   - quorum durability (invariant 11, quorum schedules only): under any
+//     single replication fault with a surviving write quorum, zero
+//     receiver skips, zero abandoned recovery ranges, zero backfill
+//     skips, and no source-acked sequence lost (DESIGN.md §12).
 //
 // Beyond the original crash/partition/flaky-link faults, the schedule can
 // include a source-segment partition (the acting primary isolated deaf,
@@ -93,6 +97,24 @@ type Config struct {
 	// that overlap on the same site's tail circuit, exercising stacked
 	// fault application and out-of-order heals.
 	Overlapping bool
+	// Quorum enables quorum replication on the logging servers (write
+	// quorum of replicas that must apply a packet before the source ack
+	// mints) and switches the run to the quorum durability schedule: one
+	// single replication fault plus a receiver-site partition, checked
+	// against invariant 11 — zero receiver skips, zero abandoned ranges,
+	// zero backfill skips, no acked-sequence loss (DESIGN.md §12).
+	// Defaults Replicas to 3 so a promoted replica still reaches a write
+	// quorum of 2 from its surviving peers after any single fault.
+	Quorum int
+	// QuorumFault pins the quorum schedule's replication fault:
+	// "crash-primary", "crash-replica", "ring-partition", or "none" (no
+	// faults at all — the replication-cost accounting baseline). Empty
+	// draws one of the three fault classes from the seed.
+	QuorumFault string
+	// quorumRevert runs the quorum schedule and invariant checks with
+	// quorum replication itself disabled (test-only): used to demonstrate
+	// that invariant 11 actually trips when the mechanism is reverted.
+	quorumRevert bool
 	// disableFencing runs every logging server with epoch fencing off
 	// (test-only): used to demonstrate that the un-fenced-primary
 	// invariant actually trips when the mechanism is reverted.
@@ -118,6 +140,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReceiversPerSite == 0 {
 		c.ReceiversPerSite = 3
+	}
+	if c.Quorum > 0 && c.Replicas == 0 {
+		// A promoted replica must still reach the write quorum from its
+		// surviving peers after the single fault: three replicas keep a
+		// quorum of two satisfiable through any one crash or partition.
+		c.Replicas = 3
 	}
 	if c.Replicas == 0 {
 		c.Replicas = 2
@@ -150,7 +178,10 @@ func (c Config) withDefaults() Config {
 type Fault struct {
 	At, Dur time.Duration
 	// Kind is one of crash-receiver, crash-secondary, crash-replica,
-	// crash-primary, partition, flaky-link, partition-source.
+	// crash-primary, partition, flaky-link, partition-source,
+	// sync-blackout (drop every sync-class packet leaving the acting
+	// primary's host), ring-partition (isolate one replica's host both
+	// ways).
 	Kind string
 	// Site and Idx locate the target where applicable (-1 otherwise).
 	// For partition-source, Idx encodes the isolation mode: 0 = both
@@ -227,6 +258,12 @@ type Result struct {
 	// the flight rings across all receivers; FlightComplete is how many of
 	// them told the whole recovery story (obs.FlightChain.Complete).
 	FlightChains, FlightComplete uint64
+	// NodeTx is the wire tap's per-node transmit ledger: attempted host
+	// up-link traversals (drops included) per traffic class, keyed by the
+	// harness node name ("sender", "primary", "replica0", "site1/rcv0",
+	// ...) and indexed by wire.TrafficClass. The replication-cost
+	// accounting reads the primary's sync-class row from here.
+	NodeTx map[string][]TrafficCounters
 }
 
 // TrafficCounters accumulates one traffic class's tail-circuit load.
@@ -381,6 +418,12 @@ type harness struct {
 	// incarnations — only the relaxed chain check applies to those.
 	recovered    [][]map[uint64]bool
 	rcvRestarted [][]bool
+	// delivered is the harness's complete per-receiver delivery ledger
+	// (every OnData event, retransmitted or not); maxSourceAck is the
+	// highest sequence the tap saw any primary source-ack (attempted
+	// non-dropped traversals). Both feed invariant 11.
+	delivered    [][]map[uint64]bool
+	maxSourceAck uint64
 	rcvDown      map[*lbrm.Link]rcvRef
 	rcvUp        map[*lbrm.Link]rcvRef
 	repairs      [][]map[uint64][]tapRepair
@@ -436,6 +479,16 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.SourcePartition && cfg.CrashPrimary {
 		return nil, fmt.Errorf("chaos: SourcePartition and CrashPrimary are mutually exclusive (both target the acting primary)")
 	}
+	if cfg.Quorum > 0 {
+		if cfg.Quorum > cfg.Replicas {
+			return nil, fmt.Errorf("chaos: write quorum %d unsatisfiable with %d replicas", cfg.Quorum, cfg.Replicas)
+		}
+		switch cfg.QuorumFault {
+		case "", quorumFaultCrashPrimary, quorumFaultCrashReplica, quorumFaultRingLink, quorumFaultNone:
+		default:
+			return nil, fmt.Errorf("chaos: unknown QuorumFault %q", cfg.QuorumFault)
+		}
+	}
 	schedule := buildSchedule(cfg)
 
 	// The harness's own recovery ledger, fed by the receivers' OnData hook:
@@ -444,22 +497,41 @@ func Run(cfg Config) (*Result, error) {
 	// up front so the ConfigureReceiver closures (retained in the receiver
 	// configs, hence surviving crash/restart) can capture them.
 	recovered := make([][]map[uint64]bool, cfg.Sites)
+	delivered := make([][]map[uint64]bool, cfg.Sites)
 	for s := range recovered {
 		recovered[s] = make([]map[uint64]bool, cfg.ReceiversPerSite)
+		delivered[s] = make([]map[uint64]bool, cfg.ReceiversPerSite)
 		for j := range recovered[s] {
 			recovered[s][j] = make(map[uint64]bool)
+			delivered[s][j] = make(map[uint64]bool)
 		}
 	}
 
+	// The revert knob runs the quorum schedule and invariant checks with
+	// quorum replication itself off: the primary acks (and the sender
+	// releases) ahead of replication again, re-opening the loss window
+	// invariant 11 exists to close.
+	pq := cfg.Quorum
+	if cfg.quorumRevert {
+		pq = 0
+	}
+	// Handlers send from Start (the quorum ring installation), before this
+	// function can build its link-registration maps: buffer those boot
+	// traversals and replay them through the real tap once registration is
+	// done, so the transmit ledgers start complete.
+	var boot []lbrm.TapEvent
 	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
 		Seed:             cfg.Seed,
 		Sites:            cfg.Sites,
 		ReceiversPerSite: cfg.ReceiversPerSite,
 		Replicas:         cfg.Replicas,
-		Primary:          lbrm.PrimaryConfig{UnsafeNoFence: cfg.disableFencing},
+		Tap:              func(ev lbrm.TapEvent) { boot = append(boot, ev) },
+		Primary:          lbrm.PrimaryConfig{UnsafeNoFence: cfg.disableFencing, Quorum: pq},
 		ConfigureReceiver: func(site, idx int, rcfg *lbrm.ReceiverConfig) {
 			rec := recovered[site][idx]
+			del := delivered[site][idx]
 			rcfg.OnData = func(e lbrm.Event) {
+				del[e.Seq] = true
 				if e.Retransmitted {
 					rec[e.Seq] = true
 				}
@@ -500,6 +572,7 @@ func Run(cfg Config) (*Result, error) {
 		nackUp:     make([]uint64, cfg.Sites),
 		deadNacks:  make([]uint64, cfg.Sites),
 		recovered:  recovered,
+		delivered:  delivered,
 		rcvDown:    make(map[*lbrm.Link]rcvRef),
 		rcvUp:      make(map[*lbrm.Link]rcvRef),
 	}
@@ -560,6 +633,9 @@ func Run(cfg Config) (*Result, error) {
 		for _, r := range ts.Receivers {
 			h.stoppables = append(h.stoppables, r)
 		}
+	}
+	for _, ev := range boot {
+		h.tap(ev)
 	}
 	tb.Net.SetTap(h.tap)
 
@@ -639,6 +715,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	h.res.TraceHash = h.hash
+	h.res.NodeTx = make(map[string][]TrafficCounters, len(h.nodeName))
+	for i, name := range h.nodeName {
+		h.res.NodeTx[name] = append([]TrafficCounters(nil), h.upTx[i]...)
+	}
 	h.res.Failovers = h.tb.Sender.Stats().Failovers
 	h.res.PrimaryEpoch = h.tb.Sender.PrimaryEpoch()
 	h.res.StaleSourceAcks = h.tb.Sender.Stats().StaleSourceAcks
@@ -746,6 +826,9 @@ func (h *harness) violate(name, detail string) {
 // config alone.
 func buildSchedule(cfg Config) []Fault {
 	rng := rand.New(rand.NewSource(cfg.Seed*0x9E3779B9 + 0x7F4A7C15))
+	if cfg.Quorum > 0 {
+		return quorumSchedule(cfg, rng)
+	}
 	var kinds []string
 	if !cfg.DisableCrashes {
 		kinds = append(kinds, "crash-receiver", "crash-secondary")
@@ -920,6 +1003,21 @@ func (h *harness) applyFault(f Fault) {
 			lbrm.Duplicate{P: 0.1, Lag: 2 * time.Millisecond},
 		))
 		clk.AfterFunc(f.Dur, heal)
+	case "sync-blackout":
+		// Every sync-class packet leaving the acting primary's host —
+		// LogSync records, ring tokens, ring installs — vanishes, while
+		// data, acks and NACK service keep flowing: the primary keeps
+		// logging (and, in quorum mode, parking acks) packets it can no
+		// longer replicate. Overlay so the heal composes with anything
+		// else on the link.
+		heal := h.tb.PrimaryNode.UpLink().PushLoss(classDrop{cls: wire.ClassSync, p: 1})
+		clk.AfterFunc(f.Dur, heal)
+	case "ring-partition":
+		// One ring replica's host is cut off both ways: its predecessor's
+		// tokens die, the ring stalls, and the primary must fall back to
+		// direct fan-in and repair a ring around the dead hop.
+		heal := h.tb.ReplicaNodes[f.Idx].Isolate(true, true)
+		clk.AfterFunc(f.Dur, heal)
 	case "partition-source":
 		// The acting primary's host is cut off — deaf, mute, or both — with
 		// all its state and timers intact. It receives nothing (deaf) or
@@ -1028,8 +1126,15 @@ func (h *harness) tap(ev lbrm.TapEvent) {
 	case wire.TypeHeartbeat:
 		pe, hasEpoch = p.PrimaryEpoch, true
 	case wire.TypeSourceAck, wire.TypeLogSync, wire.TypeLogSyncAck,
-		wire.TypePromote, wire.TypePrimaryRedirect, wire.TypeLogStateReply:
+		wire.TypePromote, wire.TypePrimaryRedirect, wire.TypeLogStateReply,
+		wire.TypeQuorumAck, wire.TypeRingConfig:
 		pe, hasEpoch = p.Epoch, true
+	}
+	// Invariant 11's durability watermark: the highest sequence any
+	// primary ever source-acked on the wire (non-dropped — a lost ack
+	// never released anything at the sender).
+	if p.Type == wire.TypeSourceAck && p.Seq > h.maxSourceAck {
+		h.maxSourceAck = p.Seq
 	}
 	if hasEpoch {
 		id := int(ev.From)
@@ -1207,6 +1312,7 @@ func (h *harness) checkFinalInvariants() {
 			"sender epoch gauge %d != PrimaryEpoch() %d", g, h.tb.Sender.PrimaryEpoch()))
 	}
 	h.checkFlightRecorder()
+	h.checkQuorumInvariants()
 	// Failover latency bound: detection needs backlog (≤ SendEvery old)
 	// aged past FailoverTimeout, observed by a jittered check firing at
 	// ≤ 1.25×FailoverTimeout intervals; then one probe round (FailoverWait)

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"lbrm/internal/wire"
+)
+
+// Quorum schedule classes. When Config.Quorum > 0 the harness runs the
+// durability matrix instead of the generic fault roulette: one single
+// fault targeting the replication machinery — the acting primary, one
+// ring replica, or one ring link — composed with a receiver-site
+// partition that forces post-heal recovery pressure onto whatever server
+// holds authority afterwards. Invariant 11 (DESIGN.md §12) then demands
+// perfection: with a surviving write quorum, no receiver ever skips a
+// sequence number, no ranges are abandoned, no backfill hole is declared
+// unrecoverable, and no source-acked sequence is lost.
+//
+// The crash-primary class is the adversarial centerpiece: a sync-class
+// blackout on the primary's up-link first starves the replicas of every
+// LogSync record and ring token (the primary keeps logging and — in
+// quorum mode — keeps parking acks), then the primary crashes at the
+// blackout's edge. Quorum mode survives because the sender still retains
+// everything past the parked watermark and re-supplies it to the promoted
+// replica; with quorum reverted (quorumRevert) the same schedule releases
+// the sender's buffer against a primary that is the packets' only copy,
+// and the loss becomes visible as receiver skips, abandoned ranges and
+// backfill skips — the proof that the mechanism, not luck, closes the
+// window.
+const (
+	quorumFaultCrashPrimary = "crash-primary"
+	quorumFaultCrashReplica = "crash-replica"
+	quorumFaultRingLink     = "ring-partition"
+	quorumFaultNone         = "none"
+)
+
+// classDrop is a packet-aware loss model dropping one wire traffic class
+// with probability p (p ≥ 1 is a class gate). Undecodable runts pass.
+type classDrop struct {
+	cls wire.TrafficClass
+	p   float64
+}
+
+// Drop implements netsim.LossModel (class unknown without bytes: pass).
+func (classDrop) Drop(time.Time, *rand.Rand) bool { return false }
+
+// DropPacket implements netsim.PacketAwareLoss.
+func (c classDrop) DropPacket(_ time.Time, rng *rand.Rand, data []byte) bool {
+	if len(data) <= 3 || wire.ClassOf(wire.Type(data[3])) != c.cls {
+		return false
+	}
+	return c.p >= 1 || rng.Float64() < c.p
+}
+
+// quorumSchedule derives the quorum durability schedule from the seed:
+// one receiver-site partition (recovery pressure) plus the configured —
+// or seed-drawn — single replication fault. QuorumFault "none" schedules
+// nothing (used by the per-packet replication-cost accounting, which
+// wants a fault-free baseline).
+func quorumSchedule(cfg Config, rng *rand.Rand) []Fault {
+	kind := cfg.QuorumFault
+	if kind == "" {
+		kind = [...]string{quorumFaultCrashPrimary, quorumFaultCrashReplica,
+			quorumFaultRingLink}[rng.Intn(3)]
+	}
+	if kind == quorumFaultNone {
+		return nil
+	}
+	d := cfg.Duration
+	out := []Fault{{
+		Kind: "partition", At: d * 32 / 100, Dur: d * 13 / 100,
+		Site: rng.Intn(cfg.Sites), Idx: -1,
+	}}
+	switch kind {
+	case quorumFaultCrashPrimary:
+		// Blackout ends just after the crash so the heal never races the
+		// crash at the same virtual instant; healing a dead node's link
+		// overlay is harmless.
+		out = append(out,
+			Fault{Kind: "sync-blackout", At: d * 28 / 100, Dur: d * 13 / 100,
+				Site: -1, Idx: -1},
+			Fault{Kind: "crash-primary", At: d * 2 / 5,
+				Dur: 1500 * time.Millisecond, Site: -1, Idx: -1})
+	case quorumFaultCrashReplica:
+		out = append(out, Fault{Kind: "crash-replica", At: d * 35 / 100,
+			Dur: 1500 * time.Millisecond, Site: -1, Idx: rng.Intn(cfg.Replicas)})
+	case quorumFaultRingLink:
+		out = append(out, Fault{Kind: "ring-partition", At: d * 33 / 100,
+			Dur: 2 * time.Second, Site: -1, Idx: rng.Intn(cfg.Replicas)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// checkQuorumInvariants enforces invariant 11 after a quorum-schedule run
+// (it also runs — and is meant to trip — under the quorumRevert knob,
+// where the same schedule executes with replication disabled):
+//
+//   - quorum-no-skip: every receiver delivered every sequence number the
+//     sender ever sent, end to end (the quorum schedule never crashes
+//     receivers, so the harness's OnData delivery ledger is complete);
+//   - quorum-abandoned: no receiver ever abandoned a recovery range;
+//   - quorum-skip: no promoted replica ever declared a backfill hole
+//     unrecoverable;
+//   - quorum-acked-loss: the highest source-acked sequence the wire tap
+//     saw leave any primary is retained contiguously by the server
+//     holding authority at the end of the run.
+func (h *harness) checkQuorumInvariants() {
+	if h.cfg.Quorum <= 0 {
+		return
+	}
+	for s := range h.delivered {
+		for j := range h.delivered[s] {
+			var missing []uint64
+			for seq := uint64(1); seq <= h.res.LastSeq && len(missing) < 8; seq++ {
+				if !h.delivered[s][j][seq] {
+					missing = append(missing, seq)
+				}
+			}
+			if len(missing) > 0 {
+				h.violate("quorum-no-skip", fmt.Sprintf(
+					"site%d/rcv%d never delivered seqs %v (lastSeq %d)",
+					s+1, j, missing, h.res.LastSeq))
+			}
+		}
+	}
+	var abandoned uint64
+	for s := range h.receivers {
+		for _, r := range h.receivers[s] {
+			abandoned += r.Stats().RangesAbandoned
+		}
+	}
+	if abandoned > 0 {
+		h.violate("quorum-abandoned", fmt.Sprintf(
+			"%d recovery ranges abandoned across receivers", abandoned))
+	}
+	var skipped uint64
+	for _, p := range h.primaries {
+		skipped += p.Stats().BackfillSkipped
+	}
+	if skipped > 0 {
+		h.violate("quorum-skip", fmt.Sprintf(
+			"%d sequence numbers declared unrecoverable by promoted replicas", skipped))
+	}
+	for i, node := range h.primaryNodes {
+		if node.Crashed() || h.primaries[i].IsReplica() {
+			continue
+		}
+		if got := h.primaries[i].Contiguous(h.logKey); got < h.maxSourceAck {
+			h.violate("quorum-acked-loss", fmt.Sprintf(
+				"acting primary holds %d contiguous but %d was source-acked on the wire",
+				got, h.maxSourceAck))
+		}
+	}
+}

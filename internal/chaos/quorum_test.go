@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lbrm/internal/wire"
+)
+
+// quorumFaultKinds is the quorum durability matrix's fault axis.
+var quorumFaultKinds = []string{
+	quorumFaultCrashPrimary, quorumFaultCrashReplica, quorumFaultRingLink,
+}
+
+// TestChaosQuorumMatrix is the quorum durability matrix: 14 seeds × 3
+// single-fault classes (primary crash, replica crash, ring-link
+// partition), each composed with a seed-drawn receiver-site partition, all
+// with a surviving write quorum of 2 out of 3 replicas. Every run must
+// hold every invariant — including invariant 11: zero receiver skips,
+// zero abandoned ranges, zero backfill skips, no acked-sequence loss.
+func TestChaosQuorumMatrix(t *testing.T) {
+	for _, kind := range quorumFaultKinds {
+		for seed := int64(1); seed <= 14; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", kind, seed), func(t *testing.T) {
+				res, err := Run(Config{Seed: seed, Quorum: 2, QuorumFault: kind})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.OK() {
+					t.Fatalf("invariants violated:\n%s", res.Report())
+				}
+				if res.Metrics.Counters["primary.quorum.applied"] == 0 {
+					t.Fatal("quorum replication never applied a packet — ring inactive?")
+				}
+				if kind == quorumFaultCrashPrimary {
+					if res.Failovers == 0 || res.Promotions == 0 {
+						t.Fatalf("primary crashed but failovers=%d promotions=%d",
+							res.Failovers, res.Promotions)
+					}
+					if res.Metrics.Counters["primary.quorum.acks_parked"] == 0 {
+						t.Fatal("sync blackout parked no acks — quorum gating inactive?")
+					}
+				} else if res.Metrics.Counters["primary.quorum.ring_stalls"] == 0 {
+					t.Fatal("a ring hop died but the primary never detected a stall")
+				}
+			})
+		}
+	}
+}
+
+// TestChaosQuorumDeterministic pins seed-reproducibility for the quorum
+// schedule: same seed, same fault class, same packet trace.
+func TestChaosQuorumDeterministic(t *testing.T) {
+	for _, kind := range quorumFaultKinds {
+		a, err := Run(Config{Seed: 7, Quorum: 2, QuorumFault: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(Config{Seed: 7, Quorum: 2, QuorumFault: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TraceHash != b.TraceHash {
+			t.Fatalf("%s: same seed, different traces: %016x vs %016x",
+				kind, a.TraceHash, b.TraceHash)
+		}
+	}
+}
+
+// TestChaosQuorumRevertTrips is the proof-by-revert: the exact schedule
+// every crash-primary matrix run survives — sync blackout starving the
+// replicas, then the primary crash — must produce observable data loss
+// when quorum gating is disabled and the primary again acks packets it is
+// the only copy of. The run still converges (freshness over completeness)
+// but invariant 11 trips on every front: receivers skip sequence numbers,
+// abandon recovery ranges, and the promoted replica declares backfill
+// holes unrecoverable.
+func TestChaosQuorumRevertTrips(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		gated, err := Run(Config{Seed: seed, Quorum: 2, QuorumFault: quorumFaultCrashPrimary})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gated.OK() {
+			t.Fatalf("seed %d with quorum gating: %s", seed, gated.Report())
+		}
+		reverted, err := Run(Config{Seed: seed, Quorum: 2,
+			QuorumFault: quorumFaultCrashPrimary, quorumRevert: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		for _, v := range reverted.Violations {
+			got[v.Name] = true
+		}
+		for _, want := range []string{"quorum-no-skip", "quorum-abandoned", "quorum-skip"} {
+			if !got[want] {
+				t.Fatalf("seed %d reverted run missing expected violation %q; got:\n%s",
+					seed, want, reverted.Report())
+			}
+		}
+		if reverted.BackfillSkipped == 0 {
+			t.Fatalf("seed %d reverted run lost no sequences — revert knob inert?", seed)
+		}
+	}
+}
+
+// TestChaosQuorumReplicationCostConstant is the O(1)-in-replica-count
+// accounting check, settled against the wire tap's per-node transmit
+// ledger rather than any component counter: on a fault-free run, the
+// acting primary sends about one sync-class packet per logged data packet
+// (the single ring token; plus ring installation and join-window LogSync
+// catch-up) whether the ring has 3 replicas or 5. Direct fan-out would
+// cost one message per replica per packet — 3 and 5 — and going from 3 to
+// 5 replicas would add ≥ 2 packets per packet; the ring's marginal cost
+// must stay far below that. Each replica likewise forwards each token at
+// most once.
+func TestChaosQuorumReplicationCostConstant(t *testing.T) {
+	perPkt := make(map[int]float64)
+	for _, replicas := range []int{3, 5} {
+		res, err := Run(Config{Seed: 2, Quorum: 2, Replicas: replicas,
+			QuorumFault: quorumFaultNone, Duration: 8e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK() {
+			t.Fatalf("replicas=%d: %s", replicas, res.Report())
+		}
+		if res.LastSeq == 0 {
+			t.Fatal("no traffic")
+		}
+		sync := res.NodeTx["primary"][wire.ClassSync]
+		perPkt[replicas] = float64(sync.Packets) / float64(res.LastSeq)
+		if perPkt[replicas] > 2.0 {
+			t.Fatalf("replicas=%d: primary sent %.2f sync pkts per data pkt (tap: %d sync pkts, %d data pkts), want ≈ 1",
+				replicas, perPkt[replicas], sync.Packets, res.LastSeq)
+		}
+		for i := 0; i < replicas; i++ {
+			rsync := res.NodeTx[fmt.Sprintf("replica%d", i)][wire.ClassSync]
+			if per := float64(rsync.Packets) / float64(res.LastSeq); per > 2.0 {
+				t.Fatalf("replicas=%d: replica%d sent %.2f sync pkts per data pkt, want ≈ 1",
+					replicas, i, per)
+			}
+		}
+		// The ring really carried the payloads: every hop applied ~every
+		// packet.
+		if applied := res.Metrics.Counters["primary.quorum.applied"]; applied < res.LastSeq*uint64(replicas-1) {
+			t.Fatalf("replicas=%d: only %d ring applications for %d packets × %d hops",
+				replicas, applied, res.LastSeq, replicas)
+		}
+	}
+	if grow := perPkt[5] - perPkt[3]; grow > 1.0 {
+		t.Fatalf("primary per-packet sync cost grew %.2f going 3→5 replicas (%.2f → %.2f); direct fan-out would add 2.00, a ring must stay ≈ 0",
+			grow, perPkt[3], perPkt[5])
+	}
+}
+
+// TestChaosQuorumLowRateNoFalseStalls pins two low-send-rate liveness
+// bugs found by driving the CLI at its defaults (1 s interval, 2 m run —
+// both longer than RingStallTimeout and FailoverTimeout): the ring-stall
+// detector used time-since-last-return, so a freshly launched token
+// looked stale the moment a tick landed in its few-ms flight window, and
+// the sender's failover check measured ack-idleness from the previous
+// ack, so every newly retained packet started life already "overdue".
+// Both made a fault-free quorum run thrash through spurious
+// stall/repair/failover cycles. With the fixes, a fault-free low-rate run
+// must see no stalls, no failovers, and no parked acks.
+func TestChaosQuorumLowRateNoFalseStalls(t *testing.T) {
+	res, err := Run(Config{
+		Seed: 7, Quorum: 2, QuorumFault: quorumFaultNone,
+		Duration: 45 * time.Second, SendEvery: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariants violated:\n%s", res.Report())
+	}
+	if res.Failovers != 0 {
+		t.Errorf("fault-free low-rate run elected %d new primaries, want 0", res.Failovers)
+	}
+	if v := res.Metrics.Counters["primary.quorum.ring_stalls"]; v != 0 {
+		t.Errorf("ring_stalls = %d, want 0 (no faults scheduled)", v)
+	}
+	// One below-watermark ack per packet (the onData ack racing its own
+	// ring token) is steady state; a healthy ring must not re-park.
+	if v := res.Metrics.Counters["primary.quorum.acks_parked"]; v > res.LastSeq {
+		t.Errorf("acks_parked = %d > %d packets: parked acks churned on a healthy ring", v, res.LastSeq)
+	}
+}

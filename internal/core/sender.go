@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"lbrm/internal/estimator"
@@ -238,6 +239,13 @@ type Sender struct {
 	replicaAcked uint64 // cumulative replicated logger seq
 	released     uint64 // highest seq ever released from retention
 	lastAckAt    time.Time
+	// retainSince is when retention last became nonempty. The failover
+	// liveness check measures ack-idleness from whichever of lastAckAt /
+	// retainSince is later: at send intervals longer than FailoverTimeout
+	// the previous ack is legitimately a full interval old the moment a
+	// new packet enters retention, and the primary deserves a fresh
+	// FailoverTimeout to acknowledge it.
+	retainSince time.Time
 
 	primary transport.Addr
 	// primaryEpoch is the fencing token (§2.2.3): minted (incremented) at
@@ -273,8 +281,8 @@ type Sender struct {
 	// bindings copy the datagram before returning, so reuse is safe.
 	scratch []byte
 	// dec recycles NACK range storage across decodes.
-	dec wire.Decoder
-	stats   SenderStats
+	dec   wire.Decoder
+	stats SenderStats
 	// mx caches the preregistered metric handles (all nil-safe).
 	mx senderMetrics
 }
@@ -556,6 +564,9 @@ func (s *Sender) Send(payload []byte) (uint64, error) {
 	s.stats.DataSent++
 	s.mx.dataSent.Inc()
 	s.lastData = &p
+	if len(s.retained) == 0 {
+		s.retainSince = s.env.Now()
+	}
 	s.retained[seq] = &retainedPkt{seq: seq, payload: append([]byte(nil), payload...)}
 	s.epochPackets++
 	if s.cfg.RetransChannel != 0 {
@@ -965,7 +976,11 @@ func (s *Sender) failoverCheck() {
 	if s.failover != nil {
 		return
 	}
-	idle := s.env.Now().Sub(s.lastAckAt)
+	ackRef := s.lastAckAt
+	if s.retainSince.After(ackRef) {
+		ackRef = s.retainSince
+	}
+	idle := s.env.Now().Sub(ackRef)
 	if len(s.retained) > 0 && idle >= s.cfg.FailoverTimeout && len(s.cfg.Replicas) > 0 {
 		s.beginFailover()
 	} else {
@@ -1040,14 +1055,21 @@ func (s *Sender) completeFailover(fo *failoverState) {
 		Seq: s.released, Epoch: s.primaryEpoch,
 	}
 	s.send(fo.best, &prom)
-	// Bring the new primary up to date from the retention buffer.
-	for seq, rp := range s.retained {
-		if seq <= fo.bestSeq {
-			continue
+	// Bring the new primary up to date from the retention buffer, in
+	// sequence order: in-order re-supply lets the new primary's log
+	// advance contiguously (no gap bookkeeping while it catches up), and
+	// keeps the wire trace a pure function of the run's seed.
+	resupply := make([]uint64, 0, len(s.retained))
+	for seq := range s.retained {
+		if seq > fo.bestSeq {
+			resupply = append(resupply, seq)
 		}
+	}
+	sort.Slice(resupply, func(i, j int) bool { return resupply[i] < resupply[j] })
+	for _, seq := range resupply {
 		r := wire.Packet{
 			Type: wire.TypeRetrans, Flags: wire.FlagRetransmission,
-			Source: s.cfg.Source, Group: s.cfg.Group, Seq: seq, Payload: rp.payload,
+			Source: s.cfg.Source, Group: s.cfg.Group, Seq: seq, Payload: s.retained[seq].payload,
 		}
 		s.send(fo.best, &r)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"nack", "recovery", "statack", "srm", "burst", "dis",
 		"estimate", "posack", "aggregation", "inline",
 		"hierarchy", "channel", "flow", "dissim", "reorder", "freshness",
-		"e20",
+		"e20", "e24",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -441,5 +442,47 @@ func TestE20RecoveryDistributions(t *testing.T) {
 		if v := r.Get(cl + ".fo_max_ms"); v <= 0 || v > 1500 {
 			t.Errorf("%s: failover max = %.0fms, want (0, 1500]", cl, v)
 		}
+	}
+}
+
+func TestE24QuorumCostShape(t *testing.T) {
+	r := QuorumCost()
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (single/quorum × 1/3/5 replicas)\n%s", len(r.Rows), r)
+	}
+	// Single-primary ack latency is flat in replica count (local write).
+	base := r.Get("ack_mean_ms_single@1")
+	if base <= 0 {
+		t.Fatalf("missing single-primary baseline:\n%s", r)
+	}
+	for _, n := range []string{"3", "5"} {
+		if v := r.Get("ack_mean_ms_single@" + n); math.Abs(v-base) > 1 {
+			t.Errorf("single-primary ack mean @%s replicas = %.2fms, want flat ≈%.2fms", n, v, base)
+		}
+	}
+	// Quorum latency grows with the ring (one LAN RTT per replica) but
+	// stays interactive: within ~2·(R+1)+slack hops of 1ms each.
+	for _, n := range []int{1, 3, 5} {
+		v := r.Get(fmt.Sprintf("ack_mean_ms_quorum@%d", n))
+		if v <= base {
+			t.Errorf("quorum ack mean @%d = %.2fms, want > single-primary %.2fms", n, v, base)
+		}
+		if bound := float64(2*(n+1)+4) * 1.0; v > bound {
+			t.Errorf("quorum ack mean @%d = %.2fms, want ≤ %.0fms (ring circulation bound)", n, v, bound)
+		}
+	}
+	// The headline claim: the primary's sync egress is O(1) in replica
+	// count under quorum (ring token), but O(R) single-primary (LogSync
+	// fan-out to every replica).
+	q3, q5 := r.Get("primary_sync_per_pkt_quorum@3"), r.Get("primary_sync_per_pkt_quorum@5")
+	if q3 > 2 || q5 > 2 {
+		t.Errorf("quorum primary sync/pkt = %.2f @3, %.2f @5 — want ≤ 2 (O(1) ring)", q3, q5)
+	}
+	if q5-q3 > 1 {
+		t.Errorf("quorum primary sync/pkt grew %.2f → %.2f from 3 to 5 replicas, want ≈flat", q3, q5)
+	}
+	s3, s5 := r.Get("primary_sync_per_pkt_single@3"), r.Get("primary_sync_per_pkt_single@5")
+	if s3 < 2.5 || s5 < 4.5 {
+		t.Errorf("single-primary sync/pkt = %.2f @3, %.2f @5 — want ≈R (direct fan-out)", s3, s5)
 	}
 }

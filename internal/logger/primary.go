@@ -1,7 +1,6 @@
 package logger
 
 import (
-	"sort"
 	"time"
 
 	"lbrm/internal/obs"
@@ -22,8 +21,24 @@ type PrimaryConfig struct {
 	// ReplicaRank selects which replica's cumulative sequence number is
 	// reported to the source as the replicated-logger sequence: 1 means
 	// the most up-to-date replica (the paper's default), 2 the
-	// second-most (stronger guarantee), and so on.
+	// second-most (stronger guarantee), and so on. Out-of-range values are
+	// clamped into [1, len(Replicas)] at construction (PrimaryStats.
+	// RankClamped counts the adjustment).
 	ReplicaRank int
+	// Quorum enables quorum replication mode when > 0: the primary
+	// withholds the source-ack watermark until Quorum replicas have
+	// applied each packet, replicating via the ack ring (DESIGN.md §12).
+	// Deliberately unclamped against len(Replicas): an unsatisfiable
+	// quorum parks acknowledgements and surfaces degraded health instead
+	// of quietly weakening the durability guarantee. 0 disables the mode.
+	Quorum int
+	// QuorumDeadline is how long acknowledgements may stay parked behind
+	// a lagging quorum before the primary reports degraded health.
+	QuorumDeadline time.Duration
+	// RingStallTimeout is how long the primary waits for an outstanding
+	// ring token before declaring the ring stalled, falling back to
+	// direct fan-in, and starting jittered-backoff ring repair.
+	RingStallTimeout time.Duration
 	// SyncRetry is the interval for re-sending unacknowledged LogSyncs.
 	SyncRetry time.Duration
 	// SyncBatch caps LogSync retransmissions per replica per retry tick.
@@ -64,6 +79,12 @@ func (c PrimaryConfig) withDefaults() PrimaryConfig {
 	}
 	if c.SyncRetry == 0 {
 		c.SyncRetry = 200 * time.Millisecond
+	}
+	if c.QuorumDeadline == 0 {
+		c.QuorumDeadline = 2 * time.Second
+	}
+	if c.RingStallTimeout == 0 {
+		c.RingStallTimeout = 2 * c.SyncRetry
 	}
 	if c.SyncBatch == 0 {
 		c.SyncBatch = 64
@@ -112,6 +133,22 @@ type PrimaryStats struct {
 	AdvancesSent    uint64
 	AdvancesApplied uint64
 	Malformed       uint64
+	// Quorum replication mode (DESIGN.md §12).
+	QuorumLaunched     uint64 // ring tokens launched (one per logged packet)
+	QuorumForwarded    uint64 // ring tokens forwarded (replica role)
+	QuorumApplied      uint64 // packets applied from ring tokens (replica role)
+	QuorumReturns      uint64 // data tokens that completed the ring
+	AcksParked         uint64 // source acks capped below the log watermark
+	QuorumDegradations uint64 // lagging episodes that outlived QuorumDeadline
+	RingStalls         uint64 // ring stall detections (fallback to direct fan-in)
+	RingRepairs        uint64 // successful ring re-formations (probe returned)
+	RingProbes         uint64 // repair probe tokens launched
+	RingConfigsSent    uint64 // ring role installations sent to replicas
+	RingConfigsApplied uint64 // ring roles this replica accepted
+	StaleQuorumAcks    uint64 // ring tokens fenced for an old epoch
+	StaleRingTokens    uint64 // ring tokens dropped for a superseded ring version
+	StaleRingConfigs   uint64 // ring configs fenced or superseded
+	RankClamped        uint64 // out-of-range ReplicaRank clamped at construction
 }
 
 // Primary is the primary logging server: it logs every packet from the
@@ -141,6 +178,18 @@ type Primary struct {
 	backfill *backfillState
 	// last is a one-entry stream cache (see Secondary.last).
 	last *priStream
+	// q is the quorum-mode ring state (nil while the mode is off or the
+	// server has not yet acted as primary with cfg.Quorum > 0).
+	q *quorumState
+	// ring is this server's replica-side ring role (forwarding hop).
+	ring ringRole
+	// rankBuf is the reusable per-replica watermark sort buffer, keeping
+	// replicaSeq/quorumSeq allocation-free on the ack hot path.
+	rankBuf []uint64
+	// wmBuf is the reusable ring-token watermark buffer for the replica
+	// forward hop (the decoded slice aliases Decoder storage that must not
+	// be grown in place).
+	wmBuf []uint64
 	// dec recycles NACK range storage across decodes.
 	dec wire.Decoder
 	// scratch is the reusable wire-encoding buffer (bindings copy).
@@ -172,6 +221,15 @@ type primaryMetrics struct {
 	advancesSent    *obs.Counter
 	advancesApplied *obs.Counter
 	epoch           *obs.Gauge
+	// Quorum replication mode.
+	quorumApplied *obs.Counter
+	acksParked    *obs.Counter
+	ringStalls    *obs.Counter
+	ringRepairs   *obs.Counter
+	quorumDepth   *obs.Gauge
+	quorumHealth  *obs.Gauge
+	quorumLag     *obs.Histogram
+	ringRTT       *obs.Histogram
 }
 
 func newPrimaryMetrics(sink *obs.Sink) primaryMetrics {
@@ -197,6 +255,16 @@ func newPrimaryMetrics(sink *obs.Sink) primaryMetrics {
 		advancesSent:    sink.Counter("primary.advances_sent"),
 		advancesApplied: sink.Counter("primary.advances_applied"),
 		epoch:           sink.Gauge("primary.epoch"),
+		quorumApplied:   sink.Counter("primary.quorum.applied"),
+		acksParked:      sink.Counter("primary.quorum.acks_parked"),
+		ringStalls:      sink.Counter("primary.quorum.ring_stalls"),
+		ringRepairs:     sink.Counter("primary.quorum.ring_repairs"),
+		quorumDepth:     sink.Gauge("primary.quorum.depth"),
+		quorumHealth:    sink.Gauge("primary.quorum.health"),
+		quorumLag: sink.Histogram("primary.quorum.replication_lag",
+			[]uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+		ringRTT: sink.Histogram("primary.quorum.ring_rtt_ms",
+			[]uint64{1, 2, 5, 10, 25, 50, 100, 250}),
 	}
 }
 
@@ -210,11 +278,22 @@ type priStream struct {
 	nackTimer  vtime.Timer
 	retryTimer vtime.Timer
 	retries    int
+	// Quorum mode: lastQuorumAck is the highest quorum-gated watermark
+	// minted toward the source (never regresses — a replica restart may
+	// pull the truthful quorum watermark back, but the promise already
+	// made stands); lastAckSeq/lastAckAt rate-limit re-acks at a parked
+	// watermark, which only serve as primary-liveness proof.
+	lastQuorumAck uint64
+	lastAckSeq    uint64
+	lastAckAt     int64
 }
 
 type replicaState struct {
 	addr  transport.Addr
 	acked map[StreamKey]uint64 // cumulative LogSyncAck per stream
+	// lastSeen is when the replica last proved liveness (LogSyncAck or a
+	// ring-token hop); ring repair prefers recently-seen replicas.
+	lastSeen int64
 }
 
 // backfillState tracks a promoted replica's fetch of the packets released
@@ -243,6 +322,20 @@ func NewPrimary(cfg PrimaryConfig) *Primary {
 		mx:      newPrimaryMetrics(cfg.Obs),
 	}
 	p.mx.epoch.Set(int64(cfg.Epoch))
+	// Validate ReplicaRank against the configured replica set: a negative
+	// rank or one past the roster cannot select anything meaningful, so it
+	// is clamped into range (and counted) rather than silently misreported
+	// or left to index out of bounds on a future roster change.
+	if p.cfg.ReplicaRank < 1 {
+		p.cfg.ReplicaRank = 1
+		p.stats.RankClamped++
+	} else if n := len(p.cfg.Replicas); n > 0 && p.cfg.ReplicaRank > n {
+		p.cfg.ReplicaRank = n
+		p.stats.RankClamped++
+	}
+	if p.cfg.Quorum < 0 {
+		p.cfg.Quorum = 0
+	}
 	for _, a := range cfg.Replicas {
 		p.replicas = append(p.replicas, &replicaState{addr: a, acked: make(map[StreamKey]uint64)})
 	}
@@ -318,6 +411,7 @@ func (p *Primary) now() int64 {
 // role; the new primary owns closing the hole now.
 func (p *Primary) demote() {
 	p.replica = true
+	p.ring.active = false // wait for the new primary to install a fresh role
 	p.stats.Demotions++
 	p.mx.demotions.Inc()
 	p.mx.sink.Emit(p.now(), obs.KindDemote, uint64(p.epoch), uint64(p.epoch), 0)
@@ -352,6 +446,9 @@ func (p *Primary) Start(env transport.Env) {
 	p.env = env
 	if !p.replica {
 		p.joinAndSync()
+		// A configured acting primary starts with an optimistic full ring:
+		// every replica is assumed live until the ring proves otherwise.
+		p.initQuorum(true)
 	}
 	p.startEviction()
 }
@@ -429,6 +526,10 @@ func (p *Primary) Recv(from transport.Addr, data []byte) {
 		p.onLogSync(from, &pkt)
 	case wire.TypeLogSyncAck:
 		p.onLogSyncAck(from, &pkt)
+	case wire.TypeQuorumAck:
+		p.onQuorumAck(&pkt)
+	case wire.TypeRingConfig:
+		p.onRingConfig(&pkt)
 	case wire.TypeLogStateQuery:
 		p.onStateQuery(from, &pkt)
 	case wire.TypeLogStateReply:
@@ -465,7 +566,7 @@ func (p *Primary) onData(from transport.Addr, pkt *wire.Packet) {
 	if st.store.Put(pkt.Seq, pkt.Payload, p.env.Now()) {
 		p.stats.PacketsLogged++
 		p.mx.logged.Inc()
-		p.replicate(st, pkt.Seq)
+		p.replicateOrRing(st, pkt.Seq)
 	} else {
 		p.stats.Duplicates++
 		p.mx.duplicates.Inc()
@@ -499,7 +600,7 @@ func (p *Primary) onHeartbeat(from transport.Addr, pkt *wire.Packet) {
 		if st.store.Put(pkt.Seq, pkt.Payload, p.env.Now()) {
 			p.stats.PacketsLogged++
 			p.mx.logged.Inc()
-			p.replicate(st, pkt.Seq)
+			p.replicateOrRing(st, pkt.Seq)
 			p.ackSource(st)
 		}
 	}
@@ -514,13 +615,46 @@ func (p *Primary) onHeartbeat(from transport.Addr, pkt *wire.Packet) {
 // sequence (the rank-selected replica's cumulative ack). With no replicas
 // configured they coincide, so a source configured to wait for replica
 // durability still makes progress.
+//
+// In quorum mode (cfg.Quorum > 0) the acknowledged watermark is capped at
+// the write-quorum watermark: the source never releases a packet fewer than
+// Quorum replicas have applied. Capped ("parked") acks are rate-limited —
+// they carry no new information and only prove the primary is alive.
 func (p *Primary) ackSource(st *priStream) {
 	if st.source == nil {
 		return
 	}
+	seq := st.store.Contiguous()
+	repSeq := p.replicaSeq(st.key)
+	if p.quorumOn() {
+		contig := seq
+		if qs := p.quorumSeq(st.key); qs < seq {
+			seq = qs
+		}
+		// The minted watermark never regresses (see priStream.lastQuorumAck).
+		if seq < st.lastQuorumAck {
+			seq = st.lastQuorumAck
+		} else {
+			st.lastQuorumAck = seq
+		}
+		if repSeq > seq {
+			repSeq = seq
+		}
+		now := p.now()
+		if seq < contig {
+			if seq == st.lastAckSeq && now-st.lastAckAt < int64(p.cfg.SyncRetry) {
+				return // parked duplicate; the next token return re-acks
+			}
+			p.stats.AcksParked++
+			p.mx.acksParked.Inc()
+			p.mx.quorumLag.Observe(contig - seq)
+		}
+		st.lastAckSeq = seq
+		st.lastAckAt = now
+	}
 	ack := wire.Packet{
 		Type: wire.TypeSourceAck, Source: st.key.Source, Group: st.key.Group,
-		Seq: st.store.Contiguous(), ReplicaSeq: p.replicaSeq(st.key),
+		Seq: seq, ReplicaSeq: repSeq,
 		Epoch: p.epoch,
 	}
 	p.send(st.source, &ack)
@@ -536,16 +670,32 @@ func (p *Primary) replicaSeq(key StreamKey) uint64 {
 		}
 		return 0
 	}
-	acked := make([]uint64, 0, len(p.replicas))
-	for _, r := range p.replicas {
-		acked = append(acked, r.acked[key])
-	}
-	sort.Slice(acked, func(i, j int) bool { return acked[i] > acked[j] })
 	rank := p.cfg.ReplicaRank
-	if rank > len(acked) {
-		rank = len(acked)
+	if rank > len(p.replicas) {
+		rank = len(p.replicas)
 	}
-	return acked[rank-1]
+	return p.rankSeq(key, rank)
+}
+
+// rankSeq returns the rank-th largest per-replica cumulative watermark for
+// the stream (1 = most up-to-date replica), or 0 when rank is out of range.
+// It reuses p.rankBuf with an in-place insertion sort — replica sets are
+// tiny and sort.Slice would allocate on the ack hot path.
+func (p *Primary) rankSeq(key StreamKey, rank int) uint64 {
+	if rank < 1 || rank > len(p.replicas) {
+		return 0
+	}
+	buf := p.rankBuf[:0]
+	for _, r := range p.replicas {
+		buf = append(buf, r.acked[key])
+	}
+	p.rankBuf = buf
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j] > buf[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	return buf[rank-1]
 }
 
 // replicate eagerly ships one just-logged packet to every replica.
@@ -724,7 +874,7 @@ func (p *Primary) onLogSync(from transport.Addr, pkt *wire.Packet) {
 	p.sendSyncAck(from, st)
 	// A promoted replica with replicas of its own forwards the sync on.
 	if !p.replica {
-		p.replicate(st, pkt.Seq)
+		p.replicateOrRing(st, pkt.Seq)
 	}
 }
 
@@ -750,8 +900,16 @@ func (p *Primary) onLogSyncAck(from transport.Addr, pkt *wire.Packet) {
 	key := KeyOf(pkt)
 	for _, r := range p.replicas {
 		if r.addr == from {
+			r.lastSeen = p.now()
 			if pkt.Seq > r.acked[key] {
 				r.acked[key] = pkt.Seq
+				// Direct fan-in progress mints quorum-gated acks too (the
+				// ring path acks on token return).
+				if p.quorumOn() {
+					if st := p.streams[key]; st != nil {
+						p.ackSource(st)
+					}
+				}
 			}
 			return
 		}
@@ -810,6 +968,7 @@ func (p *Primary) onPromote(from transport.Addr, pkt *wire.Packet) {
 		return
 	}
 	p.replica = false
+	p.ring.active = false // the ring role died with the old primary
 	p.stats.Promotions++
 	p.mx.promotions.Inc()
 	p.mx.sink.Emit(p.now(), obs.KindPromote, uint64(p.epoch), pkt.Seq, 0)
@@ -819,6 +978,10 @@ func (p *Primary) onPromote(from transport.Addr, pkt *wire.Packet) {
 		}
 	}
 	p.joinAndSync()
+	// A promoted primary cannot assume the old ring survived the fault that
+	// elected it: start in direct fan-in and probe a ring out of the peers
+	// that prove themselves live.
+	p.initQuorum(false)
 	st := p.stream(KeyOf(pkt))
 	st.source = from
 	if floor := pkt.Seq; floor > st.store.Contiguous() {

@@ -1,0 +1,445 @@
+package logger
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lbrm/internal/obs"
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/transporttest"
+	"lbrm/internal/wire"
+)
+
+// qnode is one logger in a miniature quorum cluster, with its own fake env.
+type qnode struct {
+	name string
+	p    *Primary
+	env  *transporttest.Env
+}
+
+// qcluster wires a primary and its replicas together by shuttling captured
+// datagrams between their fake envs.
+type qcluster struct {
+	t      *testing.T
+	nodes  []*qnode
+	byAddr map[transport.Addr]*qnode
+	// drop, when set, silently discards datagrams (simulated partition).
+	drop func(from, to transport.Addr) bool
+}
+
+// newQuorumCluster builds a primary with nreps replicas in quorum mode.
+// cfg seeds the primary's config; replicas copy it with the role flipped.
+func newQuorumCluster(t *testing.T, quorum, nreps int, cfg PrimaryConfig) *qcluster {
+	t.Helper()
+	if cfg.Group == 0 {
+		cfg.Group = testGroup
+	}
+	cfg.Quorum = quorum
+	c := &qcluster{t: t, byAddr: make(map[transport.Addr]*qnode)}
+	var repAddrs []transport.Addr
+	for i := 1; i <= nreps; i++ {
+		repAddrs = append(repAddrs, transporttest.Addr(fmt.Sprintf("r%d", i)))
+	}
+	pcfg := cfg
+	pcfg.Replicas = repAddrs
+	pn := &qnode{name: "primary", p: NewPrimary(pcfg), env: transporttest.NewEnv("primary")}
+	c.add(pn)
+	for i := 1; i <= nreps; i++ {
+		rcfg := cfg
+		rcfg.Replica = true
+		rcfg.Epoch = 0
+		for j, a := range repAddrs {
+			if j != i-1 {
+				rcfg.Peers = append(rcfg.Peers, a)
+			}
+		}
+		name := fmt.Sprintf("r%d", i)
+		c.add(&qnode{name: name, p: NewPrimary(rcfg), env: transporttest.NewEnv(name)})
+	}
+	for _, n := range c.nodes {
+		n.p.Start(n.env)
+	}
+	c.pump()
+	return c
+}
+
+func (c *qcluster) add(n *qnode) {
+	c.nodes = append(c.nodes, n)
+	c.byAddr[n.env.LocalAddr()] = n
+}
+
+func (c *qcluster) primary() *qnode { return c.nodes[0] }
+
+// pump delivers captured datagrams between nodes until the cluster is
+// quiescent. Unroutable destinations (e.g. the source) stay captured on the
+// sending env for the test to inspect.
+func (c *qcluster) pump() {
+	for moved := true; moved; {
+		moved = false
+		for _, n := range c.nodes {
+			var keep []transporttest.Sent
+			for _, s := range n.env.TakeSents() {
+				dst := c.byAddr[s.To]
+				if dst == nil {
+					keep = append(keep, transporttest.Sent{
+						To: s.To, Data: append([]byte(nil), s.Data...)})
+					continue
+				}
+				moved = true
+				if c.drop != nil && c.drop(n.env.LocalAddr(), s.To) {
+					continue
+				}
+				dst.p.Recv(n.env.LocalAddr(), s.Data)
+			}
+			n.env.Sents = append(n.env.Sents, keep...)
+		}
+	}
+}
+
+// advance steps every node's clock together, pumping between steps.
+func (c *qcluster) advance(d time.Duration) {
+	const step = 10 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < d; elapsed += step {
+		for _, n := range c.nodes {
+			n.env.Advance(step)
+		}
+		c.pump()
+	}
+}
+
+// sourceAcks decodes the SourceAcks captured on the primary's env (they are
+// unroutable in the cluster) and clears them.
+func (c *qcluster) sourceAcks() []wire.Packet {
+	var acks []wire.Packet
+	var keep []transporttest.Sent
+	for _, s := range c.primary().env.Sents {
+		var p wire.Packet
+		if err := p.Unmarshal(s.Data); err != nil {
+			c.t.Fatalf("malformed captured packet: %v", err)
+		}
+		if p.Type == wire.TypeSourceAck {
+			acks = append(acks, p)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	c.primary().env.Sents = keep
+	return acks
+}
+
+func (c *qcluster) sendData(seq uint64, payload string) {
+	c.primary().p.Recv(srcAddr, mustMarshal(c.t, dataPkt(seq, payload)))
+	c.pump()
+}
+
+func TestQuorumRingHappyPath(t *testing.T) {
+	c := newQuorumCluster(t, 2, 2, PrimaryConfig{})
+	pn := c.primary()
+	if got := pn.p.Stats().RingConfigsSent; got != 2 {
+		t.Fatalf("RingConfigsSent = %d, want 2", got)
+	}
+	c.sendData(1, "one")
+	acks := c.sourceAcks()
+	if len(acks) == 0 || acks[len(acks)-1].Seq != 1 {
+		t.Fatalf("acks = %+v, want final cumulative 1", acks)
+	}
+	// The first ack (minted at data arrival, before the token returned) must
+	// have been quorum-parked at 0, and the final one fully replicated.
+	if acks[0].Seq != 0 {
+		t.Fatalf("first ack Seq = %d, want parked 0", acks[0].Seq)
+	}
+	ps := pn.p.Stats()
+	if ps.QuorumLaunched != 1 || ps.QuorumReturns != 1 {
+		t.Fatalf("launched/returns = %d/%d, want 1/1", ps.QuorumLaunched, ps.QuorumReturns)
+	}
+	if ps.LogSyncsSent != 0 {
+		t.Fatalf("LogSyncsSent = %d, want 0 (ring mode replicates via tokens)", ps.LogSyncsSent)
+	}
+	for _, n := range c.nodes[1:] {
+		rs := n.p.Stats()
+		if rs.QuorumApplied != 1 || rs.QuorumForwarded != 1 {
+			t.Fatalf("%s applied/forwarded = %d/%d, want 1/1", n.name, rs.QuorumApplied, rs.QuorumForwarded)
+		}
+		if got := n.p.Contiguous(StreamKey{Source: testSource, Group: testGroup}); got != 1 {
+			t.Fatalf("%s contiguous = %d, want 1", n.name, got)
+		}
+	}
+}
+
+// TestQuorumPerPacketCostConstant is the unit-level half of the O(1) claim:
+// the primary sends exactly one sync-class message per logged packet
+// regardless of replica count (the tap-based accounting test in
+// internal/chaos covers the full datapath).
+func TestQuorumPerPacketCostConstant(t *testing.T) {
+	const packets = 20
+	for _, nreps := range []int{3, 5} {
+		c := newQuorumCluster(t, 1, nreps, PrimaryConfig{})
+		for seq := uint64(1); seq <= packets; seq++ {
+			c.sendData(seq, "x")
+		}
+		ps := c.primary().p.Stats()
+		if ps.QuorumLaunched != packets {
+			t.Fatalf("%d replicas: QuorumLaunched = %d, want %d", nreps, ps.QuorumLaunched, packets)
+		}
+		if ps.LogSyncsSent != 0 {
+			t.Fatalf("%d replicas: LogSyncsSent = %d, want 0", nreps, ps.LogSyncsSent)
+		}
+		// Every replica forwards each token exactly once: R+1 link messages
+		// per packet in total, one per ring link.
+		for _, n := range c.nodes[1:] {
+			if got := n.p.Stats().QuorumForwarded; got != packets {
+				t.Fatalf("%d replicas: %s forwarded %d, want %d", nreps, n.name, got, packets)
+			}
+		}
+	}
+}
+
+func TestQuorumParksAcksUntilQuorum(t *testing.T) {
+	c := newQuorumCluster(t, 2, 2, PrimaryConfig{})
+	// Partition both replicas: tokens die on the wire.
+	c.drop = func(from, to transport.Addr) bool { return to != c.primary().env.LocalAddr() }
+	c.sendData(1, "one")
+	c.sendData(2, "two")
+	for _, a := range c.sourceAcks() {
+		if a.Seq != 0 {
+			t.Fatalf("ack Seq = %d while quorum unreachable, want 0", a.Seq)
+		}
+	}
+	if ps := c.primary().p.Stats(); ps.AcksParked == 0 {
+		t.Fatal("AcksParked not counted")
+	}
+	// Heal: the periodic LogSync repair closes the gap, and the direct-path
+	// LogSyncAcks mint the withheld watermark.
+	c.drop = nil
+	c.advance(3 * time.Second)
+	acks := c.sourceAcks()
+	if len(acks) == 0 || acks[len(acks)-1].Seq != 2 {
+		t.Fatalf("post-heal acks = %+v, want final 2", acks)
+	}
+	for i := 1; i < len(acks); i++ {
+		if acks[i].Seq < acks[i-1].Seq {
+			t.Fatalf("ack watermark regressed: %+v", acks)
+		}
+	}
+}
+
+func TestQuorumUnsatisfiableReportsDegraded(t *testing.T) {
+	sink := obs.NewSink()
+	c := newQuorumCluster(t, 3, 2, PrimaryConfig{Obs: sink}) // quorum > replicas
+	c.sendData(1, "one")
+	c.advance(3 * time.Second) // past the 2s QuorumDeadline
+	for _, a := range c.sourceAcks() {
+		if a.Seq != 0 {
+			t.Fatalf("ack Seq = %d with unsatisfiable quorum, want 0", a.Seq)
+		}
+	}
+	ps := c.primary().p.Stats()
+	if ps.QuorumDegradations == 0 {
+		t.Fatal("QuorumDegradations not counted")
+	}
+	if got := sink.Gauge("primary.quorum.health").Value(); got != QuorumHealthDegraded {
+		t.Fatalf("health gauge = %d, want %d (degraded)", got, QuorumHealthDegraded)
+	}
+	// Parked acks keep flowing as liveness proof (rate-limited, not silent).
+	before := c.primary().p.Stats().SourceAcks
+	c.advance(time.Second)
+	if after := c.primary().p.Stats().SourceAcks; after <= before {
+		t.Fatal("no liveness re-acks while parked")
+	}
+}
+
+func TestRingStallFallsBackAndRepairs(t *testing.T) {
+	c := newQuorumCluster(t, 1, 2, PrimaryConfig{})
+	r1 := c.nodes[1].env.LocalAddr()
+	c.sendData(1, "one")
+	if ps := c.primary().p.Stats(); ps.QuorumReturns != 1 {
+		t.Fatalf("ring not working before fault: %+v", ps)
+	}
+	// Partition the first hop: tokens die there, nothing returns.
+	c.drop = func(from, to transport.Addr) bool { return to == r1 }
+	c.sendData(2, "two")
+	c.advance(2 * time.Second)
+	ps := c.primary().p.Stats()
+	if ps.RingStalls == 0 {
+		t.Fatalf("stall not detected: %+v", ps)
+	}
+	// Direct fan-in + the surviving replica satisfy quorum 1: the ack for
+	// seq 2 must have been minted despite the dead ring hop.
+	acks := c.sourceAcks()
+	if len(acks) == 0 || acks[len(acks)-1].Seq != 2 {
+		t.Fatalf("acks during fallback = %+v, want final 2", acks)
+	}
+	// Repair routes AROUND the dead hop: the probe ring is formed from the
+	// replicas that prove themselves live, so it comes back without r1.
+	if ps.RingRepairs == 0 {
+		t.Fatalf("ring not repaired around the dead hop: %+v", ps)
+	}
+	// The repaired ring replicates and acks with the fault still present.
+	returns := ps.QuorumReturns
+	c.sendData(3, "three")
+	ps = c.primary().p.Stats()
+	if ps.QuorumReturns != returns+1 {
+		t.Fatalf("post-repair token did not return (returns %d → %d)", returns, ps.QuorumReturns)
+	}
+	acks = c.sourceAcks()
+	if len(acks) == 0 || acks[len(acks)-1].Seq != 3 {
+		t.Fatalf("post-repair acks = %+v, want final 3", acks)
+	}
+	// Heal the partition: the excluded replica catches up via the direct
+	// LogSync repair tick even while off the ring.
+	c.drop = nil
+	c.advance(3 * time.Second)
+	if got := c.nodes[1].p.Contiguous(StreamKey{Source: testSource, Group: testGroup}); got != 3 {
+		t.Fatalf("healed replica contiguous = %d, want 3 (direct repair)", got)
+	}
+}
+
+func TestQuorumAckFencing(t *testing.T) {
+	c := newQuorumCluster(t, 1, 2, PrimaryConfig{Epoch: 5})
+	pn := c.primary()
+	// A token from a superseded primary epoch is fenced at the primary.
+	stale := wire.Packet{Type: wire.TypeQuorumAck, Source: testSource, Group: testGroup,
+		Seq: 9, Epoch: 3, RingVer: 1, Watermarks: []uint64{9, 9}}
+	pn.p.Recv(rcvA, mustMarshal(t, stale))
+	if got := pn.p.Stats().StaleQuorumAcks; got != 1 {
+		t.Fatalf("StaleQuorumAcks = %d, want 1", got)
+	}
+	// A current-epoch token with a superseded ring version is dropped too.
+	old := wire.Packet{Type: wire.TypeQuorumAck, Source: testSource, Group: testGroup,
+		Seq: 9, Epoch: 5, RingVer: 99, Watermarks: []uint64{9, 9}}
+	pn.p.Recv(rcvA, mustMarshal(t, old))
+	if got := pn.p.Stats().StaleRingTokens; got != 1 {
+		t.Fatalf("StaleRingTokens = %d, want 1", got)
+	}
+	// Replica side: a stale-epoch token must not be applied or forwarded.
+	rn := c.nodes[1]
+	staleFwd := wire.Packet{Type: wire.TypeQuorumAck, Source: testSource, Group: testGroup,
+		Seq: 9, Epoch: 3, RingVer: rn.p.ring.ver, Payload: []byte("x")}
+	rn.p.Recv(pn.env.LocalAddr(), mustMarshal(t, staleFwd))
+	rs := rn.p.Stats()
+	if rs.StaleQuorumAcks != 1 || rs.QuorumApplied != 0 {
+		t.Fatalf("replica stale fencing: %+v", rs)
+	}
+}
+
+// TestReplicaRankValidation pins the construction-time ReplicaRank clamp
+// (satellite: out-of-range ranks must not select nonsense or panic later).
+func TestReplicaRankValidation(t *testing.T) {
+	cases := []struct {
+		rank    int
+		nreps   int
+		want    int
+		clamped uint64
+	}{
+		{rank: 0, nreps: 2, want: 1, clamped: 0},  // documented default, not a clamp
+		{rank: -3, nreps: 2, want: 1, clamped: 1}, // nonsense negative
+		{rank: 5, nreps: 2, want: 2, clamped: 1},  // past the roster
+		{rank: 2, nreps: 2, want: 2, clamped: 0},  // in range
+	}
+	for _, tc := range cases {
+		var reps []transport.Addr
+		for i := 0; i < tc.nreps; i++ {
+			reps = append(reps, transporttest.Addr(fmt.Sprintf("r%d", i+1)))
+		}
+		p := NewPrimary(PrimaryConfig{Group: testGroup, ReplicaRank: tc.rank, Replicas: reps})
+		if p.cfg.ReplicaRank != tc.want {
+			t.Errorf("rank %d with %d replicas: got %d, want %d",
+				tc.rank, tc.nreps, p.cfg.ReplicaRank, tc.want)
+		}
+		if p.stats.RankClamped != tc.clamped {
+			t.Errorf("rank %d: RankClamped = %d, want %d", tc.rank, p.stats.RankClamped, tc.clamped)
+		}
+	}
+	// Rank selection end-to-end: a clamped rank reports the least
+	// up-to-date replica, not a phantom one.
+	p := NewPrimary(PrimaryConfig{Group: testGroup, ReplicaRank: 9,
+		Replicas: []transport.Addr{replica1, replica2}})
+	env := transporttest.NewEnv("primary")
+	p.Start(env)
+	p.Recv(srcAddr, mustMarshal(t, dataPkt(1, "a")))
+	ack := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup,
+		Seq: 1, Epoch: 1}
+	p.Recv(replica1, mustMarshal(t, ack))
+	key := StreamKey{Source: testSource, Group: testGroup}
+	if got := p.replicaSeq(key); got != 0 {
+		t.Fatalf("replicaSeq = %d, want 0 (rank clamped to 2, replica2 has nothing)", got)
+	}
+}
+
+// TestPromotionBackfillAckedEpochSemantics pins the interplay of the
+// promotion-gap backfill, the per-stream replica acked map, and the epoch
+// bump (satellite): a promoted replica adopts the election epoch, fences
+// stale-epoch LogSyncAcks out of the acked map, backfills the gap from its
+// peer, and only mints quorum-gated acks from fresh-epoch progress.
+func TestPromotionBackfillAckedEpochSemantics(t *testing.T) {
+	peer := transporttest.Addr("peer")
+	p := NewPrimary(PrimaryConfig{Group: testGroup, Replica: true, Quorum: 1,
+		Peers: []transport.Addr{peer}})
+	env := transporttest.NewEnv("rp")
+	p.Start(env)
+	// Replica life: synced through 2 at epoch 1.
+	for seq := uint64(1); seq <= 2; seq++ {
+		sync := wire.Packet{Type: wire.TypeLogSync, Source: testSource, Group: testGroup,
+			Seq: seq, Epoch: 1, Payload: []byte("d")}
+		p.Recv(peer, mustMarshal(t, sync))
+	}
+	if p.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1 (adopted from syncs)", p.Epoch())
+	}
+	env.Sents = nil
+	// Promotion at epoch 3 with release floor 5: a 3..5 gap to backfill.
+	prom := wire.Packet{Type: wire.TypePromote, Source: testSource, Group: testGroup,
+		Seq: 5, Epoch: 3}
+	p.Recv(srcAddr, mustMarshal(t, prom))
+	if p.IsReplica() || p.Epoch() != 3 {
+		t.Fatalf("replica=%v epoch=%d after promote, want acting at 3", p.IsReplica(), p.Epoch())
+	}
+	if got := p.Stats().BackfillsStarted; got != 1 {
+		t.Fatalf("BackfillsStarted = %d, want 1", got)
+	}
+	key := StreamKey{Source: testSource, Group: testGroup}
+	// A stale LogSyncAck from the old epoch claims the peer already holds 5.
+	// It must be fenced out of the acked map, or the quorum watermark would
+	// count a copy that predates the election.
+	staleAck := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup,
+		Seq: 5, Epoch: 1}
+	p.Recv(peer, mustMarshal(t, staleAck))
+	if got := p.Stats().StaleSyncAcks; got != 1 {
+		t.Fatalf("StaleSyncAcks = %d, want 1", got)
+	}
+	if got := p.quorumSeq(key); got != 0 {
+		t.Fatalf("quorumSeq = %d after fenced ack, want 0", got)
+	}
+	// The peer answers the backfill probe; the promoted primary NACKs the
+	// gap and the peer serves it.
+	reply := wire.Packet{Type: wire.TypeLogStateReply, Source: testSource, Group: testGroup,
+		Seq: 5, Epoch: 3}
+	p.Recv(peer, mustMarshal(t, reply))
+	for seq := uint64(3); seq <= 5; seq++ {
+		retr := wire.Packet{Type: wire.TypeRetrans, Flags: wire.FlagRetransmission | wire.FlagFromLogger,
+			Source: testSource, Group: testGroup, Seq: seq, Payload: []byte("d")}
+		p.Recv(peer, mustMarshal(t, retr))
+	}
+	if got := p.Contiguous(key); got != 5 {
+		t.Fatalf("contiguous = %d after backfill, want 5", got)
+	}
+	// Quorum gating across the promotion: acks stay parked until the peer
+	// acknowledges at the fresh epoch.
+	env.Sents = nil
+	freshAck := wire.Packet{Type: wire.TypeLogSyncAck, Source: testSource, Group: testGroup,
+		Seq: 5, Epoch: 3}
+	p.Recv(peer, mustMarshal(t, freshAck))
+	if got := p.quorumSeq(key); got != 5 {
+		t.Fatalf("quorumSeq = %d after fresh ack, want 5", got)
+	}
+	var final *wire.Packet
+	for _, s := range env.SentPackets() {
+		if s.Type == wire.TypeSourceAck {
+			final = &s
+		}
+	}
+	if final == nil || final.Seq != 5 || final.Epoch != 3 {
+		t.Fatalf("final ack = %+v, want Seq 5 at epoch 3", final)
+	}
+}

@@ -47,6 +47,15 @@ type FlightChain struct {
 	// fetches), repairs served, and terminals (exactly 1 in a well-formed
 	// chain).
 	DetectCount, NackCount, ServeCount, TerminalCount int
+	// QuorumAt is when a quorum-mode primary saw the seq become
+	// quorum-durable (ring token return covering it), in ns; 0 when the
+	// run had no quorum replication or the event fell out of the ring. It
+	// annotates the chain with replication latency but is not part of the
+	// causal detect→nack→serve→terminal order.
+	QuorumAt int64
+	// QuorumRTT is that token's ring round-trip time (the KindQuorum C
+	// argument); 0 when unknown.
+	QuorumRTT time.Duration
 	// Events is the chain's full event list, causally ordered.
 	Events []Event
 }
@@ -121,6 +130,16 @@ func StitchFlights(receiver []Event, servers ...[]Event) map[uint64]*FlightChain
 	}
 	for _, ring := range servers {
 		for _, ev := range ring {
+			if ev.Kind == KindQuorum {
+				// Replication-hop annotation: record when the seq became
+				// quorum-durable, without entering the causal event list
+				// (the hop happens independently of the recovery path).
+				if c := chains[ev.A]; c != nil && (c.QuorumAt == 0 || ev.At < c.QuorumAt) {
+					c.QuorumAt = ev.At
+					c.QuorumRTT = time.Duration(ev.C)
+				}
+				continue
+			}
 			if !flightKind(ev.Kind) {
 				continue
 			}
@@ -248,6 +267,13 @@ func (c *FlightChain) DetectToDeliver() (time.Duration, bool) {
 	return hop(c.DetectAt, c.TerminalAt)
 }
 
+// QuorumToServe is the quorum-durability → serving-repair component: how
+// long after the seq was replicated the repair that recovered it was sent.
+// Only meaningful on quorum-mode runs where the token return was captured.
+func (c *FlightChain) QuorumToServe() (time.Duration, bool) {
+	return hop(c.QuorumAt, c.ServeAt)
+}
+
 // flightBoundsMS buckets recovery-path latencies (same scale as the
 // receiver's recovery histogram).
 var flightBoundsMS = []uint64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
@@ -268,6 +294,7 @@ func FoldFlightChains(reg *Registry, chains map[uint64]*FlightChain) {
 	detectToNack := reg.Histogram("flight.recovery.detect_to_nack_ms", flightBoundsMS)
 	nackToServe := reg.Histogram("flight.recovery.nack_to_serve_ms", flightBoundsMS)
 	serveToDeliver := reg.Histogram("flight.recovery.serve_to_deliver_ms", flightBoundsMS)
+	var quorumToServe *Histogram // registered lazily: absent on non-quorum runs
 	for _, c := range chains {
 		total.Inc()
 		if c.Complete() {
@@ -291,6 +318,12 @@ func FoldFlightChains(reg *Registry, chains map[uint64]*FlightChain) {
 		}
 		if d, ok := c.ServeToDeliver(); ok {
 			serveToDeliver.Observe(ms(d))
+		}
+		if d, ok := c.QuorumToServe(); ok {
+			if quorumToServe == nil {
+				quorumToServe = reg.Histogram("flight.recovery.quorum_to_serve_ms", flightBoundsMS)
+			}
+			quorumToServe.Observe(ms(d))
 		}
 	}
 }

@@ -66,6 +66,16 @@ const (
 	// A = seq, B = 0 when escalation was exhausted, 1 on a recovery-window
 	// skip-ahead.
 	KindAbandon
+	// KindQuorum: a quorum-mode primary saw a ring token return for the
+	// seq, i.e. the replication hop of the recovery chain completed.
+	// A = seq, B = the post-return quorum watermark, C = ring RTT in
+	// nanoseconds (0 when the launch time was no longer buffered). Goes to
+	// the flight ring so stitched chains expose replication latency.
+	KindQuorum
+	// KindRingRepair: a quorum-mode primary changed ring state.
+	// A = 0 stall→direct fallback, 1 repair probe launched, 2 ring
+	// restored; B = ring version, C = ring size. Transition ring.
+	KindRingRepair
 	kindMax // sentinel, keep last
 )
 
@@ -86,6 +96,8 @@ var kindNames = [...]string{
 	KindStatMiss:      "stat-miss",
 	KindDeliver:       "deliver",
 	KindAbandon:       "abandon",
+	KindQuorum:        "quorum",
+	KindRingRepair:    "ring-repair",
 }
 
 // String returns the stable lowercase name of the kind.

@@ -33,6 +33,20 @@ func TestRecoveryZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestQuorumHopZeroAlloc pins the quorum-mode ring revolution — token
+// launch at the primary, payload apply + watermark append at each replica
+// hop, and the return fold with the quorum-gated source ack — at zero
+// steady-state allocations, bare and fully instrumented. Quorum mode's
+// bookkeeping must ride the existing zero-allocation logger hot path.
+func TestQuorumHopZeroAlloc(t *testing.T) {
+	if allocs := MeasureQuorumHopAllocs(2000, nil); allocs != 0 {
+		t.Fatalf("steady-state ring revolution allocates %.2f allocs/op, want 0", allocs)
+	}
+	if allocs := MeasureQuorumHopAllocs(2000, obs.NewSink()); allocs != 0 {
+		t.Fatalf("instrumented ring revolution allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
 // TestUDPLoopbackZeroAlloc pins the real-socket round-trip — egress
 // coalescing, sendmmsg/GSO flush, recvmmsg dispatch with address
 // interning — at zero steady-state allocations, on the batched path and

@@ -1,0 +1,139 @@
+package perf
+
+import (
+	"fmt"
+	"testing"
+
+	"lbrm/internal/logger"
+	"lbrm/internal/obs"
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/transporttest"
+	"lbrm/internal/wire"
+)
+
+// newQuorumBench wires a quorum-mode primary (write quorum 2) and two ring
+// replicas over the simulated transport and returns a full-ring-revolution
+// driver: each call logs one data packet at the primary (launching the ring
+// token), forwards the token through both replica hops, and returns it to
+// the primary, which folds the watermarks and mints the quorum-gated source
+// ack. This is the entire per-packet cost quorum mode adds to the logger —
+// TestQuorumHopZeroAlloc pins it at zero steady-state allocations so the
+// ring bookkeeping (launch buffer, watermark buffers, rank sort, RTT
+// histogram, flight emission) can never leak onto the hot path.
+func newQuorumBench(sink *obs.Sink, fatalf func(format string, args ...any)) (revolution func(), check func(revolutions int)) {
+	const group = 1
+	var senderAddr transport.Addr = transporttest.Addr("sender")
+
+	priEnv := transporttest.NewEnv("pri")
+	r1Env := transporttest.NewEnv("r1")
+	r2Env := transporttest.NewEnv("r2")
+	r1Addr, r2Addr := r1Env.LocalAddr(), r2Env.LocalAddr()
+	priAddr := priEnv.LocalAddr()
+
+	retention := logger.Retention{MaxPackets: 4096}
+	pri := logger.NewPrimary(logger.PrimaryConfig{
+		Group: group, Quorum: 2, Retention: retention,
+		Replicas: []transport.Addr{r1Addr, r2Addr}, Obs: sink,
+	})
+	r1 := logger.NewPrimary(logger.PrimaryConfig{
+		Group: group, Quorum: 2, Replica: true, Retention: retention, Obs: sink,
+	})
+	r2 := logger.NewPrimary(logger.PrimaryConfig{
+		Group: group, Quorum: 2, Replica: true, Retention: retention, Obs: sink,
+	})
+	pri.Start(priEnv)
+	r1.Start(r1Env)
+	r2.Start(r2Env)
+
+	// Install the ring roles (the primary sent them at Start).
+	for _, s := range priEnv.TakeSents() {
+		switch s.To {
+		case r1Addr:
+			r1.Recv(priAddr, s.Data)
+		case r2Addr:
+			r2.Recv(priAddr, s.Data)
+		}
+	}
+
+	var scratch []byte
+	payload := []byte("quorum-ring-payload")
+	data := func(seq uint64) []byte {
+		p := wire.Packet{
+			Type: wire.TypeData, Source: 7, Group: group, Seq: seq, Epoch: 1,
+			Payload: payload,
+		}
+		var err error
+		scratch, err = p.AppendMarshal(scratch[:0])
+		if err != nil {
+			fatalf("marshal: %v", err)
+		}
+		return scratch
+	}
+
+	seq := uint64(0)
+	revolution = func() {
+		seq++
+		pri.Recv(senderAddr, data(seq)) // log + token launch (+ parked ack)
+		for _, s := range priEnv.TakeSents() {
+			if s.To == r1Addr {
+				r1.Recv(priAddr, s.Data)
+			}
+		}
+		for _, s := range r1Env.TakeSents() {
+			r2.Recv(r1Addr, s.Data)
+		}
+		for _, s := range r2Env.TakeSents() {
+			pri.Recv(r2Addr, s.Data) // return hop: fold + quorum ack
+		}
+	}
+	check = func(revolutions int) {
+		n := uint64(revolutions)
+		ps := pri.Stats()
+		if ps.QuorumLaunched != n || ps.QuorumReturns != n {
+			fatalf("launched/returned %d/%d tokens, want %d", ps.QuorumLaunched, ps.QuorumReturns, n)
+		}
+		if got := r2.Stats().QuorumApplied; got != n {
+			fatalf("last hop applied %d packets, want %d", got, n)
+		}
+		// One quorum-gated ack per token return; parked duplicates at data
+		// arrival are rate-limited away (the clock never moves here).
+		if got := ps.SourceAcks; got < n {
+			fatalf("SourceAcks = %d, want ≥ %d (one per token return)", got, n)
+		}
+	}
+	return revolution, check
+}
+
+// quorumWarm covers amortized growth: retention rings, the launch buffer,
+// watermark/rank scratch, capture buffers, and per-stream map buckets.
+const quorumWarm = 3000
+
+// QuorumRingHop measures one full ring revolution (log, launch, two
+// forwarding hops, return fold, quorum-gated ack).
+func QuorumRingHop(b *testing.B) {
+	revolution, check := newQuorumBench(obs.NewSink(), b.Fatalf)
+	for i := 0; i < quorumWarm; i++ {
+		revolution()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		revolution()
+	}
+	b.StopTimer()
+	check(quorumWarm + b.N)
+}
+
+// MeasureQuorumHopAllocs returns the average allocations per steady-state
+// ring revolution over runs iterations.
+func MeasureQuorumHopAllocs(runs int, sink *obs.Sink) float64 {
+	revolution, check := newQuorumBench(sink, func(format string, args ...any) {
+		panic(fmt.Sprintf("perf: "+format, args...))
+	})
+	for i := 0; i < quorumWarm; i++ {
+		revolution()
+	}
+	allocs := testing.AllocsPerRun(runs, revolution)
+	check(quorumWarm + runs + 1) // AllocsPerRun does one extra warm-up call
+	return allocs
+}

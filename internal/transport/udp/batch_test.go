@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -111,8 +112,9 @@ func TestBatchedVsFallbackWireIdentical(t *testing.T) {
 					t.Fatal(err)
 				}
 				defer n.Close()
-				if mode == 0 && n.Batched() != batchSupported() {
-					t.Fatalf("Batched() = %v, want %v", n.Batched(), batchSupported())
+				wantBatched := batchSupported() && os.Getenv("LBRM_FORCE_FALLBACK") == ""
+				if mode == 0 && n.Batched() != wantBatched {
+					t.Fatalf("Batched() = %v, want %v", n.Batched(), wantBatched)
 				}
 				if mode == 1 && n.Batched() {
 					t.Fatal("ForceFallback node reports batched")
@@ -191,7 +193,7 @@ func TestBatchSizeOne(t *testing.T) {
 // critical section that doesn't fill the ring still leaves within the
 // flush interval, and the deadline flush is counted.
 func TestFlushDeadlineFires(t *testing.T) {
-	if !batchSupported() {
+	if !batchSupported() || os.Getenv("LBRM_FORCE_FALLBACK") != "" {
 		t.Skip("batched path unavailable")
 	}
 	sink := obs.NewSink()

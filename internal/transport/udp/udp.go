@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"net"
 	"net/netip"
+	"os"
 	"sync"
 	"syscall"
 	"time"
@@ -87,7 +88,10 @@ type Config struct {
 	FlushInterval time.Duration
 	// ForceFallback forces the portable single-packet socket path even
 	// where batched I/O is available (fallback-seam tests, latency
-	// comparisons).
+	// comparisons). The LBRM_FORCE_FALLBACK environment variable (any
+	// non-empty value) forces it process-wide, so CI can run the whole
+	// suite through the portable path on a platform whose native path
+	// is batched.
 	ForceFallback bool
 	// MetricsPrefix prefixes this node's metric names (default "udp").
 	// Sharded deployments give each shard its own prefix.
@@ -118,11 +122,11 @@ type Node struct {
 	// Datapath caches (all guarded by mu; see DESIGN.md "Datapath
 	// allocation contract"). Peer membership is small and stable in a
 	// simulation exercise, so these grow to the peer set and stay there.
-	peerAddrs  map[string]netip.AddrPort       // unicast destinations, by HostPort
-	groupAddrs map[wire.GroupID]*net.UDPAddr   // resolved once at Start (joins)
-	groupPorts map[wire.GroupID]netip.AddrPort // resolved once at Start (sends)
+	peerAddrs  map[string]netip.AddrPort         // unicast destinations, by HostPort
+	groupAddrs map[wire.GroupID]*net.UDPAddr     // resolved once at Start (joins)
+	groupPorts map[wire.GroupID]netip.AddrPort   // resolved once at Start (sends)
 	fromCache  map[netip.AddrPort]transport.Addr // interned datagram sources
-	bufPool    sync.Pool                       // *[]byte receive buffers
+	bufPool    sync.Pool                         // *[]byte receive buffers
 
 	// mx caches the preregistered transport metric handles (nil-safe).
 	mx nodeMetrics
@@ -194,12 +198,13 @@ func Start(cfg Config, h transport.Handler) (*Node, error) {
 		return nil, fmt.Errorf("udp: listen: %w", err)
 	}
 	n := &Node{
-		cfg:        cfg,
-		handler:    h,
-		ucast:      uc,
-		groups:     make(map[wire.GroupID]*net.UDPConn),
-		lastTTL:    -1,
-		batched:    batchSupported() && !cfg.ForceFallback && cfg.Batch > 1,
+		cfg:     cfg,
+		handler: h,
+		ucast:   uc,
+		groups:  make(map[wire.GroupID]*net.UDPConn),
+		lastTTL: -1,
+		batched: batchSupported() && !cfg.ForceFallback &&
+			os.Getenv("LBRM_FORCE_FALLBACK") == "" && cfg.Batch > 1,
 		peerAddrs:  make(map[string]netip.AddrPort),
 		groupAddrs: make(map[wire.GroupID]*net.UDPAddr, len(cfg.Groups)),
 		groupPorts: make(map[wire.GroupID]netip.AddrPort, len(cfg.Groups)),

@@ -18,7 +18,8 @@ const (
 	// ClassRetrans is retransmitted data (TypeRetrans).
 	ClassRetrans
 	// ClassSync is primary→replica log replication (TypeLogSync and its
-	// acknowledgement).
+	// acknowledgement, plus the quorum-mode ring token and ring
+	// installation traffic).
 	ClassSync
 	// ClassControl is everything else: acks, acker selection, probes,
 	// discovery, redirects, promotion and log-state traffic.
@@ -62,7 +63,7 @@ func ClassOf(t Type) TrafficClass {
 		return ClassNack
 	case TypeRetrans:
 		return ClassRetrans
-	case TypeLogSync, TypeLogSyncAck:
+	case TypeLogSync, TypeLogSyncAck, TypeQuorumAck, TypeRingConfig:
 		return ClassSync
 	default:
 		return ClassControl

@@ -38,6 +38,13 @@ func samplePackets() []Packet {
 		{Type: TypeLogStateQuery, Source: 7, Group: 3},
 		{Type: TypeLogStateReply, Source: 7, Group: 3, Seq: 37, Epoch: 2},
 		{Type: TypePromote, Source: 7, Group: 3, Epoch: 2},
+		{Type: TypeQuorumAck, Source: 7, Group: 3, Seq: 42, Epoch: 2,
+			RingVer: 3, RingPos: 0, Payload: []byte("replicated")},
+		{Type: TypeQuorumAck, Source: 7, Group: 3, Seq: 42, Epoch: 2,
+			RingVer: 3, RingPos: 2, Watermarks: []uint64{42, 40}},
+		{Type: TypeQuorumAck, Source: 7, Group: 3, Seq: 0, Epoch: 2, RingVer: 4},
+		{Type: TypeRingConfig, Source: 7, Group: 3, Epoch: 2,
+			RingVer: 3, RingPos: 1, RingSize: 2, Addr: "replica2:9001"},
 	}
 }
 
@@ -257,6 +264,12 @@ func TestRoundTripProperty(t *testing.T) {
 		if len(got.Payload) == 0 {
 			got.Payload = nil
 		}
+		if len(p.Watermarks) == 0 {
+			p.Watermarks = nil
+		}
+		if len(got.Watermarks) == 0 {
+			got.Watermarks = nil
+		}
 		return reflect.DeepEqual(got, p)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
@@ -289,7 +302,7 @@ func randomPacket(rng *rand.Rand) Packet {
 		TypeSizeProbeResponse, TypeDiscoveryQuery, TypeDiscoveryReply,
 		TypeLogSync, TypeLogSyncAck, TypeSourceAck, TypePrimaryQuery,
 		TypePrimaryRedirect, TypeLogStateQuery, TypeLogStateReply,
-		TypePromote,
+		TypePromote, TypeQuorumAck, TypeRingConfig,
 	}
 	p := Packet{
 		Type:   types[rng.Intn(len(types))],
@@ -335,6 +348,26 @@ func randomPacket(rng *rand.Rand) Packet {
 		p.ReplicaSeq = rng.Uint64()
 	case TypeDiscoveryReply, TypePrimaryRedirect:
 		n := rng.Intn(MaxAddrLen) + 1
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		p.Addr = string(b)
+	case TypeQuorumAck:
+		p.RingVer = rng.Uint32()
+		p.RingPos = uint8(rng.Intn(MaxQuorumSlots + 1))
+		p.Watermarks = make([]uint64, rng.Intn(MaxQuorumSlots+1))
+		for i := range p.Watermarks {
+			p.Watermarks[i] = rng.Uint64()
+		}
+		if rng.Intn(2) == 0 {
+			p.Payload = payload(256)
+		}
+	case TypeRingConfig:
+		p.RingVer = rng.Uint32()
+		p.RingSize = uint8(rng.Intn(MaxQuorumSlots) + 1)
+		p.RingPos = uint8(rng.Intn(int(p.RingSize)) + 1)
+		n := rng.Intn(64) + 1
 		b := make([]byte, n)
 		for i := range b {
 			b[i] = byte('a' + rng.Intn(26))

@@ -110,6 +110,10 @@ type TestbedConfig struct {
 	// (e.g. per-receiver callbacks) after the common fields are filled in
 	// and before the testbed's delivery accounting is attached.
 	ConfigureReceiver func(site, idx int, cfg *ReceiverConfig)
+	// Tap, when set, is installed on the network before the handlers
+	// start, so traffic sent from Handler.Start (e.g. the quorum ring
+	// installation) is observed too. Net.SetTap can replace it later.
+	Tap TapFunc
 }
 
 // Testbed is a fully wired LBRM deployment inside the simulator.
@@ -295,6 +299,9 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		tb.Sites = append(tb.Sites, ts)
 	}
 
+	if cfg.Tap != nil {
+		tb.Net.SetTap(cfg.Tap)
+	}
 	tb.Net.Start()
 	return tb, nil
 }
