@@ -3,7 +3,11 @@
 //
 //   - secondary: a site's secondary logging server (§2.2.1) — logs the
 //     multicast stream, serves site-local retransmissions, answers
-//     discovery queries and Acker Selection packets.
+//     discovery queries and Acker Selection packets. With -tier/-parents
+//     it becomes a node in an N-level logger tree: site secondaries
+//     (-tier 0) escalate misses to a regional aggregator (-tier 1), and
+//     regionals to the primary, re-homing to -siblings or the next tier
+//     up when a parent dies.
 //   - primary: the primary logging server (§2.2) — logs everything,
 //     acknowledges the source, serves retransmissions, replicates to
 //     -replica peers.
@@ -18,6 +22,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -56,11 +61,34 @@ func serveMetrics(addr string, sink *obs.Sink) {
 	log.Printf("lbrm-logger: metrics on http://%s/metrics (runtime at /metrics/runtime, profiles at /debug/pprof/)", addr)
 }
 
+// parseAddrList parses a comma-separated list of host:ports, naming the
+// flag in the error so a typo points at the right place.
+func parseAddrList(name, spec string) ([]transport.Addr, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []transport.Addr
+	for _, s := range strings.Split(spec, ",") {
+		a, err := udp.ParseAddr(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("bad %s entry %q: %v", name, s, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
 func main() {
 	mode := flag.String("mode", "secondary", "secondary | primary | replica")
 	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast base ip:port (group i uses port+i-1)")
 	listen := flag.String("listen", "0.0.0.0:0", "unicast bind host:port (with -shards > 1, shard s binds port+s)")
 	primary := flag.String("primary", "", "primary logger host:port (secondary mode)")
+	tier := flag.Int("tier", 0, "global tier in the logger tree: 0 = site secondary, 1+ = regional aggregator (secondary mode)")
+	parents := flag.String("parents", "", "comma-separated upward escalation chain, immediate parent first; empty = escalate straight to -primary (secondary mode)")
+	siblings := flag.String("siblings", "", "comma-separated alternate parents at the immediate parent's tier, tried when the parent stays dead (secondary mode)")
+	treeEpoch := flag.Uint("tree-epoch", 0, "tree-configuration generation announced in reparent packets; bump on restart so children fence stale announcements (0 = 1; secondary mode)")
+	announceTTL := flag.Int("announce-ttl", 0, "multicast TTL scope for reparent announcements (0 = region scope; secondary mode)")
+	makespan := flag.Bool("makespan-repair", false, "makespan-aware repair scheduling: release upward backfill fetches largest-demand-first (secondary mode)")
 	replicas := flag.String("replicas", "", "comma-separated replica host:ports (primary mode)")
 	quorum := flag.Int("quorum", 0, "write quorum: replicas that must apply a packet before the source ack mints (0 = ack immediately; primary mode)")
 	maxPackets := flag.Int("max-packets", 0, "retention: max packets per stream in memory (0 = unlimited)")
@@ -74,6 +102,9 @@ func main() {
 	shards := flag.Int("shards", 1, "datapath shards; groups are spread across shards by stable modulus")
 	batch := flag.Int("batch", 0, "datagrams per socket syscall (0 = default ring, 1 = unbatched)")
 	flag.Parse()
+	if err := shard.ValidateCounts(*nGroups, *shards, *batch); err != nil {
+		log.Fatalf("lbrm-logger: %v", err)
+	}
 
 	var sink *obs.Sink
 	if *metricsAddr != "" {
@@ -103,9 +134,20 @@ func main() {
 				log.Fatalf("bad -primary: %v", err)
 			}
 		}
+		parentChain, err := parseAddrList("-parents", *parents)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sibs, err := parseAddrList("-siblings", *siblings)
+		if err != nil {
+			log.Fatal(err)
+		}
 		mk = func(g lbrm.GroupID) (transport.Handler, func()) {
 			sec := lbrm.NewSecondaryLogger(lbrm.SecondaryConfig{
 				Group: g, Retention: ret, Primary: pa, Obs: sink,
+				Tier: *tier, Parents: parentChain, Siblings: sibs,
+				TreeEpoch: uint32(*treeEpoch), AnnounceTTL: *announceTTL,
+				MakespanRepair: *makespan,
 			})
 			return sec, func() {
 				st := sec.Stats()
@@ -115,15 +157,9 @@ func main() {
 			}
 		}
 	case "primary", "replica":
-		var reps []transport.Addr
-		if *replicas != "" {
-			for _, r := range strings.Split(*replicas, ",") {
-				ra, err := udp.ParseAddr(strings.TrimSpace(r))
-				if err != nil {
-					log.Fatalf("bad -replicas entry %q: %v", r, err)
-				}
-				reps = append(reps, ra)
-			}
+		reps, err := parseAddrList("-replicas", *replicas)
+		if err != nil {
+			log.Fatal(err)
 		}
 		if *quorum > len(reps) {
 			log.Fatalf("-quorum %d unsatisfiable with %d replicas", *quorum, len(reps))

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lbrm/internal/shard"
+)
+
+// TestFlagCountValidation pins the -groups/-shards/-batch guard the
+// command runs right after flag parsing: zero or negative counts must be
+// rejected with an error naming the offending flag, and the documented
+// sentinel values (batch 0 = default ring, 1 = unbatched) must pass.
+func TestFlagCountValidation(t *testing.T) {
+	for _, tc := range []struct {
+		groups, shards, batch int
+		wantFlag              string // empty = must be accepted
+	}{
+		{1, 1, 0, ""},
+		{16, 4, 64, ""},
+		{1, 1, 1, ""},
+		{0, 1, 0, "-groups"},
+		{-1, 1, 0, "-groups"},
+		{1, 0, 0, "-shards"},
+		{1, -2, 0, "-shards"},
+		{1, 1, -1, "-batch"},
+	} {
+		err := shard.ValidateCounts(tc.groups, tc.shards, tc.batch)
+		if tc.wantFlag == "" {
+			if err != nil {
+				t.Errorf("(%d, %d, %d): rejected: %v", tc.groups, tc.shards, tc.batch, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("(%d, %d, %d): accepted, want error naming %s", tc.groups, tc.shards, tc.batch, tc.wantFlag)
+		} else if !strings.Contains(err.Error(), tc.wantFlag) {
+			t.Errorf("(%d, %d, %d): error %q does not name %s", tc.groups, tc.shards, tc.batch, err, tc.wantFlag)
+		}
+	}
+}
+
+// TestParseAddrList covers the comma-separated address flags (-parents,
+// -siblings, -replicas): empty specs are nil, entries are trimmed, and a
+// malformed entry fails with the flag's name in the error.
+func TestParseAddrList(t *testing.T) {
+	if got, err := parseAddrList("-parents", ""); err != nil || got != nil {
+		t.Fatalf("empty spec: got %v, %v; want nil, nil", got, err)
+	}
+	got, err := parseAddrList("-parents", "127.0.0.1:7001, 127.0.0.1:7002")
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if len(got) != 2 || got[0].String() != "127.0.0.1:7001" || got[1].String() != "127.0.0.1:7002" {
+		t.Fatalf("valid spec parsed as %v", got)
+	}
+	if _, err := parseAddrList("-siblings", "127.0.0.1:7001,nonsense"); err == nil {
+		t.Fatal("malformed entry accepted")
+	} else if !strings.Contains(err.Error(), "-siblings") {
+		t.Fatalf("error %q does not name the flag", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,6 +51,7 @@ func serveMetrics(addr string, sink *obs.Sink) {
 func main() {
 	mcast := flag.String("mcast", "239.9.9.9:7000", "multicast base ip:port (group i uses port+i-1)")
 	secondary := flag.String("secondary", "", "site secondary logger host:port (empty: discover or use primary)")
+	loggers := flag.String("loggers", "", "comma-separated upward recovery chain for an N-level logger tree, site secondary first then regional tiers (overrides -secondary)")
 	primary := flag.String("primary", "", "primary logger host:port")
 	discover := flag.Bool("discover", false, "discover a nearby logger by scoped multicast")
 	hmin := flag.Duration("hmin", 250*time.Millisecond, "sender's minimum heartbeat interval")
@@ -63,6 +65,9 @@ func main() {
 	shards := flag.Int("shards", 1, "datapath shards; groups are spread across shards by stable modulus")
 	batch := flag.Int("batch", 0, "datagrams per socket syscall (0 = default ring, 1 = unbatched)")
 	flag.Parse()
+	if err := shard.ValidateCounts(*nGroups, *shards, *batch); err != nil {
+		log.Fatalf("lbrm-recv: %v", err)
+	}
 
 	var sink *obs.Sink
 	if *metricsAddr != "" {
@@ -87,6 +92,16 @@ func main() {
 			log.Fatalf("bad -primary: %v", err)
 		}
 	}
+	var chain []transport.Addr
+	if *loggers != "" {
+		for _, s := range strings.Split(*loggers, ",") {
+			a, err := udp.ParseAddr(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad -loggers entry %q: %v", s, err)
+			}
+			chain = append(chain, a)
+		}
+	}
 
 	mk := func(g lbrm.GroupID) (*lbrm.Receiver, transport.Handler) {
 		rcv := lbrm.NewReceiver(lbrm.ReceiverConfig{
@@ -95,6 +110,7 @@ func main() {
 			Discover:  *discover,
 			Ordered:   *ordered,
 			Secondary: secAddr,
+			Loggers:   chain,
 			Primary:   priAddr,
 			Obs:       sink,
 			OnData: func(e lbrm.Event) {

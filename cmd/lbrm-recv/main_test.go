@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lbrm/internal/shard"
+)
+
+// TestFlagCountValidation pins the -groups/-shards/-batch guard the
+// command runs right after flag parsing: zero or negative counts must be
+// rejected with an error naming the offending flag before any multicast
+// groups are joined.
+func TestFlagCountValidation(t *testing.T) {
+	for _, tc := range []struct {
+		groups, shards, batch int
+		wantFlag              string // empty = must be accepted
+	}{
+		{1, 1, 0, ""},
+		{4, 4, 1, ""},
+		{-2, 1, 0, "-groups"},
+		{2, -1, 0, "-shards"},
+		{2, 1, -1, "-batch"},
+	} {
+		err := shard.ValidateCounts(tc.groups, tc.shards, tc.batch)
+		if tc.wantFlag == "" {
+			if err != nil {
+				t.Errorf("(%d, %d, %d): rejected: %v", tc.groups, tc.shards, tc.batch, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("(%d, %d, %d): accepted, want error naming %s", tc.groups, tc.shards, tc.batch, tc.wantFlag)
+		} else if !strings.Contains(err.Error(), tc.wantFlag) {
+			t.Errorf("(%d, %d, %d): error %q does not name %s", tc.groups, tc.shards, tc.batch, err, tc.wantFlag)
+		}
+	}
+}

@@ -70,6 +70,9 @@ func main() {
 	shards := flag.Int("shards", 1, "datapath shards; groups are spread across shards by stable modulus")
 	batch := flag.Int("batch", 0, "datagrams per socket syscall (0 = default ring, 1 = unbatched)")
 	flag.Parse()
+	if err := shard.ValidateCounts(*nGroups, *shards, *batch); err != nil {
+		log.Fatalf("lbrm-send: %v", err)
+	}
 
 	var sink *obs.Sink
 	if *metricsAddr != "" {

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lbrm/internal/shard"
+)
+
+// TestFlagCountValidation pins the -groups/-shards/-batch guard the
+// command runs right after flag parsing: zero or negative counts must be
+// rejected with an error naming the offending flag before any sockets
+// open or stdin is read.
+func TestFlagCountValidation(t *testing.T) {
+	for _, tc := range []struct {
+		groups, shards, batch int
+		wantFlag              string // empty = must be accepted
+	}{
+		{1, 1, 0, ""},
+		{8, 2, 16, ""},
+		{0, 1, 0, "-groups"},
+		{1, 0, 0, "-shards"},
+		{1, 1, -4, "-batch"},
+	} {
+		err := shard.ValidateCounts(tc.groups, tc.shards, tc.batch)
+		if tc.wantFlag == "" {
+			if err != nil {
+				t.Errorf("(%d, %d, %d): rejected: %v", tc.groups, tc.shards, tc.batch, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("(%d, %d, %d): accepted, want error naming %s", tc.groups, tc.shards, tc.batch, tc.wantFlag)
+		} else if !strings.Contains(err.Error(), tc.wantFlag) {
+			t.Errorf("(%d, %d, %d): error %q does not name %s", tc.groups, tc.shards, tc.batch, err, tc.wantFlag)
+		}
+	}
+}

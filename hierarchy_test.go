@@ -1,0 +1,117 @@
+package lbrm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/wire"
+)
+
+// TestHierarchyLosslessDelivery: a three-tier testbed (sites under
+// regional loggers under the primary) delivers everything with zero
+// recovery traffic, exactly like the flat deployment.
+func TestHierarchyLosslessDelivery(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 1, Regions: 2, Sites: 4, ReceiversPerSite: 2,
+		Sender: lbrm.SenderConfig{Heartbeat: fastHB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Regions) != 2 {
+		t.Fatalf("regions = %d, want 2", len(tb.Regions))
+	}
+	for i, s := range tb.Sites {
+		if s.Region != i%2 {
+			t.Fatalf("site %d under region %d, want round-robin %d", i, s.Region, i%2)
+		}
+	}
+	for i := 1; i <= 10; i++ {
+		if _, err := tb.Send([]byte(fmt.Sprintf("update-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		tb.Run(200 * time.Millisecond)
+	}
+	tb.Run(2 * time.Second)
+	for seq := uint64(1); seq <= 10; seq++ {
+		if !tb.EveryoneHas(seq) {
+			t.Fatalf("seq %d delivered to %d/%d receivers",
+				seq, tb.DeliveredCount(seq), tb.TotalReceivers())
+		}
+	}
+	for _, reg := range tb.Regions {
+		if st := reg.Logger.Stats(); st.NacksFromClients != 0 {
+			t.Fatalf("regional recovery traffic on lossless run: %+v", st)
+		}
+	}
+}
+
+// TestHierarchyRegionalServesSiteLoss: a whole-site loss (tail-circuit
+// drop takes out the site secondary too) is repaired by the region's
+// logger; no recovery traffic reaches the backbone or the primary, and
+// the site secondary's upward fetch is stamped with the regional's tier.
+func TestHierarchyRegionalServesSiteLoss(t *testing.T) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 2, Regions: 2, Sites: 4, ReceiversPerSite: 3,
+		Sender:    lbrm.SenderConfig{Heartbeat: fastHB},
+		Secondary: lbrm.SecondaryConfig{NackDelay: 10 * time.Millisecond},
+		Receiver:  lbrm.ReceiverConfig{NackDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backboneNacks, fetchNacks int
+	var fetchTiers []int
+	tb.Net.SetTap(func(ev lbrm.TapEvent) {
+		var p wire.Packet
+		if p.Unmarshal(ev.Data) != nil || p.Type != wire.TypeNack {
+			return
+		}
+		name := ev.Link.Name()
+		if strings.Contains(name, "region1/up") || strings.Contains(name, "primary/down") {
+			backboneNacks++
+		}
+		if strings.Contains(name, "region1/logger/down") {
+			fetchNacks++
+			fetchTiers = append(fetchTiers, p.Tier())
+		}
+	})
+
+	tb.Send([]byte("one"))
+	tb.Run(200 * time.Millisecond)
+	// site1 sits under region1; drop the next packet on its tail circuit
+	// so every host in the site — secondary included — misses it.
+	tb.Sites[0].Site.TailDown().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("two"))
+	tb.Run(200 * time.Millisecond)
+	tb.Send([]byte("three"))
+	tb.Run(3 * time.Second)
+
+	for seq := uint64(1); seq <= 3; seq++ {
+		if !tb.EveryoneHas(seq) {
+			t.Fatalf("seq %d delivered to %d/%d",
+				seq, tb.DeliveredCount(seq), tb.TotalReceivers())
+		}
+	}
+	if backboneNacks != 0 {
+		t.Fatalf("%d NACKs escaped to the backbone; the regional tier should have absorbed them", backboneNacks)
+	}
+	if fetchNacks == 0 {
+		t.Fatal("site secondary never fetched from its regional parent")
+	}
+	for _, tier := range fetchTiers {
+		if tier != 1 {
+			t.Fatalf("fetch NACK tiers = %v, want all stamped 1 (regional)", fetchTiers)
+		}
+	}
+	reg := tb.Regions[0].Logger.Stats()
+	if reg.NacksFromClients == 0 || reg.RetransUnicast+reg.Remulticasts == 0 {
+		t.Fatalf("regional stats = %+v, want it to have served the site", reg)
+	}
+	if pri := tb.Primary.Stats(); pri.NacksFromClients != 0 {
+		t.Fatalf("primary served %d NACKs, want 0 (regional absorbed the loss)", pri.NacksFromClients)
+	}
+}

@@ -115,6 +115,31 @@ type Config struct {
 	// quorum replication itself disabled (test-only): used to demonstrate
 	// that invariant 11 actually trips when the mechanism is reverted.
 	quorumRevert bool
+	// Regions, when positive, switches the run to the hierarchy schedule
+	// (DESIGN.md §13): sites sit round-robin under Regions regional
+	// loggers forming a three-tier recovery tree, and the fault plan
+	// draws one HierarchyFault class targeting the regional tier. The
+	// hierarchy invariants then apply: escalation never skips a live
+	// tier (every NACK reaching the primary is stamped with the
+	// primary's tier), re-homed children converge back to a live parent,
+	// and no acknowledged data is lost across re-parenting. Mutually
+	// exclusive with Quorum, CrashPrimary and SourcePartition.
+	Regions int
+	// HierarchyFault pins the hierarchy schedule's fault class:
+	// "regional-crash" (the regional dies mid-recovery and its children
+	// re-home to the sibling region, then re-adopt the restarted parent),
+	// "tier-partition" (the regional is isolated, not killed: children
+	// must park on the live sibling, never the primary), or "cascade"
+	// (site secondary AND regional die together: receivers must walk
+	// both dead tiers to the primary without skipping). Empty draws one
+	// from the seed.
+	HierarchyFault string
+	// flatRevert runs the hierarchy schedule with the receivers'
+	// escalation chains reverted to the flat design (test-only): their
+	// primary-bound NACKs then stamp tier 1 instead of the tree depth,
+	// demonstrating that the tier-skip invariant actually trips when the
+	// mechanism is reverted.
+	flatRevert bool
 	// disableFencing runs every logging server with epoch fencing off
 	// (test-only): used to demonstrate that the un-fenced-primary
 	// invariant actually trips when the mechanism is reverted.
@@ -147,7 +172,10 @@ func (c Config) withDefaults() Config {
 		// quorum of two satisfiable through any one crash or partition.
 		c.Replicas = 3
 	}
-	if c.Replicas == 0 {
+	if c.Replicas == 0 && c.Regions == 0 {
+		// Hierarchy runs carry no warm spares: replica backfill NACKs are
+		// untiered primary-to-primary traffic, which the tier-skip tap
+		// check must never have to special-case.
 		c.Replicas = 2
 	}
 	if c.Duration == 0 {
@@ -181,7 +209,11 @@ type Fault struct {
 	// crash-primary, partition, flaky-link, partition-source,
 	// sync-blackout (drop every sync-class packet leaving the acting
 	// primary's host), ring-partition (isolate one replica's host both
-	// ways).
+	// ways), crash-regional (kill one regional logger, restart it with
+	// the next tree epoch), partition-regional (isolate one regional
+	// logger's host both ways), down-outage (gate one site's tail-down
+	// only: the site misses data while its upward control path stays
+	// open).
 	Kind string
 	// Site and Idx locate the target where applicable (-1 otherwise).
 	// For partition-source, Idx encodes the isolation mode: 0 = both
@@ -353,9 +385,17 @@ type harness struct {
 	// Current handler incarnations (replaced on restart).
 	receivers   [][]*lbrm.Receiver
 	secondaries []*lbrm.SecondaryLogger
+	regionals   []*lbrm.SecondaryLogger
 	// primaries[0] is the original primary's node; 1.. are replicas.
 	primaries    []*lbrm.PrimaryLogger
 	primaryNodes []*lbrm.SimNode
+
+	// Hierarchy-invariant state (Regions > 0): priDown is the acting
+	// primary's host down-link; every NACK traversal there must stamp the
+	// tree depth (tier-skip invariant), priNacks counts them.
+	priDown     *lbrm.Link
+	priNacks    uint64
+	tierSkipHit bool
 
 	// Every handler ever created, for shutdown.
 	stoppables []interface{ Stop() }
@@ -489,6 +529,19 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("chaos: unknown QuorumFault %q", cfg.QuorumFault)
 		}
 	}
+	if cfg.Regions > 0 {
+		if cfg.Quorum > 0 || cfg.CrashPrimary || cfg.SourcePartition || cfg.Replicas > 0 {
+			return nil, fmt.Errorf("chaos: the hierarchy schedule is mutually exclusive with Quorum, Replicas, CrashPrimary and SourcePartition")
+		}
+		if cfg.Sites < cfg.Regions {
+			return nil, fmt.Errorf("chaos: %d regions need at least as many sites, have %d", cfg.Regions, cfg.Sites)
+		}
+		switch cfg.HierarchyFault {
+		case "", hierFaultRegionalCrash, hierFaultTierPartition, hierFaultCascade:
+		default:
+			return nil, fmt.Errorf("chaos: unknown HierarchyFault %q", cfg.HierarchyFault)
+		}
+	}
 	schedule := buildSchedule(cfg)
 
 	// The harness's own recovery ledger, fed by the receivers' OnData hook:
@@ -520,14 +573,30 @@ func Run(cfg Config) (*Result, error) {
 	// traversals and replay them through the real tap once registration is
 	// done, so the transmit ledgers start complete.
 	var boot []lbrm.TapEvent
+	secCfg := lbrm.SecondaryConfig{
+		NackDelay:      10 * time.Millisecond,
+		RequestTimeout: 200 * time.Millisecond,
+	}
+	if cfg.Regions > 0 {
+		// Re-homing burns MaxRetries per chain candidate; keep the walk
+		// fast enough that children reach a live sibling well inside the
+		// fault window.
+		secCfg.MaxRetries = 2
+	}
 	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
 		Seed:             cfg.Seed,
 		Sites:            cfg.Sites,
 		ReceiversPerSite: cfg.ReceiversPerSite,
 		Replicas:         cfg.Replicas,
+		Regions:          cfg.Regions,
 		Tap:              func(ev lbrm.TapEvent) { boot = append(boot, ev) },
 		Primary:          lbrm.PrimaryConfig{UnsafeNoFence: cfg.disableFencing, Quorum: pq},
 		ConfigureReceiver: func(site, idx int, rcfg *lbrm.ReceiverConfig) {
+			if cfg.flatRevert {
+				// Revert knob: strip the multi-tier chain so the receiver
+				// escalates site → primary as in the flat design.
+				rcfg.Loggers = nil
+			}
 			rec := recovered[site][idx]
 			del := delivered[site][idx]
 			rcfg.OnData = func(e lbrm.Event) {
@@ -542,10 +611,7 @@ func Run(cfg Config) (*Result, error) {
 			FailoverTimeout: cfg.FailoverTimeout,
 			FailoverWait:    cfg.FailoverWait,
 		},
-		Secondary: lbrm.SecondaryConfig{
-			NackDelay:      10 * time.Millisecond,
-			RequestTimeout: 200 * time.Millisecond,
-		},
+		Secondary: secCfg,
 		Receiver: lbrm.ReceiverConfig{
 			NackDelay:      10 * time.Millisecond,
 			RequestTimeout: 200 * time.Millisecond,
@@ -607,6 +673,14 @@ func Run(cfg Config) (*Result, error) {
 	regNode(tb.PrimaryNode, "primary", "primary", tb.PrimaryCfg.Obs)
 	for i, node := range tb.ReplicaNodes {
 		regNode(node, fmt.Sprintf("replica%d", i), "primary", tb.ReplicaCfgs[i].Obs)
+	}
+	for i, reg := range tb.Regions {
+		regNode(reg.LoggerNode, fmt.Sprintf("region%d/logger", i+1), "secondary", reg.LoggerCfg.Obs)
+		h.regionals = append(h.regionals, reg.Logger)
+		h.stoppables = append(h.stoppables, reg.Logger)
+	}
+	if cfg.Regions > 0 {
+		h.priDown = tb.PrimaryNode.DownLink()
 	}
 	for i, ts := range tb.Sites {
 		regNode(ts.SecondaryNode, fmt.Sprintf("site%d/secondary", i+1), "secondary", ts.SecondaryCfg.Obs)
@@ -829,6 +903,9 @@ func buildSchedule(cfg Config) []Fault {
 	if cfg.Quorum > 0 {
 		return quorumSchedule(cfg, rng)
 	}
+	if cfg.Regions > 0 {
+		return hierarchySchedule(cfg, rng)
+	}
 	var kinds []string
 	if !cfg.DisableCrashes {
 		kinds = append(kinds, "crash-receiver", "crash-secondary")
@@ -1018,6 +1095,32 @@ func (h *harness) applyFault(f Fault) {
 		// direct fan-in and repair a ring around the dead hop.
 		heal := h.tb.ReplicaNodes[f.Idx].Isolate(true, true)
 		clk.AfterFunc(f.Dur, heal)
+	case "crash-regional":
+		node := h.tb.Regions[f.Idx].LoggerNode
+		h.crash(node)
+		clk.AfterFunc(f.Dur, func() {
+			// The restarted regional announces itself with the next tree
+			// epoch so its TypeReparent out-fences the boot announcement
+			// and pulls re-homed children back (DESIGN.md §13).
+			rcfg := h.tb.Regions[f.Idx].LoggerCfg
+			rcfg.TreeEpoch++
+			reg := lbrm.NewSecondaryLogger(rcfg)
+			h.regionals[f.Idx] = reg
+			h.stoppables = append(h.stoppables, reg)
+			node.Restart(reg)
+		})
+	case "partition-regional":
+		// The regional keeps its state and timers but hears and reaches
+		// nothing: children must degrade to the sibling region, never the
+		// primary.
+		heal := h.tb.Regions[f.Idx].LoggerNode.Isolate(true, true)
+		clk.AfterFunc(f.Dur, heal)
+	case "down-outage":
+		// Gate only the site's tail-down: the site misses data together,
+		// but its upward control path stays open, so recovery pressure
+		// lands on whatever parent tier is (or is not) alive.
+		heal := h.tb.Sites[f.Site].Site.TailDown().PushLoss(&lbrm.Gate{Down: true})
+		clk.AfterFunc(f.Dur, heal)
 	case "partition-source":
 		// The acting primary's host is cut off — deaf, mute, or both — with
 		// all its state and timers intact. It receives nothing (deaf) or
@@ -1085,6 +1188,18 @@ func (h *harness) tap(ev lbrm.TapEvent) {
 	}
 	if site, ok := h.tailUpSite[ev.Link]; ok && p.Type == wire.TypeNack {
 		h.nackUp[site]++
+	}
+	// Tier-skip invariant (hierarchy runs): every NACK reaching the
+	// primary's host must be stamped with the primary's global tier —
+	// a lower stamp means some live tier was skipped on the way up.
+	if h.priDown != nil && ev.Link == h.priDown && p.Type == wire.TypeNack {
+		h.priNacks++
+		if want := treeDepth; p.Tier() != want && !h.tierSkipHit {
+			h.tierSkipHit = true
+			h.violate("tier-skip", fmt.Sprintf(
+				"NACK at the primary stamped tier %d, want %d (escalation skipped a tier)",
+				p.Tier(), want))
+		}
 	}
 	// Per-handler transmit ledger: every send a handler makes crosses its
 	// host up-link exactly once (attempted traversals, drops included),
@@ -1213,6 +1328,9 @@ func (h *harness) nackCount() uint64 {
 			n += sec.Stats().NacksToPrimary
 		}
 	}
+	for _, reg := range h.regionals {
+		n += reg.Stats().NacksToPrimary
+	}
 	for _, p := range h.primaries {
 		n += p.Stats().BackfillNacks
 	}
@@ -1313,6 +1431,7 @@ func (h *harness) checkFinalInvariants() {
 	}
 	h.checkFlightRecorder()
 	h.checkQuorumInvariants()
+	h.checkHierarchyInvariants()
 	// Failover latency bound: detection needs backlog (≤ SendEvery old)
 	// aged past FailoverTimeout, observed by a jittered check firing at
 	// ≤ 1.25×FailoverTimeout intervals; then one probe round (FailoverWait)

@@ -224,6 +224,15 @@ func TestChaosMatrix(t *testing.T) {
 		{6, Config{Replicas: 1, CrashPrimary: true}},
 		{7, Config{Sites: 4, ReceiversPerSite: 2}},
 		{8, Config{Faults: 10, Duration: 25 * time.Second}},
+		// Seed 9 pins the low-rate quorum liveness fix (see
+		// TestChaosQuorumLowRateNoFalseStalls): a fault-free quorum run at
+		// the CLI's default send rate — slower than every protocol timeout —
+		// must hold all invariants in the race-detected seed matrix.
+		{9, Config{Quorum: 2, QuorumFault: quorumFaultNone,
+			Duration: 45 * time.Second, SendEvery: time.Second}},
+		// Seed 10 keeps one three-tier hierarchy run in the headline matrix
+		// (the full class × seed sweep lives in TestChaosHierarchyMatrix).
+		{10, Config{Regions: 2, Sites: 4, ReceiversPerSite: 2}},
 	}
 	for _, e := range matrix {
 		e := e

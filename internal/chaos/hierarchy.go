@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Hierarchy schedule classes. When Config.Regions > 0 the harness builds
+// a three-tier logger tree (site secondaries under regional loggers under
+// the primary) and runs one of three fault classes against the middle
+// tier, always composed with a down-outage on one member site so there is
+// recovery demand in flight while the tier is degraded:
+//
+//   - regional-crash: one regional logger dies mid-recovery and restarts
+//     with the next tree epoch. Its children must re-home to the sibling
+//     regional, keep recovering there, and follow the reborn logger's
+//     epoch-fenced announcement back.
+//   - tier-partition: one regional logger is isolated both ways for the
+//     window, then healed without restarting. Children must degrade to
+//     the sibling — the lowest live tier — and never park on the primary.
+//   - cascade: the faulted site's secondary AND its regional crash
+//     together. Receivers must walk both dead tiers in order and reach
+//     the primary with NACKs stamped at the primary's global tier.
+//
+// The invariants enforced after every run (DESIGN.md §13):
+//
+//   - tier-skip (checked live in the wire tap): every NACK arriving at
+//     the primary's host is stamped treeDepth — a lower stamp means some
+//     live tier was skipped on the way up;
+//   - rehome / rehome-converge: the faulted site's secondary provably
+//     left its dead parent and, per class, ended where the protocol says
+//     it must (back home after a crash-restart, on a sibling tier after
+//     a partition);
+//   - tier-walk (cascade): recovery pressure reached the primary at all;
+//   - hierarchy-no-skip / hierarchy-abandoned: no acked loss across
+//     re-parenting — every receiver delivered every sequence the sender
+//     sent and no recovery range was ever abandoned (hierarchy schedules
+//     never crash receivers, so the delivery ledger is complete).
+const (
+	hierFaultRegionalCrash = "regional-crash"
+	hierFaultTierPartition = "tier-partition"
+	hierFaultCascade       = "cascade"
+)
+
+// treeDepth is the primary's global tier in the harness's three-tier
+// deployment: site secondary = 0, regional = 1, primary = 2.
+const treeDepth = 2
+
+// hierarchySchedule derives the hierarchy fault plan from the seed: the
+// configured — or seed-drawn — fault class against one regional, plus a
+// short down-outage on one of that region's sites to put recovery demand
+// on the degraded tier. Offsets are fractions of Duration so the faulted
+// window scales with the run: the outage opens just after the tier fault
+// lands, the regional restart (~55%) leaves the convergence phase free to
+// observe the re-parent protocol pulling children back.
+func hierarchySchedule(cfg Config, rng *rand.Rand) []Fault {
+	kind := cfg.HierarchyFault
+	if kind == "" {
+		kind = [...]string{hierFaultRegionalCrash, hierFaultTierPartition,
+			hierFaultCascade}[rng.Intn(3)]
+	}
+	region := rng.Intn(cfg.Regions)
+	var members []int
+	for s := region; s < cfg.Sites; s += cfg.Regions {
+		members = append(members, s)
+	}
+	site := members[rng.Intn(len(members))]
+
+	d := cfg.Duration
+	out := []Fault{{Kind: "down-outage", At: d * 32 / 100, Dur: d * 3 / 100,
+		Site: site, Idx: -1}}
+	switch kind {
+	case hierFaultRegionalCrash:
+		out = append(out, Fault{Kind: "crash-regional",
+			At: d * 30 / 100, Dur: d * 25 / 100, Site: -1, Idx: region})
+	case hierFaultTierPartition:
+		out = append(out, Fault{Kind: "partition-regional",
+			At: d * 30 / 100, Dur: d * 25 / 100, Site: -1, Idx: region})
+	case hierFaultCascade:
+		out = append(out,
+			Fault{Kind: "crash-regional", At: d * 30 / 100, Dur: d * 25 / 100,
+				Site: -1, Idx: region},
+			Fault{Kind: "crash-secondary", At: d * 31 / 100, Dur: d * 20 / 100,
+				Site: site, Idx: -1})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// checkHierarchyInvariants enforces the tree-degradation invariants after
+// a hierarchy-schedule run (tier-skip is enforced live, in the tap).
+func (h *harness) checkHierarchyInvariants() {
+	if h.cfg.Regions <= 0 {
+		return
+	}
+	var crashed, partitioned, cascaded bool
+	region, site := -1, -1
+	for _, f := range h.res.Schedule {
+		switch f.Kind {
+		case "crash-regional":
+			crashed, region = true, f.Idx
+		case "partition-regional":
+			partitioned, region = true, f.Idx
+		case "crash-secondary":
+			cascaded = true
+		case "down-outage":
+			site = f.Site
+		}
+	}
+	if site < 0 || region < 0 {
+		return // "none"-style schedule: nothing to prove
+	}
+
+	switch {
+	case cascaded:
+		// Both lower tiers were dead while the site had demand: receivers
+		// must have walked the chain all the way to the primary (every
+		// such NACK's tier 2 stamp was already checked in the tap).
+		if h.priNacks == 0 {
+			h.violate("tier-walk",
+				"cascade run, but no NACK ever reached the primary's host")
+		}
+	case crashed:
+		// The faulted site's secondary must have re-homed off its dead
+		// parent and then followed the reborn regional's announcement
+		// (tree epoch 2) back: the sibling detour is observable in
+		// Rehomes, the return in ReparentsFollowed and the final parent.
+		st := h.secondaries[site].Stats()
+		if st.Rehomes == 0 {
+			h.violate("rehome", fmt.Sprintf(
+				"site%d secondary never re-homed off its crashed regional (fetches=%d)",
+				site+1, st.NacksToPrimary))
+		}
+		if st.ReparentsFollowed == 0 {
+			h.violate("rehome-converge", fmt.Sprintf(
+				"site%d secondary never followed the reborn regional's announcement", site+1))
+		}
+		addr, tier := h.secondaries[site].Parent()
+		home := h.tb.Regions[region].LoggerNode.Addr()
+		if addr != home || tier != 1 {
+			h.violate("rehome-converge", fmt.Sprintf(
+				"site%d secondary parked on %v tier %d, want reborn regional %v tier 1",
+				site+1, addr, tier, home))
+		}
+	case partitioned:
+		// The regional healed without restarting, so no announcement pulls
+		// children back: the re-homed secondary must have stopped at the
+		// sibling — the lowest live tier — and never parked on the primary.
+		st := h.secondaries[site].Stats()
+		if st.Rehomes == 0 {
+			h.violate("rehome", fmt.Sprintf(
+				"site%d secondary never re-homed off its partitioned regional", site+1))
+		}
+		addr, tier := h.secondaries[site].Parent()
+		if tier > 1 {
+			h.violate("rehome-converge", fmt.Sprintf(
+				"site%d secondary degraded past the live sibling tier to %v tier %d",
+				site+1, addr, tier))
+		}
+	}
+
+	// No acked loss across re-parenting: hierarchy schedules never crash
+	// receivers, so the OnData ledger is complete — every receiver must
+	// hold every sequence, and none may have abandoned a recovery range.
+	for s := range h.delivered {
+		for j := range h.delivered[s] {
+			var missing []uint64
+			for seq := uint64(1); seq <= h.res.LastSeq && len(missing) < 8; seq++ {
+				if !h.delivered[s][j][seq] {
+					missing = append(missing, seq)
+				}
+			}
+			if len(missing) > 0 {
+				h.violate("hierarchy-no-skip", fmt.Sprintf(
+					"site%d/rcv%d never delivered seqs %v (lastSeq %d)",
+					s+1, j, missing, h.res.LastSeq))
+			}
+		}
+	}
+	var abandoned uint64
+	for s := range h.receivers {
+		for _, r := range h.receivers[s] {
+			abandoned += r.Stats().RangesAbandoned
+		}
+	}
+	if abandoned > 0 {
+		h.violate("hierarchy-abandoned", fmt.Sprintf(
+			"%d recovery ranges abandoned across receivers", abandoned))
+	}
+}

@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// hierFaultKinds is the hierarchy degradation matrix's fault-class axis.
+var hierFaultKinds = []string{
+	hierFaultRegionalCrash, hierFaultTierPartition, hierFaultCascade,
+}
+
+func hierCfg(seed int64, kind string) Config {
+	return Config{Seed: seed, Regions: 2, Sites: 4, ReceiversPerSite: 2,
+		HierarchyFault: kind}
+}
+
+// TestChaosHierarchyMatrix is the tree-degradation matrix: 10 seeds × 3
+// fault classes against the regional tier (crash mid-recovery, both-ways
+// partition, cascading two-tier failure), each composed with a site
+// down-outage that keeps recovery demand on the degraded tier. Every run
+// must hold every invariant — including tier-skip (escalation never skips
+// a live tier), rehome/rehome-converge (children of a dead regional end
+// where the re-parent protocol says) and hierarchy-no-skip (no acked loss
+// across re-parenting).
+func TestChaosHierarchyMatrix(t *testing.T) {
+	for _, kind := range hierFaultKinds {
+		for seed := int64(1); seed <= 10; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", kind, seed), func(t *testing.T) {
+				res, err := Run(hierCfg(seed, kind))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.OK() {
+					t.Fatalf("invariants violated:\n%s", res.Report())
+				}
+				if kind == hierFaultCascade && res.Metrics.Counters["recv.reparents"] == 0 {
+					// The reborn regional's announcement must have reached
+					// receivers too, not just the site secondaries.
+					t.Fatalf("cascade run saw no receiver re-parent adoptions:\n%s", res.Report())
+				}
+			})
+		}
+	}
+}
+
+// TestChaosHierarchyDeterministic pins seed-reproducibility for the
+// hierarchy schedule: same seed, same fault class, same packet trace.
+func TestChaosHierarchyDeterministic(t *testing.T) {
+	for _, kind := range hierFaultKinds {
+		a, err := Run(hierCfg(5, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(hierCfg(5, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TraceHash != b.TraceHash {
+			t.Fatalf("%s: same seed, different traces: %016x vs %016x",
+				kind, a.TraceHash, b.TraceHash)
+		}
+	}
+}
+
+// TestChaosHierarchyRevertTrips is the proof-by-revert: the cascade
+// schedule every matrix run survives — site secondary and regional dead
+// together — must trip the tier-skip invariant when the receivers' logger
+// chains are stripped back to the flat two-hop design. Flat receivers
+// treat the primary as tier 1, so their NACKs arrive under-stamped: the
+// wire itself shows the escalation path skipping the regional tier.
+func TestChaosHierarchyRevertTrips(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := hierCfg(seed, hierFaultCascade)
+		treed, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !treed.OK() {
+			t.Fatalf("seed %d with the full tree: %s", seed, treed.Report())
+		}
+		cfg.flatRevert = true
+		flat, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tripped := false
+		for _, v := range flat.Violations {
+			if v.Name == "tier-skip" {
+				tripped = true
+			}
+		}
+		if !tripped {
+			t.Fatalf("seed %d flat-reverted run missing tier-skip violation; got:\n%s",
+				seed, flat.Report())
+		}
+	}
+}

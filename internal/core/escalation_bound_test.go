@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/wire"
+)
+
+// TestReceiverEscalationTimeBounded is the satellite property test for the
+// chain's end-to-end latency: across random per-tier retry budgets and
+// timeout bases, the time from loss detection to the source query — the
+// full walk over every tier of a three-tier chain — never exceeds the
+// analytic bound: NackDelay plus, per tier, the sum of that tier's
+// jittered backoff intervals at their envelope maximum (+25%).
+func TestReceiverEscalationTimeBounded(t *testing.T) {
+	prng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		base := time.Duration(20+prng.Intn(80)) * time.Millisecond
+		nackDelay := time.Duration(1+prng.Intn(10)) * time.Millisecond
+		secRetries := 1 + prng.Intn(3)
+		priRetries := 1 + prng.Intn(3)
+		h := newReceiver(t, ReceiverConfig{
+			Loggers:          []transport.Addr{tSite, tRegional},
+			NackDelay:        nackDelay,
+			RequestTimeout:   base,
+			SecondaryRetries: secRetries,
+			PrimaryRetries:   priRetries,
+		})
+		h.data(t, 1, "one")
+		h.data(t, 3, "three")
+
+		// The bound: per tier, retries are spaced by the jittered backoff;
+		// the next tier starts the instant the previous one exhausts. Site
+		// and regional tiers spend SecondaryRetries intervals each, the
+		// primary tier PrimaryRetries, all at the +25% envelope edge.
+		bo := transport.Backoff{Base: base}
+		bound := nackDelay
+		for _, retries := range []int{secRetries, secRetries, priRetries} {
+			for a := 0; a < retries; a++ {
+				bound += time.Duration(float64(bo.Interval(a, nil)) * 1.25)
+			}
+		}
+
+		step := time.Millisecond
+		var elapsed, queryAt time.Duration
+		queried := false
+		for elapsed <= bound+step && !queried {
+			h.env.Advance(step)
+			elapsed += step
+			for _, p := range h.env.SentPackets() {
+				if p.Type == wire.TypePrimaryQuery {
+					queried, queryAt = true, elapsed
+				}
+			}
+		}
+		if !queried {
+			t.Fatalf("trial %d (base %v delay %v retries %d/%d): no source query within bound %v",
+				trial, base, nackDelay, secRetries, priRetries, bound)
+		}
+		if queryAt > bound {
+			t.Fatalf("trial %d: escalation took %v, bound %v", trial, queryAt, bound)
+		}
+	}
+}

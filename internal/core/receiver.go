@@ -39,6 +39,16 @@ type ReceiverConfig struct {
 	// from. Nil with Discover set finds one by scoped multicast (§2.2.1);
 	// nil without Discover goes straight to Primary.
 	Secondary transport.Addr
+	// Loggers is the upward recovery chain of logger tiers for an N-level
+	// logger tree: Loggers[0] is the site secondary (tier 0), Loggers[1]
+	// the regional logger (tier 1), and so on; Primary remains the final
+	// pre-query escalation target one tier above the last entry. A miss
+	// escalates tier by tier, spending SecondaryRetries jittered-backoff
+	// requests at each, instead of jumping straight to the primary. Empty
+	// keeps the flat design: Secondary (or a discovered logger), then
+	// Primary. When set, it overrides Secondary as the first recovery
+	// target.
+	Loggers []transport.Addr
 	// Primary is the primary logging server (escalation target).
 	Primary transport.Addr
 	// Discover enables expanding-ring logger discovery.
@@ -151,9 +161,12 @@ type ReceiverStats struct {
 	Duplicates         uint64
 	HeartbeatsSeen     uint64
 	GapsDetected       uint64
-	NacksSent          uint64
-	NacksToSecondary   uint64
-	NacksToPrimary     uint64
+	NacksSent uint64
+	// NacksToSecondary counts NACKs to the tier-0 (on-site) logger;
+	// NacksToPrimary counts everything sent beyond the site boundary —
+	// higher chain tiers, the primary, and post-query retries.
+	NacksToSecondary uint64
+	NacksToPrimary   uint64
 	Recovered          uint64
 	RecoveredInline    uint64
 	Escalations        uint64
@@ -169,22 +182,30 @@ type ReceiverStats struct {
 	ChannelRecoveries  uint64 // losses healed by channel replays
 	SkippedAhead       uint64 // recovery-window skips (fell too far behind)
 	StaleRedirects     uint64 // redirects fenced by the primary epoch
+	ReparentsFollowed  uint64 // logger-tree announcements adopted
+	StaleReparents     uint64 // logger-tree announcements fenced as stale
 }
 
-// recovery escalation phases.
-const (
-	phaseSecondary = iota
-	phasePrimary
-	phaseQueried
-)
+// Recovery escalation phases. A stream's phase is its position in the
+// recovery chain: phases [0, numTiers) address the logger tiers
+// (cfg.Loggers, or the single flat secondary), numTiers the primary, and
+// numTiers+1 the post-query primary retry. With the default flat chain
+// these reduce to the paper's 0 secondary / 1 primary / 2 queried.
+const phaseSecondary = 0
 
 // Receiver is an LBRM receiver endpoint.
 type Receiver struct {
 	cfg       ReceiverConfig
 	env       transport.Env
 	secondary transport.Addr
-	streams   map[StreamKey]*rcvStream
-	stats     ReceiverStats
+	// chain is the logger-tier recovery chain (cfg.Loggers); empty means
+	// the flat single-secondary design. tierEpochs fences TypeReparent
+	// announcements per announcer tier, priEpochHigh by primary epoch.
+	chain        []transport.Addr
+	tierEpochs   [wire.MaxTier + 1]uint32
+	priEpochHigh uint32
+	streams      map[StreamKey]*rcvStream
+	stats        ReceiverStats
 
 	discovering  bool
 	discoveryTTL int
@@ -232,6 +253,8 @@ type receiverMetrics struct {
 	discoveries      *obs.Counter
 	skippedAhead     *obs.Counter
 	staleRedirects   *obs.Counter
+	reparents        *obs.Counter
+	staleReparents   *obs.Counter
 	primaryEpoch     *obs.Gauge
 	recoveryMS       *obs.Histogram
 	// pathRTT breaks recoveryMS down by recovery path (indexed by
@@ -263,6 +286,8 @@ func newReceiverMetrics(sink *obs.Sink) receiverMetrics {
 		discoveries:      sink.Counter("recv.discovery_queries"),
 		skippedAhead:     sink.Counter("recv.skipped_ahead"),
 		staleRedirects:   sink.Counter("recv.fence.stale_redirects"),
+		reparents:        sink.Counter("recv.reparents"),
+		staleReparents:   sink.Counter("recv.fence.stale_reparents"),
 		primaryEpoch:     sink.Gauge("recv.primary_epoch"),
 		recoveryMS:       sink.Histogram("recv.recovery_ms", recoveryBoundsMS),
 	}
@@ -320,13 +345,32 @@ type rcvStream struct {
 
 // NewReceiver returns a receiver for cfg.
 func NewReceiver(cfg ReceiverConfig) *Receiver {
-	return &Receiver{
+	r := &Receiver{
 		cfg:       cfg.withDefaults(),
 		secondary: cfg.Secondary,
+		chain:     cfg.Loggers,
 		streams:   make(map[StreamKey]*rcvStream),
 		mx:        newReceiverMetrics(cfg.Obs),
 	}
+	if len(r.chain) > 0 {
+		r.secondary = r.chain[0]
+	}
+	return r
 }
+
+// numTiers is the number of logger tiers below the primary in the
+// recovery chain (1 in the flat design: the single secondary).
+func (r *Receiver) numTiers() int {
+	if len(r.chain) > 0 {
+		return len(r.chain)
+	}
+	return 1
+}
+
+// phasePrimary/phaseQueried are the chain positions of the primary and of
+// the post-query primary retry (1 and 2 in the flat design).
+func (r *Receiver) phasePrimary() int { return r.numTiers() }
+func (r *Receiver) phaseQueried() int { return r.numTiers() + 1 }
 
 // Stats returns a snapshot of the receiver's counters.
 func (r *Receiver) Stats() ReceiverStats { return r.stats }
@@ -419,6 +463,8 @@ func (r *Receiver) Recv(from transport.Addr, data []byte) {
 		r.onDiscoveryReply(&p)
 	case wire.TypePrimaryRedirect:
 		r.onRedirect(&p)
+	case wire.TypeReparent:
+		r.onReparent(&p)
 	}
 }
 
@@ -574,6 +620,9 @@ func (r *Receiver) onHeartbeat(from transport.Addr, p *wire.Packet) {
 		r.mx.sink.Emit(r.now(), obs.KindEpochBump, uint64(st.primaryEpoch), uint64(p.PrimaryEpoch), 0)
 		st.primaryEpoch = p.PrimaryEpoch
 		r.mx.primaryEpoch.Set(int64(p.PrimaryEpoch))
+	}
+	if p.PrimaryEpoch > r.priEpochHigh {
+		r.priEpochHigh = p.PrimaryEpoch
 	}
 	r.touch(st, p)
 	// First contact via heartbeat: adopt the current position (no-op once
@@ -789,6 +838,12 @@ func (r *Receiver) requestRetransmission(st *rcvStream) {
 		Type: wire.TypeNack, Source: st.key.Source, Group: st.key.Group,
 		Ranges: miss,
 	}
+	// Stamp the addressee's global tier (the chain position; the primary's
+	// tier also covers the post-query retry) so taps and parents can see
+	// escalation never skips a live tier.
+	if tier := min(st.phase, r.phasePrimary()); tier > 0 {
+		nack.SetTier(tier)
+	}
 	buf, err := nack.AppendMarshal(r.scratch[:0])
 	if err != nil {
 		return
@@ -806,7 +861,10 @@ func (r *Receiver) requestRetransmission(st *rcvStream) {
 			}
 		}
 	}
-	if st.phase == phaseSecondary {
+	// NacksToSecondary counts tier-0 (on-site) requests; everything higher
+	// crosses the site boundary and lands in NacksToPrimary, preserving the
+	// §2.2.2 tail-circuit NACK-budget identity in multi-tier chains.
+	if st.phase == 0 {
 		r.stats.NacksToSecondary++
 		r.mx.nacksToSecondary.Inc()
 	} else {
@@ -822,42 +880,37 @@ func (r *Receiver) requestRetransmission(st *rcvStream) {
 	r.armRetry(st, retry)
 }
 
-// target returns the recovery peer for the stream's current phase.
+// target returns the recovery peer for the stream's current phase: the
+// logger chain tier by tier, then the primary.
 func (r *Receiver) target(st *rcvStream) transport.Addr {
-	switch st.phase {
-	case phaseSecondary:
-		if r.secondary != nil {
-			return r.secondary
+	if st.phase < r.numTiers() {
+		if len(r.chain) > 0 {
+			return r.chain[st.phase]
 		}
-		return nil
-	default:
-		return st.primary
+		return r.secondary // may be nil: escalate straight past tier 0
 	}
+	return st.primary
 }
 
 func (r *Receiver) phaseExhausted(st *rcvStream) bool {
-	switch st.phase {
-	case phaseSecondary:
+	if st.phase < r.numTiers() {
 		return st.retries >= r.cfg.SecondaryRetries
-	case phasePrimary:
-		return st.retries >= r.cfg.PrimaryRetries
-	default:
-		return st.retries >= r.cfg.PrimaryRetries
 	}
+	return st.retries >= r.cfg.PrimaryRetries
 }
 
-// escalate moves the recovery episode up the hierarchy: secondary →
-// primary → ask the source for the current primary → abandon.
+// escalate moves the recovery episode up the hierarchy: each logger tier
+// in turn → primary → ask the source for the current primary → abandon.
 func (r *Receiver) escalate(st *rcvStream, miss []wire.SeqRange) {
-	switch st.phase {
-	case phaseSecondary:
-		st.phase = phasePrimary
+	switch {
+	case st.phase < r.numTiers():
+		st.phase++
 		st.retries = 0
 		r.stats.Escalations++
 		r.mx.escalations.Inc()
 		r.requestRetransmission(st)
-	case phasePrimary:
-		st.phase = phaseQueried
+	case st.phase == r.phasePrimary():
+		st.phase = r.phaseQueried()
 		st.retries = 0
 		if st.source != nil {
 			q := wire.Packet{
@@ -1054,6 +1107,9 @@ func (r *Receiver) onRedirect(p *wire.Packet) {
 		st.primaryEpoch = p.Epoch
 		r.mx.primaryEpoch.Set(int64(p.Epoch))
 	}
+	if p.Epoch > r.priEpochHigh {
+		r.priEpochHigh = p.Epoch
+	}
 	// A redirect naming the primary we already tried carries no new
 	// information: let the escalation run its course (otherwise a source
 	// that keeps naming a dead primary pins us in a retry loop forever).
@@ -1062,15 +1118,61 @@ func (r *Receiver) onRedirect(p *wire.Packet) {
 	if same {
 		return
 	}
-	switch st.phase {
-	case phasePrimary, phaseQueried:
+	if st.phase >= r.phasePrimary() {
 		// A genuinely new primary invalidates retries burned against the
 		// old (dead) address: re-target the in-flight retry at the new
 		// primary immediately instead of letting MaxRetries expire against
 		// a host that will never answer.
-		st.phase = phasePrimary
+		st.phase = r.phasePrimary()
 		st.retries = 0
 		if st.retryArmed {
+			st.retryArmed = false
+			st.retryTimer.Stop()
+			r.requestRetransmission(st)
+		}
+	}
+}
+
+// onReparent adopts a recovered tier node back into the receiver's
+// escalation chain (graceful degradation, DESIGN.md §13): a logger at
+// tier t re-announcing itself replaces chain[t] so subsequent tier-t
+// NACKs land at the live node. Two fences keep stale announcements out:
+// the per-tier tree epoch rejects replays, and the stamped primary epoch
+// (when present) rejects announcers partitioned behind a primary
+// failover.
+func (r *Receiver) onReparent(p *wire.Packet) {
+	// chain[i] holds the logger at global tier i (chain[0] = site
+	// secondary), so the announcer's tier is its chain slot directly.
+	// Tier-0 loggers never announce, and the primary tier (== len(chain))
+	// is owned by the redirect protocol, not reparenting.
+	t := p.Tier()
+	if t < 1 || t >= len(r.chain) {
+		return
+	}
+	addr, err := r.env.ParseAddr(p.Addr)
+	if err != nil {
+		r.stats.Malformed++
+		return
+	}
+	if (p.Epoch != 0 && p.Epoch < r.priEpochHigh) || p.TreeEpoch <= r.tierEpochs[t] {
+		r.stats.StaleReparents++
+		r.mx.staleReparents.Inc()
+		r.mx.sink.Emit(r.now(), obs.KindReparent, uint64(t), uint64(p.TreeEpoch), 0)
+		return
+	}
+	// A fresh tree epoch is an adoption even at an unchanged address: a
+	// restarted logger re-announcing from the same host wants pending
+	// retries back just as much as a replacement on a new one.
+	r.tierEpochs[t] = p.TreeEpoch
+	r.chain[t] = addr
+	r.stats.ReparentsFollowed++
+	r.mx.reparents.Inc()
+	r.mx.sink.Emit(r.now(), obs.KindReparent, uint64(t), uint64(p.TreeEpoch), 1)
+	// Any stream currently retrying the replaced tier re-fires at the live
+	// node immediately instead of burning out its backoff there.
+	for _, st := range r.streams {
+		if st.phase == t && st.retryArmed {
+			st.retries = 0
 			st.retryArmed = false
 			st.retryTimer.Stop()
 			r.requestRetransmission(st)

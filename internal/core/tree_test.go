@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/transporttest"
+	"lbrm/internal/wire"
+)
+
+var (
+	tSite     = transporttest.Addr("site")
+	tRegional = transporttest.Addr("regional")
+)
+
+// treeReceiver builds a receiver with a two-tier logger chain: site
+// secondary at tier 0, regional logger at tier 1, primary above both.
+func treeReceiver(t *testing.T) *rcvHarness {
+	t.Helper()
+	return newReceiver(t, ReceiverConfig{
+		Loggers:          []transport.Addr{tSite, tRegional},
+		NackDelay:        10 * time.Millisecond,
+		RequestTimeout:   50 * time.Millisecond,
+		SecondaryRetries: 2,
+		PrimaryRetries:   2,
+	})
+}
+
+// TestReceiverEscalatesThroughChain: misses walk the chain tier by tier
+// — site, regional, primary, source query — with each NACK stamped with
+// its target's global tier and no tier skipped.
+func TestReceiverEscalatesThroughChain(t *testing.T) {
+	h := treeReceiver(t)
+	h.data(t, 1, "one")
+	h.data(t, 3, "three")
+	h.env.Advance(5 * time.Second)
+	var order []transport.Addr
+	var tiers []int
+	queries := 0
+	for i, p := range h.env.SentPackets() {
+		switch p.Type {
+		case wire.TypeNack:
+			order = append(order, h.env.Sents[i].To)
+			tiers = append(tiers, p.Tier())
+		case wire.TypePrimaryQuery:
+			queries++
+		}
+	}
+	wantOrder := []transport.Addr{tSite, tSite, tRegional, tRegional, tPrimary, tPrimary}
+	wantTiers := []int{0, 0, 1, 1, 2, 2}
+	if len(order) < len(wantOrder) {
+		t.Fatalf("sent %d NACKs, want at least %d", len(order), len(wantOrder))
+	}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] || tiers[i] != wantTiers[i] {
+			t.Fatalf("NACK %d: to %v tier %d, want %v tier %d",
+				i, order[i], tiers[i], wantOrder[i], wantTiers[i])
+		}
+	}
+	// Post-query retries stay at the primary with the primary's tier.
+	for i := len(wantOrder); i < len(order); i++ {
+		if order[i] != tPrimary || tiers[i] != 2 {
+			t.Fatalf("post-query NACK %d: to %v tier %d, want primary tier 2", i, order[i], tiers[i])
+		}
+	}
+	if queries != 1 {
+		t.Fatalf("primary queries = %d, want 1", queries)
+	}
+	got := h.r.Stats()
+	// site → regional → primary: two tier escalations (the source query
+	// is counted separately, as PrimaryQueries).
+	if got.Escalations != 2 {
+		t.Fatalf("stats = %+v, want 2 escalations", got)
+	}
+	if got.NacksToSecondary != 2 || got.NacksToPrimary < 4 {
+		t.Fatalf("stats = %+v, want 2 on-site NACKs and ≥4 off-site NACKs", got)
+	}
+	if len(h.lost) == 0 {
+		t.Fatal("chain exhaustion did not abandon the range")
+	}
+}
+
+// TestReceiverChainRecoversMidTier: a retransmission from a mid-chain
+// tier ends the episode without bothering the tiers above it.
+func TestReceiverChainRecoversMidTier(t *testing.T) {
+	h := treeReceiver(t)
+	h.data(t, 1, "one")
+	h.data(t, 3, "three")
+	// Burn through the site logger's retries so the episode reaches the
+	// regional tier, then serve from there.
+	h.env.Advance(200 * time.Millisecond)
+	h.retrans(t, tRegional, 2, "two")
+	h.env.Sents = nil
+	h.env.Advance(5 * time.Second)
+	for i, p := range h.env.SentPackets() {
+		if p.Type == wire.TypeNack && h.env.Sents[i].To == tPrimary {
+			t.Fatal("NACK reached the primary after a regional repair")
+		}
+	}
+	if h.r.Contiguous(streamKey) != 3 {
+		t.Fatalf("Contiguous = %d, want 3", h.r.Contiguous(streamKey))
+	}
+}
+
+// TestReceiverReparentRetargetsTier: a restarted regional logger's
+// announcement replaces the chain slot and re-fires an in-flight retry
+// at the new address; replays and stale primary epochs are fenced.
+func TestReceiverReparentRetargetsTier(t *testing.T) {
+	h := treeReceiver(t)
+	reborn := transporttest.Addr("regional2")
+	h.data(t, 1, "one")
+	h.data(t, 3, "three")
+	// Reach the regional tier (2 site retries ≈ 10ms + 50ms + 100ms).
+	h.env.Advance(200 * time.Millisecond)
+	h.env.Sents = nil
+
+	ann := wire.Packet{Type: wire.TypeReparent, Group: tGroup,
+		TreeEpoch: 2, Addr: reborn.String()}
+	ann.SetTier(1)
+	b, _ := ann.Marshal()
+	h.r.Recv(reborn, b)
+	got := h.r.Stats()
+	if got.ReparentsFollowed != 1 {
+		t.Fatalf("stats = %+v, want 1 reparent followed", got)
+	}
+	// The in-flight regional retry re-fired immediately at the new node.
+	sents := h.env.SentPackets()
+	if len(sents) == 0 || h.env.Sents[0].To != reborn {
+		t.Fatalf("no NACK re-fired at reborn regional; sents = %v", sents)
+	}
+	if sents[0].Tier() != 1 {
+		t.Fatalf("re-fired NACK tier = %d, want 1", sents[0].Tier())
+	}
+
+	// An exact replay is fenced by the per-tier tree epoch.
+	h.r.Recv(reborn, b)
+	if got := h.r.Stats(); got.StaleReparents != 1 {
+		t.Fatalf("stats after replay = %+v, want 1 stale reparent", got)
+	}
+
+	// After observing primary epoch 5, an announcement stamped with an
+	// older primary epoch is fenced even with a fresh tree epoch.
+	hb := wire.Packet{Type: wire.TypeHeartbeat, Source: tSource, Group: tGroup,
+		Seq: 3, HeartbeatIdx: 1, PrimaryEpoch: 5}
+	hbuf, _ := hb.Marshal()
+	h.r.Recv(tSrcAddr, hbuf)
+	stale := wire.Packet{Type: wire.TypeReparent, Group: tGroup,
+		TreeEpoch: 3, Epoch: 4, Addr: tRegional.String()}
+	stale.SetTier(1)
+	sb, _ := stale.Marshal()
+	h.r.Recv(tRegional, sb)
+	got = h.r.Stats()
+	if got.StaleReparents != 2 || got.ReparentsFollowed != 1 {
+		t.Fatalf("stats after stale epoch = %+v", got)
+	}
+}
+
+// TestReceiverReparentIgnoresForeignTiers: announcements for tiers the
+// chain does not cover (tier 0 never announces; the primary tier is the
+// redirect protocol's) leave the chain alone.
+func TestReceiverReparentIgnoresForeignTiers(t *testing.T) {
+	h := treeReceiver(t)
+	for _, tier := range []int{0, 2, 5} {
+		ann := wire.Packet{Type: wire.TypeReparent, Group: tGroup,
+			TreeEpoch: 9, Addr: transporttest.Addr("imposter").String()}
+		ann.SetTier(tier)
+		b, _ := ann.Marshal()
+		h.r.Recv(transporttest.Addr("imposter"), b)
+	}
+	got := h.r.Stats()
+	if got.ReparentsFollowed != 0 || got.StaleReparents != 0 {
+		t.Fatalf("foreign-tier announcements moved the chain: %+v", got)
+	}
+}

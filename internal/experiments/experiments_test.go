@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"nack", "recovery", "statack", "srm", "burst", "dis",
 		"estimate", "posack", "aggregation", "inline",
 		"hierarchy", "channel", "flow", "dissim", "reorder", "freshness",
-		"e20", "e24",
+		"e20", "e24", "e25",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -442,6 +442,53 @@ func TestE20RecoveryDistributions(t *testing.T) {
 		if v := r.Get(cl + ".fo_max_ms"); v <= 0 || v > 1500 {
 			t.Errorf("%s: failover max = %.0fms, want (0, 1500]", cl, v)
 		}
+	}
+}
+
+func TestE25TreeScalingShape(t *testing.T) {
+	r := TreeScaling()
+	first := treeScalePoints[0]
+	last := treeScalePoints[len(treeScalePoints)-1]
+	// The headline claim: primary callback load under the tree stays flat
+	// (within 2×) across the whole sweep, pinned at the regional fan-in.
+	treeFirst := r.Get(fmt.Sprintf("primary_nacks_tree@%d", first))
+	treeLast := r.Get(fmt.Sprintf("primary_nacks_tree@%d", last))
+	if treeFirst <= 0 || treeLast <= 0 {
+		t.Fatalf("missing tree NACK counts:\n%s", r)
+	}
+	if treeLast > 2*treeFirst {
+		t.Errorf("tree primary NACKs grew %v → %v from %d to %d sites, want within 2×",
+			treeFirst, treeLast, first, last)
+	}
+	if treeLast > 2*treeScaleRegions {
+		t.Errorf("tree primary NACKs @%d sites = %v, want ≈ regional fan-in %d",
+			last, treeLast, treeScaleRegions)
+	}
+	// The flat design's load is linear in sites: one NACK per site.
+	for _, sites := range treeScalePoints {
+		flat := r.Get(fmt.Sprintf("primary_nacks_flat@%d", sites))
+		if flat < 0.8*float64(sites) {
+			t.Errorf("flat primary NACKs @%d sites = %v, want ≈%d (one per site)", sites, flat, sites)
+		}
+		// Both designs must actually repair every site.
+		for _, design := range []string{"flat", "tree"} {
+			if rec := r.Get(fmt.Sprintf("recovered_%s@%d", design, sites)); rec != float64(sites) {
+				t.Errorf("%s @%d sites: %v sites recovered, want all", design, sites, rec)
+			}
+		}
+	}
+	// The flight-recorder latency table covers every tier, and deeper
+	// escalations cost more.
+	var prev float64 = -1
+	for tier := 0; tier <= 2; tier++ {
+		if n := r.Get(fmt.Sprintf("tier%d_chains", tier)); n < 1 {
+			t.Fatalf("tier %d: no flight chains stitched\n%s", tier, r)
+		}
+		mean := r.Get(fmt.Sprintf("tier%d_mean_ms", tier))
+		if mean <= prev {
+			t.Errorf("tier %d mean %v ms not above tier %d's %v ms", tier, mean, tier-1, prev)
+		}
+		prev = mean
 	}
 }
 

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/logger"
+	"lbrm/internal/netsim"
+	"lbrm/internal/obs"
+	"lbrm/internal/transport"
+	"lbrm/internal/wire"
+)
+
+func init() {
+	register("e25", "logger-tree scaling: primary callback load vs site count 100→10k, tree vs flat, with per-tier recovery latency from the flight recorder", TreeScaling)
+}
+
+// treeScalePoints are the site counts the scaling sweep visits. The
+// acceptance claim spans two orders of magnitude: primary callback load
+// under the tree must stay flat (within 2×) from the first point to the
+// last, while the flat design grows linearly with sites.
+var treeScalePoints = []int{100, 1000, 10000}
+
+// treeScaleRegions is the regional-tier width for the tree runs. It is
+// deliberately constant across the sweep: the whole point of the tier is
+// that the primary's fan-in is the number of regionals, not the number of
+// sites, so growing sites 100× only deepens each regional's own fan-in.
+const treeScaleRegions = 10
+
+// TreeScaling measures what the N-level logger tree buys at scale: the
+// primary's callback load (NACKs arriving on its downlink, repairs it
+// serves) after one widespread loss, as the site count sweeps 100 → 10k,
+// with and without the regional tier. The flat design sends one NACK per
+// site to the primary — load linear in sites; the tree aggregates each
+// region's misses into a single upward fetch — load pinned at the
+// (constant) regional count. A companion treed testbed run stitches the
+// flight recorder into per-tier recovery-latency tables: how long a repair
+// takes when the site secondary answers (tier 0), when the miss escalates
+// to the regional (tier 1), and when it walks all the way to the primary
+// (tier 2).
+//
+// The scaling sweep builds the logger tree without receivers: a site
+// secondary is itself a receiver of the stream (§2.2.1 — it logs the
+// multicast and recovers its own losses upward), so the upward NACK
+// cascade after a widespread loss is identical with or without clients
+// behind it, at a tenth of the simulation cost.
+func TreeScaling() *Result {
+	r := NewResult("e25", "Primary callback load vs site count: logger tree vs flat design",
+		"design", "sites", "NACKs at primary", "serves by primary", "sites recovered")
+
+	for _, sites := range treeScalePoints {
+		for _, treed := range []bool{false, true} {
+			nacks, serves, recovered := runTreeScale(sites, treed)
+			design := "flat"
+			if treed {
+				design = "tree"
+			}
+			r.AddRow(design, fmt.Sprint(sites), fmt.Sprint(nacks), fmt.Sprint(serves),
+				fmt.Sprintf("%d/%d", recovered, sites))
+			r.Set(fmt.Sprintf("primary_nacks_%s@%d", design, sites), float64(nacks))
+			r.Set(fmt.Sprintf("primary_serves_%s@%d", design, sites), float64(serves))
+			r.Set(fmt.Sprintf("recovered_%s@%d", design, sites), float64(recovered))
+		}
+	}
+	r.Note("%d regions in every tree run: primary fan-in is the regional count, independent of sites", treeScaleRegions)
+	r.Note("flat design: every site secondary NACKs the primary directly — callback load is one per site")
+
+	treeLatencyTable(r)
+	return r
+}
+
+// runTreeScale builds one scaling-sweep topology — sites site secondaries
+// spread round-robin under treeScaleRegions region routers, a primary and
+// sender at the source site — drops one data packet on the source tail so
+// every site misses it, and counts the primary's callback load during
+// recovery. With treed set, each region hosts a tier-1 regional logger at
+// its POP and site secondaries escalate through it; otherwise every site
+// fetches straight from the primary.
+func runTreeScale(sites int, treed bool) (nacksAtPrimary, servesByPrimary, sitesRecovered int) {
+	net := netsim.New(2500 + int64(sites))
+	hb := lbrm.HeartbeatParams{HMin: 50 * time.Millisecond, HMax: 400 * time.Millisecond, Backoff: 2}
+
+	srcSite := net.NewSite(netsim.SiteParams{Name: "source-site"})
+	primary := logger.NewPrimary(logger.PrimaryConfig{Group: 1})
+	primaryNode := srcSite.NewHost("primary", primary)
+	sender, err := lbrm.NewSender(lbrm.SenderConfig{
+		Source: 1, Group: 1, Heartbeat: hb, Primary: primaryNode.Addr(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	srcSite.NewHost("sender", sender)
+
+	regions := make([]*netsim.Router, treeScaleRegions)
+	regionLogger := make([]transport.Addr, treeScaleRegions)
+	for reg := range regions {
+		regions[reg] = net.NewRegion(fmt.Sprintf("region%d", reg+1), 5*time.Millisecond)
+		if treed {
+			rl := logger.NewSecondary(logger.SecondaryConfig{
+				Group: 1, Primary: primaryNode.Addr(), Tier: 1,
+				NackDelay:  10 * time.Millisecond,
+				RemcastTTL: transport.TTLRegion,
+			})
+			regionLogger[reg] = net.NewRegionHost(regions[reg], fmt.Sprintf("region%d/logger", reg+1), rl).Addr()
+		}
+	}
+
+	siteLoggers := make([]*logger.Secondary, 0, sites)
+	for i := 0; i < sites; i++ {
+		reg := i % treeScaleRegions
+		site := net.NewSite(netsim.SiteParams{
+			Name:   fmt.Sprintf("region%d/site%d", reg+1, i+1),
+			Parent: regions[reg],
+		})
+		cfg := logger.SecondaryConfig{
+			Group: 1, Primary: primaryNode.Addr(),
+			NackDelay: 10 * time.Millisecond,
+		}
+		if treed {
+			cfg.Parents = []transport.Addr{regionLogger[reg]}
+		}
+		sec := logger.NewSecondary(cfg)
+		siteLoggers = append(siteLoggers, sec)
+		site.NewHost("", sec)
+	}
+	net.Start()
+
+	// The primary's callback load: NACKs arriving on its host downlink,
+	// repairs leaving on its host uplink.
+	net.SetTap(func(ev netsim.TapEvent) {
+		if ev.Dropped || !strings.Contains(ev.Link.Name(), "primary/") {
+			return
+		}
+		var p wire.Packet
+		if p.Unmarshal(ev.Data) != nil {
+			return
+		}
+		switch {
+		case p.Type == wire.TypeNack && ev.Link.Name() == "primary/down":
+			nacksAtPrimary++
+		case p.Type == wire.TypeRetrans && ev.Link.Name() == "primary/up":
+			servesByPrimary++
+		}
+	})
+
+	sender.Send([]byte("warm"))
+	net.RunFor(500 * time.Millisecond)
+	nacksAtPrimary, servesByPrimary = 0, 0
+	srcSite.TailUp().SetLoss(&netsim.FirstN{N: 1})
+	sender.Send([]byte("lost-everywhere"))
+	net.RunFor(4 * time.Second)
+
+	for _, sec := range siteLoggers {
+		if sec.Stats().FetchesSatisfied >= 1 {
+			sitesRecovered++
+		}
+	}
+	return nacksAtPrimary, servesByPrimary, sitesRecovered
+}
+
+// treeLatencyTable drives one loss through each tier of a small treed
+// testbed — site serve, regional escalation, primary callback — then
+// stitches the victims' flight rings and folds the chains into the
+// per-tier recovery-latency histograms (flight.recovery.tier<k>.deliver_ms,
+// DESIGN.md §10), appending one table row per tier.
+func treeLatencyTable(r *Result) {
+	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
+		Seed: 25, Regions: 2, Sites: 6, ReceiversPerSite: 2,
+		Sender: lbrm.SenderConfig{
+			Heartbeat: lbrm.HeartbeatParams{HMin: 50 * time.Millisecond, HMax: 400 * time.Millisecond, Backoff: 2},
+		},
+		Receiver: lbrm.ReceiverConfig{
+			NackDelay: 10 * time.Millisecond, RequestTimeout: 100 * time.Millisecond,
+			SecondaryRetries: 2,
+		},
+		Secondary: lbrm.SecondaryConfig{NackDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		r.Note("latency table: %v", err)
+		return
+	}
+	tb.Send([]byte("warm"))
+	tb.Run(300 * time.Millisecond)
+
+	gate := func(n *lbrm.SimNode) func() {
+		g := &lbrm.Gate{Down: true}
+		rmUp := n.UpLink().PushLoss(g)
+		rmDown := n.DownLink().PushLoss(g)
+		return func() { rmUp(); rmDown() }
+	}
+	victims := make([]int, 0, 3)
+
+	// Tier 0: receiver at site 0 loses a packet; its site secondary serves.
+	tb.Sites[0].ReceiverNodes[0].DownLink().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("tier0-loss"))
+	tb.Run(2 * time.Second)
+	victims = append(victims, 0)
+
+	// Tier 1: site 1's secondary is dead; the receiver escalates to its
+	// regional (Loggers[1]).
+	heal := gate(tb.Sites[1].SecondaryNode)
+	tb.Sites[1].ReceiverNodes[0].DownLink().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("tier1-loss"))
+	tb.Run(3 * time.Second)
+	heal()
+	victims = append(victims, 1)
+
+	// Tier 2: site 2's secondary AND its regional are dead; the receiver
+	// walks the whole chain to the primary callback.
+	healSec := gate(tb.Sites[2].SecondaryNode)
+	healReg := gate(tb.Regions[tb.Sites[2].Region].LoggerNode)
+	tb.Sites[2].ReceiverNodes[0].DownLink().SetLoss(&lbrm.FirstN{N: 1})
+	tb.Send([]byte("tier2-loss"))
+	tb.Run(4 * time.Second)
+	healSec()
+	healReg()
+	victims = append(victims, 2)
+
+	// Stitch each victim's chains against every server-side ring and fold
+	// them into one registry.
+	var servers [][]obs.Event
+	servers = append(servers, tb.SenderCfg.Obs.FlightRing().Snapshot())
+	servers = append(servers, tb.PrimaryCfg.Obs.FlightRing().Snapshot())
+	for _, reg := range tb.Regions {
+		servers = append(servers, reg.LoggerCfg.Obs.FlightRing().Snapshot())
+	}
+	for _, s := range tb.Sites {
+		servers = append(servers, s.SecondaryCfg.Obs.FlightRing().Snapshot())
+	}
+	flightReg := obs.NewRegistry()
+	for _, site := range victims {
+		chains := obs.StitchFlights(
+			tb.Sites[site].ReceiverCfgs[0].Obs.FlightRing().Snapshot(), servers...)
+		obs.FoldFlightChains(flightReg, chains)
+	}
+	snap := flightReg.Snapshot()
+	for tier := 0; tier <= 2; tier++ {
+		h, ok := snap.Histograms[fmt.Sprintf("flight.recovery.tier%d.deliver_ms", tier)]
+		if !ok || h.Total() == 0 {
+			r.AddRow(fmt.Sprintf("tier %d latency", tier), "-", "no chains", "-", "-")
+			continue
+		}
+		mean := float64(h.Sum) / float64(h.Total())
+		r.AddRow(fmt.Sprintf("tier %d latency", tier), "-",
+			fmt.Sprintf("%d chains", h.Total()), fmt.Sprintf("mean %.0f ms", mean), "-")
+		r.Set(fmt.Sprintf("tier%d_chains", tier), float64(h.Total()))
+		r.Set(fmt.Sprintf("tier%d_mean_ms", tier), mean)
+	}
+	r.Note("per-tier latency from flight-recorder chains (detect→deliver): tier 0 = site serve, 1 = regional escalation, 2 = primary callback")
+}

@@ -1,0 +1,123 @@
+package logger
+
+import (
+	"slices"
+
+	"lbrm/internal/transport"
+)
+
+// Makespan-aware repair scheduling (DESIGN.md §13). When a tier rebuilds
+// after a fault — a healed partition, a re-homed subtree backfilling — a
+// parent logger faces many children NACKing large ranges at once. Serving
+// them FIFO lets one early small request delay the fleet's largest
+// recovery. The parent instead batches demand for one NackDelay window and
+// releases it largest-demand-first: under the relay model (the parent
+// serializes repairs on its downlink and a child completes one relay
+// period after its last repair, forwarding/applying what it received), the
+// child with the most outstanding work also has the longest tail, so
+// ordering by descending demand is Jackson's rule for single-machine
+// scheduling with delivery times and minimizes the fleet-wide recovery
+// makespan. Opt-in via SecondaryConfig.MakespanRepair; off, repairs are
+// served FIFO as each NACK arrives, byte-identical to the flat design.
+
+// RepairBatch is one child's outstanding repair demand within a scheduling
+// window.
+type RepairBatch struct {
+	// Child is the requester the repairs are owed to.
+	Child transport.Addr
+	// Seqs are the demanded sequence numbers in request order.
+	Seqs []uint64
+
+	// stream is the owning stream when the batch was queued by a live
+	// Secondary (nil in pure scheduling tests).
+	stream *secStream
+}
+
+// ScheduleRepairs orders batches to minimize fleet-wide recovery makespan:
+// largest demand first, stable for equal demands so arrival order still
+// breaks ties deterministically.
+func ScheduleRepairs(batches []RepairBatch) {
+	slices.SortStableFunc(batches, func(a, b RepairBatch) int {
+		switch {
+		case len(a.Seqs) > len(b.Seqs):
+			return -1
+		case len(a.Seqs) < len(b.Seqs):
+			return 1
+		}
+		return 0
+	})
+}
+
+// RepairMakespan evaluates a release order under the relay model: the
+// parent serializes batches (serve cost = demand size, in repair-slot
+// units) and each child completes its recovery one relay period — again
+// its demand size, the time to apply and forward what it received — after
+// its last repair is released. The fleet makespan is the latest child
+// completion.
+func RepairMakespan(batches []RepairBatch) int {
+	served, makespan := 0, 0
+	for _, b := range batches {
+		served += len(b.Seqs)
+		if done := served + len(b.Seqs); done > makespan {
+			makespan = done
+		}
+	}
+	return makespan
+}
+
+// queueRepair records one locally-servable (child, seq) demand in the
+// current scheduling window, opening the window if it is the first.
+func (s *Secondary) queueRepair(st *secStream, seq uint64, from transport.Addr) {
+	for i := range s.repairQ {
+		b := &s.repairQ[i]
+		if b.Child == from && b.stream == st {
+			if slices.Contains(b.Seqs, seq) {
+				return // duplicate request within the window
+			}
+			b.Seqs = append(b.Seqs, seq)
+			return
+		}
+	}
+	s.repairQ = append(s.repairQ, RepairBatch{Child: from, Seqs: []uint64{seq}, stream: st})
+	if s.repairTimer == nil {
+		s.repairTimer = s.after(s.cfg.NackDelay, s.releaseRepairs)
+	}
+}
+
+// releaseRepairs closes the scheduling window: hot sequences demanded by
+// RemcastThreshold children coalesce into one site re-multicast (§2.2.1),
+// then the remaining unicast batches go out largest-demand-first.
+func (s *Secondary) releaseRepairs() {
+	s.repairTimer = nil
+	q := s.repairQ
+	s.repairQ = nil
+	if len(q) == 0 {
+		return
+	}
+	type streamSeq struct {
+		st  *secStream
+		seq uint64
+	}
+	counts := make(map[streamSeq]int)
+	for _, b := range q {
+		for _, seq := range b.Seqs {
+			counts[streamSeq{b.stream, seq}]++
+		}
+	}
+	remulticast := make(map[streamSeq]bool)
+	for k, n := range counts {
+		if n >= s.cfg.RemcastThreshold {
+			remulticast[k] = true
+			s.retransmit(k.st, k.seq, nil, false)
+		}
+	}
+	ScheduleRepairs(q)
+	for _, b := range q {
+		for _, seq := range b.Seqs {
+			if remulticast[streamSeq{b.stream, seq}] {
+				continue
+			}
+			s.retransmit(b.stream, seq, b.Child, false)
+		}
+	}
+}

@@ -50,6 +50,36 @@ type SecondaryConfig struct {
 	// region logger in a multi-level hierarchy (§7) — must widen it so its
 	// repairs reach its clients.
 	RemcastTTL int
+	// Tier is this logger's global tier in the logger tree, counted from
+	// the leaf: 0 = site secondary (default), 1 = regional, up to the
+	// primary at the tree depth. Tier > 0 loggers announce themselves with
+	// a TypeReparent on Start so re-homed children can converge back.
+	Tier int
+	// Parents is the upward escalation chain of intermediate parents:
+	// Parents[0] is the immediate parent (tier Tier+1), Parents[1] the
+	// next tier up, and so on. Primary is always the final escalation
+	// target (appended to the chain unless it is already last). Empty
+	// Parents keeps the flat design: every fetch goes to Primary.
+	Parents []transport.Addr
+	// Siblings are alternate parents at the immediate parent's tier
+	// (Parents[0]'s siblings): when the parent stays dead through
+	// MaxRetries the logger re-homes to them before escalating a tier.
+	Siblings []transport.Addr
+	// TreeEpoch is the tree-configuration generation this logger announces
+	// with (default 1). A restarted tier node must boot with a higher
+	// TreeEpoch than its previous life so children can fence replayed
+	// announcements.
+	TreeEpoch uint32
+	// AnnounceTTL is the multicast scope of TypeReparent announcements
+	// (default transport.TTLRegion — an announcement must reach the
+	// announcer's children but need not cross the whole fleet).
+	AnnounceTTL int
+	// MakespanRepair enables makespan-aware repair scheduling: locally
+	// served NACKs are batched per requesting child for one NackDelay and
+	// released largest-demand-first (see ScheduleRepairs), minimizing
+	// fleet-wide recovery makespan when a tier rebuilds after a fault.
+	// Off by default: repairs are served FIFO as each NACK arrives.
+	MakespanRepair bool
 	// DiscoveryJitter is the maximum random delay before answering a
 	// discovery query (avoids reply implosion when several loggers hear
 	// the same query).
@@ -85,7 +115,46 @@ func (c SecondaryConfig) withDefaults() SecondaryConfig {
 	if c.DiscoveryJitter == 0 {
 		c.DiscoveryJitter = 10 * time.Millisecond
 	}
+	if c.Tier < 0 {
+		c.Tier = 0
+	}
+	if c.Tier > wire.MaxTier {
+		c.Tier = wire.MaxTier
+	}
+	if c.TreeEpoch == 0 {
+		c.TreeEpoch = 1
+	}
+	if c.AnnounceTTL == 0 {
+		c.AnnounceTTL = transport.TTLRegion
+	}
 	return c
+}
+
+// parentCand is one entry of the logger-wide escalation chain: a fetch
+// target and its global tier (stamped on upward NACKs).
+type parentCand struct {
+	addr transport.Addr
+	tier int
+}
+
+// candidates builds the escalation chain in re-home order: the immediate
+// parent first, then its siblings (same tier), then each higher parent,
+// with the primary always last.
+func (c SecondaryConfig) candidates() []parentCand {
+	var out []parentCand
+	if len(c.Parents) > 0 {
+		out = append(out, parentCand{c.Parents[0], c.Tier + 1})
+		for _, sib := range c.Siblings {
+			out = append(out, parentCand{sib, c.Tier + 1})
+		}
+		for i, p := range c.Parents[1:] {
+			out = append(out, parentCand{p, c.Tier + 2 + i})
+		}
+	}
+	if c.Primary != nil && (len(out) == 0 || out[len(out)-1].addr != c.Primary) {
+		out = append(out, parentCand{c.Primary, c.Tier + 1 + len(c.Parents)})
+	}
+	return out
 }
 
 // SecondaryStats counts a secondary logger's protocol activity.
@@ -97,7 +166,7 @@ type SecondaryStats struct {
 	RetransUnicast    uint64 // retransmissions served point-to-point
 	Remulticasts      uint64 // site-scoped multicast repairs
 	NacksToPrimary    uint64 // NACK packets sent up to the primary
-	FetchesSatisfied  uint64 // missing packets recovered from the primary
+	FetchesSatisfied  uint64 // log holes filled by an upstream repair (retrans/LogSync)
 	FetchesAbandoned  uint64
 	AckerSelections   uint64 // epochs this logger volunteered for
 	AcksSent          uint64
@@ -106,6 +175,9 @@ type SecondaryStats struct {
 	RedirectsFollowed uint64
 	StaleRedirects    uint64 // redirects fenced by the primary epoch
 	SkippedAhead      uint64 // recovery-window skips (fell too far behind)
+	Rehomes           uint64 // parent changes after exhausting retries
+	ReparentsFollowed uint64 // TypeReparent announcements adopted
+	StaleReparents    uint64 // TypeReparent announcements fenced as stale
 	Malformed         uint64
 }
 
@@ -134,13 +206,26 @@ type Secondary struct {
 	rangeScratch []wire.SeqRange
 	seqScratch   []uint64
 	trackScratch []wire.SeqRange
-	// waiterPool recycles the per-seq waiter maps of pendingReq.
-	waiterPool []map[transport.Addr]bool
+	// waiterPool recycles the per-seq waiter lists of pendingReq.
+	waiterPool [][]transport.Addr
 	// reqPool recycles reqWindow entries; each keeps its requester map
 	// and expiry timer across episodes (the timer is re-armed with Reset,
 	// so steady-state request-window churn allocates nothing).
 	reqPool []*reqCount
-	stats   SecondaryStats
+	// Logger-wide tree state: the escalation chain, the current parent
+	// slot, the announced tree epoch, the highest primary epoch observed
+	// on any stream (fences reparent announcements), and the highest tree
+	// epoch adopted per announcer tier.
+	cands        []parentCand
+	slot         int
+	treeEpoch    uint32
+	priEpochHigh uint32
+	tierEpochs   [wire.MaxTier + 1]uint32
+	// repairQ batches locally-served NACK demand per child while
+	// MakespanRepair is on; released largest-demand-first on repairTimer.
+	repairQ     []RepairBatch
+	repairTimer vtime.Timer
+	stats       SecondaryStats
 	// mx caches the preregistered metric handles (all nil-safe): resolved
 	// once at construction so the hot path is atomic adds only.
 	mx secondaryMetrics
@@ -160,7 +245,11 @@ type secondaryMetrics struct {
 	abandoned      *obs.Counter
 	skippedAhead   *obs.Counter
 	staleRedirects *obs.Counter
+	rehomes        *obs.Counter
+	reparents      *obs.Counter
+	staleReparents *obs.Counter
 	primaryEpoch   *obs.Gauge
+	parentTier     *obs.Gauge
 	nackRanges     *obs.Histogram
 }
 
@@ -177,7 +266,11 @@ func newSecondaryMetrics(sink *obs.Sink) secondaryMetrics {
 		abandoned:      sink.Counter("secondary.fetches_abandoned"),
 		skippedAhead:   sink.Counter("secondary.skipped_ahead"),
 		staleRedirects: sink.Counter("secondary.fence.stale_redirects"),
+		rehomes:        sink.Counter("secondary.tree.rehomes"),
+		reparents:      sink.Counter("secondary.tree.reparents"),
+		staleReparents: sink.Counter("secondary.tree.stale_reparents"),
 		primaryEpoch:   sink.Gauge("secondary.primary_epoch"),
+		parentTier:     sink.Gauge("secondary.tree.parent_tier"),
 		nackRanges:     sink.Histogram("secondary.nack.ranges", []uint64{1, 2, 4, 8, 16, 32}),
 	}
 }
@@ -187,14 +280,18 @@ type secStream struct {
 	store   *Store
 	source  transport.Addr // learned from the stream's data packets
 	primary transport.Addr
+	// fetchTier is the global tier of the stream's current fetch target
+	// (stamped on upward NACKs; moves with the logger-wide parent slot).
+	fetchTier int
 	// primaryEpoch is the highest primary epoch observed (heartbeats and
 	// redirects carry it); redirects stamped lower are from a fenced, stale
 	// primary and must not move the fetch target.
 	primaryEpoch uint32
 	// hbHigh is the highest sequence number referenced by a heartbeat.
 	hbHigh uint64
-	// pendingReq holds local receivers waiting for packets we don't have.
-	pendingReq map[uint64]map[transport.Addr]bool
+	// pendingReq holds local receivers waiting for packets we don't have,
+	// in arrival order (deterministic service order for the trace hash).
+	pendingReq map[uint64][]transport.Addr
 	// fetch state toward the primary.
 	nackTimer  vtime.Timer
 	retryTimer vtime.Timer
@@ -224,11 +321,26 @@ type reqCount struct {
 
 // NewSecondary returns a secondary logger for cfg.
 func NewSecondary(cfg SecondaryConfig) *Secondary {
-	return &Secondary{
-		cfg:     cfg.withDefaults(),
-		streams: make(map[StreamKey]*secStream),
-		mx:      newSecondaryMetrics(cfg.Obs),
+	cfg = cfg.withDefaults()
+	s := &Secondary{
+		cfg:       cfg,
+		streams:   make(map[StreamKey]*secStream),
+		cands:     cfg.candidates(),
+		treeEpoch: cfg.TreeEpoch,
+		mx:        newSecondaryMetrics(cfg.Obs),
 	}
+	s.mx.parentTier.Set(int64(s.currentParent().tier))
+	return s
+}
+
+// currentParent returns the logger-wide escalation-chain entry fetches
+// currently target. With an empty chain it returns a nil-addressed entry
+// one tier up (fetches abandon immediately, as before).
+func (s *Secondary) currentParent() parentCand {
+	if s.slot < len(s.cands) {
+		return s.cands[s.slot]
+	}
+	return parentCand{nil, s.cfg.Tier + 1}
 }
 
 // now returns the trace timestamp (0 before Start).
@@ -287,6 +399,17 @@ func (s *Secondary) Start(env transport.Env) {
 	if d := evictInterval(s.cfg.Retention); d > 0 {
 		env.AfterFunc(d, s.evictTick)
 	}
+	// A tier node announces itself so children that re-homed while it was
+	// down (or that booted first) converge back to it (§2.2 hierarchy).
+	if s.cfg.Tier > 0 {
+		p := wire.Packet{
+			Type: wire.TypeReparent, Group: s.cfg.Group,
+			TreeEpoch: s.treeEpoch, Epoch: s.priEpochHigh,
+			Addr: env.LocalAddr().String(),
+		}
+		p.SetTier(s.cfg.Tier)
+		s.multicast(&p, s.cfg.AnnounceTTL)
+	}
 }
 
 // evictTick enforces age-based retention even on idle streams.
@@ -328,6 +451,8 @@ func (s *Secondary) Recv(from transport.Addr, data []byte) {
 		s.onDiscovery(from, &p)
 	case wire.TypePrimaryRedirect:
 		s.onRedirect(&p)
+	case wire.TypeReparent:
+		s.onReparent(&p)
 	}
 }
 
@@ -337,11 +462,13 @@ func (s *Secondary) stream(key StreamKey) *secStream {
 	}
 	st := s.streams[key]
 	if st == nil {
+		cand := s.currentParent()
 		st = &secStream{
 			key:        key,
 			store:      NewStore(s.cfg.Retention),
-			primary:    s.cfg.Primary,
-			pendingReq: make(map[uint64]map[transport.Addr]bool),
+			primary:    cand.addr,
+			fetchTier:  cand.tier,
+			pendingReq: make(map[uint64][]transport.Addr),
 			reqWindow:  make(map[uint64]*reqCount),
 		}
 		s.streams[key] = st
@@ -350,20 +477,19 @@ func (s *Secondary) stream(key StreamKey) *secStream {
 	return st
 }
 
-// getWaiters takes a waiter map from the pool (or allocates one).
-func (s *Secondary) getWaiters() map[transport.Addr]bool {
+// getWaiters takes a waiter list from the pool (or allocates one).
+func (s *Secondary) getWaiters() []transport.Addr {
 	if n := len(s.waiterPool); n > 0 {
-		m := s.waiterPool[n-1]
+		w := s.waiterPool[n-1]
 		s.waiterPool = s.waiterPool[:n-1]
-		return m
+		return w
 	}
-	return make(map[transport.Addr]bool, 1)
+	return make([]transport.Addr, 0, 1)
 }
 
-// putWaiters returns a waiter map to the pool once its seq is resolved.
-func (s *Secondary) putWaiters(m map[transport.Addr]bool) {
-	clear(m)
-	s.waiterPool = append(s.waiterPool, m)
+// putWaiters returns a waiter list to the pool once its seq is resolved.
+func (s *Secondary) putWaiters(w []transport.Addr) {
+	s.waiterPool = append(s.waiterPool, w[:0])
 }
 
 // getReqCount takes a request-window entry from the pool (or builds a
@@ -418,6 +544,11 @@ func (s *Secondary) onData(from transport.Addr, p *wire.Packet) {
 	} else {
 		s.stats.PacketsLogged++
 		s.mx.logged.Inc()
+		if p.Type == wire.TypeRetrans || p.Type == wire.TypeLogSync {
+			// A repair we logged filled a hole in our own log: the upward
+			// fetch (or a parent's repair multicast) recovered it.
+			s.stats.FetchesSatisfied++
+		}
 		// Designated Acker duty: acknowledge fresh data of our epoch.
 		if st.isAcker && p.Type == wire.TypeData && p.Epoch == st.ackerEpoch && st.source != nil {
 			s.ackPkt = wire.Packet{
@@ -450,6 +581,9 @@ func (s *Secondary) onHeartbeat(from transport.Addr, p *wire.Packet) {
 		s.mx.sink.Emit(s.now(), obs.KindEpochBump, uint64(st.primaryEpoch), uint64(p.PrimaryEpoch), 0)
 		st.primaryEpoch = p.PrimaryEpoch
 		s.mx.primaryEpoch.Set(int64(st.primaryEpoch))
+	}
+	if p.PrimaryEpoch > s.priEpochHigh {
+		s.priEpochHigh = p.PrimaryEpoch
 	}
 	// First contact via heartbeat: adopt the current position, skipping
 	// history.
@@ -486,7 +620,11 @@ func (s *Secondary) onNack(from transport.Addr, p *wire.Packet) {
 			budget--
 			s.stats.SeqsRequested++
 			if st.store.Has(seq) {
-				s.serveLocal(st, seq, from)
+				if s.cfg.MakespanRepair {
+					s.queueRepair(st, seq, from)
+				} else {
+					s.serveLocal(st, seq, from)
+				}
 				continue
 			}
 			if st.store.Evicted(seq) {
@@ -495,12 +633,14 @@ func (s *Secondary) onNack(from transport.Addr, p *wire.Packet) {
 				// retention); the receiver's escalation path handles it.
 				continue
 			}
-			w := st.pendingReq[seq]
-			if w == nil {
+			w, ok := st.pendingReq[seq]
+			if !ok {
 				w = s.getWaiters()
-				st.pendingReq[seq] = w
 			}
-			w[from] = true
+			if !slices.Contains(w, from) {
+				w = append(w, from)
+			}
+			st.pendingReq[seq] = w
 			needFetch = true
 			// An explicit client request re-opens sequence numbers we had
 			// given up on: the retry shows continued demand.
@@ -538,12 +678,12 @@ func (s *Secondary) serveLocal(st *secStream, seq uint64, from transport.Addr) {
 // serveWaiters delivers a just-recovered packet to the receivers that
 // asked for it. viaPrimary records whether the packet had to be fetched
 // through the primary callback (§2.2.2) rather than found locally.
-func (s *Secondary) serveWaiters(st *secStream, seq uint64, waiters map[transport.Addr]bool, viaPrimary bool) {
+func (s *Secondary) serveWaiters(st *secStream, seq uint64, waiters []transport.Addr, viaPrimary bool) {
 	if len(waiters) >= s.cfg.RemcastThreshold {
 		s.retransmit(st, seq, nil, viaPrimary)
 		return
 	}
-	for w := range waiters {
+	for _, w := range waiters {
 		s.retransmit(st, seq, w, viaPrimary)
 	}
 }
@@ -705,13 +845,20 @@ func (s *Secondary) fetchMissing(st *secStream) {
 		st.retries = 0
 		return
 	}
-	if st.primary == nil {
-		// No primary known: abandon these waiters; receivers escalate on
-		// their own timeout.
-		s.abandon(st, ranges)
-		return
-	}
 	if st.retries >= s.cfg.MaxRetries {
+		// The parent stayed dead through a full retry episode: degrade
+		// gracefully by re-homing the whole logger to the next candidate
+		// (a sibling of the parent, or the next tier up) and fire the
+		// backfill fetch at it immediately. Only when the entire chain is
+		// exhausted do we abandon.
+		if !s.rehome() {
+			s.abandon(st, ranges)
+			return
+		}
+	}
+	if st.primary == nil {
+		// No parent known: abandon these waiters; receivers escalate on
+		// their own timeout.
 		s.abandon(st, ranges)
 		return
 	}
@@ -720,18 +867,20 @@ func (s *Secondary) fetchMissing(st *secStream) {
 		Type: wire.TypeNack, Source: st.key.Source, Group: st.key.Group,
 		Ranges: ranges,
 	}
+	nack.SetTier(st.fetchTier)
 	s.send(st.primary, &nack)
 	s.stats.NacksToPrimary++
 	s.mx.nacksToPrimary.Inc()
 	s.mx.nackRanges.Observe(uint64(len(ranges)))
 	if s.mx.sink != nil {
-		// Flight recorder: the site's aggregated fetch is the NACK hop of
-		// every covered seq's primary-callback chain (phase 3 = secondary→
-		// primary, after the receiver's phases 0–2).
+		// Flight recorder: the aggregated upward fetch is the NACK hop of
+		// every covered seq's escalated chain; B carries the fetch-target
+		// tier offset by NackTierFetch to keep it distinct from receiver
+		// escalation phases.
 		nowNS := s.now()
 		for _, r := range ranges {
 			for seq := r.From; seq <= r.To; seq++ {
-				s.mx.sink.EmitFlight(nowNS, obs.KindNackSend, seq, 3, uint64(st.retries-1))
+				s.mx.sink.EmitFlight(nowNS, obs.KindNackSend, seq, uint64(obs.NackTierFetch+st.fetchTier), uint64(st.retries-1))
 			}
 		}
 	}
@@ -744,6 +893,93 @@ func (s *Secondary) fetchMissing(st *secStream) {
 		st.retryTimer = nil
 		s.fetchMissing(st)
 	})
+}
+
+// rehome advances the logger-wide parent slot to the next escalation-chain
+// candidate and re-targets every stream at it: fetch targets move, retry
+// budgets reset, and give-up watermarks reopen so the new parent is asked
+// for everything still missing (the backfill). Returns false when the
+// chain is exhausted.
+func (s *Secondary) rehome() bool {
+	if s.slot+1 >= len(s.cands) {
+		return false
+	}
+	old := s.cands[s.slot]
+	s.slot++
+	cand := s.cands[s.slot]
+	for _, st := range s.streams {
+		st.primary = cand.addr
+		st.fetchTier = cand.tier
+		st.retries = 0
+		st.gaveUpBelow = 0
+	}
+	s.stats.Rehomes++
+	s.mx.rehomes.Inc()
+	s.mx.parentTier.Set(int64(cand.tier))
+	s.mx.sink.Emit(s.now(), obs.KindRehome, uint64(cand.tier), uint64(old.tier), uint64(s.slot))
+	return true
+}
+
+// onReparent handles a tier node's (re)join announcement: if the announcer
+// is an escalation-chain candidate closer to home than the current parent,
+// adopt it (the healed node converges its re-homed children back). Two
+// fences reject stale announcements: the per-tier tree epoch must be
+// strictly newer than the last adopted for that tier, and a non-zero
+// header Epoch must not be below the highest primary epoch observed.
+func (s *Secondary) onReparent(p *wire.Packet) {
+	addr, err := s.env.ParseAddr(p.Addr)
+	if err != nil {
+		s.stats.Malformed++
+		return
+	}
+	t := p.Tier()
+	if (p.Epoch != 0 && p.Epoch < s.priEpochHigh) || p.TreeEpoch <= s.tierEpochs[t] {
+		s.stats.StaleReparents++
+		s.mx.staleReparents.Inc()
+		s.mx.sink.Emit(s.now(), obs.KindReparent, uint64(t), uint64(p.TreeEpoch), 0)
+		return
+	}
+	s.tierEpochs[t] = p.TreeEpoch
+	idx := -1
+	for i, c := range s.cands {
+		if c.tier == t && c.addr == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || idx >= s.slot {
+		// Not one of our candidates (or not an improvement): the
+		// announcement is fresh but changes nothing for this logger.
+		return
+	}
+	s.slot = idx
+	cand := s.cands[idx]
+	for _, st := range s.streams {
+		st.primary = cand.addr
+		st.fetchTier = cand.tier
+		st.retries = 0
+		st.gaveUpBelow = 0
+		// Re-target any in-flight fetch episode at the recovered parent
+		// now rather than after a full backoff interval.
+		if st.retryTimer != nil {
+			st.retryTimer.Stop()
+			st.retryTimer = nil
+			s.fetchMissing(st)
+		} else {
+			s.checkGaps(st)
+		}
+	}
+	s.stats.ReparentsFollowed++
+	s.mx.reparents.Inc()
+	s.mx.parentTier.Set(int64(cand.tier))
+	s.mx.sink.Emit(s.now(), obs.KindReparent, uint64(t), uint64(p.TreeEpoch), 1)
+}
+
+// Parent returns the logger-wide current fetch parent and its global tier
+// (for tests and the chaos harness's convergence invariant).
+func (s *Secondary) Parent() (transport.Addr, int) {
+	cand := s.currentParent()
+	return cand.addr, cand.tier
 }
 
 // abandon gives up on the listed ranges and releases their waiters.
@@ -843,6 +1079,20 @@ func (s *Secondary) onRedirect(p *wire.Packet) {
 		s.mx.sink.Emit(s.now(), obs.KindEpochBump, uint64(st.primaryEpoch), uint64(p.Epoch), 0)
 		st.primaryEpoch = p.Epoch
 		s.mx.primaryEpoch.Set(int64(st.primaryEpoch))
+	}
+	if p.Epoch > s.priEpochHigh {
+		s.priEpochHigh = p.Epoch
+	}
+	// The primary moved: record it in the escalation chain's final slot so
+	// a later escalation targets the live primary, but only re-target the
+	// stream's fetches when it is the primary we are currently fetching
+	// from (a lower-tier parent is unaffected by a primary failover).
+	if n := len(s.cands); n > 0 {
+		s.cands[n-1].addr = addr
+		if s.slot != n-1 {
+			return
+		}
+		st.fetchTier = s.cands[n-1].tier
 	}
 	if st.primary == addr {
 		return // already pointed there; nothing new

@@ -1,0 +1,249 @@
+package logger
+
+import (
+	"testing"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/transport/transporttest"
+	"lbrm/internal/wire"
+)
+
+var (
+	regionalA = transporttest.Addr("regionalA")
+	regionalB = transporttest.Addr("regionalB")
+)
+
+// treeSecondary builds a site secondary parented to regionalA with
+// regionalB as the re-home sibling and the primary as the chain top.
+func treeSecondary(t *testing.T) (*Secondary, *transporttest.Env) {
+	t.Helper()
+	return newSecondary(t, SecondaryConfig{
+		Parents:        []transport.Addr{regionalA},
+		Siblings:       []transport.Addr{regionalB},
+		NackDelay:      10 * time.Millisecond,
+		RequestTimeout: 50 * time.Millisecond,
+		MaxRetries:     2,
+	})
+}
+
+func TestCandidateChainOrder(t *testing.T) {
+	cfg := SecondaryConfig{
+		Primary:  primaryAddr,
+		Parents:  []transport.Addr{regionalA},
+		Siblings: []transport.Addr{regionalB},
+	}.withDefaults()
+	got := cfg.candidates()
+	want := []parentCand{{regionalA, 1}, {regionalB, 1}, {primaryAddr, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Flat config: the chain is just the primary, one tier up.
+	flat := SecondaryConfig{Primary: primaryAddr}.withDefaults().candidates()
+	if len(flat) != 1 || flat[0] != (parentCand{primaryAddr, 1}) {
+		t.Fatalf("flat candidates = %v", flat)
+	}
+	// A primary already listed last is not duplicated.
+	dup := SecondaryConfig{
+		Primary: primaryAddr,
+		Parents: []transport.Addr{regionalA, primaryAddr},
+	}.withDefaults().candidates()
+	if len(dup) != 2 || dup[1] != (parentCand{primaryAddr, 2}) {
+		t.Fatalf("dedup candidates = %v", dup)
+	}
+}
+
+// TestSecondaryRehomesThroughChain walks the whole degradation path: the
+// dead immediate parent costs MaxRetries NACKs, then the logger re-homes
+// to the sibling, then to the primary, and only abandons when the entire
+// chain is exhausted. Every NACK must stamp its target's tier.
+func TestSecondaryRehomesThroughChain(t *testing.T) {
+	s, env := treeSecondary(t)
+	s.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 5, To: 5})))
+	env.Advance(time.Minute)
+	sents := env.SentPackets()
+	if len(sents) != 6 {
+		t.Fatalf("sent %d NACKs, want 2 per candidate = 6", len(sents))
+	}
+	wantTargets := []transport.Addr{regionalA, regionalA, regionalB, regionalB, primaryAddr, primaryAddr}
+	wantTiers := []int{1, 1, 1, 1, 2, 2}
+	for i, p := range sents {
+		if p.Type != wire.TypeNack {
+			t.Fatalf("sent[%d] = %v, want NACK", i, p.Type)
+		}
+		if env.Sents[i].To != wantTargets[i] {
+			t.Fatalf("NACK %d to %v, want %v", i, env.Sents[i].To, wantTargets[i])
+		}
+		if p.Tier() != wantTiers[i] {
+			t.Fatalf("NACK %d tier = %d, want %d", i, p.Tier(), wantTiers[i])
+		}
+	}
+	got := s.Stats()
+	if got.Rehomes != 2 || got.FetchesAbandoned != 1 {
+		t.Fatalf("stats = %+v, want 2 rehomes then 1 abandonment", got)
+	}
+	if addr, tier := s.Parent(); addr != primaryAddr || tier != 2 {
+		t.Fatalf("Parent() = %v tier %d, want primary tier 2", addr, tier)
+	}
+}
+
+// TestSecondaryRehomeBackfills: sequence numbers the logger gave up on at
+// a dead parent are re-requested from the re-home target (the backfill).
+func TestSecondaryRehomeBackfills(t *testing.T) {
+	s, env := treeSecondary(t)
+	s.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 5, To: 6})))
+	env.Advance(time.Minute)
+	for i, sent := range env.Sents[2:4] {
+		p := env.SentPackets()[2+i]
+		if sent.To != regionalB {
+			t.Fatalf("backfill NACK to %v, want sibling", sent.To)
+		}
+		if len(p.Ranges) != 1 || p.Ranges[0] != (wire.SeqRange{From: 5, To: 6}) {
+			t.Fatalf("backfill ranges = %v, want full original demand", p.Ranges)
+		}
+	}
+}
+
+// TestSecondaryReparentConvergesBack: a healed regional's TypeReparent
+// announcement pulls re-homed children back and re-fires their fetches at
+// it.
+func TestSecondaryReparentConvergesBack(t *testing.T) {
+	s, env := treeSecondary(t)
+	s.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 5, To: 5})))
+	// Burn through regionalA and regionalB; end parked on the primary.
+	env.Advance(2 * time.Second)
+	if addr, _ := s.Parent(); addr != primaryAddr {
+		t.Fatalf("Parent() = %v, want primary after two rehomes", addr)
+	}
+	// Fresh demand while parked on the primary keeps a fetch episode live.
+	s.Recv(rcvB, mustMarshal(t, nackPkt(wire.SeqRange{From: 5, To: 5})))
+	env.Advance(15 * time.Millisecond)
+	env.Sents = nil
+	ann := wire.Packet{Type: wire.TypeReparent, Group: testGroup,
+		TreeEpoch: 2, Addr: regionalA.String()}
+	ann.SetTier(1)
+	s.Recv(regionalA, mustMarshal(t, ann))
+	if addr, tier := s.Parent(); addr != regionalA || tier != 1 {
+		t.Fatalf("Parent() = %v tier %d, want regionalA tier 1", addr, tier)
+	}
+	if got := s.Stats(); got.ReparentsFollowed != 1 {
+		t.Fatalf("stats = %+v, want 1 reparent followed", got)
+	}
+	// The in-flight fetch re-targets the recovered parent immediately,
+	// without waiting out a backoff interval.
+	sents := env.SentPackets()
+	if len(sents) == 0 || env.Sents[0].To != regionalA {
+		t.Fatalf("no backfill NACK to recovered parent; sents = %v", sents)
+	}
+	if sents[0].Tier() != 1 {
+		t.Fatalf("backfill NACK tier = %d, want 1", sents[0].Tier())
+	}
+}
+
+// TestSecondaryReparentFences: replayed (same tree epoch) and stale
+// primary-epoch announcements must not move the parent.
+func TestSecondaryReparentFences(t *testing.T) {
+	s, env := treeSecondary(t)
+	s.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 5, To: 5})))
+	env.Advance(2 * time.Second) // park on the primary
+	// The logger has observed primary epoch 5.
+	hb := wire.Packet{Type: wire.TypeHeartbeat, Source: testSource, Group: testGroup,
+		Seq: 1, HeartbeatIdx: 1, PrimaryEpoch: 5}
+	s.Recv(srcAddr, mustMarshal(t, hb))
+
+	// Announcement stamped with an older primary epoch: fenced.
+	ann := wire.Packet{Type: wire.TypeReparent, Group: testGroup,
+		TreeEpoch: 2, Epoch: 3, Addr: regionalA.String()}
+	ann.SetTier(1)
+	s.Recv(regionalA, mustMarshal(t, ann))
+	if got := s.Stats(); got.StaleReparents != 1 || got.ReparentsFollowed != 0 {
+		t.Fatalf("stats after stale primary epoch = %+v", got)
+	}
+	if addr, _ := s.Parent(); addr != primaryAddr {
+		t.Fatalf("fenced announcement moved parent to %v", addr)
+	}
+
+	// Fresh announcement adopts; an exact replay of it is fenced by the
+	// per-tier tree epoch.
+	fresh := wire.Packet{Type: wire.TypeReparent, Group: testGroup,
+		TreeEpoch: 2, Epoch: 5, Addr: regionalA.String()}
+	fresh.SetTier(1)
+	s.Recv(regionalA, mustMarshal(t, fresh))
+	if addr, _ := s.Parent(); addr != regionalA {
+		t.Fatalf("fresh announcement not adopted; parent = %v", addr)
+	}
+	// Re-home away again, then replay the same tree epoch: must stay put.
+	env.Advance(2 * time.Second)
+	s.Recv(regionalA, mustMarshal(t, fresh))
+	if got := s.Stats(); got.StaleReparents != 2 {
+		t.Fatalf("stats after replay = %+v, want 2 stale reparents", got)
+	}
+}
+
+// TestSecondaryAnnouncesOnStart: a tier node multicasts its TypeReparent
+// with region scope when it boots.
+func TestSecondaryAnnouncesOnStart(t *testing.T) {
+	cfg := SecondaryConfig{
+		Group: testGroup, Primary: primaryAddr,
+		Tier: 1, TreeEpoch: 3,
+	}
+	env := transporttest.NewEnv("regional")
+	s := NewSecondary(cfg)
+	s.Start(env)
+	mc := env.McastPackets()
+	if len(mc) != 1 || mc[0].Type != wire.TypeReparent {
+		t.Fatalf("boot multicasts = %v, want one REPARENT", mc)
+	}
+	if mc[0].Tier() != 1 || mc[0].TreeEpoch != 3 {
+		t.Fatalf("announcement tier/epoch = %d/v%d, want 1/v3", mc[0].Tier(), mc[0].TreeEpoch)
+	}
+	if env.Mcasts[0].TTL != transport.TTLRegion {
+		t.Fatalf("announce TTL = %d, want region scope %d", env.Mcasts[0].TTL, transport.TTLRegion)
+	}
+	got, err := env.ParseAddr(mc[0].Addr)
+	if err != nil || got != transporttest.Addr("regional") {
+		t.Fatalf("announced addr = %q (%v)", mc[0].Addr, err)
+	}
+	// A leaf (tier 0) stays silent.
+	leafEnv := transporttest.NewEnv("leaf")
+	NewSecondary(SecondaryConfig{Group: testGroup, Primary: primaryAddr}).Start(leafEnv)
+	if len(leafEnv.Mcasts) != 0 {
+		t.Fatalf("tier-0 logger announced itself: %v", leafEnv.McastPackets())
+	}
+}
+
+// TestSecondaryRedirectWhileParentedLow: a primary failover redirect
+// updates the chain's final slot but does not steal fetches from a live
+// lower-tier parent; a later escalation targets the new primary.
+func TestSecondaryRedirectWhileParentedLow(t *testing.T) {
+	s, env := treeSecondary(t)
+	newPrimary := transporttest.Addr("primary2")
+	s.Recv(rcvA, mustMarshal(t, nackPkt(wire.SeqRange{From: 5, To: 5})))
+	env.Advance(15 * time.Millisecond) // first fetch fired at regionalA
+	red := wire.Packet{Type: wire.TypePrimaryRedirect, Source: testSource, Group: testGroup,
+		Epoch: 2, Addr: newPrimary.String()}
+	s.Recv(primaryAddr, mustMarshal(t, red))
+	if addr, _ := s.Parent(); addr != regionalA {
+		t.Fatalf("redirect stole the parent: %v", addr)
+	}
+	// Exhaust the chain: the final escalation goes to the redirected
+	// primary, not the boot-time one.
+	env.Advance(time.Minute)
+	var toNew, toOld int
+	for _, sent := range env.Sents {
+		switch sent.To {
+		case newPrimary:
+			toNew++
+		case primaryAddr:
+			toOld++
+		}
+	}
+	if toNew == 0 || toOld != 0 {
+		t.Fatalf("escalation sent %d to new primary, %d to old; want all primary-tier NACKs at the new one", toNew, toOld)
+	}
+}

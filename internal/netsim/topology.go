@@ -117,6 +117,16 @@ func (s *Site) NewHostLossy(name string, h transport.Handler, downLoss LossModel
 	return node
 }
 
+// NewRegionHost attaches a host directly to a router — e.g. a regional
+// logger co-located at the region's POP rather than behind any site tail
+// circuit, so its recovery traffic never competes with a site's
+// bottleneck link.
+func (n *Network) NewRegionHost(r *Router, name string, h transport.Handler) *Node {
+	up := LinkConfig{Name: name + "/up", Delay: DefaultLANDelay, TTLRequired: transport.TTLLAN}
+	down := LinkConfig{Name: name + "/down", Delay: DefaultLANDelay, TTLRequired: transport.TTLLAN}
+	return n.NewNode(r, name, up, down, h)
+}
+
 // NewRegion creates an intermediate router tier under the backbone; sites
 // created with Parent pointing at it sit behind an extra WAN hop. Multicast
 // packets need RegionBoundaryTTL to leave the region.

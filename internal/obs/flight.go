@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 
 	"lbrm/internal/wire"
@@ -15,6 +16,14 @@ import (
 // latency breakdowns into a registry, and renders the periodic fleet
 // timeline as a JSONL flight log. Like the rest of the exposition layer
 // it allocates freely — stitching never runs on the datapath.
+
+// NackTierFetch is the offset a logger adds to the target's global tier in
+// the B argument of its upward-fetch KindNackSend events, so stitchers can
+// tell a logger fetch (B ≥ NackTierFetch, tier = B−NackTierFetch) from a
+// receiver NACK (B < NackTierFetch, B = escalation phase) without a
+// separate event kind. Receiver phases stay far below it in any plausible
+// chain depth.
+const NackTierFetch = 64
 
 // FlightChain is the reconstructed recovery lifecycle of one lost packet:
 // detect → nack* → serve → deliver (or abandon). Absent hops are zero.
@@ -43,10 +52,16 @@ type FlightChain struct {
 	// heartbeat (idle gap) rather than a higher data seq.
 	HeartbeatRevealed bool
 	// DetectCount/NackCount/ServeCount/TerminalCount tally the chain's
-	// events: detections, NACK sends (receiver and secondary→primary
+	// events: detections, NACK sends (receiver and logger upward
 	// fetches), repairs served, and terminals (exactly 1 in a well-formed
 	// chain).
 	DetectCount, NackCount, ServeCount, TerminalCount int
+	// ServeTier is the highest logger tier the recovery escalated to: the
+	// maximum tier stamped on any of the chain's NACK events (receiver
+	// NACKs carry the escalation phase, logger fetches NackTierFetch +
+	// target tier). 0 means the site secondary answered without
+	// escalation (or no NACK evidence was captured).
+	ServeTier int
 	// QuorumAt is when a quorum-mode primary saw the seq become
 	// quorum-durable (ring token return covering it), in ns; 0 when the
 	// run had no quorum replication or the event fell out of the ring. It
@@ -113,6 +128,7 @@ func StitchFlights(receiver []Event, servers ...[]Event) map[uint64]*FlightChain
 			if c.NackAt == 0 || ev.At < c.NackAt {
 				c.NackAt = ev.At
 			}
+			c.noteTier(ev.B)
 		case KindDeliver, KindAbandon:
 			c.TerminalCount++
 			if c.Terminal == KindNone || ev.At < c.TerminalAt {
@@ -153,6 +169,7 @@ func StitchFlights(receiver []Event, servers ...[]Event) map[uint64]*FlightChain
 				c.ServeCount++
 			case KindNackSend:
 				c.NackCount++
+				c.noteTier(ev.B)
 			}
 		}
 	}
@@ -166,6 +183,19 @@ func StitchFlights(receiver []Event, servers ...[]Event) map[uint64]*FlightChain
 		c.resolveServe()
 	}
 	return chains
+}
+
+// noteTier folds one NACK event's B argument into ServeTier: a logger
+// fetch carries NackTierFetch + the target's tier, a receiver NACK carries
+// the escalation phase directly.
+func (c *FlightChain) noteTier(b uint64) {
+	t := int(b)
+	if t >= NackTierFetch {
+		t -= NackTierFetch
+	}
+	if t > c.ServeTier {
+		c.ServeTier = t
+	}
 }
 
 // resolveServe picks the serve that plausibly produced the delivered
@@ -278,6 +308,10 @@ func (c *FlightChain) QuorumToServe() (time.Duration, bool) {
 // receiver's recovery histogram).
 var flightBoundsMS = []uint64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 
+// serveTierBounds buckets the escalation-depth histogram one tier per
+// bucket up to the wire tier ceiling.
+var serveTierBounds = []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+
 // ms converts a duration to whole milliseconds for histogram observation.
 func ms(d time.Duration) uint64 { return uint64(d / time.Millisecond) }
 
@@ -285,7 +319,9 @@ func ms(d time.Duration) uint64 { return uint64(d / time.Millisecond) }
 // "flight." namespace: per-path end-to-end latency histograms
 // (flight.recovery.local.rtt_ms, flight.recovery.primary_callback.rtt_ms,
 // flight.recovery.multicast_retrans.delay_ms), per-hop component
-// histograms, and chain-outcome counters. Nil-safe on reg.
+// histograms, the escalation-depth histogram flight.recovery.serve_tier
+// with lazy per-tier flight.recovery.tier<k>.deliver_ms breakdowns, and
+// chain-outcome counters. Nil-safe on reg.
 func FoldFlightChains(reg *Registry, chains map[uint64]*FlightChain) {
 	total := reg.Counter("flight.chains")
 	complete := reg.Counter("flight.chains.complete")
@@ -294,11 +330,19 @@ func FoldFlightChains(reg *Registry, chains map[uint64]*FlightChain) {
 	detectToNack := reg.Histogram("flight.recovery.detect_to_nack_ms", flightBoundsMS)
 	nackToServe := reg.Histogram("flight.recovery.nack_to_serve_ms", flightBoundsMS)
 	serveToDeliver := reg.Histogram("flight.recovery.serve_to_deliver_ms", flightBoundsMS)
+	serveTier := reg.Histogram("flight.recovery.serve_tier", serveTierBounds)
+	// Deeper tiers register lazily on first delivery, but tier 0 — the
+	// unescalated site recovery every run exercises — registers eagerly so
+	// the flight-log schema is stable even when no tier-0 chain delivered.
+	reg.Histogram("flight.recovery.tier0.deliver_ms", flightBoundsMS)
 	var quorumToServe *Histogram // registered lazily: absent on non-quorum runs
 	for _, c := range chains {
 		total.Inc()
 		if c.Complete() {
 			complete.Inc()
+		}
+		if c.NackCount > 0 {
+			serveTier.Observe(uint64(c.ServeTier))
 		}
 		switch {
 		case c.Terminal == KindAbandon:
@@ -309,6 +353,10 @@ func FoldFlightChains(reg *Registry, chains map[uint64]*FlightChain) {
 			reg.Counter("flight.chains." + c.Path.String()).Inc()
 			reg.Histogram("flight.recovery."+c.Path.MetricName()+"_ms", flightBoundsMS).
 				Observe(ms(c.DeliverLatency))
+			if c.NackCount > 0 {
+				reg.Histogram("flight.recovery.tier"+strconv.Itoa(c.ServeTier)+".deliver_ms", flightBoundsMS).
+					Observe(ms(c.DeliverLatency))
+			}
 		}
 		if d, ok := c.DetectToNack(); ok {
 			detectToNack.Observe(ms(d))

@@ -90,7 +90,7 @@ func TestStitchRecoveryBranches(t *testing.T) {
 				ev(160*msn, KindDeliver, 8, uint64(wire.PathPrimaryCallback), uint64(150*msn)),
 			},
 			servers: [][]Event{
-				{ev(130*msn, KindNackSend, 8, 3, 0)},                             // secondary → primary fetch
+				{ev(130*msn, KindNackSend, 8, NackTierFetch+1, 0)},               // secondary → primary fetch
 				{ev(140*msn, KindServe, 8, uint64(wire.PathPrimaryCallback), 0)}, // primary serve
 				{ev(155*msn, KindServe, 8, uint64(wire.PathPrimaryCallback), 1)}, // secondary relay
 			},
@@ -219,7 +219,7 @@ func TestStitchRecoveryBranches(t *testing.T) {
 func TestStitchServerEventsWithoutReceiverChainDropped(t *testing.T) {
 	chains := StitchFlights(nil, []Event{
 		ev(5, KindServe, 42, uint64(wire.PathLocal), 1),
-		ev(6, KindNackSend, 42, 3, 0),
+		ev(6, KindNackSend, 42, NackTierFetch+1, 0),
 	})
 	if len(chains) != 0 {
 		t.Fatalf("server-only events created %d chains, want 0", len(chains))
@@ -323,6 +323,55 @@ func TestFoldFlightChains(t *testing.T) {
 		if h := snap.Histograms[name]; h.Total() != 1 {
 			t.Errorf("%s count = %d, want 1", name, h.Total())
 		}
+	}
+	// Only chain 1 carried NACK evidence; it was served at tier 0.
+	if h := snap.Histograms["flight.recovery.serve_tier"]; h.Total() != 1 || h.Sum != 0 {
+		t.Errorf("serve_tier histogram = %+v, want one tier-0 observation", h)
+	}
+	if h := snap.Histograms["flight.recovery.tier0.deliver_ms"]; h.Total() != 1 || h.Sum != 24 {
+		t.Errorf("tier0.deliver_ms histogram = %+v, want one 24ms observation", h)
+	}
+}
+
+// TestServeTierEscalation checks the tier contract: receiver NACK phases
+// and logger fetch stamps (NackTierFetch + target tier) fold into the
+// chain's max escalation tier and the per-tier deliver breakdown.
+func TestServeTierEscalation(t *testing.T) {
+	msn := int64(time.Millisecond)
+	chains := StitchFlights([]Event{
+		// Escalated through tier 0 and tier 1 before the regional's fetch
+		// to the primary (tier 2) produced the repair.
+		ev(10*msn, KindGapDetect, 5, 0, 0),
+		ev(20*msn, KindNackSend, 5, 0, 0),
+		ev(120*msn, KindNackSend, 5, 1, 1),
+		ev(300*msn, KindDeliver, 5, uint64(wire.PathPrimaryCallback), uint64(290*msn)),
+	}, []Event{
+		ev(140*msn, KindNackSend, 5, NackTierFetch+2, 0), // regional → primary fetch
+		ev(200*msn, KindServe, 5, uint64(wire.PathPrimaryCallback), 0),
+	})
+	c := chains[5]
+	if c == nil {
+		t.Fatal("no chain")
+	}
+	if c.ServeTier != 2 {
+		t.Fatalf("ServeTier = %d, want 2", c.ServeTier)
+	}
+	reg := NewRegistry()
+	FoldFlightChains(reg, chains)
+	snap := reg.Snapshot()
+	if h := snap.Histograms["flight.recovery.serve_tier"]; h.Total() != 1 || h.Sum != 2 {
+		t.Fatalf("serve_tier histogram = %+v, want one tier-2 observation", h)
+	}
+	if h := snap.Histograms["flight.recovery.tier2.deliver_ms"]; h.Total() != 1 || h.Sum != 290 {
+		t.Fatalf("tier2.deliver_ms histogram = %+v, want one 290ms observation", h)
+	}
+	// Tier 0 registers eagerly (flight-log schema stability) but records
+	// nothing without a tier-0 delivery; deeper tiers stay lazy.
+	if h, ok := snap.Histograms["flight.recovery.tier0.deliver_ms"]; !ok || h.Total() != 0 {
+		t.Fatalf("tier0.deliver_ms = %+v (present %v), want registered and empty", h, ok)
+	}
+	if _, ok := snap.Histograms["flight.recovery.tier1.deliver_ms"]; ok {
+		t.Fatal("tier1.deliver_ms registered with no tier-1 delivery")
 	}
 }
 

@@ -47,8 +47,11 @@ const (
 	// a higher data seq did.
 	KindGapDetect
 	// KindNackSend: the seq was covered by an outgoing NACK.
-	// A = seq, B = requester phase (0 secondary, 1 primary, 2 source query,
-	// 3 secondary→primary fetch), C = retry count before this send.
+	// A = seq, B = the addressee's position in the escalation chain: for a
+	// receiver NACK, the escalation phase (0..len(chain)-1 = logger tiers,
+	// len = primary, len+1 = source query); for a logger's upward fetch,
+	// NackTierFetch + the target's global tier. C = retry count before this
+	// send.
 	KindNackSend
 	// KindServe: a repair carrying the seq was sent.
 	// A = seq, B = recovery path (wire.RecoveryPath), C = 1 for multicast,
@@ -76,6 +79,15 @@ const (
 	// A = 0 stall→direct fallback, 1 repair probe launched, 2 ring
 	// restored; B = ring version, C = ring size. Transition ring.
 	KindRingRepair
+	// KindRehome: a logger-tree child exhausted its retries against its
+	// current parent and re-homed to a sibling or the next tier up.
+	// A = the new parent's tier, B = the abandoned parent's tier, C = the
+	// candidate slot adopted. Transition ring.
+	KindRehome
+	// KindReparent: a child followed (or fenced) a TypeReparent
+	// announcement. A = the announcer's tier, B = the announced tree
+	// epoch, C = 1 when adopted, 0 when fenced as stale. Transition ring.
+	KindReparent
 	kindMax // sentinel, keep last
 )
 
@@ -98,6 +110,8 @@ var kindNames = [...]string{
 	KindAbandon:       "abandon",
 	KindQuorum:        "quorum",
 	KindRingRepair:    "ring-repair",
+	KindRehome:        "rehome",
+	KindReparent:      "reparent",
 }
 
 // String returns the stable lowercase name of the kind.

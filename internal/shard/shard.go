@@ -38,6 +38,25 @@ func Assign(g wire.GroupID, shards int) int {
 	return int(uint32(g) % uint32(shards))
 }
 
+// ValidateCounts rejects nonsensical datapath sizing up front: a fleet
+// needs at least one group and one shard, and a negative batch ring has
+// no meaning (0 selects the default ring, 1 disables batching). The
+// commands call this on their -groups/-shards/-batch flags right after
+// flag parsing, so a typo fails with a message naming the flag instead
+// of a zero-shard panic or a silently empty fleet.
+func ValidateCounts(groups, shards, batch int) error {
+	if groups < 1 {
+		return fmt.Errorf("shard: -groups must be at least 1, got %d", groups)
+	}
+	if shards < 1 {
+		return fmt.Errorf("shard: -shards must be at least 1, got %d", shards)
+	}
+	if batch < 0 {
+		return fmt.Errorf("shard: -batch must not be negative, got %d (0 = default ring, 1 = unbatched)", batch)
+	}
+	return nil
+}
+
 // GroupSpecs derives n multicast endpoints from a base "ip:port" spec:
 // group i (1-based) gets port base+i-1 on the base address. This is the
 // canonical layout for sharded deployments — one group per simulated

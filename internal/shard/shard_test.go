@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -61,6 +62,36 @@ func TestGroupSpecs(t *testing.T) {
 	}
 	if _, err := GroupSpecs("239.9.9.9:7000", 0); err == nil {
 		t.Error("zero groups accepted")
+	}
+}
+
+func TestValidateCounts(t *testing.T) {
+	cases := []struct {
+		name                  string
+		groups, shards, batch int
+		wantErr               bool
+		wantFlag              string
+	}{
+		{"defaults", 1, 1, 0, false, ""},
+		{"sharded", 8, 4, 32, false, ""},
+		{"unbatched", 2, 2, 1, false, ""},
+		{"zero groups", 0, 1, 0, true, "-groups"},
+		{"negative groups", -3, 1, 0, true, "-groups"},
+		{"zero shards", 4, 0, 0, true, "-shards"},
+		{"negative shards", 4, -1, 0, true, "-shards"},
+		{"negative batch", 4, 2, -8, true, "-batch"},
+	}
+	for _, tc := range cases {
+		err := ValidateCounts(tc.groups, tc.shards, tc.batch)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: ValidateCounts(%d, %d, %d) accepted", tc.name, tc.groups, tc.shards, tc.batch)
+			} else if !strings.Contains(err.Error(), tc.wantFlag) {
+				t.Errorf("%s: error %q does not name %s", tc.name, err, tc.wantFlag)
+			}
+		} else if err != nil {
+			t.Errorf("%s: ValidateCounts(%d, %d, %d) = %v, want nil", tc.name, tc.groups, tc.shards, tc.batch, err)
+		}
 	}
 }
 

@@ -1,0 +1,51 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffEnvelopeProperty is the satellite property test over random
+// parameterizations: for any Base/Cap/Jitter and attempt number, the
+// nominal interval is exactly min(Base·2^attempt, cap) and every jittered
+// draw stays inside the [1-j, 1+j) envelope around it. The receiver's
+// per-tier escalation bound (TestReceiverEscalationTimeBounded in
+// internal/core) builds directly on this envelope.
+func TestBackoffEnvelopeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		base := time.Duration(1+rng.Intn(1000)) * time.Millisecond
+		capD := base * time.Duration(1+rng.Intn(32))
+		j := []float64{0, 0.1, 0.25, 0.5}[rng.Intn(4)]
+		attempt := rng.Intn(12)
+		b := Backoff{Base: base, Cap: capD, Jitter: j}
+
+		want := base
+		for i := 0; i < attempt && want < capD; i++ {
+			want *= 2
+		}
+		if want > capD {
+			want = capD
+		}
+		nominal := b.Interval(attempt, nil)
+		if nominal != want {
+			t.Fatalf("trial %d: nominal Interval(%d) = %v, want min(%v·2^%d, %v) = %v",
+				trial, attempt, nominal, base, attempt, capD, want)
+		}
+
+		eff := j
+		if eff == 0 {
+			eff = 0.25 // zero value means the default ±25%
+		}
+		lo := time.Duration(float64(nominal) * (1 - eff))
+		hi := time.Duration(float64(nominal) * (1 + eff))
+		for i := 0; i < 50; i++ {
+			d := b.Interval(attempt, rng)
+			if d < lo || d > hi {
+				t.Fatalf("trial %d: jittered interval %v outside envelope [%v, %v] (nominal %v, jitter ±%v)",
+					trial, d, lo, hi, nominal, eff)
+			}
+		}
+	}
+}

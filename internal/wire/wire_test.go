@@ -45,6 +45,8 @@ func samplePackets() []Packet {
 		{Type: TypeQuorumAck, Source: 7, Group: 3, Seq: 0, Epoch: 2, RingVer: 4},
 		{Type: TypeRingConfig, Source: 7, Group: 3, Epoch: 2,
 			RingVer: 3, RingPos: 1, RingSize: 2, Addr: "replica2:9001"},
+		{Type: TypeReparent, Source: 7, Group: 3, Epoch: 2, TreeEpoch: 4,
+			Flags: 1 << flagTierShift, Addr: "region1-logger:9001"},
 	}
 }
 
@@ -175,6 +177,12 @@ func TestUnmarshalRejectsBadExtensions(t *testing.T) {
 			b[HeaderLen] = 5
 			return b
 		}()},
+		{"reparent addr len mismatch", func() []byte {
+			b := mk(Packet{Type: TypeReparent, TreeEpoch: 1, Addr: "ab"})
+			b[HeaderLen+4] = 5
+			return b
+		}()},
+		{"reparent short", fixLen(mk(Packet{Type: TypeReparent, TreeEpoch: 1, Addr: "ab"})[:HeaderLen+3])},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -203,6 +211,8 @@ func TestMarshalRejectsInvalid(t *testing.T) {
 		{"empty addr", Packet{Type: TypeDiscoveryReply}},
 		{"long addr", Packet{Type: TypeDiscoveryReply, Addr: strings.Repeat("a", MaxAddrLen+1)}},
 		{"heartbeat payload no flag", Packet{Type: TypeHeartbeat, Payload: []byte("x")}},
+		{"reparent empty addr", Packet{Type: TypeReparent, TreeEpoch: 1}},
+		{"reparent long addr", Packet{Type: TypeReparent, TreeEpoch: 1, Addr: strings.Repeat("a", MaxAddrLen+1)}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -302,7 +312,7 @@ func randomPacket(rng *rand.Rand) Packet {
 		TypeSizeProbeResponse, TypeDiscoveryQuery, TypeDiscoveryReply,
 		TypeLogSync, TypeLogSyncAck, TypeSourceAck, TypePrimaryQuery,
 		TypePrimaryRedirect, TypeLogStateQuery, TypeLogStateReply,
-		TypePromote, TypeQuorumAck, TypeRingConfig,
+		TypePromote, TypeQuorumAck, TypeRingConfig, TypeReparent,
 	}
 	p := Packet{
 		Type:   types[rng.Intn(len(types))],
@@ -373,8 +383,52 @@ func randomPacket(rng *rand.Rand) Packet {
 			b[i] = byte('a' + rng.Intn(26))
 		}
 		p.Addr = string(b)
+	case TypeReparent:
+		p.TreeEpoch = rng.Uint32()
+		p.SetTier(rng.Intn(MaxTier + 1))
+		n := rng.Intn(64) + 1
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		p.Addr = string(b)
 	}
 	return p
+}
+
+// TestTierFlagBits pins the tier stamp's packing: it survives a round
+// trip, never clobbers the low flag bits, and clamps out-of-range values.
+func TestTierFlagBits(t *testing.T) {
+	p := Packet{Type: TypeNack, Source: 1, Group: 1, Flags: FlagRetransmission,
+		Ranges: []SeqRange{{From: 3, To: 5}}}
+	for tier := 0; tier <= MaxTier; tier++ {
+		p.SetTier(tier)
+		if got := p.Tier(); got != tier {
+			t.Fatalf("Tier() = %d after SetTier(%d)", got, tier)
+		}
+		if p.Flags&FlagRetransmission == 0 {
+			t.Fatalf("SetTier(%d) clobbered low flag bits", tier)
+		}
+		buf, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Packet
+		if err := got.Unmarshal(buf); err != nil {
+			t.Fatal(err)
+		}
+		if got.Tier() != tier {
+			t.Fatalf("tier %d did not survive the round trip: %d", tier, got.Tier())
+		}
+	}
+	p.SetTier(MaxTier + 3)
+	if p.Tier() != MaxTier {
+		t.Fatalf("SetTier over max: Tier() = %d, want %d", p.Tier(), MaxTier)
+	}
+	p.SetTier(-1)
+	if p.Tier() != 0 {
+		t.Fatalf("SetTier(-1): Tier() = %d, want 0", p.Tier())
+	}
 }
 
 func BenchmarkMarshalData(b *testing.B) {

@@ -94,6 +94,16 @@ type TestbedConfig struct {
 	// NoSecondaries omits the per-site secondary loggers (the centralized
 	// baseline of Figure 7a: every receiver recovers from the primary).
 	NoSecondaries bool
+	// Regions, when positive, inserts a regional logger tier (§7,
+	// DESIGN.md §13): sites are placed round-robin under Regions region
+	// routers, each hosting a tier-1 regional logger at its POP. Site
+	// secondaries parent to their regional (with the other regionals as
+	// re-home siblings) and receivers escalate site → region → primary.
+	// Zero keeps the flat two-level deployment. Ignored when
+	// NoSecondaries is set (the centralized baseline has no tree).
+	Regions int
+	// RegionDelay is the one-way region↔backbone delay (5 ms if zero).
+	RegionDelay time.Duration
 	// Replicas is the number of primary-log replicas at the source site.
 	Replicas int
 	// TailDelay overrides the one-way tail circuit delay.
@@ -132,6 +142,7 @@ type Testbed struct {
 
 	SourceSite *Site
 	Sites      []*TestbedSite
+	Regions    []*TestbedRegion
 
 	// Effective configs as wired (identity and address fields filled in),
 	// retained so chaos tests can rebuild a handler after Crash/Restart
@@ -153,9 +164,23 @@ type TestbedSite struct {
 	Receivers     []*Receiver
 	ReceiverNodes []*SimNode
 
+	// Region is the index into Testbed.Regions this site sits under, or
+	// -1 in a flat deployment.
+	Region int
+
 	// SecondaryCfg and ReceiverCfgs mirror Testbed's retained configs.
 	SecondaryCfg SecondaryConfig
 	ReceiverCfgs []ReceiverConfig
+}
+
+// TestbedRegion is one regional logger tier node (Regions > 0).
+type TestbedRegion struct {
+	Router     *netsim.Router
+	Logger     *SecondaryLogger
+	LoggerNode *SimNode
+
+	// LoggerCfg mirrors Testbed's retained configs (chaos restarts).
+	LoggerCfg SecondaryConfig
 }
 
 // NewTestbed builds and starts the deployment. The virtual clock has not
@@ -246,18 +271,60 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	tb.SenderNode = srcSite.NewHost("sender", sender)
 	tb.SenderCfg = scfg
 
+	// Regional tier (Regions > 0): allocate every regional node before
+	// configuring any of them, so each site secondary can list the other
+	// regions' loggers as re-home siblings.
+	if cfg.NoSecondaries {
+		cfg.Regions = 0
+	}
+	for r := 0; r < cfg.Regions; r++ {
+		router := tb.Net.NewRegion(fmt.Sprintf("region%d", r+1), cfg.RegionDelay)
+		node := tb.Net.NewRegionHost(router, fmt.Sprintf("region%d/logger", r+1), nil)
+		tb.Regions = append(tb.Regions, &TestbedRegion{Router: router, LoggerNode: node})
+	}
+	for _, reg := range tb.Regions {
+		regCfg := cfg.Secondary
+		regCfg.Group = cfg.Group
+		regCfg.Primary = tb.PrimaryNode.Addr()
+		regCfg.Tier = 1
+		regCfg.TreeEpoch = 1
+		if regCfg.Obs == nil {
+			regCfg.Obs = obs.NewSink()
+		}
+		reg.Logger = logger.NewSecondary(regCfg)
+		reg.LoggerNode.SetHandler(reg.Logger)
+		reg.LoggerCfg = regCfg
+	}
+
 	for i := 0; i < cfg.Sites; i++ {
-		site := tb.Net.NewSite(netsim.SiteParams{
+		region := -1
+		params := netsim.SiteParams{
 			Name:      fmt.Sprintf("site%d", i+1),
 			TailDelay: cfg.TailDelay,
 			TailRate:  cfg.TailRate,
-		})
-		ts := &TestbedSite{Site: site}
-		var secAddr transport.Addr
+		}
+		if cfg.Regions > 0 {
+			region = i % cfg.Regions
+			params.Parent = tb.Regions[region].Router
+		}
+		site := tb.Net.NewSite(params)
+		ts := &TestbedSite{Site: site, Region: region}
+		var secAddr, regAddr transport.Addr
+		if region >= 0 {
+			regAddr = tb.Regions[region].LoggerNode.Addr()
+		}
 		if !cfg.NoSecondaries {
 			secCfg := cfg.Secondary
 			secCfg.Group = cfg.Group
 			secCfg.Primary = tb.PrimaryNode.Addr()
+			if region >= 0 {
+				secCfg.Parents = []transport.Addr{regAddr}
+				for ri, reg := range tb.Regions {
+					if ri != region {
+						secCfg.Siblings = append(secCfg.Siblings, reg.LoggerNode.Addr())
+					}
+				}
+			}
 			if secCfg.Obs == nil {
 				secCfg.Obs = obs.NewSink()
 			}
@@ -276,6 +343,11 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			rCfg.TrackRecoveryTimes = true
 			if secAddr != nil && !rCfg.Discover {
 				rCfg.Secondary = secAddr
+				if regAddr != nil {
+					// Escalation chain: site secondary (tier 0), own
+					// regional (tier 1), then the primary.
+					rCfg.Loggers = []transport.Addr{secAddr, regAddr}
+				}
 			}
 			if cfg.ConfigureReceiver != nil {
 				cfg.ConfigureReceiver(i, j, &rCfg)
@@ -325,6 +397,9 @@ func (tb *Testbed) StopAll() {
 	tb.Primary.Stop()
 	for _, rep := range tb.Replicas {
 		rep.Stop()
+	}
+	for _, reg := range tb.Regions {
+		reg.Logger.Stop()
 	}
 	for _, s := range tb.Sites {
 		if s.Secondary != nil {
