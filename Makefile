@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint vet build test allocgate perfgate cover chaos fuzzsmoke bench perf flight
+.PHONY: check lint vet build test allocgate perfgate cover chaos scenarios fuzzsmoke bench perf flight
 
 # check is the pre-commit gate: static checks, the full suite under the
 # race detector, the datapath allocation gates with a short benchtime
@@ -36,7 +36,11 @@ allocgate:
 
 # perfgate re-measures the zero-allocation invariants and the batched
 # egress headline, failing if throughput drops below 80% of the
-# committed BENCH_2.json baseline. Refresh the baseline with `make bench`.
+# committed BENCH_2.json baseline, then validates the committed sim-engine
+# headline (BENCH_4.json: >= 5x the heap/sequential baseline at 10k sites)
+# and re-measures the engine live on the 1k-site scenario (3x floor plus
+# exact trace-hash equality between engines). Refresh the baselines with
+# `make bench` (BENCH_2) and `go run ./cmd/lbrm-perf -sim` (BENCH_4).
 perfgate:
 	$(GO) run ./cmd/lbrm-perf -gate
 
@@ -45,7 +49,7 @@ perfgate:
 # layer. Floors sit below current coverage (core 87 / logger 79 / wire 86
 # / obs 93 at the time of writing) so routine growth doesn't trip them,
 # but an untested subsystem landing in one of these packages does.
-COVER_FLOORS = ./internal/core:80 ./internal/logger:72 ./internal/wire:80 ./internal/obs:85
+COVER_FLOORS = ./internal/core:80 ./internal/logger:72 ./internal/wire:80 ./internal/obs:85 ./internal/vtime:85 ./internal/netsim:75
 
 cover:
 	@fail=0; \
@@ -67,6 +71,15 @@ cover:
 #   go run ./cmd/lbrm-sim -chaos -seed N [-chaos-crash-primary] ...
 chaos:
 	$(GO) test -race ./internal/chaos/ -count=1
+
+# scenarios is the adversarial scenario-matrix smoke: one pinned seed per
+# class (flash-crowd, crying-baby, diurnal, mixed, broadcast), each run
+# sequentially, in parallel, and in parallel+bulk under the race detector,
+# with the three FNV trace hashes required to be identical and every
+# class's seeded invariants enforced. Reproduce one class with
+#   go run ./cmd/lbrm-sim -scenario crying-baby -seed N [-parallel -bulk]
+scenarios:
+	$(GO) test -race ./internal/chaos/ -run 'TestScenarioMatrix|TestScenarioFlashCrowdBackfill|TestScenarioCryingBabyContainment' -count=1
 
 # fuzzsmoke runs a short coverage-guided pass over the codec surfaces:
 # the wire codec (the surface that grew the primary-epoch, advance-record

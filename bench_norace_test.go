@@ -1,0 +1,7 @@
+//go:build !race
+
+package lbrm_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; see bench_race_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package lbrm_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; perf-sensitive benchmarks skip themselves when it is (their
+// wall-clock metrics are meaningless at race-instrumented speed).
+const raceEnabled = true

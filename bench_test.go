@@ -22,6 +22,18 @@ import (
 	"lbrm/internal/wire"
 )
 
+// skipPerfUnderRace skips wall-clock-sensitive benchmarks when the race
+// detector is active: race instrumentation slows the measured code by an
+// order of magnitude, so timing metrics (response latency, throughput,
+// fan-out rate) would record the detector, not the datapath. Correctness
+// benches and virtual-time experiments still run under -race.
+func skipPerfUnderRace(b *testing.B) {
+	b.Helper()
+	if raceEnabled {
+		b.Skip("perf-sensitive benchmark skipped under -race")
+	}
+}
+
 // runExp executes a registered experiment b.N times, reporting metric as
 // the headline value.
 func runExp(b *testing.B, id string, metrics ...string) {
@@ -56,11 +68,17 @@ func BenchmarkTable2(b *testing.B) { runExp(b, "table2", "analytic@1", "simulate
 
 // BenchmarkTable3 regenerates Table 3 (logging server response time) over
 // loopback UDP; paper total was 1582 µs on 1995 hardware.
-func BenchmarkTable3(b *testing.B) { runExp(b, "table3", "processingUS", "totalUS") }
+func BenchmarkTable3(b *testing.B) {
+	skipPerfUnderRace(b)
+	runExp(b, "table3", "processingUS", "totalUS")
+}
 
 // BenchmarkLoggerThroughput regenerates §3's saturation measurement
 // (paper: 1587 requests/s).
-func BenchmarkLoggerThroughput(b *testing.B) { runExp(b, "throughput", "inprocessPerSec") }
+func BenchmarkLoggerThroughput(b *testing.B) {
+	skipPerfUnderRace(b)
+	runExp(b, "throughput", "inprocessPerSec")
+}
 
 // BenchmarkFig7NackReduction regenerates the Figure 7/§2.2.2 comparison:
 // NACKs reaching the primary under centralized vs distributed logging
@@ -160,6 +178,7 @@ func BenchmarkFreshness(b *testing.B) {
 // BenchmarkSimulatorMulticast measures the simulator's fan-out rate: one
 // multicast to 1000 receivers over 50 sites per iteration.
 func BenchmarkSimulatorMulticast(b *testing.B) {
+	skipPerfUnderRace(b)
 	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
 		Seed: 1, Sites: 50, ReceiversPerSite: 20,
 		Sender: lbrm.SenderConfig{Heartbeat: lbrm.HeartbeatParams{
@@ -183,6 +202,7 @@ func BenchmarkSimulatorMulticast(b *testing.B) {
 // stack (4 sites × 5 receivers, 5% tail loss) and reports virtual packets
 // fully delivered per wall second.
 func BenchmarkEndToEndLossyStack(b *testing.B) {
+	skipPerfUnderRace(b)
 	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
 		Seed: 2, Sites: 4, ReceiversPerSite: 5,
 		Sender:   lbrm.SenderConfig{Heartbeat: lbrm.HeartbeatParams{HMin: 50 * time.Millisecond, HMax: 400 * time.Millisecond, Backoff: 2}},
@@ -253,6 +273,7 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 // machine into a discarding environment (wire encode + retention +
 // heartbeat rearm), the per-update cost a DIS host pays per entity.
 func BenchmarkSenderHotPath(b *testing.B) {
+	skipPerfUnderRace(b)
 	tb, err := lbrm.NewTestbed(lbrm.TestbedConfig{
 		Seed: 3, Sites: 1, ReceiversPerSite: 1,
 		Sender: lbrm.SenderConfig{

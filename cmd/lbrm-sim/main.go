@@ -6,6 +6,12 @@
 // virtual time at one update per second:
 //
 //	lbrm-sim -sites 50 -receivers 20 -loss 0.1 -interval 1s -duration 2m
+//
+// The adversarial scenario classes (broadcast, flash-crowd, crying-baby,
+// diurnal, mixed) run a multi-stream fleet on the parallel island cluster
+// with their seeded invariants enforced:
+//
+//	lbrm-sim -scenario crying-baby -seed 3 -parallel -bulk
 package main
 
 import (
@@ -60,7 +66,37 @@ func main() {
 	chaosQuorumFault := flag.String("chaos-quorum-fault", "", "with -chaos-quorum: pin the replication fault (crash-primary | crash-replica | ring-partition | none; empty = seed-drawn)")
 	flightLog := flag.String("flight-log", "", "with -chaos: write the fleet timeline (one merged metrics snapshot per second of virtual time) to this file as JSONL")
 	metrics := flag.Bool("metrics", false, "after the run, print every handler's metrics merged (counters/histograms summed, gauges max-merged) plus the sender's trace window")
+	scenario := flag.String("scenario", "", "run one adversarial scenario class (broadcast | flash-crowd | crying-baby | diurnal | mixed) on the island cluster instead of the traffic simulation; -seed pins it")
+	islands := flag.Int("islands", 0, "with -scenario: receiver island count (0 = class default)")
+	parallel := flag.Bool("parallel", false, "with -scenario: execute islands in parallel (same seed, same trace)")
+	bulk := flag.Bool("bulk", false, "with -scenario: batch model-free multicast deliveries into bulk clock events")
 	flag.Parse()
+
+	if *scenario != "" {
+		class := chaos.ScenarioClass(*scenario)
+		known := false
+		for _, c := range chaos.ScenarioClasses() {
+			known = known || c == class
+		}
+		if !known {
+			log.Fatalf("unknown scenario class %q (have %v)", *scenario, chaos.ScenarioClasses())
+		}
+		res, err := chaos.RunScenario(chaos.ScenarioConfig{
+			Class:    class,
+			Seed:     *seed,
+			Islands:  *islands,
+			Parallel: *parallel,
+			Bulk:     *bulk,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Report())
+		if !res.OK() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaosMode {
 		res, err := chaos.Run(chaos.Config{

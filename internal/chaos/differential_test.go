@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"lbrm/internal/vtime"
+)
+
+// TestSchedulerDifferential runs every chaos schedule class on one pinned
+// seed twice — once on the default hierarchical timer wheel and once on
+// the legacy container/heap scheduler (vtime.UseHeapScheduler) — and
+// asserts the FNV trace hashes are identical. The wheel must be a drop-in
+// replacement for the event loop, not a behavioral fork: any divergence in
+// event ordering anywhere in a full protocol run (failover races, NACK
+// jitter, partition heal timing) shows up here as a hash mismatch.
+func TestSchedulerDifferential(t *testing.T) {
+	classes := []struct {
+		name string
+		cfg  Config
+	}{
+		{"legacy", Config{Seed: 3}},
+		{"crash-primary", Config{Seed: 4, CrashPrimary: true}},
+		{"source-partition", Config{Seed: 7, SourcePartition: true}},
+		{"join-window", Config{Seed: 31, JoinWindow: true}},
+		{"overlapping", Config{Seed: 41, Overlapping: true}},
+		{"quorum", Config{Seed: 9, Quorum: 2, QuorumFault: quorumFaultNone,
+			Replicas: 2, Duration: 15 * time.Second}},
+		{"hierarchy", Config{Seed: 10, Regions: 2, Sites: 4, ReceiversPerSite: 2}},
+	}
+	if vtime.HeapSchedulerForced() {
+		t.Fatal("heap scheduler knob already latched; another test leaked it")
+	}
+	for _, c := range classes {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			wheel, err := Run(c.cfg)
+			if err != nil {
+				t.Fatalf("wheel run: %v", err)
+			}
+			vtime.UseHeapScheduler(true)
+			heap, herr := Run(c.cfg)
+			vtime.UseHeapScheduler(false)
+			if herr != nil {
+				t.Fatalf("heap run: %v", herr)
+			}
+			if wheel.TraceHash != heap.TraceHash {
+				t.Fatalf("trace hash diverged: wheel %016x heap %016x", wheel.TraceHash, heap.TraceHash)
+			}
+			if wheel.LastSeq != heap.LastSeq {
+				t.Fatalf("last seq diverged: wheel %d heap %d", wheel.LastSeq, heap.LastSeq)
+			}
+		})
+	}
+}

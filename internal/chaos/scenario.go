@@ -1,0 +1,553 @@
+// Scenario matrix: adversarial group dynamics beyond fault injection.
+//
+// Where chaos.Run drives one testbed network through crash/partition
+// schedules, RunScenario drives a multi-island fleet (netsim.Cluster)
+// through the group-dynamics stress cases the SRM retrospective singles
+// out: flash-crowd joins backfilling from the log store, a crying-baby
+// site whose persistent loss must stay contained (§6), diurnal load
+// curves, and mixed workloads sharing one fleet. Every class carries
+// seeded invariants, and every run is reproducible and execution-mode
+// independent: the same seed yields the same FNV trace hash whether the
+// islands run sequentially or one goroutine each.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"lbrm"
+	"lbrm/internal/netsim"
+	"lbrm/internal/transport"
+)
+
+// ScenarioClass names one scenario family.
+type ScenarioClass string
+
+const (
+	// ScenarioBroadcast is the steady-state baseline: one DIS-style
+	// stream, fixed rate, light backbone loss.
+	ScenarioBroadcast ScenarioClass = "broadcast"
+	// ScenarioFlashCrowd adds a join wave: extra receivers attach
+	// mid-stream and must converge from their join floor, recovering
+	// post-join losses from the log store (late joins do not fetch
+	// history — freshness over completeness).
+	ScenarioFlashCrowd ScenarioClass = "flash-crowd"
+	// ScenarioCryingBaby gives one site a persistently lossy tail circuit
+	// (the paper's §6 comparison): its receivers recover continuously
+	// while every other site must see zero recovery traffic.
+	ScenarioCryingBaby ScenarioClass = "crying-baby"
+	// ScenarioDiurnal modulates the send rate along a deterministic
+	// day-curve, sweeping the heartbeat and NACK machinery across load
+	// levels in one run.
+	ScenarioDiurnal ScenarioClass = "diurnal"
+	// ScenarioMixed runs three streams on one fleet: steady DIS state,
+	// a bursty ticker, and a sparse cache-invalidation feed.
+	ScenarioMixed ScenarioClass = "mixed"
+)
+
+// ScenarioClasses lists every class, in matrix order.
+func ScenarioClasses() []ScenarioClass {
+	return []ScenarioClass{ScenarioBroadcast, ScenarioFlashCrowd,
+		ScenarioCryingBaby, ScenarioDiurnal, ScenarioMixed}
+}
+
+// ScenarioConfig parameterizes one scenario run. Zero values get defaults.
+type ScenarioConfig struct {
+	Class ScenarioClass
+	// Seed makes the run reproducible.
+	Seed int64
+	// Islands is the number of receiver islands; the source site gets its
+	// own island 0 (default 3).
+	Islands int
+	// SitesPerIsland is the number of receiver sites per island (default 2).
+	SitesPerIsland int
+	// ReceiversPerSite is the initial receiver population per site
+	// (default 2).
+	ReceiversPerSite int
+	// Joiners is the flash-crowd wave size per site (default
+	// ReceiversPerSite, doubling the population mid-run).
+	Joiners int
+	// Duration is the simulated run length (default 24s). Data stops at
+	// 70% of it; the tail is the convergence horizon.
+	Duration time.Duration
+	// Interval is the base inter-packet gap (default 60ms).
+	Interval time.Duration
+	// Parallel runs islands one goroutine each; sequential otherwise.
+	// The trace is identical either way.
+	Parallel bool
+	// Bulk enables bulk leaf delivery on every island.
+	Bulk bool
+	// Payload is the data packet payload size (default 64).
+	Payload int
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Class == "" {
+		c.Class = ScenarioBroadcast
+	}
+	if c.Islands == 0 {
+		c.Islands = 3
+	}
+	if c.SitesPerIsland == 0 {
+		c.SitesPerIsland = 2
+	}
+	if c.ReceiversPerSite == 0 {
+		c.ReceiversPerSite = 2
+	}
+	if c.Joiners == 0 {
+		c.Joiners = c.ReceiversPerSite
+	}
+	if c.Duration == 0 {
+		c.Duration = 24 * time.Second
+	}
+	if c.Interval == 0 {
+		c.Interval = 60 * time.Millisecond
+	}
+	if c.Payload == 0 {
+		c.Payload = 64
+	}
+	return c
+}
+
+// ScenarioResult is the verdict plus the protocol numbers of one run.
+type ScenarioResult struct {
+	Class ScenarioClass
+	Seed  int64
+
+	// TraceHash fingerprints all traffic (island-local and backbone).
+	TraceHash uint64
+	// Events is the engine-independent logical event count; Elapsed the
+	// wall-clock run time (Events/Elapsed is the sim events/sec headline).
+	Events  uint64
+	Elapsed time.Duration
+
+	Deliveries uint64
+	// LastSeq is the final sequence number per stream.
+	LastSeq []uint64
+	// Receivers counts the initial population; Joiners the flash wave.
+	Receivers int
+	Joiners   int
+	// Recovered / NacksSent aggregate receiver stats fleet-wide.
+	Recovered uint64
+	NacksSent uint64
+	// BackfillP50/P99 are recovery-latency percentiles (detection →
+	// delivery) over the class's population of interest: the join wave
+	// for flash-crowd, all receivers otherwise. Zero when nothing was
+	// recovered.
+	BackfillP50, BackfillP99 time.Duration
+
+	Violations []Violation
+}
+
+// OK reports whether every invariant held.
+func (r *ScenarioResult) OK() bool { return len(r.Violations) == 0 }
+
+// Report renders a one-run summary.
+func (r *ScenarioResult) Report() string {
+	s := fmt.Sprintf("scenario %s seed=%d: %d receivers (+%d joiners), lastSeq=%v, %d deliveries, %d recovered, %d nacks, backfill p50=%v p99=%v, %d logical events in %v, trace %016x",
+		r.Class, r.Seed, r.Receivers, r.Joiners, r.LastSeq, r.Deliveries,
+		r.Recovered, r.NacksSent, r.BackfillP50, r.BackfillP99, r.Events,
+		r.Elapsed.Round(time.Millisecond), r.TraceHash)
+	for _, v := range r.Violations {
+		s += "\n  VIOLATION " + v.String()
+	}
+	return s
+}
+
+// streamSpec is one sender/primary pair on the fleet.
+type streamSpec struct {
+	name   string
+	source lbrm.SourceID
+	group  lbrm.GroupID
+}
+
+func (s streamSpec) key() lbrm.StreamKey {
+	return lbrm.StreamKey{Source: s.source, Group: s.group}
+}
+
+// fleetReceiver is one receiver plus its placement.
+type fleetReceiver struct {
+	rcv    *lbrm.Receiver
+	stream int
+	site   int
+	joiner bool
+}
+
+// scenarioFleet is a multi-island LBRM deployment: island 0 hosts the
+// senders and primaries; receiver sites round-robin over islands 1..N.
+type scenarioFleet struct {
+	cfg     ScenarioConfig
+	cluster *netsim.Cluster
+	streams []streamSpec
+	senders []*lbrm.Sender
+
+	sites     []*netsim.Site
+	siteIsl   []int
+	receivers []*fleetReceiver
+	// joined collects the flash wave's receivers; written by island-local
+	// join events, read only after Run (the barrier orders the accesses).
+	joined []*fleetReceiver
+
+	cryingSite int
+	violations []Violation
+}
+
+// violate records an invariant violation.
+func (f *scenarioFleet) violate(name, detail string) {
+	f.violations = append(f.violations, Violation{Name: name, Detail: detail})
+}
+
+func scenarioStreams(class ScenarioClass) []streamSpec {
+	if class == ScenarioMixed {
+		return []streamSpec{
+			{name: "dis", source: 1, group: 1},
+			{name: "ticker", source: 2, group: 2},
+			{name: "inval", source: 3, group: 3},
+		}
+	}
+	return []streamSpec{{name: "dis", source: 1, group: 1}}
+}
+
+// buildFleet wires the deployment onto a cluster but does not start it.
+func buildFleet(cfg ScenarioConfig) (*scenarioFleet, error) {
+	f := &scenarioFleet{cfg: cfg, streams: scenarioStreams(cfg.Class), cryingSite: -1}
+
+	// NodeID stride: the source island holds a sender+primary pair per
+	// stream; each receiver island holds its sites' secondaries, the
+	// initial receivers, and (flash-crowd) the pre-allocated join wave.
+	sitesPerIsland := cfg.SitesPerIsland
+	perSite := 1 + cfg.ReceiversPerSite
+	if cfg.Class == ScenarioFlashCrowd {
+		perSite += cfg.Joiners
+	}
+	stride := sitesPerIsland*perSite + 2
+	if s := 2 * len(f.streams); s+2 > stride {
+		stride = s + 2
+	}
+	f.cluster = netsim.NewCluster(cfg.Seed, stride)
+
+	cross := func(island int) netsim.LinkConfig {
+		lc := netsim.LinkConfig{
+			Delay:       8 * time.Millisecond,
+			TTLRequired: netsim.RegionBoundaryTTL,
+		}
+		// Light independent backbone loss into each receiver island — a
+		// correlated whole-island gap per drop, recovered through the log
+		// store. The crying-baby class keeps the backbone clean so that
+		// its containment invariant (zero recovery outside the crying
+		// site) is exact.
+		if island > 0 && cfg.Class != ScenarioCryingBaby {
+			lc.Loss = &netsim.Bernoulli{P: 0.03}
+		}
+		return lc
+	}
+	islands := make([]*netsim.Island, 0, cfg.Islands+1)
+	for k := 0; k <= cfg.Islands; k++ {
+		up := netsim.LinkConfig{Delay: 8 * time.Millisecond, TTLRequired: netsim.RegionBoundaryTTL}
+		isl, err := f.cluster.AddIsland(up, cross(k))
+		if err != nil {
+			return nil, err
+		}
+		islands = append(islands, isl)
+	}
+
+	// Source island: one sender + primary pair per stream, one site.
+	srcSite := islands[0].Net.NewSite(netsim.SiteParams{Name: "source-site"})
+	hb := lbrm.HeartbeatParams{HMin: 50 * time.Millisecond, HMax: 400 * time.Millisecond, Backoff: 2}
+	primaryAddr := make([]transport.Addr, len(f.streams))
+	for i, st := range f.streams {
+		pNode := srcSite.NewHost("primary-"+st.name, nil)
+		pNode.SetHandler(lbrm.NewPrimaryLogger(lbrm.PrimaryConfig{Group: st.group}))
+		primaryAddr[i] = pNode.Addr()
+		sender, err := lbrm.NewSender(lbrm.SenderConfig{
+			Source:    st.source,
+			Group:     st.group,
+			Heartbeat: hb,
+			Primary:   primaryAddr[i],
+		})
+		if err != nil {
+			return nil, err
+		}
+		srcSite.NewHost("sender-"+st.name, sender)
+		f.senders = append(f.senders, sender)
+	}
+
+	// Receiver sites, round-robin over islands 1..N. The site secondary
+	// logs the primary stream; extra mixed-workload streams recover
+	// straight from their primaries (ticker and invalidation feeds do not
+	// rate a per-site log).
+	newReceiverCfg := func(stream int) lbrm.ReceiverConfig {
+		return lbrm.ReceiverConfig{
+			Group:              f.streams[stream].group,
+			Heartbeat:          hb,
+			Primary:            primaryAddr[stream],
+			NackDelay:          10 * time.Millisecond,
+			RequestTimeout:     200 * time.Millisecond,
+			TrackRecoveryTimes: true,
+		}
+	}
+	totalSites := cfg.Islands * cfg.SitesPerIsland
+	for s := 0; s < totalSites; s++ {
+		k := 1 + s%cfg.Islands
+		isl := islands[k]
+		site := isl.Net.NewSite(netsim.SiteParams{Name: fmt.Sprintf("site%d", s+1)})
+		f.sites = append(f.sites, site)
+		f.siteIsl = append(f.siteIsl, k)
+
+		secNode := site.NewHost(fmt.Sprintf("site%d/logger", s+1), nil)
+		secNode.SetHandler(lbrm.NewSecondaryLogger(lbrm.SecondaryConfig{
+			Group:          f.streams[0].group,
+			Primary:        primaryAddr[0],
+			NackDelay:      10 * time.Millisecond,
+			RequestTimeout: 200 * time.Millisecond,
+		}))
+
+		for j := 0; j < cfg.ReceiversPerSite; j++ {
+			stream := j % len(f.streams)
+			rcfg := newReceiverCfg(stream)
+			if stream == 0 {
+				rcfg.Secondary = secNode.Addr()
+			}
+			rcv := lbrm.NewReceiver(rcfg)
+			site.NewHost(fmt.Sprintf("site%d/rcv%d", s+1, j), rcv)
+			f.receivers = append(f.receivers, &fleetReceiver{rcv: rcv, stream: stream, site: s})
+		}
+
+		if cfg.Class == ScenarioFlashCrowd {
+			// The join wave's nodes exist from the start (addresses are
+			// fixed at build time) but get their handlers — and join the
+			// group — mid-run, island-locally, so the attach is identical
+			// under sequential and parallel execution.
+			secAddr := secNode.Addr()
+			for j := 0; j < cfg.Joiners; j++ {
+				node := site.NewHost(fmt.Sprintf("site%d/joiner%d", s+1, j), nil)
+				fr := &fleetReceiver{stream: 0, site: s, joiner: true}
+				f.joined = append(f.joined, fr)
+				joinAt := cfg.Duration * 4 / 10
+				isl.Net.Clock().AfterFunc(joinAt, func() {
+					rcfg := newReceiverCfg(0)
+					rcfg.Secondary = secAddr
+					fr.rcv = lbrm.NewReceiver(rcfg)
+					node.SetHandler(fr.rcv)
+				})
+			}
+		}
+	}
+	if cfg.Class == ScenarioCryingBaby {
+		f.cryingSite = 0
+		site := f.sites[0]
+		isl := islands[f.siteIsl[0]]
+		// Persistent 25% tail loss from 10% to 60% of the run, scheduled
+		// on the owning island's clock (cluster links may only be mutated
+		// at barriers; island-internal links only by their own island).
+		var heal func()
+		isl.Net.Clock().AfterFunc(cfg.Duration/10, func() {
+			heal = site.TailDown().PushLoss(&netsim.Bernoulli{P: 0.25})
+		})
+		isl.Net.Clock().AfterFunc(cfg.Duration*6/10, func() {
+			if heal != nil {
+				heal()
+			}
+		})
+	}
+	return f, nil
+}
+
+// scheduleSenders installs the per-class send drivers on island 0's clock.
+// Data stops at 70% of the duration; heartbeats continue so the tail is a
+// pure convergence window.
+func (f *scenarioFleet) scheduleSenders(payload []byte) {
+	cfg := f.cfg
+	clk := f.cluster.Island(0).Net.Clock()
+	epoch := clk.Now()
+	dataEnd := epoch.Add(cfg.Duration * 7 / 10)
+
+	send := func(stream int) {
+		if _, err := f.senders[stream].Send(payload); err != nil {
+			f.violate("send", fmt.Sprintf("stream %s: %v", f.streams[stream].name, err))
+		}
+	}
+	// steady schedules a self-rescheduling tick whose gap comes from gap().
+	steady := func(stream int, first time.Duration, gap func(elapsed time.Duration) time.Duration) {
+		var tick func()
+		tick = func() {
+			if clk.Now().After(dataEnd) {
+				return
+			}
+			send(stream)
+			clk.AfterFunc(gap(clk.Now().Sub(epoch)), tick)
+		}
+		clk.AfterFunc(first, tick)
+	}
+
+	fixed := func(time.Duration) time.Duration { return cfg.Interval }
+	switch cfg.Class {
+	case ScenarioDiurnal:
+		// Load curve λ(t) = 0.25 + 0.75·sin²(πt/T): a quiet night, a busy
+		// midday peak at 4× the trough rate, two full cycles per run.
+		period := cfg.Duration / 2
+		steady(0, cfg.Interval, func(elapsed time.Duration) time.Duration {
+			lambda := 0.25 + 0.75*math.Pow(math.Sin(math.Pi*float64(elapsed)/float64(period)), 2)
+			return time.Duration(float64(cfg.Interval) / lambda)
+		})
+	case ScenarioMixed:
+		steady(0, cfg.Interval, fixed) // DIS state: fixed rate
+		// Ticker: bursts of 8 back-to-back packets every 25 intervals.
+		burstGap := 25 * cfg.Interval
+		var burst func()
+		burst = func() {
+			if clk.Now().After(dataEnd) {
+				return
+			}
+			for i := 0; i < 8; i++ {
+				send(1)
+			}
+			clk.AfterFunc(burstGap, burst)
+		}
+		clk.AfterFunc(burstGap/2, burst)
+		// Invalidation: sparse, one packet every 12 intervals.
+		steady(2, cfg.Interval*3, func(time.Duration) time.Duration { return 12 * cfg.Interval })
+	default:
+		steady(0, cfg.Interval, fixed)
+	}
+}
+
+// RunScenario builds, drives and judges one scenario run.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	cfg = cfg.withDefaults()
+	f, err := buildFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.cluster.EnableTraceHash(true)
+	f.cluster.SetParallel(cfg.Parallel)
+	f.cluster.SetBulkDelivery(cfg.Bulk)
+	if err := f.cluster.Start(); err != nil {
+		return nil, err
+	}
+	f.scheduleSenders(make([]byte, cfg.Payload))
+
+	wallStart := time.Now()
+	if err := f.cluster.Run(cfg.Duration); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(wallStart)
+
+	res := &ScenarioResult{
+		Class:     cfg.Class,
+		Seed:      cfg.Seed,
+		Elapsed:   elapsed,
+		Receivers: len(f.receivers),
+		Joiners:   len(f.joined),
+	}
+	f.checkInvariants(res)
+
+	// Shutdown: stop every handler, drain in-flight traffic, and require
+	// the fleet's event queues to empty — a timer re-arming itself past
+	// shutdown is a leak.
+	for _, s := range f.senders {
+		s.Stop()
+	}
+	for _, fr := range append(append([]*fleetReceiver(nil), f.receivers...), f.joined...) {
+		if fr.rcv != nil {
+			fr.rcv.Stop()
+		}
+	}
+	for _, isl := range f.cluster.Islands() {
+		for _, node := range isl.Net.Nodes() {
+			if !node.Crashed() {
+				node.Crash() // detaches loggers and any leftover handlers
+			}
+		}
+	}
+	if err := f.cluster.Run(2 * time.Second); err != nil {
+		return nil, err
+	}
+	if n := f.cluster.PendingTimers(); n != 0 {
+		f.violate("timer-leak", fmt.Sprintf("%d events still pending after shutdown drain", n))
+	}
+
+	res.TraceHash = f.cluster.TraceHash()
+	res.Events = f.cluster.Events()
+	res.Deliveries = f.cluster.Deliveries()
+	res.Violations = f.violations
+	return res, nil
+}
+
+// checkInvariants applies the class's seeded invariants and fills in the
+// protocol numbers. Runs at the post-Run barrier: no island is executing.
+func (f *scenarioFleet) checkInvariants(res *ScenarioResult) {
+	cfg := f.cfg
+	for i, s := range f.senders {
+		last := s.LastSeq()
+		res.LastSeq = append(res.LastSeq, last)
+		if last == 0 {
+			f.violate("no-data", fmt.Sprintf("stream %s sent nothing", f.streams[i].name))
+		}
+		if r := s.Retained(); r != 0 {
+			f.violate("retention", fmt.Sprintf("stream %s: %d packets still retained", f.streams[i].name, r))
+		}
+	}
+
+	all := append(append([]*fleetReceiver(nil), f.receivers...), f.joined...)
+	var backfill []time.Duration
+	for _, fr := range all {
+		if fr.rcv == nil {
+			f.violate("join", fmt.Sprintf("site %d joiner never attached", fr.site))
+			continue
+		}
+		st := fr.rcv.Stats()
+		res.Recovered += st.Recovered
+		res.NacksSent += st.NacksSent
+		key := f.streams[fr.stream].key()
+		last := res.LastSeq[fr.stream]
+		if got := fr.rcv.Contiguous(key); got != last {
+			f.violate("convergence", fmt.Sprintf("site %d stream %s receiver at %d, want %d (joiner=%v)",
+				fr.site, f.streams[fr.stream].name, got, last, fr.joiner))
+		}
+		switch cfg.Class {
+		case ScenarioCryingBaby:
+			if fr.site == f.cryingSite {
+				if st.Recovered == 0 {
+					f.violate("crying-baby", fmt.Sprintf("crying site %d receiver recovered nothing; loss window ineffective", fr.site))
+				}
+			} else if st.Recovered != 0 || st.NacksSent != 0 {
+				f.violate("containment", fmt.Sprintf("site %d saw recovery traffic (%d recovered, %d nacks) outside the crying site",
+					fr.site, st.Recovered, st.NacksSent))
+			}
+		case ScenarioFlashCrowd:
+			if fr.joiner {
+				if st.DataDelivered == 0 {
+					f.violate("join", fmt.Sprintf("site %d joiner delivered nothing", fr.site))
+				}
+				// Late joins start at the join floor; fetching the full
+				// history from the log store would show up as a delivery
+				// count at (or near) the stream length.
+				if st.DataDelivered >= last {
+					f.violate("join-floor", fmt.Sprintf("site %d joiner delivered %d of %d — history was backfilled",
+						fr.site, st.DataDelivered, last))
+				}
+			}
+		}
+		// Backfill latency population: the join wave for flash-crowd,
+		// everyone otherwise.
+		if cfg.Class != ScenarioFlashCrowd || fr.joiner {
+			for _, d := range fr.rcv.RecoveryTimes(key) {
+				backfill = append(backfill, d)
+			}
+		}
+	}
+	if len(backfill) > 0 {
+		sort.Slice(backfill, func(a, b int) bool { return backfill[a] < backfill[b] })
+		res.BackfillP50 = backfill[len(backfill)*50/100]
+		res.BackfillP99 = backfill[len(backfill)*99/100]
+	}
+	if cfg.Class == ScenarioFlashCrowd && res.Joiners == 0 {
+		f.violate("join", "flash-crowd run built no joiners")
+	}
+	if cfg.Class == ScenarioCryingBaby && res.Recovered == 0 {
+		f.violate("crying-baby", "no recovery happened anywhere; scenario is vacuous")
+	}
+}

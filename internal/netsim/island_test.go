@@ -1,0 +1,308 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lbrm/internal/transport"
+	"lbrm/internal/wire"
+)
+
+const testGroup = wire.GroupID(7)
+
+// chatter multicasts a fixed number of datagrams on a period and counts
+// unicast acks coming back from receivers on other islands.
+type chatter struct {
+	env    transport.Env
+	period time.Duration
+	count  int
+	ttl    int
+	acks   int
+}
+
+func (c *chatter) Start(env transport.Env) {
+	c.env = env
+	if err := env.Join(testGroup); err != nil {
+		panic(err)
+	}
+	sent := 0
+	var tick func()
+	tick = func() {
+		if sent >= c.count {
+			return
+		}
+		payload := fmt.Sprintf("pkt-%d", sent)
+		if err := c.env.Multicast(testGroup, c.ttl, []byte(payload)); err != nil {
+			panic(err)
+		}
+		sent++
+		c.env.AfterFunc(c.period, tick)
+	}
+	env.AfterFunc(c.period, tick)
+}
+
+func (c *chatter) Recv(from transport.Addr, data []byte) { c.acks++ }
+
+// acker joins the group and unicasts an ack back to every sender it hears,
+// exercising the cross-island unicast egress path in the reverse direction.
+type acker struct {
+	env transport.Env
+	got int
+}
+
+func (a *acker) Start(env transport.Env) {
+	a.env = env
+	if err := env.Join(testGroup); err != nil {
+		panic(err)
+	}
+}
+
+func (a *acker) Recv(from transport.Addr, data []byte) {
+	a.got++
+	if err := a.env.Send(from, []byte("ack")); err != nil {
+		panic(err)
+	}
+}
+
+// buildCluster assembles a 3-island fleet: a chatter on island 0, ackers
+// spread over islands 1-2, lossy+jittery cross links so the backbone rng
+// stream actually matters to the trace.
+func buildCluster(t *testing.T, seed int64) (*Cluster, *chatter, []*acker) {
+	t.Helper()
+	c := NewCluster(seed, 64)
+	var ackers []*acker
+	for k := 0; k < 3; k++ {
+		up := LinkConfig{Delay: 8 * time.Millisecond, TTLRequired: RegionBoundaryTTL}
+		down := LinkConfig{Delay: 8 * time.Millisecond, TTLRequired: RegionBoundaryTTL}
+		if k == 1 {
+			up.Loss = &Bernoulli{P: 0.15}
+			down.Jitter = 2 * time.Millisecond
+		}
+		isl, err := c.AddIsland(up, down)
+		if err != nil {
+			t.Fatal(err)
+		}
+		site := isl.Net.NewSite(SiteParams{Name: fmt.Sprintf("i%d-site", k)})
+		if k == 0 {
+			continue
+		}
+		for h := 0; h < 2; h++ {
+			a := &acker{}
+			ackers = append(ackers, a)
+			site.NewHost(fmt.Sprintf("r%d", h), a)
+		}
+	}
+	src := &chatter{period: 50 * time.Millisecond, count: 40, ttl: transport.TTLGlobal}
+	c.Island(0).Net.NewSite(SiteParams{Name: "src-site"}).NewHost("src", src)
+	return c, src, ackers
+}
+
+// runCluster executes one full configuration and returns the fingerprint.
+func runCluster(t *testing.T, seed int64, parallel, bulk bool) (uint64, uint64, uint64, int) {
+	t.Helper()
+	c, src, _ := buildCluster(t, seed)
+	c.EnableTraceHash(true)
+	c.SetParallel(parallel)
+	c.SetBulkDelivery(bulk)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c.TraceHash(), c.Events(), c.Deliveries(), src.acks
+}
+
+// TestClusterParallelMatchesSequential is the determinism contract: the
+// same seed must produce byte-identical traffic traces whether islands run
+// one goroutine each or strictly in index order — including lossy and
+// jittery backbone links whose rng draws happen at the barrier.
+func TestClusterParallelMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		sh, se, sd, sa := runCluster(t, seed, false, false)
+		ph, pe, pd, pa := runCluster(t, seed, true, false)
+		if sh != ph {
+			t.Fatalf("seed %d: trace hash diverged: seq %016x par %016x", seed, sh, ph)
+		}
+		if se != pe || sd != pd || sa != pa {
+			t.Fatalf("seed %d: counters diverged: seq %d/%d/%d par %d/%d/%d",
+				seed, se, sd, sa, pe, pd, pa)
+		}
+		if sd == 0 {
+			t.Fatalf("seed %d: no cross-island deliveries happened; test is vacuous", seed)
+		}
+		if sa == 0 {
+			t.Fatalf("seed %d: no acks crossed back; reverse path untested", seed)
+		}
+	}
+}
+
+// TestClusterBulkMatchesPerMember: bulk leaf delivery is an engine
+// optimization, not a model change — the trace hash must be identical with
+// it on or off, in both execution modes.
+func TestClusterBulkMatchesPerMember(t *testing.T) {
+	base, _, bd, _ := runCluster(t, 11, false, false)
+	for _, parallel := range []bool{false, true} {
+		h, _, d, _ := runCluster(t, 11, parallel, true)
+		if h != base {
+			t.Fatalf("parallel=%v: bulk trace hash %016x != per-member %016x", parallel, h, base)
+		}
+		if d != bd {
+			t.Fatalf("parallel=%v: bulk deliveries %d != per-member %d", parallel, d, bd)
+		}
+	}
+}
+
+// TestClusterRejectsZeroDelayCross: a zero-delay tier boundary would make
+// the conservative lookahead zero, so it is an explicit config error.
+func TestClusterRejectsZeroDelayCross(t *testing.T) {
+	c := NewCluster(1, 16)
+	if _, err := c.AddIsland(LinkConfig{}, LinkConfig{Delay: time.Millisecond}); err == nil {
+		t.Fatal("zero up delay accepted")
+	}
+	if _, err := c.AddIsland(LinkConfig{Delay: time.Millisecond}, LinkConfig{Delay: -time.Second}); err == nil {
+		t.Fatal("negative down delay accepted")
+	}
+}
+
+// TestClusterRejectsLateTopology: islands cannot be added after Start —
+// the lookahead and address space are fixed at that point.
+func TestClusterRejectsLateTopology(t *testing.T) {
+	c := NewCluster(1, 16)
+	cfg := LinkConfig{Delay: time.Millisecond}
+	for k := 0; k < 2; k++ {
+		isl, err := c.AddIsland(cfg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isl.Net.NewSite(SiteParams{}).NewHost("h", &recorder{})
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddIsland(cfg, cfg); err == nil {
+		t.Fatal("AddIsland after Start accepted")
+	}
+}
+
+// TestClusterRejectsStrideOverflow: an island whose node count spills past
+// its NodeID stride would alias another island's address space.
+func TestClusterRejectsStrideOverflow(t *testing.T) {
+	c := NewCluster(1, 3)
+	cfg := LinkConfig{Delay: time.Millisecond}
+	isl, err := c.AddIsland(cfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddIsland(cfg, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := isl.Net.NewSite(SiteParams{}) // site router consumes no NodeIDs
+	for h := 0; h < 4; h++ {
+		s.NewHost(fmt.Sprintf("h%d", h), &recorder{})
+	}
+	if err := c.Start(); err == nil {
+		t.Fatal("island with 4 nodes accepted under stride 3")
+	}
+}
+
+// TestClusterUnroutableUnicast: a send to a NodeID outside every island's
+// range fails synchronously, same as a bad address on a single network.
+func TestClusterUnroutableUnicast(t *testing.T) {
+	c := NewCluster(1, 16)
+	cfg := LinkConfig{Delay: time.Millisecond}
+	var host *Node
+	for k := 0; k < 2; k++ {
+		isl, err := c.AddIsland(cfg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := isl.Net.NewSite(SiteParams{}).NewHost(fmt.Sprintf("h%d", k), &recorder{})
+		if k == 0 {
+			host = h
+		}
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Env().Send(Addr{ID: 999}, []byte("x")); err == nil {
+		t.Fatal("unicast to unroutable id accepted")
+	}
+	// A valid remote id on the other island is accepted (delivery is
+	// asynchronous and lossy, so only the synchronous contract is checked).
+	if err := host.Env().Send(Addr{ID: 16}, []byte("x")); err != nil {
+		t.Fatalf("unicast to routable remote id rejected: %v", err)
+	}
+}
+
+// TestClusterTTLScoping: a multicast below the cross-link TTL floor stays
+// inside its island even though remote islands have group members.
+func TestClusterTTLScoping(t *testing.T) {
+	c := NewCluster(1, 16)
+	cfg := LinkConfig{Delay: time.Millisecond, TTLRequired: RegionBoundaryTTL}
+	var remote *acker
+	var src *chatter
+	for k := 0; k < 2; k++ {
+		isl, err := c.AddIsland(cfg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		site := isl.Net.NewSite(SiteParams{})
+		if k == 0 {
+			// SiteBoundaryTTL crosses the tail circuit but sits below the
+			// cross-link floor.
+			src = &chatter{period: 10 * time.Millisecond, count: 5, ttl: SiteBoundaryTTL}
+			site.NewHost("src", src)
+		} else {
+			remote = &acker{}
+			site.NewHost("r", remote)
+		}
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if remote.got != 0 {
+		t.Fatalf("TTL-scoped multicast leaked across islands: remote got %d", remote.got)
+	}
+	// Control: at TTLGlobal the same topology does deliver remotely.
+	c2 := NewCluster(1, 16)
+	var remote2 *acker
+	for k := 0; k < 2; k++ {
+		isl, err := c2.AddIsland(cfg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		site := isl.Net.NewSite(SiteParams{})
+		if k == 0 {
+			site.NewHost("src", &chatter{period: 10 * time.Millisecond, count: 5, ttl: transport.TTLGlobal})
+		} else {
+			remote2 = &acker{}
+			site.NewHost("r", remote2)
+		}
+	}
+	if err := c2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if remote2.got == 0 {
+		t.Fatal("control run delivered nothing; TTL scoping test is vacuous")
+	}
+}
+
+// TestClusterNeedsTwoIslands: a one-island cluster is a plain Network and
+// is rejected to catch misconfigured fleets early.
+func TestClusterNeedsTwoIslands(t *testing.T) {
+	c := NewCluster(1, 16)
+	if _, err := c.AddIsland(LinkConfig{Delay: time.Millisecond}, LinkConfig{Delay: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err == nil {
+		t.Fatal("single-island cluster accepted")
+	}
+}

@@ -41,5 +41,7 @@ func All() []Bench {
 		{"UDPEgressB8", udpEgressB(8)},
 		{"UDPEgressB64", udpEgressB(64)},
 		{"ShardedEgress", ShardedEgress},
+		{"SimEngine1k", SimEngine1k},
+		{"SimEngine1kBaseline", SimEngine1kBaseline},
 	}
 }

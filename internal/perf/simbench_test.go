@@ -1,0 +1,40 @@
+package perf
+
+import "testing"
+
+// TestSimEngineTraceEquality pins the engine-equivalence contract the
+// headline benchmark relies on: the scale-out engine (timer wheel, bulk
+// delivery, parallel islands) and the baseline engine (heap scheduler,
+// per-member delivery, sequential) execute the identical packet trace.
+// The headline measurement runs with tracing off for speed; this test
+// turns the FNV trace hash on for both engines and requires it — and the
+// logical event and delivery counts — to be byte-identical, so the
+// events/sec ratio in BENCH_4.json compares two executions of the same
+// work.
+func TestSimEngineTraceEquality(t *testing.T) {
+	opts := scenario1k()
+	opts.Trace = true
+	scaled, err := MeasureSimEngine(opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MeasureSimEngine(opts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.TraceHash != base.TraceHash {
+		t.Errorf("trace hash: scale-out %016x != baseline %016x", scaled.TraceHash, base.TraceHash)
+	}
+	if scaled.Events != base.Events {
+		t.Errorf("logical events: scale-out %d != baseline %d", scaled.Events, base.Events)
+	}
+	if scaled.Deliveries != base.Deliveries {
+		t.Errorf("deliveries: scale-out %d != baseline %d", scaled.Deliveries, base.Deliveries)
+	}
+	if scaled.Deliveries == 0 {
+		t.Fatal("scenario delivered nothing; the comparison is vacuous")
+	}
+}
+
+func BenchmarkSimEngine1k(b *testing.B)         { SimEngine1k(b) }
+func BenchmarkSimEngine1kBaseline(b *testing.B) { SimEngine1kBaseline(b) }

@@ -3,6 +3,7 @@ package vtime
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,19 +12,59 @@ import (
 // for concurrent use: all callbacks execute synchronously inside Run,
 // RunUntil, RunFor or Step, on the calling goroutine.
 //
+// Internally events live in a pluggable scheduler. The default is a
+// hierarchical timer wheel (wheel.go) with O(1) schedule/cancel/reset for
+// near-future timers; the original container/heap implementation is kept
+// behind UseHeapScheduler as a differential-testing reference. Both order
+// events identically by (deadline, scheduling sequence), so traces are
+// byte-identical across the two.
+//
 // The zero value is not usable; construct with NewSim.
 type Sim struct {
 	now      time.Time
-	queue    eventQueue
+	start    time.Time
+	sched    scheduler
 	nextSeq  uint64
 	running  bool
 	pending  int
 	executed uint64
 }
 
+// forceHeap selects the legacy heap scheduler for subsequently created
+// Sims. Test-only: flipped by differential tests and the perf baseline
+// runner; production code never touches it.
+var forceHeap atomic.Bool
+
+// UseHeapScheduler switches Sims created after the call to the legacy
+// container/heap event queue (true) or the default timer wheel (false).
+// It exists so differential tests and baseline benchmarks can run the
+// exact pre-wheel scheduler; it is not part of the supported API surface.
+func UseHeapScheduler(on bool) { forceHeap.Store(on) }
+
+// HeapSchedulerForced reports the current setting of UseHeapScheduler.
+func HeapSchedulerForced() bool { return forceHeap.Load() }
+
 // NewSim returns a simulated clock whose current time is start.
 func NewSim(start time.Time) *Sim {
-	return &Sim{now: start}
+	s := &Sim{now: start, start: start}
+	if forceHeap.Load() {
+		s.sched = &heapSched{}
+	} else {
+		s.sched = newWheelSched()
+	}
+	return s
+}
+
+// newHeapSim returns a Sim on the legacy heap scheduler regardless of the
+// global knob (test helper).
+func newHeapSim(start time.Time) *Sim {
+	return &Sim{now: start, start: start, sched: &heapSched{}}
+}
+
+// newWheelSim returns a Sim on the timer wheel regardless of the global
+// knob (test helper).
+func newWheelSim(start time.Time) *Sim {
+	return &Sim{now: start, start: start, sched: newWheelSched()}
 }
 
 // Now implements Clock.
@@ -38,9 +79,10 @@ func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{sim: s, at: s.now.Add(d), seq: s.nextSeq, fn: fn}
+	at := s.now.Add(d)
+	ev := &event{sim: s, at: at, atNS: at.Sub(s.start).Nanoseconds(), seq: s.nextSeq, fn: fn}
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
+	s.sched.schedule(ev)
 	s.pending++
 	return ev
 }
@@ -53,29 +95,13 @@ func (s *Sim) Executed() uint64 { return s.executed }
 
 // Step fires the single earliest pending event, advancing simulated time to
 // its deadline. It reports whether an event fired.
-func (s *Sim) Step() bool {
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.stopped {
-			continue
-		}
-		s.pending--
-		if ev.at.After(s.now) {
-			s.now = ev.at
-		}
-		ev.fired = true
-		s.executed++
-		ev.fn()
-		return true
-	}
-	return false
-}
+func (s *Sim) Step() bool { return s.step() }
 
 // Run fires events until none remain. Callbacks may schedule further events.
 func (s *Sim) Run() {
 	s.enter()
 	defer s.exit()
-	for s.Step() {
+	for s.step() {
 	}
 }
 
@@ -85,7 +111,7 @@ func (s *Sim) RunUntil(t time.Time) {
 	s.enter()
 	defer s.exit()
 	for {
-		ev := s.peek()
+		ev := s.sched.peek()
 		if ev == nil || ev.at.After(t) {
 			break
 		}
@@ -104,36 +130,20 @@ func (s *Sim) RunFor(d time.Duration) {
 	s.RunUntil(s.now.Add(d))
 }
 
-// step is Step without re-entrancy accounting (used inside RunUntil).
+// step pops and fires the earliest live event.
 func (s *Sim) step() bool {
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.stopped {
-			continue
-		}
-		s.pending--
-		if ev.at.After(s.now) {
-			s.now = ev.at
-		}
-		ev.fired = true
-		s.executed++
-		ev.fn()
-		return true
+	ev := s.sched.pop()
+	if ev == nil {
+		return false
 	}
-	return false
-}
-
-// peek returns the earliest live event without firing it, discarding
-// stopped events it encounters.
-func (s *Sim) peek() *event {
-	for s.queue.Len() > 0 {
-		ev := s.queue.events[0]
-		if !ev.stopped {
-			return ev
-		}
-		heap.Pop(&s.queue)
+	s.pending--
+	if ev.at.After(s.now) {
+		s.now = ev.at
 	}
-	return nil
+	ev.fired = true
+	s.executed++
+	ev.fn()
+	return true
 }
 
 func (s *Sim) enter() {
@@ -145,18 +155,36 @@ func (s *Sim) enter() {
 
 func (s *Sim) exit() { s.running = false }
 
+// scheduler is the pluggable event queue behind Sim. Both implementations
+// return events in strict (atNS, seq) order and drop stopped or
+// superseded (re-armed) events lazily.
+type scheduler interface {
+	// schedule inserts a freshly created event.
+	schedule(ev *event)
+	// reschedule re-inserts ev after Reset updated at/atNS/seq/gen.
+	reschedule(ev *event)
+	// pop removes and returns the earliest live event, or nil.
+	pop() *event
+	// peek returns the earliest live event without removing it, or nil.
+	peek() *event
+}
+
 type event struct {
-	sim     *Sim
-	at      time.Time
-	seq     uint64
-	fn      func()
-	index   int
+	sim  *Sim
+	at   time.Time
+	atNS int64 // at relative to the sim epoch, for the wheel
+	seq  uint64
+	fn   func()
+	// gen invalidates stale wheel entries: Reset bumps it, so entries
+	// recorded under an older generation are discarded when encountered.
+	gen     uint32
+	index   int // heap scheduler bookkeeping
 	stopped bool
 	fired   bool
 	inHeap  bool
 }
 
-// Stop implements Timer. The event is removed lazily from the heap.
+// Stop implements Timer. The event is removed lazily from the scheduler.
 func (ev *event) Stop() bool {
 	if ev.stopped || ev.fired {
 		return false
@@ -176,18 +204,54 @@ func (ev *event) Reset(d time.Duration) bool {
 	}
 	wasPending := !ev.stopped && !ev.fired
 	ev.at = s.now.Add(d)
+	ev.atNS = ev.at.Sub(s.start).Nanoseconds()
 	ev.seq = s.nextSeq
 	s.nextSeq++
+	ev.gen++
 	if !wasPending {
 		ev.stopped, ev.fired = false, false
 		s.pending++
 	}
-	if ev.inHeap {
-		heap.Fix(&s.queue, ev.index)
-	} else {
-		heap.Push(&s.queue, ev)
-	}
+	s.sched.reschedule(ev)
 	return wasPending
+}
+
+// heapSched is the original global min-heap scheduler, retained as the
+// differential-testing reference behind UseHeapScheduler.
+type heapSched struct {
+	queue eventQueue
+}
+
+func (h *heapSched) schedule(ev *event) { heap.Push(&h.queue, ev) }
+
+func (h *heapSched) reschedule(ev *event) {
+	if ev.inHeap {
+		heap.Fix(&h.queue, ev.index)
+	} else {
+		heap.Push(&h.queue, ev)
+	}
+}
+
+func (h *heapSched) pop() *event {
+	for h.queue.Len() > 0 {
+		ev := heap.Pop(&h.queue).(*event)
+		if ev.stopped {
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+func (h *heapSched) peek() *event {
+	for h.queue.Len() > 0 {
+		ev := h.queue.events[0]
+		if !ev.stopped {
+			return ev
+		}
+		heap.Pop(&h.queue)
+	}
+	return nil
 }
 
 // eventQueue is a min-heap ordered by (deadline, scheduling sequence).
@@ -199,8 +263,8 @@ func (q *eventQueue) Len() int { return len(q.events) }
 
 func (q *eventQueue) Less(i, j int) bool {
 	a, b := q.events[i], q.events[j]
-	if !a.at.Equal(b.at) {
-		return a.at.Before(b.at)
+	if a.atNS != b.atNS {
+		return a.atNS < b.atNS
 	}
 	return a.seq < b.seq
 }

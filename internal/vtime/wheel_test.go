@@ -1,0 +1,257 @@
+package vtime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// epoch matches the netsim simulation start so test timelines look like
+// real runs; any fixed instant works.
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// firing is one observed callback execution.
+type firing struct {
+	id int
+	at time.Time
+}
+
+// simDriver drives one Sim through a scripted workload, recording the
+// firing order. Timers are retained by script index so Stop/Reset ops hit
+// the same logical timer on both implementations.
+type simDriver struct {
+	sim    *Sim
+	timers []Timer
+	order  []firing
+}
+
+func newDriver(s *Sim) *simDriver { return &simDriver{sim: s} }
+
+func (d *simDriver) schedule(id int, delay time.Duration, nested func(*simDriver, int)) {
+	d.timers = append(d.timers, nil)
+	idx := len(d.timers) - 1
+	d.timers[idx] = d.sim.AfterFunc(delay, func() {
+		d.order = append(d.order, firing{id: id, at: d.sim.Now()})
+		if nested != nil {
+			nested(d, id)
+		}
+	})
+}
+
+// op is one scripted action in the randomized workload.
+type op struct {
+	kind  int // 0 schedule, 1 stop, 2 reset, 3 runFor
+	delay time.Duration
+	tgt   int // timer index for stop/reset
+}
+
+// genScript builds a deterministic random workload from seed. Delays are
+// drawn across every wheel horizon: same-tick, level 0-3, and overflow.
+func genScript(seed int64, n int) []op {
+	rng := rand.New(rand.NewSource(seed))
+	horizons := []time.Duration{
+		0,
+		30 * time.Microsecond,  // sub-tick
+		3 * time.Millisecond,   // level 0
+		300 * time.Millisecond, // level 1
+		20 * time.Second,       // level 2
+		10 * time.Minute,       // level 3
+		2 * time.Hour,          // overflow
+		100 * time.Hour,        // deep overflow (multiple windows)
+	}
+	ops := make([]op, 0, n)
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(10); {
+		case k < 5:
+			h := horizons[rng.Intn(len(horizons))]
+			d := time.Duration(0)
+			if h > 0 {
+				d = time.Duration(rng.Int63n(int64(h)))
+			}
+			ops = append(ops, op{kind: 0, delay: d})
+		case k < 6:
+			ops = append(ops, op{kind: 1, tgt: rng.Int()})
+		case k < 8:
+			h := horizons[rng.Intn(len(horizons))]
+			d := time.Duration(0)
+			if h > 0 {
+				d = time.Duration(rng.Int63n(int64(h)))
+			}
+			ops = append(ops, op{kind: 2, tgt: rng.Int(), delay: d})
+		default:
+			ops = append(ops, op{kind: 3, delay: time.Duration(rng.Int63n(int64(time.Minute)))})
+		}
+	}
+	return ops
+}
+
+// runScript replays a script against a driver. Nested callbacks schedule
+// and reset further timers, exercising insert-during-drain paths.
+func runScript(t *testing.T, d *simDriver, ops []op, seed int64) {
+	t.Helper()
+	nestRng := rand.New(rand.NewSource(seed * 7919))
+	var nested func(dd *simDriver, parent int)
+	nested = func(dd *simDriver, parent int) {
+		// Deterministic per-firing decisions: keyed off the shared rng,
+		// whose draw order matches because the firing order must match.
+		switch nestRng.Intn(6) {
+		case 0:
+			dd.schedule(100000+len(dd.timers), 0, nil)
+		case 1:
+			dd.schedule(200000+len(dd.timers), 777*time.Microsecond, nil)
+		case 2:
+			if len(dd.timers) > 0 {
+				dd.timers[nestRng.Intn(len(dd.timers))].Reset(time.Duration(nestRng.Int63n(int64(5 * time.Second))))
+			}
+		case 3:
+			if len(dd.timers) > 0 {
+				dd.timers[nestRng.Intn(len(dd.timers))].Stop()
+			}
+		}
+	}
+	id := 0
+	for _, o := range ops {
+		switch o.kind {
+		case 0:
+			d.schedule(id, o.delay, nested)
+			id++
+		case 1:
+			if len(d.timers) > 0 {
+				d.timers[o.tgt%len(d.timers)].Stop()
+			}
+		case 2:
+			if len(d.timers) > 0 {
+				d.timers[o.tgt%len(d.timers)].Reset(o.delay)
+			}
+		case 3:
+			d.sim.RunFor(o.delay)
+		}
+	}
+	d.sim.Run()
+}
+
+// TestWheelMatchesHeapModel is the property test: identical randomized
+// schedule/Stop/Reset workloads on the timer wheel and on the reference
+// heap scheduler must produce identical firing sequences (ids and
+// instants), identical executed counts, and identical end states.
+func TestWheelMatchesHeapModel(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ops := genScript(seed, 400)
+			wheel := newDriver(newWheelSim(epoch))
+			heap := newDriver(newHeapSim(epoch))
+			runScript(t, wheel, ops, seed)
+			runScript(t, heap, ops, seed)
+			if len(wheel.order) != len(heap.order) {
+				t.Fatalf("firing count diverged: wheel %d heap %d", len(wheel.order), len(heap.order))
+			}
+			for i := range wheel.order {
+				if wheel.order[i] != heap.order[i] {
+					t.Fatalf("firing %d diverged: wheel %+v heap %+v", i, wheel.order[i], heap.order[i])
+				}
+			}
+			if w, h := wheel.sim.Executed(), heap.sim.Executed(); w != h {
+				t.Fatalf("executed diverged: wheel %d heap %d", w, h)
+			}
+			if w, h := wheel.sim.Len(), heap.sim.Len(); w != h {
+				t.Fatalf("pending diverged: wheel %d heap %d", w, h)
+			}
+			if w, h := wheel.sim.Now(), heap.sim.Now(); !w.Equal(h) {
+				t.Fatalf("clock diverged: wheel %v heap %v", w, h)
+			}
+		})
+	}
+}
+
+// TestWheelSameInstantFIFO checks the FIFO tie-break across every insert
+// path: events landing on one instant via direct schedule, via Reset, and
+// via cascade from a higher level must fire in schedule-sequence order.
+func TestWheelSameInstantFIFO(t *testing.T) {
+	s := newWheelSim(epoch)
+	target := 90 * time.Second // level-2 horizon at schedule time
+	var got []int
+	rec := func(id int) func() { return func() { got = append(got, id) } }
+
+	s.AfterFunc(target, rec(0)) // lands in L2, cascades twice
+	s.AfterFunc(target, rec(1))
+	tm := s.AfterFunc(time.Hour, rec(2))
+	s.RunFor(89 * time.Second)
+	// Reset past the pending cascade: same instant, later seq.
+	tm.Reset(time.Second)
+	s.AfterFunc(time.Second, rec(3))
+	s.Run()
+	want := []int{0, 1, 2, 3}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("same-instant order = %v, want %v", got, want)
+	}
+}
+
+// TestWheelResetAcrossCascade re-arms timers back and forth across level
+// boundaries — the Reset-past-cascade cases: a far timer pulled near must
+// fire at the near deadline exactly once; a near timer pushed far must not
+// fire early even though its stale entry is still sitting in a near slot.
+func TestWheelResetAcrossCascade(t *testing.T) {
+	s := newWheelSim(epoch)
+	fired := map[string]time.Time{}
+	far := s.AfterFunc(45*time.Minute, func() { fired["far"] = s.Now() })
+	near := s.AfterFunc(2*time.Millisecond, func() { fired["near"] = s.Now() })
+
+	far.Reset(5 * time.Millisecond) // L3 → L0
+	near.Reset(30 * time.Minute)    // L0 → L3
+	s.RunFor(time.Second)
+	if want := epoch.Add(5 * time.Millisecond); !fired["far"].Equal(want) {
+		t.Fatalf("far fired at %v, want %v", fired["far"], want)
+	}
+	if _, ok := fired["near"]; ok {
+		t.Fatalf("near fired early at %v", fired["near"])
+	}
+	s.RunFor(30 * time.Minute)
+	if want := epoch.Add(30 * time.Minute); !fired["near"].Equal(want) {
+		t.Fatalf("near fired at %v, want %v", fired["near"], want)
+	}
+	if got := s.Executed(); got != 2 {
+		t.Fatalf("executed = %d, want 2 (no duplicate firings from stale entries)", got)
+	}
+}
+
+// TestWheelOverflowMigration parks timers several level-3 windows out and
+// checks they migrate back into the wheel in order, interleaved correctly
+// with near timers scheduled after the cursor jumps.
+func TestWheelOverflowMigration(t *testing.T) {
+	s := newWheelSim(epoch)
+	var got []int
+	s.AfterFunc(300*time.Hour, func() { got = append(got, 3) })
+	s.AfterFunc(2*time.Hour, func() {
+		got = append(got, 1)
+		s.AfterFunc(time.Millisecond, func() { got = append(got, 2) })
+	})
+	s.AfterFunc(time.Minute, func() { got = append(got, 0) })
+	s.Run()
+	if fmt.Sprint(got) != fmt.Sprint([]int{0, 1, 2, 3}) {
+		t.Fatalf("overflow firing order = %v", got)
+	}
+	if !s.Now().Equal(epoch.Add(300 * time.Hour)) {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+// TestUseHeapScheduler verifies the test-only knob actually switches the
+// scheduler for new Sims and restores cleanly.
+func TestUseHeapScheduler(t *testing.T) {
+	UseHeapScheduler(true)
+	defer UseHeapScheduler(false)
+	if !HeapSchedulerForced() {
+		t.Fatal("knob did not latch")
+	}
+	s := NewSim(epoch)
+	if _, ok := s.sched.(*heapSched); !ok {
+		t.Fatalf("NewSim under knob built %T, want *heapSched", s.sched)
+	}
+	UseHeapScheduler(false)
+	s = NewSim(epoch)
+	if _, ok := s.sched.(*wheelSched); !ok {
+		t.Fatalf("NewSim default built %T, want *wheelSched", s.sched)
+	}
+}

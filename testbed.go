@@ -58,11 +58,20 @@ type (
 	TapFunc = netsim.TapFunc
 	// PcapWriter emits pcap capture streams (see PcapTap).
 	PcapWriter = pcapio.Writer
+	// Cluster runs several Networks (islands) in windowed parallel
+	// lockstep with deterministic cross-island merging.
+	Cluster = netsim.Cluster
+	// ClusterIsland is one island of a Cluster.
+	ClusterIsland = netsim.Island
 )
 
 // NewNetwork returns a fresh simulated internetwork seeded for
 // reproducibility.
 func NewNetwork(seed int64) *Network { return netsim.New(seed) }
+
+// NewCluster returns an empty island cluster; stride is the NodeID range
+// reserved per island.
+func NewCluster(seed int64, stride int) *Cluster { return netsim.NewCluster(seed, stride) }
 
 // Compose chains loss models on one link: a packet drops if any member
 // drops it, reorder delays add, the first duplicating member wins.
