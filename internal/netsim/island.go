@@ -65,6 +65,8 @@ type Cluster struct {
 	hashOn    bool
 	crossHash uint64
 	crossTap  TapFunc
+
+	misaddressed uint64
 }
 
 // NewCluster creates an empty cluster. stride is the NodeID range reserved
@@ -114,7 +116,15 @@ func (c *Cluster) AddIsland(up, down LinkConfig) (*Island, error) {
 	}
 	net.egress = func(p egressPacket) { isl.outbox = append(isl.outbox, p) }
 	net.remoteValid = func(id NodeID) bool {
-		return int(id) >= 0 && int(id) < c.stride*len(c.islands)
+		// Ids in this island's own range must resolve locally: reaching
+		// here means node(id) was nil, so the slot is unpopulated and the
+		// send fails synchronously instead of wandering up to the root
+		// only to be discarded at the exchange. Remote ranges are accepted
+		// by range alone — whether the slot is populated is checked at the
+		// barrier (route), since peeking at another island's node table
+		// here would race with its window execution.
+		k := int(id) / c.stride
+		return int(id) >= 0 && k < len(c.islands) && k != idx
 	}
 	c.islands = append(c.islands, isl)
 	return isl, nil
@@ -234,6 +244,13 @@ func (c *Cluster) Deliveries() uint64 {
 	}
 	return sum
 }
+
+// Misaddressed returns how many cross-island unicasts named a NodeID in a
+// valid range whose island slot is unpopulated (or hairpinned back to the
+// source island). Such packets are discarded at the exchange barrier; a
+// nonzero count means some handler is sending to addresses that exist in
+// no island.
+func (c *Cluster) Misaddressed() uint64 { return c.misaddressed }
 
 // PendingTimers returns the total pending events across island clocks.
 func (c *Cluster) PendingTimers() int {
@@ -370,6 +387,18 @@ func (c *Cluster) route(src *Island, pkt egressPacket, tap TapFunc) {
 	if mcast && pkt.ttl < src.up.cfg.TTLRequired {
 		return
 	}
+	if !mcast {
+		// The sender could only range-check a remote id; the barrier is
+		// the first point where the destination island's node table can
+		// be read without racing its window. Misaddressed packets are
+		// counted and discarded here rather than spending backbone
+		// traversals (and rng draws) on something undeliverable.
+		dst := c.islands[int(pkt.dst)/c.stride]
+		if dst == src || dst.Net.node(pkt.dst) == nil {
+			c.misaddressed++
+			return
+		}
+	}
 	t, ok, td, dup := src.up.traverse(c.rng, tap, pkt.at, pkt.data, pkt.from, pkt.dst, mcast)
 	if dup {
 		c.fanOut(src, pkt, td, tap)
@@ -382,10 +411,8 @@ func (c *Cluster) route(src *Island, pkt egressPacket, tap TapFunc) {
 
 func (c *Cluster) fanOut(src *Island, pkt egressPacket, t time.Time, tap TapFunc) {
 	if pkt.dst >= 0 {
+		// route already screened hairpins and unpopulated slots.
 		dst := c.islands[int(pkt.dst)/c.stride]
-		if dst == src {
-			return // local traffic never egresses; nothing to hairpin
-		}
 		t2, ok, td, dup := dst.down.traverse(c.rng, tap, t, pkt.data, pkt.from, pkt.dst, false)
 		if ok {
 			dst.Net.InjectUnicast(t2, pkt.from, pkt.dst, pkt.data)

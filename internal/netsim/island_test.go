@@ -208,19 +208,27 @@ func TestClusterRejectsStrideOverflow(t *testing.T) {
 }
 
 // TestClusterUnroutableUnicast: a send to a NodeID outside every island's
-// range fails synchronously, same as a bad address on a single network.
+// range, or to an unpopulated slot of the sender's own island, fails
+// synchronously, same as a bad address on a single network. A send to an
+// unpopulated slot of a remote island is accepted (the sender cannot know)
+// but discarded and counted at the exchange barrier instead of being
+// silently consumed.
 func TestClusterUnroutableUnicast(t *testing.T) {
 	c := NewCluster(1, 16)
 	cfg := LinkConfig{Delay: time.Millisecond}
 	var host *Node
+	var remote *recorder
 	for k := 0; k < 2; k++ {
 		isl, err := c.AddIsland(cfg, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		h := isl.Net.NewSite(SiteParams{}).NewHost(fmt.Sprintf("h%d", k), &recorder{})
+		rec := &recorder{}
+		h := isl.Net.NewSite(SiteParams{}).NewHost(fmt.Sprintf("h%d", k), rec)
 		if k == 0 {
 			host = h
+		} else {
+			remote = rec
 		}
 	}
 	if err := c.Start(); err != nil {
@@ -229,10 +237,29 @@ func TestClusterUnroutableUnicast(t *testing.T) {
 	if err := host.Env().Send(Addr{ID: 999}, []byte("x")); err == nil {
 		t.Fatal("unicast to unroutable id accepted")
 	}
+	// In range for the sender's own island but unpopulated: must fail
+	// synchronously, not wander up the tree and die at the exchange.
+	if err := host.Env().Send(Addr{ID: 5}, []byte("x")); err == nil {
+		t.Fatal("unicast to unpopulated same-island id accepted")
+	}
 	// A valid remote id on the other island is accepted (delivery is
 	// asynchronous and lossy, so only the synchronous contract is checked).
 	if err := host.Env().Send(Addr{ID: 16}, []byte("x")); err != nil {
 		t.Fatalf("unicast to routable remote id rejected: %v", err)
+	}
+	// In range for the remote island but unpopulated: accepted at the
+	// sender, surfaced as a misaddressed discard at the barrier.
+	if err := host.Env().Send(Addr{ID: 17}, []byte("x")); err != nil {
+		t.Fatalf("unicast to in-range remote id rejected synchronously: %v", err)
+	}
+	if err := c.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Misaddressed(); got != 1 {
+		t.Fatalf("Misaddressed = %d, want 1", got)
+	}
+	if got := len(remote.got); got != 1 {
+		t.Fatalf("remote deliveries = %d, want 1 (the valid send only)", got)
 	}
 }
 

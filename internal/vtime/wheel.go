@@ -143,6 +143,15 @@ func (w *wheelSched) advance() bool {
 		// climb below, by a boundary-crossing curTick++, or by overflow
 		// migration), the slot covering the newly entered window must
 		// cascade down before level 0 is scanned, highest level first.
+		// The overflow heap is the topmost level: entering a new 2^26-tick
+		// window (which can happen organically via curTick++ off the last
+		// tick of the previous window, not only via migrateOverflow) must
+		// pull that window's far timers into the wheel first, or they
+		// would be stranded behind later-deadline entries inserted by
+		// callbacks into the fresh window.
+		if w.curTick&(1<<ovShift-1) == 0 {
+			w.migrateWindow(w.curTick >> ovShift)
+		}
 		if w.curTick&(1<<l3Shift-1) == 0 {
 			if s := w.curTick >> l3Shift & lvMask; w.l3bits&(1<<s) != 0 {
 				w.cascade(&w.l3[s], &w.l3bits, s)
@@ -234,14 +243,20 @@ func (w *wheelSched) migrateOverflow() bool {
 	}
 	minTick := w.overflow.es[0].atNS >> tickShift
 	w.curTick = minTick &^ (1<<ovShift - 1)
-	win := minTick >> ovShift
+	w.migrateWindow(minTick >> ovShift)
+	return true
+}
+
+// migrateWindow moves every overflow entry whose tick lies in the given
+// 2^26-tick window into the wheel. Overflow entries are always at or after
+// the cursor, so the window's entries form a prefix of the min-heap.
+func (w *wheelSched) migrateWindow(win int64) {
 	for len(w.overflow.es) > 0 && w.overflow.es[0].atNS>>tickShift>>ovShift == win {
 		e := w.overflow.popMin()
 		if e.live() {
 			w.insert(e)
 		}
 	}
-	return true
 }
 
 // next256 returns the lowest set bit index >= from in a 256-bit set.

@@ -237,6 +237,53 @@ func TestWheelOverflowMigration(t *testing.T) {
 	}
 }
 
+// TestWheelOverflowBoundaryCrossing pins the organic window-crossing case:
+// the cursor enters a new 2^26-tick overflow window via curTick++ off the
+// last tick of the previous window (not via migrateOverflow), while an
+// overflow timer A is pending early in the new window and the firing
+// callback schedules a later-deadline event D directly into the wheel.
+// A must still fire before D; a buggy wheel strands A in the overflow heap
+// and fires D first. The randomized property test cannot reliably hit this
+// one-tick-in-2^26 alignment, so it is pinned here and cross-checked
+// against the reference heap scheduler.
+func TestWheelOverflowBoundaryCrossing(t *testing.T) {
+	const (
+		tick   = time.Duration(1) << tickShift // 65.536µs
+		window = tick << (ovShift)             // 2^26 ticks ≈ 73.3min
+	)
+	run := func(s *Sim) []firing {
+		var got []firing
+		rec := func(id int) func() {
+			return func() { got = append(got, firing{id: id, at: s.Now()}) }
+		}
+		// L: last tick of window 0; its callback schedules D at tick
+		// 2^26+101, which lands in L0 of the freshly entered window.
+		s.AfterFunc(window-tick, func() {
+			got = append(got, firing{id: 0, at: s.Now()})
+			s.AfterFunc(101*tick, rec(3))
+		})
+		// A: early in window 1 — in the overflow heap at schedule time,
+		// with an earlier deadline than D.
+		s.AfterFunc(window+5*tick, rec(1))
+		// Same-window overflow timer after A, and one a window further
+		// out: both must stay correctly ordered behind A.
+		s.AfterFunc(window+50*tick, rec(2))
+		s.AfterFunc(2*window+tick, rec(4))
+		s.Run()
+		return got
+	}
+	wheel := run(newWheelSim(epoch))
+	heap := run(newHeapSim(epoch))
+	if fmt.Sprint(wheel) != fmt.Sprint(heap) {
+		t.Fatalf("wheel diverged from heap:\nwheel %v\nheap  %v", wheel, heap)
+	}
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if wheel[i].id != want {
+			t.Fatalf("firing order = %v, want ids [0 1 2 3 4]", wheel)
+		}
+	}
+}
+
 // TestUseHeapScheduler verifies the test-only knob actually switches the
 // scheduler for new Sims and restores cleanly.
 func TestUseHeapScheduler(t *testing.T) {
