@@ -46,10 +46,12 @@ perfgate:
 
 # cover enforces per-package statement-coverage floors on the protocol
 # endpoints, the logging servers, the wire codec and the observability
-# layer. Floors sit below current coverage (core 87 / logger 79 / wire 86
-# / obs 93 at the time of writing) so routine growth doesn't trip them,
-# but an untested subsystem landing in one of these packages does.
-COVER_FLOORS = ./internal/core:80 ./internal/logger:72 ./internal/wire:80 ./internal/obs:85 ./internal/vtime:85 ./internal/netsim:75
+# layer — including the control-plane packages (series ring, health/SLO
+# engine, fleet scraper). Floors sit below current coverage (core 87 /
+# logger 79 / wire 86 / obs 93 / series 88 / health 92 / fleet 85 at the
+# time of writing) so routine growth doesn't trip them, but an untested
+# subsystem landing in one of these packages does.
+COVER_FLOORS = ./internal/core:80 ./internal/logger:72 ./internal/wire:80 ./internal/obs:87 ./internal/obs/series:84 ./internal/obs/health:87 ./internal/obs/fleet:80 ./internal/vtime:85 ./internal/netsim:75
 
 cover:
 	@fail=0; \
@@ -84,14 +86,16 @@ scenarios:
 # fuzzsmoke runs a short coverage-guided pass over the codec surfaces:
 # the wire codec (the surface that grew the primary-epoch, advance-record
 # and quorum-ring fields), the quorum-ack watermark block specifically
-# (variable-length replica watermarks + ring epoch fencing), and the
-# metrics/trace exposition encoder (no-panic + lossless JSON round-trip).
-# The seed corpora alone run in every `go test`; this target actually
-# mutates.
+# (variable-length replica watermarks + ring epoch fencing), the
+# metrics/trace exposition encoder (no-panic + lossless JSON round-trip),
+# and the Prometheus text exposition (line discipline + escaping under
+# adversarial metric names and values). The seed corpora alone run in
+# every `go test`; this target actually mutates.
 fuzzsmoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzQuorumAck -fuzztime 10s
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzExposition -fuzztime 10s
+	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzPromExposition -fuzztime 10s
 
 # flight runs the chaos matrix with the recovery flight recorder's fleet
 # timeline enabled, writing one JSONL flight log per seed into

@@ -34,20 +34,24 @@ import (
 
 	"lbrm"
 	"lbrm/internal/obs"
+	"lbrm/internal/obs/fleet"
 	"lbrm/internal/shard"
 	"lbrm/internal/transport"
 	"lbrm/internal/transport/udp"
 	"lbrm/internal/wire"
 )
 
-// serveMetrics exposes a sink over HTTP at /metrics (text by default,
-// ?format=json for the JSON document), Go runtime health at
-// /metrics/runtime (GC pauses, goroutines, heap), and the standard pprof
-// profiling endpoints under /debug/pprof/.
+// serveMetrics exposes the daemon's observability control plane over
+// HTTP: golden exposition at /metrics (?format=json for the JSON
+// document), Prometheus text at /metrics/prom, Go runtime health at
+// /metrics/runtime, the health/SLO engine at /metrics/health, windowed
+// series at /metrics/series, and the standard pprof profiling endpoints
+// under /debug/pprof/. It also starts the wall-clock series sampler
+// driving the local health engine (DESIGN.md §15).
 func serveMetrics(addr string, sink *obs.Sink) {
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", obs.Handler(sink))
-	mux.Handle("/metrics/runtime", obs.RuntimeHandler())
+	node := fleet.NewNode(sink, 2*time.Second)
+	node.Start()
+	mux := node.Mux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -58,7 +62,7 @@ func serveMetrics(addr string, sink *obs.Sink) {
 			log.Printf("lbrm-logger: metrics server: %v", err)
 		}
 	}()
-	log.Printf("lbrm-logger: metrics on http://%s/metrics (runtime at /metrics/runtime, profiles at /debug/pprof/)", addr)
+	log.Printf("lbrm-logger: metrics on http://%s/metrics (prom at /metrics/prom, health at /metrics/health, profiles at /debug/pprof/)", addr)
 }
 
 // parseAddrList parses a comma-separated list of host:ports, naming the

@@ -27,20 +27,24 @@ import (
 
 	"lbrm"
 	"lbrm/internal/obs"
+	"lbrm/internal/obs/fleet"
 	"lbrm/internal/shard"
 	"lbrm/internal/transport"
 	"lbrm/internal/transport/udp"
 	"lbrm/internal/wire"
 )
 
-// serveMetrics exposes a sink over HTTP at /metrics (text by default,
-// ?format=json for the JSON document), Go runtime health at
-// /metrics/runtime (GC pauses, goroutines, heap), and the standard pprof
-// profiling endpoints under /debug/pprof/.
+// serveMetrics exposes the daemon's observability control plane over
+// HTTP: golden exposition at /metrics (?format=json for the JSON
+// document), Prometheus text at /metrics/prom, Go runtime health at
+// /metrics/runtime, the health/SLO engine at /metrics/health, windowed
+// series at /metrics/series, and the standard pprof profiling endpoints
+// under /debug/pprof/. It also starts the wall-clock series sampler
+// driving the local health engine (DESIGN.md §15).
 func serveMetrics(addr, cmd string, sink *obs.Sink) {
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", obs.Handler(sink))
-	mux.Handle("/metrics/runtime", obs.RuntimeHandler())
+	node := fleet.NewNode(sink, 2*time.Second)
+	node.Start()
+	mux := node.Mux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -51,7 +55,7 @@ func serveMetrics(addr, cmd string, sink *obs.Sink) {
 			log.Printf("%s: metrics server: %v", cmd, err)
 		}
 	}()
-	log.Printf("%s: metrics on http://%s/metrics (runtime at /metrics/runtime, profiles at /debug/pprof/)", cmd, addr)
+	log.Printf("%s: metrics on http://%s/metrics (prom at /metrics/prom, health at /metrics/health, profiles at /debug/pprof/)", cmd, addr)
 }
 
 func main() {

@@ -64,6 +64,7 @@ func main() {
 	chaosOverlap := flag.Bool("chaos-overlapping", false, "with -chaos: overlap a flaky-link and a partition window on one site")
 	chaosQuorum := flag.Int("chaos-quorum", 0, "with -chaos: enable quorum replication with this write quorum and run the quorum durability schedule (invariant 11)")
 	chaosQuorumFault := flag.String("chaos-quorum-fault", "", "with -chaos-quorum: pin the replication fault (crash-primary | crash-replica | ring-partition | none; empty = seed-drawn)")
+	chaosHealth := flag.String("chaos-health", "", "with -chaos: replace the random schedule with one long-lived health-detection target (crying-baby | regional-loss | none; empty = normal schedule)")
 	flightLog := flag.String("flight-log", "", "with -chaos: write the fleet timeline (one merged metrics snapshot per second of virtual time) to this file as JSONL")
 	metrics := flag.Bool("metrics", false, "after the run, print every handler's metrics merged (counters/histograms summed, gauges max-merged) plus the sender's trace window")
 	scenario := flag.String("scenario", "", "run one adversarial scenario class (broadcast | flash-crowd | crying-baby | diurnal | mixed) on the island cluster instead of the traffic simulation; -seed pins it")
@@ -113,6 +114,7 @@ func main() {
 			Overlapping:      *chaosOverlap,
 			Quorum:           *chaosQuorum,
 			QuorumFault:      *chaosQuorumFault,
+			HealthFault:      *chaosHealth,
 		})
 		if err != nil {
 			log.Fatal(err)

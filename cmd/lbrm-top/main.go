@@ -1,0 +1,127 @@
+// Command lbrm-top is the fleet observability scraper (DESIGN.md §15):
+// it polls every daemon's exposition endpoint, merges the snapshots into
+// per-target time-series, runs the fleet health engine over them (the
+// crying-baby rule needs exactly this cross-site view), and renders a
+// live per-site health table. With -serve it also exposes the merged
+// state as a JSON control-plane API on the standard obs mux.
+//
+// Usage:
+//
+//	lbrm-top -targets localhost:9301,localhost:9302,localhost:9303
+//	lbrm-top -targets localhost:9301 -once -strict -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"lbrm/internal/obs"
+	"lbrm/internal/obs/fleet"
+	"lbrm/internal/obs/health"
+)
+
+func main() {
+	var (
+		targetsFlag = flag.String("targets", "", "comma-separated daemon metrics addresses (host:port)")
+		every       = flag.Duration("every", 2*time.Second, "scrape interval")
+		once        = flag.Bool("once", false, "scrape once, print, exit (non-zero if any target is down or any alert fires)")
+		strict      = flag.Bool("strict", false, "also fetch /metrics/prom from every target and fail on parse errors")
+		serveAddr   = flag.String("serve", "", "serve the merged fleet state on this address (/fleet, /metrics, /metrics/prom)")
+		jsonOut     = flag.Bool("json", false, "print the fleet report as JSON instead of a table")
+	)
+	flag.Parse()
+
+	targets := splitTargets(*targetsFlag)
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "lbrm-top: -targets is required (e.g. -targets localhost:9301,localhost:9302)")
+		os.Exit(2)
+	}
+
+	// The scraper's own metrics ride the same obs sink machinery as the
+	// daemons it watches, so -serve exposes both layers at once.
+	sink := obs.NewSink()
+	cfg := health.Defaults()
+	cfg.EvalEvery = *every
+	sc := fleet.NewScraper(targets, cfg, sink)
+
+	if *serveAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(sink))
+		mux.Handle("/metrics/prom", obs.PromHandler(sink))
+		mux.Handle("/metrics/runtime", obs.RuntimeHandler())
+		mux.Handle("/metrics/health", fleet.HealthHandler(sc.Engine()))
+		mux.Handle("/fleet", sc.FleetHandler(func() int64 { return time.Now().UnixNano() }))
+		go func() {
+			if err := http.ListenAndServe(*serveAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "lbrm-top: serve: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "lbrm-top: fleet API on http://%s/fleet\n", *serveAddr)
+	}
+
+	exitCode := 0
+	scrape := func() fleet.Report {
+		now := time.Now().UnixNano()
+		sc.ScrapeOnce(now)
+		if *strict {
+			for _, t := range targets {
+				if n, err := sc.ValidatePromOne(t); err != nil {
+					fmt.Fprintf(os.Stderr, "lbrm-top: prom validation %s: %v\n", t, err)
+					exitCode = 1
+				} else if *once {
+					fmt.Fprintf(os.Stderr, "lbrm-top: prom validation %s: %d families ok\n", t, n)
+				}
+			}
+		}
+		return sc.Report(now)
+	}
+
+	render := func(rep fleet.Report) {
+		if *jsonOut {
+			fmt.Println(fleet.ReportJSON(rep))
+			return
+		}
+		fleet.WriteTable(os.Stdout, rep)
+	}
+
+	if *once {
+		rep := scrape()
+		render(rep)
+		for _, tr := range rep.Targets {
+			if !tr.Up {
+				exitCode = 1
+			}
+		}
+		if len(rep.Active) > 0 {
+			exitCode = 1
+		}
+		os.Exit(exitCode)
+	}
+
+	for {
+		rep := scrape()
+		if !*jsonOut {
+			// Poor man's live view: clear + home, then redraw.
+			fmt.Print("\x1b[2J\x1b[H")
+			fmt.Printf("lbrm-top  %s  targets=%d  interval=%v\n\n",
+				time.Now().Format(time.TimeOnly), len(targets), *every)
+		}
+		render(rep)
+		time.Sleep(*every)
+	}
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -64,6 +64,8 @@ import (
 	"lbrm"
 	"lbrm/internal/netsim"
 	"lbrm/internal/obs"
+	"lbrm/internal/obs/health"
+	"lbrm/internal/obs/series"
 	"lbrm/internal/wire"
 )
 
@@ -134,6 +136,17 @@ type Config struct {
 	// both dead tiers to the primary without skipping). Empty draws one
 	// from the seed.
 	HierarchyFault string
+	// HealthFault replaces the random schedule with one long-lived
+	// health-detection target (DESIGN.md §15): "crying-baby" — one
+	// seed-chosen receiver's host down-link turns lossy for over half the
+	// run, the paper's §6 crying-baby receiver — "regional-loss" — one
+	// site's shared tail-down circuit turns lossy, a sustained regional
+	// loss episode the whole site shares — or "none" — an empty schedule,
+	// the zero-alert baseline. The health engine itself is always armed;
+	// this knob only selects what it must catch. Mutually exclusive with
+	// Quorum, Regions, CrashPrimary and SourcePartition (the quorum
+	// "ring-partition" fault is already the ring-stall detection target).
+	HealthFault string
 	// flatRevert runs the hierarchy schedule with the receivers'
 	// escalation chains reverted to the flat design (test-only): their
 	// primary-bound NACKs then stamp tier 1 instead of the tree depth,
@@ -290,6 +303,15 @@ type Result struct {
 	// the flight rings across all receivers; FlightComplete is how many of
 	// them told the whole recovery story (obs.FlightChain.Complete).
 	FlightChains, FlightComplete uint64
+	// HealthAlerts is the always-armed health engine's full alert record
+	// (cleared alerts first, then those still active at shutdown);
+	// HealthDetection maps rule name → earliest raise offset from run
+	// start; HealthBound echoes the engine's documented worst-case
+	// detection latency; HealthEvals counts rule evaluations.
+	HealthAlerts    []health.Alert
+	HealthDetection map[string]time.Duration
+	HealthBound     time.Duration
+	HealthEvals     uint64
 	// NodeTx is the wire tap's per-node transmit ledger: attempted host
 	// up-link traversals (drops included) per traffic class, keyed by the
 	// harness node name ("sender", "primary", "replica0", "site1/rcv0",
@@ -346,6 +368,18 @@ func (r *Result) Report() string {
 	}
 	fmt.Fprintf(&b, "  flight recorder: %d chains (%d complete), %d timeline samples\n",
 		r.FlightChains, r.FlightComplete, len(r.Flight))
+	fmt.Fprintf(&b, "  health engine: %d evals, %d alerts (detection bound %v)\n",
+		r.HealthEvals, len(r.HealthAlerts), r.HealthBound)
+	if len(r.HealthDetection) > 0 {
+		var rules []string
+		for rule := range r.HealthDetection {
+			rules = append(rules, rule)
+		}
+		sort.Strings(rules)
+		for _, rule := range rules {
+			fmt.Fprintf(&b, "    first %s raise at t=%v\n", rule, r.HealthDetection[rule])
+		}
+	}
 	fmt.Fprintf(&b, "  trace hash: %016x\n", r.TraceHash)
 	if r.OK() {
 		b.WriteString("  PASS: all invariants held\n")
@@ -447,6 +481,13 @@ type harness struct {
 	// Per-site sink handles for the metrics-side NACK budget identity.
 	siteSecSink []*obs.Sink
 	siteRcvSink [][]*obs.Sink
+	// Health engine state (DESIGN.md §15): per-site + servers samplers
+	// fed from the flight tick, evaluated on the same cadence.
+	healthSink  *obs.Sink
+	hEngine     *health.Engine
+	siteSampler []*series.Sampler
+	srvSampler  *series.Sampler
+	srvSinks    []*obs.Sink
 
 	// Flight-recorder reconciliation state (DESIGN.md §10): recovered is
 	// the harness's own ledger of retransmitted deliveries per receiver
@@ -540,6 +581,16 @@ func Run(cfg Config) (*Result, error) {
 		case "", hierFaultRegionalCrash, hierFaultTierPartition, hierFaultCascade:
 		default:
 			return nil, fmt.Errorf("chaos: unknown HierarchyFault %q", cfg.HierarchyFault)
+		}
+	}
+	if cfg.HealthFault != "" {
+		if cfg.Quorum > 0 || cfg.Regions > 0 || cfg.CrashPrimary || cfg.SourcePartition {
+			return nil, fmt.Errorf("chaos: HealthFault is mutually exclusive with Quorum, Regions, CrashPrimary and SourcePartition")
+		}
+		switch cfg.HealthFault {
+		case healthFaultCryingBaby, healthFaultRegionalLoss, healthFaultNone:
+		default:
+			return nil, fmt.Errorf("chaos: unknown HealthFault %q", cfg.HealthFault)
 		}
 	}
 	schedule := buildSchedule(cfg)
@@ -671,8 +722,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	regNode(tb.SenderNode, "sender", "sender", tb.SenderCfg.Obs)
 	regNode(tb.PrimaryNode, "primary", "primary", tb.PrimaryCfg.Obs)
+	h.srvSinks = append(h.srvSinks, tb.PrimaryCfg.Obs)
 	for i, node := range tb.ReplicaNodes {
 		regNode(node, fmt.Sprintf("replica%d", i), "primary", tb.ReplicaCfgs[i].Obs)
+		h.srvSinks = append(h.srvSinks, tb.ReplicaCfgs[i].Obs)
 	}
 	for i, reg := range tb.Regions {
 		regNode(reg.LoggerNode, fmt.Sprintf("region%d/logger", i+1), "secondary", reg.LoggerCfg.Obs)
@@ -725,6 +778,7 @@ func Run(cfg Config) (*Result, error) {
 			h.excuseTo = h.start.Add(f.At + f.Dur + fenceGrace)
 		}
 	}
+	h.startHealth()
 	h.startMonitor()
 	h.startFlightSampler()
 
@@ -773,6 +827,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	h.finishHealth()
 	h.checkFinalInvariants()
 
 	// Shutdown: stop every handler ever created and drain. Anything still
@@ -805,8 +860,9 @@ func Run(cfg Config) (*Result, error) {
 		snaps[i] = s.Registry().Snapshot()
 	}
 	// The stitched chains' latency breakdowns (flight.* counters and
-	// histograms, folded in checkFinalInvariants) join the fleet view.
-	snaps = append(snaps, h.flightReg.Snapshot())
+	// histograms, folded in checkFinalInvariants) join the fleet view,
+	// as do the health engine's gauges and alert counters.
+	snaps = append(snaps, h.flightReg.Snapshot(), h.healthSink.Registry().Snapshot())
 	h.res.Metrics = obs.Merge(snaps...)
 	// Close the fleet timeline with a final sample carrying the complete
 	// merged view — the JSONL flight log is self-contained: periodic
@@ -845,10 +901,14 @@ func (h *harness) startFlightSampler() {
 		if h.monitorStop {
 			return
 		}
-		snaps := make([]obs.Snapshot, len(h.nodeSink))
-		for i, s := range h.nodeSink {
-			snaps[i] = s.Registry().Snapshot()
+		// Health first, so the flight sample carries this tick's fresh
+		// health.* gauges rather than the previous tick's.
+		h.sampleHealth(clk.Now().UnixNano())
+		snaps := make([]obs.Snapshot, 0, len(h.nodeSink)+1)
+		for _, s := range h.nodeSink {
+			snaps = append(snaps, s.Registry().Snapshot())
 		}
+		snaps = append(snaps, h.healthSink.Registry().Snapshot())
 		h.res.Flight = append(h.res.Flight, obs.FlightSample{
 			At: clk.Now().UnixNano(), Metrics: obs.Merge(snaps...),
 		})
@@ -900,6 +960,9 @@ func (h *harness) violate(name, detail string) {
 // config alone.
 func buildSchedule(cfg Config) []Fault {
 	rng := rand.New(rand.NewSource(cfg.Seed*0x9E3779B9 + 0x7F4A7C15))
+	if cfg.HealthFault != "" {
+		return healthSchedule(cfg, rng)
+	}
 	if cfg.Quorum > 0 {
 		return quorumSchedule(cfg, rng)
 	}
@@ -1072,6 +1135,22 @@ func (h *harness) applyFault(f Fault) {
 		healUp := site.TailUp().PushLoss(gate)
 		healDown := site.TailDown().PushLoss(gate)
 		clk.AfterFunc(f.Dur, func() { healUp(); healDown() })
+	case "crying-baby":
+		// The §6 crying baby: one receiver's own drop cable turns lossy
+		// while the rest of the fleet stays clean — it keeps missing data
+		// (and losing repairs) and keeps demanding recovery from its site
+		// secondary for the whole window.
+		node := h.tb.Sites[f.Site].ReceiverNodes[f.Idx]
+		heal := node.DownLink().PushLoss(lbrm.Bernoulli{P: 0.5})
+		clk.AfterFunc(f.Dur, heal)
+	case "regional-loss":
+		// A sustained regional loss episode: the site's shared tail-down
+		// drops a fraction of everything, so every receiver and the site
+		// secondary keep missing data together and repair demand persists
+		// beyond the site.
+		site := h.tb.Sites[f.Site].Site
+		heal := site.TailDown().PushLoss(lbrm.Bernoulli{P: 0.4})
+		clk.AfterFunc(f.Dur, heal)
 	case "flaky-link":
 		site := h.tb.Sites[f.Site].Site
 		heal := site.TailDown().PushLoss(lbrm.Compose(
@@ -1339,6 +1418,7 @@ func (h *harness) nackCount() uint64 {
 
 // checkFinalInvariants runs the post-convergence structural checks.
 func (h *harness) checkFinalInvariants() {
+	h.checkHealthInvariants()
 	// Exactly one acting primary among live logging servers.
 	acting := 0
 	for i, node := range h.primaryNodes {

@@ -97,32 +97,45 @@ func validateFlightLog(name string, data []byte, required []schemaEntry) error {
 	return nil
 }
 
-// TestFlightLogSchema validates flight-log JSONL against the golden
-// schema. With -flight-glob it checks files the chaos matrix wrote
-// (`make flight`); without, it runs one chaos scenario in-process and
-// validates the log it would have written.
-func TestFlightLogSchema(t *testing.T) {
-	required := loadGoldenSchema(t)
-	if *flightGlob != "" {
-		files, err := filepath.Glob(*flightGlob)
+// validateFlightGlob checks every JSONL file matched by pattern against
+// the golden schema. Returns how many files it validated.
+func validateFlightGlob(t *testing.T, pattern string, required []schemaEntry) int {
+	t.Helper()
+	files, err := filepath.Glob(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(files) == 0 {
+		if err := validateFlightLog(f, data, required); err != nil {
+			t.Error(err)
+		} else {
+			t.Logf("flight log ok: %s", f)
+		}
+	}
+	return len(files)
+}
+
+// TestFlightLogSchema validates flight-log JSONL against the golden
+// schema. With -flight-glob it checks files the chaos matrix just wrote
+// (`make flight`); without, it runs one chaos scenario in-process,
+// validates the log it would have written, and then validates the
+// committed flightlogs/ samples at the repo root — so a schema change
+// that stales the committed logs fails plain `go test` until they are
+// regenerated.
+func TestFlightLogSchema(t *testing.T) {
+	required := loadGoldenSchema(t)
+	if *flightGlob != "" {
+		if n := validateFlightGlob(t, *flightGlob, required); n == 0 {
 			t.Fatalf("-flight-glob %q matched no files", *flightGlob)
 		}
-		for _, f := range files {
-			data, err := os.ReadFile(f)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := validateFlightLog(f, data, required); err != nil {
-				t.Error(err)
-			} else {
-				t.Logf("flight log ok: %s", f)
-			}
-		}
 		return
+	}
+	if n := validateFlightGlob(t, filepath.Join("..", "..", "flightlogs", "*.jsonl"), required); n == 0 {
+		t.Error("no committed flightlogs/*.jsonl found — run `make flight` and commit the output")
 	}
 	res, err := Run(Config{Seed: 1, CrashPrimary: true})
 	if err != nil {

@@ -1,0 +1,178 @@
+package chaos
+
+// The health side of the harness (DESIGN.md §15): every run arms the
+// health/SLO engine over per-site series fed from the same vtime tick as
+// the flight sampler, so detection latency is measured against the fault
+// schedule under the exact conditions the invariants replay. Dedicated
+// HealthFault schedules inject the three canonical detection targets —
+// the §6 crying-baby receiver, a sustained regional loss episode, and
+// (via the quorum schedule) a replication ring stall.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lbrm/internal/obs"
+	"lbrm/internal/obs/health"
+	"lbrm/internal/obs/series"
+)
+
+const (
+	healthFaultCryingBaby   = "crying-baby"
+	healthFaultRegionalLoss = "regional-loss"
+	healthFaultNone         = "none"
+)
+
+// healthSeriesCap bounds each entity's sample ring; window queries only
+// ever look back Config.Window, so wrap-around past it is fine.
+const healthSeriesCap = 64
+
+// healthConfig is the engine tuning for chaos runs: Defaults with the
+// fleet storm threshold rescaled to the simulator's send rate (the
+// daemon default of 60 NACKs/s assumes real DIS traffic, two decades
+// above the harness's ~7 packets/s).
+func healthConfig() health.Config {
+	cfg := health.Defaults()
+	cfg.EvalEvery = flightSampleEvery
+	cfg.NackStormRate = 30
+	return cfg
+}
+
+// healthSchedule replaces the random fault plan with one long-lived
+// detection target whose window comfortably outlasts the engine's
+// detection bound.
+func healthSchedule(cfg Config, rng *rand.Rand) []Fault {
+	d := cfg.Duration
+	switch cfg.HealthFault {
+	case healthFaultCryingBaby:
+		return []Fault{{Kind: "crying-baby", At: d / 4, Dur: d * 11 / 20,
+			Site: rng.Intn(cfg.Sites), Idx: rng.Intn(cfg.ReceiversPerSite)}}
+	case healthFaultRegionalLoss:
+		return []Fault{{Kind: "regional-loss", At: d / 4, Dur: d * 11 / 20,
+			Site: rng.Intn(cfg.Sites), Idx: -1}}
+	}
+	return nil // healthFaultNone: the zero-alert baseline
+}
+
+// startHealth builds the engine and its per-entity samplers: one entity
+// per site (secondary + receivers merged — the site's aggregate repair
+// demand), one "servers" entity for the primary tier.
+func (h *harness) startHealth() {
+	h.healthSink = obs.NewSink()
+	h.hEngine = health.NewEngine(healthConfig(), h.healthSink)
+	for s := range h.siteSecSink {
+		smp := series.NewSampler(nil, healthSeriesCap)
+		h.siteSampler = append(h.siteSampler, smp)
+		h.hEngine.AddEntity(fmt.Sprintf("site%d", s+1), false, smp)
+	}
+	h.srvSampler = series.NewSampler(nil, healthSeriesCap)
+	h.hEngine.AddEntity("servers", true, h.srvSampler)
+}
+
+// sampleHealth ingests one vtime snapshot per entity and evaluates the
+// rules; called from the flight sampler's tick so the health gauges in
+// the flight log are at most one cadence stale.
+func (h *harness) sampleHealth(nowNs int64) {
+	for s, smp := range h.siteSampler {
+		snaps := make([]obs.Snapshot, 0, 1+len(h.siteRcvSink[s]))
+		snaps = append(snaps, h.siteSecSink[s].Registry().Snapshot())
+		for _, sink := range h.siteRcvSink[s] {
+			snaps = append(snaps, sink.Registry().Snapshot())
+		}
+		smp.SampleSnapshot(nowNs, obs.Merge(snaps...))
+	}
+	snaps := make([]obs.Snapshot, len(h.srvSinks))
+	for i, sink := range h.srvSinks {
+		snaps[i] = sink.Registry().Snapshot()
+	}
+	h.srvSampler.SampleSnapshot(nowNs, obs.Merge(snaps...))
+	h.hEngine.Eval(nowNs)
+}
+
+// finishHealth snapshots the engine's verdict into the Result: full
+// alert history (cleared then still-active, in raise order within each
+// group) and the first-raise offset per rule.
+func (h *harness) finishHealth() {
+	h.res.HealthBound = h.hEngine.Config().DetectionBound()
+	h.res.HealthEvals = h.hEngine.Evals()
+	h.res.HealthAlerts = append(h.hEngine.History(), h.hEngine.Active()...)
+	h.res.HealthDetection = make(map[string]time.Duration)
+	startNs := h.start.UnixNano()
+	for _, a := range h.res.HealthAlerts {
+		at := time.Duration(a.RaisedAt - startNs)
+		if cur, ok := h.res.HealthDetection[a.RuleName]; !ok || at < cur {
+			h.res.HealthDetection[a.RuleName] = at
+		}
+	}
+}
+
+// checkHealthInvariants enforces the observability contract:
+//
+//   - health-false-positive: a run with an empty fault schedule must
+//     never raise any alert;
+//   - health-detection: every injected detection target whose symptom
+//     actually materialized must be flagged within the engine's
+//     documented DetectionBound of the fault start — crying-baby as a
+//     crying-baby alert on the right site, regional-loss as any alert on
+//     the afflicted site (or a fleet NACK storm), and a quorum
+//     ring-partition as a ring-stall alert on the servers entity.
+func (h *harness) checkHealthInvariants() {
+	if len(h.res.Schedule) == 0 {
+		if n := len(h.res.HealthAlerts); n > 0 {
+			h.violate("health-false-positive", fmt.Sprintf(
+				"%d alerts on a faultless run (first: %+v)", n, h.res.HealthAlerts[0]))
+		}
+		return
+	}
+	for _, f := range h.res.Schedule {
+		switch f.Kind {
+		case "crying-baby":
+			site := fmt.Sprintf("site%d", f.Site+1)
+			h.requireDetection(f, "crying-baby alert on "+site, func(a health.Alert) bool {
+				return a.Rule == health.RuleCryingBaby && a.Entity == site
+			})
+		case "regional-loss":
+			site := fmt.Sprintf("site%d", f.Site+1)
+			h.requireDetection(f, "site alert on "+site+" or fleet NACK storm", func(a health.Alert) bool {
+				return a.Entity == site || a.Rule == health.RuleNackStorm
+			})
+		case "ring-partition":
+			var stalls uint64
+			for _, sink := range h.srvSinks {
+				stalls += sink.Counter("primary.quorum.ring_stalls").Value()
+			}
+			if stalls == 0 {
+				break // the fault produced no symptom; nothing to detect
+			}
+			h.requireDetection(f, "ring-stall alert", func(a health.Alert) bool {
+				return a.Rule == health.RuleRingStall
+			})
+		}
+	}
+}
+
+// requireDetection checks that some matching alert raised within the
+// detection bound of the fault start.
+func (h *harness) requireDetection(f Fault, what string, match func(health.Alert) bool) {
+	bound := h.res.HealthBound
+	startNs := h.start.UnixNano()
+	best := time.Duration(-1)
+	for _, a := range h.res.HealthAlerts {
+		if !match(a) {
+			continue
+		}
+		lat := time.Duration(a.RaisedAt-startNs) - f.At
+		if best < 0 || lat < best {
+			best = lat
+		}
+	}
+	switch {
+	case best < 0:
+		h.violate("health-detection", fmt.Sprintf("%s never raised (fault %v)", what, f))
+	case best > bound:
+		h.violate("health-detection", fmt.Sprintf(
+			"%s raised %v after the fault, beyond the documented bound %v (fault %v)",
+			what, best, bound, f))
+	}
+}

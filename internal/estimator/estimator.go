@@ -360,6 +360,17 @@ func (h *Hotlist[ID]) Faulty(id ID, now time.Time) bool {
 // Len returns the number of tracked IDs.
 func (h *Hotlist[ID]) Len() int { return len(h.entries) }
 
+// Scores returns every tracked ID's decayed activity at now — the
+// health engine's view of which entities are sustaining over their
+// thresholds. The map is a fresh copy.
+func (h *Hotlist[ID]) Scores(now time.Time) map[ID]float64 {
+	out := make(map[ID]float64, len(h.entries))
+	for id, e := range h.entries {
+		out[id] = h.decayed(e, now)
+	}
+	return out
+}
+
 // Prune evicts every ID whose decayed activity has fallen below floor,
 // bounding the map at the set of recently-active ackers. With a
 // non-positive floor nothing is evicted (scores never decay below zero but

@@ -284,6 +284,27 @@ func TestHotlistFlagsChronicResponder(t *testing.T) {
 	}
 }
 
+func TestHotlistScores(t *testing.T) {
+	now := time.Unix(0, 0)
+	h := NewHotlist[string](time.Minute, 3)
+	h.Record("a", now)
+	h.Record("a", now)
+	h.Record("b", now)
+	at := now.Add(time.Minute)
+	scores := h.Scores(at)
+	if len(scores) != 2 {
+		t.Fatalf("Scores returned %d entries", len(scores))
+	}
+	if math.Abs(scores["a"]-1.0) > 1e-9 || math.Abs(scores["b"]-0.5) > 1e-9 {
+		t.Fatalf("scores = %v, want a=1.0 b=0.5", scores)
+	}
+	// The copy is detached: mutating it must not touch the hotlist.
+	scores["a"] = 100
+	if s := h.Score("a", at); math.Abs(s-1.0) > 1e-9 {
+		t.Fatalf("hotlist mutated through Scores copy: %v", s)
+	}
+}
+
 func TestHotlistDecay(t *testing.T) {
 	now := time.Unix(0, 0)
 	h := NewHotlist[string](time.Minute, 3)

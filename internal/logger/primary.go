@@ -204,6 +204,7 @@ type primaryMetrics struct {
 	tx              *obs.ClassCounters
 	logged          *obs.Counter
 	duplicates      *obs.Counter
+	nacksReceived   *obs.Counter
 	sourceAcks      *obs.Counter
 	logSyncsSent    *obs.Counter
 	logSyncsApplied *obs.Counter
@@ -234,10 +235,13 @@ type primaryMetrics struct {
 
 func newPrimaryMetrics(sink *obs.Sink) primaryMetrics {
 	return primaryMetrics{
-		sink:            sink,
-		tx:              sink.Classes("primary.tx", wire.TrafficClassNames()),
-		logged:          sink.Counter("primary.logged"),
-		duplicates:      sink.Counter("primary.duplicates"),
+		sink:       sink,
+		tx:         sink.Classes("primary.tx", wire.TrafficClassNames()),
+		logged:     sink.Counter("primary.logged"),
+		duplicates: sink.Counter("primary.duplicates"),
+		// nacks_received is the primary's inbound escalation load — the
+		// health engine's storm/escalation signal (DESIGN.md §15).
+		nacksReceived:   sink.Counter("primary.nacks_received"),
 		sourceAcks:      sink.Counter("primary.source_acks"),
 		logSyncsSent:    sink.Counter("primary.logsyncs_sent"),
 		logSyncsApplied: sink.Counter("primary.logsyncs_applied"),
@@ -792,6 +796,7 @@ func (p *Primary) syncTick() {
 func (p *Primary) onNack(from transport.Addr, pkt *wire.Packet) {
 	st := p.stream(KeyOf(pkt))
 	p.stats.NacksFromClients++
+	p.mx.nacksReceived.Inc()
 	budget := maxSeqsPerNack
 	needFetch := false
 	for _, r := range pkt.Ranges {

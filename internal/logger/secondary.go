@@ -234,44 +234,48 @@ type Secondary struct {
 // secondaryMetrics holds the secondary's preregistered observability
 // handles. Every field no-ops when the sink is nil.
 type secondaryMetrics struct {
-	sink           *obs.Sink
-	tx             *obs.ClassCounters
-	logged         *obs.Counter
-	duplicates     *obs.Counter
-	acksSent       *obs.Counter
-	nacksToPrimary *obs.Counter
-	retransUnicast *obs.Counter
-	remulticasts   *obs.Counter
-	abandoned      *obs.Counter
-	skippedAhead   *obs.Counter
-	staleRedirects *obs.Counter
-	rehomes        *obs.Counter
-	reparents      *obs.Counter
-	staleReparents *obs.Counter
-	primaryEpoch   *obs.Gauge
-	parentTier     *obs.Gauge
-	nackRanges     *obs.Histogram
+	sink             *obs.Sink
+	tx               *obs.ClassCounters
+	logged           *obs.Counter
+	duplicates       *obs.Counter
+	acksSent         *obs.Counter
+	nacksFromClients *obs.Counter
+	nacksToPrimary   *obs.Counter
+	retransUnicast   *obs.Counter
+	remulticasts     *obs.Counter
+	abandoned        *obs.Counter
+	skippedAhead     *obs.Counter
+	staleRedirects   *obs.Counter
+	rehomes          *obs.Counter
+	reparents        *obs.Counter
+	staleReparents   *obs.Counter
+	primaryEpoch     *obs.Gauge
+	parentTier       *obs.Gauge
+	nackRanges       *obs.Histogram
 }
 
 func newSecondaryMetrics(sink *obs.Sink) secondaryMetrics {
 	return secondaryMetrics{
-		sink:           sink,
-		tx:             sink.Classes("secondary.tx", wire.TrafficClassNames()),
-		logged:         sink.Counter("secondary.logged"),
-		duplicates:     sink.Counter("secondary.duplicates"),
-		acksSent:       sink.Counter("secondary.acks_sent"),
-		nacksToPrimary: sink.Counter("secondary.nacks_to_primary"),
-		retransUnicast: sink.Counter("secondary.retrans_unicast"),
-		remulticasts:   sink.Counter("secondary.remulticasts"),
-		abandoned:      sink.Counter("secondary.fetches_abandoned"),
-		skippedAhead:   sink.Counter("secondary.skipped_ahead"),
-		staleRedirects: sink.Counter("secondary.fence.stale_redirects"),
-		rehomes:        sink.Counter("secondary.tree.rehomes"),
-		reparents:      sink.Counter("secondary.tree.reparents"),
-		staleReparents: sink.Counter("secondary.tree.stale_reparents"),
-		primaryEpoch:   sink.Gauge("secondary.primary_epoch"),
-		parentTier:     sink.Gauge("secondary.tree.parent_tier"),
-		nackRanges:     sink.Histogram("secondary.nack.ranges", []uint64{1, 2, 4, 8, 16, 32}),
+		sink:       sink,
+		tx:         sink.Classes("secondary.tx", wire.TrafficClassNames()),
+		logged:     sink.Counter("secondary.logged"),
+		duplicates: sink.Counter("secondary.duplicates"),
+		acksSent:   sink.Counter("secondary.acks_sent"),
+		// nacks_from_clients is the site's inbound repair demand — the
+		// health engine's per-site crying-baby signal (DESIGN.md §15).
+		nacksFromClients: sink.Counter("secondary.nacks_from_clients"),
+		nacksToPrimary:   sink.Counter("secondary.nacks_to_primary"),
+		retransUnicast:   sink.Counter("secondary.retrans_unicast"),
+		remulticasts:     sink.Counter("secondary.remulticasts"),
+		abandoned:        sink.Counter("secondary.fetches_abandoned"),
+		skippedAhead:     sink.Counter("secondary.skipped_ahead"),
+		staleRedirects:   sink.Counter("secondary.fence.stale_redirects"),
+		rehomes:          sink.Counter("secondary.tree.rehomes"),
+		reparents:        sink.Counter("secondary.tree.reparents"),
+		staleReparents:   sink.Counter("secondary.tree.stale_reparents"),
+		primaryEpoch:     sink.Gauge("secondary.primary_epoch"),
+		parentTier:       sink.Gauge("secondary.tree.parent_tier"),
+		nackRanges:       sink.Histogram("secondary.nack.ranges", []uint64{1, 2, 4, 8, 16, 32}),
 	}
 }
 
@@ -613,6 +617,7 @@ const maxSeqsPerNack = 1024
 func (s *Secondary) onNack(from transport.Addr, p *wire.Packet) {
 	st := s.stream(KeyOf(p))
 	s.stats.NacksFromClients++
+	s.mx.nacksFromClients.Inc()
 	budget := maxSeqsPerNack
 	needFetch := false
 	for _, r := range p.Ranges {

@@ -122,18 +122,47 @@ func textName(name string) string {
 	return name
 }
 
+// Exposition content types. The golden text format carries an explicit
+// version so scrapers can detect line-discipline changes; JSON is plain
+// application/json.
+const (
+	// TextContentType labels the golden one-metric-per-line format.
+	TextContentType = "text/plain; version=lbrm.1; charset=utf-8"
+	// JSONContentType labels the Dump JSON document.
+	JSONContentType = "application/json; charset=utf-8"
+)
+
+// serveDump is the shared exposition entry point: GET only (405 with an
+// Allow header otherwise), explicit Content-Type on every response, text
+// by default, JSON with ?format=json or an Accept: application/json
+// header. The dump callback runs only for allowed methods.
+func serveDump(w http.ResponseWriter, r *http.Request, dump func() Dump) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	d := dump()
+	if r.URL.Query().Get("format") == "json" || r.Header.Get("Accept") == "application/json" {
+		w.Header().Set("Content-Type", JSONContentType)
+		if r.Method == http.MethodHead {
+			return
+		}
+		_ = d.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", TextContentType)
+	if r.Method == http.MethodHead {
+		return
+	}
+	_ = d.WriteText(w)
+}
+
 // Handler serves the sink over HTTP: text by default, JSON with
 // ?format=json or an Accept: application/json header. Safe to serve while
 // the instrumented components run — every read is atomic.
 func Handler(s *Sink) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		d := DumpOf(s)
-		if r.URL.Query().Get("format") == "json" || r.Header.Get("Accept") == "application/json" {
-			w.Header().Set("Content-Type", "application/json")
-			_ = d.WriteJSON(w)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = d.WriteText(w)
+		serveDump(w, r, func() Dump { return DumpOf(s) })
 	})
 }

@@ -1,0 +1,232 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lbrm/internal/obs"
+	"lbrm/internal/obs/health"
+)
+
+func TestNodeMuxEndpoints(t *testing.T) {
+	sink := obs.NewSink()
+	sink.Counter("recv.nacks_sent").Inc()
+	node := NewNode(sink, time.Second)
+	node.Sampler().Sample(0) // one manual sample so series queries have data
+	mux := node.Mux()
+
+	cases := []struct{ path, wantType string }{
+		{"/metrics", obs.TextContentType},
+		{"/metrics?format=json", obs.JSONContentType},
+		{"/metrics/prom", obs.PromContentType},
+		{"/metrics/runtime", obs.TextContentType},
+		{"/metrics/health", obs.JSONContentType},
+		{"/metrics/series", obs.JSONContentType},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, c.path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d", c.path, rec.Code)
+		}
+		if got := rec.Header().Get("Content-Type"); got != c.wantType {
+			t.Fatalf("GET %s Content-Type = %q, want %q", c.path, got, c.wantType)
+		}
+		rec = httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, c.path, nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s = %d, want 405", c.path, rec.Code)
+		}
+	}
+
+	// /metrics/health carries the engine contract fields.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics/health", nil))
+	var hd struct {
+		DetectionBoundNs int64          `json:"detection_bound_ns"`
+		Entities         []string       `json:"entities"`
+		Active           []health.Alert `json:"active"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &hd); err != nil {
+		t.Fatalf("health JSON: %v", err)
+	}
+	if hd.DetectionBoundNs != int64(node.Engine().Config().DetectionBound()) {
+		t.Fatalf("detection bound = %d", hd.DetectionBoundNs)
+	}
+	if len(hd.Entities) != 1 || hd.Entities[0] != "self" {
+		t.Fatalf("entities = %v", hd.Entities)
+	}
+	if hd.Active == nil || len(hd.Active) != 0 {
+		t.Fatalf("fresh node has active alerts: %v", hd.Active)
+	}
+
+	// /metrics/series lists the sampled metric.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics/series", nil))
+	if !strings.Contains(rec.Body.String(), `"recv.nacks_sent"`) {
+		t.Fatalf("series missing sampled metric:\n%s", rec.Body.String())
+	}
+}
+
+func TestNodeWallLoop(t *testing.T) {
+	sink := obs.NewSink()
+	sink.Counter("recv.nacks_sent").Inc()
+	node := NewNode(sink, 10*time.Millisecond)
+	node.Start()
+	defer node.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for node.Sampler().Len() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if node.Sampler().Len() < 3 {
+		t.Fatalf("wall sampler produced %d samples", node.Sampler().Len())
+	}
+	// Runtime gauges get folded into the registry by the pre-hook.
+	if _, ok := node.Sampler().Last("runtime.goroutines"); !ok {
+		t.Fatal("runtime.goroutines not sampled")
+	}
+}
+
+// fleetSim is a 3-daemon synthetic fleet behind httptest servers; site 2
+// is the crying baby.
+type fleetSim struct {
+	sinks   []*obs.Sink
+	servers []*httptest.Server
+	targets []string
+}
+
+func newFleetSim(t *testing.T) *fleetSim {
+	t.Helper()
+	f := &fleetSim{}
+	for i := 0; i < 3; i++ {
+		sink := obs.NewSink()
+		sink.Counter("recv.nacks_sent") // pre-register so the first scrape sees the track
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(sink))
+		mux.Handle("/metrics/prom", obs.PromHandler(sink))
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		f.sinks = append(f.sinks, sink)
+		f.servers = append(f.servers, srv)
+		f.targets = append(f.targets, srv.URL)
+	}
+	return f
+}
+
+func TestScraperDetectsCryingBaby(t *testing.T) {
+	f := newFleetSim(t)
+	cfg := health.Defaults()
+	cfg.EvalEvery = time.Second
+	sc := NewScraper(f.targets, cfg, obs.NewSink())
+
+	bound := cfg.DetectionBound()
+	var raised []health.Alert
+	now := int64(0)
+	var detectedAt int64 = -1
+	for tick := 0; tick < 15; tick++ {
+		// Per simulated second: healthy sites NACK once, the baby 30×.
+		for i, sink := range f.sinks {
+			n := 1
+			if i == 2 {
+				n = 30
+			}
+			sink.Counter("recv.nacks_sent").Add(uint64(n))
+		}
+		now += int64(time.Second)
+		raised = sc.ScrapeOnce(now)
+		for _, a := range raised {
+			if a.Rule == health.RuleCryingBaby && detectedAt < 0 {
+				detectedAt = now
+				if a.Entity != f.targets[2] {
+					t.Fatalf("crying baby attributed to %s, want %s", a.Entity, f.targets[2])
+				}
+			}
+		}
+		if detectedAt >= 0 {
+			break
+		}
+	}
+	if detectedAt < 0 {
+		t.Fatalf("crying baby never detected; active=%v", sc.Engine().Active())
+	}
+	if detectedAt > int64(bound) {
+		t.Fatalf("detected at %v, beyond documented bound %v", time.Duration(detectedAt), bound)
+	}
+
+	rep := sc.Report(now)
+	if len(rep.Targets) != 3 {
+		t.Fatalf("report targets = %d", len(rep.Targets))
+	}
+	for i, tr := range rep.Targets {
+		if !tr.Up {
+			t.Fatalf("target %d down: %s", i, tr.Error)
+		}
+	}
+	if rep.Targets[2].NackRate <= rep.Targets[0].NackRate {
+		t.Fatalf("baby rate %v not above healthy rate %v",
+			rep.Targets[2].NackRate, rep.Targets[0].NackRate)
+	}
+	if len(rep.Targets[2].Alerts) == 0 {
+		t.Fatal("baby row has no alerts")
+	}
+
+	var buf strings.Builder
+	WriteTable(&buf, rep)
+	out := buf.String()
+	if !strings.Contains(out, "crying-baby") {
+		t.Fatalf("table missing alert:\n%s", out)
+	}
+
+	// The control-plane API serves the same document.
+	rec := httptest.NewRecorder()
+	sc.FleetHandler(func() int64 { return now }).ServeHTTP(rec,
+		httptest.NewRequest(http.MethodGet, "/fleet", nil))
+	var apiRep Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &apiRep); err != nil {
+		t.Fatalf("/fleet JSON: %v", err)
+	}
+	if len(apiRep.Active) == 0 || apiRep.Active[0].RuleName != "crying-baby" {
+		t.Fatalf("/fleet active = %+v", apiRep.Active)
+	}
+	if apiRep.DetectionBoundNs != int64(bound) {
+		t.Fatalf("/fleet bound = %d", apiRep.DetectionBoundNs)
+	}
+}
+
+func TestScraperStrictPromValidation(t *testing.T) {
+	f := newFleetSim(t)
+	sc := NewScraper(f.targets, health.Defaults(), nil)
+	for _, target := range f.targets {
+		n, err := sc.ValidatePromOne(target)
+		if err != nil {
+			t.Fatalf("ValidatePromOne(%s): %v", target, err)
+		}
+		if n == 0 {
+			t.Fatalf("ValidatePromOne(%s): zero families", target)
+		}
+	}
+}
+
+func TestScraperDownTarget(t *testing.T) {
+	f := newFleetSim(t)
+	targets := append(append([]string(nil), f.targets...), "127.0.0.1:1") // nothing listens on port 1
+	sc := NewScraper(targets, health.Defaults(), nil)
+	sc.ScrapeOnce(int64(time.Second))
+	rep := sc.Report(int64(time.Second))
+	if len(rep.Targets) != 4 {
+		t.Fatalf("targets = %d", len(rep.Targets))
+	}
+	down := rep.Targets[3]
+	if down.Up || down.Failures != 1 || down.Error == "" {
+		t.Fatalf("down target status = %+v", down)
+	}
+	for _, tr := range rep.Targets[:3] {
+		if !tr.Up {
+			t.Fatalf("live target marked down: %+v", tr)
+		}
+	}
+}

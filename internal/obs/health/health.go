@@ -1,0 +1,415 @@
+// Package health is the SLO engine of the observability control plane
+// (DESIGN.md §15): it evaluates rules over series.Sampler windows and
+// turns sustained degradation into alerts — health.* gauges, alert trace
+// events, and a queryable active/history list.
+//
+// The rules encode the paper's operational failure modes:
+//
+//   - Crying baby (§6): one site whose NACK rate is both absolutely high
+//     and a multiple of the fleet median, sustained across evaluations.
+//     Sustain uses estimator.Hotlist — the same decayed-activity device
+//     the paper's Designated-Acker selection uses to ignore faulty
+//     ackers — so one noisy window does not page anyone.
+//   - Recovery-latency SLO: the windowed p99 of the recovery-latency
+//     histograms against a budget derived from the paper's one-RTT
+//     recovery claim.
+//   - NACK storm: the fleet-wide NACK rate, the implosion the paper's
+//     suppression exists to prevent.
+//   - Ring stall: quorum replication losing its ring (stall deltas on
+//     the primary), the burn-rate precursor to unacked-durability debt.
+//
+// The engine is clock-agnostic: Eval takes explicit nanoseconds, so
+// chaos drives it on virtual time and daemons on the wall clock. The
+// documented detection-latency bound is Window + Sustain×(eval cadence):
+// a fault visible in the rate signal is flagged within one full window
+// plus the sustain run (chaos invariant 12 enforces it).
+package health
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lbrm/internal/estimator"
+	"lbrm/internal/obs"
+	"lbrm/internal/obs/series"
+)
+
+// Rule identifies one detector. The numeric values ride in trace events
+// (KindAlertRaise A-arg) and are part of the observability contract.
+type Rule uint32
+
+const (
+	// RuleCryingBaby: per-entity NACK rate high and a multiple of the
+	// fleet median, sustained.
+	RuleCryingBaby Rule = 1 + iota
+	// RuleRecoverySLO: windowed recovery p99 over budget.
+	RuleRecoverySLO
+	// RuleNackStorm: fleet-wide NACK rate over threshold.
+	RuleNackStorm
+	// RuleRingStall: quorum ring stalls observed in the window.
+	RuleRingStall
+)
+
+var ruleNames = map[Rule]string{
+	RuleCryingBaby:  "crying-baby",
+	RuleRecoverySLO: "recovery-slo",
+	RuleNackStorm:   "nack-storm",
+	RuleRingStall:   "ring-stall",
+}
+
+// String returns the stable rule name.
+func (r Rule) String() string {
+	if n, ok := ruleNames[r]; ok {
+		return n
+	}
+	return fmt.Sprintf("rule-%d", uint32(r))
+}
+
+// gaugeName maps a rule to its active-count gauge in the output sink.
+func (r Rule) gaugeName() string { return "health." + r.String() + ".active" }
+
+// Config tunes the detectors. The zero value is unusable; use Defaults.
+type Config struct {
+	// Window is the series window every rule evaluates over.
+	Window time.Duration
+	// Sustain is how many (cadence-spaced) exceeding evaluations the
+	// crying-baby rule needs before raising; enforced through a decayed
+	// Hotlist score so isolated spikes wash out.
+	Sustain int
+	// EvalEvery is the expected evaluation cadence. It does not schedule
+	// anything — the caller drives Eval — but it calibrates the sustain
+	// decay and the documented detection bound.
+	EvalEvery time.Duration
+
+	// CryingBabyMinRate is the absolute NACKs/s floor below which a site
+	// is never a crying baby (keeps tiny fleets from alerting on noise).
+	CryingBabyMinRate float64
+	// CryingBabyFactor is the multiple of the fleet median NACK rate a
+	// site must exceed (the "one receiver drags the group" signature).
+	CryingBabyFactor float64
+
+	// RecoveryP99BudgetMS bounds the windowed recovery p99; the paper's
+	// claim is one RTT, so the budget is a small multiple of the
+	// simulated RTT.
+	RecoveryP99BudgetMS float64
+	// RecoveryMinObserved is the minimum in-window recovery count before
+	// the SLO rule speaks (a single slow repair is not an SLO breach).
+	RecoveryMinObserved int64
+
+	// NackStormRate is the fleet-wide NACKs/s storm threshold.
+	NackStormRate float64
+
+	// NackCounters are the per-entity demand signals summed into the
+	// NACK rate.
+	NackCounters []string
+	// RecoveryHists are the latency histograms the SLO rule reads.
+	RecoveryHists []string
+	// StallCounters are the ring-stall deltas the ring rule reads.
+	StallCounters []string
+}
+
+// Defaults returns the tuning used by the chaos harness and the daemons.
+func Defaults() Config {
+	return Config{
+		Window:              5 * time.Second,
+		Sustain:             3,
+		EvalEvery:           time.Second,
+		CryingBabyMinRate:   2,
+		CryingBabyFactor:    4,
+		RecoveryP99BudgetMS: 250,
+		RecoveryMinObserved: 5,
+		NackStormRate:       60,
+		NackCounters:        []string{"recv.nacks_sent", "secondary.nacks_from_clients"},
+		RecoveryHists:       []string{"recv.recovery_ms"},
+		StallCounters:       []string{"primary.quorum.ring_stalls"},
+	}
+}
+
+// DetectionBound is the documented worst-case latency from a fault
+// becoming visible in the series to the alert raising: one full window
+// for the rate to reflect it, plus the sustain run.
+func (c Config) DetectionBound() time.Duration {
+	sustain := c.Sustain
+	if sustain < 1 {
+		sustain = 1
+	}
+	return c.Window + time.Duration(sustain)*c.EvalEvery
+}
+
+// Alert is one detector firing on one entity.
+type Alert struct {
+	Rule     Rule   `json:"rule"`
+	RuleName string `json:"rule_name"`
+	Entity   string `json:"entity"`
+	// RaisedAt/ClearedAt are engine-clock nanoseconds; ClearedAt is 0
+	// while the alert is active.
+	RaisedAt  int64 `json:"raised_at"`
+	ClearedAt int64 `json:"cleared_at"`
+	// Value is the observed signal at raise time (rate in units/s,
+	// latency in ms); Threshold is what it exceeded.
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+}
+
+type alertKey struct {
+	rule   Rule
+	entity string
+}
+
+// Engine evaluates the rule set over a fixed entity list. Not itself
+// goroutine-safe for concurrent Evals (the caller owns the cadence), but
+// accessors may race Eval.
+type Engine struct {
+	cfg Config
+	out *obs.Sink
+
+	mu       sync.Mutex
+	entities []entity
+	byName   map[string]int
+	hot      *estimator.Hotlist[string]
+	active   map[alertKey]*Alert
+	history  []Alert
+	evals    uint64
+}
+
+type entity struct {
+	name     string
+	samplers []*series.Sampler
+	servers  bool
+}
+
+// NewEngine returns an engine reporting into out (nil for a silent
+// engine — queries still work).
+func NewEngine(cfg Config, out *obs.Sink) *Engine {
+	if cfg.Window <= 0 {
+		cfg.Window = Defaults().Window
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = Defaults().EvalEvery
+	}
+	if cfg.Sustain < 1 {
+		cfg.Sustain = 1
+	}
+	// Half-life equal to the sustain run keeps the decayed score just
+	// under the threshold for any burst shorter than Sustain evals:
+	// Sustain consecutive records are needed to cross Sustain-0.5.
+	hl := time.Duration(cfg.Sustain) * cfg.EvalEvery
+	return &Engine{
+		cfg:    cfg,
+		out:    out,
+		byName: make(map[string]int),
+		hot:    estimator.NewHotlist[string](hl, float64(cfg.Sustain)-0.5),
+		active: make(map[alertKey]*Alert),
+	}
+}
+
+// Config returns the engine's effective (defaulted) tuning.
+func (e *Engine) Config() Config { return e.cfg }
+
+// AddEntity registers a named entity — typically one site — whose signal
+// is the sum over its samplers. Server entities (the primary/replica
+// side) additionally run the ring-stall rule.
+func (e *Engine) AddEntity(name string, servers bool, samplers ...*series.Sampler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if i, dup := e.byName[name]; dup {
+		e.entities[i].samplers = append(e.entities[i].samplers, samplers...)
+		return
+	}
+	e.byName[name] = len(e.entities)
+	e.entities = append(e.entities, entity{name: name, samplers: samplers, servers: servers})
+}
+
+// Entities returns the registered entity names in registration order.
+func (e *Engine) Entities() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.entities))
+	for i, ent := range e.entities {
+		out[i] = ent.name
+	}
+	return out
+}
+
+// nackRate sums the entity's NACK demand counters, NaN-free: samplers
+// without the metric contribute zero.
+func (e *Engine) nackRate(ent *entity) float64 {
+	var rate float64
+	for _, s := range ent.samplers {
+		for _, name := range e.cfg.NackCounters {
+			if r, ok := s.Rate(name, e.cfg.Window); ok {
+				rate += r
+			}
+		}
+	}
+	return rate
+}
+
+// Eval runs every rule once at nowNs and returns the currently active
+// alerts (shared copies; do not mutate). The caller drives the cadence —
+// vtime ticks in chaos, the wall sampler hook in daemons.
+func (e *Engine) Eval(nowNs int64) []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evals++
+	now := time.Unix(0, nowNs)
+
+	// Per-entity NACK rates and the fleet aggregate.
+	rates := make([]float64, len(e.entities))
+	var fleet float64
+	for i := range e.entities {
+		rates[i] = e.nackRate(&e.entities[i])
+		fleet += rates[i]
+	}
+	med := median(rates)
+
+	for i := range e.entities {
+		ent := &e.entities[i]
+
+		// Crying baby: absolute floor AND a multiple of the fleet
+		// median, sustained via the decayed hotlist score.
+		threshold := e.cfg.CryingBabyMinRate
+		if m := med * e.cfg.CryingBabyFactor; m > threshold {
+			threshold = m
+		}
+		exceeding := len(e.entities) > 1 && rates[i] > threshold
+		if exceeding {
+			e.hot.Record(ent.name, now)
+		}
+		sustained := exceeding && e.hot.Faulty(ent.name, now)
+		e.setAlert(nowNs, RuleCryingBaby, uint64(i), ent.name, sustained, rates[i], threshold)
+
+		// Recovery SLO: worst windowed p99 across the entity's samplers,
+		// gated on a minimum observation count.
+		var worst float64
+		var observed int64
+		for _, s := range ent.samplers {
+			for _, name := range e.cfg.RecoveryHists {
+				if d, ok := s.Delta(name, e.cfg.Window); ok {
+					observed += d
+				}
+				if q, ok := s.Quantile(name, 0.99, e.cfg.Window); ok && q > worst {
+					worst = q
+				}
+			}
+		}
+		breach := observed >= e.cfg.RecoveryMinObserved && worst > e.cfg.RecoveryP99BudgetMS
+		e.setAlert(nowNs, RuleRecoverySLO, uint64(i), ent.name, breach, worst, e.cfg.RecoveryP99BudgetMS)
+
+		// Ring stall: any stall delta in the window on a server entity.
+		if ent.servers {
+			var stalls int64
+			for _, s := range ent.samplers {
+				for _, name := range e.cfg.StallCounters {
+					if d, ok := s.Delta(name, e.cfg.Window); ok {
+						stalls += d
+					}
+				}
+			}
+			e.setAlert(nowNs, RuleRingStall, uint64(i), ent.name, stalls > 0, float64(stalls), 0)
+		}
+	}
+
+	// NACK storm: fleet-wide, reported on the synthetic "fleet" entity.
+	e.setAlert(nowNs, RuleNackStorm, uint64(len(e.entities)), "fleet",
+		fleet > e.cfg.NackStormRate && e.cfg.NackStormRate > 0, fleet, e.cfg.NackStormRate)
+
+	e.publishLocked()
+	return e.activeLocked()
+}
+
+// setAlert reconciles one (rule, entity) pair against its current state,
+// raising or clearing with trace events.
+func (e *Engine) setAlert(nowNs int64, rule Rule, entityIdx uint64, entity string, firing bool, value, threshold float64) {
+	key := alertKey{rule, entity}
+	cur := e.active[key]
+	switch {
+	case firing && cur == nil:
+		a := &Alert{
+			Rule: rule, RuleName: rule.String(), Entity: entity,
+			RaisedAt: nowNs, Value: value, Threshold: threshold,
+		}
+		e.active[key] = a
+		e.out.Counter("health.alerts.raised").Inc()
+		e.out.Emit(nowNs, obs.KindAlertRaise, uint64(rule), entityIdx, scaled(value))
+	case !firing && cur != nil:
+		cur.ClearedAt = nowNs
+		e.history = append(e.history, *cur)
+		delete(e.active, key)
+		e.out.Counter("health.alerts.cleared").Inc()
+		e.out.Emit(nowNs, obs.KindAlertClear, uint64(rule), entityIdx, uint64(nowNs-cur.RaisedAt))
+	case firing:
+		cur.Value = value // keep the live magnitude fresh
+	}
+}
+
+// scaled renders a float signal into a trace arg (milli-units).
+func scaled(v float64) uint64 {
+	if v <= 0 {
+		return 0
+	}
+	return uint64(v * 1000)
+}
+
+// publishLocked refreshes the health.* gauges in the output sink.
+func (e *Engine) publishLocked() {
+	e.out.Counter("health.evals").Inc()
+	perRule := make(map[Rule]int64, 4)
+	for key := range e.active {
+		perRule[key.rule]++
+	}
+	for _, r := range []Rule{RuleCryingBaby, RuleRecoverySLO, RuleNackStorm, RuleRingStall} {
+		e.out.Gauge(r.gaugeName()).Set(perRule[r])
+	}
+	e.out.Gauge("health.alerts.active").Set(int64(len(e.active)))
+}
+
+// Active returns the currently firing alerts, sorted by rule then
+// entity. Safe to call concurrently with Eval.
+func (e *Engine) Active() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.activeLocked()
+}
+
+func (e *Engine) activeLocked() []Alert {
+	out := make([]Alert, 0, len(e.active))
+	for _, a := range e.active {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	return out
+}
+
+// History returns every alert that has been raised and cleared, in clear
+// order, plus nothing about still-active ones (see Active).
+func (e *Engine) History() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Alert(nil), e.history...)
+}
+
+// Evals returns how many times Eval has run.
+func (e *Engine) Evals() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evals
+}
+
+// median returns the middle value (lower-middle for even sizes) of xs
+// without mutating it; 0 for an empty slice.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp[(len(cp)-1)/2]
+}

@@ -159,6 +159,11 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// gen counts registrations of NEW metrics. Readers that cache a view
+	// of the registry (the series sampler's track list) compare it to
+	// decide whether a rescan is due, keeping their steady state free of
+	// both locks and allocations.
+	gen atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -182,6 +187,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if c == nil {
 		c = &Counter{}
 		r.counters[name] = c
+		r.gen.Add(1)
 	}
 	return c
 }
@@ -198,6 +204,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g == nil {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.gen.Add(1)
 	}
 	return g
 }
@@ -222,8 +229,72 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 		}
 		h = &Histogram{bounds: clean, counts: make([]atomic.Uint64, len(clean)+1)}
 		r.hists[name] = h
+		r.gen.Add(1)
 	}
 	return h
+}
+
+// Gen returns the registration generation: it changes exactly when a new
+// metric is registered, never on value updates. Nil-safe (0).
+func (r *Registry) Gen() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.gen.Load()
+}
+
+// Visit calls the corresponding callback for every registered metric, in
+// no particular order, under the registry mutex. It is a cold-path
+// enumeration for cache builders (the series sampler, exposition); the
+// callbacks must not register metrics. Nil callbacks and a nil registry
+// are fine.
+func (r *Registry) Visit(counter func(name string, c *Counter), gauge func(name string, g *Gauge), hist func(name string, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if counter != nil {
+		for name, c := range r.counters {
+			counter(name, c)
+		}
+	}
+	if gauge != nil {
+		for name, g := range r.gauges {
+			gauge(name, g)
+		}
+	}
+	if hist != nil {
+		for name, h := range r.hists {
+			hist(name, h)
+		}
+	}
+}
+
+// Bounds returns the histogram's registered bucket bounds (shared slice —
+// callers must not mutate). Nil-safe.
+func (h *Histogram) Bounds() []uint64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCount returns the current count of bucket i (i == len(Bounds())
+// is the overflow bucket). Out-of-range or nil returns 0. Wait-free.
+func (h *Histogram) BucketCount(i int) uint64 {
+	if h == nil || i < 0 || i >= len(h.counts) {
+		return 0
+	}
+	return h.counts[i].Load()
+}
+
+// Sum returns the histogram's running sample sum. Nil-safe, wait-free.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
 }
 
 // Classes registers a per-class counter family: for each class name c the

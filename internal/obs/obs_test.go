@@ -288,7 +288,7 @@ func TestHandlerFormats(t *testing.T) {
 
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
-	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+	if ct := rec.Header().Get("Content-Type"); ct != JSONContentType {
 		t.Fatalf("json Content-Type %q", ct)
 	}
 	if !strings.Contains(rec.Body.String(), `"counters"`) {

@@ -1,0 +1,517 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) over the same
+// Snapshot the golden format reads. Internal metric names are dotted
+// ("recv.nacks_sent"); Prometheus names admit [a-zA-Z_:][a-zA-Z0-9_:]*,
+// so every invalid byte maps to '_', counters gain the conventional
+// "_total" suffix, and the original name is preserved verbatim in the
+// HELP line so a scraper can recover it. Histograms become the
+// cumulative _bucket/_sum/_count triplet with a trailing +Inf bucket.
+
+// PromContentType is the Content-Type of the Prometheus text format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// uniqName claims name in seen, appending _dup<N> suffixes until the
+// result is unused (renamed results are claimed too, so chains of
+// colliding inputs stay unique).
+func uniqName(seen map[string]int, name string) string {
+	for {
+		n := seen[name]
+		seen[name]++
+		if n == 0 {
+			return name
+		}
+		name = fmt.Sprintf("%s_dup%d", name, n)
+	}
+}
+
+// promName maps an internal metric name onto the Prometheus grammar.
+// Deterministic and total: any input yields a valid name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscape escapes a HELP text or label value: backslash, newline, and
+// (for label values) double quote.
+func promEscape(s string, label bool) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '"':
+			if label {
+				b.WriteString(`\"`)
+			} else {
+				b.WriteByte(c)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a sorted, escaped label set ("" when empty).
+// Distinct keys can collide after sanitization; duplicates get a _dup<N>
+// suffix in sorted-key order so the block stays grammatical.
+func promLabels(labels map[string]string) string {
+	return renderLabels(labels, "", "")
+}
+
+// mergeLabels renders base labels plus one reserved leading pair (the
+// histogram "le" label). The reserved key always keeps its bare name —
+// user labels sanitizing onto it are the ones renamed.
+func mergeLabels(labels map[string]string, k, v string) string {
+	return renderLabels(labels, k, v)
+}
+
+func renderLabels(labels map[string]string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	seen := make(map[string]int, len(labels)+1)
+	var b strings.Builder
+	b.WriteByte('{')
+	if extraK != "" {
+		seen[extraK] = 1
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(extraV, true))
+		b.WriteByte('"')
+	}
+	for _, k := range sortedKeys(labels) {
+		pk := uniqName(seen, promName(k))
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pk)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(labels[k], true))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm writes the snapshot in the Prometheus text format. labels
+// (may be nil) are attached to every sample — the fleet scraper uses
+// them to carry the scrape target. Distinct internal names can collide
+// after sanitization; collisions are disambiguated with a _dup<N> suffix
+// in first-sorted-wins order so output stays deterministic and parseable.
+func WriteProm(w io.Writer, s Snapshot, labels map[string]string) error {
+	bw := bufio.NewWriter(w)
+	lbl := promLabels(labels)
+	seen := make(map[string]int)
+	uniq := func(name string) string { return uniqName(seen, name) }
+
+	for _, name := range sortedKeys(s.Counters) {
+		pn := uniq(promName(name) + "_total")
+		fmt.Fprintf(bw, "# HELP %s lbrm counter %s\n", pn, promEscape(name, false))
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(bw, "%s%s %d\n", pn, lbl, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := uniq(promName(name))
+		fmt.Fprintf(bw, "# HELP %s lbrm gauge %s\n", pn, promEscape(name, false))
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s%s %d\n", pn, lbl, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := uniq(promName(name))
+		fmt.Fprintf(bw, "# HELP %s lbrm histogram %s\n", pn, promEscape(name, false))
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = strconv.FormatUint(h.Bounds[i], 10)
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", pn, mergeLabels(labels, "le", le), cum)
+		}
+		fmt.Fprintf(bw, "%s_sum%s %d\n", pn, lbl, h.Sum)
+		fmt.Fprintf(bw, "%s_count%s %d\n", pn, lbl, cum)
+	}
+	return bw.Flush()
+}
+
+// PromHandler serves the sink's registry in the Prometheus text format.
+// GET only (405 otherwise), explicit versioned Content-Type.
+func PromHandler(s *Sink) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", PromContentType)
+		if r.Method == http.MethodHead {
+			return
+		}
+		_ = WriteProm(w, s.Registry().Snapshot(), nil)
+	})
+}
+
+// PromFamily is one parsed metric family: the exposition-side view a
+// scraper reconstructs from the text format.
+type PromFamily struct {
+	// Name is the Prometheus metric name (counters keep their _total).
+	Name string
+	// Type is "counter", "gauge", or "histogram".
+	Type string
+	// Samples maps the rendered label set (normalized, sorted) to the
+	// sample value. Histogram families key bucket samples by their full
+	// suffixed name + labels.
+	Samples map[string]float64
+}
+
+// ParseProm is a line-discipline parser for the subset of the Prometheus
+// text format WriteProm emits (and any format-0.0.4 document made of
+// HELP/TYPE/sample lines). It enforces the grammar strictly — the CI
+// scrape smoke and FuzzPromExposition both use it as the validity
+// oracle. Returns the families in order of first appearance.
+func ParseProm(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	fams := make([]PromFamily, 0, 16)
+	idx := make(map[string]int)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.SplitN(rest, " ", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE", lineNo)
+			}
+			name, typ := parts[0], parts[1]
+			if !validPromName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			if _, dup := idx[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			idx[name] = len(fams)
+			fams = append(fams, PromFamily{Name: name, Type: typ, Samples: make(map[string]float64)})
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or free comment
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyFor(fams, idx, name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q without TYPE", lineNo, name)
+		}
+		key := name + labels
+		if _, dup := fam.Samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %q", lineNo, key)
+		}
+		fam.Samples[key] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		if err := checkPromFamily(&fams[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// familyFor resolves a sample name to its family, accounting for the
+// histogram suffixes that share the base family's TYPE line.
+func familyFor(fams []PromFamily, idx map[string]int, name string) *PromFamily {
+	if i, ok := idx[name]; ok {
+		return &fams[i]
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if i, ok := idx[base]; ok && fams[i].Type == "histogram" {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// parsePromSample splits "name{labels} value" into parts, validating the
+// name and the label syntax.
+func parsePromSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:end]
+	if !validPromName(name) {
+		return "", "", 0, fmt.Errorf("invalid sample name %q", name)
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		close, err2 := labelBlockEnd(rest)
+		if err2 != nil {
+			return "", "", 0, err2
+		}
+		labels = rest[:close+1]
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// value [timestamp]
+	fields := strings.Split(rest, " ")
+	if len(fields) < 1 || len(fields) > 2 || fields[0] == "" {
+		return "", "", 0, fmt.Errorf("malformed value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// labelBlockEnd finds the closing brace of a label block, honoring quoted
+// values with backslash escapes, and validates each pair's shape.
+func labelBlockEnd(s string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i, nil
+		}
+		// label name
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != '}' {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' || !validPromName(s[start:i]) {
+			return 0, fmt.Errorf("malformed label name in %q", s)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++ // opening quote
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+				if i >= len(s) {
+					return 0, fmt.Errorf("dangling escape in %q", s)
+				}
+				switch s[i] {
+				case '\\', '"', 'n':
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in %q", s[i], s)
+				}
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// checkPromFamily enforces per-type shape: counters non-negative,
+// histogram buckets cumulative with a +Inf bucket matching _count.
+func checkPromFamily(f *PromFamily) error {
+	switch f.Type {
+	case "counter":
+		for k, v := range f.Samples {
+			if v < 0 {
+				return fmt.Errorf("counter %s negative (%v)", k, v)
+			}
+		}
+	case "histogram":
+		type hist struct {
+			buckets []struct {
+				le  float64
+				cum float64
+			}
+			count    float64
+			hasCount bool
+			hasInf   bool
+		}
+		groups := make(map[string]*hist)
+		group := func(labels string) *hist {
+			h := groups[labels]
+			if h == nil {
+				h = &hist{}
+				groups[labels] = h
+			}
+			return h
+		}
+		for k, v := range f.Samples {
+			name, labels := k, ""
+			if i := strings.IndexByte(k, '{'); i >= 0 {
+				name, labels = k[:i], k[i:]
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, rest, err := extractLE(labels)
+				if err != nil {
+					return fmt.Errorf("histogram %s: %v", f.Name, err)
+				}
+				h := group(rest)
+				h.buckets = append(h.buckets, struct{ le, cum float64 }{le, v})
+				if le > 1e308 { // +Inf
+					h.hasInf = true
+				}
+			case strings.HasSuffix(name, "_count"):
+				h := group(labels)
+				h.count, h.hasCount = v, true
+			}
+		}
+		for labels, h := range groups {
+			sort.Slice(h.buckets, func(i, j int) bool { return h.buckets[i].le < h.buckets[j].le })
+			prev := -1.0
+			for _, b := range h.buckets {
+				if b.cum < prev {
+					return fmt.Errorf("histogram %s%s: non-cumulative buckets", f.Name, labels)
+				}
+				prev = b.cum
+			}
+			if len(h.buckets) > 0 && !h.hasInf {
+				return fmt.Errorf("histogram %s%s: missing +Inf bucket", f.Name, labels)
+			}
+			if h.hasCount && len(h.buckets) > 0 && h.buckets[len(h.buckets)-1].cum != h.count {
+				return fmt.Errorf("histogram %s%s: +Inf bucket %v != count %v",
+					f.Name, labels, h.buckets[len(h.buckets)-1].cum, h.count)
+			}
+		}
+	}
+	return nil
+}
+
+// extractLE pulls the le label out of a rendered label block, returning
+// its float value and the block with le removed (the bucket group key).
+func extractLE(labels string) (float64, string, error) {
+	if !strings.HasPrefix(labels, "{") || !strings.HasSuffix(labels, "}") {
+		return 0, "", fmt.Errorf("bucket sample without le label")
+	}
+	body := labels[1 : len(labels)-1]
+	parts := splitLabelPairs(body)
+	le := ""
+	rest := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if strings.HasPrefix(p, "le=") {
+			le = strings.Trim(strings.TrimPrefix(p, "le="), `"`)
+			continue
+		}
+		rest = append(rest, p)
+	}
+	if le == "" {
+		return 0, "", fmt.Errorf("bucket sample without le label")
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad le %q", le)
+	}
+	if len(rest) == 0 {
+		return v, "", nil
+	}
+	return v, "{" + strings.Join(rest, ",") + "}", nil
+}
+
+// splitLabelPairs splits a label-block body on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	var parts []string
+	start, inq := 0, false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			if inq {
+				i++
+			}
+		case '"':
+			inq = !inq
+		case ',':
+			if !inq {
+				parts = append(parts, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(body) {
+		parts = append(parts, body[start:])
+	}
+	return parts
+}

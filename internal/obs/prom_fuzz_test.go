@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzPromExposition drives the Prometheus encoder with adversarial
+// metric names, label values and samples: WriteProm must never panic,
+// and its output must always satisfy ParseProm — the same line-discipline
+// oracle the CI scrape smoke runs against live daemons. Parsing is the
+// proof that escaping and name sanitization are total: any name the
+// registry can hold yields a grammatical 0.0.4 document.
+func FuzzPromExposition(f *testing.F) {
+	f.Add("sender.tx.data.pkts", "site-a", uint64(45), int64(-3), uint64(7), uint64(500))
+	f.Add("", "", uint64(0), int64(0), uint64(0), uint64(0))
+	f.Add("9starts.with.digit", "quote\"back\\slash\nnewline", uint64(1<<63), int64(-1<<62), uint64(10), uint64(11))
+	f.Add("unicode-Ωμε\x7f\x00{le=\"5\"}", "Ω", uint64(3), int64(5), uint64(100), uint64(1<<64-1))
+	f.Add("a_total", "t", uint64(1), int64(2), uint64(3), uint64(4)) // collides with counter "a"'s _total
+	f.Fuzz(func(t *testing.T, name, labelVal string, cv uint64, gv int64, h1, h2 uint64) {
+		s := NewSink()
+		s.Counter(name).Add(cv)
+		s.Counter("a").Inc()
+		s.Gauge(name).Set(gv) // same name as the counter: sanitized collision fodder
+		s.Gauge("fixed.gauge").Set(gv)
+		hist := s.Histogram(name+".h", []uint64{10, 100, 1000})
+		hist.Observe(h1)
+		hist.Observe(h2)
+
+		for _, labels := range []map[string]string{nil, {"target": labelVal, name: labelVal}} {
+			var buf bytes.Buffer
+			if err := WriteProm(&buf, s.Registry().Snapshot(), labels); err != nil {
+				t.Fatalf("WriteProm: %v", err)
+			}
+			fams, err := ParseProm(&buf)
+			if err != nil {
+				t.Fatalf("output failed its own parser: %v", err)
+			}
+			for _, fam := range fams {
+				if !validPromName(fam.Name) {
+					t.Fatalf("invalid family name %q", fam.Name)
+				}
+				if fam.Type == "counter" && !strings.HasSuffix(fam.Name, "_total") {
+					t.Fatalf("counter %q missing _total suffix", fam.Name)
+				}
+			}
+		}
+	})
+}

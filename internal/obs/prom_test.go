@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"recv.nacks_sent", "recv_nacks_sent"},
+		{"sender.tx.data.pkts", "sender_tx_data_pkts"},
+		{"9starts", "_9starts"},
+		{"", "_"},
+		{"ok:colon", "ok:colon"},
+		{"sp ace\nnl", "sp_ace_nl"},
+		{"Ω", "__"},
+	}
+	for _, c := range cases {
+		if got := promName(c.in); got != c.want {
+			t.Errorf("promName(%q) = %q, want %q", c.in, got, c.want)
+		}
+		if !validPromName(promName(c.in)) {
+			t.Errorf("promName(%q) not valid", c.in)
+		}
+	}
+}
+
+func TestWritePromRoundTrip(t *testing.T) {
+	s := NewSink()
+	s.Counter("recv.nacks_sent").Add(7)
+	s.Counter("recv.nacks_to_primary").Add(2)
+	s.Gauge("primary.quorum.depth").Set(-3)
+	h := s.Histogram("recv.recovery_ms", []uint64{1, 5, 10})
+	h.Observe(3)
+	h.Observe(7)
+	h.Observe(400)
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, s.Registry().Snapshot(), map[string]string{"target": `a"b\c` + "\nd"}); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := buf.String()
+	fams, err := ParseProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, out)
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	lbl := `{target="a\"b\\c\nd"}`
+	c := byName["recv_nacks_sent_total"]
+	if c.Type != "counter" || c.Samples["recv_nacks_sent_total"+lbl] != 7 {
+		t.Fatalf("counter family wrong: %+v", c)
+	}
+	g := byName["primary_quorum_depth"]
+	if g.Type != "gauge" || g.Samples["primary_quorum_depth"+lbl] != -3 {
+		t.Fatalf("gauge family wrong: %+v", g)
+	}
+	hf := byName["recv_recovery_ms"]
+	if hf.Type != "histogram" {
+		t.Fatalf("histogram family wrong: %+v", hf)
+	}
+	// Cumulative buckets: ≤1:0, ≤5:1, ≤10:2, +Inf:3; the le label leads.
+	wantBuckets := map[string]float64{
+		`recv_recovery_ms_bucket{le="1",target="a\"b\\c\nd"}`:    0,
+		`recv_recovery_ms_bucket{le="5",target="a\"b\\c\nd"}`:    1,
+		`recv_recovery_ms_bucket{le="10",target="a\"b\\c\nd"}`:   2,
+		`recv_recovery_ms_bucket{le="+Inf",target="a\"b\\c\nd"}`: 3,
+		"recv_recovery_ms_sum" + lbl:                             410,
+		"recv_recovery_ms_count" + lbl:                           3,
+	}
+	for k, want := range wantBuckets {
+		if got, ok := hf.Samples[k]; !ok || got != want {
+			t.Errorf("histogram sample %s = %v (present=%v), want %v\n%s", k, got, ok, want, out)
+		}
+	}
+}
+
+func TestWritePromCollisionDedup(t *testing.T) {
+	s := NewSink()
+	s.Counter("x.y").Inc()
+	s.Counter("x:y").Inc() // distinct internal names — ':' survives, '.' does not
+	s.Counter("x_y").Inc() // sanitizes equal to "x.y"
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, s.Registry().Snapshot(), nil); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := buf.String()
+	if _, err := ParseProm(strings.NewReader(out)); err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, out)
+	}
+	// Sorted internal order: "x.y" < "x:y" < "x_y"; x.y and x_y collide.
+	for _, want := range []string{"x_y_total ", "x_y_total_dup1 ", "x:y_total "} {
+		if !strings.Contains(out, "\n"+want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"metric_without_type 3\n",
+		"# TYPE m counter\nm{unterminated=\"v 3\n",
+		"# TYPE m counter\nm notanumber\n",
+		"# TYPE m counter\nm 3\nm 4\n",                                                   // duplicate sample
+		"# TYPE m counter\n# TYPE m gauge\nm 1\n",                                        // duplicate TYPE
+		"# TYPE m counter\nm -1\n",                                                       // negative counter
+		"# TYPE m histogram\nm_bucket{le=\"1\"} 1\nm_bucket{le=\"+Inf\"} 2\nm_count 3\n", // Inf != count
+		"# TYPE m histogram\nm_bucket{le=\"5\"} 2\n",                                     // no +Inf
+		"# TYPE 0bad counter\n0bad 1\n",
+	}
+	for _, doc := range bad {
+		if _, err := ParseProm(strings.NewReader(doc)); err == nil {
+			t.Errorf("ParseProm accepted malformed doc:\n%s", doc)
+		}
+	}
+	ok := "# HELP m fine\n# TYPE m gauge\nm{a=\"x\",b=\"y\"} -2 1700000000000\n"
+	if _, err := ParseProm(strings.NewReader(ok)); err != nil {
+		t.Errorf("ParseProm rejected valid doc: %v", err)
+	}
+}
+
+// TestExpositionHTTP is the satellite table test: every exposition
+// endpoint sets an explicit versioned Content-Type and refuses non-GET.
+func TestExpositionHTTP(t *testing.T) {
+	s := NewSink()
+	s.Counter("recv.nacks_sent").Inc()
+	cases := []struct {
+		name     string
+		h        http.Handler
+		query    string
+		wantType string
+	}{
+		{"golden-text", Handler(s), "", TextContentType},
+		{"golden-json", Handler(s), "?format=json", JSONContentType},
+		{"prom", PromHandler(s), "", PromContentType},
+		{"runtime-text", RuntimeHandler(), "", TextContentType},
+		{"runtime-json", RuntimeHandler(), "?format=json", JSONContentType},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			c.h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/"+c.query, nil))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("GET status = %d", rec.Code)
+			}
+			if got := rec.Header().Get("Content-Type"); got != c.wantType {
+				t.Fatalf("Content-Type = %q, want %q", got, c.wantType)
+			}
+			if rec.Body.Len() == 0 {
+				t.Fatalf("empty body")
+			}
+			for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+				rec := httptest.NewRecorder()
+				c.h.ServeHTTP(rec, httptest.NewRequest(method, "/"+c.query, nil))
+				if rec.Code != http.StatusMethodNotAllowed {
+					t.Fatalf("%s status = %d, want 405", method, rec.Code)
+				}
+				if allow := rec.Header().Get("Allow"); !strings.Contains(allow, "GET") {
+					t.Fatalf("%s Allow header = %q", method, allow)
+				}
+			}
+			rec = httptest.NewRecorder()
+			c.h.ServeHTTP(rec, httptest.NewRequest(http.MethodHead, "/"+c.query, nil))
+			if rec.Code != http.StatusOK || rec.Body.Len() != 0 {
+				t.Fatalf("HEAD status=%d bodyLen=%d, want 200 with empty body", rec.Code, rec.Body.Len())
+			}
+		})
+	}
+}
+
+func TestRegistryGenAndVisit(t *testing.T) {
+	r := NewRegistry()
+	if r.Gen() != 0 {
+		t.Fatalf("fresh registry gen = %d", r.Gen())
+	}
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", []uint64{10}).Observe(5)
+	if r.Gen() != 3 {
+		t.Fatalf("gen after 3 registrations = %d", r.Gen())
+	}
+	r.Counter("c").Inc() // re-registration: no gen bump
+	g := r.Gen()
+	if g != 3 {
+		t.Fatalf("gen bumped on idempotent registration: %d", g)
+	}
+	var names []string
+	r.Visit(
+		func(n string, c *Counter) { names = append(names, "c:"+n) },
+		func(n string, g *Gauge) { names = append(names, "g:"+n) },
+		func(n string, h *Histogram) {
+			names = append(names, "h:"+n)
+			if len(h.Bounds()) != 1 || h.Bounds()[0] != 10 {
+				t.Errorf("Bounds = %v", h.Bounds())
+			}
+			if h.BucketCount(0) != 1 || h.BucketCount(1) != 0 || h.BucketCount(2) != 0 {
+				t.Errorf("bucket counts: %d %d %d", h.BucketCount(0), h.BucketCount(1), h.BucketCount(2))
+			}
+			if h.Sum() != 5 {
+				t.Errorf("Sum = %d", h.Sum())
+			}
+		})
+	if len(names) != 3 {
+		t.Fatalf("Visit saw %v", names)
+	}
+	var nilReg *Registry
+	if nilReg.Gen() != 0 {
+		t.Fatal("nil registry Gen")
+	}
+	nilReg.Visit(nil, nil, nil) // must not panic
+}

@@ -31,18 +31,25 @@ func RuntimeSnapshot() Dump {
 	}
 }
 
+// SampleRuntime stores the runtime health gauges into reg so they join
+// the registry's series history: the daemon sampler calls it once per
+// tick, giving lbrm-top GC-pause and goroutine-count series without
+// pprof scraping. Nil-safe.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	d := RuntimeSnapshot()
+	for name, v := range d.Gauges {
+		reg.Gauge(name).Set(v)
+	}
+}
+
 // RuntimeHandler serves RuntimeSnapshot over HTTP with the same content
-// negotiation as Handler: text by default, JSON with ?format=json or an
-// Accept: application/json header.
+// negotiation and method discipline as Handler: GET only, text by
+// default, JSON with ?format=json or an Accept: application/json header.
 func RuntimeHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		d := RuntimeSnapshot()
-		if r.URL.Query().Get("format") == "json" || r.Header.Get("Accept") == "application/json" {
-			w.Header().Set("Content-Type", "application/json")
-			_ = d.WriteJSON(w)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = d.WriteText(w)
+		serveDump(w, r, RuntimeSnapshot)
 	})
 }

@@ -1,0 +1,176 @@
+package series
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lbrm/internal/obs"
+)
+
+// TestConcurrentSampleQuery hammers one sampler with a fast-wrapping
+// writer while readers run every query concurrently (run under -race by
+// `make test`). The correctness claims: no panic, no data race, and —
+// the torn-window pairing property — a counter delta is never negative
+// and never exceeds what the writer has actually counted, because both
+// endpoint slots are seq-validated before pairing.
+func TestConcurrentSampleQuery(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h", []uint64{10, 100, 1000})
+	s := NewSampler(reg, 16) // tiny ring: constant wrap-around
+
+	const samples = 20000
+	const incPerSample = 3
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := int64(0); i < samples; i++ {
+			c.Add(incPerSample)
+			g.Set(i)
+			h.Observe(uint64(i % 2000))
+			s.Sample(i * int64(time.Millisecond))
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if d, ok := s.Delta("c", 0); ok {
+					if d < 0 || d > samples*incPerSample {
+						t.Errorf("torn counter delta: %d", d)
+						return
+					}
+				}
+				if rate, ok := s.Rate("c", 8*time.Millisecond); ok && rate < 0 {
+					t.Errorf("negative counter rate: %v", rate)
+					return
+				}
+				if q, ok := s.Quantile("h", 0.9, 0); ok && (q < 0 || q > 1000) {
+					t.Errorf("quantile out of bounds: %v", q)
+					return
+				}
+				if v, ok := s.Last("g"); ok && (v < 0 || v >= samples) {
+					t.Errorf("gauge last out of range: %d", v)
+					return
+				}
+				_, _ = s.Delta("h", 4*time.Millisecond)
+				_ = s.Names()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentRegistrationDuringSampling: readers and a registering
+// goroutine race the single writer; rescans must neither drop history
+// nor tear queries.
+func TestConcurrentRegistrationDuringSampling(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("base")
+	s := NewSampler(reg, 32)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // single writer
+		defer wg.Done()
+		defer close(done)
+		for i := int64(0); i < 5000; i++ {
+			c.Inc()
+			s.Sample(i * int64(time.Millisecond))
+		}
+	}()
+	wg.Add(1)
+	go func() { // concurrent registrar: churns Registry.Gen
+		defer wg.Done()
+		names := []string{"m.a", "m.b", "m.c", "m.d", "m.e", "m.f", "m.g", "m.h"}
+		i := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			reg.Counter(names[i%len(names)]).Inc()
+			reg.Gauge(names[(i+1)%len(names)] + ".g").Set(int64(i))
+			i++
+		}
+	}()
+	wg.Add(1)
+	go func() { // reader
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if d, ok := s.Delta("base", 0); ok && (d < 0 || d > 5000) {
+				t.Errorf("base delta torn across rescan: %d", d)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if d, ok := s.Delta("base", 0); !ok || d <= 0 {
+		t.Fatalf("final delta = %d, %v", d, ok)
+	}
+}
+
+// TestVtimeVsWallSamplers: the same workload sampled by a virtual-time
+// driver (explicit Sample calls, the chaos path) and by the wall-clock
+// goroutine must agree on window semantics — only the clock differs.
+func TestVtimeVsWallSamplers(t *testing.T) {
+	mk := func() (*obs.Registry, *obs.Counter) {
+		reg := obs.NewRegistry()
+		return reg, reg.Counter("c")
+	}
+	// Virtual time: exact 1s cadence.
+	vreg, vc := mk()
+	vs := NewSampler(vreg, 64)
+	for i := int64(0); i < 6; i++ {
+		vc.Add(4)
+		vs.Sample(i * sec)
+	}
+	vd, vok := vs.Delta("c", 0)
+	vr, rok := vs.Rate("c", 0)
+	if !vok || !rok || vd != 20 || vr != 4 {
+		t.Fatalf("vtime: delta=%d rate=%v (%v %v)", vd, vr, vok, rok)
+	}
+
+	// Wall clock: the driver stamps real time; values must match, the
+	// rate must reflect the measured span rather than the nominal tick.
+	wreg, wc := mk()
+	ws := NewSampler(wreg, 64)
+	wc.Add(4)
+	if !ws.StartWall(time.Millisecond, func() { wc.Add(4) }) {
+		t.Fatal("StartWall refused")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for ws.Len() < 6 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ws.StopWall()
+	if ws.Len() < 6 {
+		t.Fatalf("wall sampler got %d samples", ws.Len())
+	}
+	wd, ok := ws.Delta("c", 0)
+	if !ok || wd <= 0 || wd%4 != 0 {
+		t.Fatalf("wall delta = %d, %v (want positive multiple of 4)", wd, ok)
+	}
+	if wr, ok := ws.Rate("c", 0); !ok || wr <= 0 {
+		t.Fatalf("wall rate = %v, %v", wr, ok)
+	}
+}

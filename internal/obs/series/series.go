@@ -1,0 +1,601 @@
+// Package series is the in-process time-series layer of the
+// observability stack (DESIGN.md §15): a fixed-capacity ring of periodic
+// registry samples with delta/rate/quantile queries over time windows.
+//
+// One Sampler watches one obs.Registry. The write side is built for the
+// datapath's zero-allocation contract: after the tracked metric set
+// stabilizes, Sample is lock-free and allocation-free — it loads a cached
+// track list (rebuilt only when Registry.Gen changes, i.e. when a new
+// metric is registered) and stores each metric's current value into
+// per-track atomic value rings under a per-slot seqlock, the same
+// publication protocol as the trace ring. Queries run concurrently with
+// the writer, allocate freely, and discard slots torn by a wrapping
+// writer via the seq stamp.
+//
+// The clock is the caller's: daemons drive a wall-clock goroutine
+// (StartWall), the simulator and chaos harness call Sample with virtual
+// time, and fleet scrapers ingest remote snapshots with SampleSnapshot.
+// Sample and SampleSnapshot share the single-writer contract: at most one
+// goroutine may write a given Sampler.
+package series
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lbrm/internal/obs"
+)
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHist
+)
+
+// track is one metric's value history: a parallel ring to the sampler's
+// slot ring. Counter and gauge tracks use vals (gauge values are stored
+// as int64 bits); histogram tracks record every bucket plus the running
+// sum so windowed quantiles come from bucket deltas.
+type track struct {
+	name string
+	kind kind
+
+	counter *obs.Counter
+	gauge   *obs.Gauge
+	hist    *obs.Histogram
+
+	bounds  []uint64
+	vals    []atomic.Uint64
+	buckets [][]atomic.Uint64 // bucket-major: buckets[b][slot]
+	sums    []atomic.Uint64
+
+	// born is the sample seq at registration: slots at or before it
+	// predate the track and hold zeroes, so queries must not pair them.
+	born uint64
+}
+
+type trackSet struct {
+	list   []*track
+	byName map[string]*track
+}
+
+var emptySet = &trackSet{byName: map[string]*track{}}
+
+// Sampler owns the slot ring and the track list for one registry.
+type Sampler struct {
+	reg  *obs.Registry // nil in ingest mode (SampleSnapshot-only)
+	cap  int
+	mask uint64
+
+	seqs []atomic.Uint64 // 0 = open/torn, else the slot's sample seq
+	ats  []atomic.Int64
+	head atomic.Uint64 // total samples ever taken
+
+	tracks atomic.Pointer[trackSet]
+	gen    atomic.Uint64 // registry generation the track list reflects
+
+	mu   sync.Mutex // serializes rescans and the wall driver
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler returns a sampler over reg retaining the most recent `size`
+// samples (rounded up to a power of two, minimum 8). reg may be nil only
+// if the sampler is fed exclusively through SampleSnapshot.
+func NewSampler(reg *obs.Registry, size int) *Sampler {
+	n := 8
+	for n < size {
+		n <<= 1
+	}
+	s := &Sampler{
+		reg:  reg,
+		cap:  n,
+		mask: uint64(n - 1),
+		seqs: make([]atomic.Uint64, n),
+		ats:  make([]atomic.Int64, n),
+	}
+	s.tracks.Store(emptySet)
+	return s
+}
+
+// Cap returns the retained sample capacity.
+func (s *Sampler) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return s.cap
+}
+
+// Len returns the total number of samples ever taken. Nil-safe.
+func (s *Sampler) Len() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.head.Load()
+}
+
+// Sample takes one sample of the registry at nowNs. Single-writer.
+// Steady state (no new metrics since the last call) is lock-free and
+// allocation-free; a registration since the last call triggers a cold
+// mutex-guarded rescan that preserves existing track history. Nil-safe.
+func (s *Sampler) Sample(nowNs int64) {
+	if s == nil {
+		return
+	}
+	ts := s.tracks.Load()
+	if g := s.reg.Gen(); g != s.gen.Load() {
+		ts = s.rescan(g)
+	}
+	seq := s.head.Load() + 1
+	i := (seq - 1) & s.mask
+	s.seqs[i].Store(0) // open the seqlock: readers reject the slot
+	s.ats[i].Store(nowNs)
+	for _, t := range ts.list {
+		switch t.kind {
+		case kindCounter:
+			t.vals[i].Store(t.counter.Value())
+		case kindGauge:
+			t.vals[i].Store(uint64(t.gauge.Value()))
+		case kindHist:
+			for b := range t.buckets {
+				t.buckets[b][i].Store(t.hist.BucketCount(b))
+			}
+			t.sums[i].Store(t.hist.Sum())
+		}
+	}
+	s.seqs[i].Store(seq) // publish
+	s.head.Store(seq)
+}
+
+// rescan rebuilds the track list against the current registry contents,
+// reusing existing tracks (and their history) by name.
+func (s *Sampler) rescan(gen uint64) *trackSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.tracks.Load()
+	ns := &trackSet{byName: make(map[string]*track, len(old.byName)+8)}
+	born := s.head.Load()
+	s.reg.Visit(
+		func(name string, c *obs.Counter) {
+			if t := old.byName[name]; t != nil && t.kind == kindCounter {
+				ns.add(t)
+				return
+			}
+			ns.add(&track{name: name, kind: kindCounter, counter: c,
+				vals: make([]atomic.Uint64, s.cap), born: born})
+		},
+		func(name string, g *obs.Gauge) {
+			if t := old.byName[name]; t != nil && t.kind == kindGauge {
+				ns.add(t)
+				return
+			}
+			ns.add(&track{name: name, kind: kindGauge, gauge: g,
+				vals: make([]atomic.Uint64, s.cap), born: born})
+		},
+		func(name string, h *obs.Histogram) {
+			if t := old.byName[name]; t != nil && t.kind == kindHist {
+				ns.add(t)
+				return
+			}
+			t := &track{name: name, kind: kindHist, hist: h,
+				bounds: h.Bounds(), sums: make([]atomic.Uint64, s.cap), born: born}
+			t.buckets = make([][]atomic.Uint64, len(h.Bounds())+1)
+			for b := range t.buckets {
+				t.buckets[b] = make([]atomic.Uint64, s.cap)
+			}
+			ns.add(t)
+		},
+	)
+	sort.Slice(ns.list, func(i, j int) bool { return ns.list[i].name < ns.list[j].name })
+	s.tracks.Store(ns)
+	s.gen.Store(gen)
+	return ns
+}
+
+func (ts *trackSet) add(t *track) {
+	ts.list = append(ts.list, t)
+	ts.byName[t.name] = t
+}
+
+// SampleSnapshot ingests one remote registry snapshot at nowNs — the
+// fleet-scraper path (lbrm-top): same ring, same queries, but values come
+// off the wire instead of local atomics. Allocates when the snapshot
+// introduces new names; single-writer with Sample. Histograms whose
+// bounds change between snapshots are skipped until the track cycles out.
+func (s *Sampler) SampleSnapshot(nowNs int64, snap obs.Snapshot) {
+	if s == nil {
+		return
+	}
+	ts := s.ensureSnapshotTracks(snap)
+	seq := s.head.Load() + 1
+	i := (seq - 1) & s.mask
+	s.seqs[i].Store(0)
+	s.ats[i].Store(nowNs)
+	for _, t := range ts.list {
+		switch t.kind {
+		case kindCounter:
+			t.vals[i].Store(snap.Counters[t.name])
+		case kindGauge:
+			t.vals[i].Store(uint64(snap.Gauges[t.name]))
+		case kindHist:
+			h, ok := snap.Histograms[t.name]
+			if !ok || len(h.Counts) != len(t.buckets) {
+				continue
+			}
+			for b := range t.buckets {
+				t.buckets[b][i].Store(h.Counts[b])
+			}
+			t.sums[i].Store(h.Sum)
+		}
+	}
+	s.seqs[i].Store(seq)
+	s.head.Store(seq)
+}
+
+// ensureSnapshotTracks extends the track list with any names the
+// snapshot carries that are not yet tracked.
+func (s *Sampler) ensureSnapshotTracks(snap obs.Snapshot) *trackSet {
+	ts := s.tracks.Load()
+	missing := 0
+	for name := range snap.Counters {
+		if ts.byName[name] == nil {
+			missing++
+		}
+	}
+	for name := range snap.Gauges {
+		if ts.byName[name] == nil {
+			missing++
+		}
+	}
+	for name := range snap.Histograms {
+		if ts.byName[name] == nil {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return ts
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns := &trackSet{byName: make(map[string]*track, len(ts.byName)+missing)}
+	for _, t := range ts.list {
+		ns.add(t)
+	}
+	born := s.head.Load()
+	for name := range snap.Counters {
+		if ns.byName[name] == nil {
+			ns.add(&track{name: name, kind: kindCounter,
+				vals: make([]atomic.Uint64, s.cap), born: born})
+		}
+	}
+	for name := range snap.Gauges {
+		if ns.byName[name] == nil {
+			ns.add(&track{name: name, kind: kindGauge,
+				vals: make([]atomic.Uint64, s.cap), born: born})
+		}
+	}
+	for name, h := range snap.Histograms {
+		if ns.byName[name] == nil {
+			t := &track{name: name, kind: kindHist,
+				bounds: append([]uint64(nil), h.Bounds...),
+				sums:   make([]atomic.Uint64, s.cap), born: born}
+			t.buckets = make([][]atomic.Uint64, len(h.Bounds)+1)
+			for b := range t.buckets {
+				t.buckets[b] = make([]atomic.Uint64, s.cap)
+			}
+			ns.add(t)
+		}
+	}
+	sort.Slice(ns.list, func(i, j int) bool { return ns.list[i].name < ns.list[j].name })
+	s.tracks.Store(ns)
+	return ns
+}
+
+// StartWall starts a goroutine that samples immediately and then every
+// `every` on the wall clock, so queries (and scrapers hitting the
+// registry) see data from the moment the driver is up; pre (may be nil)
+// runs before each sample — daemons pass a closure that folds runtime
+// gauges into the registry. Returns false if a driver is already
+// running. Stop with StopWall.
+func (s *Sampler) StartWall(every time.Duration, pre func()) bool {
+	if s == nil || every <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return false
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stop, s.done = stop, done
+	go func() {
+		defer close(done)
+		sample := func(now time.Time) {
+			if pre != nil {
+				pre()
+			}
+			s.Sample(now.UnixNano())
+		}
+		sample(time.Now())
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				sample(now)
+			}
+		}
+	}()
+	return true
+}
+
+// StopWall stops the wall-clock driver and waits for any in-flight
+// sample to finish, so the caller may take over as the single writer the
+// moment it returns (no-op when none is running).
+func (s *Sampler) StopWall() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.stop, s.done = nil, nil
+}
+
+// Names returns the tracked metric names, sorted. Allocates.
+func (s *Sampler) Names() []string {
+	if s == nil {
+		return nil
+	}
+	ts := s.tracks.Load()
+	out := make([]string, len(ts.list))
+	for i, t := range ts.list {
+		out[i] = t.name
+	}
+	return out
+}
+
+// slotTime reads the publication-validated sample time of seq.
+func (s *Sampler) slotTime(seq uint64) (int64, bool) {
+	if seq == 0 {
+		return 0, false
+	}
+	i := (seq - 1) & s.mask
+	if s.seqs[i].Load() != seq {
+		return 0, false
+	}
+	at := s.ats[i].Load()
+	if s.seqs[i].Load() != seq {
+		return 0, false
+	}
+	return at, true
+}
+
+// valAt reads track t's value at seq under the seqlock.
+func (s *Sampler) valAt(t *track, seq uint64) (uint64, bool) {
+	i := (seq - 1) & s.mask
+	if s.seqs[i].Load() != seq {
+		return 0, false
+	}
+	v := t.vals[i].Load()
+	if s.seqs[i].Load() != seq {
+		return 0, false
+	}
+	return v, true
+}
+
+// histAt reads track t's bucket vector and sum at seq under the seqlock.
+func (s *Sampler) histAt(t *track, seq uint64) ([]uint64, uint64, bool) {
+	i := (seq - 1) & s.mask
+	if s.seqs[i].Load() != seq {
+		return nil, 0, false
+	}
+	counts := make([]uint64, len(t.buckets))
+	for b := range t.buckets {
+		counts[b] = t.buckets[b][i].Load()
+	}
+	sum := t.sums[i].Load()
+	if s.seqs[i].Load() != seq {
+		return nil, 0, false
+	}
+	return counts, sum, true
+}
+
+// endpoints locates the newest published sample and the oldest published
+// sample usable as a window baseline for t: in-window (sample time within
+// windowNs of the newest; windowNs <= 0 means the whole retained ring),
+// after the track was born, and still retained. Both slots are
+// seq-validated; torn slots are skipped, mirroring the trace ring's
+// reader discipline.
+func (s *Sampler) endpoints(t *track, windowNs int64) (newest, oldest uint64, span int64, ok bool) {
+	head := s.head.Load()
+	floor := uint64(0)
+	if head > uint64(s.cap) {
+		floor = head - uint64(s.cap)
+	}
+	if t.born > floor {
+		floor = t.born
+	}
+	// Newest published slot (the head can be torn by at most one
+	// concurrently wrapping writer step).
+	var newestAt int64
+	for newest = head; newest > floor; newest-- {
+		if at, okAt := s.slotTime(newest); okAt {
+			newestAt = at
+			break
+		}
+	}
+	if newest <= floor {
+		return 0, 0, 0, false
+	}
+	cut := int64(-1 << 62)
+	if windowNs > 0 {
+		cut = newestAt - windowNs
+	}
+	var oldestAt int64
+	for seq := newest - 1; seq > floor; seq-- {
+		at, okAt := s.slotTime(seq)
+		if !okAt {
+			continue
+		}
+		if at < cut {
+			break
+		}
+		oldest, oldestAt = seq, at
+	}
+	if oldest == 0 {
+		return 0, 0, 0, false
+	}
+	return newest, oldest, newestAt - oldestAt, true
+}
+
+// Last returns the newest sampled value of a counter (as int64) or
+// gauge. ok is false for unknown names, histograms, or an empty ring.
+func (s *Sampler) Last(name string) (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	t := s.tracks.Load().byName[name]
+	if t == nil || t.kind == kindHist {
+		return 0, false
+	}
+	head := s.head.Load()
+	floor := uint64(0)
+	if head > uint64(s.cap) {
+		floor = head - uint64(s.cap)
+	}
+	if t.born > floor {
+		floor = t.born
+	}
+	for seq := head; seq > floor; seq-- {
+		if v, okV := s.valAt(t, seq); okV {
+			return int64(v), true
+		}
+	}
+	return 0, false
+}
+
+// Delta returns the change of a counter (or a histogram's observation
+// count) across the window: newest minus the oldest in-window baseline.
+// ok requires two validated samples. Gauges also work — their delta can
+// be negative.
+func (s *Sampler) Delta(name string, window time.Duration) (int64, bool) {
+	d, _, ok := s.deltaSpan(name, window)
+	return d, ok
+}
+
+// Rate returns Delta divided by the actual sampled span, per second.
+func (s *Sampler) Rate(name string, window time.Duration) (float64, bool) {
+	d, span, ok := s.deltaSpan(name, window)
+	if !ok || span <= 0 {
+		return 0, false
+	}
+	return float64(d) / (float64(span) / float64(time.Second)), true
+}
+
+func (s *Sampler) deltaSpan(name string, window time.Duration) (int64, int64, bool) {
+	if s == nil {
+		return 0, 0, false
+	}
+	t := s.tracks.Load().byName[name]
+	if t == nil {
+		return 0, 0, false
+	}
+	newest, oldest, span, ok := s.endpoints(t, int64(window))
+	if !ok {
+		return 0, 0, false
+	}
+	if t.kind == kindHist {
+		nc, _, ok1 := s.histAt(t, newest)
+		oc, _, ok2 := s.histAt(t, oldest)
+		if !ok1 || !ok2 {
+			return 0, 0, false
+		}
+		var d int64
+		for b := range nc {
+			d += int64(nc[b] - oc[b])
+		}
+		return d, span, true
+	}
+	nv, ok1 := s.valAt(t, newest)
+	ov, ok2 := s.valAt(t, oldest)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	if t.kind == kindGauge {
+		return int64(nv) - int64(ov), span, true
+	}
+	return int64(nv - ov), span, true
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of a histogram's
+// samples observed inside the window, from bucket deltas: linear
+// interpolation inside the winning bucket, with the overflow bucket
+// reported as the highest finite bound (the series cannot see past it).
+// ok is false without two validated samples or when no observations
+// landed in the window.
+func (s *Sampler) Quantile(name string, q float64, window time.Duration) (float64, bool) {
+	if s == nil || q <= 0 || q > 1 {
+		return 0, false
+	}
+	t := s.tracks.Load().byName[name]
+	if t == nil || t.kind != kindHist {
+		return 0, false
+	}
+	newest, oldest, _, ok := s.endpoints(t, int64(window))
+	if !ok {
+		return 0, false
+	}
+	nc, _, ok1 := s.histAt(t, newest)
+	oc, _, ok2 := s.histAt(t, oldest)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	deltas := make([]uint64, len(nc))
+	var total uint64
+	for b := range nc {
+		deltas[b] = nc[b] - oc[b]
+		total += deltas[b]
+	}
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * float64(total)
+	var cum float64
+	for b, d := range deltas {
+		if d == 0 {
+			continue
+		}
+		next := cum + float64(d)
+		if rank <= next {
+			if b >= len(t.bounds) { // overflow bucket
+				if len(t.bounds) == 0 {
+					return 0, false
+				}
+				return float64(t.bounds[len(t.bounds)-1]), true
+			}
+			lo := 0.0
+			if b > 0 {
+				lo = float64(t.bounds[b-1])
+			}
+			hi := float64(t.bounds[b])
+			return lo + (hi-lo)*((rank-cum)/float64(d)), true
+		}
+		cum = next
+	}
+	if len(t.bounds) == 0 {
+		return 0, false
+	}
+	return float64(t.bounds[len(t.bounds)-1]), true
+}

@@ -1,0 +1,278 @@
+package series
+
+import (
+	"testing"
+	"time"
+
+	"lbrm/internal/obs"
+)
+
+const sec = int64(time.Second)
+
+func TestCounterDeltaRate(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("recv.nacks_sent")
+	s := NewSampler(reg, 64)
+
+	for i := int64(0); i < 10; i++ {
+		c.Add(5)
+		s.Sample(i * sec)
+	}
+	// 10 samples at 0..9s; counter 5,10,...,50.
+	if got := s.Len(); got != 10 {
+		t.Fatalf("Len = %d", got)
+	}
+	d, ok := s.Delta("recv.nacks_sent", 4*time.Second)
+	if !ok || d != 20 {
+		t.Fatalf("Delta(4s) = %d, %v (want 20)", d, ok)
+	}
+	r, ok := s.Rate("recv.nacks_sent", 4*time.Second)
+	if !ok || r != 5 {
+		t.Fatalf("Rate(4s) = %v, %v (want 5/s)", r, ok)
+	}
+	// Whole-ring window.
+	d, ok = s.Delta("recv.nacks_sent", 0)
+	if !ok || d != 45 {
+		t.Fatalf("Delta(all) = %d, %v (want 45)", d, ok)
+	}
+	v, ok := s.Last("recv.nacks_sent")
+	if !ok || v != 50 {
+		t.Fatalf("Last = %d, %v", v, ok)
+	}
+	if _, ok := s.Delta("unknown.metric", 0); ok {
+		t.Fatal("Delta on unknown name must fail")
+	}
+}
+
+func TestGaugeDeltaCanBeNegative(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("primary.quorum.depth")
+	s := NewSampler(reg, 16)
+	g.Set(9)
+	s.Sample(0)
+	g.Set(-4)
+	s.Sample(sec)
+	d, ok := s.Delta("primary.quorum.depth", 0)
+	if !ok || d != -13 {
+		t.Fatalf("gauge delta = %d, %v (want -13)", d, ok)
+	}
+	v, ok := s.Last("primary.quorum.depth")
+	if !ok || v != -4 {
+		t.Fatalf("gauge last = %d, %v", v, ok)
+	}
+}
+
+func TestHistogramQuantileOverWindow(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("recv.recovery_ms", []uint64{10, 100, 1000})
+	s := NewSampler(reg, 64)
+
+	s.Sample(0) // empty baseline, pre-dating everything
+	// Old regime that must fall outside the 9s window: slow recoveries.
+	for i := 0; i < 100; i++ {
+		h.Observe(900)
+	}
+	s.Sample(1 * sec)
+	// New regime inside the window: 90 fast + 10 slow.
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500)
+	}
+	s.Sample(10 * sec)
+
+	// Window of 9s spans samples at 1s..10s: only the new regime.
+	q50, ok := s.Quantile("recv.recovery_ms", 0.50, 9*time.Second)
+	if !ok || q50 > 10 {
+		t.Fatalf("p50 = %v, %v (want fast bucket)", q50, ok)
+	}
+	q99, ok := s.Quantile("recv.recovery_ms", 0.99, 9*time.Second)
+	if !ok || q99 <= 100 || q99 > 1000 {
+		t.Fatalf("p99 = %v, %v (want in 100..1000)", q99, ok)
+	}
+	// Histogram Delta counts observations in the window.
+	d, ok := s.Delta("recv.recovery_ms", 9*time.Second)
+	if !ok || d != 100 {
+		t.Fatalf("hist delta = %d, %v (want 100)", d, ok)
+	}
+	// Whole ring includes the old regime: p50 shifts to the slow bucket.
+	q50all, ok := s.Quantile("recv.recovery_ms", 0.50, 0)
+	if !ok || q50all <= 100 {
+		t.Fatalf("p50(all) = %v, %v (want slow)", q50all, ok)
+	}
+	// No observations in a tiny trailing window.
+	if _, ok := s.Quantile("recv.recovery_ms", 0.5, time.Millisecond); ok {
+		t.Fatal("quantile over an empty window must fail")
+	}
+}
+
+func TestWrapAroundKeepsNewestWindow(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("c")
+	s := NewSampler(reg, 8) // retains 8 samples
+	for i := int64(0); i < 100; i++ {
+		c.Add(2)
+		s.Sample(i * sec)
+	}
+	// Retained window is samples 93..100 → counts 186..200.
+	d, ok := s.Delta("c", 0)
+	if !ok || d != 14 {
+		t.Fatalf("wrapped delta = %d, %v (want 14)", d, ok)
+	}
+	r, ok := s.Rate("c", 0)
+	if !ok || r != 2 {
+		t.Fatalf("wrapped rate = %v, %v (want 2/s)", r, ok)
+	}
+}
+
+// TestRescanPreservesHistory: a metric registered mid-flight starts its
+// own history without disturbing existing tracks, and its pre-birth
+// zero slots never pair into a query.
+func TestRescanPreservesHistory(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := reg.Counter("a")
+	s := NewSampler(reg, 64)
+	for i := int64(0); i < 5; i++ {
+		a.Add(10)
+		s.Sample(i * sec)
+	}
+	b := reg.Counter("b") // triggers rescan on the next Sample
+	b.Add(7)
+	s.Sample(5 * sec)
+	b.Add(7)
+	s.Sample(6 * sec)
+
+	da, ok := s.Delta("a", 0)
+	if !ok || da != 40 {
+		t.Fatalf("a delta across rescan = %d, %v (want 40)", da, ok)
+	}
+	// b has two samples (7, 14): delta 7 — not 14, which would mean a
+	// pre-birth zero slot was used as baseline.
+	db, ok := s.Delta("b", 0)
+	if !ok || db != 7 {
+		t.Fatalf("b delta = %d, %v (want 7)", db, ok)
+	}
+}
+
+// TestSnapshotIngest: the scraper path — feeding remote snapshots yields
+// the same query semantics as local sampling.
+func TestSnapshotIngest(t *testing.T) {
+	remote := obs.NewRegistry()
+	c := remote.Counter("sender.tx.data.pkts")
+	h := remote.Histogram("recv.recovery_ms", []uint64{10, 100})
+
+	s := NewSampler(nil, 16) // ingest mode
+	c.Add(100)
+	h.Observe(5)
+	s.SampleSnapshot(0, remote.Snapshot())
+	c.Add(300)
+	h.Observe(50)
+	h.Observe(50)
+	s.SampleSnapshot(2*sec, remote.Snapshot())
+
+	r, ok := s.Rate("sender.tx.data.pkts", 0)
+	if !ok || r != 150 {
+		t.Fatalf("ingest rate = %v, %v (want 150/s)", r, ok)
+	}
+	d, ok := s.Delta("recv.recovery_ms", 0)
+	if !ok || d != 2 {
+		t.Fatalf("ingest hist delta = %d, %v (want 2)", d, ok)
+	}
+	q, ok := s.Quantile("recv.recovery_ms", 0.9, 0)
+	if !ok || q <= 10 || q > 100 {
+		t.Fatalf("ingest p90 = %v, %v", q, ok)
+	}
+	names := s.Names()
+	if len(names) != 2 {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+// TestWallClockDriver: StartWall samples on its own; StopWall halts it;
+// a second concurrent driver is refused.
+func TestWallClockDriver(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c").Add(1)
+	s := NewSampler(reg, 32)
+	preCalls := 0
+	if !s.StartWall(2*time.Millisecond, func() { preCalls++ }) {
+		t.Fatal("StartWall refused")
+	}
+	if s.StartWall(time.Millisecond, nil) {
+		t.Fatal("second driver must be refused")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Len() < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.Len() < 3 {
+		t.Fatalf("wall driver took no samples (len=%d)", s.Len())
+	}
+	s.StopWall()
+	// StopWall waits for the driver goroutine, so reading the hook
+	// counter (and trusting Len to stay put) is race-free from here.
+	if preCalls == 0 {
+		t.Fatal("pre hook never ran")
+	}
+	n := s.Len()
+	time.Sleep(10 * time.Millisecond)
+	if s.Len() != n {
+		t.Fatal("sampler kept running after StopWall")
+	}
+	s.StopWall() // idempotent
+	// The driver can be restarted after a stop.
+	if !s.StartWall(time.Millisecond, nil) {
+		t.Fatal("restart refused")
+	}
+	s.StopWall()
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Sampler
+	s.Sample(0)
+	s.SampleSnapshot(0, obs.Snapshot{})
+	if s.Len() != 0 || s.Cap() != 0 || s.Names() != nil {
+		t.Fatal("nil sampler accessors")
+	}
+	if _, ok := s.Delta("x", 0); ok {
+		t.Fatal("nil Delta ok")
+	}
+	if _, ok := s.Rate("x", 0); ok {
+		t.Fatal("nil Rate ok")
+	}
+	if _, ok := s.Quantile("x", 0.5, 0); ok {
+		t.Fatal("nil Quantile ok")
+	}
+	if _, ok := s.Last("x"); ok {
+		t.Fatal("nil Last ok")
+	}
+	if s.StartWall(time.Second, nil) {
+		t.Fatal("nil StartWall ok")
+	}
+	s.StopWall()
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("h", []uint64{10, 100})
+	s := NewSampler(reg, 16)
+	s.Sample(0)
+	for i := 0; i < 4; i++ {
+		h.Observe(5000) // all overflow
+	}
+	s.Sample(sec)
+	q, ok := s.Quantile("h", 0.99, 0)
+	if !ok || q != 100 {
+		t.Fatalf("overflow quantile = %v, %v (want clamp to 100)", q, ok)
+	}
+	if _, ok := s.Quantile("h", 0, 0); ok {
+		t.Fatal("q=0 must fail")
+	}
+	if _, ok := s.Quantile("h", 1.5, 0); ok {
+		t.Fatal("q>1 must fail")
+	}
+	if _, ok := s.Quantile("missing", 0.5, 0); ok {
+		t.Fatal("unknown name must fail")
+	}
+}

@@ -88,6 +88,15 @@ const (
 	// announcement. A = the announcer's tier, B = the announced tree
 	// epoch, C = 1 when adopted, 0 when fenced as stale. Transition ring.
 	KindReparent
+	// KindAlertRaise: the health engine raised an alert (DESIGN.md §15).
+	// A = rule id (health.Rule), B = the entity index the alert fired on,
+	// C = observed value scaled per rule (rate in milli-units, latency in
+	// nanoseconds). Transition ring.
+	KindAlertRaise
+	// KindAlertClear: a previously raised alert dropped back under its
+	// threshold. A = rule id, B = entity index, C = the alert's lifetime
+	// in nanoseconds. Transition ring.
+	KindAlertClear
 	kindMax // sentinel, keep last
 )
 
@@ -112,6 +121,8 @@ var kindNames = [...]string{
 	KindRingRepair:    "ring-repair",
 	KindRehome:        "rehome",
 	KindReparent:      "reparent",
+	KindAlertRaise:    "alert-raise",
+	KindAlertClear:    "alert-clear",
 }
 
 // String returns the stable lowercase name of the kind.

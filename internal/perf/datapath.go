@@ -9,6 +9,7 @@ import (
 
 	"lbrm/internal/logger"
 	"lbrm/internal/obs"
+	"lbrm/internal/obs/series"
 	"lbrm/internal/transport"
 	"lbrm/internal/vtime"
 	"lbrm/internal/wire"
@@ -156,4 +157,24 @@ func MeasureDatapathAllocs(runs int, sink *obs.Sink) float64 {
 	d := newDatapath(sink)
 	d.warm()
 	return testing.AllocsPerRun(runs, d.step)
+}
+
+// MeasureDatapathAllocsSampled is the instrumented pipeline with the
+// series sampler live on the same registry: every step also takes a full
+// time-series sample (the control plane's per-tick cost, compressed to
+// per-step so AllocsPerRun sees it deterministically). The registry's
+// track set is stable after warmup, so sampling must stay on the
+// steady-state zero-allocation path too.
+func MeasureDatapathAllocsSampled(runs int) float64 {
+	sink := obs.NewSink()
+	d := newDatapath(sink)
+	d.warm()
+	smp := series.NewSampler(sink.Registry(), 256)
+	smp.Sample(0) // one-time track scan, off the measured path
+	var tick int64
+	return testing.AllocsPerRun(runs, func() {
+		d.step()
+		tick++
+		smp.Sample(tick)
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lbrm/internal/obs"
+	"lbrm/internal/obs/series"
 )
 
 // ObsCounterInc benchmarks the metric hot path: one preregistered counter
@@ -39,6 +40,36 @@ func ObsTraceEmit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r.Emit(int64(i), obs.KindEpochBump, uint64(i), 0, 0)
 	}
+}
+
+// SeriesSample benchmarks one full time-series sample over a realistic
+// daemon registry — the per-tick cost of the control plane's history
+// (DESIGN.md §15): a seqlock slot open, one atomic load+store per
+// counter/gauge track, bucket-major stores per histogram, and the
+// publish. This is what every daemon pays at its sampling cadence.
+func SeriesSample(b *testing.B) {
+	sink := obs.NewSink()
+	for i := 0; i < 24; i++ {
+		sink.Counter(counterName(i)).Add(uint64(i))
+	}
+	sink.Gauge("bench.gauge").Set(7)
+	h := sink.Histogram("bench.hist_ms", []uint64{1, 5, 10, 25, 50, 100, 250, 500, 1000})
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(i))
+	}
+	s := series.NewSampler(sink.Registry(), 256)
+	s.Sample(0) // first sample does the one-time track scan
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(int64(i))
+	}
+}
+
+// counterName avoids fmt in the registration loop (registration is cold;
+// this just keeps the benchmark setup tidy).
+func counterName(i int) string {
+	return "bench.counter." + string(rune('a'+i%26))
 }
 
 // ObsFlightEmit benchmarks the flight-recorder append through the sink:

@@ -20,6 +20,9 @@ func TestDatapathZeroAlloc(t *testing.T) {
 	if allocs := MeasureDatapathAllocs(5000, obs.NewSink()); allocs != 0 {
 		t.Fatalf("instrumented datapath allocates %.2f allocs/op, want 0", allocs)
 	}
+	if allocs := MeasureDatapathAllocsSampled(5000); allocs != 0 {
+		t.Fatalf("datapath with live series sampler allocates %.2f allocs/op, want 0", allocs)
+	}
 }
 
 // TestRecoveryZeroAlloc pins the end-to-end recovery episode — gap
@@ -79,6 +82,7 @@ func BenchmarkObsCounterInc(b *testing.B)      { ObsCounterInc(b) }
 func BenchmarkObsClassRecord(b *testing.B)     { ObsClassRecord(b) }
 func BenchmarkObsTraceEmit(b *testing.B)       { ObsTraceEmit(b) }
 func BenchmarkObsFlightEmit(b *testing.B)      { ObsFlightEmit(b) }
+func BenchmarkSeriesSample(b *testing.B)       { SeriesSample(b) }
 func BenchmarkRecoveryRTT(b *testing.B)        { RecoveryRTT(b) }
 func BenchmarkUDPLoopback(b *testing.B)        { UDPLoopback(b) }
 func BenchmarkUDPEgress(b *testing.B)          { UDPEgress(b) }

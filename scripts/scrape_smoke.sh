@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Scrape smoke for the fleet observability control plane: boot one of
+# each daemon (lbrm-send, lbrm-recv, lbrm-logger) with -metrics-addr,
+# curl both exposition formats plus the Prometheus mapping off every
+# endpoint, check the advertised Content-Types and the method
+# discipline (405 on POST), then point lbrm-top at the three targets in
+# -once -strict mode — which re-parses each /metrics/prom body with the
+# line-discipline parser and fails on any down target or active alert.
+#
+# Used as a CI leg (.github/workflows/ci.yml); runs standalone too:
+#   ./scripts/scrape_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)"
+cleanup() {
+	local pids
+	pids=$(jobs -p)
+	# Unquoted on purpose: one PID per background daemon.
+	# shellcheck disable=SC2086
+	[ -n "$pids" ] && kill $pids >/dev/null 2>&1
+	wait >/dev/null 2>&1 || true
+	rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+echo "scrape-smoke: building daemons"
+go build -o "$BIN" ./cmd/lbrm-send ./cmd/lbrm-recv ./cmd/lbrm-logger ./cmd/lbrm-top
+
+SEND=127.0.0.1:9471
+RECV=127.0.0.1:9472
+LOGR=127.0.0.1:9473
+
+"$BIN/lbrm-logger" -mode secondary -listen 127.0.0.1:0 -metrics-addr "$LOGR" >"$BIN/logger.log" 2>&1 &
+"$BIN/lbrm-recv" -metrics-addr "$RECV" >"$BIN/recv.log" 2>&1 &
+"$BIN/lbrm-send" -interval 50ms -metrics-addr "$SEND" >"$BIN/send.log" 2>&1 &
+
+wait_up() {
+	local target=$1 i
+	for i in $(seq 1 50); do
+		if curl -fsS -o /dev/null "http://$target/metrics"; then
+			return 0
+		fi
+		sleep 0.2
+	done
+	echo "scrape-smoke: FAIL $target never came up" >&2
+	cat "$BIN"/*.log >&2 || true
+	return 1
+}
+
+# expect_ct GET-fetches a path and requires the given Content-Type.
+expect_ct() {
+	local target=$1 path=$2 want=$3 got
+	got=$(curl -fsS -o /dev/null -w '%{content_type}' "http://$target$path")
+	if [ "$got" != "$want" ]; then
+		echo "scrape-smoke: FAIL $target$path Content-Type '$got', want '$want'" >&2
+		return 1
+	fi
+	echo "scrape-smoke: ok $target$path ($got)"
+}
+
+# expect_405 POSTs to a path and requires 405 Method Not Allowed.
+expect_405() {
+	local target=$1 path=$2 code
+	code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "http://$target$path")
+	if [ "$code" != 405 ]; then
+		echo "scrape-smoke: FAIL POST $target$path returned $code, want 405" >&2
+		return 1
+	fi
+}
+
+for t in "$SEND" "$RECV" "$LOGR"; do
+	wait_up "$t"
+	expect_ct "$t" /metrics 'text/plain; version=lbrm.1; charset=utf-8'
+	expect_ct "$t" '/metrics?format=json' 'application/json; charset=utf-8'
+	expect_ct "$t" /metrics/prom 'text/plain; version=0.0.4; charset=utf-8'
+	expect_ct "$t" /metrics/health 'application/json; charset=utf-8'
+	expect_405 "$t" /metrics
+	expect_405 "$t" /metrics/prom
+	# Every Prometheus line must be a comment or `name{...} value`; the
+	# strict parse below does the real check, this guards raw emptiness.
+	lines=$(curl -fsS "http://$t/metrics/prom" | wc -l)
+	if [ "$lines" -lt 3 ]; then
+		echo "scrape-smoke: FAIL $t/metrics/prom only $lines lines" >&2
+		exit 1
+	fi
+done
+
+echo "scrape-smoke: fleet scrape via lbrm-top -once -strict"
+"$BIN/lbrm-top" -targets "$SEND,$RECV,$LOGR" -once -strict
+
+# The JSON control-plane report must carry live runtime gauges for every
+# target (the RuntimeHandler satellite): a zero goroutine count means the
+# scrape never saw runtime.* series.
+"$BIN/lbrm-top" -targets "$SEND,$RECV,$LOGR" -once -json >"$BIN/fleet.json"
+if grep -q '"goroutines": 0' "$BIN/fleet.json"; then
+	echo "scrape-smoke: FAIL a target reported 0 goroutines:" >&2
+	cat "$BIN/fleet.json" >&2
+	exit 1
+fi
+
+echo "scrape-smoke: PASS"
